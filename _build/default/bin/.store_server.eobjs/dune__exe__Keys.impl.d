@@ -1,0 +1,1 @@
+bin/keys.ml: Crypto List Store String

@@ -1,0 +1,1 @@
+bin/store_cli.ml: Arg Array Cmd Cmdliner Keys Printf Store String Tcpnet Term

@@ -1,0 +1,1 @@
+bin/store_cli.mli:

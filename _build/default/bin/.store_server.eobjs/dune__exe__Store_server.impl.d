@@ -1,0 +1,1 @@
+bin/store_server.ml: Arg Cmd Cmdliner Keys Mutex Printf Store Sys Tcpnet Term Thread

@@ -1,0 +1,1 @@
+bin/store_server.mli:

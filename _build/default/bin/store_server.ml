@@ -1,0 +1,97 @@
+(* A secure store server daemon.
+
+     dune exec bin/store_server.exe -- --id 0 --port 7000 --n 4 --b 1 \
+       --peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+
+   Peers are the *other* servers' endpoints, used for gossip pushes. *)
+
+open Cmdliner
+
+let run id port n b clients guard log_depth peers gossip_period snapshot
+    snapshot_period =
+  let keyring = Keys.keyring (Keys.split_commas clients) in
+  let config =
+    {
+      (Store.Server.default_config ~n ~b) with
+      Store.Server.malicious_client_guard = guard;
+      log_depth;
+    }
+  in
+  (* A long-term store survives restarts: reload the last snapshot if one
+     exists, and persist periodically. *)
+  let server =
+    match snapshot with
+    | Some path when Sys.file_exists path -> (
+      match Store.Server.load_file ~config ~id ~keyring ~n ~b ~path () with
+      | Some server ->
+        Printf.printf "restored state from %s (%d items)\n%!" path
+          (Store.Server.item_count server);
+        server
+      | None ->
+        Printf.eprintf "warning: snapshot %s unreadable; starting fresh\n" path;
+        Store.Server.create ~config ~id ~keyring ~n ~b ())
+    | Some _ | None -> Store.Server.create ~config ~id ~keyring ~n ~b ()
+  in
+  (match snapshot with
+  | Some path ->
+    ignore
+      (Thread.create
+         (fun () ->
+           while true do
+             Thread.delay snapshot_period;
+             try Store.Server.save_file server ~path
+             with Sys_error msg -> Printf.eprintf "snapshot failed: %s\n" msg
+           done)
+         ())
+  | None -> ());
+  let gossip =
+    match peers with
+    | "" -> None
+    | peers -> (
+      match Keys.parse_endpoints peers with
+      | Some peers -> Some { Tcpnet.Server_host.peers; period = gossip_period }
+      | None -> failwith "bad --peers (expected host:port,host:port,...)")
+  in
+  let host = Tcpnet.Server_host.start ?gossip ~server ~port () in
+  Printf.printf "secure store server %d/%d (b=%d, guard=%b) listening on 127.0.0.1:%d\n%!"
+    id n b guard
+    (Tcpnet.Server_host.port host);
+  (* Serve until killed. *)
+  let forever = Mutex.create () in
+  Mutex.lock forever;
+  Mutex.lock forever
+
+let cmd =
+  let id = Arg.(value & opt int 0 & info [ "id" ] ~doc:"Server id (0..n-1).") in
+  let port = Arg.(value & opt int 7000 & info [ "port" ] ~doc:"Listen port (0 = ephemeral).") in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Total number of servers.") in
+  let b = Arg.(value & opt int 1 & info [ "b" ] ~doc:"Fault bound.") in
+  let clients =
+    Arg.(value & opt string "alice,bob,carol"
+         & info [ "clients" ] ~doc:"Comma-separated known client names (shared key universe).")
+  in
+  let guard =
+    Arg.(value & flag & info [ "guard" ] ~doc:"Enable the malicious-client guard (section 5.3).")
+  in
+  let log_depth =
+    Arg.(value & opt int 4 & info [ "log-depth" ] ~doc:"Overwritten values retained per item.")
+  in
+  let peers =
+    Arg.(value & opt string "" & info [ "peers" ] ~doc:"Peer endpoints for gossip (host:port,...).")
+  in
+  let gossip_period =
+    Arg.(value & opt float 1.0 & info [ "gossip-period" ] ~doc:"Seconds between gossip pushes.")
+  in
+  let snapshot =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~doc:"Persist state to this file and reload it on start.")
+  in
+  let snapshot_period =
+    Arg.(value & opt float 10.0 & info [ "snapshot-period" ] ~doc:"Seconds between snapshots.")
+  in
+  Cmd.v
+    (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
+    Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
+          $ snapshot $ snapshot_period)
+
+let () = exit (Cmd.eval cmd)

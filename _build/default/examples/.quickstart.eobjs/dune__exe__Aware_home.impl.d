@@ -1,0 +1,1 @@
+examples/aware_home.ml: Array Crypto Printf Sim Store String

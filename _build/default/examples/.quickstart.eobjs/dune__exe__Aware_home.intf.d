@@ -1,0 +1,1 @@
+examples/aware_home.mli:

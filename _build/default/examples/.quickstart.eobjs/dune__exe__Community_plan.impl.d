@@ -1,0 +1,1 @@
+examples/community_plan.ml: Array Crypto Printf Sim Store

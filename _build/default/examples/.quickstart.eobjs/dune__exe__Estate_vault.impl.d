@@ -1,0 +1,1 @@
+examples/estate_vault.ml: Array Crypto List Printf Sim Store String

@@ -1,0 +1,1 @@
+examples/estate_vault.mli:

@@ -1,0 +1,1 @@
+examples/school_news.mli:

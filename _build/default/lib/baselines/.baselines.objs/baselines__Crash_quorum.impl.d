@@ -1,0 +1,1 @@
+lib/baselines/crash_quorum.ml: Codec Fun Hashtbl List Option Printf Sim Store Wire

@@ -1,0 +1,1 @@
+lib/baselines/crash_quorum.mli: Sim

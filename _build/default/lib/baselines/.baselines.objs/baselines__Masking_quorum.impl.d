@@ -1,0 +1,1 @@
+lib/baselines/masking_quorum.ml: Codec Crypto Fun Hashtbl List Option Printf Sim Store Wire

@@ -1,0 +1,1 @@
+lib/baselines/masking_quorum.mli: Crypto Sim Store

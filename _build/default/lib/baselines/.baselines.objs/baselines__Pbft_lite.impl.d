@@ -1,0 +1,1 @@
+lib/baselines/pbft_lite.ml: Array Codec Crypto Hashtbl List Printf Sim Store String Wire

@@ -1,0 +1,1 @@
+lib/baselines/pbft_lite.mli: Sim

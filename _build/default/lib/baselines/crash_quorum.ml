@@ -1,0 +1,149 @@
+open Wire
+
+type stored = { ts : int; writer : string; value : string }
+type request = Read of { item : string } | Write of { item : string; s : stored }
+type response = Value of stored option | Ack
+
+let encode_stored enc s =
+  Codec.Enc.varint enc s.ts;
+  Codec.Enc.string enc s.writer;
+  Codec.Enc.string enc s.value
+
+let decode_stored dec =
+  let ts = Codec.Dec.varint dec in
+  let writer = Codec.Dec.string dec in
+  let value = Codec.Dec.string dec in
+  { ts; writer; value }
+
+let encode_request r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Read { item } ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.string enc item
+      | Write { item; s } ->
+        Codec.Enc.u8 enc 1;
+        Codec.Enc.string enc item;
+        encode_stored enc s)
+    ()
+
+let decode_request s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 -> Read { item = Codec.Dec.string dec }
+      | 1 ->
+        let item = Codec.Dec.string dec in
+        let s = decode_stored dec in
+        Write { item; s }
+      | _ -> raise (Codec.Error "bad request"))
+    s
+
+let encode_response r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Value v ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.option enc encode_stored v
+      | Ack -> Codec.Enc.u8 enc 1)
+    ()
+
+let decode_response s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 -> Value (Codec.Dec.option dec decode_stored)
+      | 1 -> Ack
+      | _ -> raise (Codec.Error "bad response"))
+    s
+
+module Server = struct
+  type t = { id : int; items : (string, stored) Hashtbl.t }
+
+  let create ~id = { id; items = Hashtbl.create 16 }
+
+  let handle t = function
+    | Read { item } -> Value (Hashtbl.find_opt t.items item)
+    | Write { item; s } ->
+      (match Hashtbl.find_opt t.items item with
+      | Some existing
+        when existing.ts > s.ts || (existing.ts = s.ts && existing.writer >= s.writer)
+        ->
+        ()
+      | Some _ | None -> Hashtbl.replace t.items item s);
+      Ack
+
+  let handler t ~now:_ ~from:_ payload =
+    Option.map (fun r -> encode_response (handle t r)) (decode_request payload)
+end
+
+type error = No_quorum of { wanted : int; got : int } | Not_found
+
+let error_to_string = function
+  | No_quorum { wanted; got } ->
+    Printf.sprintf "no quorum: wanted %d, got %d" wanted got
+  | Not_found -> "not found"
+
+type t = {
+  n : int;
+  q : int;
+  servers : Sim.Runtime.node_id list;
+  timeout : float;
+  uid : string;
+  mutable ts : int;
+}
+
+let create ~n ?servers ?(timeout = Sim.Runtime.default_timeout) ~uid () =
+  let servers = match servers with Some s -> s | None -> List.init n Fun.id in
+  { n; q = Store.Quorums.majority_quorum ~n; servers; timeout; uid; ts = 0 }
+
+let quorum t = t.q
+
+let rpc t ~quorum dsts request =
+  let payload = encode_request request in
+  let replies = Sim.Runtime.call_many ~timeout:t.timeout ~quorum dsts payload in
+  Store.Metrics.add_messages (List.length dsts + List.length replies);
+  List.filter_map
+    (fun (r : Sim.Runtime.reply) -> decode_response r.payload)
+    replies
+
+let first_k k l = List.filteri (fun i _ -> i < k) l
+
+let quorum_rpc t request =
+  let initial = first_k t.q t.servers in
+  let replies = rpc t ~quorum:t.q initial request in
+  if List.length replies >= t.q then Ok replies
+  else begin
+    let remaining = List.filter (fun s -> not (List.mem s initial)) t.servers in
+    let all = replies @ rpc t ~quorum:(t.q - List.length replies) remaining request in
+    if List.length all >= t.q then Ok all
+    else Error (No_quorum { wanted = t.q; got = List.length all })
+  end
+
+let write t ~item value =
+  t.ts <- t.ts + 1;
+  let s = { ts = t.ts; writer = t.uid; value } in
+  match quorum_rpc t (Write { item; s }) with
+  | Ok replies ->
+    let acks = List.length (List.filter (fun r -> r = Ack) replies) in
+    if acks >= t.q then Ok () else Error (No_quorum { wanted = t.q; got = acks })
+  | Error e -> Error e
+
+let read t ~item =
+  match quorum_rpc t (Read { item }) with
+  | Error e -> Error e
+  | Ok replies ->
+    let best =
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Value (Some s) -> (
+            match acc with
+            | Some (b : stored) when b.ts >= s.ts -> acc
+            | _ -> Some s)
+          | Value None | Ack -> acc)
+        None replies
+    in
+    (match best with Some s -> Ok s.value | None -> Error Not_found)

@@ -1,0 +1,29 @@
+(** Majority-quorum replicated register tolerating crash faults only.
+
+    The classical baseline: quorums of ⌈(n+1)/2⌉, any reply trusted.
+    Correct only when servers never lie — included so experiments can
+    show what Byzantine tolerance costs over plain fault tolerance. *)
+
+module Server : sig
+  type t
+
+  val create : id:int -> t
+  val handler : t -> now:float -> from:Sim.Runtime.node_id -> string -> string option
+end
+
+type error = No_quorum of { wanted : int; got : int } | Not_found
+
+type t
+
+val create :
+  n:int ->
+  ?servers:Sim.Runtime.node_id list ->
+  ?timeout:float ->
+  uid:string ->
+  unit ->
+  t
+
+val quorum : t -> int
+val write : t -> item:string -> string -> (unit, error) result
+val read : t -> item:string -> (string, error) result
+val error_to_string : error -> string

@@ -1,0 +1,249 @@
+open Wire
+
+(* ---- wire messages ---------------------------------------------------- *)
+
+type stored = { ts : int; writer : string; value : string; signature : string }
+
+type request = Read of { item : string } | Write of { item : string; s : stored }
+type response = Value of stored option | Ack
+
+let body ~item (s : stored) =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc "mq";
+      Codec.Enc.string enc item;
+      Codec.Enc.varint enc s.ts;
+      Codec.Enc.string enc s.writer;
+      Codec.Enc.string enc s.value)
+    ()
+
+let encode_stored enc s =
+  Codec.Enc.varint enc s.ts;
+  Codec.Enc.string enc s.writer;
+  Codec.Enc.string enc s.value;
+  Codec.Enc.string enc s.signature
+
+let decode_stored dec =
+  let ts = Codec.Dec.varint dec in
+  let writer = Codec.Dec.string dec in
+  let value = Codec.Dec.string dec in
+  let signature = Codec.Dec.string dec in
+  { ts; writer; value; signature }
+
+let encode_request r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Read { item } ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.string enc item
+      | Write { item; s } ->
+        Codec.Enc.u8 enc 1;
+        Codec.Enc.string enc item;
+        encode_stored enc s)
+    ()
+
+let decode_request s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 -> Read { item = Codec.Dec.string dec }
+      | 1 ->
+        let item = Codec.Dec.string dec in
+        let s = decode_stored dec in
+        Write { item; s }
+      | _ -> raise (Codec.Error "bad request"))
+    s
+
+let encode_response r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Value v ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.option enc encode_stored v
+      | Ack -> Codec.Enc.u8 enc 1)
+    ()
+
+let decode_response s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 -> Value (Codec.Dec.option dec decode_stored)
+      | 1 -> Ack
+      | _ -> raise (Codec.Error "bad response"))
+    s
+
+(* ---- server ------------------------------------------------------------ *)
+
+module Server = struct
+  type t = {
+    id : int;
+    keyring : Store.Keyring.t;
+    items : (string, stored) Hashtbl.t;
+  }
+
+  let create ~id ~keyring = { id; keyring; items = Hashtbl.create 16 }
+
+  let verify t ~item (s : stored) =
+    Store.Metrics.incr_server_verify ();
+    match Store.Keyring.find t.keyring s.writer with
+    | None -> false
+    | Some pub ->
+      Crypto.Rsa.verify pub ~msg:(body ~item s) ~signature:s.signature
+
+  let handle t = function
+    | Read { item } -> Value (Hashtbl.find_opt t.items item)
+    | Write { item; s } ->
+      if verify t ~item s then begin
+        (match Hashtbl.find_opt t.items item with
+        | Some existing
+          when existing.ts > s.ts
+               || (existing.ts = s.ts && existing.writer >= s.writer) ->
+          ()
+        | Some _ | None -> Hashtbl.replace t.items item s)
+      end;
+      (* Ack regardless; a rejected forgery just wastes the attacker's
+         message (replying keeps the protocol oblivious). *)
+      Ack
+
+  let handler t ~now:_ ~from:_ payload =
+    Option.map (fun r -> encode_response (handle t r)) (decode_request payload)
+end
+
+(* ---- client ------------------------------------------------------------ *)
+
+type error = No_quorum of { wanted : int; got : int } | Not_found
+
+let error_to_string = function
+  | No_quorum { wanted; got } ->
+    Printf.sprintf "no quorum: wanted %d, got %d" wanted got
+  | Not_found -> "not found"
+
+type t = {
+  n : int;
+  b : int;
+  q : int;
+  servers : Sim.Runtime.node_id list;
+  timeout : float;
+  two_phase : bool;
+  uid : string;
+  key : Crypto.Rsa.keypair;
+  keyring : Store.Keyring.t;
+  mutable ts : int;
+}
+
+let create ~n ~b ?servers ?(timeout = Sim.Runtime.default_timeout)
+    ?(two_phase = false) ~uid ~key ~keyring () =
+  if n < (4 * b) + 1 then
+    invalid_arg "Masking_quorum.create: liveness needs n >= 4b+1";
+  let servers = match servers with Some s -> s | None -> List.init n Fun.id in
+  {
+    n;
+    b;
+    q = Store.Quorums.masking_quorum ~n ~b;
+    servers;
+    timeout;
+    two_phase;
+    uid;
+    key;
+    keyring;
+    ts = 0;
+  }
+
+let quorum t = t.q
+
+let rpc t ~quorum dsts request =
+  let payload = encode_request request in
+  let replies = Sim.Runtime.call_many ~timeout:t.timeout ~quorum dsts payload in
+  Store.Metrics.add_messages (List.length dsts + List.length replies);
+  List.filter_map
+    (fun (r : Sim.Runtime.reply) ->
+      Option.map (fun resp -> (r.from, resp)) (decode_response r.payload))
+    replies
+
+let first_k k l = List.filteri (fun i _ -> i < k) l
+let rest_after chosen t = List.filter (fun s -> not (List.mem s chosen)) t.servers
+
+(* Gather at least [t.q] responses, expanding beyond the initial quorum
+   if some of its members are silent. *)
+let quorum_rpc t request =
+  let initial = first_k t.q t.servers in
+  let replies = rpc t ~quorum:t.q initial request in
+  if List.length replies >= t.q then Ok replies
+  else begin
+    let more =
+      rpc t ~quorum:(t.q - List.length replies) (rest_after initial t) request
+    in
+    let all = replies @ more in
+    if List.length all >= t.q then Ok all
+    else Error (No_quorum { wanted = t.q; got = List.length all })
+  end
+
+let max_ts replies =
+  List.fold_left
+    (fun acc (_, resp) ->
+      match resp with Value (Some s) -> max acc s.ts | _ -> acc)
+    0 replies
+
+let write t ~item value =
+  let ts =
+    if t.two_phase then begin
+      (* Classic first phase: read the quorum to choose a timestamp. *)
+      match quorum_rpc t (Read { item }) with
+      | Ok replies -> max (max_ts replies) t.ts + 1
+      | Error _ -> t.ts + 1
+    end
+    else t.ts + 1
+  in
+  t.ts <- ts;
+  Store.Metrics.incr_sign ();
+  let unsigned = { ts; writer = t.uid; value; signature = "" } in
+  let s =
+    { unsigned with signature = Crypto.Rsa.sign t.key (body ~item unsigned) }
+  in
+  (* Expand past the initial quorum until q servers have *acked*: a
+     Byzantine quorum member that answers writes with garbage is treated
+     like a silent one. *)
+  let request = Write { item; s } in
+  let acks replies = List.length (List.filter (fun (_, r) -> r = Ack) replies) in
+  let initial = first_k t.q t.servers in
+  let got = acks (rpc t ~quorum:t.q initial request) in
+  let got =
+    if got >= t.q then got
+    else got + acks (rpc t ~quorum:(t.q - got) (rest_after initial t) request)
+  in
+  if got >= t.q then Ok () else Error (No_quorum { wanted = t.q; got })
+
+(* A reply only counts once per server; b+1 *identical* replies mask the
+   b possibly-lying servers. *)
+let read t ~item =
+  match quorum_rpc t (Read { item }) with
+  | Error e -> Error e
+  | Ok replies ->
+    let votes : (stored, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (from, resp) ->
+        match resp with
+        | Value (Some s) -> (
+          match Hashtbl.find_opt votes s with
+          | Some froms -> if not (List.mem from !froms) then froms := from :: !froms
+          | None -> Hashtbl.add votes s (ref [ from ]))
+        | Value None | Ack -> ())
+      replies;
+    let best = ref None in
+    Hashtbl.iter
+      (fun (s : stored) froms ->
+        if List.length !froms >= t.b + 1 then
+          match !best with
+          | Some (chosen : stored) when chosen.ts >= s.ts -> ()
+          | _ -> best := Some s)
+      votes;
+    (match !best with
+    | None -> Error Not_found
+    | Some s ->
+      Store.Metrics.incr_verify ();
+      (match Store.Keyring.find t.keyring s.writer with
+      | Some pub when Crypto.Rsa.verify pub ~msg:(body ~item s) ~signature:s.signature ->
+        Ok s.value
+      | Some _ | None -> Error Not_found))

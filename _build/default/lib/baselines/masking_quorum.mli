@@ -1,0 +1,42 @@
+(** Byzantine masking-quorum replicated register (Malkhi-Reiter; the
+    Phalanx/Fleet construction the paper compares against in section 6).
+
+    Quorums of ⌈(n+2b+1)/2⌉ servers; any two overlap in at least 2b+1
+    servers, so b+1 correct servers witness every write — a reader
+    accepts the highest timestamp vouched for by b+1 identical replies.
+    Strong (safe-variable) semantics, paid for with larger quorums and
+    one verification per quorum member on write.
+
+    Writes are signed (self-verifying data); servers verify before
+    storing. The optional [two_phase] write first reads the quorum to
+    pick a timestamp — the classic protocol; the default single-phase
+    variant uses a client-local timestamp, matching the paper's
+    one-round-per-op accounting. *)
+
+module Server : sig
+  type t
+
+  val create : id:int -> keyring:Store.Keyring.t -> t
+  val handler : t -> now:float -> from:Sim.Runtime.node_id -> string -> string option
+end
+
+type error = No_quorum of { wanted : int; got : int } | Not_found
+
+type t
+
+val create :
+  n:int ->
+  b:int ->
+  ?servers:Sim.Runtime.node_id list ->
+  ?timeout:float ->
+  ?two_phase:bool ->
+  uid:string ->
+  key:Crypto.Rsa.keypair ->
+  keyring:Store.Keyring.t ->
+  unit ->
+  t
+
+val quorum : t -> int
+val write : t -> item:string -> string -> (unit, error) result
+val read : t -> item:string -> (string, error) result
+val error_to_string : error -> string

@@ -1,0 +1,369 @@
+open Wire
+
+type op = Put of { item : string; value : string } | Get of { item : string }
+
+let encode_op enc = function
+  | Put { item; value } ->
+    Codec.Enc.u8 enc 0;
+    Codec.Enc.string enc item;
+    Codec.Enc.string enc value
+  | Get { item } ->
+    Codec.Enc.u8 enc 1;
+    Codec.Enc.string enc item
+
+let decode_op dec =
+  match Codec.Dec.u8 dec with
+  | 0 ->
+    let item = Codec.Dec.string dec in
+    let value = Codec.Dec.string dec in
+    Put { item; value }
+  | 1 -> Get { item = Codec.Dec.string dec }
+  | _ -> raise (Codec.Error "bad op")
+
+type message =
+  | Request of { client : int; op_id : int; op : op }
+  | Pre_prepare of { seq : int; digest : string; client : int; op_id : int; op : op }
+  | Prepare of { seq : int; digest : string; replica : int }
+  | Commit of { seq : int; digest : string; replica : int }
+  | Reply of { op_id : int; replica : int; result : string }
+
+let encode_message m =
+  Codec.encode
+    (fun enc () ->
+      match m with
+      | Request { client; op_id; op } ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.varint enc client;
+        Codec.Enc.varint enc op_id;
+        encode_op enc op
+      | Pre_prepare { seq; digest; client; op_id; op } ->
+        Codec.Enc.u8 enc 1;
+        Codec.Enc.varint enc seq;
+        Codec.Enc.string enc digest;
+        Codec.Enc.varint enc client;
+        Codec.Enc.varint enc op_id;
+        encode_op enc op
+      | Prepare { seq; digest; replica } ->
+        Codec.Enc.u8 enc 2;
+        Codec.Enc.varint enc seq;
+        Codec.Enc.string enc digest;
+        Codec.Enc.varint enc replica
+      | Commit { seq; digest; replica } ->
+        Codec.Enc.u8 enc 3;
+        Codec.Enc.varint enc seq;
+        Codec.Enc.string enc digest;
+        Codec.Enc.varint enc replica
+      | Reply { op_id; replica; result } ->
+        Codec.Enc.u8 enc 4;
+        Codec.Enc.varint enc op_id;
+        Codec.Enc.varint enc replica;
+        Codec.Enc.string enc result)
+    ()
+
+let decode_message s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 ->
+        let client = Codec.Dec.varint dec in
+        let op_id = Codec.Dec.varint dec in
+        let op = decode_op dec in
+        Request { client; op_id; op }
+      | 1 ->
+        let seq = Codec.Dec.varint dec in
+        let digest = Codec.Dec.string dec in
+        let client = Codec.Dec.varint dec in
+        let op_id = Codec.Dec.varint dec in
+        let op = decode_op dec in
+        Pre_prepare { seq; digest; client; op_id; op }
+      | 2 ->
+        let seq = Codec.Dec.varint dec in
+        let digest = Codec.Dec.string dec in
+        let replica = Codec.Dec.varint dec in
+        Prepare { seq; digest; replica }
+      | 3 ->
+        let seq = Codec.Dec.varint dec in
+        let digest = Codec.Dec.string dec in
+        let replica = Codec.Dec.varint dec in
+        Commit { seq; digest; replica }
+      | 4 ->
+        let op_id = Codec.Dec.varint dec in
+        let replica = Codec.Dec.varint dec in
+        let result = Codec.Dec.string dec in
+        Reply { op_id; replica; result }
+      | _ -> raise (Codec.Error "bad message"))
+    s
+
+(* Pairwise session-key MAC authenticators (Castro-Liskov's trick for
+   avoiding signatures in the common case). The wire format is
+   body || 32-byte tag. *)
+let session_key ~src ~dst =
+  Printf.sprintf "pbft-session-%d-%d" (min src dst) (max src dst)
+
+let seal ~src ~dst body =
+  Store.Metrics.incr_mac ();
+  body ^ Crypto.Hmac.sha256 ~key:(session_key ~src ~dst) body
+
+let unseal ~src ~dst payload =
+  let n = String.length payload in
+  if n < 32 then None
+  else begin
+    let body = String.sub payload 0 (n - 32) in
+    let tag = String.sub payload (n - 32) 32 in
+    Store.Metrics.incr_mac ();
+    if Crypto.Hmac.verify ~key:(session_key ~src ~dst) ~msg:body ~tag then Some body
+    else None
+  end
+
+(* ----------------------------------------------------------------------- *)
+
+type slot = {
+  mutable digest : string option; (* from pre-prepare *)
+  mutable client : int;
+  mutable op_id : int;
+  mutable op : op option;
+  mutable prepares : int list; (* distinct replica ids *)
+  mutable commits : int list;
+  mutable prepare_sent : bool;
+  mutable commit_sent : bool;
+  mutable executed : bool;
+}
+
+let fresh_slot () =
+  {
+    digest = None;
+    client = -1;
+    op_id = -1;
+    op = None;
+    prepares = [];
+    commits = [];
+    prepare_sent = false;
+    commit_sent = false;
+    executed = false;
+  }
+
+type replica = {
+  id : int;
+  n : int;
+  f : int;
+  engine : Sim.Engine.t;
+  slots : (int, slot) Hashtbl.t;
+  kv : (string, string) Hashtbl.t;
+  mutable next_seq : int; (* primary only *)
+  mutable last_executed : int;
+}
+
+type cluster = { engine : Sim.Engine.t; n : int; f : int; replicas : replica array }
+
+let digest_of ~client ~op_id ~op =
+  Crypto.Sha256.digest
+    (Codec.encode
+       (fun enc () ->
+         Codec.Enc.varint enc client;
+         Codec.Enc.varint enc op_id;
+         encode_op enc op)
+       ())
+
+let post (r : replica) ~dst msg =
+  Store.Metrics.add_messages 1;
+  Sim.Engine.post r.engine ~src:r.id ~dst (seal ~src:r.id ~dst (encode_message msg))
+
+let multicast (r : replica) msg =
+  for dst = 0 to r.n - 1 do
+    if dst <> r.id then post r ~dst msg
+  done
+
+let slot (r : replica) seq =
+  match Hashtbl.find_opt r.slots seq with
+  | Some s -> s
+  | None ->
+    let s = fresh_slot () in
+    Hashtbl.replace r.slots seq s;
+    s
+
+let apply (r : replica) = function
+  | Put { item; value } ->
+    Hashtbl.replace r.kv item value;
+    ""
+  | Get { item } -> (
+    match Hashtbl.find_opt r.kv item with Some v -> v | None -> "")
+
+(* Execute committed slots strictly in sequence order. *)
+let rec try_execute (r : replica) =
+  let seq = r.last_executed + 1 in
+  match Hashtbl.find_opt r.slots seq with
+  | Some s
+    when (not s.executed)
+         && List.length s.commits >= (2 * r.f) + 1
+         && s.digest <> None -> (
+    match s.op with
+    | None -> ()
+    | Some op ->
+      s.executed <- true;
+      r.last_executed <- seq;
+      let result = apply r op in
+      post r ~dst:s.client (Reply { op_id = s.op_id; replica = r.id; result });
+      try_execute r)
+  | Some _ | None -> ()
+
+let record_prepare (r : replica) seq =
+  let s = slot r seq in
+  if
+    (not s.commit_sent)
+    && s.digest <> None
+    && List.length s.prepares >= 2 * r.f
+  then begin
+    s.commit_sent <- true;
+    (match s.digest with
+    | Some digest ->
+      s.commits <- r.id :: s.commits;
+      multicast r (Commit { seq; digest; replica = r.id })
+    | None -> ());
+    try_execute r
+  end
+
+let on_message (r : replica) = function
+  | Request { client; op_id; op } ->
+    if r.id = 0 then begin
+      (* Primary: order the request and open the three-phase exchange.
+         The pre-prepare stands in for the primary's prepare. *)
+      r.next_seq <- r.next_seq + 1;
+      let seq = r.next_seq in
+      let digest = digest_of ~client ~op_id ~op in
+      let s = slot r seq in
+      s.digest <- Some digest;
+      s.client <- client;
+      s.op_id <- op_id;
+      s.op <- Some op;
+      multicast r (Pre_prepare { seq; digest; client; op_id; op });
+      record_prepare r seq
+    end
+  | Pre_prepare { seq; digest; client; op_id; op } ->
+    let s = slot r seq in
+    if s.digest = None && String.equal digest (digest_of ~client ~op_id ~op)
+    then begin
+      s.digest <- Some digest;
+      s.client <- client;
+      s.op_id <- op_id;
+      s.op <- Some op;
+      if not s.prepare_sent then begin
+        s.prepare_sent <- true;
+        (* Own prepare counts; the primary's pre-prepare is implicit in
+           the 2f-from-backups rule and is never added here. *)
+        s.prepares <- r.id :: s.prepares;
+        multicast r (Prepare { seq; digest; replica = r.id })
+      end;
+      record_prepare r seq
+    end
+  | Prepare { seq; digest; replica } ->
+    let s = slot r seq in
+    (match s.digest with
+    | Some d when not (String.equal d digest) -> ()
+    | Some _ | None ->
+      if not (List.mem replica s.prepares) then
+        s.prepares <- replica :: s.prepares;
+      record_prepare r seq)
+  | Commit { seq; digest; replica } ->
+    let s = slot r seq in
+    (match s.digest with
+    | Some d when not (String.equal d digest) -> ()
+    | Some _ | None ->
+      if not (List.mem replica s.commits) then s.commits <- replica :: s.commits;
+      try_execute r)
+  | Reply _ -> ()
+
+let replica_handler (r : replica) ~now:_ ~from payload =
+  (match unseal ~src:from ~dst:r.id payload with
+  | None -> ()
+  | Some body -> (
+    match decode_message body with
+    | None -> ()
+    | Some msg -> on_message r msg));
+  None
+
+let create_cluster ~engine ~n ~f =
+  if n < (3 * f) + 1 then invalid_arg "Pbft_lite: need n >= 3f+1";
+  let replicas =
+    Array.init n (fun id ->
+        {
+          id;
+          n;
+          f;
+          engine;
+          slots = Hashtbl.create 64;
+          kv = Hashtbl.create 16;
+          next_seq = 0;
+          last_executed = 0;
+        })
+  in
+  Array.iter
+    (fun r -> Sim.Engine.add_server engine r.id (replica_handler r))
+    replicas;
+  { engine; n; f; replicas }
+
+let expected_messages_per_op ~n = 1 + (n - 1) + ((n - 1) * (n - 1)) + (n * (n - 1)) + n
+
+(* ----------------------------------------------------------------------- *)
+
+type client = {
+  cluster : cluster;
+  id : int;
+  mutable next_op : int;
+  replies : (int, (int * string) list ref) Hashtbl.t; (* op_id -> (replica, result) *)
+}
+
+type error = Timeout
+
+let client cluster ~id =
+  if id < cluster.n then invalid_arg "Pbft_lite.client: id collides with replicas";
+  let c = { cluster; id; next_op = 0; replies = Hashtbl.create 8 } in
+  Sim.Engine.add_server cluster.engine id (fun ~now:_ ~from payload ->
+      (match unseal ~src:from ~dst:id payload with
+      | None -> ()
+      | Some body -> (
+        match decode_message body with
+        | Some (Reply { op_id; replica; result }) -> (
+          match Hashtbl.find_opt c.replies op_id with
+          | Some cell ->
+            if not (List.mem_assoc replica !cell) then
+              cell := (replica, result) :: !cell
+          | None -> Hashtbl.add c.replies op_id (ref [ (replica, result) ]))
+        | Some _ | None -> ()));
+      None);
+  c
+
+(* f+1 matching results from distinct replicas. *)
+let accepted c ~op_id =
+  match Hashtbl.find_opt c.replies op_id with
+  | None -> None
+  | Some cell ->
+    let counts = Hashtbl.create 4 in
+    List.iter
+      (fun (_, result) ->
+        let k = match Hashtbl.find_opt counts result with Some v -> v | None -> 0 in
+        Hashtbl.replace counts result (k + 1))
+      !cell;
+    Hashtbl.fold
+      (fun result count acc ->
+        if count >= c.cluster.f + 1 then Some result else acc)
+      counts None
+
+let execute ?(timeout = 10.0) c op =
+  c.next_op <- c.next_op + 1;
+  let op_id = c.next_op in
+  Hashtbl.replace c.replies op_id (ref []);
+  let msg = Request { client = c.id; op_id; op } in
+  Store.Metrics.add_messages 1;
+  Sim.Runtime.send 0 (seal ~src:c.id ~dst:0 (encode_message msg));
+  let deadline = Sim.Runtime.now () +. timeout in
+  let rec wait () =
+    match accepted c ~op_id with
+    | Some result -> Ok result
+    | None ->
+      if Sim.Runtime.now () > deadline then Error Timeout
+      else begin
+        Sim.Runtime.sleep 0.0002;
+        wait ()
+      end
+  in
+  wait ()

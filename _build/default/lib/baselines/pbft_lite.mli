@@ -1,0 +1,37 @@
+(** PBFT-style state-machine replication (Castro & Liskov), reduced to
+    the normal-case three-phase protocol: PRE-PREPARE, PREPARE, COMMIT,
+    then execution in sequence order and replies to the client, which
+    accepts f+1 matching replies. View changes are not implemented — the
+    paper's comparison (section 6) is about normal-case cost, where the
+    protocol exchanges O(n²) messages per operation against the secure
+    store's O(b).
+
+    Replicas authenticate pairwise with HMAC session keys (the MAC-based
+    authenticators that make PBFT computationally cheap); every MAC
+    computed is counted in {!Store.Metrics} so the signature-vs-MAC
+    trade-off is measurable.
+
+    Runs only under {!Sim.Engine} (replicas originate messages on
+    receipt, which needs the engine's [post]). *)
+
+type cluster
+
+val create_cluster : engine:Sim.Engine.t -> n:int -> f:int -> cluster
+(** Registers replicas at node ids 0..n-1. Requires n >= 3f+1; replica 0
+    is the (fixed) primary. *)
+
+val expected_messages_per_op : n:int -> int
+(** The closed-form normal-case count:
+    1 + (n-1) + (n-1)² + n(n-1) + n. *)
+
+type client
+
+val client : cluster -> id:int -> client
+(** Register a client mailbox at node id [id] (use ids >= n). *)
+
+type op = Put of { item : string; value : string } | Get of { item : string }
+type error = Timeout
+
+val execute : ?timeout:float -> client -> op -> (string, error) result
+(** Run one operation through consensus. Must be called from an engine
+    fiber. [Put] returns "", [Get] the stored value ("" if absent). *)

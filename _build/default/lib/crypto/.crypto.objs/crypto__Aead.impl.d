@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Chacha20 Hmac Printf Prng String

@@ -1,0 +1,1 @@
+lib/crypto/gf_poly.ml: Array Gf256 Int List

@@ -1,0 +1,1 @@
+lib/crypto/ida.ml: Array Bytes Char Gf_poly Int List String

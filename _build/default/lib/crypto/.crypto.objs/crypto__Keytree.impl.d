@@ -1,0 +1,1 @@
+lib/crypto/keytree.ml: Aead Array Hashtbl List Option Prng

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Bignum Buffer Bytes Chacha20 Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Hexs Hmac Prime Sha256 String

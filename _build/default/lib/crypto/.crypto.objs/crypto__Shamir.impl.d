@@ -1,0 +1,1 @@
+lib/crypto/shamir.ml: Array Bytes Char Gf_poly Int List Prng String

@@ -1,0 +1,36 @@
+type key = { enc : string; mac : string }
+
+let key_of_string master =
+  {
+    enc = Hmac.sha256 ~key:master "securestore/aead/enc";
+    mac = Hmac.sha256 ~key:master "securestore/aead/mac";
+  }
+
+let tag_size = 32
+
+let mac_input ~nonce ~ad ~ct =
+  (* Unambiguous framing: lengths precede variable fields. *)
+  Printf.sprintf "%d:%d:%s%s%s" (String.length ad) (String.length ct) nonce ad
+    ct
+
+let encrypt key ~nonce ?(ad = "") plaintext =
+  if String.length nonce <> Chacha20.nonce_size then
+    invalid_arg "Aead.encrypt: nonce size";
+  let ct = Chacha20.encrypt ~key:key.enc ~nonce plaintext in
+  let tag = Hmac.sha256 ~key:key.mac (mac_input ~nonce ~ad ~ct) in
+  nonce ^ ct ^ tag
+
+let decrypt key ?(ad = "") blob =
+  let n = String.length blob in
+  if n < Chacha20.nonce_size + tag_size then None
+  else begin
+    let nonce = String.sub blob 0 Chacha20.nonce_size in
+    let ct_len = n - Chacha20.nonce_size - tag_size in
+    let ct = String.sub blob Chacha20.nonce_size ct_len in
+    let tag = String.sub blob (Chacha20.nonce_size + ct_len) tag_size in
+    if Hmac.verify ~key:key.mac ~msg:(mac_input ~nonce ~ad ~ct) ~tag then
+      Some (Chacha20.encrypt ~key:key.enc ~nonce ct)
+    else None
+  end
+
+let random_nonce rng = Prng.bytes rng Chacha20.nonce_size

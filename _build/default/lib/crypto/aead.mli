@@ -1,0 +1,21 @@
+(** Authenticated encryption: ChaCha20 encrypt-then-HMAC-SHA256.
+
+    Used by the store's confidentiality layer (paper section 5.2/5.3):
+    values are encrypted under keys the servers never learn, so a
+    compromised server can leak only meta-data. Encryption and MAC keys
+    are derived from one master key; the tag covers nonce, associated
+    data, and ciphertext. *)
+
+type key
+
+val key_of_string : string -> key
+(** Any string; internally expanded with HKDF-style HMAC derivation. *)
+
+val encrypt : key -> nonce:string -> ?ad:string -> string -> string
+(** [encrypt k ~nonce pt] is [nonce || ciphertext || tag].
+    Nonce must be 12 bytes; never reuse one per key. *)
+
+val decrypt : key -> ?ad:string -> string -> string option
+(** [None] if the tag fails or the blob is malformed. *)
+
+val random_nonce : Prng.t -> string

@@ -1,0 +1,77 @@
+let key_size = 32
+let nonce_size = 12
+let mask32 = 0xffffffff
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let word32_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let init_state ~key ~nonce ~counter =
+  if String.length key <> key_size then invalid_arg "Chacha20: key size";
+  if String.length nonce <> nonce_size then invalid_arg "Chacha20: nonce size";
+  let st = Array.make 16 0 in
+  (* "expand 32-byte k" *)
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- word32_le key (4 * i)
+  done;
+  st.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    st.(13 + i) <- word32_le nonce (4 * i)
+  done;
+  st
+
+let block ~key ~nonce ~counter =
+  let init = init_state ~key ~nonce ~counter in
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (st.(i) + init.(i)) land mask32 in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let keystream ~key ~nonce ~counter n =
+  let out = Buffer.create n in
+  let blocks = (n + 63) / 64 in
+  for i = 0 to blocks - 1 do
+    let b = block ~key ~nonce ~counter:(counter + i) in
+    let take = min 64 (n - (64 * i)) in
+    Buffer.add_substring out b 0 take
+  done;
+  Buffer.contents out
+
+let encrypt ~key ~nonce ?(counter = 1) plaintext =
+  let n = String.length plaintext in
+  let ks = keystream ~key ~nonce ~counter n in
+  String.init n (fun i -> Char.chr (Char.code plaintext.[i] lxor Char.code ks.[i]))

@@ -1,0 +1,20 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    Keys are 32 bytes, nonces 12 bytes. Encryption and decryption are the
+    same XOR operation. *)
+
+val key_size : int
+(** 32. *)
+
+val nonce_size : int
+(** 12. *)
+
+val block : key:string -> nonce:string -> counter:int -> string
+(** One 64-byte keystream block for the given 32-bit block [counter]. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the input with the keystream starting at block [counter]
+    (default 1, per the RFC's AEAD convention). *)
+
+val keystream : key:string -> nonce:string -> counter:int -> int -> string
+(** [keystream ~key ~nonce ~counter n] is [n] bytes of raw keystream. *)

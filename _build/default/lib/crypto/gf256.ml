@@ -1,0 +1,36 @@
+(* Log/antilog tables over generator 3 (a primitive element for the AES
+   polynomial 0x11b). exp is doubled so that exp.(log a + log b) needs no
+   mod 255. *)
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    (* multiply by the generator 3 = x + 1: shift-add with reduction *)
+    let doubled = !x lsl 1 in
+    let doubled = if doubled land 0x100 <> 0 then doubled lxor 0x11b else doubled in
+    x := doubled lxor !x
+  done;
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let add a b = a lxor b
+let sub = add
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero else exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Gf256.pow: negative exponent";
+  if a = 0 then if k = 0 then 1 else 0
+  else exp_table.(log_table.(a) * k mod 255)

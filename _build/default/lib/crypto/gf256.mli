@@ -1,0 +1,18 @@
+(** Arithmetic in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+
+    Elements are ints in [0, 255]. Addition is XOR; multiplication uses
+    log/antilog tables over the generator 3. Substrate for
+    {!Shamir} secret sharing and {!Ida} information dispersal. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+(** Same as {!add} in characteristic 2. *)
+
+val mul : int -> int -> int
+
+val inv : int -> int
+(** @raise Division_by_zero on 0. *)
+
+val div : int -> int -> int
+val pow : int -> int -> int
+(** [pow a k] with [k >= 0]. *)

@@ -1,0 +1,65 @@
+let eval coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Gf256.add (Gf256.mul !acc x) coeffs.(i)
+  done;
+  !acc
+
+let check_points points =
+  if points = [] then invalid_arg "Gf_poly: no points";
+  let xs = List.map fst points in
+  if List.length (List.sort_uniq Int.compare xs) <> List.length xs then
+    invalid_arg "Gf_poly: duplicate x values"
+
+(* Multiply polynomial [p] by the monomial (x + c) — remember that + and
+   - coincide in GF(2^8), so (x - xj) is (x + xj). *)
+let mul_monomial p c =
+  let n = Array.length p in
+  let out = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    out.(i + 1) <- Gf256.add out.(i + 1) p.(i);
+    out.(i) <- Gf256.add out.(i) (Gf256.mul c p.(i))
+  done;
+  out
+
+let add_scaled target p scale =
+  Array.iteri
+    (fun i coeff -> target.(i) <- Gf256.add target.(i) (Gf256.mul scale coeff))
+    p
+
+(* Lagrange basis expansion: sum_j y_j * prod_{m<>j} (x + x_m)/(x_j + x_m). *)
+let interpolate points =
+  check_points points;
+  let k = List.length points in
+  let out = Array.make k 0 in
+  List.iter
+    (fun (xj, yj) ->
+      if yj <> 0 then begin
+        let basis = ref [| 1 |] in
+        let denom = ref 1 in
+        List.iter
+          (fun (xm, _) ->
+            if xm <> xj then begin
+              basis := mul_monomial !basis xm;
+              denom := Gf256.mul !denom (Gf256.add xj xm)
+            end)
+          points;
+        add_scaled out !basis (Gf256.div yj !denom)
+      end)
+    points;
+  out
+
+let interpolate_at points x0 =
+  check_points points;
+  List.fold_left
+    (fun acc (xj, yj) ->
+      let num = ref 1 and denom = ref 1 in
+      List.iter
+        (fun (xm, _) ->
+          if xm <> xj then begin
+            num := Gf256.mul !num (Gf256.add x0 xm);
+            denom := Gf256.mul !denom (Gf256.add xj xm)
+          end)
+        points;
+      Gf256.add acc (Gf256.mul yj (Gf256.div !num !denom)))
+    0 points

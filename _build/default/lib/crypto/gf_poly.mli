@@ -1,0 +1,14 @@
+(** Polynomials over GF(2^8), coefficient arrays lowest-degree first. *)
+
+val eval : int array -> int -> int
+(** Horner evaluation. *)
+
+val interpolate : (int * int) list -> int array
+(** Coefficients of the unique polynomial of degree < #points through
+    the given (x, y) points.
+    @raise Invalid_argument on duplicate x values or an empty list. *)
+
+val interpolate_at : (int * int) list -> int -> int
+(** Lagrange evaluation at a single point without building coefficients
+    (what Shamir reconstruction at x = 0 needs).
+    @raise Invalid_argument on duplicate x values or an empty list. *)

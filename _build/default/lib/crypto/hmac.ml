@@ -1,0 +1,32 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.init (String.length s) (fun i -> Char.chr (Char.code s.[i] lxor byte))
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_with key 0x36);
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_with key 0x5c);
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let equal_constant_time a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+let verify ~key ~msg ~tag = equal_constant_time (sha256 ~key msg) tag

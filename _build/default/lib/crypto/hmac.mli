@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104 / RFC 4231). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys longer than the SHA-256 block size are hashed first, per the RFC. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of [tag] against the recomputed tag. *)
+
+val equal_constant_time : string -> string -> bool
+(** Timing-safe string equality (length leaks, contents do not). *)

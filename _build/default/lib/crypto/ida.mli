@@ -1,0 +1,24 @@
+(** Rabin-style information dispersal over GF(2^8).
+
+    Splits a value into [n] fragments of which any [k] reconstruct it;
+    each fragment is roughly 1/k of the original size (plus a small
+    header), so dispersing to n servers costs n/k of the value instead
+    of the factor-n cost of full replication. Unlike {!Shamir}, this is
+    an erasure code, not a secret-sharing scheme: fewer than k fragments
+    still leak partial information, so confidential values should be
+    encrypted before dispersal (which is what {!Store.Dispersal} does). *)
+
+type fragment = { index : int; total_length : int; data : string }
+(** [index] in [1, 255]; [total_length] is the original value's size. *)
+
+val split : k:int -> n:int -> string -> fragment list
+(** @raise Invalid_argument unless 1 <= k <= n <= 255. *)
+
+val reconstruct : k:int -> fragment list -> string option
+(** Rebuild from at least [k] fragments with distinct indices (extras
+    ignored). [None] on too few fragments or inconsistent lengths.
+    Corrupted-but-well-formed fragments yield garbage — pair with
+    signatures or AEAD. *)
+
+val fragment_to_string : fragment -> string
+val fragment_of_string : string -> fragment option

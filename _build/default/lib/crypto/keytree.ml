@@ -1,0 +1,139 @@
+(* Heap-shaped binary tree: root is node 1, node v's children are 2v and
+   2v+1, leaves occupy [capacity, 2*capacity). A node's key exists iff
+   some member sits in its subtree (plus the root, which the manager
+   always keeps so the group key is defined). *)
+
+type rekey_message = { node : int; under : int; sealed : string }
+
+type manager = {
+  capacity : int;
+  keys : string option array; (* length 2*capacity *)
+  leaves : (string, int) Hashtbl.t; (* member name -> leaf node *)
+  prng : Prng.t;
+}
+
+type member = {
+  name : string;
+  leaf_key : string;
+  known : (int, string) Hashtbl.t; (* tree node -> key *)
+}
+
+let round_up_pow2 v =
+  let rec go p = if p >= v then p else go (2 * p) in
+  go 1
+
+let create_manager ~capacity ~seed =
+  if capacity < 1 then invalid_arg "Keytree.create_manager: capacity";
+  let capacity = round_up_pow2 capacity in
+  let t =
+    {
+      capacity;
+      keys = Array.make (2 * capacity) None;
+      leaves = Hashtbl.create 16;
+      prng = Prng.create ~seed:("keytree/" ^ seed);
+    }
+  in
+  t.keys.(1) <- Some (Prng.bytes t.prng 32);
+  t
+
+let group_key t = Option.get t.keys.(1)
+let members t = Hashtbl.fold (fun name _ acc -> name :: acc) t.leaves []
+
+let seal t ~under_key ~node newkey =
+  let key = Aead.key_of_string under_key in
+  let nonce = Aead.random_nonce t.prng in
+  Aead.encrypt key ~nonce ~ad:(string_of_int node) newkey
+
+(* Bottom-up list of the strict ancestors of [leaf]: parent first, root
+   last. *)
+let path_to_root _t leaf =
+  let rec up v acc = if v < 1 then List.rev acc else up (v / 2) (v :: acc) in
+  up (leaf / 2) []
+
+(* Re-key every strict ancestor of [leaf], bottom-up, emitting one sealed
+   copy of each new key per live child. Assumes the leaf's own key slot
+   already reflects the operation (set on join, cleared on leave). *)
+let rekey_path t leaf =
+  let messages = ref [] in
+  List.iter
+    (fun v ->
+      let live c = t.keys.(c) <> None in
+      let children = [ 2 * v; (2 * v) + 1 ] in
+      let live_children = List.filter live children in
+      if live_children = [] && v <> 1 then t.keys.(v) <- None
+      else begin
+        let fresh = Prng.bytes t.prng 32 in
+        List.iter
+          (fun c ->
+            match t.keys.(c) with
+            | Some child_key ->
+              messages :=
+                { node = v; under = c; sealed = seal t ~under_key:child_key ~node:v fresh }
+                :: !messages
+            | None -> ())
+          children;
+        t.keys.(v) <- Some fresh
+      end)
+    (path_to_root t leaf);
+  List.rev !messages
+
+let free_leaf t =
+  let rec find l =
+    if l >= 2 * t.capacity then None
+    else if t.keys.(l) = None then Some l
+    else find (l + 1)
+  in
+  find t.capacity
+
+let join t ~name ~leaf_key =
+  if Hashtbl.mem t.leaves name then
+    invalid_arg ("Keytree.join: member already present: " ^ name);
+  match free_leaf t with
+  | None -> invalid_arg "Keytree.join: group full"
+  | Some leaf ->
+    Hashtbl.replace t.leaves name leaf;
+    t.keys.(leaf) <- Some leaf_key;
+    rekey_path t leaf
+
+let leave t ~name =
+  match Hashtbl.find_opt t.leaves name with
+  | None -> raise Not_found
+  | Some leaf ->
+    Hashtbl.remove t.leaves name;
+    t.keys.(leaf) <- None;
+    rekey_path t leaf
+
+(* --- member side -------------------------------------------------------- *)
+
+let create_member ~name ~leaf_key = { name; leaf_key; known = Hashtbl.create 8 }
+
+let try_open ~under_key ~node sealed =
+  Aead.decrypt (Aead.key_of_string under_key) ~ad:(string_of_int node) sealed
+
+let apply m messages =
+  (* Iterate to a fixpoint so message order does not matter. *)
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun { node; under; sealed } ->
+        let attempt under_key remember_leaf =
+          match try_open ~under_key ~node sealed with
+          | Some key ->
+            if Hashtbl.find_opt m.known node <> Some key then begin
+              Hashtbl.replace m.known node key;
+              if remember_leaf then Hashtbl.replace m.known under m.leaf_key;
+              progressed := true
+            end
+          | None -> ()
+        in
+        match Hashtbl.find_opt m.known under with
+        | Some key -> attempt key false
+        | None ->
+          (* Maybe this is sealed under our personal leaf key; success
+             also teaches us our leaf's node id. *)
+          attempt m.leaf_key true)
+      messages
+  done
+
+let member_group_key m = Hashtbl.find_opt m.known 1

@@ -1,0 +1,51 @@
+(** Logical key hierarchy (LKH) for group key management — the
+    Wong-Gouda-Lam key-graph scheme the store's paper cites for
+    distributing and rotating the encryption key shared by a data item's
+    readers (section 5.2).
+
+    A manager (the data owner) maintains a binary tree of key-encrypting
+    keys; each member holds the keys on its leaf-to-root path, and the
+    root is the group key. Joining or evicting a member re-keys only that
+    path: O(log n) small rekey messages instead of O(n) unicast keys, and
+    an evicted member's stale keys decrypt none of them (forward
+    secrecy); path re-keying on join also denies new members old traffic
+    (backward secrecy).
+
+    Leaf keys stand for each member's personal secure channel with the
+    manager and are passed in explicitly. *)
+
+type manager
+type member
+
+type rekey_message = {
+  node : int;  (** tree node whose new key this carries *)
+  under : int;  (** tree node whose (current) key encrypts it *)
+  sealed : string;
+}
+
+val create_manager : capacity:int -> seed:string -> manager
+(** [capacity] (a power of two is rounded up to) bounds group size. *)
+
+val group_key : manager -> string
+(** The current root key (use it to key {!Aead}). *)
+
+val join : manager -> name:string -> leaf_key:string -> rekey_message list
+(** Admit a member. The returned messages must be broadcast to the whole
+    group (members ignore what they cannot decrypt). The new member's
+    path keys are sealed under [leaf_key].
+    @raise Invalid_argument if full or the name is already present. *)
+
+val leave : manager -> name:string -> rekey_message list
+(** Evict a member and re-key its path.
+    @raise Not_found for unknown members. *)
+
+val members : manager -> string list
+
+val create_member : name:string -> leaf_key:string -> member
+val apply : member -> rekey_message list -> unit
+(** Process a rekey broadcast: decrypt what the member's keys reach,
+    learning new path keys. Undecryptable messages are skipped. *)
+
+val member_group_key : member -> string option
+(** The group key as this member currently knows it; [None] before the
+    member has processed its join broadcast. *)

@@ -1,0 +1,65 @@
+let leaf_hash payload = Sha256.digest ("\x00" ^ payload)
+let node_hash l r = Sha256.digest ("\x01" ^ l ^ r)
+let empty_root = Sha256.digest "\x02merkle-empty"
+
+type tree = { leaves : string array; levels : string array list }
+(* [levels] runs from the leaf-hash level up to the singleton root level.
+   An odd node at the end of a level is promoted unchanged. *)
+
+type proof = { index : int; path : (string * [ `Left | `Right ]) list }
+
+let build_levels leaf_hashes =
+  let rec up acc level =
+    if Array.length level <= 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent =
+        Array.init ((n + 1) / 2) (fun i ->
+            if (2 * i) + 1 < n then node_hash level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      up (level :: acc) parent
+    end
+  in
+  up [] leaf_hashes
+
+let of_leaves payloads =
+  let leaves = Array.of_list payloads in
+  if Array.length leaves = 0 then { leaves; levels = [] }
+  else { leaves; levels = build_levels (Array.map leaf_hash leaves) }
+
+let size t = Array.length t.leaves
+
+let root t =
+  match List.rev t.levels with
+  | [] -> empty_root
+  | top :: _ -> top.(0)
+
+let prove t index =
+  if index < 0 || index >= Array.length t.leaves then None
+  else begin
+    let rec walk i levels acc =
+      match levels with
+      | [] | [ _ ] -> List.rev acc
+      | level :: rest ->
+        let sibling = if i land 1 = 0 then i + 1 else i - 1 in
+        let acc =
+          if sibling < Array.length level then
+            (level.(sibling), (if i land 1 = 0 then `Right else `Left)) :: acc
+          else acc
+        in
+        walk (i / 2) rest acc
+    in
+    Some { index; path = walk index t.levels [] }
+  end
+
+let verify ~root:expected ~leaf proof =
+  let h =
+    List.fold_left
+      (fun h (sibling, side) ->
+        match side with
+        | `Right -> node_hash h sibling
+        | `Left -> node_hash sibling h)
+      (leaf_hash leaf) proof.path
+  in
+  Hmac.equal_constant_time h expected

@@ -1,0 +1,26 @@
+(** Merkle hash trees over SHA-256.
+
+    Extension substrate: the Bayou follow-up the paper cites proposes
+    logging and auditing server writes; {!Store.Audit} uses these trees so
+    an auditor can verify a server's write log incrementally. *)
+
+type tree
+
+val of_leaves : string list -> tree
+(** Build a tree over leaf payloads. Leaf and node hashes are
+    domain-separated so a leaf cannot be confused with an inner node. *)
+
+val root : tree -> string
+(** 32-byte root hash; the root of the empty tree is a fixed constant. *)
+
+val size : tree -> int
+
+type proof = { index : int; path : (string * [ `Left | `Right ]) list }
+(** Sibling hashes from leaf to root; the tag says which side the sibling
+    joins from. *)
+
+val prove : tree -> int -> proof option
+(** Inclusion proof for the leaf at [index]. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Check that [leaf] is at [proof.index] under [root]. *)

@@ -1,0 +1,78 @@
+let small_primes =
+  (* Sieve of Eratosthenes below 2000. *)
+  let limit = 2000 in
+  let composite = Array.make limit false in
+  for i = 2 to limit - 1 do
+    if not composite.(i) then begin
+      let j = ref (i * i) in
+      while !j < limit do
+        composite.(!j) <- true;
+        j := !j + i
+      done
+    end
+  done;
+  let out = ref [] in
+  for i = limit - 1 downto 2 do
+    if not composite.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let passes_trial_division n =
+  let small = Bignum.to_int_opt n in
+  Array.for_all
+    (fun p ->
+      match small with
+      | Some v when v = p -> true
+      | _ -> Bignum.mod_int n p <> 0)
+    small_primes
+
+(* One Miller-Rabin round with base [a] for odd n = d * 2^s + 1. *)
+let miller_rabin_round ~n ~n1 ~d ~s a =
+  let x = Bignum.modexp ~base:a ~exp:d ~modulus:n in
+  if Bignum.equal x Bignum.one || Bignum.equal x n1 then true
+  else begin
+    let rec squares x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Bignum.modexp ~base:x ~exp:Bignum.two ~modulus:n in
+        if Bignum.equal x n1 then true else squares x (i + 1)
+      end
+    in
+    squares x 0
+  end
+
+let is_probably_prime ?(rounds = 24) rng n =
+  match Bignum.to_int_opt n with
+  | Some v when v < 4000000 ->
+    (* Exact for small values: trial-divide up to sqrt. *)
+    v >= 2
+    &&
+    let rec go d = d * d > v || (v mod d <> 0 && go (d + 1)) in
+    go 2
+  | _ ->
+    (not (Bignum.is_even n))
+    && passes_trial_division n
+    &&
+    let n1 = Bignum.sub_int n 1 in
+    let rec decompose d s =
+      if Bignum.is_even d then decompose (Bignum.shift_right d 1) (s + 1)
+      else (d, s)
+    in
+    let d, s = decompose n1 0 in
+    let kbits = Bignum.num_bits n in
+    let rec run i =
+      i >= rounds
+      ||
+      (* Base uniform-ish in [2, n-2]: draw kbits and reduce. *)
+      let a = Bignum.(add_int (rem (Prng.bits rng kbits) (sub_int n 3)) 2) in
+      miller_rabin_round ~n ~n1 ~d ~s a && run (i + 1)
+    in
+    run 0
+
+let generate ?rounds rng ~bits =
+  if bits < 8 then invalid_arg "Prime.generate: too few bits";
+  let rec search () =
+    let candidate = Prng.odd_with_top_bits rng bits in
+    if is_probably_prime ?rounds rng candidate then candidate else search ()
+  in
+  search ()

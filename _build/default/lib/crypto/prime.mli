@@ -1,0 +1,13 @@
+(** Probabilistic primality testing and prime generation. *)
+
+val small_primes : int array
+(** Primes below 2000, for trial division. *)
+
+val is_probably_prime : ?rounds:int -> Prng.t -> Bignum.t -> bool
+(** Trial division by {!small_primes} followed by [rounds] Miller-Rabin
+    iterations with bases drawn from the generator (default 24 rounds,
+    error probability below 4^-24). *)
+
+val generate : ?rounds:int -> Prng.t -> bits:int -> Bignum.t
+(** A random probable prime with exactly [bits] bits and the two top bits
+    set. [bits] must be at least 8. *)

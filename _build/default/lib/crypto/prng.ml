@@ -1,0 +1,76 @@
+type t = {
+  key : string;
+  mutable block_counter : int;
+  mutable buffer : string;
+  mutable pos : int;
+}
+
+let nonce = String.make Chacha20.nonce_size '\000'
+
+let create ~seed =
+  { key = Sha256.digest seed; block_counter = 0; buffer = ""; pos = 0 }
+
+let refill t =
+  (* Pull 16 blocks (1 KiB) at a time to amortize setup. *)
+  t.buffer <- Chacha20.keystream ~key:t.key ~nonce ~counter:t.block_counter 1024;
+  t.block_counter <- t.block_counter + 16;
+  t.pos <- 0
+
+let bytes t n =
+  let out = Buffer.create n in
+  let remaining = ref n in
+  while !remaining > 0 do
+    if t.pos >= String.length t.buffer then refill t;
+    let take = min !remaining (String.length t.buffer - t.pos) in
+    Buffer.add_substring out t.buffer t.pos take;
+    t.pos <- t.pos + take;
+    remaining := !remaining - take
+  done;
+  Buffer.contents out
+
+let byte t = Char.code (bytes t 1).[0]
+
+let uint62 t =
+  let s = bytes t 8 in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[i]
+  done;
+  !v land max_int
+
+let int_below t bound =
+  if bound <= 0 then invalid_arg "Prng.int_below: non-positive bound";
+  (* Rejection sampling over the smallest power-of-two envelope. *)
+  let rec mask_for m = if m >= bound - 1 then m else mask_for ((m lsl 1) lor 1) in
+  let mask = if bound = 1 then 0 else mask_for 1 in
+  let rec draw () =
+    let v = uint62 t land mask in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let float_unit t = float_of_int (uint62 t land ((1 lsl 53) - 1)) /. 9007199254740992.0
+
+let bits t k =
+  if k <= 0 then Bignum.zero
+  else begin
+    let nbytes = (k + 7) / 8 in
+    let s = Bytes.of_string (bytes t nbytes) in
+    let extra = (8 * nbytes) - k in
+    (* Zero the surplus high bits of the leading byte. *)
+    Bytes.set s 0 (Char.chr (Char.code (Bytes.get s 0) land (0xff lsr extra)));
+    Bignum.of_bytes_be (Bytes.unsafe_to_string s)
+  end
+
+let odd_with_top_bits t k =
+  if k < 3 then invalid_arg "Prng.odd_with_top_bits: too few bits";
+  let v = bits t k in
+  let v = Bignum.(if is_even v then add_int v 1 else v) in
+  let top = Bignum.(add (shift_left one (k - 1)) (shift_left one (k - 2))) in
+  (* Force the two top bits by OR-style addition of any missing one. *)
+  let v = if Bignum.bit v (k - 1) then v else Bignum.(add v (shift_left one (k - 1))) in
+  let v = if Bignum.bit v (k - 2) then v else Bignum.(add v (shift_left one (k - 2))) in
+  assert (Bignum.compare v top >= 0);
+  v
+
+let split t ~label = create ~seed:(t.key ^ ":" ^ label)

@@ -1,0 +1,33 @@
+(** Deterministic cryptographic pseudo-random generator.
+
+    ChaCha20 keystream keyed by SHA-256 of a seed string. Deterministic by
+    construction: the same seed always yields the same stream, which keeps
+    key generation and experiments reproducible. *)
+
+type t
+
+val create : seed:string -> t
+
+val bytes : t -> int -> string
+(** The next [n] bytes of the stream. *)
+
+val byte : t -> int
+(** One byte, as an int in [0, 255]. *)
+
+val int_below : t -> int -> int
+(** Uniform in [0, bound); rejection-sampled. [bound] must be positive and
+    fit in 62 bits. *)
+
+val float_unit : t -> float
+(** Uniform in [0, 1). *)
+
+val bits : t -> int -> Bignum.t
+(** A uniform [k]-bit value (top bits may be zero). *)
+
+val odd_with_top_bits : t -> int -> Bignum.t
+(** A [k]-bit odd value with the two most significant bits set — the shape
+    of an RSA prime candidate (ensures products of two such reach the full
+    modulus width). *)
+
+val split : t -> label:string -> t
+(** An independent generator derived from this one's seed and [label]. *)

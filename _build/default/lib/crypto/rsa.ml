@@ -1,0 +1,71 @@
+type public = { n : Bignum.t; e : Bignum.t }
+
+type keypair = {
+  public : public;
+  d : Bignum.t;
+  p : Bignum.t;
+  q : Bignum.t;
+}
+
+let e_value = Bignum.of_int 65537
+
+(* DER DigestInfo prefix for SHA-256 (RFC 8017, section 9.2 notes). *)
+let sha256_digest_info = Hexs.decode "3031300d060960864801650304020105000420"
+
+let modulus_bytes pub = (Bignum.num_bits pub.n + 7) / 8
+
+(* EMSA-PKCS1-v1_5: 0x00 01 FF..FF 00 || DigestInfo || H(msg). *)
+let encode_message ~em_len msg =
+  let t = sha256_digest_info ^ Sha256.digest msg in
+  let t_len = String.length t in
+  if em_len < t_len + 11 then invalid_arg "Rsa: modulus too small for SHA-256";
+  let ps = String.make (em_len - t_len - 3) '\xff' in
+  "\x00\x01" ^ ps ^ "\x00" ^ t
+
+let generate ?(bits = 512) rng =
+  if bits < 512 then invalid_arg "Rsa.generate: need at least 512 bits";
+  let half = bits / 2 in
+  let rec keys () =
+    let p = Prime.generate rng ~bits:half in
+    let q = Prime.generate rng ~bits:(bits - half) in
+    if Bignum.equal p q then keys ()
+    else begin
+      let n = Bignum.mul p q in
+      let phi = Bignum.(mul (sub_int p 1) (sub_int q 1)) in
+      match Bignum.mod_inverse e_value ~modulus:phi with
+      | None -> keys ()
+      | Some d -> { public = { n; e = e_value }; d; p; q }
+    end
+  in
+  keys ()
+
+let sign key msg =
+  let k = modulus_bytes key.public in
+  let em = Bignum.of_bytes_be (encode_message ~em_len:k msg) in
+  let s = Bignum.modexp ~base:em ~exp:key.d ~modulus:key.public.n in
+  Bignum.to_bytes_be ~len:k s
+
+let verify pub ~msg ~signature =
+  let k = modulus_bytes pub in
+  String.length signature = k
+  &&
+  let s = Bignum.of_bytes_be signature in
+  Bignum.compare s pub.n < 0
+  &&
+  let em = Bignum.modexp ~base:s ~exp:pub.e ~modulus:pub.n in
+  let recovered = Bignum.to_bytes_be ~len:k em in
+  Hmac.equal_constant_time recovered (encode_message ~em_len:k msg)
+
+let public_to_string pub = Bignum.to_hex pub.n ^ ":" ^ Bignum.to_hex pub.e
+
+let public_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    try
+      let n = Bignum.of_hex (String.sub s 0 i) in
+      let e = Bignum.of_hex (String.sub s (i + 1) (String.length s - i - 1)) in
+      if Bignum.is_zero n || Bignum.is_zero e then None else Some { n; e }
+    with Invalid_argument _ -> None)
+
+let fingerprint pub = String.sub (Sha256.hex_digest (public_to_string pub)) 0 16

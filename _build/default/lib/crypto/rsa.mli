@@ -1,0 +1,33 @@
+(** RSA signatures with PKCS#1 v1.5-style SHA-256 encoding.
+
+    The secure store signs every write message and every context blob; a
+    compromised server cannot forge either because it never holds a client
+    private key. Key sizes of 512 bits keep tests fast; 1024+ is available
+    for the crypto microbenchmarks. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+
+type keypair = {
+  public : public;
+  d : Bignum.t; (* private exponent *)
+  p : Bignum.t;
+  q : Bignum.t;
+}
+
+val generate : ?bits:int -> Prng.t -> keypair
+(** Fresh keypair with a [bits]-bit modulus (default 512) and e = 65537. *)
+
+val modulus_bytes : public -> int
+
+val sign : keypair -> string -> string
+(** Signature over SHA-256 of the message, one modulus-width string. *)
+
+val verify : public -> msg:string -> signature:string -> bool
+(** Total: malformed signatures return [false] rather than raising. *)
+
+val public_to_string : public -> string
+val public_of_string : string -> public option
+(** Compact serialization for embedding public keys in directories. *)
+
+val fingerprint : public -> string
+(** SHA-256 of the serialized public key, hex, first 16 chars. *)

@@ -1,0 +1,33 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Digests are returned as raw 32-byte strings; use {!Hexs.encode} for a
+    printable form. The streaming interface ({!init} / {!update} /
+    {!finalize}) processes input incrementally; {!digest} is the one-shot
+    convenience. *)
+
+type ctx
+(** Mutable hashing state. *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64. *)
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+(** Absorb the whole string. *)
+
+val update_sub : ctx -> string -> pos:int -> len:int -> unit
+(** Absorb [len] bytes of [s] starting at [pos]. *)
+
+val finalize : ctx -> string
+(** Pad, produce the 32-byte digest, and invalidate [ctx] for further
+    updates (further use raises [Invalid_argument]). *)
+
+val digest : string -> string
+(** [digest s] is the SHA-256 of [s] as a raw 32-byte string. *)
+
+val hex_digest : string -> string
+(** [hex_digest s = Hexs.encode (digest s)]. *)

@@ -1,0 +1,49 @@
+type share = { x : int; data : string }
+
+let split rng ~threshold ~shares secret =
+  if threshold < 1 || threshold > shares || shares > 255 then
+    invalid_arg "Shamir.split: need 1 <= threshold <= shares <= 255";
+  let len = String.length secret in
+  let outputs = Array.init shares (fun _ -> Bytes.create len) in
+  (* One random polynomial per secret byte, constant term = the byte. *)
+  let coeffs = Array.make threshold 0 in
+  for pos = 0 to len - 1 do
+    coeffs.(0) <- Char.code secret.[pos];
+    let random = Prng.bytes rng (threshold - 1) in
+    for i = 1 to threshold - 1 do
+      coeffs.(i) <- Char.code random.[i - 1]
+    done;
+    for s = 0 to shares - 1 do
+      Bytes.set outputs.(s) pos (Char.chr (Gf_poly.eval coeffs (s + 1)))
+    done
+  done;
+  List.init shares (fun s -> { x = s + 1; data = Bytes.unsafe_to_string outputs.(s) })
+
+let combine ~threshold shares =
+  let distinct =
+    List.sort_uniq (fun a b -> Int.compare a.x b.x) shares
+    |> List.filteri (fun i _ -> i < threshold)
+  in
+  match distinct with
+  | first :: _ when List.length distinct >= threshold ->
+    let len = String.length first.data in
+    if List.exists (fun s -> String.length s.data <> len) distinct then None
+    else if List.exists (fun s -> s.x < 1 || s.x > 255) distinct then None
+    else begin
+      let out = Bytes.create len in
+      for pos = 0 to len - 1 do
+        let points = List.map (fun s -> (s.x, Char.code s.data.[pos])) distinct in
+        Bytes.set out pos (Char.chr (Gf_poly.interpolate_at points 0))
+      done;
+      Some (Bytes.unsafe_to_string out)
+    end
+  | _ -> None
+
+let share_to_string s = String.make 1 (Char.chr s.x) ^ s.data
+
+let share_of_string s =
+  if String.length s < 1 then None
+  else begin
+    let x = Char.code s.[0] in
+    if x < 1 then None else Some { x; data = String.sub s 1 (String.length s - 1) }
+  end

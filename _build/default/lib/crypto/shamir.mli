@@ -1,0 +1,23 @@
+(** Shamir secret sharing over GF(2^8), byte-wise.
+
+    Any [threshold] of the [shares] reconstruct the secret; fewer reveal
+    information-theoretically nothing. The paper cites fragmentation-
+    scattering [Fray et al.] as a complementary technique: this is the
+    threshold primitive behind it, usable e.g. to escrow a family's
+    master key among trustees. *)
+
+type share = { x : int; data : string }
+(** [x] in [1, 255] identifies the share; [data] has the secret's length. *)
+
+val split : Prng.t -> threshold:int -> shares:int -> string -> share list
+(** @raise Invalid_argument unless 1 <= threshold <= shares <= 255. *)
+
+val combine : threshold:int -> share list -> string option
+(** Reconstruct from at least [threshold] shares (extras ignored).
+    [None] if there are too few shares, duplicate indices, or mismatched
+    lengths. Wrong-but-well-formed shares yield garbage, not an error —
+    pair with a digest or AEAD when integrity matters. *)
+
+val share_to_string : share -> string
+val share_of_string : string -> share option
+(** Compact serialization: 1 index byte then the data. *)

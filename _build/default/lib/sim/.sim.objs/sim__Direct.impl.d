@@ -1,0 +1,1 @@
+lib/sim/direct.ml: Effect Fun List Runtime

@@ -1,0 +1,1 @@
+lib/sim/srng.ml: Array Float Int64 List

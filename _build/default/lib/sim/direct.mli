@@ -1,0 +1,13 @@
+(** Synchronous, zero-latency interpretation of the {!Runtime} effects.
+
+    Unit tests use this to exercise protocol logic without a simulator:
+    every call reaches every destination instantly and in destination
+    order, time advances by a fixed epsilon per effect, forks run to
+    completion immediately. *)
+
+type handlers = Runtime.node_id -> from:Runtime.node_id -> string -> string option
+(** [handlers dst ~from request] dispatches to server [dst]; [None] means
+    no such server or no reply. *)
+
+val run : handlers:handlers -> (unit -> 'a) -> 'a
+(** Interpret the effects performed by the thunk. *)

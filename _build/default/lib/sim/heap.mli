@@ -1,0 +1,10 @@
+(** Imperative binary min-heap. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

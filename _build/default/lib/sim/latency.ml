@@ -1,0 +1,40 @@
+type model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+
+type t = { model : model; drop_probability : float }
+
+let make ?(drop_probability = 0.0) model = { model; drop_probability }
+
+let sample_delay model rng =
+  match model with
+  | Constant d -> d
+  | Uniform { lo; hi } -> Srng.uniform rng ~lo ~hi
+  | Exponential { mean } -> Srng.exponential rng ~mean
+  | Lognormal { mu; sigma } -> Srng.lognormal rng ~mu ~sigma
+
+let sample t rng =
+  if t.drop_probability > 0.0 && Srng.bool_with_probability rng t.drop_probability
+  then None
+  else Some (sample_delay t.model rng)
+
+let lan = make (Uniform { lo = 0.0001; hi = 0.0005 })
+
+(* exp(mu) is the median: mu = ln 0.040 for a 40 ms median one-way delay;
+   sigma 0.5 puts the 99th percentile around 130 ms. *)
+let wan = make ~drop_probability:0.005 (Lognormal { mu = log 0.040; sigma = 0.5 })
+
+let describe t =
+  let base =
+    match t.model with
+    | Constant d -> Printf.sprintf "constant %.4fs" d
+    | Uniform { lo; hi } -> Printf.sprintf "uniform [%.4fs, %.4fs]" lo hi
+    | Exponential { mean } -> Printf.sprintf "exponential mean %.4fs" mean
+    | Lognormal { mu; sigma } ->
+      Printf.sprintf "lognormal median %.4fs sigma %.2f" (exp mu) sigma
+  in
+  if t.drop_probability > 0.0 then
+    Printf.sprintf "%s, %.2f%% loss" base (100.0 *. t.drop_probability)
+  else base

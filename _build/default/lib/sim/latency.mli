@@ -1,0 +1,27 @@
+(** Network latency and loss models for the simulator.
+
+    All times are in seconds. A sample of [None] means the message is
+    dropped (loss, not delay). *)
+
+type model =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Lognormal of { mu : float; sigma : float }
+      (** One-way delay exp(mu + sigma·N(0,1)); heavy-tailed, WAN-like. *)
+
+type t = { model : model; drop_probability : float }
+
+val make : ?drop_probability:float -> model -> t
+
+val sample : t -> Srng.t -> float option
+(** One-way delay for a message, or [None] if dropped. *)
+
+val lan : t
+(** 0.1–0.5 ms uniform, lossless; a datacenter or home network. *)
+
+val wan : t
+(** Lognormal with ~40 ms median and a heavy tail to ~200 ms, 0.5% loss —
+    the widely-distributed community setting the paper targets. *)
+
+val describe : t -> string

@@ -1,0 +1,28 @@
+(** Fast deterministic random numbers for simulation (splitmix64).
+
+    Not cryptographic — use {!Crypto.Prng} for keys. Every experiment
+    threads one of these, seeded explicitly, so runs are reproducible. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val split : t -> t
+(** An independently-seeded child generator. *)
+
+val int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int_below : t -> int -> int
+(** Uniform in [0, bound); [bound] must be positive. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val exponential : t -> mean:float -> float
+val lognormal : t -> mu:float -> sigma:float -> float
+val bool_with_probability : t -> float -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

@@ -1,0 +1,73 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : float array option; (* cache, invalidated on add *)
+}
+
+let create () = { data = [||]; size = 0; sorted = None }
+
+let add t v =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let data = Array.make (max 64 (2 * cap)) 0.0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1;
+  t.sorted <- None
+
+let count t = t.size
+let values t = Array.sub t.data 0 t.size
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let require_nonempty t name =
+  if t.size = 0 then invalid_arg ("Stats." ^ name ^ ": empty")
+
+let mean t =
+  require_nonempty t "mean";
+  fold ( +. ) 0.0 t /. float_of_int t.size
+
+let min_value t =
+  require_nonempty t "min_value";
+  fold min infinity t
+
+let max_value t =
+  require_nonempty t "max_value";
+  fold max neg_infinity t
+
+let stddev t =
+  require_nonempty t "stddev";
+  let m = mean t in
+  let var = fold (fun acc v -> acc +. ((v -. m) ** 2.0)) 0.0 t /. float_of_int t.size in
+  sqrt var
+
+let sorted t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+    let s = values t in
+    Array.sort Float.compare s;
+    t.sorted <- Some s;
+    s
+
+let percentile t p =
+  require_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: out of range";
+  let s = sorted t in
+  let n = Array.length s in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  s.(max 0 (min (n - 1) (rank - 1)))
+
+let summary ?(unit_label = "") t =
+  if t.size = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.4g%s p50=%.4g%s p99=%.4g%s max=%.4g%s" t.size
+      (mean t) unit_label (percentile t 50.0) unit_label (percentile t 99.0)
+      unit_label (max_value t) unit_label

@@ -1,0 +1,21 @@
+(** Sample collection with summary statistics and percentiles. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 50.0] is the median (nearest-rank on the sorted
+    samples). Raises [Invalid_argument] when empty. *)
+
+val summary : ?unit_label:string -> t -> string
+(** "n=…, mean=…, p50=…, p99=…, max=…" one-liner. *)
+
+val values : t -> float array
+(** Copy of collected samples, insertion order. *)

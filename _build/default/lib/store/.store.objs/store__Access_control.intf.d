@@ -1,0 +1,1 @@
+lib/store/access_control.mli:

@@ -1,0 +1,1 @@
+lib/store/audit.ml: Array Crypto List Option Payload Server String

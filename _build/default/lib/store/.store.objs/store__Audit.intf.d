@@ -1,0 +1,1 @@
+lib/store/audit.mli: Crypto Payload Server

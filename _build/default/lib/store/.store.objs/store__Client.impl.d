@@ -1,0 +1,1 @@
+lib/store/client.ml: Array Context Crypto Fault_evidence Format Fun Hashtbl Keyring List Metrics Option Payload Quorums Result Signing Sim Stamp String Uid

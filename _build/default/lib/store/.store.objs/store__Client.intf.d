@@ -1,0 +1,1 @@
+lib/store/client.mli: Context Crypto Fault_evidence Format Keyring Payload Sim Stamp Uid

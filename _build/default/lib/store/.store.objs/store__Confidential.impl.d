@@ -1,0 +1,1 @@
+lib/store/confidential.ml: Client Crypto List

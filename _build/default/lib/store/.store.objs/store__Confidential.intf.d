@@ -1,0 +1,1 @@
+lib/store/confidential.mli: Client

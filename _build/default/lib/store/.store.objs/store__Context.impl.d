@@ -1,0 +1,1 @@
+lib/store/context.ml: Format List Map Stamp Uid Wire

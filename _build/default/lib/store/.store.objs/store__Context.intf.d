@@ -1,0 +1,1 @@
+lib/store/context.mli: Format Stamp Uid Wire

@@ -1,0 +1,1 @@
+lib/store/dispersal.ml: Array Crypto Fun Hashtbl Keyring List Metrics Payload Printf Signing Sim Stamp String Uid

@@ -1,0 +1,1 @@
+lib/store/dispersal.mli: Crypto Keyring Sim

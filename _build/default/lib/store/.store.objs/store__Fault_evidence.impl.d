@@ -1,0 +1,1 @@
+lib/store/fault_evidence.ml: Format Hashtbl Int List Printf String

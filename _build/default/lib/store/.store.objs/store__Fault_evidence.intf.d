@@ -1,0 +1,1 @@
+lib/store/fault_evidence.mli: Format

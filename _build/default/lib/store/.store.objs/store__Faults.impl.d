@@ -1,0 +1,1 @@
+lib/store/faults.ml: Char List Option Payload Server Stamp String

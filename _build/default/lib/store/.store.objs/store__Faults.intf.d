@@ -1,0 +1,1 @@
+lib/store/faults.mli: Keyring Payload Server Sim Uid

@@ -1,0 +1,1 @@
+lib/store/gossip.ml: Array Fun List Payload Server Sim

@@ -1,0 +1,1 @@
+lib/store/gossip.mli: Server Sim

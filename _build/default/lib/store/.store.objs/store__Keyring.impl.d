@@ -1,0 +1,1 @@
+lib/store/keyring.ml: Crypto Hashtbl

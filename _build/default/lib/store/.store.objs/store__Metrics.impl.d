@@ -1,0 +1,1 @@
+lib/store/metrics.ml: Format

@@ -1,0 +1,1 @@
+lib/store/payload.ml: Codec Context Format List Stamp Uid Wire

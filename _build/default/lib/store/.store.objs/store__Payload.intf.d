@@ -1,0 +1,1 @@
+lib/store/payload.mli: Context Format Stamp Uid

@@ -1,0 +1,1 @@
+lib/store/server.ml: Access_control Context Dec Enc Fun Hashtbl Keyring List Option Payload Signing Stamp String Sys Uid Wire

@@ -1,0 +1,1 @@
+lib/store/server.mli: Access_control Keyring Payload Sim Stamp Uid

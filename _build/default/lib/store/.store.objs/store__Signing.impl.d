@@ -1,0 +1,1 @@
+lib/store/signing.ml: Crypto Keyring Metrics Payload Stamp

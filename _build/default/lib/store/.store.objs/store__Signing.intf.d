@@ -1,0 +1,1 @@
+lib/store/signing.mli: Context Crypto Keyring Payload Stamp Uid

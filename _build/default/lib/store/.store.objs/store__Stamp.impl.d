@@ -1,0 +1,1 @@
+lib/store/stamp.ml: Crypto Format Int String Wire

@@ -1,0 +1,1 @@
+lib/store/stamp.mli: Format Wire

@@ -1,0 +1,85 @@
+open Wire
+
+type service = { secret : string }
+type rights = Read_only | Write_only | Read_write
+
+let create_service ~secret = { secret }
+
+let rights_tag = function Read_only -> 0 | Write_only -> 1 | Read_write -> 2
+
+let rights_of_tag = function
+  | 0 -> Some Read_only
+  | 1 -> Some Write_only
+  | 2 -> Some Read_write
+  | _ -> None
+
+let body ~client ~group ~rights ~expires =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc client;
+      Codec.Enc.string enc group;
+      Codec.Enc.u8 enc (rights_tag rights);
+      Codec.Enc.float enc expires)
+    ()
+
+let issue t ~client ~group ~rights ~expires =
+  let b = body ~client ~group ~rights ~expires in
+  let seal = Crypto.Hmac.sha256 ~key:t.secret b in
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc b;
+      Codec.Enc.string enc seal)
+    ()
+
+type verdict = Authorized | Denied of string
+
+let permits rights op =
+  match (rights, op) with
+  | (Read_only | Read_write), `Read -> true
+  | (Write_only | Read_write), `Write -> true
+  | Read_only, `Write | Write_only, `Read -> false
+
+let check t ~now ~token ?expect_client ~group ~op () =
+  match token with
+  | None -> Denied "missing token"
+  | Some token -> (
+    let parsed =
+      Codec.decode_opt
+        (fun dec ->
+          let b = Codec.Dec.string dec in
+          let seal = Codec.Dec.string dec in
+          (b, seal))
+        token
+    in
+    match parsed with
+    | None -> Denied "malformed token"
+    | Some (b, seal) ->
+      if not (Crypto.Hmac.verify ~key:t.secret ~msg:b ~tag:seal) then
+        Denied "bad seal"
+      else begin
+        match
+          Codec.decode_opt
+            (fun dec ->
+              let client = Codec.Dec.string dec in
+              let group = Codec.Dec.string dec in
+              let rights = Codec.Dec.u8 dec in
+              let expires = Codec.Dec.float dec in
+              (client, group, rights, expires))
+            b
+        with
+        | None -> Denied "malformed token body"
+        | Some (tok_client, tok_group, tag, expires) -> (
+          match rights_of_tag tag with
+          | None -> Denied "bad rights"
+          | Some rights ->
+            let client_mismatch =
+              match expect_client with
+              | Some c -> tok_client <> c
+              | None -> false
+            in
+            if client_mismatch then Denied "token bound to another client"
+            else if tok_group <> group then Denied "token bound to another group"
+            else if now > expires then Denied "token expired"
+            else if not (permits rights op) then Denied "insufficient rights"
+            else Authorized)
+      end)

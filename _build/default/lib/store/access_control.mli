@@ -1,0 +1,33 @@
+(** Capability tokens for request authorization.
+
+    The paper assumes "a secure authorization mechanism … effected by
+    using authorization tokens issued to clients by some secure
+    authorization service"; non-faulty servers reject unauthorized reads
+    and writes. This is that service: HMAC-sealed capabilities binding a
+    client to a group, a rights mask and an expiry. Servers share the
+    issuing secret (they are the relying parties). *)
+
+type service
+type rights = Read_only | Write_only | Read_write
+
+val create_service : secret:string -> service
+
+val issue :
+  service -> client:string -> group:string -> rights:rights -> expires:float -> string
+(** An opaque token string for the client to attach to requests. *)
+
+type verdict = Authorized | Denied of string
+
+val check :
+  service ->
+  now:float ->
+  token:string option ->
+  ?expect_client:string ->
+  group:string ->
+  op:[ `Read | `Write ] ->
+  unit ->
+  verdict
+(** Validates seal, group binding, rights and expiry. Writes additionally
+    pass [expect_client] (the message signer), which must match the
+    client the token was issued to — a stolen token cannot authorize
+    someone else's signed writes. *)

@@ -1,0 +1,38 @@
+type commitment = { server : int; size : int; root : string }
+
+let leaves server = List.map Payload.write_body (Server.audit_log server)
+
+let tree server = Crypto.Merkle.of_leaves (leaves server)
+
+let commit server =
+  let t = tree server in
+  { server = Server.id server; size = Crypto.Merkle.size t; root = Crypto.Merkle.root t }
+
+let prove_write server w =
+  let log = Server.audit_log server in
+  let target = Payload.write_body w in
+  let rec find i = function
+    | [] -> None
+    | entry :: rest ->
+      if String.equal (Payload.write_body entry) target then Some i
+      else find (i + 1) rest
+  in
+  match find 0 log with
+  | None -> None
+  | Some index ->
+    let t = tree server in
+    Option.map (fun proof -> (proof, commit server)) (Crypto.Merkle.prove t index)
+
+let check_proof commitment w proof =
+  Crypto.Merkle.verify ~root:commitment.root ~leaf:(Payload.write_body w) proof
+
+let roots_agree servers =
+  let canonical server =
+    List.sort String.compare
+      (List.map Payload.write_body (Server.audit_log server))
+  in
+  match Array.to_list servers with
+  | [] -> true
+  | first :: rest ->
+    let reference = canonical first in
+    List.for_all (fun s -> canonical s = reference) rest

@@ -1,0 +1,24 @@
+(** Write-log auditing (the Bayou follow-up's logging-and-auditing idea,
+    which the paper cites as the recovery story for corrupted servers).
+
+    Each server's announced-write history is committed to a Merkle root;
+    an auditor can demand inclusion proofs for any write a client claims
+    to have made, and compare roots across servers after full
+    dissemination. *)
+
+type commitment = { server : int; size : int; root : string }
+
+val commit : Server.t -> commitment
+(** Commit the server's audit log (oldest write first). *)
+
+val prove_write :
+  Server.t -> Payload.write -> (Crypto.Merkle.proof * commitment) option
+(** Inclusion proof for a specific write in the server's log. *)
+
+val check_proof : commitment -> Payload.write -> Crypto.Merkle.proof -> bool
+
+val roots_agree : Server.t array -> bool
+(** After {!Gossip.flood}, honest servers that saw the same writes in the
+    same order agree; disagreement localizes tampering. Order can differ
+    benignly, so this checks multiset equality of log entries, not raw
+    root equality. *)

@@ -1,0 +1,574 @@
+type consistency = MRC | CC
+type mode = Single_writer | Multi_writer
+
+type config = {
+  n : int;
+  b : int;
+  servers : Sim.Runtime.node_id list;
+  consistency : consistency;
+  mode : mode;
+  timeout : float;
+  paper_cost_model : bool;
+  read_spread : bool;
+  read_retries : int;
+  retry_delay : float;
+  verify_vouched : bool;
+  inline_read : bool;
+  timestamp_jitter : int;
+  evidence : Fault_evidence.t option;
+  token : string option;
+  seed : int;
+}
+
+let default_config ~n ~b =
+  (match Quorums.validate ~n ~b with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Client.default_config: " ^ msg));
+  {
+    n;
+    b;
+    servers = List.init n Fun.id;
+    consistency = MRC;
+    mode = Single_writer;
+    timeout = Sim.Runtime.default_timeout;
+    paper_cost_model = false;
+    read_spread = false;
+    read_retries = 2;
+    retry_delay = 0.05;
+    verify_vouched = false;
+    inline_read = false;
+    timestamp_jitter = 1;
+    evidence = None;
+    token = None;
+    seed = 0;
+  }
+
+type error =
+  | No_quorum of { wanted : int; got : int }
+  | Not_found of Uid.t
+  | Stale of { uid : Uid.t; wanted : Stamp.t }
+  | Writer_faulty of Uid.t
+  | Write_rejected
+  | Disconnected
+
+type opstats = {
+  mutable messages : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_rounds : int;
+  mutable read_failures : int;
+}
+
+type t = {
+  uid : string;
+  key : Crypto.Rsa.keypair;
+  keyring : Keyring.t;
+  group : string;
+  cfg : config;
+  rng : Sim.Srng.t;
+  mutable ctx : Context.t;
+  mutable ctx_seq : int;
+  mutable last_time : int;
+  mutable connected : bool;
+  opstats : opstats;
+}
+
+let uid t = t.uid
+let stats t = t.opstats
+let group t = t.group
+let context t = t.ctx
+let config t = t.cfg
+
+let pp_error fmt = function
+  | No_quorum { wanted; got } ->
+    Format.fprintf fmt "no quorum: wanted %d responses, got %d" wanted got
+  | Not_found uid -> Format.fprintf fmt "%a not found" Uid.pp uid
+  | Stale { uid; wanted } ->
+    Format.fprintf fmt "stale: no server proved %a at or beyond %a" Uid.pp uid
+      Stamp.pp wanted
+  | Writer_faulty uid -> Format.fprintf fmt "writer of %a deemed faulty" Uid.pp uid
+  | Write_rejected -> Format.pp_print_string fmt "write rejected"
+  | Disconnected -> Format.pp_print_string fmt "session disconnected"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* ---------------- RPC plumbing ---------------------------------------- *)
+
+let effective_b t =
+  match t.cfg.evidence with
+  | Some e -> Fault_evidence.effective_b e
+  | None -> t.cfg.b
+
+let report_proof t ~server event =
+  match t.cfg.evidence with
+  | Some e -> Fault_evidence.report_proof e ~server event
+  | None -> ()
+
+(* Protocol message accounting (paper section 6 counts both directions). *)
+let rpc t ~quorum dsts request =
+  let payload =
+    Payload.encode_envelope { Payload.token = t.cfg.token; request }
+  in
+  let replies =
+    Sim.Runtime.call_many ~timeout:t.cfg.timeout ~quorum dsts payload
+  in
+  Metrics.add_messages (List.length dsts + List.length replies);
+  Metrics.add_bytes
+    ((List.length dsts * String.length payload)
+    + List.fold_left
+        (fun acc (r : Sim.Runtime.reply) -> acc + String.length r.payload)
+        0 replies);
+  t.opstats.messages <- t.opstats.messages + List.length dsts + List.length replies;
+  (match t.cfg.evidence with
+  | Some e ->
+    let responded = List.map (fun (r : Sim.Runtime.reply) -> r.from) replies in
+    List.iter
+      (fun dst ->
+        if List.mem dst responded then Fault_evidence.clear_suspicion e ~server:dst
+        else Fault_evidence.report_suspicion e ~server:dst)
+      dsts
+  | None -> ());
+  List.filter_map
+    (fun (r : Sim.Runtime.reply) ->
+      Option.map (fun resp -> (r.from, resp)) (Payload.decode_response r.payload))
+    replies
+
+let send_oneway t dsts request =
+  let payload =
+    Payload.encode_envelope { Payload.token = t.cfg.token; request }
+  in
+  List.iter (fun dst -> Sim.Runtime.send dst payload) dsts;
+  Metrics.add_messages (List.length dsts);
+  Metrics.add_bytes (List.length dsts * String.length payload);
+  t.opstats.messages <- t.opstats.messages + List.length dsts
+
+(* First [k] preferred servers; when spreading, a random k-subset.
+   With an evidence store, proven-faulty servers are excluded and the
+   least-suspected come first. *)
+let server_universe t =
+  match t.cfg.evidence with
+  | Some e -> Fault_evidence.preferred_servers e
+  | None -> t.cfg.servers
+
+let server_set t k =
+  let universe = server_universe t in
+  let k = min k (List.length universe) in
+  if not t.cfg.read_spread then List.filteri (fun i _ -> i < k) universe
+  else begin
+    let arr = Array.of_list universe in
+    Sim.Srng.shuffle t.rng arr;
+    Array.to_list (Array.sub arr 0 k)
+  end
+
+let remaining_servers t chosen =
+  List.filter (fun s -> not (List.mem s chosen)) (server_universe t)
+
+(* A logical timestamp: strictly increasing per client, loosely tracking
+   the runtime clock (the paper's "current clock value"). *)
+let next_time t =
+  let now_us = int_of_float (Sim.Runtime.now () *. 1e6) in
+  let jitter =
+    if t.cfg.timestamp_jitter <= 1 then 1
+    else 1 + Sim.Srng.int_below t.rng t.cfg.timestamp_jitter
+  in
+  let time = max (t.last_time + jitter) now_us in
+  t.last_time <- time;
+  time
+
+let ensure_connected t k = if t.connected then k () else Error Disconnected
+
+(* ---------------- Context operations (Fig. 1) ------------------------- *)
+
+let best_valid_context t replies =
+  let records =
+    List.filter_map
+      (fun (from, resp) ->
+        match resp with
+        | Payload.Ctx_reply (Some record) -> Some (from, record)
+        | Payload.Ctx_reply None | _ -> None)
+      replies
+  in
+  let sorted =
+    List.sort
+      (fun ((_, a) : int * Payload.ctx_record) (_, b) -> compare b.seq a.seq)
+      records
+  in
+  (* Verify in freshness order; the first valid record is the answer, so
+     the best case costs exactly one verification (section 6). *)
+  List.find_map
+    (fun (from, record) ->
+      if Signing.verify_context t.keyring ~client:t.uid ~group:t.group record
+      then Some record
+      else begin
+        report_proof t ~server:from Fault_evidence.Forged_context;
+        None
+      end)
+    sorted
+
+let ctx_read t =
+  let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
+  let request = Payload.Ctx_read { client = t.uid; group = t.group } in
+  let initial = server_set t q in
+  let replies = rpc t ~quorum:q initial request in
+  let replies =
+    if List.length replies >= q then replies
+    else replies @ rpc t ~quorum:(q - List.length replies) (remaining_servers t initial) request
+  in
+  if List.length replies < q then
+    Error (No_quorum { wanted = q; got = List.length replies })
+  else Ok (best_valid_context t replies)
+
+let ctx_store t =
+  let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
+  t.ctx_seq <- t.ctx_seq + 1;
+  let record =
+    Signing.sign_context ~key:t.key ~client:t.uid ~group:t.group ~seq:t.ctx_seq
+      t.ctx
+  in
+  let request =
+    Payload.Ctx_write { client = t.uid; group = t.group; record }
+  in
+  let acks replies =
+    List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
+  in
+  let initial = server_set t q in
+  let replies = rpc t ~quorum:q initial request in
+  let got = acks replies in
+  let got =
+    if got >= q then got
+    else got + acks (rpc t ~quorum:(q - got) (remaining_servers t initial) request)
+  in
+  if got < q then Error (No_quorum { wanted = q; got }) else Ok ()
+
+(* ---------------- Reads ------------------------------------------------ *)
+
+(* Single-writer read round (Fig. 2): poll [read_set] servers for
+   meta-data, then fetch and verify from the freshest claimant downward. *)
+let single_read_round t ~uid ~floor ~set_size =
+  let dsts = server_set t set_size in
+  let metas = rpc t ~quorum:set_size dsts (Payload.Meta_query { uid }) in
+  let candidates =
+    List.filter_map
+      (fun (from, resp) ->
+        match resp with
+        | Payload.Meta_reply { stamp = Some s; _ } when Stamp.compare s floor >= 0 ->
+          Some (from, s)
+        | _ -> None)
+      metas
+  in
+  let ordered =
+    List.sort (fun (_, a) (_, b) -> Stamp.compare b a) candidates
+  in
+  let fetch (from, claimed) =
+    match rpc t ~quorum:1 [ from ] (Payload.Value_read { uid; stamp = claimed }) with
+    | (_, Payload.Value_reply (Some w)) :: _ ->
+      if
+        Uid.equal w.Payload.uid uid
+        && Stamp.compare w.Payload.stamp floor >= 0
+        && Signing.verify_write t.keyring w
+      then Some w
+      else begin
+        (* An honest server never stores an unverifiable write and never
+           serves a value older than the stamp it just claimed. *)
+        if not (Signing.check_write_quiet t.keyring w) then
+          report_proof t ~server:from Fault_evidence.Invalid_signature
+        else if Stamp.compare w.Payload.stamp claimed < 0 then
+          report_proof t ~server:from Fault_evidence.Stamp_regression;
+        None
+      end
+    | _ -> None
+  in
+  List.find_map fetch ordered
+
+(* One-round read: every polled server ships its whole current write;
+   take the freshest one that verifies and is at least as new as the
+   context floor. *)
+let inline_read_round t ~uid ~floor ~set_size =
+  let dsts = server_set t set_size in
+  let replies = rpc t ~quorum:set_size dsts (Payload.Read_inline { uid }) in
+  let candidates =
+    List.filter_map
+      (fun (from, resp) ->
+        match resp with
+        | Payload.Value_reply (Some w)
+          when Uid.equal w.Payload.uid uid
+               && Stamp.compare w.Payload.stamp floor >= 0 ->
+          Some (from, w)
+        | _ -> None)
+      replies
+  in
+  let ordered =
+    List.sort
+      (fun ((_, a) : int * Payload.write) (_, b) -> Stamp.compare b.stamp a.stamp)
+      candidates
+  in
+  List.find_map
+    (fun (from, w) ->
+      if Signing.verify_write t.keyring w then Some w
+      else begin
+        report_proof t ~server:from Fault_evidence.Invalid_signature;
+        None
+      end)
+    ordered
+
+(* Multi-writer read round (section 5.3): ask for write logs, accept a
+   value only when b+1 distinct servers vouch for its timestamp. *)
+let multi_read_round t ~uid ~floor ~set_size =
+  let vouch_needed = Quorums.mw_vouch ~b:(effective_b t) in
+  let dsts = server_set t set_size in
+  let replies = rpc t ~quorum:set_size dsts (Payload.Log_query { uid }) in
+  let table : (Stamp.t, (int list * Payload.write) ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let faulty_votes = ref [] in
+  List.iter
+    (fun (from, resp) ->
+      match resp with
+      | Payload.Log_reply { writes; writer_faulty } ->
+        if writer_faulty then faulty_votes := from :: !faulty_votes;
+        List.iter
+          (fun (w : Payload.write) ->
+            if Uid.equal w.uid uid then begin
+              Metrics.incr_digest ();
+              if Stamp.matches_value w.stamp w.value then
+                match Hashtbl.find_opt table w.stamp with
+                | Some cell ->
+                  let froms, kept = !cell in
+                  if not (List.mem from froms) then cell := (from :: froms, kept)
+                | None -> Hashtbl.add table w.stamp (ref ([ from ], w))
+            end)
+          writes
+      | _ -> ())
+    replies;
+  if List.length (List.sort_uniq compare !faulty_votes) >= vouch_needed then
+    `Writer_faulty
+  else begin
+    let best = ref None in
+    Hashtbl.iter
+      (fun stamp cell ->
+        let froms, w = !cell in
+        if
+          List.length froms >= vouch_needed
+          && Stamp.compare stamp floor >= 0
+          && ((not t.cfg.verify_vouched) || Signing.verify_write t.keyring w)
+        then
+          match !best with
+          | Some (s, _) when Stamp.compare s stamp >= 0 -> ()
+          | _ -> best := Some (stamp, w))
+      table;
+    match !best with Some (_, w) -> `Found w | None -> `Missing
+  end
+
+let apply_read_to_context t (w : Payload.write) =
+  (match (t.cfg.consistency, w.wctx) with
+  | CC, Some wctx -> t.ctx <- Context.merge t.ctx wctx
+  | CC, None | MRC, _ -> ());
+  t.ctx <- Context.observe t.ctx w.uid w.stamp
+
+let read_write t ~item =
+  ensure_connected t @@ fun () ->
+  t.opstats.reads <- t.opstats.reads + 1;
+  let uid = Uid.make ~group:t.group ~item in
+  let floor = Context.find t.ctx uid in
+  let base_set =
+    match t.cfg.mode with
+    | Single_writer -> Quorums.read_set ~b:(effective_b t)
+    | Multi_writer -> Quorums.mw_read_quorum ~b:(effective_b t)
+  in
+  let round set_size =
+    t.opstats.read_rounds <- t.opstats.read_rounds + 1;
+    match t.cfg.mode with
+    | Single_writer -> (
+      let result =
+        if t.cfg.inline_read then inline_read_round t ~uid ~floor ~set_size
+        else single_read_round t ~uid ~floor ~set_size
+      in
+      match result with
+      | Some w -> `Found w
+      | None ->
+        (* The inline fast path degrades to the standard protocol before
+           giving up on this round's server set. *)
+        if t.cfg.inline_read then begin
+          match single_read_round t ~uid ~floor ~set_size with
+          | Some w -> `Found w
+          | None -> `Missing
+        end
+        else `Missing)
+    | Multi_writer -> multi_read_round t ~uid ~floor ~set_size
+  in
+  (* Fig. 2's escape hatch: contact additional servers, then try later. *)
+  let rec attempt ~retries ~set_size =
+    match round set_size with
+    | `Found w ->
+      apply_read_to_context t w;
+      Ok w
+    | `Writer_faulty ->
+      t.opstats.read_failures <- t.opstats.read_failures + 1;
+      Error (Writer_faulty uid)
+    | `Missing ->
+      if set_size < t.cfg.n then attempt ~retries ~set_size:t.cfg.n
+      else if retries > 0 then begin
+        Sim.Runtime.sleep t.cfg.retry_delay;
+        attempt ~retries:(retries - 1) ~set_size:t.cfg.n
+      end
+      else begin
+        t.opstats.read_failures <- t.opstats.read_failures + 1;
+        if Stamp.equal floor Stamp.zero then Error (Not_found uid)
+        else Error (Stale { uid; wanted = floor })
+      end
+  in
+  attempt ~retries:t.cfg.read_retries ~set_size:base_set
+
+let read t ~item =
+  Result.map (fun (w : Payload.write) -> w.value) (read_write t ~item)
+
+(* ---------------- Writes ----------------------------------------------- *)
+
+let make_stamp t ~value =
+  match t.cfg.mode with
+  | Single_writer -> Stamp.scalar (next_time t)
+  | Multi_writer ->
+    Metrics.incr_digest ();
+    Stamp.multi ~time:(next_time t) ~writer:t.uid ~value
+
+let write t ~item value =
+  ensure_connected t @@ fun () ->
+  t.opstats.writes <- t.opstats.writes + 1;
+  let uid = Uid.make ~group:t.group ~item in
+  let stamp = make_stamp t ~value in
+  let wctx =
+    match t.cfg.consistency with
+    | CC ->
+      (* Fig. 2: bump the item's entry in the context first, then sign
+         the whole context with the value. *)
+      t.ctx <- Context.set t.ctx uid stamp;
+      Some t.ctx
+    | MRC -> None
+  in
+  let w = Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx value in
+  let fanout =
+    match t.cfg.mode with
+    | Single_writer -> Quorums.write_set ~b:(effective_b t)
+    | Multi_writer -> Quorums.mw_write_set ~b:(effective_b t)
+  in
+  let result =
+    if t.cfg.paper_cost_model then begin
+      send_oneway t (server_set t fanout)
+        (Payload.Write_req { write = w; await_ack = false });
+      Ok ()
+    end
+    else begin
+      let request = Payload.Write_req { write = w; await_ack = true } in
+      let acks replies =
+        List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
+      in
+      let initial = server_set t fanout in
+      let got = acks (rpc t ~quorum:fanout initial request) in
+      let got =
+        if got >= fanout then got
+        else got + acks (rpc t ~quorum:(fanout - got) (remaining_servers t initial) request)
+      in
+      if got >= fanout then Ok ()
+      else if got = 0 then Error Write_rejected
+      else Error (No_quorum { wanted = fanout; got })
+    end
+  in
+  (match (result, t.cfg.consistency) with
+  | Ok (), MRC -> t.ctx <- Context.observe t.ctx uid stamp
+  | Ok (), CC -> () (* already in the context *)
+  | Error _, _ -> ());
+  result
+
+(* ---------------- Context reconstruction ------------------------------ *)
+
+(* Read every item's signed current write from every server; keep, per
+   item, the freshest stamp whose signature checks out. *)
+let reconstruct_context t =
+  let request = Payload.Group_query { group = t.group } in
+  let replies = rpc t ~quorum:t.cfg.n t.cfg.servers request in
+  let per_item : (string, Payload.write list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, resp) ->
+      match resp with
+      | Payload.Group_reply writes ->
+        List.iter
+          (fun (w : Payload.write) ->
+            let key = Uid.to_string w.uid in
+            match Hashtbl.find_opt per_item key with
+            | Some cell -> cell := w :: !cell
+            | None -> Hashtbl.add per_item key (ref [ w ]))
+          writes
+      | _ -> ())
+    replies;
+  let ctx = ref Context.empty in
+  Hashtbl.iter
+    (fun _ cell ->
+      let ordered =
+        List.sort
+          (fun (a : Payload.write) b -> Stamp.compare b.stamp a.stamp)
+          !cell
+      in
+      match
+        List.find_opt (fun w -> Signing.verify_write t.keyring w) ordered
+      with
+      | Some w -> ctx := Context.observe !ctx w.Payload.uid w.Payload.stamp
+      | None -> ())
+    per_item;
+  t.ctx <- Context.merge t.ctx !ctx
+
+let reconstruct t =
+  ensure_connected t @@ fun () ->
+  reconstruct_context t;
+  Ok ()
+
+(* ---------------- Session lifecycle ----------------------------------- *)
+
+let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
+  (match Quorums.validate ~n:cfg.n ~b:cfg.b with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Client.connect: " ^ msg));
+  if List.length cfg.servers <> cfg.n then
+    invalid_arg "Client.connect: servers list must have length n";
+  let t =
+    {
+      uid;
+      key;
+      keyring;
+      group;
+      cfg;
+      rng = Sim.Srng.create (cfg.seed + Hashtbl.hash (uid, group));
+      ctx = Context.empty;
+      ctx_seq = 0;
+      last_time = 0;
+      connected = true;
+      opstats =
+        { messages = 0; reads = 0; writes = 0; read_rounds = 0; read_failures = 0 };
+    }
+  in
+  match ctx_read t with
+  | Error e -> Error e
+  | Ok (Some record) ->
+    t.ctx <- record.ctx;
+    t.ctx_seq <- record.seq;
+    (* Timestamps must keep increasing across sessions. *)
+    List.iter
+      (fun (_, stamp) -> t.last_time <- max t.last_time (Stamp.time stamp))
+      (Context.bindings t.ctx);
+    Ok t
+  | Ok None -> (
+    match recover with
+    | `Fresh -> Ok t
+    | `Reconstruct ->
+      reconstruct_context t;
+      List.iter
+        (fun (_, stamp) -> t.last_time <- max t.last_time (Stamp.time stamp))
+        (Context.bindings t.ctx);
+      Ok t)
+
+let disconnect t =
+  ensure_connected t @@ fun () ->
+  match ctx_store t with
+  | Ok () ->
+    t.connected <- false;
+    Ok ()
+  | Error e -> Error e

@@ -1,0 +1,123 @@
+(** Client sessions: where consistency is enforced.
+
+    The paper's central design decision is that servers are passive and
+    *clients* maintain consistency, using the context they carry between
+    sessions. This module implements:
+
+    - context acquisition and storage with ⌈(n+b+1)/2⌉ quorums (Fig. 1);
+    - context reconstruction from all servers after a crashed session;
+    - single-writer reads and writes under MRC or CC (Fig. 2), with
+      server-set expansion and retry when the wanted version has not yet
+      disseminated;
+    - the multi-writer protocol of section 5.3: 3-tuple timestamps,
+      2b+1 read quorums with b+1 vouching, fork reporting.
+
+    All network interaction goes through {!Sim.Runtime} effects, so the
+    same session code runs under the simulator, the synchronous test
+    harness, or a real transport. *)
+
+type consistency = MRC | CC
+type mode = Single_writer | Multi_writer
+
+type config = {
+  n : int;
+  b : int;
+  servers : Sim.Runtime.node_id list;  (** length n *)
+  consistency : consistency;
+  mode : mode;
+  timeout : float;
+  paper_cost_model : bool;
+      (** fire-and-forget data writes, exactly the b+1 (or 2b+1) one-way
+          messages of section 6; otherwise writes wait for acks and expand
+          on failure *)
+  read_spread : bool;
+      (** poll a random read set instead of a fixed one (exercises
+          dissemination; used by experiment E7) *)
+  read_retries : int;  (** try-later rounds before reporting staleness *)
+  retry_delay : float;
+  verify_vouched : bool;
+      (** also signature-check multi-writer reads (defense in depth; off
+          per the paper's cost accounting) *)
+  inline_read : bool;
+      (** one-round reads: ask b+1 servers for their whole current write
+          instead of meta-then-fetch; section 6's "read cost can equal
+          write cost" best case, at the price of shipping the value from
+          every polled server. Falls back to the two-round protocol when
+          no polled copy is fresh enough. *)
+  timestamp_jitter : int;
+      (** advance scalar timestamps by a random amount in [1, jitter] so
+          servers cannot count a confidential item's updates
+          (section 5.2); 1 = no jitter *)
+  evidence : Fault_evidence.t option;
+      (** dynamic quorums: accumulate proofs of server misbehaviour,
+          exclude proven-faulty servers, and shrink read sets and
+          context quorums to the effective fault bound (the Alvisi et
+          al. technique the paper cites). Share one evidence store
+          across a client's sessions to keep what it has learned. *)
+  token : string option;
+  seed : int;  (** client-local randomness (read-set spreading) *)
+}
+
+val default_config : n:int -> b:int -> config
+(** Single writer, MRC, reliable writes, servers [0..n-1].
+    @raise Invalid_argument when n < 3b+1. *)
+
+type error =
+  | No_quorum of { wanted : int; got : int }
+  | Not_found of Uid.t  (** no server reports the item at all *)
+  | Stale of { uid : Uid.t; wanted : Stamp.t }
+      (** no server could prove a value at least as fresh as the context *)
+  | Writer_faulty of Uid.t
+  | Write_rejected
+  | Disconnected
+
+type t
+
+type opstats = {
+  mutable messages : int;  (** protocol messages, this client only *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_rounds : int;  (** server-set polls across all reads *)
+  mutable read_failures : int;  (** stale / not-found / faulty outcomes *)
+}
+
+val stats : t -> opstats
+(** Live per-session counters (useful when several clients share the
+    global {!Metrics}). *)
+
+val uid : t -> string
+val group : t -> string
+val context : t -> Context.t
+val config : t -> config
+
+val connect :
+  ?recover:[ `Fresh | `Reconstruct ] ->
+  config:config ->
+  uid:string ->
+  key:Crypto.Rsa.keypair ->
+  keyring:Keyring.t ->
+  group:string ->
+  unit ->
+  (t, error) result
+(** Acquire the stored context (Fig. 1). When no validly signed context
+    is found: [`Fresh] (default) starts empty, [`Reconstruct] rebuilds it
+    from all servers' signed writes (section 5.1's recovery path). *)
+
+val disconnect : t -> (unit, error) result
+(** Store the updated context with a ⌈(n+b+1)/2⌉ quorum and end the
+    session. Further operations return {!Disconnected}. *)
+
+val write : t -> item:string -> string -> (unit, error) result
+(** Write a value to [group/item] under the session's consistency level. *)
+
+val read : t -> item:string -> (string, error) result
+val read_write : t -> item:string -> (Payload.write, error) result
+(** Like {!read} but returns the whole signed write (stamp, writer,
+    context). *)
+
+val reconstruct : t -> (unit, error) result
+(** Force context reconstruction from all servers (the expensive path for
+    sessions that ended without a context write-back). *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

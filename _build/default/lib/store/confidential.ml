@@ -1,0 +1,52 @@
+type t = {
+  mutable client : Client.t;
+  mutable key : Crypto.Aead.key;
+  rng : Crypto.Prng.t;
+}
+
+let make ~client ~key ?(rng_seed = "confidential-nonce-seed") () =
+  {
+    client;
+    key = Crypto.Aead.key_of_string key;
+    rng = Crypto.Prng.create ~seed:(rng_seed ^ "/" ^ Client.uid client);
+  }
+
+let client t = t.client
+
+let write t ~item value =
+  let nonce = Crypto.Aead.random_nonce t.rng in
+  let blob = Crypto.Aead.encrypt t.key ~nonce ~ad:item value in
+  Client.write t.client ~item blob
+
+let read_opt t ~item =
+  match Client.read t.client ~item with
+  | Error e -> Error e
+  | Ok blob -> Ok (Crypto.Aead.decrypt t.key ~ad:item blob)
+
+let read t ~item =
+  match read_opt t ~item with
+  | Error e -> Error e
+  | Ok (Some v) -> Ok v
+  | Ok None -> Error Client.Write_rejected
+
+let rotate_key t ~new_key ~items =
+  (* Read everything under the old key first; abort before writing if any
+     item is unavailable, so a half-rotated group is never produced by a
+     clean failure (a crash mid-loop still can be, as in the paper). *)
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest -> (
+      match read t ~item with
+      | Ok v -> collect ((item, v) :: acc) rest
+      | Error e -> Error e)
+  in
+  match collect [] items with
+  | Error e -> Error e
+  | Ok values ->
+    t.key <- Crypto.Aead.key_of_string new_key;
+    let rec rewrite = function
+      | [] -> Ok ()
+      | (item, v) :: rest -> (
+        match write t ~item v with Ok () -> rewrite rest | Error e -> Error e)
+    in
+    rewrite values

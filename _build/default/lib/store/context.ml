@@ -1,0 +1,49 @@
+module M = Map.Make (struct
+  type t = Uid.t
+
+  let compare = Uid.compare
+end)
+
+type t = Stamp.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let find t uid = match M.find_opt uid t with Some s -> s | None -> Stamp.zero
+let mem t uid = M.mem uid t
+let set t uid stamp = M.add uid stamp t
+
+let observe t uid stamp =
+  if Stamp.newer stamp ~than:(find t uid) then M.add uid stamp t else t
+
+let merge a b = M.fold (fun uid stamp acc -> observe acc uid stamp) b a
+
+let dominates a b =
+  M.for_all (fun uid stamp -> Stamp.compare (find a uid) stamp >= 0) b
+
+let bindings = M.bindings
+let cardinal = M.cardinal
+let of_bindings l = List.fold_left (fun acc (uid, s) -> M.add uid s acc) M.empty l
+let equal = M.equal Stamp.equal
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (uid, stamp) -> Format.fprintf fmt "%a=%a" Uid.pp uid Stamp.pp stamp))
+    (bindings t)
+
+let encode enc t =
+  Wire.Codec.Enc.list enc
+    (fun enc (uid, stamp) ->
+      Uid.encode enc uid;
+      Stamp.encode enc stamp)
+    (bindings t)
+
+let decode dec =
+  let entries =
+    Wire.Codec.Dec.list dec (fun dec ->
+        let uid = Uid.decode dec in
+        let stamp = Stamp.decode dec in
+        (uid, stamp))
+  in
+  of_bindings entries

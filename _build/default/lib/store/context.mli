@@ -1,0 +1,37 @@
+(** Client context: the per-group vector of (uid, timestamp) pairs that
+    records which writes the client has observed (paper section 5.1).
+
+    The client — not the servers — enforces consistency by comparing
+    server-reported timestamps against this vector. CC write messages
+    carry the writer's whole context so readers can pull causal
+    dependencies forward. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val find : t -> Uid.t -> Stamp.t
+(** The recorded stamp, or {!Stamp.zero} when the item is unknown. *)
+
+val mem : t -> Uid.t -> bool
+val set : t -> Uid.t -> Stamp.t -> t
+(** Unconditional update. *)
+
+val observe : t -> Uid.t -> Stamp.t -> t
+(** Keep the pointwise maximum — how reads advance the context. *)
+
+val merge : t -> t -> t
+(** Pointwise maximum of two vectors (CC read pulling in the writer's
+    context, Fig. 2). *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff every entry of [b] is <= the matching entry of
+    [a]. The paper's rule for choosing the "latest" stored context. *)
+
+val bindings : t -> (Uid.t * Stamp.t) list
+val cardinal : t -> int
+val of_bindings : (Uid.t * Stamp.t) list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t

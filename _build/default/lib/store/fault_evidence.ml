@@ -1,0 +1,60 @@
+type event = Invalid_signature | Stamp_regression | Forged_context
+
+let event_to_string = function
+  | Invalid_signature -> "invalid-signature"
+  | Stamp_regression -> "stamp-regression"
+  | Forged_context -> "forged-context"
+
+type t = {
+  universe : int list;
+  b : int;
+  proofs : (int, event) Hashtbl.t;
+  suspicion : (int, int) Hashtbl.t; (* demerit counter per server *)
+}
+
+let create ~servers ~b =
+  if servers = [] || b < 0 then invalid_arg "Fault_evidence.create";
+  { universe = servers; b; proofs = Hashtbl.create 4; suspicion = Hashtbl.create 8 }
+
+let servers t = t.universe
+
+let in_range t server = List.mem server t.universe
+
+let suspicion_of t server =
+  match Hashtbl.find_opt t.suspicion server with Some v -> v | None -> 0
+
+let report_proof t ~server event =
+  if in_range t server && not (Hashtbl.mem t.proofs server) then
+    Hashtbl.replace t.proofs server event
+
+let report_suspicion t ~server =
+  if in_range t server then
+    Hashtbl.replace t.suspicion server (suspicion_of t server + 1)
+
+let clear_suspicion t ~server =
+  if in_range t server then Hashtbl.remove t.suspicion server
+
+let is_proven t server = Hashtbl.mem t.proofs server
+let proof_of t server = Hashtbl.find_opt t.proofs server
+
+let proven t =
+  Hashtbl.fold (fun server _ acc -> server :: acc) t.proofs []
+  |> List.sort Int.compare
+
+let effective_b t = max 0 (t.b - Hashtbl.length t.proofs)
+
+let preferred_servers t =
+  t.universe
+  |> List.filter (fun s -> not (is_proven t s))
+  |> List.stable_sort (fun a b -> Int.compare (suspicion_of t a) (suspicion_of t b))
+
+let pp fmt t =
+  Format.fprintf fmt "evidence: b_eff=%d proven=[%s]" (effective_b t)
+    (String.concat "; "
+       (List.map
+          (fun s ->
+            Printf.sprintf "%d:%s" s
+              (match proof_of t s with
+              | Some e -> event_to_string e
+              | None -> "?"))
+          (proven t)))

@@ -1,0 +1,49 @@
+(** Client-side fault evidence and dynamic quorum sizing.
+
+    The paper cites dynamic Byzantine quorum systems (Alvisi, Malkhi,
+    Pierce, Reiter, Wright) as a way to shrink quorums when fewer than
+    [b] servers are actually faulty. This module implements the client
+    half: it accumulates *proofs* of misbehaviour — replies that could
+    not have come from an honest server, like a stored write with an
+    invalid signature or a value older than the stamp the same server
+    just claimed — and lowers the effective fault bound accordingly.
+
+    Safety: with [p] proven-faulty servers excluded, at most [b - p]
+    faults remain among the rest, so read sets of [b - p + 1] and
+    context quorums of ⌈(n + (b-p) + 1)/2⌉ retain their intersection
+    guarantees even against quorums taken at the old, larger sizes
+    (⌈(n+b'+1)/2⌉ + ⌈(n+b+1)/2⌉ − n ≥ b' + 1 whenever b' ≤ b).
+
+    Suspicion (timeouts, missing replies) is tracked separately and only
+    demotes a server in the preference order — it is never proof. *)
+
+type t
+
+type event =
+  | Invalid_signature  (** served a write that fails verification *)
+  | Stamp_regression  (** served a value older than its own meta claim *)
+  | Forged_context  (** served a context record failing verification *)
+
+val create : servers:int list -> b:int -> t
+(** [servers] is the node-id universe (the client's server list). *)
+
+val servers : t -> int list
+
+val report_proof : t -> server:int -> event -> unit
+(** Mark a server proven faulty (idempotent). Proofs never expire. *)
+
+val report_suspicion : t -> server:int -> unit
+val clear_suspicion : t -> server:int -> unit
+
+val is_proven : t -> int -> bool
+val proven : t -> int list
+val proof_of : t -> int -> event option
+
+val effective_b : t -> int
+(** [max 0 (b - #proven)]. *)
+
+val preferred_servers : t -> int list
+(** The universe minus the proven-faulty, least-suspected first (ties in
+    the original order). Clients build read sets from the front. *)
+
+val pp : Format.formatter -> t -> unit

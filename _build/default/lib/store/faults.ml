@@ -1,0 +1,146 @@
+type behavior =
+  | Honest
+  | Crash
+  | Silent_reads
+  | Stale
+  | Corrupt_value
+  | Corrupt_meta
+  | Equivocate
+  | Eager_report
+  | Drop_gossip
+
+let to_string = function
+  | Honest -> "honest"
+  | Crash -> "crash"
+  | Silent_reads -> "silent-reads"
+  | Stale -> "stale"
+  | Corrupt_value -> "corrupt-value"
+  | Corrupt_meta -> "corrupt-meta"
+  | Equivocate -> "equivocate"
+  | Eager_report -> "eager-report"
+  | Drop_gossip -> "drop-gossip"
+
+let all =
+  [
+    Honest; Crash; Silent_reads; Stale; Corrupt_value; Corrupt_meta;
+    Equivocate; Eager_report; Drop_gossip;
+  ]
+
+let flip_byte s i =
+  if String.length s = 0 then s
+  else begin
+    let i = i mod String.length s in
+    String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 0x5a) else c) s
+  end
+
+let corrupt_value_in (w : Payload.write) = { w with value = flip_byte w.value 0 }
+
+let inflate stamp =
+  match stamp with
+  | Stamp.Scalar v -> Stamp.Scalar (v + 1_000_000_000)
+  | Stamp.Multi m -> Stamp.Multi { m with time = m.time + 1_000_000_000 }
+
+let is_query (env : Payload.envelope) =
+  match env.request with
+  | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
+  | Payload.Log_query _ | Payload.Group_query _ | Payload.Read_inline _ ->
+    true
+  | Payload.Ctx_write _ | Payload.Write_req _ | Payload.Gossip_push _ -> false
+
+let is_write_or_gossip (env : Payload.envelope) =
+  match env.request with
+  | Payload.Write_req _ | Payload.Gossip_push _ | Payload.Ctx_write _ -> true
+  | _ -> false
+
+(* Eager reporting: answer meta/log queries from pending (held) writes as
+   if they were announced — the attack the b+1 vouching rule masks. *)
+let with_pending server (env : Payload.envelope) honest_resp =
+  let best_stamp writes =
+    List.fold_left
+      (fun acc (w : Payload.write) ->
+        match acc with
+        | Some s when Stamp.compare s w.stamp >= 0 -> acc
+        | _ -> Some w.stamp)
+      None writes
+  in
+  match (env.request, honest_resp) with
+  | Payload.Meta_query { uid }, Some (Payload.Meta_reply { stamp; writer_faulty }) ->
+    let held = Server.pending_writes server uid in
+    let stamp =
+      match (stamp, best_stamp held) with
+      | Some s, Some h -> Some (if Stamp.compare h s > 0 then h else s)
+      | None, h -> h
+      | s, None -> s
+    in
+    Some (Payload.Meta_reply { stamp; writer_faulty })
+  | Payload.Log_query { uid }, Some (Payload.Log_reply { writes; writer_faulty }) ->
+    Some
+      (Payload.Log_reply
+         { writes = Server.pending_writes server uid @ writes; writer_faulty })
+  | Payload.Value_read { uid; stamp }, Some (Payload.Value_reply None) ->
+    Some
+      (Payload.Value_reply
+         (List.find_opt
+            (fun (w : Payload.write) -> Stamp.equal w.stamp stamp)
+            (Server.pending_writes server uid)))
+  | _ -> honest_resp
+
+let mutate_response behavior server (env : Payload.envelope) resp =
+  match (behavior, resp) with
+  | (Honest | Crash | Silent_reads | Stale | Drop_gossip), _ -> resp
+  | Corrupt_value, Some (Payload.Value_reply (Some w)) ->
+    Some (Payload.Value_reply (Some (corrupt_value_in w)))
+  | Corrupt_value, Some (Payload.Log_reply { writes; writer_faulty }) ->
+    Some
+      (Payload.Log_reply
+         { writes = List.map corrupt_value_in writes; writer_faulty })
+  | Corrupt_value, Some (Payload.Group_reply writes) ->
+    Some (Payload.Group_reply (List.map corrupt_value_in writes))
+  | Corrupt_value, _ -> resp
+  | Corrupt_meta, Some (Payload.Meta_reply { stamp = Some s; writer_faulty }) ->
+    Some (Payload.Meta_reply { stamp = Some (inflate s); writer_faulty })
+  | Corrupt_meta, Some (Payload.Value_reply (Some w)) ->
+    Some (Payload.Value_reply (Some { w with stamp = inflate w.stamp }))
+  | Corrupt_meta, _ -> resp
+  | Equivocate, Some (Payload.Meta_reply { stamp = Some s; writer_faulty }) ->
+    Some (Payload.Meta_reply { stamp = Some (inflate s); writer_faulty })
+  | Equivocate, _ -> resp (* serves genuine values on fetch *)
+  | Eager_report, _ -> with_pending server env resp
+
+let handle_typed behavior server ~now ~from env =
+  match behavior with
+  | Crash -> None
+  | Silent_reads when is_query env -> None
+  | Stale when is_write_or_gossip env ->
+    (* Pretend to cooperate but never change state. *)
+    (match env.Payload.request with
+    | Payload.Write_req { await_ack = true; _ } -> Some Payload.Ack
+    | _ -> None)
+  | Drop_gossip when
+      (match env.Payload.request with Payload.Gossip_push _ -> true | _ -> false) ->
+    None
+  | Eager_report ->
+    (* Answer log queries with held writes included: re-dispatch against
+       a guard-free view by reading pending via the server API. *)
+    let honest = Server.handle server ~now ~from env in
+    mutate_response behavior server env honest
+  | _ ->
+    let honest = Server.handle server ~now ~from env in
+    mutate_response behavior server env honest
+
+let wrap behavior server ~now ~from payload =
+  match Payload.decode_envelope payload with
+  | None -> None
+  | Some env ->
+    Option.map Payload.encode_response
+      (handle_typed behavior server ~now ~from env)
+
+let forge_write ~keyring:_ ~uid ~value ~writer =
+  {
+    Payload.uid;
+    stamp = Stamp.scalar 999_999_999;
+    wctx = None;
+    value;
+    writer;
+    signature = String.make 64 '\x42';
+  }

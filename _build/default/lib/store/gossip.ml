@@ -1,0 +1,85 @@
+let choose_peers rng ~self ~count ~n =
+  let others = Array.of_list (List.filter (fun i -> i <> self) (List.init n Fun.id)) in
+  Sim.Srng.shuffle rng others;
+  Array.to_list (Array.sub others 0 (min count (Array.length others)))
+
+let install engine ~servers ?fanout ~period ~rng () =
+  let n = Array.length servers in
+  Array.to_list
+    (Array.map
+       (fun server ->
+         let sid = Server.id server in
+         let fanout =
+           match fanout with Some f -> f | None -> (Server.config server).b + 1
+         in
+         let rng = Sim.Srng.split rng in
+         Sim.Engine.every engine ~period ~client:sid (fun () ->
+             match Server.take_gossip_buffer server with
+             | [] -> ()
+             | writes ->
+               let payload =
+                 Payload.encode_envelope
+                   {
+                     Payload.token = None;
+                     request =
+                       Payload.Gossip_push
+                         { writes; have = Server.gossip_summary server };
+                   }
+               in
+               List.iter
+                 (fun peer -> Sim.Runtime.send peer payload)
+                 (choose_peers rng ~self:sid ~count:fanout ~n)))
+       servers)
+
+let exchange_once ~servers ~rng ?fanout () =
+  let n = Array.length servers in
+  let pushed = ref 0 in
+  Array.iter
+    (fun server ->
+      let sid = Server.id server in
+      let fanout =
+        match fanout with Some f -> f | None -> (Server.config server).Server.b + 1
+      in
+      match Server.take_gossip_buffer server with
+      | [] -> ()
+      | writes ->
+        pushed := !pushed + List.length writes;
+        let env =
+          {
+            Payload.token = None;
+            request =
+              Payload.Gossip_push { writes; have = Server.gossip_summary server };
+          }
+        in
+        List.iter
+          (fun peer ->
+            ignore (Server.handle servers.(peer) ~now:0.0 ~from:sid env))
+          (choose_peers rng ~self:sid ~count:fanout ~n))
+    servers;
+  !pushed
+
+let flood ~servers =
+  let n = Array.length servers in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    Array.iter
+      (fun server ->
+        let sid = Server.id server in
+        match Server.take_gossip_buffer server with
+        | [] -> ()
+        | writes ->
+          progressed := true;
+          let env =
+            {
+              Payload.token = None;
+              request =
+                Payload.Gossip_push { writes; have = Server.gossip_summary server };
+            }
+          in
+          for peer = 0 to n - 1 do
+            if peer <> sid then
+              ignore (Server.handle servers.(peer) ~now:0.0 ~from:sid env)
+          done)
+      servers
+  done

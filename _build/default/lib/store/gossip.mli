@@ -1,0 +1,30 @@
+(** Anti-entropy dissemination between servers.
+
+    Non-faulty servers forward whole signed write messages (section 5.2),
+    so a faulty server can neither forge nor alter updates in transit —
+    receivers re-verify every signature. Push fan-out of b+1 guarantees
+    each round reaches at least one non-faulty peer; epidemic spread does
+    the rest. *)
+
+val install :
+  Sim.Engine.t ->
+  servers:Server.t array ->
+  ?fanout:int ->
+  period:float ->
+  rng:Sim.Srng.t ->
+  unit ->
+  Sim.Engine.periodic list
+(** Schedule one periodic gossip fiber per server: every [period] seconds
+    it drains the server's buffer of newly accepted writes and pushes
+    them to [fanout] random distinct peers (default b+1). Returns the
+    periodic handles so experiments can cancel gossip. *)
+
+val exchange_once : servers:Server.t array -> rng:Sim.Srng.t -> ?fanout:int -> unit -> int
+(** Synchronous variant for {!Sim.Direct}-based tests: runs one gossip
+    round for every server by direct handler invocation; returns the
+    number of pushed writes. *)
+
+val flood : servers:Server.t array -> unit
+(** Repeat direct full exchanges until no server has anything new — total
+    dissemination (useful to model "writes are infrequent, reads hit
+    fully disseminated data"). *)

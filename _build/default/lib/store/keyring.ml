@@ -1,0 +1,13 @@
+type t = (string, Crypto.Rsa.public) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t uid key =
+  match Hashtbl.find_opt t uid with
+  | Some existing when Crypto.Rsa.public_to_string existing <> Crypto.Rsa.public_to_string key ->
+    invalid_arg ("Keyring.register: uid already bound: " ^ uid)
+  | _ -> Hashtbl.replace t uid key
+
+let find t uid = Hashtbl.find_opt t uid
+let known t uid = Hashtbl.mem t uid
+let size t = Hashtbl.length t

@@ -1,0 +1,16 @@
+(** Directory of client public keys.
+
+    The paper assumes clients and servers own key pairs whose public
+    halves are well known; key management itself is out of scope. This
+    directory is that assumption made concrete — servers verify writer
+    signatures against it, clients verify each other's writes. *)
+
+type t
+
+val create : unit -> t
+val register : t -> string -> Crypto.Rsa.public -> unit
+(** @raise Invalid_argument if the uid is already bound to a different key. *)
+
+val find : t -> string -> Crypto.Rsa.public option
+val known : t -> string -> bool
+val size : t -> int

@@ -1,0 +1,60 @@
+type snapshot = {
+  messages : int;
+  bytes : int;
+  signs : int;
+  verifies : int;
+  digests : int;
+  server_verifies : int;
+  macs : int;
+}
+
+let messages = ref 0
+let bytes = ref 0
+let signs = ref 0
+let verifies = ref 0
+let digests = ref 0
+let server_verifies = ref 0
+let macs = ref 0
+
+let reset () =
+  messages := 0;
+  bytes := 0;
+  signs := 0;
+  verifies := 0;
+  digests := 0;
+  server_verifies := 0;
+  macs := 0
+
+let read () =
+  {
+    messages = !messages;
+    bytes = !bytes;
+    signs = !signs;
+    verifies = !verifies;
+    digests = !digests;
+    server_verifies = !server_verifies;
+    macs = !macs;
+  }
+
+let diff late early =
+  {
+    messages = late.messages - early.messages;
+    bytes = late.bytes - early.bytes;
+    signs = late.signs - early.signs;
+    verifies = late.verifies - early.verifies;
+    digests = late.digests - early.digests;
+    server_verifies = late.server_verifies - early.server_verifies;
+    macs = late.macs - early.macs;
+  }
+
+let add_messages n = messages := !messages + n
+let add_bytes n = bytes := !bytes + n
+let incr_sign () = incr signs
+let incr_verify () = incr verifies
+let incr_digest () = incr digests
+let incr_server_verify () = incr server_verifies
+let incr_mac () = incr macs
+
+let pp fmt s =
+  Format.fprintf fmt "msgs=%d signs=%d verifies=%d (server %d) digests=%d macs=%d"
+    s.messages s.signs s.verifies s.server_verifies s.digests s.macs

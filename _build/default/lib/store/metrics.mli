@@ -1,0 +1,30 @@
+(** Protocol-level cost counters.
+
+    These implement the paper's section 6 accounting: messages exchanged
+    between client and servers, signatures produced, signatures verified,
+    digests computed. Counters are global and reset per measured
+    operation; experiment drivers snapshot deltas. *)
+
+type snapshot = {
+  messages : int;  (** protocol messages, both directions *)
+  bytes : int;  (** payload bytes across those messages *)
+  signs : int;
+  verifies : int;
+  digests : int;
+  server_verifies : int;  (** verifications done at servers *)
+  macs : int;  (** MAC computations (PBFT-style authenticators) *)
+}
+
+val reset : unit -> unit
+val read : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+
+val add_messages : int -> unit
+val add_bytes : int -> unit
+val incr_sign : unit -> unit
+val incr_verify : unit -> unit
+val incr_digest : unit -> unit
+val incr_server_verify : unit -> unit
+val incr_mac : unit -> unit
+
+val pp : Format.formatter -> snapshot -> unit

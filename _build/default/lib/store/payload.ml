@@ -1,0 +1,232 @@
+open Wire
+
+type write = {
+  uid : Uid.t;
+  stamp : Stamp.t;
+  wctx : Context.t option;
+  value : string;
+  writer : string;
+  signature : string;
+}
+
+type ctx_record = { seq : int; ctx : Context.t; signature : string }
+
+let write_body w =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc "write";
+      Uid.encode enc w.uid;
+      Stamp.encode enc w.stamp;
+      Codec.Enc.option enc Context.encode w.wctx;
+      Codec.Enc.string enc w.value;
+      Codec.Enc.string enc w.writer)
+    ()
+
+let ctx_body ~client ~group ~seq ctx =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc "context";
+      Codec.Enc.string enc client;
+      Codec.Enc.string enc group;
+      Codec.Enc.varint enc seq;
+      Context.encode enc ctx)
+    ()
+
+type request =
+  | Ctx_read of { client : string; group : string }
+  | Ctx_write of { client : string; group : string; record : ctx_record }
+  | Meta_query of { uid : Uid.t }
+  | Value_read of { uid : Uid.t; stamp : Stamp.t }
+  | Write_req of { write : write; await_ack : bool }
+  | Log_query of { uid : Uid.t }
+  | Read_inline of { uid : Uid.t }
+  | Group_query of { group : string }
+  | Gossip_push of { writes : write list; have : (Uid.t * Stamp.t) list }
+
+type envelope = { token : string option; request : request }
+
+type response =
+  | Ctx_reply of ctx_record option
+  | Meta_reply of { stamp : Stamp.t option; writer_faulty : bool }
+  | Value_reply of write option
+  | Ack
+  | Log_reply of { writes : write list; writer_faulty : bool }
+  | Group_reply of write list
+  | Denied of string
+
+let encode_write enc w =
+  Uid.encode enc w.uid;
+  Stamp.encode enc w.stamp;
+  Codec.Enc.option enc Context.encode w.wctx;
+  Codec.Enc.string enc w.value;
+  Codec.Enc.string enc w.writer;
+  Codec.Enc.string enc w.signature
+
+let decode_write dec =
+  let uid = Uid.decode dec in
+  let stamp = Stamp.decode dec in
+  let wctx = Codec.Dec.option dec Context.decode in
+  let value = Codec.Dec.string dec in
+  let writer = Codec.Dec.string dec in
+  let signature = Codec.Dec.string dec in
+  { uid; stamp; wctx; value; writer; signature }
+
+let encode_ctx_record enc r =
+  Codec.Enc.varint enc r.seq;
+  Context.encode enc r.ctx;
+  Codec.Enc.string enc r.signature
+
+let decode_ctx_record dec =
+  let seq = Codec.Dec.varint dec in
+  let ctx = Context.decode dec in
+  let signature = Codec.Dec.string dec in
+  { seq; ctx; signature }
+
+let encode_request enc = function
+  | Ctx_read { client; group } ->
+    Codec.Enc.u8 enc 0;
+    Codec.Enc.string enc client;
+    Codec.Enc.string enc group
+  | Ctx_write { client; group; record } ->
+    Codec.Enc.u8 enc 1;
+    Codec.Enc.string enc client;
+    Codec.Enc.string enc group;
+    encode_ctx_record enc record
+  | Meta_query { uid } ->
+    Codec.Enc.u8 enc 2;
+    Uid.encode enc uid
+  | Value_read { uid; stamp } ->
+    Codec.Enc.u8 enc 3;
+    Uid.encode enc uid;
+    Stamp.encode enc stamp
+  | Write_req { write; await_ack } ->
+    Codec.Enc.u8 enc 4;
+    encode_write enc write;
+    Codec.Enc.bool enc await_ack
+  | Log_query { uid } ->
+    Codec.Enc.u8 enc 5;
+    Uid.encode enc uid
+  | Group_query { group } ->
+    Codec.Enc.u8 enc 6;
+    Codec.Enc.string enc group
+  | Gossip_push { writes; have } ->
+    Codec.Enc.u8 enc 7;
+    Codec.Enc.list enc encode_write writes;
+    Codec.Enc.list enc
+      (fun enc (uid, stamp) ->
+        Uid.encode enc uid;
+        Stamp.encode enc stamp)
+      have
+  | Read_inline { uid } ->
+    Codec.Enc.u8 enc 8;
+    Uid.encode enc uid
+
+let decode_request dec =
+  match Codec.Dec.u8 dec with
+  | 0 ->
+    let client = Codec.Dec.string dec in
+    let group = Codec.Dec.string dec in
+    Ctx_read { client; group }
+  | 1 ->
+    let client = Codec.Dec.string dec in
+    let group = Codec.Dec.string dec in
+    let record = decode_ctx_record dec in
+    Ctx_write { client; group; record }
+  | 2 -> Meta_query { uid = Uid.decode dec }
+  | 3 ->
+    let uid = Uid.decode dec in
+    let stamp = Stamp.decode dec in
+    Value_read { uid; stamp }
+  | 4 ->
+    let write = decode_write dec in
+    let await_ack = Codec.Dec.bool dec in
+    Write_req { write; await_ack }
+  | 5 -> Log_query { uid = Uid.decode dec }
+  | 6 -> Group_query { group = Codec.Dec.string dec }
+  | 7 ->
+    let writes = Codec.Dec.list dec decode_write in
+    let have =
+      Codec.Dec.list dec (fun dec ->
+          let uid = Uid.decode dec in
+          let stamp = Stamp.decode dec in
+          (uid, stamp))
+    in
+    Gossip_push { writes; have }
+  | 8 -> Read_inline { uid = Uid.decode dec }
+  | _ -> raise (Codec.Error "bad request tag")
+
+let encode_envelope env =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.option enc Codec.Enc.string env.token;
+      encode_request enc env.request)
+    ()
+
+let decode_envelope s =
+  Codec.decode_opt
+    (fun dec ->
+      let token = Codec.Dec.option dec Codec.Dec.string in
+      let request = decode_request dec in
+      { token; request })
+    s
+
+let encode_response r =
+  Codec.encode
+    (fun enc () ->
+      match r with
+      | Ctx_reply record ->
+        Codec.Enc.u8 enc 0;
+        Codec.Enc.option enc encode_ctx_record record
+      | Meta_reply { stamp; writer_faulty } ->
+        Codec.Enc.u8 enc 1;
+        Codec.Enc.option enc Stamp.encode stamp;
+        Codec.Enc.bool enc writer_faulty
+      | Value_reply w ->
+        Codec.Enc.u8 enc 2;
+        Codec.Enc.option enc encode_write w
+      | Ack -> Codec.Enc.u8 enc 3
+      | Log_reply { writes; writer_faulty } ->
+        Codec.Enc.u8 enc 4;
+        Codec.Enc.list enc encode_write writes;
+        Codec.Enc.bool enc writer_faulty
+      | Group_reply writes ->
+        Codec.Enc.u8 enc 5;
+        Codec.Enc.list enc encode_write writes
+      | Denied reason ->
+        Codec.Enc.u8 enc 6;
+        Codec.Enc.string enc reason)
+    ()
+
+let decode_response s =
+  Codec.decode_opt
+    (fun dec ->
+      match Codec.Dec.u8 dec with
+      | 0 -> Ctx_reply (Codec.Dec.option dec decode_ctx_record)
+      | 1 ->
+        let stamp = Codec.Dec.option dec Stamp.decode in
+        let writer_faulty = Codec.Dec.bool dec in
+        Meta_reply { stamp; writer_faulty }
+      | 2 -> Value_reply (Codec.Dec.option dec decode_write)
+      | 3 -> Ack
+      | 4 ->
+        let writes = Codec.Dec.list dec decode_write in
+        let writer_faulty = Codec.Dec.bool dec in
+        Log_reply { writes; writer_faulty }
+      | 5 -> Group_reply (Codec.Dec.list dec decode_write)
+      | 6 -> Denied (Codec.Dec.string dec)
+      | _ -> raise (Codec.Error "bad response tag"))
+    s
+
+let pp_response fmt = function
+  | Ctx_reply None -> Format.pp_print_string fmt "Ctx_reply None"
+  | Ctx_reply (Some r) -> Format.fprintf fmt "Ctx_reply (seq=%d %a)" r.seq Context.pp r.ctx
+  | Meta_reply { stamp = None; _ } -> Format.pp_print_string fmt "Meta_reply None"
+  | Meta_reply { stamp = Some s; writer_faulty } ->
+    Format.fprintf fmt "Meta_reply %a%s" Stamp.pp s
+      (if writer_faulty then " (writer faulty)" else "")
+  | Value_reply None -> Format.pp_print_string fmt "Value_reply None"
+  | Value_reply (Some w) -> Format.fprintf fmt "Value_reply %a %a" Uid.pp w.uid Stamp.pp w.stamp
+  | Ack -> Format.pp_print_string fmt "Ack"
+  | Log_reply { writes; _ } -> Format.fprintf fmt "Log_reply (%d writes)" (List.length writes)
+  | Group_reply writes -> Format.fprintf fmt "Group_reply (%d writes)" (List.length writes)
+  | Denied reason -> Format.fprintf fmt "Denied %s" reason

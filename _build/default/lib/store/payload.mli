@@ -1,0 +1,62 @@
+(** Wire messages between clients and servers.
+
+    A {!write} is the unit of replication and the unit of signing: the
+    signature covers the item uid, the timestamp, the writer context (if
+    any) and the value, so no server can alter any of it undetected and
+    gossip can forward whole write messages verbatim (section 5.2). *)
+
+type write = {
+  uid : Uid.t;
+  stamp : Stamp.t;
+  wctx : Context.t option;  (** CC writes carry the writer's context *)
+  value : string;
+  writer : string;  (** client uid *)
+  signature : string;
+}
+
+val write_body : write -> string
+(** The canonical bytes the writer signs (everything but the signature). *)
+
+type ctx_record = { seq : int; ctx : Context.t; signature : string }
+(** A stored context: [seq] is the client's session counter, so "latest"
+    is well defined even before checking vector dominance. *)
+
+val ctx_body : client:string -> group:string -> seq:int -> Context.t -> string
+(** Canonical signed bytes for a context write. *)
+
+type request =
+  | Ctx_read of { client : string; group : string }
+  | Ctx_write of { client : string; group : string; record : ctx_record }
+  | Meta_query of { uid : Uid.t }
+  | Value_read of { uid : Uid.t; stamp : Stamp.t }
+  | Write_req of { write : write; await_ack : bool }
+  | Log_query of { uid : Uid.t }
+  | Read_inline of { uid : Uid.t }
+      (** one-round read: the server returns its whole current write
+          (value included), trading bandwidth for a round trip —
+          section 6's "read cost equals write cost" best case *)
+  | Group_query of { group : string }
+      (** all current writes in a group — context reconstruction *)
+  | Gossip_push of { writes : write list; have : (Uid.t * Stamp.t) list }
+      (** [have] is the sender's current stamp per item — the replication
+          evidence behind section 5.3's log erasure rule ("old values
+          could be erased once a server learns that a new value is
+          available at at least 2b+1 servers") *)
+
+type envelope = { token : string option; request : request }
+
+type response =
+  | Ctx_reply of ctx_record option
+  | Meta_reply of { stamp : Stamp.t option; writer_faulty : bool }
+  | Value_reply of write option
+  | Ack
+  | Log_reply of { writes : write list; writer_faulty : bool }
+  | Group_reply of write list
+  | Denied of string
+
+val encode_envelope : envelope -> string
+val decode_envelope : string -> envelope option
+val encode_response : response -> string
+val decode_response : string -> response option
+
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,18 @@
+let ceil_div a b = (a + b - 1) / b
+let context_quorum ~n ~b = ceil_div (n + b + 1) 2
+let write_set ~b = b + 1
+let read_set ~b = b + 1
+let mw_write_set ~b = (2 * b) + 1
+let mw_read_quorum ~b = (2 * b) + 1
+let mw_vouch ~b = b + 1
+let masking_quorum ~n ~b = ceil_div (n + (2 * b) + 1) 2
+let majority_quorum ~n = ceil_div (n + 1) 2
+let context_overlap ~n ~b = (2 * context_quorum ~n ~b) - n
+let max_b ~n = (n - 1) / 3
+
+let validate ~n ~b =
+  if n <= 0 then Error "need at least one server"
+  else if b < 0 then Error "b must be non-negative"
+  else if n < (3 * b) + 1 then
+    Error (Printf.sprintf "n=%d cannot tolerate b=%d faults: need n >= 3b+1 = %d" n b ((3 * b) + 1))
+  else Ok ()

@@ -1,0 +1,45 @@
+(** Quorum-size arithmetic from the paper (sections 5 and 6).
+
+    [n] servers, at most [b] faulty (crash or Byzantine). *)
+
+val context_quorum : n:int -> b:int -> int
+(** ⌈(n+b+1)/2⌉ — context read/write set (Fig. 1). Two such quorums share
+    at least [b+1] servers, hence at least one non-faulty witness of the
+    last context write. *)
+
+val write_set : b:int -> int
+(** [b+1] — servers a single-writer data write must reach so at least
+    one non-faulty server stores it (section 5.2). *)
+
+val read_set : b:int -> int
+(** [b+1] — servers polled by a single-writer read in the best case. *)
+
+val mw_write_set : b:int -> int
+(** [2b+1] — the multi-writer (malicious-client) write fan-out
+    (section 6, "figures change from b+1 to 2b+1"). *)
+
+val mw_read_quorum : b:int -> int
+(** [2b+1] — servers a multi-writer read must hear from. *)
+
+val mw_vouch : b:int -> int
+(** [b+1] — servers that must report the same value before a
+    multi-writer read accepts it (section 5.3). *)
+
+val masking_quorum : n:int -> b:int -> int
+(** ⌈(n+2b+1)/2⌉ — the Byzantine masking quorum size the paper compares
+    against (Malkhi-Reiter; Phalanx/Fleet). *)
+
+val majority_quorum : n:int -> int
+(** ⌈(n+1)/2⌉ — crash-only baseline. *)
+
+val context_overlap : n:int -> b:int -> int
+(** Guaranteed intersection of two context quorums; equals
+    [2*context_quorum - n >= b+1]. *)
+
+val validate : n:int -> b:int -> (unit, string) result
+(** Liveness needs every quorum to be reachable with [b] servers silent:
+    [n >= 3b+1] covers the context quorum and the multi-writer read
+    quorum alike. *)
+
+val max_b : n:int -> int
+(** Largest tolerable [b] for [n] servers: ⌊(n-1)/3⌋. *)

@@ -1,0 +1,509 @@
+type config = {
+  n : int;
+  b : int;
+  malicious_client_guard : bool;
+  log_depth : int;
+  auth : Access_control.service option;
+}
+
+let default_config ~n ~b =
+  { n; b; malicious_client_guard = false; log_depth = 4; auth = None }
+
+type item_state = {
+  mutable current : Payload.write option;
+  mutable log : Payload.write list; (* newest first, excludes current *)
+  mutable pending : Payload.write list; (* guard: held, unannounced *)
+  mutable forked : bool;
+  mutable holders : (Stamp.t * int list) list;
+      (* which servers are known (via gossip summaries) to hold which
+         stamp of this item; drives section 5.3's log erasure *)
+  mutable erased_below : Stamp.t;
+      (* erasure watermark: writes older than this are known to be
+         superseded at 2b+1 servers and are never re-admitted *)
+}
+
+type t = {
+  id : int;
+  config : config;
+  keyring : Keyring.t;
+  items : (string, item_state) Hashtbl.t; (* key: Uid.to_string *)
+  contexts : (string * string, Payload.ctx_record) Hashtbl.t;
+  faulty_writers : (string, unit) Hashtbl.t;
+  mutable gossip_buffer : Payload.write list;
+  mutable audit : Payload.write list; (* announced writes, newest first *)
+}
+
+let create ?config ~id ~keyring ~n ~b () =
+  let config = match config with Some c -> c | None -> default_config ~n ~b in
+  {
+    id;
+    config;
+    keyring;
+    items = Hashtbl.create 64;
+    contexts = Hashtbl.create 16;
+    faulty_writers = Hashtbl.create 4;
+    gossip_buffer = [];
+    audit = [];
+  }
+
+let id t = t.id
+let config t = t.config
+
+let item_state t uid =
+  let key = Uid.to_string uid in
+  match Hashtbl.find_opt t.items key with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        current = None;
+        log = [];
+        pending = [];
+        forked = false;
+        holders = [];
+        erased_below = Stamp.zero;
+      }
+    in
+    Hashtbl.replace t.items key st;
+    st
+
+let same_stamp_kind a b =
+  match (a, b) with
+  | Stamp.Scalar _, Stamp.Scalar _ | Stamp.Multi _, Stamp.Multi _ -> true
+  | Stamp.Scalar _, Stamp.Multi _ | Stamp.Multi _, Stamp.Scalar _ -> false
+
+let is_writer_faulty t writer = Hashtbl.mem t.faulty_writers writer
+
+(* The stamp this server can vouch for on [uid]: the announced current
+   write only — held (pending) writes are invisible (section 5.3). *)
+let announced_stamp st = Option.map (fun (w : Payload.write) -> w.stamp) st.current
+
+(* Does this server already store writes satisfying every causal
+   dependency in [ctx] (other than the item being written itself)? *)
+let deps_satisfied t ~(self : Uid.t) ctx =
+  List.for_all
+    (fun (uid, stamp) ->
+      Uid.equal uid self
+      ||
+      match Hashtbl.find_opt t.items (Uid.to_string uid) with
+      | None -> Stamp.equal stamp Stamp.zero
+      | Some st -> (
+        match announced_stamp st with
+        | None -> Stamp.equal stamp Stamp.zero
+        | Some have -> Stamp.compare have stamp >= 0))
+    (Context.bindings ctx)
+
+let detect_fork t st (w : Payload.write) =
+  let conflicts other = Stamp.is_fork w.stamp other.Payload.stamp in
+  let in_log = List.exists conflicts st.log in
+  let in_pending = List.exists conflicts st.pending in
+  let in_current = match st.current with Some c -> conflicts c | None -> false in
+  if in_log || in_pending || in_current then begin
+    st.forked <- true;
+    Hashtbl.replace t.faulty_writers w.writer ();
+    true
+  end
+  else false
+
+let already_stored st (w : Payload.write) =
+  let same other = Stamp.equal other.Payload.stamp w.stamp in
+  (match st.current with Some c -> same c | None -> false)
+  || List.exists same st.log
+  || List.exists same st.pending
+
+let trim depth l = List.filteri (fun i _ -> i < depth) l
+
+(* Install an accepted (announced) write. Returns true if state changed. *)
+let install t st (w : Payload.write) =
+  match st.current with
+  | None ->
+    st.current <- Some w;
+    t.audit <- w :: t.audit;
+    true
+  | Some c when Stamp.newer w.stamp ~than:c.stamp ->
+    st.current <- Some w;
+    st.log <- trim t.config.log_depth (c :: st.log);
+    t.audit <- w :: t.audit;
+    true
+  | Some c when Stamp.equal w.stamp c.stamp -> false
+  | Some _ ->
+    (* Older than current: keep it in the log so a value being
+       overwritten stays available during dissemination. Only report a
+       change if the write survives trimming — otherwise re-gossiping it
+       would echo long-dead writes between servers forever. *)
+    let log =
+      trim t.config.log_depth
+        (List.sort
+           (fun (a : Payload.write) b -> Stamp.compare b.stamp a.stamp)
+           (w :: st.log))
+    in
+    let survived =
+      List.exists (fun (x : Payload.write) -> Stamp.equal x.stamp w.stamp) log
+    in
+    st.log <- log;
+    if survived then t.audit <- w :: t.audit;
+    survived
+
+(* Try to accept [w]; returns `Accepted | `Held | `Rejected. Does not
+   drain pending queues (the caller does, to a fixpoint). *)
+let try_accept t (w : Payload.write) =
+  let st = item_state t w.uid in
+  if Stamp.compare w.stamp st.erased_below < 0 then `Rejected
+  else if already_stored st w then `Rejected
+  else if is_writer_faulty t w.writer then `Rejected
+  else if detect_fork t st w then `Rejected
+  else if
+    (match st.current with
+    | Some c -> not (same_stamp_kind c.Payload.stamp w.stamp)
+    | None -> false)
+  then `Rejected
+  else if not (Signing.server_verify_write t.keyring w) then `Rejected
+  else if
+    t.config.malicious_client_guard
+    &&
+    match w.wctx with
+    | Some ctx -> not (deps_satisfied t ~self:w.uid ctx)
+    | None -> false
+  then begin
+    st.pending <- w :: st.pending;
+    `Held
+  end
+  else if install t st w then begin
+    t.gossip_buffer <- w :: t.gossip_buffer;
+    `Accepted
+  end
+  else `Rejected
+
+(* After an acceptance, held writes may have become reportable. *)
+let drain_pending t =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    Hashtbl.iter
+      (fun _ st ->
+        let still_pending = ref [] in
+        let pending = st.pending in
+        st.pending <- [];
+        List.iter
+          (fun (w : Payload.write) ->
+            let ok =
+              match w.wctx with
+              | Some ctx -> deps_satisfied t ~self:w.uid ctx
+              | None -> true
+            in
+            if ok then begin
+              if install t st w then begin
+                t.gossip_buffer <- w :: t.gossip_buffer;
+                progressed := true
+              end
+            end
+            else still_pending := w :: !still_pending)
+          pending;
+        st.pending <- List.rev_append !still_pending st.pending)
+      t.items
+  done
+
+let accept_write t w =
+  let result = try_accept t w in
+  (match result with
+  | `Accepted -> drain_pending t
+  | `Held | `Rejected -> ());
+  result
+
+(* Section 5.3 log erasure: once 2b+1 distinct servers are known to hold
+   a stamp at least as new as a logged value's successor, the old value
+   has served its purpose and can be dropped from the log. The threshold
+   guarantees b+1 honest holders, i.e. a full vouching set. *)
+let erasure_threshold t = (2 * t.config.b) + 1
+
+let record_holder t uid ~holder ~stamp =
+  let st = item_state t uid in
+  let entry =
+    match List.assoc_opt stamp st.holders with
+    | Some holders -> holders
+    | None -> []
+  in
+  if not (List.mem holder entry) then begin
+    let updated = holder :: entry in
+    st.holders <- (stamp, updated) :: List.remove_assoc stamp st.holders;
+    (* Keep only stamps still relevant (at least as new as the oldest
+       logged write) to bound the table. *)
+    if List.length updated >= erasure_threshold t then begin
+      st.log <-
+        List.filter
+          (fun (w : Payload.write) -> Stamp.compare w.stamp stamp >= 0)
+          st.log;
+      if Stamp.compare stamp st.erased_below > 0 then st.erased_below <- stamp;
+      (* Holder entries below the watermark are no longer interesting. *)
+      st.holders <-
+        List.filter (fun (s, _) -> Stamp.compare s st.erased_below >= 0) st.holders
+    end
+  end
+
+let gossip_summary t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      match st.current with
+      | Some (w : Payload.write) -> (w.uid, w.stamp) :: acc
+      | None -> acc)
+    t.items []
+
+let holder_count t uid stamp =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> 0
+  | Some st -> (
+    match List.assoc_opt stamp st.holders with
+    | Some holders -> List.length holders
+    | None -> 0)
+
+let authorize t ~now ~token ?expect_client ~group ~op () =
+  match t.config.auth with
+  | None -> Access_control.Authorized
+  | Some svc -> Access_control.check svc ~now ~token ?expect_client ~group ~op ()
+
+let log_writes t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> []
+  | Some st -> (
+    match st.current with
+    | None -> []
+    | Some c -> c :: trim t.config.log_depth st.log)
+
+let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
+  let auth ?expect_client ~group ~op k =
+    match authorize t ~now ~token:env.token ?expect_client ~group ~op () with
+    | Access_control.Authorized -> k ()
+    | Access_control.Denied reason -> Some (Payload.Denied reason)
+  in
+  match env.request with
+  | Payload.Ctx_read { client; group } ->
+    auth ~group ~op:`Read (fun () ->
+        Some (Payload.Ctx_reply (Hashtbl.find_opt t.contexts (client, group))))
+  | Payload.Ctx_write { client; group; record } ->
+    auth ~expect_client:client ~group ~op:`Write (fun () ->
+        if not (Signing.server_verify_context t.keyring ~client ~group record)
+        then Some (Payload.Denied "bad context signature")
+        else begin
+          let fresher =
+            match Hashtbl.find_opt t.contexts (client, group) with
+            | None -> true
+            | Some existing -> record.seq > existing.seq
+          in
+          if fresher then Hashtbl.replace t.contexts (client, group) record;
+          Some Payload.Ack
+        end)
+  | Payload.Meta_query { uid } ->
+    auth ~group:(Uid.group uid) ~op:`Read (fun () ->
+        let st = Hashtbl.find_opt t.items (Uid.to_string uid) in
+        let stamp = Option.bind st announced_stamp in
+        let writer_faulty = match st with Some s -> s.forked | None -> false in
+        Some (Payload.Meta_reply { stamp; writer_faulty }))
+  | Payload.Read_inline { uid } ->
+    auth ~group:(Uid.group uid) ~op:`Read (fun () ->
+        let st = Hashtbl.find_opt t.items (Uid.to_string uid) in
+        Some (Payload.Value_reply (Option.bind st (fun st -> st.current))))
+  | Payload.Value_read { uid; stamp } ->
+    auth ~group:(Uid.group uid) ~op:`Read (fun () ->
+        let found =
+          List.find_opt
+            (fun (w : Payload.write) -> Stamp.equal w.stamp stamp)
+            (log_writes t uid)
+        in
+        Some (Payload.Value_reply found))
+  | Payload.Write_req { write; await_ack } ->
+    auth ~expect_client:write.writer ~group:(Uid.group write.uid) ~op:`Write
+      (fun () ->
+        let result = accept_write t write in
+        if await_ack then
+          Some
+            (match result with
+            | `Accepted | `Held -> Payload.Ack
+            | `Rejected -> Payload.Denied "write rejected")
+        else None)
+  | Payload.Log_query { uid } ->
+    auth ~group:(Uid.group uid) ~op:`Read (fun () ->
+        let writes = log_writes t uid in
+        let writer_faulty =
+          match Hashtbl.find_opt t.items (Uid.to_string uid) with
+          | Some st -> st.forked
+          | None -> false
+        in
+        Some (Payload.Log_reply { writes; writer_faulty }))
+  | Payload.Group_query { group } ->
+    auth ~group ~op:`Read (fun () ->
+        let writes = ref [] in
+        Hashtbl.iter
+          (fun _ st ->
+            match st.current with
+            | Some w when String.equal (Uid.group w.Payload.uid) group ->
+              writes := w :: !writes
+            | Some _ | None -> ())
+          t.items;
+        Some (Payload.Group_reply !writes))
+  | Payload.Gossip_push { writes; have } ->
+    (* Server-to-server: no token; the client signatures on each write
+       are the authority. A forged write simply fails verification. *)
+    List.iter
+      (fun (w : Payload.write) ->
+        (match accept_write t w with
+        | `Accepted | `Held ->
+          (* We hold it now, and so does the sender. *)
+          record_holder t w.uid ~holder:t.id ~stamp:w.stamp;
+          record_holder t w.uid ~holder:from ~stamp:w.stamp
+        | `Rejected ->
+          if from >= 0 then record_holder t w.uid ~holder:from ~stamp:w.stamp))
+      writes;
+    List.iter
+      (fun (uid, stamp) ->
+        if from >= 0 then record_holder t uid ~holder:from ~stamp)
+      have;
+    Some Payload.Ack
+
+let handler t ~now ~from payload =
+  match Payload.decode_envelope payload with
+  | None -> None
+  | Some env -> Option.map Payload.encode_response (handle t ~now ~from env)
+
+let take_gossip_buffer t =
+  let writes = List.rev t.gossip_buffer in
+  t.gossip_buffer <- [];
+  writes
+
+let current_write t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> None
+  | Some st -> st.current
+
+let pending_count t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> 0
+  | Some st -> List.length st.pending
+
+let pending_writes t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> []
+  | Some st -> st.pending
+
+let item_count t = Hashtbl.length t.items
+let audit_log t = List.rev t.audit
+
+(* --- persistence -------------------------------------------------------- *)
+
+let snapshot_version = 1
+
+let encode_write enc (w : Payload.write) =
+  let open Wire.Codec in
+  Uid.encode enc w.uid;
+  Stamp.encode enc w.stamp;
+  Enc.option enc Context.encode w.wctx;
+  Enc.string enc w.value;
+  Enc.string enc w.writer;
+  Enc.string enc w.signature
+
+let decode_write dec : Payload.write =
+  let open Wire.Codec in
+  let uid = Uid.decode dec in
+  let stamp = Stamp.decode dec in
+  let wctx = Dec.option dec Context.decode in
+  let value = Dec.string dec in
+  let writer = Dec.string dec in
+  let signature = Dec.string dec in
+  { uid; stamp; wctx; value; writer; signature }
+
+let snapshot t =
+  let open Wire.Codec in
+  encode
+    (fun enc () ->
+      Enc.string enc "securestore-snapshot";
+      Enc.varint enc snapshot_version;
+      Enc.varint enc t.id;
+      let items = Hashtbl.fold (fun key st acc -> (key, st) :: acc) t.items [] in
+      Enc.list enc
+        (fun enc (key, st) ->
+          Enc.string enc key;
+          Enc.option enc encode_write st.current;
+          Enc.list enc encode_write st.log;
+          Enc.list enc encode_write st.pending;
+          Enc.bool enc st.forked;
+          Stamp.encode enc st.erased_below)
+        items;
+      let contexts =
+        Hashtbl.fold (fun key record acc -> (key, record) :: acc) t.contexts []
+      in
+      Enc.list enc
+        (fun enc ((client, group), (r : Payload.ctx_record)) ->
+          Enc.string enc client;
+          Enc.string enc group;
+          Enc.varint enc r.seq;
+          Context.encode enc r.ctx;
+          Enc.string enc r.signature)
+        contexts;
+      Enc.list enc Enc.string
+        (Hashtbl.fold (fun writer () acc -> writer :: acc) t.faulty_writers []);
+      (* pending gossip and audit trail (both newest-first in memory) *)
+      Enc.list enc encode_write t.gossip_buffer;
+      Enc.list enc encode_write t.audit)
+    ()
+
+let restore ?config ~id ~keyring ~n ~b blob =
+  let open Wire.Codec in
+  match
+    decode
+      (fun dec ->
+        if Dec.string dec <> "securestore-snapshot" then
+          raise (Wire.Codec.Error "bad magic");
+        if Dec.varint dec <> snapshot_version then
+          raise (Wire.Codec.Error "unsupported snapshot version");
+        let saved_id = Dec.varint dec in
+        if saved_id <> id then raise (Wire.Codec.Error "server id mismatch");
+        let t = create ?config ~id ~keyring ~n ~b () in
+        let items =
+          Dec.list dec (fun dec ->
+              let key = Dec.string dec in
+              let current = Dec.option dec decode_write in
+              let log = Dec.list dec decode_write in
+              let pending = Dec.list dec decode_write in
+              let forked = Dec.bool dec in
+              let erased_below = Stamp.decode dec in
+              (key, { current; log; pending; forked; holders = []; erased_below }))
+        in
+        List.iter (fun (key, st) -> Hashtbl.replace t.items key st) items;
+        let contexts =
+          Dec.list dec (fun dec ->
+              let client = Dec.string dec in
+              let group = Dec.string dec in
+              let seq = Dec.varint dec in
+              let ctx = Context.decode dec in
+              let signature = Dec.string dec in
+              ((client, group), { Payload.seq; ctx; signature }))
+        in
+        List.iter (fun (key, r) -> Hashtbl.replace t.contexts key r) contexts;
+        List.iter
+          (fun writer -> Hashtbl.replace t.faulty_writers writer ())
+          (Dec.list dec Dec.string);
+        t.gossip_buffer <- Dec.list dec decode_write;
+        t.audit <- Dec.list dec decode_write;
+        t)
+      blob
+  with
+  | t -> Some t
+  | exception Wire.Codec.Error _ -> None
+
+let save_file t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (snapshot t));
+  Sys.rename tmp path
+
+let load_file ?config ~id ~keyring ~n ~b ~path () =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let blob =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    restore ?config ~id ~keyring ~n ~b blob

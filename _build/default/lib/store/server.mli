@@ -1,0 +1,91 @@
+(** A secure store server: a passive, signed-data repository.
+
+    Servers never originate data and never order writes; they store
+    whatever validly-signed write messages reach them (directly or by
+    gossip) and answer queries. All the paper's defenses live here:
+
+    - every stored write and context carries a client signature the
+      server verified on arrival, so replies can be checked end-to-end;
+    - with {!config.malicious_client_guard} on (section 5.3), a write is
+      *held* — stored but not reported — until the causally preceding
+      writes named in its context have arrived, defeating the
+      spurious-context denial-of-service;
+    - a bounded per-item log keeps recently overwritten values available
+      while their successors disseminate;
+    - multi-writer forks (one timestamp, two values) are detected and the
+      writer is quarantined. *)
+
+type config = {
+  n : int;
+  b : int;
+  malicious_client_guard : bool;
+  log_depth : int;  (** overwritten values retained per item *)
+  auth : Access_control.service option;
+}
+
+val default_config : n:int -> b:int -> config
+(** guard off, log depth 4, no auth. *)
+
+type t
+
+val create : ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int -> unit -> t
+val id : t -> int
+val config : t -> config
+
+val handle : t -> now:float -> from:Sim.Runtime.node_id -> Payload.envelope -> Payload.response option
+(** Core request dispatch (typed). *)
+
+val handler : t -> now:float -> from:Sim.Runtime.node_id -> string -> string option
+(** Wire-level dispatch: decodes the envelope, encodes the response.
+    Malformed requests get no reply. Register this with the engine. *)
+
+val take_gossip_buffer : t -> Payload.write list
+(** Writes accepted since the last call — what the next gossip round
+    pushes; clears the buffer. *)
+
+val current_write : t -> Uid.t -> Payload.write option
+(** Introspection for tests: the announced current write of an item. *)
+
+val pending_count : t -> Uid.t -> int
+(** Held (unannounced) writes for an item. *)
+
+val pending_writes : t -> Uid.t -> Payload.write list
+(** The held writes themselves (used by the eager-report fault injector,
+    which leaks them before their causal predecessors arrive). *)
+
+val item_count : t -> int
+val is_writer_faulty : t -> string -> bool
+val log_writes : t -> Uid.t -> Payload.write list
+(** Announced writes: current first, then the retained log. *)
+
+val audit_log : t -> Payload.write list
+(** Every write this server ever announced, oldest first (for {!Audit}). *)
+
+val gossip_summary : t -> (Uid.t * Stamp.t) list
+(** Current stamp of every stored item — attached to gossip pushes as
+    replication evidence for log erasure (section 5.3). *)
+
+val holder_count : t -> Uid.t -> Stamp.t -> int
+(** How many distinct servers this one believes hold [stamp] of the item
+    (introspection for tests). *)
+
+val snapshot : t -> string
+(** Serialize the server's durable state — items (current, log, held
+    writes, fork flags, erasure watermarks), stored contexts,
+    quarantined writers, pending gossip, and the audit log — so a
+    repository survives restarts, as a long-term store must. Holder
+    evidence is deliberately not persisted (it is rebuilt from gossip). *)
+
+val restore :
+  ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int -> string ->
+  t option
+(** Rebuild a server from {!snapshot} output; [None] on corrupt input.
+    Restored state is what an honest restarted server would have — every
+    write it re-announces still carries its original client signature. *)
+
+val save_file : t -> path:string -> unit
+(** {!snapshot} to a file, atomically (write-then-rename). *)
+
+val load_file :
+  ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int ->
+  path:string -> unit -> t option

@@ -1,0 +1,43 @@
+let sign_write ~key ~writer ~uid ~stamp ?wctx value =
+  let unsigned =
+    { Payload.uid; stamp; wctx; value; writer; signature = "" }
+  in
+  Metrics.incr_sign ();
+  { unsigned with signature = Crypto.Rsa.sign key (Payload.write_body unsigned) }
+
+let check_write keyring (w : Payload.write) =
+  match Keyring.find keyring w.writer with
+  | None -> false
+  | Some pub ->
+    Crypto.Rsa.verify pub ~msg:(Payload.write_body w) ~signature:w.signature
+    && Stamp.matches_value w.stamp w.value
+
+let verify_write keyring w =
+  Metrics.incr_verify ();
+  check_write keyring w
+
+let check_write_quiet = check_write
+
+let server_verify_write keyring w =
+  Metrics.incr_server_verify ();
+  check_write keyring w
+
+let sign_context ~key ~client ~group ~seq ctx =
+  Metrics.incr_sign ();
+  let body = Payload.ctx_body ~client ~group ~seq ctx in
+  { Payload.seq; ctx; signature = Crypto.Rsa.sign key body }
+
+let check_context keyring ~client ~group (r : Payload.ctx_record) =
+  match Keyring.find keyring client with
+  | None -> false
+  | Some pub ->
+    let body = Payload.ctx_body ~client ~group ~seq:r.seq r.ctx in
+    Crypto.Rsa.verify pub ~msg:body ~signature:r.signature
+
+let verify_context keyring ~client ~group r =
+  Metrics.incr_verify ();
+  check_context keyring ~client ~group r
+
+let server_verify_context keyring ~client ~group r =
+  Metrics.incr_server_verify ();
+  check_context keyring ~client ~group r

@@ -1,0 +1,38 @@
+(** Signature production and verification with cost accounting.
+
+    Every sign/verify passes through here so the section 6 computational
+    cost claims (E2/E3) can be measured rather than asserted. *)
+
+val sign_write :
+  key:Crypto.Rsa.keypair ->
+  writer:string ->
+  uid:Uid.t ->
+  stamp:Stamp.t ->
+  ?wctx:Context.t ->
+  string ->
+  Payload.write
+
+val verify_write : Keyring.t -> Payload.write -> bool
+(** Client-side verification (counts toward [verifies]). *)
+
+val server_verify_write : Keyring.t -> Payload.write -> bool
+(** Same check, counted as a server-side verification. *)
+
+val check_write_quiet : Keyring.t -> Payload.write -> bool
+(** Verification without cost accounting — used when classifying an
+    already-failed reply for fault evidence, so diagnostics do not skew
+    the section 6 counters. *)
+
+val sign_context :
+  key:Crypto.Rsa.keypair ->
+  client:string ->
+  group:string ->
+  seq:int ->
+  Context.t ->
+  Payload.ctx_record
+
+val verify_context :
+  Keyring.t -> client:string -> group:string -> Payload.ctx_record -> bool
+
+val server_verify_context :
+  Keyring.t -> client:string -> group:string -> Payload.ctx_record -> bool

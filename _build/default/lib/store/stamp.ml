@@ -1,0 +1,67 @@
+type t =
+  | Scalar of int
+  | Multi of { time : int; writer : string; digest : string }
+
+let zero = Scalar 0
+let scalar v = Scalar v
+
+let multi ~time ~writer ~value =
+  Multi { time; writer; digest = Crypto.Sha256.digest value }
+
+let time = function Scalar t -> t | Multi { time; _ } -> time
+
+let compare a b =
+  match (a, b) with
+  | Scalar ta, Scalar tb -> Int.compare ta tb
+  | Multi ma, Multi mb -> (
+    match Int.compare ma.time mb.time with
+    | 0 -> (
+      match String.compare ma.writer mb.writer with
+      | 0 -> String.compare ma.digest mb.digest
+      | c -> c)
+    | c -> c)
+  | Scalar ta, Multi mb -> if ta = mb.time then -1 else Int.compare ta mb.time
+  | Multi ma, Scalar tb -> if ma.time = tb then 1 else Int.compare ma.time tb
+
+let equal a b = compare a b = 0
+let newer a ~than = compare a than > 0
+
+let is_fork a b =
+  match (a, b) with
+  | Multi ma, Multi mb ->
+    ma.time = mb.time && ma.writer = mb.writer && ma.digest <> mb.digest
+  | _ -> false
+
+let matches_value t value =
+  match t with
+  | Scalar _ -> true
+  | Multi { digest; _ } -> String.equal digest (Crypto.Sha256.digest value)
+
+let pp fmt = function
+  | Scalar t -> Format.fprintf fmt "v%d" t
+  | Multi { time; writer; digest } ->
+    Format.fprintf fmt "v%d@%s#%s" time writer
+      (String.sub (Crypto.Hexs.encode digest) 0 8)
+
+let encode enc t =
+  let open Wire.Codec.Enc in
+  match t with
+  | Scalar v ->
+    u8 enc 0;
+    varint enc v
+  | Multi { time; writer; digest } ->
+    u8 enc 1;
+    varint enc time;
+    string enc writer;
+    string enc digest
+
+let decode dec =
+  let open Wire.Codec.Dec in
+  match u8 dec with
+  | 0 -> Scalar (varint dec)
+  | 1 ->
+    let time = varint dec in
+    let writer = string dec in
+    let digest = string dec in
+    Multi { time; writer; digest }
+  | _ -> raise (Wire.Codec.Error "bad stamp tag")

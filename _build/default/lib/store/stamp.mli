@@ -1,0 +1,44 @@
+(** Write timestamps.
+
+    Single-writer data uses scalar timestamps (a version number / clock
+    value chosen by the one writer, paper section 5.2). Multi-writer data
+    uses the 3-tuple [(time, writer, digest)] of section 5.3: the writer
+    id breaks ties between independent clients, and the value digest
+    makes it evident when a malicious client signs two different values
+    with one timestamp (a "fork"). *)
+
+type t =
+  | Scalar of int
+  | Multi of { time : int; writer : string; digest : string }
+
+val zero : t
+(** The stamp every item implicitly starts with; less than every real
+    write. *)
+
+val scalar : int -> t
+
+val multi : time:int -> writer:string -> value:string -> t
+(** Computes the SHA-256 digest of [value]. *)
+
+val time : t -> int
+
+val compare : t -> t -> int
+(** Total order: time first, then writer id, then digest. [Scalar]
+    orders below [Multi] at equal times (mixing kinds on one item is a
+    configuration error that {!Server} rejects; the order here just keeps
+    [compare] total). *)
+
+val equal : t -> t -> bool
+val newer : t -> than:t -> bool
+
+val is_fork : t -> t -> bool
+(** Two multi-writer stamps with the same time and writer but different
+    digests — proof the writer is faulty. *)
+
+val matches_value : t -> string -> bool
+(** For [Multi], does the embedded digest match this value? [Scalar]
+    stamps carry no digest, so always true. *)
+
+val pp : Format.formatter -> t -> unit
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t

@@ -1,0 +1,39 @@
+type t = { group : string; item : string }
+
+let valid_part s = String.length s > 0 && not (String.contains s '/')
+
+let make ~group ~item =
+  if not (valid_part group && valid_part item) then
+    invalid_arg "Uid.make: parts must be non-empty and '/'-free";
+  { group; item }
+
+let group t = t.group
+let item t = t.item
+let to_string t = t.group ^ "/" ^ t.item
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i ->
+    let group = String.sub s 0 i in
+    let item = String.sub s (i + 1) (String.length s - i - 1) in
+    if valid_part group && valid_part item then Some { group; item } else None
+
+let equal a b = a.group = b.group && a.item = b.item
+
+let compare a b =
+  match String.compare a.group b.group with
+  | 0 -> String.compare a.item b.item
+  | c -> c
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let encode enc t =
+  Wire.Codec.Enc.string enc t.group;
+  Wire.Codec.Enc.string enc t.item
+
+let decode dec =
+  let group = Wire.Codec.Dec.string dec in
+  let item = Wire.Codec.Dec.string dec in
+  if valid_part group && valid_part item then { group; item }
+  else raise (Wire.Codec.Error "bad uid")

@@ -1,0 +1,20 @@
+(** Data item identifiers.
+
+    Every item belongs to exactly one related group (paper section 4:
+    consistency is maintained within a group, never across groups). A uid
+    is rendered ["group/item"]. *)
+
+type t = private { group : string; item : string }
+
+val make : group:string -> item:string -> t
+(** @raise Invalid_argument if either part is empty or contains '/'. *)
+
+val group : t -> string
+val item : t -> string
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t

@@ -1,0 +1,1 @@
+lib/tcpnet/frame.ml: Bytes Char String Unix

@@ -1,0 +1,1 @@
+lib/tcpnet/frame.mli: Unix

@@ -1,0 +1,1 @@
+lib/tcpnet/live.ml: Effect Frame Fun List Mutex Sim String Thread Unix

@@ -1,0 +1,1 @@
+lib/tcpnet/live.mli: Sim

@@ -1,0 +1,1 @@
+lib/tcpnet/server_host.ml: Char Frame Fun List Mutex Store String Thread Unix

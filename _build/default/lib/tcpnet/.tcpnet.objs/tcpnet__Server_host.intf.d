@@ -1,0 +1,1 @@
+lib/tcpnet/server_host.mli: Store

@@ -1,0 +1,38 @@
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Frame.write_frame: frame too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos >= len then Some (Bytes.unsafe_to_string buf)
+    else begin
+      match Unix.read fd buf pos (len - pos) with
+      | 0 -> None
+      | n -> go (pos + n)
+    end
+  in
+  go 0
+
+let read_frame fd =
+  match read_exactly fd 4 with
+  | None -> None
+  | Some header ->
+    let b i = Char.code header.[i] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_frame then None else read_exactly fd len

@@ -1,0 +1,15 @@
+(** Length-prefixed framing over stream sockets.
+
+    A frame is a 4-byte big-endian length followed by that many bytes.
+    Frames are capped at 16 MiB — a malformed or malicious peer cannot
+    make us allocate unboundedly. *)
+
+val max_frame : int
+
+val write_frame : Unix.file_descr -> string -> unit
+(** @raise Unix.Unix_error on socket errors.
+    @raise Invalid_argument if the payload exceeds {!max_frame}. *)
+
+val read_frame : Unix.file_descr -> string option
+(** [None] on clean EOF before or inside a frame, or on an oversized
+    length prefix. *)

@@ -1,0 +1,120 @@
+open Effect.Deep
+
+type endpoints = Sim.Runtime.node_id -> (string * int) option
+
+let connect_to (host, port) =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> Some fd
+  | exception _ ->
+    (try Unix.close fd with _ -> ());
+    None
+
+(* One request per connection: simple and adequate for a demo transport
+   (a production build would pool connections). *)
+let call_once endpoint payload =
+  match connect_to endpoint with
+  | None -> None
+  | Some fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () ->
+        match
+          Frame.write_frame fd ("\x01" ^ payload);
+          Frame.read_frame fd
+        with
+        | Some r when String.length r >= 1 && r.[0] = '\x01' ->
+          Some (String.sub r 1 (String.length r - 1))
+        | Some _ | None -> None
+        | exception _ -> None)
+
+let send_once endpoint payload =
+  match connect_to endpoint with
+  | None -> ()
+  | Some fd ->
+    (try Frame.write_frame fd ("\x00" ^ payload) with _ -> ());
+    (try Unix.close fd with _ -> ())
+
+let do_call_many ~endpoints (spec : Sim.Runtime.call_spec) =
+  let lock = Mutex.create () in
+  let replies = ref [] in
+  let arrived = ref 0 in
+  List.iter
+    (fun dst ->
+      match endpoints dst with
+      | None -> ()
+      | Some endpoint ->
+        ignore
+          (Thread.create
+             (fun () ->
+               match call_once endpoint spec.Sim.Runtime.request with
+               | Some payload ->
+                 Mutex.lock lock;
+                 replies := { Sim.Runtime.from = dst; payload } :: !replies;
+                 incr arrived;
+                 Mutex.unlock lock
+               | None -> ())
+             ()))
+    spec.Sim.Runtime.dsts;
+  (* OCaml's Condition has no timed wait; poll at 1 ms granularity. *)
+  let deadline = Unix.gettimeofday () +. spec.Sim.Runtime.timeout in
+  let quorum = spec.Sim.Runtime.quorum in
+  let rec wait () =
+    let done_ =
+      Mutex.lock lock;
+      let d = !arrived >= quorum in
+      Mutex.unlock lock;
+      d
+    in
+    if done_ || Unix.gettimeofday () >= deadline then ()
+    else begin
+      Thread.delay 0.001;
+      wait ()
+    end
+  in
+  wait ();
+  Mutex.lock lock;
+  let result = List.rev !replies in
+  Mutex.unlock lock;
+  result
+
+let run ~endpoints fn =
+  let rec interpret : 'a. (unit -> 'a) -> 'a =
+    fun fn ->
+      match_with fn ()
+        {
+          retc = Fun.id;
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Sim.Runtime.Now ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    continue k (Unix.gettimeofday ()))
+              | Sim.Runtime.Sleep d ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    Thread.delay (max 0.0 d);
+                    continue k ())
+              | Sim.Runtime.Fork f ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    ignore (Thread.create (fun () -> interpret f) ());
+                    continue k ())
+              | Sim.Runtime.Send_oneway (dst, payload) ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    (match endpoints dst with
+                    | Some endpoint -> send_once endpoint payload
+                    | None -> ());
+                    continue k ())
+              | Sim.Runtime.Call_many spec ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    continue k (do_call_many ~endpoints spec))
+              | _ -> None);
+        }
+  in
+  interpret fn

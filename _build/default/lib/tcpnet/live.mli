@@ -1,0 +1,14 @@
+(** Real-time, real-socket interpretation of the {!Sim.Runtime} effects.
+
+    The third interpreter for the same protocol code: [Now] is the wall
+    clock, [Sleep] blocks the thread, [Call_many] fans out one thread
+    per destination and wakes the caller at quorum or deadline, and
+    one-way sends are fire-and-forget. Endpoint resolution maps node ids
+    to [(host, port)] pairs served by {!Server_host}. *)
+
+type endpoints = Sim.Runtime.node_id -> (string * int) option
+
+val run : endpoints:endpoints -> (unit -> 'a) -> 'a
+(** Interpret the thunk's effects over TCP. Unresolvable or unreachable
+    destinations simply never reply (indistinguishable from a crashed
+    server, as in the paper's model). *)

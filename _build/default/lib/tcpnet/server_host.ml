@@ -1,0 +1,101 @@
+type gossip = { peers : (string * int) list; period : float }
+
+type t = {
+  listener : Unix.file_descr;
+  bound_port : int;
+  mutable running : bool;
+  lock : Mutex.t;
+}
+
+let with_lock t fn =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) fn
+
+let handle_connection t server fd =
+  let rec loop () =
+    match Frame.read_frame fd with
+    | None -> ()
+    | Some request when String.length request >= 1 ->
+      let tag = Char.code request.[0] in
+      let payload = String.sub request 1 (String.length request - 1) in
+      let response =
+        with_lock t (fun () ->
+            Store.Server.handler server ~now:(Unix.gettimeofday ()) ~from:(-1)
+              payload)
+      in
+      if tag = 1 then begin
+        match response with
+        | Some r -> Frame.write_frame fd ("\x01" ^ r)
+        | None -> Frame.write_frame fd "\x00"
+      end;
+      loop ()
+    | Some _ -> ()
+  in
+  (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let push_to_peer ~host ~port payload =
+  match
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | fd ->
+    (try Frame.write_frame fd ("\x00" ^ payload)
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception (Unix.Unix_error _ | Failure _) -> ()
+
+let gossip_loop t server { peers; period } =
+  while t.running do
+    Thread.delay period;
+    let writes = with_lock t (fun () -> Store.Server.take_gossip_buffer server) in
+    match writes with
+    | [] -> ()
+    | writes ->
+      let payload =
+        Store.Payload.encode_envelope
+          {
+            Store.Payload.token = None;
+            request =
+              Store.Payload.Gossip_push
+                { writes; have = Store.Server.gossip_summary server };
+          }
+      in
+      List.iter (fun (host, port) -> push_to_peer ~host ~port payload) peers
+  done
+
+let start ?gossip ~server ~port () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listener 64;
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t = { listener; bound_port; running = true; lock = Mutex.create () } in
+  let accept_loop () =
+    while t.running do
+      match Unix.accept listener with
+      | fd, _ -> ignore (Thread.create (handle_connection t server) fd)
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    done
+  in
+  ignore (Thread.create accept_loop ());
+  (match gossip with
+  | Some g -> ignore (Thread.create (gossip_loop t server) g)
+  | None -> ());
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  t.running <- false;
+  try Unix.close t.listener with Unix.Unix_error _ -> ()

@@ -1,0 +1,24 @@
+(** Host a {!Store.Server} behind a TCP listener.
+
+    Wire sub-protocol (inside {!Frame}s):
+    - request frame:  one tag byte — [0x00] one-way, [0x01] call — then
+      the {!Store.Payload.envelope} bytes;
+    - response frame (calls only): [0x00] for "no reply" or [0x01]
+      followed by the {!Store.Payload.response} bytes.
+
+    One thread per connection; the store state is guarded by a mutex so
+    the passive-server semantics match the in-process ones. An optional
+    gossip thread pushes newly accepted writes to peer endpoints. *)
+
+type gossip = { peers : (string * int) list; period : float }
+
+type t
+
+val start : ?gossip:gossip -> server:Store.Server.t -> port:int -> unit -> t
+(** Bind, listen and serve on a background thread; returns immediately.
+    [port = 0] picks an ephemeral port (see {!port}). *)
+
+val port : t -> int
+val stop : t -> unit
+(** Close the listener and stop the gossip thread. In-flight connection
+    threads finish their current request. *)

@@ -1,0 +1,127 @@
+exception Error of string
+
+let fail msg = raise (Error msg)
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.Enc.varint: negative";
+    let rec go v =
+      if v < 0x80 then u8 t v
+      else begin
+        u8 t (0x80 lor (v land 0x7f));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let float t v =
+    let bits = Int64.bits_of_float v in
+    for i = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let option t enc = function
+    | None -> u8 t 0
+    | Some v ->
+      u8 t 1;
+      enc t v
+
+  let list t enc l =
+    varint t (List.length l);
+    List.iter (enc t) l
+
+  let pair t enc_a enc_b (a, b) =
+    enc_a t a;
+    enc_b t b
+
+  let bool t v = u8 t (if v then 1 else 0)
+  let to_string = Buffer.contents
+end
+
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.src then fail "unexpected end of input";
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then fail "varint too wide";
+      let b = u8 t in
+      let chunk = b land 0x7f in
+      (* A chunk whose bits would spill past the native int width (or
+         into the sign bit) is an overflow, not a huge value. *)
+      if shift > 0 && (chunk lsl shift) lsr shift <> chunk then
+        fail "varint overflow";
+      let acc = acc lor (chunk lsl shift) in
+      if acc < 0 then fail "varint overflow";
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let float t =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let string t =
+    let n = varint t in
+    if t.pos + n > String.length t.src then fail "string overruns input";
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let option t dec = match u8 t with
+    | 0 -> None
+    | 1 -> Some (dec t)
+    | _ -> fail "bad option tag"
+
+  let list t dec =
+    let n = varint t in
+    if n > String.length t.src - t.pos then fail "list count overruns input";
+    List.init n (fun _ -> dec t)
+
+  let pair t dec_a dec_b =
+    let a = dec_a t in
+    let b = dec_b t in
+    (a, b)
+
+  let bool t = match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | _ -> fail "bad bool tag"
+
+  let at_end t = t.pos = String.length t.src
+  let expect_end t = if not (at_end t) then fail "trailing bytes"
+end
+
+let encode enc v =
+  let t = Enc.create () in
+  enc t v;
+  Enc.to_string t
+
+let decode dec s =
+  let t = Dec.of_string s in
+  let v = dec t in
+  Dec.expect_end t;
+  v
+
+let decode_opt dec s = match decode dec s with
+  | v -> Some v
+  | exception Error _ -> None

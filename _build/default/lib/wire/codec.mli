@@ -1,0 +1,53 @@
+(** Binary wire codec: length-delimited, varint-based combinators.
+
+    Every message the store sends is encoded with these, so the
+    simulator's byte counters measure realistic message sizes and the TCP
+    transport reuses the exact same representation. Decoding is total:
+    malformed input raises {!Error}, which protocol code treats as a
+    Byzantine reply. *)
+
+exception Error of string
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Non-negative native ints, LEB128. *)
+
+  val float : t -> float -> unit
+  (** IEEE 754 double, 8 bytes. *)
+
+  val string : t -> string -> unit
+  (** Varint length prefix then raw bytes. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val pair : t -> (t -> 'a -> unit) -> (t -> 'b -> unit) -> 'a * 'b -> unit
+  val bool : t -> bool -> unit
+  val to_string : t -> string
+end
+
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val varint : t -> int
+  val float : t -> float
+  val string : t -> string
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+  val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
+  val bool : t -> bool
+  val at_end : t -> bool
+  val expect_end : t -> unit
+end
+
+val encode : (Enc.t -> 'a -> unit) -> 'a -> string
+val decode : (Dec.t -> 'a) -> string -> 'a
+(** Runs the decoder and checks all input was consumed.
+    @raise Error on malformed or trailing input. *)
+
+val decode_opt : (Dec.t -> 'a) -> string -> 'a option

@@ -1,0 +1,1 @@
+lib/workload/table.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/workload/worlds.ml: Array Crypto Fun Hashtbl List Sim Store

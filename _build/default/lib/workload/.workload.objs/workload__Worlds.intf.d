@@ -1,0 +1,1 @@
+lib/workload/worlds.mli: Crypto Sim Store

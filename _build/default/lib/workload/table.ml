@@ -1,0 +1,42 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_ms v = Printf.sprintf "%.2f" (1000.0 *. v)
+let cell_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let print fmt t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w -> pad (match List.nth_opt row c with Some s -> s | None -> "") w)
+        widths
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf fmt "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf fmt "%s@." (render_row t.header);
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (render_row row)) t.rows;
+  List.iter (fun note -> Format.fprintf fmt "  note: %s@." note) t.notes

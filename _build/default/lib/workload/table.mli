@@ -1,0 +1,20 @@
+(** Plain-text result tables, one per reproduced experiment. *)
+
+type t = {
+  id : string;  (** "E1" … *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** paper claim, caveats, seeds *)
+}
+
+val print : Format.formatter -> t -> unit
+(** Column-aligned ASCII rendering with the id, title and notes. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ms : float -> string
+(** Seconds rendered as milliseconds with 2 decimals. *)
+
+val cell_pct : float -> string
+(** Fraction rendered as a percentage. *)

@@ -1,0 +1,60 @@
+type t = {
+  n : int;
+  b : int;
+  keyring : Store.Keyring.t;
+  servers : Store.Server.t array;
+  hmap : (now:float -> from:int -> string -> string option) array;
+}
+
+let key_cache : (string, Crypto.Rsa.keypair) Hashtbl.t = Hashtbl.create 16
+
+let key_of name =
+  match Hashtbl.find_opt key_cache name with
+  | Some k -> k
+  | None ->
+    let k =
+      Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("wk-" ^ name))
+    in
+    Hashtbl.replace key_cache name k;
+    k
+
+let default_clients = [ "alice"; "bob"; "carol"; "mallory" ]
+
+let make ?(n = 4) ?(b = 1) ?(guard = false) ?(clients = default_clients) () =
+  let keyring = Store.Keyring.create () in
+  List.iter
+    (fun c -> Store.Keyring.register keyring c (key_of c).Crypto.Rsa.public)
+    clients;
+  let config =
+    { (Store.Server.default_config ~n ~b) with Store.Server.malicious_client_guard = guard }
+  in
+  let servers =
+    Array.init n (fun id -> Store.Server.create ~config ~id ~keyring ~n ~b ())
+  in
+  { n; b; keyring; servers; hmap = Array.map Store.Server.handler servers }
+
+let wrap t i behavior = t.hmap.(i) <- Store.Faults.wrap behavior t.servers.(i)
+
+let handlers t dst ~from request =
+  if dst >= 0 && dst < t.n then t.hmap.(dst) ~now:0.0 ~from request else None
+
+let in_direct t fn = Sim.Direct.run ~handlers:(handlers t) fn
+
+let register_engine t engine =
+  Array.iteri
+    (fun i _ ->
+      Sim.Engine.add_server engine i (fun ~now ~from payload ->
+          t.hmap.(i) ~now ~from payload))
+    t.servers
+
+let connect ?(cfg = Fun.id) ?recover t name ~group =
+  let config = cfg (Store.Client.default_config ~n:t.n ~b:t.b) in
+  match
+    Store.Client.connect ?recover ~config ~uid:name ~key:(key_of name)
+      ~keyring:t.keyring ~group ()
+  with
+  | Ok c -> c
+  | Error e ->
+    failwith ("Worlds.connect: " ^ Store.Client.error_to_string e)
+
+let flood t = Store.Gossip.flood ~servers:t.servers

@@ -1,0 +1,45 @@
+(** Reusable experiment fixtures: a keyring, a server fleet and pluggable
+    (possibly Byzantine) wire handlers, runnable under {!Sim.Direct} or
+    registered into a {!Sim.Engine}. *)
+
+type t = {
+  n : int;
+  b : int;
+  keyring : Store.Keyring.t;
+  servers : Store.Server.t array;
+  hmap : (now:float -> from:int -> string -> string option) array;
+}
+
+val key_of : string -> Crypto.Rsa.keypair
+(** Deterministic cached 512-bit keypair for a client name. *)
+
+val make :
+  ?n:int ->
+  ?b:int ->
+  ?guard:bool ->
+  ?clients:string list ->
+  unit ->
+  t
+(** Fresh world; default n=4, b=1, guard off, clients
+    [alice;bob;carol;mallory] (all registered in the keyring). *)
+
+val wrap : t -> int -> Store.Faults.behavior -> unit
+(** Replace server [i]'s handler with a Byzantine wrapper. *)
+
+val in_direct : t -> (unit -> 'a) -> 'a
+(** Run protocol code synchronously against this world. *)
+
+val register_engine : t -> Sim.Engine.t -> unit
+(** Register every server handler with an engine (for timed runs). *)
+
+val connect :
+  ?cfg:(Store.Client.config -> Store.Client.config) ->
+  ?recover:[ `Fresh | `Reconstruct ] ->
+  t ->
+  string ->
+  group:string ->
+  Store.Client.t
+(** Connect or fail loudly (experiments assume healthy quorums). *)
+
+val flood : t -> unit
+(** Total synchronous dissemination. *)

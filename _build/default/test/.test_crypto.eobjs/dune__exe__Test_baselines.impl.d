@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Crash_quorum Crypto Hashtbl List Masking_quorum Pbft_lite Printf Sim Store String Wire

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Direct Engine Fun Heap Int Latency List Option Printf QCheck QCheck_alcotest Runtime Sim Srng Stats String

@@ -1,0 +1,1 @@
+test/test_tcpnet.ml: Alcotest Array Crypto Fun List Store String Tcpnet Thread Unix

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Char Codec Float List Printf QCheck QCheck_alcotest Store String Wire

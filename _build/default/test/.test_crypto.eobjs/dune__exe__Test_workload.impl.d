@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Format List Str String Workload

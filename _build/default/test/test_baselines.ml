@@ -1,0 +1,296 @@
+open Baselines
+
+let key_cache : (string, Crypto.Rsa.keypair) Hashtbl.t = Hashtbl.create 4
+
+let key_of name =
+  match Hashtbl.find_opt key_cache name with
+  | Some k -> k
+  | None ->
+    let k = Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("bk-" ^ name)) in
+    Hashtbl.replace key_cache name k;
+    k
+
+(* ------------------------------------------------------------------ *)
+(* Masking quorum                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type mq_world = {
+  n : int;
+  keyring : Store.Keyring.t;
+  hmap : (now:float -> from:int -> string -> string option) array;
+}
+
+let mq_world ?(n = 5) () =
+  let keyring = Store.Keyring.create () in
+  List.iter
+    (fun c -> Store.Keyring.register keyring c (key_of c).Crypto.Rsa.public)
+    [ "alice"; "bob" ];
+  let servers = Array.init n (fun id -> Masking_quorum.Server.create ~id ~keyring) in
+  { n; keyring; hmap = Array.map Masking_quorum.Server.handler servers }
+
+let mq_handlers w dst ~from request =
+  if dst >= 0 && dst < w.n then w.hmap.(dst) ~now:0.0 ~from request else None
+
+let mq_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "masking quorum error: %s" (Masking_quorum.error_to_string e)
+
+let test_mq_roundtrip () =
+  let w = mq_world () in
+  Sim.Direct.run ~handlers:(mq_handlers w) (fun () ->
+      let c =
+        Masking_quorum.create ~n:w.n ~b:1 ~uid:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ()
+      in
+      Alcotest.(check int) "quorum size" 4 (Masking_quorum.quorum c);
+      mq_ok (Masking_quorum.write c ~item:"x" "v1");
+      Alcotest.(check string) "read" "v1" (mq_ok (Masking_quorum.read c ~item:"x"));
+      mq_ok (Masking_quorum.write c ~item:"x" "v2");
+      Alcotest.(check string) "overwrite" "v2" (mq_ok (Masking_quorum.read c ~item:"x"));
+      match Masking_quorum.read c ~item:"nothing" with
+      | Error Masking_quorum.Not_found -> ()
+      | _ -> Alcotest.fail "expected Not_found")
+
+let test_mq_crash_tolerated () =
+  let w = mq_world ~n:5 () in
+  w.hmap.(4) <- (fun ~now:_ ~from:_ _ -> None);
+  Sim.Direct.run ~handlers:(mq_handlers w) (fun () ->
+      let c =
+        Masking_quorum.create ~n:5 ~b:1 ~uid:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ()
+      in
+      mq_ok (Masking_quorum.write c ~item:"x" "v1");
+      Alcotest.(check string) "read with crash" "v1"
+        (mq_ok (Masking_quorum.read c ~item:"x")))
+
+let test_mq_liars_masked () =
+  let w = mq_world ~n:5 () in
+  (* One Byzantine server fabricates a high-timestamp value. It can never
+     gather b+1 vouches, so readers ignore it. *)
+  let forged =
+    Wire.Codec.encode
+      (fun enc () ->
+        Wire.Codec.Enc.u8 enc 0;
+        Wire.Codec.Enc.u8 enc 1;
+        (* stored *)
+        Wire.Codec.Enc.varint enc 999999;
+        Wire.Codec.Enc.string enc "alice";
+        Wire.Codec.Enc.string enc "forged!";
+        Wire.Codec.Enc.string enc (String.make 64 'z'))
+      ()
+  in
+  w.hmap.(0) <- (fun ~now:_ ~from:_ _ -> Some forged);
+  Sim.Direct.run ~handlers:(mq_handlers w) (fun () ->
+      let c =
+        Masking_quorum.create ~n:5 ~b:1 ~uid:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ()
+      in
+      mq_ok (Masking_quorum.write c ~item:"x" "truth");
+      Alcotest.(check string) "lie masked" "truth"
+        (mq_ok (Masking_quorum.read c ~item:"x")))
+
+let test_mq_message_costs () =
+  List.iter
+    (fun (n, b) ->
+      let w = mq_world ~n () in
+      let q = Store.Quorums.masking_quorum ~n ~b in
+      Sim.Direct.run ~handlers:(mq_handlers w) (fun () ->
+          let c =
+            Masking_quorum.create ~n ~b ~uid:"alice" ~key:(key_of "alice")
+              ~keyring:w.keyring ()
+          in
+          Store.Metrics.reset ();
+          mq_ok (Masking_quorum.write c ~item:"x" "v");
+          let m = Store.Metrics.read () in
+          Alcotest.(check int)
+            (Printf.sprintf "write msgs 2q (n=%d b=%d)" n b)
+            (2 * q) m.Store.Metrics.messages;
+          Alcotest.(check int) "q server verifies" q m.Store.Metrics.server_verifies;
+          Store.Metrics.reset ();
+          Alcotest.(check string) "read" "v" (mq_ok (Masking_quorum.read c ~item:"x"));
+          let m = Store.Metrics.read () in
+          Alcotest.(check int)
+            (Printf.sprintf "read msgs 2q (n=%d b=%d)" n b)
+            (2 * q) m.Store.Metrics.messages))
+    [ (5, 1); (9, 2); (13, 3) ]
+
+let test_mq_two_phase_costs () =
+  let n = 5 and b = 1 in
+  let w = mq_world ~n () in
+  let q = Store.Quorums.masking_quorum ~n ~b in
+  Sim.Direct.run ~handlers:(mq_handlers w) (fun () ->
+      let c =
+        Masking_quorum.create ~n ~b ~two_phase:true ~uid:"alice"
+          ~key:(key_of "alice") ~keyring:w.keyring ()
+      in
+      Store.Metrics.reset ();
+      mq_ok (Masking_quorum.write c ~item:"x" "v");
+      Alcotest.(check int) "two-phase write msgs 4q" (4 * q)
+        (Store.Metrics.read ()).Store.Metrics.messages)
+
+(* ------------------------------------------------------------------ *)
+(* Crash quorum                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cq_world ?(n = 5) () =
+  let servers = Array.init n (fun id -> Crash_quorum.Server.create ~id) in
+  Array.map Crash_quorum.Server.handler servers
+
+let cq_handlers hmap dst ~from request =
+  if dst >= 0 && dst < Array.length hmap then hmap.(dst) ~now:0.0 ~from request
+  else None
+
+let cq_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "crash quorum error: %s" (Crash_quorum.error_to_string e)
+
+let test_cq_roundtrip () =
+  let hmap = cq_world () in
+  Sim.Direct.run ~handlers:(cq_handlers hmap) (fun () ->
+      let c = Crash_quorum.create ~n:5 ~uid:"alice" () in
+      Alcotest.(check int) "majority" 3 (Crash_quorum.quorum c);
+      cq_ok (Crash_quorum.write c ~item:"x" "v1");
+      Alcotest.(check string) "read" "v1" (cq_ok (Crash_quorum.read c ~item:"x")))
+
+let test_cq_minority_crash () =
+  let hmap = cq_world ~n:5 () in
+  hmap.(0) <- (fun ~now:_ ~from:_ _ -> None);
+  hmap.(1) <- (fun ~now:_ ~from:_ _ -> None);
+  Sim.Direct.run ~handlers:(cq_handlers hmap) (fun () ->
+      let c = Crash_quorum.create ~n:5 ~uid:"alice" () in
+      cq_ok (Crash_quorum.write c ~item:"x" "v1");
+      Alcotest.(check string) "survives 2/5 down" "v1"
+        (cq_ok (Crash_quorum.read c ~item:"x")))
+
+let test_cq_majority_crash_blocks () =
+  let hmap = cq_world ~n:5 () in
+  for i = 0 to 2 do
+    hmap.(i) <- (fun ~now:_ ~from:_ _ -> None)
+  done;
+  Sim.Direct.run ~handlers:(cq_handlers hmap) (fun () ->
+      let c = Crash_quorum.create ~n:5 ~uid:"alice" () in
+      match Crash_quorum.write c ~item:"x" "v1" with
+      | Error (Crash_quorum.No_quorum _) -> ()
+      | _ -> Alcotest.fail "expected No_quorum")
+
+(* ------------------------------------------------------------------ *)
+(* PBFT-lite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pbft_engine ?(n = 4) ?(f = 1) () =
+  let engine =
+    Sim.Engine.create ~seed:5 ~latency:(Sim.Latency.make (Sim.Latency.Constant 0.001)) ()
+  in
+  let cluster = Pbft_lite.create_cluster ~engine ~n ~f in
+  (engine, cluster)
+
+let test_pbft_put_get () =
+  let engine, cluster = pbft_engine () in
+  let result = ref "" in
+  Sim.Engine.spawn engine ~client:10 (fun () ->
+      let c = Pbft_lite.client cluster ~id:10 in
+      (match Pbft_lite.execute c (Pbft_lite.Put { item = "x"; value = "v1" }) with
+      | Ok _ -> ()
+      | Error Pbft_lite.Timeout -> Alcotest.fail "put timed out");
+      match Pbft_lite.execute c (Pbft_lite.Get { item = "x" }) with
+      | Ok v -> result := v
+      | Error Pbft_lite.Timeout -> Alcotest.fail "get timed out");
+  Sim.Engine.run engine;
+  Alcotest.(check string) "linearized get" "v1" !result
+
+let test_pbft_ordering () =
+  let engine, cluster = pbft_engine () in
+  let result = ref "" in
+  Sim.Engine.spawn engine ~client:10 (fun () ->
+      let c = Pbft_lite.client cluster ~id:10 in
+      List.iter
+        (fun v ->
+          match Pbft_lite.execute c (Pbft_lite.Put { item = "x"; value = v }) with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "put failed")
+        [ "v1"; "v2"; "v3" ];
+      match Pbft_lite.execute c (Pbft_lite.Get { item = "x" }) with
+      | Ok v -> result := v
+      | Error _ -> Alcotest.fail "get failed");
+  Sim.Engine.run engine;
+  Alcotest.(check string) "last write wins" "v3" !result
+
+let test_pbft_message_count () =
+  List.iter
+    (fun (n, f) ->
+      let engine, cluster = pbft_engine ~n ~f () in
+      let ok = ref false in
+      Store.Metrics.reset ();
+      Sim.Engine.spawn engine ~client:(n + 5) (fun () ->
+          let c = Pbft_lite.client cluster ~id:(n + 5) in
+          match Pbft_lite.execute c (Pbft_lite.Put { item = "x"; value = "v" }) with
+          | Ok _ -> ok := true
+          | Error _ -> ());
+      Sim.Engine.run engine;
+      Alcotest.(check bool) "committed" true !ok;
+      let m = Store.Metrics.read () in
+      Alcotest.(check int)
+        (Printf.sprintf "O(n^2) messages (n=%d)" n)
+        (Pbft_lite.expected_messages_per_op ~n)
+        m.Store.Metrics.messages;
+      Alcotest.(check bool) "uses MACs, not signatures" true
+        (m.Store.Metrics.macs > 0 && m.Store.Metrics.signs = 0))
+    [ (4, 1); (7, 2); (10, 3) ]
+
+let test_pbft_tolerates_f_crashes () =
+  let engine, cluster = pbft_engine ~n:4 ~f:1 () in
+  Sim.Engine.set_down engine 3 true;
+  let result = ref "" in
+  Sim.Engine.spawn engine ~client:10 (fun () ->
+      let c = Pbft_lite.client cluster ~id:10 in
+      (match Pbft_lite.execute c (Pbft_lite.Put { item = "x"; value = "v1" }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "put with crash failed");
+      match Pbft_lite.execute c (Pbft_lite.Get { item = "x" }) with
+      | Ok v -> result := v
+      | Error _ -> Alcotest.fail "get with crash failed");
+  Sim.Engine.run engine;
+  Alcotest.(check string) "commits with f down" "v1" !result
+
+let test_pbft_latency_hops () =
+  (* With constant 1 ms links the commit path is a fixed number of
+     one-way hops: request, pre-prepare, prepare, commit, reply = 5. *)
+  let engine, cluster = pbft_engine ~n:4 ~f:1 () in
+  let elapsed = ref 0.0 in
+  Sim.Engine.spawn engine ~client:10 (fun () ->
+      let c = Pbft_lite.client cluster ~id:10 in
+      let start = Sim.Runtime.now () in
+      ignore (Pbft_lite.execute c (Pbft_lite.Put { item = "x"; value = "v" }));
+      elapsed := Sim.Runtime.now () -. start);
+  Sim.Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "5 hops ~ 5ms (got %.4fs)" !elapsed)
+    true
+    (!elapsed >= 0.005 && !elapsed < 0.007)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "masking-quorum",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mq_roundtrip;
+          Alcotest.test_case "crash tolerated" `Quick test_mq_crash_tolerated;
+          Alcotest.test_case "liars masked" `Quick test_mq_liars_masked;
+          Alcotest.test_case "message costs" `Quick test_mq_message_costs;
+          Alcotest.test_case "two-phase costs" `Quick test_mq_two_phase_costs;
+        ] );
+      ( "crash-quorum",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cq_roundtrip;
+          Alcotest.test_case "minority crash" `Quick test_cq_minority_crash;
+          Alcotest.test_case "majority crash blocks" `Quick test_cq_majority_crash_blocks;
+        ] );
+      ( "pbft-lite",
+        [
+          Alcotest.test_case "put/get" `Quick test_pbft_put_get;
+          Alcotest.test_case "ordering" `Quick test_pbft_ordering;
+          Alcotest.test_case "message count" `Quick test_pbft_message_count;
+          Alcotest.test_case "f crashes" `Quick test_pbft_tolerates_f_crashes;
+          Alcotest.test_case "latency hops" `Quick test_pbft_latency_hops;
+        ] );
+    ]

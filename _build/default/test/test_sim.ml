@@ -1,0 +1,401 @@
+open Sim
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "size" 7 (Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let drained = List.init 7 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~compare:Int.compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Srng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_srng_deterministic () =
+  let a = Srng.create 42 and b = Srng.create 42 in
+  let seq r = List.init 20 (fun _ -> Srng.int64 r) in
+  Alcotest.(check bool) "same seed same stream" true (seq a = seq b);
+  let c = Srng.create 43 in
+  Alcotest.(check bool) "different seed" false
+    (seq (Srng.create 42) = seq c)
+
+let test_srng_ranges () =
+  let r = Srng.create 7 in
+  for _ = 1 to 2000 do
+    let f = Srng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    let i = Srng.int_below r 13 in
+    if i < 0 || i >= 13 then Alcotest.failf "int out of range: %d" i;
+    let u = Srng.uniform r ~lo:2.0 ~hi:3.0 in
+    if u < 2.0 || u > 3.0 then Alcotest.failf "uniform out of range: %f" u;
+    let e = Srng.exponential r ~mean:1.0 in
+    if e < 0.0 then Alcotest.failf "negative exponential: %f" e
+  done
+
+let test_srng_exponential_mean () =
+  let r = Srng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Srng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f close to 5.0" mean)
+    true
+    (abs_float (mean -. 5.0) < 0.2)
+
+let test_srng_shuffle_permutation () =
+  let r = Srng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Srng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Latency                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_models () =
+  let r = Srng.create 5 in
+  for _ = 1 to 500 do
+    (match Latency.sample Latency.lan r with
+    | Some d when d >= 0.0001 && d <= 0.0005 -> ()
+    | Some d -> Alcotest.failf "lan out of range: %f" d
+    | None -> Alcotest.fail "lan should be lossless");
+    match Latency.sample (Latency.make (Latency.Constant 0.01)) r with
+    | Some d -> Alcotest.(check (float 1e-9)) "constant" 0.01 d
+    | None -> Alcotest.fail "constant should be lossless"
+  done
+
+let test_latency_drop () =
+  let r = Srng.create 9 in
+  let lossy = Latency.make ~drop_probability:0.5 (Latency.Constant 0.001) in
+  let drops = ref 0 in
+  for _ = 1 to 2000 do
+    if Latency.sample lossy r = None then incr drops
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate %d/2000 near half" !drops)
+    true
+    (!drops > 850 && !drops < 1150)
+
+let test_latency_describe () =
+  Alcotest.(check bool) "wan mentions loss" true
+    (String.length (Latency.describe Latency.wan) > 0
+    && String.length (Latency.describe Latency.lan) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.0) (Stats.stddev s)
+
+let test_stats_percentile_after_add () =
+  (* The sorted cache must invalidate when samples arrive out of order. *)
+  let s = Stats.create () in
+  Stats.add s 10.0;
+  ignore (Stats.percentile s 50.0);
+  Stats.add s 1.0;
+  Alcotest.(check (float 1e-9)) "median updates" 1.0 (Stats.percentile s 50.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean s))
+
+(* ------------------------------------------------------------------ *)
+(* Direct runtime                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let echo_handlers dst ~from:_ request =
+  if dst >= 0 && dst < 5 then Some (Printf.sprintf "%d:%s" dst request)
+  else None
+
+let test_direct_call_many () =
+  let replies =
+    Direct.run ~handlers:echo_handlers (fun () ->
+        Runtime.call_many ~quorum:3 [ 0; 1; 2; 3; 4 ] "ping")
+  in
+  Alcotest.(check int) "all respond" 5 (List.length replies);
+  let r0 = List.find (fun r -> r.Runtime.from = 0) replies in
+  Alcotest.(check string) "payload" "0:ping" r0.Runtime.payload
+
+let test_direct_missing_server () =
+  let reply =
+    Direct.run ~handlers:echo_handlers (fun () -> Runtime.call_one 99 "ping")
+  in
+  Alcotest.(check (option string)) "no such server" None reply
+
+let test_direct_time_advances () =
+  Direct.run ~handlers:echo_handlers (fun () ->
+      let t1 = Runtime.now () in
+      let t2 = Runtime.now () in
+      Alcotest.(check bool) "monotonic" true (t2 > t1))
+
+let test_direct_fork_runs () =
+  let hit = ref false in
+  Direct.run ~handlers:echo_handlers (fun () ->
+      Runtime.fork (fun () -> hit := true));
+  Alcotest.(check bool) "fork executed" true !hit
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let engine_with_echo ?latency ?seed () =
+  let eng = Engine.create ?seed ?latency () in
+  for i = 0 to 4 do
+    Engine.add_server eng i (fun ~now:_ ~from:_ request ->
+        Some (Printf.sprintf "%d:%s" i request))
+  done;
+  eng
+
+let test_engine_quorum_resume () =
+  let eng = engine_with_echo () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      got := Runtime.call_many ~quorum:3 [ 0; 1; 2; 3; 4 ] "hello");
+  Engine.run eng;
+  (* Quorum of 3 resumes at the 3rd reply; remaining replies are late. *)
+  Alcotest.(check int) "resumes at quorum" 3 (List.length !got)
+
+let test_engine_timeout_partial () =
+  let eng = Engine.create () in
+  Engine.add_server eng 0 (fun ~now:_ ~from:_ _ -> Some "ok");
+  Engine.add_server eng 1 (fun ~now:_ ~from:_ _ -> None) (* silent server *);
+  let got = ref [] and elapsed = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      let start = Runtime.now () in
+      got := Runtime.call_many ~timeout:0.5 ~quorum:2 [ 0; 1 ] "hello";
+      elapsed := Runtime.now () -. start);
+  Engine.run eng;
+  Alcotest.(check int) "only the live reply" 1 (List.length !got);
+  Alcotest.(check bool) "waited for timeout" true (!elapsed >= 0.5)
+
+let test_engine_virtual_time_and_sleep () =
+  let eng = engine_with_echo () in
+  let times = ref [] in
+  Engine.spawn eng (fun () ->
+      times := Runtime.now () :: !times;
+      Runtime.sleep 2.5;
+      times := Runtime.now () :: !times);
+  Engine.run eng;
+  match !times with
+  | [ t2; t1 ] ->
+    Alcotest.(check (float 1e-9)) "start at 0" 0.0 t1;
+    Alcotest.(check (float 1e-9)) "sleep advances clock" 2.5 t2
+  | _ -> Alcotest.fail "expected two timestamps"
+
+let test_engine_latency_affects_completion () =
+  let slow = Latency.make (Latency.Constant 0.1) in
+  let eng = engine_with_echo ~latency:slow () in
+  let elapsed = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      let start = Runtime.now () in
+      ignore (Runtime.call_many ~quorum:5 [ 0; 1; 2; 3; 4 ] "x");
+      elapsed := Runtime.now () -. start);
+  Engine.run eng;
+  (* Constant 0.1 s each way: the call takes one round trip. *)
+  Alcotest.(check (float 1e-6)) "round trip" 0.2 !elapsed
+
+let test_engine_down_server () =
+  let eng = engine_with_echo () in
+  Engine.set_down eng 0 true;
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      got := Runtime.call_many ~timeout:0.2 ~quorum:5 [ 0; 1; 2; 3; 4 ] "x");
+  Engine.run eng;
+  Alcotest.(check int) "crashed server silent" 4 (List.length !got);
+  Alcotest.(check bool) "others respond" true
+    (List.for_all (fun r -> r.Runtime.from <> 0) !got)
+
+let test_engine_partition () =
+  let eng = engine_with_echo () in
+  (* Client (-1) can reach only servers 0-2. *)
+  Engine.set_reachable eng (fun src dst ->
+      let blocked n = n = 3 || n = 4 in
+      not (blocked src || blocked dst));
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      got := Runtime.call_many ~timeout:0.2 ~quorum:5 [ 0; 1; 2; 3; 4 ] "x");
+  Engine.run eng;
+  Alcotest.(check int) "partitioned away" 3 (List.length !got)
+
+let test_engine_counters () =
+  let eng = engine_with_echo () in
+  Engine.spawn eng (fun () ->
+      ignore (Runtime.call_many ~quorum:5 [ 0; 1; 2; 3; 4 ] "abc"));
+  Engine.run eng;
+  let c = Engine.counters eng in
+  (* 5 requests + 5 replies. *)
+  Alcotest.(check int) "messages" 10 c.Engine.messages_sent;
+  Alcotest.(check bool) "bytes counted" true (c.Engine.bytes_sent >= 5 * 3);
+  Engine.reset_counters eng;
+  Alcotest.(check int) "reset" 0 (Engine.counters eng).Engine.messages_sent
+
+let test_engine_periodic () =
+  let eng = engine_with_echo () in
+  let ticks = ref 0 in
+  let p = Engine.every eng ~period:1.0 (fun () -> incr ticks) in
+  Engine.run ~until:5.5 eng;
+  Engine.cancel p;
+  Engine.run eng;
+  (* Ticks at 0,1,2,3,4,5 = 6 ticks; cancel stops the rest. *)
+  Alcotest.(check int) "six ticks" 6 !ticks
+
+let test_engine_determinism () =
+  let run_once () =
+    let eng =
+      engine_with_echo ~seed:77 ~latency:(Latency.make (Latency.Uniform { lo = 0.001; hi = 0.050 })) ()
+    in
+    let order = ref [] in
+    Engine.spawn eng (fun () ->
+        let replies = Runtime.call_many ~quorum:5 [ 0; 1; 2; 3; 4 ] "x" in
+        order := List.map (fun r -> r.Runtime.from) replies);
+    Engine.run eng;
+    !order
+  in
+  Alcotest.(check (list int)) "same seed, same arrival order" (run_once ())
+    (run_once ())
+
+let test_engine_lossy_links () =
+  (* 100% loss: every call times out with zero replies; the client is not
+     stuck, just empty-handed. *)
+  let lossy = Latency.make ~drop_probability:1.0 (Latency.Constant 0.001) in
+  let eng = Engine.create ~latency:lossy () in
+  Engine.add_server eng 0 (fun ~now:_ ~from:_ _ -> Some "ok");
+  let got = ref [ { Runtime.from = 99; payload = "sentinel" } ] in
+  let elapsed = ref 0.0 in
+  Engine.spawn eng (fun () ->
+      let start = Runtime.now () in
+      got := Runtime.call_many ~timeout:0.3 ~quorum:1 [ 0 ] "x";
+      elapsed := Runtime.now () -. start);
+  Engine.run eng;
+  Alcotest.(check int) "no replies" 0 (List.length !got);
+  Alcotest.(check bool) "timed out" true (!elapsed >= 0.3);
+  Alcotest.(check bool) "drops counted" true
+    ((Engine.counters eng).Engine.messages_dropped >= 1)
+
+let test_engine_partial_loss_statistics () =
+  (* 30% loss: over many calls, roughly 70% single-destination round
+     trips succeed; none crash the engine. *)
+  let lossy = Latency.make ~drop_probability:0.3 (Latency.Constant 0.001) in
+  let eng = Engine.create ~seed:17 ~latency:lossy () in
+  Engine.add_server eng 0 (fun ~now:_ ~from:_ _ -> Some "ok");
+  let successes = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 200 do
+        match Runtime.call_many ~timeout:0.05 ~quorum:1 [ 0 ] "x" with
+        | _ :: _ -> incr successes
+        | [] -> ()
+      done);
+  Engine.run eng;
+  (* Both legs must survive: P(success) = 0.7^2 = 0.49. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "success rate %d/200 near 49%%" !successes)
+    true
+    (!successes > 60 && !successes < 140)
+
+let test_engine_zero_quorum_immediate () =
+  let eng = engine_with_echo () in
+  let elapsed = ref 1.0 in
+  Engine.spawn eng (fun () ->
+      let start = Runtime.now () in
+      ignore (Runtime.call_many ~quorum:0 [ 0; 1 ] "x");
+      elapsed := Runtime.now () -. start);
+  Engine.run eng;
+  Alcotest.(check (float 1e-9)) "quorum 0 returns immediately" 0.0 !elapsed
+
+let test_engine_fork_concurrent () =
+  let eng = engine_with_echo ~latency:(Latency.make (Latency.Constant 0.1)) () in
+  let finished = ref [] in
+  Engine.spawn eng (fun () ->
+      Runtime.fork (fun () ->
+          ignore (Runtime.call_one 0 "a");
+          finished := "fork" :: !finished);
+      ignore (Runtime.call_one 1 "b");
+      finished := "main" :: !finished);
+  Engine.run eng;
+  (* Both complete at the same virtual time; both must have run. *)
+  Alcotest.(check int) "both fibers ran" 2 (List.length !finished)
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "srng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_srng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_srng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_srng_exponential_mean;
+          Alcotest.test_case "shuffle" `Quick test_srng_shuffle_permutation;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "models" `Quick test_latency_models;
+          Alcotest.test_case "drop" `Quick test_latency_drop;
+          Alcotest.test_case "describe" `Quick test_latency_describe;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "cache invalidation" `Quick test_stats_percentile_after_add;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "direct",
+        [
+          Alcotest.test_case "call_many" `Quick test_direct_call_many;
+          Alcotest.test_case "missing server" `Quick test_direct_missing_server;
+          Alcotest.test_case "time advances" `Quick test_direct_time_advances;
+          Alcotest.test_case "fork" `Quick test_direct_fork_runs;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "quorum resume" `Quick test_engine_quorum_resume;
+          Alcotest.test_case "timeout partial" `Quick test_engine_timeout_partial;
+          Alcotest.test_case "virtual time" `Quick test_engine_virtual_time_and_sleep;
+          Alcotest.test_case "latency" `Quick test_engine_latency_affects_completion;
+          Alcotest.test_case "down server" `Quick test_engine_down_server;
+          Alcotest.test_case "partition" `Quick test_engine_partition;
+          Alcotest.test_case "counters" `Quick test_engine_counters;
+          Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "lossy links" `Quick test_engine_lossy_links;
+          Alcotest.test_case "partial loss" `Quick test_engine_partial_loss_statistics;
+          Alcotest.test_case "zero quorum" `Quick test_engine_zero_quorum_immediate;
+          Alcotest.test_case "fork concurrency" `Quick test_engine_fork_concurrent;
+        ] );
+    ]

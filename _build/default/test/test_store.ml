@@ -1,0 +1,1938 @@
+open Store
+
+(* ------------------------------------------------------------------ *)
+(* Fixture                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let key_cache : (string, Crypto.Rsa.keypair) Hashtbl.t = Hashtbl.create 8
+
+let key_of name =
+  match Hashtbl.find_opt key_cache name with
+  | Some k -> k
+  | None ->
+    let k = Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("key-" ^ name)) in
+    Hashtbl.replace key_cache name k;
+    k
+
+type world = {
+  n : int;
+  b : int;
+  keyring : Keyring.t;
+  servers : Server.t array;
+  hmap : (now:float -> from:int -> string -> string option) array;
+}
+
+let clients = [ "alice"; "bob"; "carol"; "mallory" ]
+
+let make_world ?(n = 4) ?(b = 1) ?server_config () =
+  let keyring = Keyring.create () in
+  List.iter (fun c -> Keyring.register keyring c (key_of c).Crypto.Rsa.public) clients;
+  let servers =
+    Array.init n (fun id ->
+        Server.create ?config:server_config ~id ~keyring ~n ~b ())
+  in
+  let hmap = Array.map Server.handler servers in
+  { n; b; keyring; servers; hmap }
+
+let wrap w i behavior = w.hmap.(i) <- Faults.wrap behavior w.servers.(i)
+
+let handlers w dst ~from request =
+  if dst >= 0 && dst < w.n then w.hmap.(dst) ~now:0.0 ~from request else None
+
+let in_world w fn = Sim.Direct.run ~handlers:(handlers w) fn
+
+let connect ?(cfg = Fun.id) ?recover w name ~group =
+  let config = cfg (Client.default_config ~n:w.n ~b:w.b) in
+  match
+    Client.connect ?recover ~config ~uid:name ~key:(key_of name)
+      ~keyring:w.keyring ~group ()
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "connect %s failed: %s" name (Client.error_to_string e)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Client.error_to_string e)
+
+let expect_error = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> e
+
+let flood w = Gossip.flood ~servers:w.servers
+
+(* ------------------------------------------------------------------ *)
+(* Uid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_uid () =
+  let u = Uid.make ~group:"taxes" ~item:"2025" in
+  Alcotest.(check string) "to_string" "taxes/2025" (Uid.to_string u);
+  (match Uid.of_string "taxes/2025" with
+  | Some u' -> Alcotest.(check bool) "roundtrip" true (Uid.equal u u')
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check bool) "no slash" true (Uid.of_string "noslash" = None);
+  Alcotest.(check bool) "empty item" true (Uid.of_string "g/" = None);
+  Alcotest.check_raises "bad make"
+    (Invalid_argument "Uid.make: parts must be non-empty and '/'-free")
+    (fun () -> ignore (Uid.make ~group:"a/b" ~item:"c"))
+
+(* ------------------------------------------------------------------ *)
+(* Stamp                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stamp_order () =
+  let s1 = Stamp.scalar 1 and s2 = Stamp.scalar 2 in
+  Alcotest.(check bool) "scalar order" true (Stamp.newer s2 ~than:s1);
+  Alcotest.(check bool) "zero below all" true (Stamp.newer s1 ~than:Stamp.zero);
+  let m1 = Stamp.multi ~time:5 ~writer:"alice" ~value:"x" in
+  let m2 = Stamp.multi ~time:5 ~writer:"bob" ~value:"y" in
+  let m3 = Stamp.multi ~time:6 ~writer:"alice" ~value:"z" in
+  Alcotest.(check bool) "time first" true (Stamp.newer m3 ~than:m2);
+  Alcotest.(check bool) "writer breaks tie" true (Stamp.newer m2 ~than:m1);
+  Alcotest.(check bool) "total" true (Stamp.compare m1 m2 = -Stamp.compare m2 m1)
+
+let test_stamp_fork () =
+  let a = Stamp.multi ~time:5 ~writer:"mallory" ~value:"one" in
+  let b = Stamp.multi ~time:5 ~writer:"mallory" ~value:"two" in
+  let c = Stamp.multi ~time:5 ~writer:"alice" ~value:"two" in
+  Alcotest.(check bool) "fork detected" true (Stamp.is_fork a b);
+  Alcotest.(check bool) "different writers no fork" false (Stamp.is_fork a c);
+  Alcotest.(check bool) "same stamp no fork" false (Stamp.is_fork a a);
+  Alcotest.(check bool) "digest binds value" true (Stamp.matches_value a "one");
+  Alcotest.(check bool) "digest rejects other" false (Stamp.matches_value a "two")
+
+let test_stamp_codec () =
+  let roundtrip s =
+    let encoded = Wire.Codec.encode Stamp.encode s in
+    Alcotest.(check bool) "roundtrip" true
+      (Stamp.equal s (Wire.Codec.decode Stamp.decode encoded))
+  in
+  roundtrip (Stamp.scalar 0);
+  roundtrip (Stamp.scalar 123456789);
+  roundtrip (Stamp.multi ~time:42 ~writer:"w" ~value:"v")
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let u1 = Uid.make ~group:"g" ~item:"x1"
+let u2 = Uid.make ~group:"g" ~item:"x2"
+
+let test_context_basics () =
+  let c = Context.empty in
+  Alcotest.(check bool) "empty find" true (Stamp.equal (Context.find c u1) Stamp.zero);
+  let c = Context.set c u1 (Stamp.scalar 3) in
+  let c = Context.observe c u1 (Stamp.scalar 2) in
+  Alcotest.(check bool) "observe keeps max" true
+    (Stamp.equal (Context.find c u1) (Stamp.scalar 3));
+  let c = Context.observe c u1 (Stamp.scalar 7) in
+  Alcotest.(check bool) "observe advances" true
+    (Stamp.equal (Context.find c u1) (Stamp.scalar 7))
+
+let test_context_merge_dominates () =
+  let a = Context.of_bindings [ (u1, Stamp.scalar 5); (u2, Stamp.scalar 1) ] in
+  let b = Context.of_bindings [ (u1, Stamp.scalar 3); (u2, Stamp.scalar 9) ] in
+  let m = Context.merge a b in
+  Alcotest.(check bool) "merge pointwise max" true
+    (Stamp.equal (Context.find m u1) (Stamp.scalar 5)
+    && Stamp.equal (Context.find m u2) (Stamp.scalar 9));
+  Alcotest.(check bool) "merge dominates both" true
+    (Context.dominates m a && Context.dominates m b);
+  Alcotest.(check bool) "a does not dominate b" false (Context.dominates a b);
+  Alcotest.(check bool) "empty dominated by all" true
+    (Context.dominates a Context.empty)
+
+let context_gen =
+  QCheck.map
+    (fun entries ->
+      Context.of_bindings
+        (List.map
+           (fun (i, v) ->
+             (Uid.make ~group:"g" ~item:("i" ^ string_of_int (i mod 8)), Stamp.scalar (abs v)))
+           entries))
+    QCheck.(small_list (pair small_nat int))
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"context merge commutes" ~count:200
+    (QCheck.pair context_gen context_gen)
+    (fun (a, b) -> Context.equal (Context.merge a b) (Context.merge b a))
+
+let prop_merge_idempotent =
+  QCheck.Test.make ~name:"context merge idempotent" ~count:200 context_gen
+    (fun a -> Context.equal (Context.merge a a) a)
+
+let prop_merge_dominates =
+  QCheck.Test.make ~name:"merge dominates operands" ~count:200
+    (QCheck.pair context_gen context_gen)
+    (fun (a, b) ->
+      let m = Context.merge a b in
+      Context.dominates m a && Context.dominates m b)
+
+let prop_context_codec =
+  QCheck.Test.make ~name:"context codec roundtrip" ~count:200 context_gen
+    (fun c ->
+      let enc = Wire.Codec.encode Context.encode c in
+      Context.equal c (Wire.Codec.decode Context.decode enc))
+
+(* ------------------------------------------------------------------ *)
+(* Quorums                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_quorum_formulas () =
+  Alcotest.(check int) "ctx quorum n=4 b=1" 3 (Quorums.context_quorum ~n:4 ~b:1);
+  Alcotest.(check int) "ctx quorum n=7 b=2" 5 (Quorums.context_quorum ~n:7 ~b:2);
+  Alcotest.(check int) "ctx quorum n=10 b=3" 7 (Quorums.context_quorum ~n:10 ~b:3);
+  Alcotest.(check int) "masking n=7 b=2" 6 (Quorums.masking_quorum ~n:7 ~b:2);
+  Alcotest.(check int) "write set b=2" 3 (Quorums.write_set ~b:2);
+  Alcotest.(check int) "mw read b=2" 5 (Quorums.mw_read_quorum ~b:2);
+  Alcotest.(check int) "majority n=7" 4 (Quorums.majority_quorum ~n:7);
+  Alcotest.(check bool) "validate ok" true (Quorums.validate ~n:7 ~b:2 = Ok ());
+  Alcotest.(check bool) "validate rejects" true
+    (match Quorums.validate ~n:6 ~b:2 with Error _ -> true | Ok () -> false);
+  Alcotest.(check int) "max_b 10" 3 (Quorums.max_b ~n:10)
+
+let prop_context_overlap =
+  (* The paper's core claim: two context quorums always share at least
+     b+1 servers, hence at least one non-faulty one. *)
+  QCheck.Test.make ~name:"context quorums overlap in >= b+1" ~count:500
+    QCheck.(pair (int_range 1 60) (int_range 0 20))
+    (fun (n, b) ->
+      QCheck.assume (n >= (3 * b) + 1);
+      Quorums.context_overlap ~n ~b >= b + 1
+      && Quorums.context_quorum ~n ~b <= n - b (* reachable with b silent *))
+
+let prop_masking_larger =
+  QCheck.Test.make ~name:"masking quorum is never smaller" ~count:500
+    QCheck.(pair (int_range 1 60) (int_range 0 20))
+    (fun (n, b) ->
+      QCheck.assume (n >= (3 * b) + 1);
+      Quorums.masking_quorum ~n ~b >= Quorums.context_quorum ~n ~b)
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_write =
+  {
+    Payload.uid = u1;
+    stamp = Stamp.scalar 9;
+    wctx = Some (Context.of_bindings [ (u1, Stamp.scalar 9); (u2, Stamp.scalar 2) ]);
+    value = "hello world";
+    writer = "alice";
+    signature = String.make 64 '\x01';
+  }
+
+let test_payload_roundtrips () =
+  let requests =
+    [
+      Payload.Ctx_read { client = "alice"; group = "g" };
+      Payload.Ctx_write
+        {
+          client = "alice";
+          group = "g";
+          record = { Payload.seq = 3; ctx = Context.empty; signature = "sig" };
+        };
+      Payload.Meta_query { uid = u1 };
+      Payload.Value_read { uid = u2; stamp = Stamp.scalar 4 };
+      Payload.Write_req { write = sample_write; await_ack = true };
+      Payload.Log_query { uid = u1 };
+      Payload.Group_query { group = "g" };
+      Payload.Gossip_push { writes = [ sample_write; sample_write ]; have = [ (u1, Stamp.scalar 9) ] };
+    ]
+  in
+  List.iter
+    (fun request ->
+      let env = { Payload.token = Some "tok"; request } in
+      match Payload.decode_envelope (Payload.encode_envelope env) with
+      | Some env' ->
+        Alcotest.(check bool) "envelope roundtrip" true (env = env')
+      | None -> Alcotest.fail "envelope decode failed")
+    requests;
+  let responses =
+    [
+      Payload.Ctx_reply None;
+      Payload.Ctx_reply (Some { Payload.seq = 1; ctx = Context.empty; signature = "s" });
+      Payload.Meta_reply { stamp = Some (Stamp.scalar 2); writer_faulty = true };
+      Payload.Meta_reply { stamp = None; writer_faulty = false };
+      Payload.Value_reply (Some sample_write);
+      Payload.Value_reply None;
+      Payload.Ack;
+      Payload.Log_reply { writes = [ sample_write ]; writer_faulty = false };
+      Payload.Group_reply [ sample_write ];
+      Payload.Denied "nope";
+    ]
+  in
+  List.iter
+    (fun response ->
+      match Payload.decode_response (Payload.encode_response response) with
+      | Some r -> Alcotest.(check bool) "response roundtrip" true (r = response)
+      | None -> Alcotest.fail "response decode failed")
+    responses;
+  Alcotest.(check bool) "garbage rejected" true
+    (Payload.decode_envelope "\xff\xff\xff" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Access control                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_access_control () =
+  let svc = Access_control.create_service ~secret:"s3cret" in
+  let token =
+    Access_control.issue svc ~client:"alice" ~group:"g" ~rights:Access_control.Read_write
+      ~expires:100.0
+  in
+  let check ?expect_client ~now ~token ~op () =
+    Access_control.check svc ~now ~token ?expect_client ~group:"g" ~op ()
+  in
+  Alcotest.(check bool) "authorized" true
+    (check ~now:1.0 ~token:(Some token) ~op:`Write ~expect_client:"alice" () = Authorized);
+  Alcotest.(check bool) "read ok" true
+    (check ~now:1.0 ~token:(Some token) ~op:`Read () = Authorized);
+  Alcotest.(check bool) "expired" true
+    (check ~now:200.0 ~token:(Some token) ~op:`Read () <> Authorized);
+  Alcotest.(check bool) "missing" true
+    (check ~now:1.0 ~token:None ~op:`Read () <> Authorized);
+  Alcotest.(check bool) "wrong client" true
+    (check ~now:1.0 ~token:(Some token) ~op:`Write ~expect_client:"bob" () <> Authorized);
+  let ro =
+    Access_control.issue svc ~client:"alice" ~group:"g" ~rights:Access_control.Read_only
+      ~expires:100.0
+  in
+  Alcotest.(check bool) "read-only blocks writes" true
+    (check ~now:1.0 ~token:(Some ro) ~op:`Write ~expect_client:"alice" () <> Authorized);
+  let tampered = String.sub token 0 (String.length token - 2) ^ "zz" in
+  Alcotest.(check bool) "tampered" true
+    (check ~now:1.0 ~token:(Some tampered) ~op:`Read () <> Authorized);
+  let other = Access_control.create_service ~secret:"other" in
+  let foreign =
+    Access_control.issue other ~client:"alice" ~group:"g"
+      ~rights:Access_control.Read_write ~expires:100.0
+  in
+  Alcotest.(check bool) "foreign issuer" true
+    (check ~now:1.0 ~token:(Some foreign) ~op:`Read () <> Authorized)
+
+(* ------------------------------------------------------------------ *)
+(* Keyring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_keyring () =
+  let k = Keyring.create () in
+  Keyring.register k "alice" (key_of "alice").Crypto.Rsa.public;
+  Keyring.register k "alice" (key_of "alice").Crypto.Rsa.public (* idempotent *);
+  Alcotest.(check bool) "known" true (Keyring.known k "alice");
+  Alcotest.(check bool) "unknown" false (Keyring.known k "eve");
+  Alcotest.check_raises "rebind rejected"
+    (Invalid_argument "Keyring.register: uid already bound: alice") (fun () ->
+      Keyring.register k "alice" (key_of "bob").Crypto.Rsa.public)
+
+(* ------------------------------------------------------------------ *)
+(* Single-writer protocol (Fig. 2)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_read_roundtrip () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"med" in
+      ok (Client.write alice ~item:"records" "blood type O+");
+      Alcotest.(check string) "read back" "blood type O+"
+        (ok (Client.read alice ~item:"records")));
+  (* The write reached exactly b+1 servers; the rest are empty. *)
+  let uid = Uid.make ~group:"med" ~item:"records" in
+  let have =
+    Array.fold_left
+      (fun acc s -> acc + if Server.current_write s uid <> None then 1 else 0)
+      0 w.servers
+  in
+  Alcotest.(check int) "b+1 copies before gossip" (w.b + 1) have
+
+let test_read_other_client () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"news" in
+      ok (Client.write alice ~item:"letter" "school closed friday");
+      let bob = connect w "bob" ~group:"news" in
+      Alcotest.(check string) "single writer, many readers" "school closed friday"
+        (ok (Client.read bob ~item:"letter")))
+
+let test_read_not_found () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      match expect_error (Client.read alice ~item:"ghost") with
+      | Client.Not_found _ -> ()
+      | e -> Alcotest.failf "expected Not_found, got %s" (Client.error_to_string e))
+
+let test_overwrite_returns_latest () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.write alice ~item:"x" "v3");
+      Alcotest.(check string) "latest" "v3" (ok (Client.read alice ~item:"x")))
+
+(* A reader whose preferred servers are behind must not regress below its
+   context: the read expands to more servers (Fig. 2's "contact
+   additional servers"). *)
+let test_mrc_expansion_beats_stale_servers () =
+  let w = make_world () in
+  let stale_first cfg = { cfg with Client.servers = [ 2; 3; 0; 1 ] } in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.disconnect alice));
+  flood w;
+  (* Everyone has v1. Now v2 lands only on servers 0 and 1. *)
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      (* Bob first reads v2 via servers 0,1 then prefers stale 2,3: MRC
+         must still return v2. *)
+      let bob = connect w "bob" ~group:"g" in
+      Alcotest.(check string) "sees v2" "v2" (ok (Client.read bob ~item:"x")));
+  in_world w (fun () ->
+      let bob = connect w "bob" ~group:"g" ~cfg:stale_first in
+      Alcotest.(check string) "fresh client on stale servers gets v1 (allowed)"
+        "v1"
+        (ok (Client.read bob ~item:"x")));
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      (* Alice's own context demands v2 even on stale-first order. *)
+      let alice_stale = connect w "alice" ~group:"g" ~cfg:stale_first in
+      ignore alice;
+      Alcotest.(check string) "context forces expansion" "v2"
+        (ok (Client.read alice_stale ~item:"x")))
+
+let test_session_context_roundtrip () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      Alcotest.(check bool) "context restored" true
+        (Stamp.compare
+           (Context.find (Client.context alice) (Uid.make ~group:"g" ~item:"x"))
+           Stamp.zero
+        > 0);
+      (* Read-your-writes across sessions. *)
+      Alcotest.(check string) "read your writes" "v1"
+        (ok (Client.read alice ~item:"x")));
+  in_world w (fun () ->
+      (* Sessions are independent: a third connect/disconnect cycle works. *)
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.disconnect alice))
+
+let test_disconnected_session_rejects_ops () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.disconnect alice);
+      (match Client.read alice ~item:"x" with
+      | Error Client.Disconnected -> ()
+      | _ -> Alcotest.fail "expected Disconnected");
+      match Client.write alice ~item:"x" "v" with
+      | Error Client.Disconnected -> ()
+      | _ -> Alcotest.fail "expected Disconnected")
+
+let test_context_reconstruction () =
+  let w = make_world () in
+  (* Session crashes without disconnect: context write-back never runs. *)
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"y" "w1"));
+  flood w;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~recover:`Reconstruct in
+      let ctx = Client.context alice in
+      Alcotest.(check int) "both items recovered" 2 (Context.cardinal ctx);
+      Alcotest.(check string) "reads fresh" "v1" (ok (Client.read alice ~item:"x"));
+      (* Timestamps must continue above recovered ones. *)
+      ok (Client.write alice ~item:"x" "v2");
+      Alcotest.(check string) "new write wins" "v2" (ok (Client.read alice ~item:"x")))
+
+(* ------------------------------------------------------------------ *)
+(* Causal consistency                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cc cfg = { cfg with Client.consistency = Client.CC }
+
+let test_cc_pulls_dependencies () =
+  let w = make_world () in
+  (* x1=v1 known everywhere; then x1=v2 and a dependent write x2=w2 land
+     only on servers 0,1. A reader that sees w2 via gossip on server 2
+     must then refuse x1=v1. *)
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:cc in
+      ok (Client.write alice ~item:"x1" "v1"));
+  flood w;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:cc ~recover:`Reconstruct in
+      ok (Client.write alice ~item:"x1" "v2");
+      let bob = connect w "bob" ~group:"g" ~cfg:cc in
+      Alcotest.(check string) "bob reads v2" "v2" (ok (Client.read bob ~item:"x1"));
+      ok (Client.write bob ~item:"x2" "based-on-v2"));
+  (* Push only bob's x2 write to server 2 (guard off: accepted). *)
+  let x2 = Uid.make ~group:"g" ~item:"x2" in
+  let x2_write =
+    match Server.current_write w.servers.(0) x2 with
+    | Some wr -> wr
+    | None -> Alcotest.fail "x2 missing at server 0"
+  in
+  ignore
+    (Server.handle w.servers.(2) ~now:0.0 ~from:0
+       { Payload.token = None; request = Payload.Gossip_push { writes = [ x2_write ]; have = [] } });
+  in_world w (fun () ->
+      let carol =
+        connect w "carol" ~group:"g"
+          ~cfg:(fun c -> { (cc c) with Client.servers = [ 2; 3; 0; 1 ] })
+      in
+      Alcotest.(check string) "carol reads x2 from server 2" "based-on-v2"
+        (ok (Client.read carol ~item:"x2"));
+      (* CC: carol's context now requires x1 >= v2's stamp; servers 2,3
+         only have v1, so the read must expand and return v2. *)
+      Alcotest.(check string) "cc forbids causally overwritten v1" "v2"
+        (ok (Client.read carol ~item:"x1")))
+
+let test_mrc_does_not_pull_dependencies () =
+  (* Identical setup but MRC: carol may legitimately read the stale v1. *)
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x1" "v1"));
+  flood w;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~recover:`Reconstruct in
+      ok (Client.write alice ~item:"x1" "v2");
+      let bob = connect w "bob" ~group:"g" in
+      Alcotest.(check string) "bob reads v2" "v2" (ok (Client.read bob ~item:"x1"));
+      ok (Client.write bob ~item:"x2" "based-on-v2"));
+  let x2 = Uid.make ~group:"g" ~item:"x2" in
+  let x2_write = Option.get (Server.current_write w.servers.(0) x2) in
+  ignore
+    (Server.handle w.servers.(2) ~now:0.0 ~from:0
+       { Payload.token = None; request = Payload.Gossip_push { writes = [ x2_write ]; have = [] } });
+  in_world w (fun () ->
+      let carol =
+        connect w "carol" ~group:"g"
+          ~cfg:(fun c -> { c with Client.servers = [ 2; 3; 0; 1 ] })
+      in
+      Alcotest.(check string) "carol reads x2" "based-on-v2"
+        (ok (Client.read carol ~item:"x2"));
+      Alcotest.(check string) "mrc happily returns v1" "v1"
+        (ok (Client.read carol ~item:"x1")))
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine servers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupt_value_detected () =
+  let w = make_world () in
+  wrap w 0 Faults.Corrupt_value;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "precious");
+      (* Server 0 is polled first and serves garbage; the signature check
+         fails and the read falls through to server 1. *)
+      Alcotest.(check string) "survives corruption" "precious"
+        (ok (Client.read alice ~item:"x")))
+
+let test_equivocating_meta_rejected () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1"));
+  flood w;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~recover:`Reconstruct in
+      ok (Client.write alice ~item:"x" "v2"));
+  (* Server 0 now claims an enormous timestamp but can only serve what it
+     has. Readers with a fresh context must not regress. *)
+  wrap w 0 Faults.Equivocate;
+  in_world w (fun () ->
+      let bob = connect w "bob" ~group:"g" in
+      Alcotest.(check string) "reads true latest" "v2" (ok (Client.read bob ~item:"x")))
+
+let test_crash_and_silent_servers () =
+  let w = make_world ~n:4 ~b:1 () in
+  wrap w 3 Faults.Crash;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      Alcotest.(check string) "one crash tolerated" "v1"
+        (ok (Client.read alice ~item:"x"));
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      Alcotest.(check string) "context survives crash" "v1"
+        (ok (Client.read alice ~item:"x")))
+
+let test_stale_server_context () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.disconnect alice));
+  wrap w 0 Faults.Stale;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      (* Server 0 returns the seq-1 context; the client picks the latest
+         validly-signed one (seq 2) and so must read v2. *)
+      Alcotest.(check string) "latest context wins" "v2"
+        (ok (Client.read alice ~item:"x")))
+
+let test_forged_write_rejected_by_servers () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let forged = Faults.forge_write ~keyring:w.keyring ~uid ~value:"evil" ~writer:"alice" in
+  (match
+     Server.handle w.servers.(0) ~now:0.0 ~from:9
+       { Payload.token = None; request = Payload.Gossip_push { writes = [ forged ]; have = [] } }
+   with
+  | Some Payload.Ack -> ()
+  | _ -> Alcotest.fail "gossip should be acked");
+  Alcotest.(check bool) "forgery not stored" true
+    (Server.current_write w.servers.(0) uid = None)
+
+let test_unknown_writer_rejected () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let eve_key = Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:"eve") in
+      let config = Client.default_config ~n:w.n ~b:w.b in
+      match
+        Client.connect ~config ~uid:"eve" ~key:eve_key ~keyring:w.keyring ~group:"g" ()
+      with
+      | Error _ -> ()
+      | Ok eve -> (
+        match Client.write eve ~item:"x" "sneaky" with
+        | Error Client.Write_rejected -> ()
+        | Error e -> Alcotest.failf "expected rejection, got %s" (Client.error_to_string e)
+        | Ok () -> Alcotest.fail "unregistered writer accepted"))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-writer protocol (section 5.3)                                *)
+(* ------------------------------------------------------------------ *)
+
+let mw cfg = { cfg with Client.mode = Client.Multi_writer }
+let mw_guarded_world ?(n = 4) ?(b = 1) () =
+  let config =
+    { (Server.default_config ~n ~b) with Server.malicious_client_guard = true }
+  in
+  make_world ~n ~b ~server_config:config ()
+
+let test_multi_writer_two_clients () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"plan" ~cfg:mw in
+      let bob = connect w "bob" ~group:"plan" ~cfg:mw in
+      ok (Client.write alice ~item:"doc" "alice-draft");
+      ok (Client.write bob ~item:"doc" "bob-draft");
+      (* Both observers converge on the same winner. *)
+      let carol = connect w "carol" ~group:"plan" ~cfg:mw in
+      let v1 = ok (Client.read carol ~item:"doc") in
+      let mallory = connect w "mallory" ~group:"plan" ~cfg:mw in
+      let v2 = ok (Client.read mallory ~item:"doc") in
+      Alcotest.(check string) "agreement" v1 v2;
+      Alcotest.(check string) "later timestamp wins" "bob-draft" v1)
+
+let test_multi_writer_monotonic_per_reader () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"plan" ~cfg:mw in
+      let carol = connect w "carol" ~group:"plan" ~cfg:mw in
+      ok (Client.write alice ~item:"doc" "v1");
+      let first = ok (Client.read carol ~item:"doc") in
+      Alcotest.(check string) "first" "v1" first;
+      let bob = connect w "bob" ~group:"plan" ~cfg:mw in
+      ok (Client.write bob ~item:"doc" "v2");
+      let second = ok (Client.read carol ~item:"doc") in
+      Alcotest.(check string) "no regression" "v2" second)
+
+let test_fork_detection () =
+  let w = make_world () in
+  (* Mallory signs two different values under one timestamp and sends one
+     to some servers, the other to the rest. *)
+  let uid = Uid.make ~group:"plan" ~item:"doc" in
+  let stamp1 = Stamp.multi ~time:77 ~writer:"mallory" ~value:"one" in
+  let stamp2 = Stamp.multi ~time:77 ~writer:"mallory" ~value:"two" in
+  let mk stamp value =
+    Signing.sign_write ~key:(key_of "mallory") ~writer:"mallory" ~uid ~stamp value
+  in
+  let w1 = mk stamp1 "one" and w2 = mk stamp2 "two" in
+  let push i write =
+    ignore
+      (Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
+         { Payload.token = None; request = Payload.Write_req { write; await_ack = true } })
+  in
+  Array.iteri (fun i _ -> push i w1) w.servers;
+  Array.iteri (fun i _ -> push i w2) w.servers;
+  Alcotest.(check bool) "servers flag mallory" true
+    (Array.for_all (fun s -> Server.is_writer_faulty s "mallory") w.servers);
+  in_world w (fun () ->
+      let carol = connect w "carol" ~group:"plan" ~cfg:mw in
+      match expect_error (Client.read carol ~item:"doc") with
+      | Client.Writer_faulty _ -> ()
+      | e -> Alcotest.failf "expected Writer_faulty, got %s" (Client.error_to_string e))
+
+let test_malicious_context_held () =
+  let w = mw_guarded_world () in
+  let uid = Uid.make ~group:"plan" ~item:"doc" in
+  (* Mallory's write names a causal predecessor that does not exist
+     anywhere (spurious huge timestamp on item "dep"). *)
+  let dep = Uid.make ~group:"plan" ~item:"dep" in
+  let bogus_ctx =
+    Context.of_bindings
+      [ (dep, Stamp.multi ~time:999999999 ~writer:"mallory" ~value:"?") ]
+  in
+  let stamp = Stamp.multi ~time:10 ~writer:"mallory" ~value:"poison" in
+  let poisoned =
+    Signing.sign_write ~key:(key_of "mallory") ~writer:"mallory" ~uid ~stamp
+      ~wctx:bogus_ctx "poison"
+  in
+  Array.iter
+    (fun s ->
+      ignore
+        (Server.handle s ~now:0.0 ~from:(-1)
+           {
+             Payload.token = None;
+             request = Payload.Write_req { write = poisoned; await_ack = true };
+           }))
+    w.servers;
+  Alcotest.(check bool) "held, not announced" true
+    (Array.for_all
+       (fun s -> Server.current_write s uid = None && Server.pending_count s uid = 1)
+       w.servers);
+  (* Readers never see the poisoned write, and their contexts are not
+     polluted by its spurious timestamps. *)
+  in_world w (fun () ->
+      let carol =
+        connect w "carol" ~group:"plan" ~cfg:(fun c -> { (mw c) with Client.read_retries = 0 })
+      in
+      (match Client.read carol ~item:"doc" with
+      | Error (Client.Not_found _) -> ()
+      | Error e -> Alcotest.failf "unexpected error %s" (Client.error_to_string e)
+      | Ok v -> Alcotest.failf "poisoned value visible: %s" v);
+      Alcotest.(check bool) "context clean" true
+        (Stamp.equal (Context.find (Client.context carol) dep) Stamp.zero))
+
+let test_guard_releases_when_deps_arrive () =
+  let w = mw_guarded_world () in
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"plan" ~cfg:(fun c -> cc (mw c))
+      in
+      ok (Client.write alice ~item:"dep" "base");
+      (* CC write of doc depends on dep, which every server has: it must
+         be announced immediately. *)
+      ok (Client.write alice ~item:"doc" "final");
+      let bob = connect w "bob" ~group:"plan" ~cfg:(fun c -> cc (mw c)) in
+      Alcotest.(check string) "visible" "final" (ok (Client.read bob ~item:"doc")))
+
+let test_guard_holds_out_of_order_gossip () =
+  let w = mw_guarded_world () in
+  let dep = Uid.make ~group:"plan" ~item:"dep" in
+  let doc = Uid.make ~group:"plan" ~item:"doc" in
+  let dep_stamp = Stamp.multi ~time:5 ~writer:"alice" ~value:"base" in
+  let dep_write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid:dep
+      ~stamp:dep_stamp "base"
+  in
+  let doc_ctx = Context.of_bindings [ (dep, dep_stamp) ] in
+  let doc_write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid:doc
+      ~stamp:(Stamp.multi ~time:6 ~writer:"alice" ~value:"final")
+      ~wctx:doc_ctx "final"
+  in
+  let push i write =
+    ignore
+      (Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
+         { Payload.token = None; request = Payload.Write_req { write; await_ack = true } })
+  in
+  (* doc arrives before dep: held. *)
+  push 0 doc_write;
+  Alcotest.(check int) "held" 1 (Server.pending_count w.servers.(0) doc);
+  Alcotest.(check bool) "not announced" true
+    (Server.current_write w.servers.(0) doc = None);
+  (* dep arrives: doc is released. *)
+  push 0 dep_write;
+  Alcotest.(check int) "drained" 0 (Server.pending_count w.servers.(0) doc);
+  Alcotest.(check bool) "announced now" true
+    (Server.current_write w.servers.(0) doc <> None)
+
+let test_eager_report_masked_by_vouching () =
+  let w = mw_guarded_world () in
+  wrap w 0 Faults.Eager_report;
+  let doc = Uid.make ~group:"plan" ~item:"doc" in
+  let dep = Uid.make ~group:"plan" ~item:"dep" in
+  let bogus_ctx =
+    Context.of_bindings [ (dep, Stamp.multi ~time:424242 ~writer:"mallory" ~value:"?") ]
+  in
+  let poisoned =
+    Signing.sign_write ~key:(key_of "mallory") ~writer:"mallory" ~uid:doc
+      ~stamp:(Stamp.multi ~time:9 ~writer:"mallory" ~value:"poison")
+      ~wctx:bogus_ctx "poison"
+  in
+  Array.iter
+    (fun s ->
+      ignore
+        (Server.handle s ~now:0.0 ~from:(-1)
+           {
+             Payload.token = None;
+             request = Payload.Write_req { write = poisoned; await_ack = true };
+           }))
+    w.servers;
+  in_world w (fun () ->
+      let carol =
+        connect w "carol" ~group:"plan"
+          ~cfg:(fun c -> { (mw c) with Client.read_retries = 0 })
+      in
+      (* Only the eager server vouches for the held write: b+1 = 2
+         matching servers are required, so it is not accepted. *)
+      match Client.read carol ~item:"doc" with
+      | Error (Client.Not_found _) -> ()
+      | Error e -> Alcotest.failf "unexpected error %s" (Client.error_to_string e)
+      | Ok v -> Alcotest.failf "eager report leaked: %s" v)
+
+let test_log_keeps_overwritten_value () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"plan" ~cfg:mw in
+      ok (Client.write alice ~item:"doc" "v1");
+      ok (Client.write alice ~item:"doc" "v2"));
+  let doc = Uid.make ~group:"plan" ~item:"doc" in
+  let log = Server.log_writes w.servers.(0) doc in
+  Alcotest.(check int) "current + overwritten" 2 (List.length log);
+  Alcotest.(check string) "newest first" "v2" (List.hd log).Payload.value
+
+(* ------------------------------------------------------------------ *)
+(* Inline (one-round) reads                                           *)
+(* ------------------------------------------------------------------ *)
+
+let inline cfg = { cfg with Client.inline_read = true; paper_cost_model = true }
+
+let test_inline_read_roundtrip () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:inline in
+      ok (Client.write alice ~item:"x" "vv");
+      Alcotest.(check string) "inline read" "vv" (ok (Client.read alice ~item:"x")))
+
+let test_inline_read_one_round_cost () =
+  List.iter
+    (fun (n, b) ->
+      let w = make_world ~n ~b () in
+      in_world w (fun () ->
+          let alice = connect w "alice" ~group:"g" ~cfg:inline in
+          ok (Client.write alice ~item:"x" "v");
+          Metrics.reset ();
+          ok (Result.map ignore (Client.read alice ~item:"x"));
+          let m = Metrics.read () in
+          (* One round: b+1 requests + b+1 full-write replies. *)
+          Alcotest.(check int)
+            (Printf.sprintf "inline read msgs (n=%d b=%d)" n b)
+            (2 * (b + 1))
+            m.Metrics.messages;
+          Alcotest.(check int) "one verification" 1 m.Metrics.verifies))
+    [ (4, 1); (7, 2); (10, 3) ]
+
+let test_inline_read_falls_back () =
+  (* Preferred servers are stale: the inline round misses, the standard
+     expansion path still finds the fresh value. *)
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.disconnect alice));
+  flood w;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { (inline c) with Client.servers = [ 2; 3; 0; 1 ] })
+      in
+      Alcotest.(check string) "fallback finds fresh" "v2"
+        (ok (Client.read alice ~item:"x")))
+
+let test_inline_read_survives_corruption () =
+  let w = make_world () in
+  wrap w 0 Faults.Corrupt_value;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:inline in
+      ok (Client.write alice ~item:"x" "precious");
+      Alcotest.(check string) "corrupt inline reply skipped" "precious"
+        (ok (Client.read alice ~item:"x")))
+
+(* ------------------------------------------------------------------ *)
+(* Timestamp jitter (update-count privacy, section 5.2)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_timestamp_jitter () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.timestamp_jitter = 1000 })
+      in
+      for i = 1 to 5 do
+        ok (Client.write alice ~item:"x" (string_of_int i))
+      done;
+      Alcotest.(check string) "still reads latest" "5" (ok (Client.read alice ~item:"x")));
+  (* With jitter, the final timestamp must exceed the write count by far,
+     so a server cannot infer how many updates happened. *)
+  match Server.current_write w.servers.(0) uid with
+  | Some writes ->
+    Alcotest.(check bool) "timestamp >> update count" true
+      (Stamp.time writes.Payload.stamp > 50)
+  | None -> Alcotest.fail "missing write"
+
+let test_jitter_monotonic =
+  QCheck.Test.make ~name:"jittered stamps stay strictly increasing" ~count:50
+    QCheck.small_nat
+    (fun seed ->
+      let w = make_world () in
+      in_world w (fun () ->
+          let alice =
+            connect w "alice" ~group:"g"
+              ~cfg:(fun c -> { c with Client.timestamp_jitter = 17; seed })
+          in
+          let uid = Uid.make ~group:"g" ~item:"x" in
+          let stamps = ref [] in
+          for i = 1 to 10 do
+            ok (Client.write alice ~item:"x" (string_of_int i));
+            stamps := Context.find (Client.context alice) uid :: !stamps
+          done;
+          let rec strictly_increasing = function
+            | a :: (b :: _ as rest) ->
+              Stamp.compare b a < 0 && strictly_increasing rest
+            | _ -> true
+          in
+          (* stamps list is newest-first *)
+          strictly_increasing !stamps))
+
+(* ------------------------------------------------------------------ *)
+(* Log erasure (section 5.3: drop once newer value is at 2b+1)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_erasure_via_gossip () =
+  let w = make_world ~n:4 ~b:1 () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"x" "v2"));
+  (* Before dissemination: v1 still retained in the log at server 0. *)
+  Alcotest.(check int) "log keeps v1" 2 (List.length (Server.log_writes w.servers.(0) uid));
+  flood w;
+  (* After full dissemination every server knows >= 2b+1 = 3 servers hold
+     v2, so v1 is erased from logs. *)
+  Alcotest.(check bool) "holder evidence collected" true
+    (Array.exists
+       (fun s ->
+         match Server.current_write s uid with
+         | Some w' -> Server.holder_count s uid w'.Payload.stamp >= 3
+         | None -> false)
+       w.servers);
+  Alcotest.(check bool) "old value erased somewhere" true
+    (Array.exists (fun s -> List.length (Server.log_writes s uid) = 1) w.servers)
+
+let test_erased_write_not_readmitted () =
+  let w = make_world ~n:4 ~b:1 () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"x" "v2"));
+  let v1_write =
+    match Server.log_writes w.servers.(0) uid with
+    | [ _; v1 ] -> v1
+    | _ -> Alcotest.fail "expected two log entries"
+  in
+  flood w;
+  (* Find a server that erased v1 and replay v1 at it: the watermark must
+     reject the stale resurrection. *)
+  let victim =
+    match
+      Array.find_opt (fun s -> List.length (Server.log_writes s uid) = 1) w.servers
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no server erased v1"
+  in
+  ignore
+    (Server.handle victim ~now:0.0 ~from:9
+       {
+         Payload.token = None;
+         request = Payload.Gossip_push { writes = [ v1_write ]; have = [] };
+       });
+  Alcotest.(check int) "replayed v1 stays out" 1
+    (List.length (Server.log_writes victim uid))
+
+(* ------------------------------------------------------------------ *)
+(* Authorization end to end                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_auth_enforced () =
+  let svc = Access_control.create_service ~secret:"store-secret" in
+  let n = 4 and b = 1 in
+  let config = { (Server.default_config ~n ~b) with Server.auth = Some svc } in
+  let w = make_world ~n ~b ~server_config:config () in
+  let token rights =
+    Access_control.issue svc ~client:"alice" ~group:"g" ~rights ~expires:1e9
+  in
+  in_world w (fun () ->
+      (* No token: context read returns Denied everywhere -> no quorum of
+         usable replies, but connect still succeeds with an empty context
+         only if Denied counts as a reply... it must NOT grant access. *)
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.token = Some (token Access_control.Read_write) })
+      in
+      ok (Client.write alice ~item:"x" "v1");
+      Alcotest.(check string) "authorized client works" "v1"
+        (ok (Client.read alice ~item:"x"));
+      ok (Client.disconnect alice));
+  in_world w (fun () ->
+      let reader =
+        connect w "bob" ~group:"g"
+          ~cfg:(fun c ->
+            let t =
+              Access_control.issue svc ~client:"bob" ~group:"g"
+                ~rights:Access_control.Read_only ~expires:1e9
+            in
+            { c with Client.token = Some t })
+      in
+      Alcotest.(check string) "read-only can read" "v1" (ok (Client.read reader ~item:"x"));
+      match Client.write reader ~item:"x" "vandalism" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "read-only token allowed a write");
+  in_world w (fun () ->
+      let intruder =
+        connect w "carol" ~group:"g" ~cfg:(fun c -> { c with Client.read_retries = 0 })
+      in
+      match Client.read intruder ~item:"x" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unauthenticated read succeeded")
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic quorums via fault evidence                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_evidence_unit () =
+  let e = Fault_evidence.create ~servers:[ 0; 1; 2; 3 ] ~b:1 in
+  Alcotest.(check int) "initial b" 1 (Fault_evidence.effective_b e);
+  Fault_evidence.report_suspicion e ~server:2;
+  Alcotest.(check (list int)) "suspected demoted" [ 0; 1; 3; 2 ]
+    (Fault_evidence.preferred_servers e);
+  Fault_evidence.clear_suspicion e ~server:2;
+  Alcotest.(check (list int)) "cleared" [ 0; 1; 2; 3 ] (Fault_evidence.preferred_servers e);
+  Fault_evidence.report_proof e ~server:0 Fault_evidence.Invalid_signature;
+  Fault_evidence.report_proof e ~server:0 Fault_evidence.Stamp_regression (* idempotent *);
+  Alcotest.(check int) "b drops" 0 (Fault_evidence.effective_b e);
+  Alcotest.(check (list int)) "proven excluded" [ 1; 2; 3 ]
+    (Fault_evidence.preferred_servers e);
+  Alcotest.(check bool) "proof kind kept" true
+    (Fault_evidence.proof_of e 0 = Some Fault_evidence.Invalid_signature);
+  Alcotest.(check (list int)) "proven list" [ 0 ] (Fault_evidence.proven e)
+
+let test_evidence_proves_corrupt_server () =
+  let w = make_world ~n:4 ~b:1 () in
+  wrap w 0 Faults.Corrupt_value;
+  let evidence = Fault_evidence.create ~servers:(List.init 4 Fun.id) ~b:1 in
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      ok (Client.write alice ~item:"x" "v1");
+      (* The read encounters the corrupted reply, proves server 0 faulty,
+         and still succeeds via an honest server. *)
+      Alcotest.(check string) "read ok" "v1" (ok (Client.read alice ~item:"x"));
+      Alcotest.(check bool) "server 0 proven" true (Fault_evidence.is_proven evidence 0);
+      Alcotest.(check int) "effective b now 0" 0 (Fault_evidence.effective_b evidence);
+      (* Subsequent reads shrink: only b_eff+1 = 1 server polled, and it
+         is never the proven-faulty one. *)
+      Metrics.reset ();
+      Alcotest.(check string) "shrunk read" "v1" (ok (Client.read alice ~item:"x"));
+      let m = Metrics.read () in
+      Alcotest.(check int) "one-server read round" (2 + 2) m.Metrics.messages)
+
+let test_evidence_shrinks_context_quorum () =
+  let w = make_world ~n:4 ~b:1 () in
+  let evidence = Fault_evidence.create ~servers:(List.init 4 Fun.id) ~b:1 in
+  Fault_evidence.report_proof evidence ~server:3 Fault_evidence.Forged_context;
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      ok (Client.write alice ~item:"x" "v1");
+      Metrics.reset ();
+      ok (Client.disconnect alice);
+      let m = Metrics.read () in
+      (* q drops from ceil((4+1+1)/2)=3 to ceil((4+0+1)/2)=3... for n=4
+         the rounding hides it; what must hold is that the proven server
+         was never contacted and the session still works. *)
+      Alcotest.(check bool) "quorum reachable without proven server" true
+        (m.Metrics.messages <= 2 * 3));
+  (* Larger n shows the shrink: q 7 -> 6 for n=10, b 3 -> 2. *)
+  let w = make_world ~n:10 ~b:3 () in
+  let evidence = Fault_evidence.create ~servers:(List.init 10 Fun.id) ~b:3 in
+  Fault_evidence.report_proof evidence ~server:9 Fault_evidence.Forged_context;
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      ok (Client.write alice ~item:"x" "v1");
+      Metrics.reset ();
+      ok (Client.disconnect alice);
+      Alcotest.(check int) "ctx quorum shrinks to 2*ceil((10+2+1)/2)=14"
+        (2 * 7)
+        (Metrics.read ()).Metrics.messages)
+
+let test_evidence_never_goes_negative () =
+  let e = Fault_evidence.create ~servers:[ 0; 1; 2; 3 ] ~b:1 in
+  Fault_evidence.report_proof e ~server:0 Fault_evidence.Invalid_signature;
+  Fault_evidence.report_proof e ~server:1 Fault_evidence.Invalid_signature;
+  Alcotest.(check int) "clamped at 0" 0 (Fault_evidence.effective_b e)
+
+(* ------------------------------------------------------------------ *)
+(* Dispersal (fragmentation-scattering)                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_dispersal ?k w name =
+  Dispersal.make ~n:w.n ~b:w.b ?k ~writer:name ~key:(key_of name)
+    ~keyring:w.keyring ~group:"vault" ~secret:"vault-master-key" ()
+
+let dok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "dispersal error: %s" (Dispersal.error_to_string e)
+
+let test_dispersal_roundtrip () =
+  let w = make_world ~n:4 ~b:1 () in
+  let value = String.init 5000 (fun i -> Char.chr (i mod 251)) in
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      dok (Dispersal.write d ~item:"estate" value);
+      Alcotest.(check string) "roundtrip" value (dok (Dispersal.read d ~item:"estate"));
+      (* Overwrites return the newest version. *)
+      dok (Dispersal.write d ~item:"estate" "v2");
+      Alcotest.(check string) "overwrite" "v2" (dok (Dispersal.read d ~item:"estate")));
+  (* Each server stores roughly |ct|/k, not the whole value. *)
+  let frag_uid = Uid.make ~group:"vault" ~item:(Dispersal.fragment_item ~item:"estate" 1) in
+  match Server.log_writes w.servers.(0) frag_uid with
+  | w1 :: _ ->
+    Alcotest.(check bool) "fragment much smaller than value" true
+      (String.length w1.Payload.value < 3000)
+  | [] -> Alcotest.fail "fragment missing at server 0"
+
+let test_dispersal_confidentiality () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      dok (Dispersal.write d ~item:"will" "leave everything to the cat"));
+  (* No server's stored bytes contain the plaintext. *)
+  Array.iteri
+    (fun i server ->
+      let uid =
+        Uid.make ~group:"vault" ~item:(Dispersal.fragment_item ~item:"will" (i + 1))
+      in
+      match Server.current_write server uid with
+      | Some stored ->
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "server %d sees no plaintext" i)
+          false
+          (contains stored.Payload.value "everything")
+      | None -> Alcotest.failf "server %d missing its fragment" i)
+    w.servers;
+  (* A reader with the wrong vault secret cannot decrypt. *)
+  in_world w (fun () ->
+      let snoop =
+        Dispersal.make ~n:w.n ~b:w.b ~writer:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ~group:"vault" ~secret:"wrong-secret" ()
+      in
+      match Dispersal.read snoop ~item:"will" with
+      | Error Dispersal.Decrypt_failed -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Dispersal.error_to_string e)
+      | Ok v -> Alcotest.failf "wrong key decrypted: %s" v)
+
+let test_dispersal_crash_tolerance () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      dok (Dispersal.write d ~item:"x" "fragile data"));
+  wrap w 3 Faults.Crash;
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      Alcotest.(check string) "read with crash" "fragile data"
+        (dok (Dispersal.read d ~item:"x")))
+
+let test_dispersal_corrupt_fragment_rejected () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      dok (Dispersal.write d ~item:"x" "precious dispersed"));
+  wrap w 0 Faults.Corrupt_value;
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      (* The corrupted fragment fails its signature check; k good ones
+         remain among the other 3 servers. *)
+      Alcotest.(check string) "survives fragment corruption" "precious dispersed"
+        (dok (Dispersal.read d ~item:"x")))
+
+let test_dispersal_not_found_and_bounds () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let d = make_dispersal w "alice" in
+      (match Dispersal.read d ~item:"ghost" with
+      | Error Dispersal.Not_found -> ()
+      | Error e -> Alcotest.failf "unexpected: %s" (Dispersal.error_to_string e)
+      | Ok _ -> Alcotest.fail "ghost item read"));
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "Dispersal.make: need b+1 <= k <= n-2b") (fun () ->
+      ignore (make_dispersal ~k:3 w "alice"))
+
+(* ------------------------------------------------------------------ *)
+(* Gossip                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_gossip_flood_converges () =
+  let w = make_world ~n:7 ~b:2 () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1"));
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let have () =
+    Array.fold_left
+      (fun acc s -> acc + if Server.current_write s uid <> None then 1 else 0)
+      0 w.servers
+  in
+  Alcotest.(check int) "b+1 before" 3 (have ());
+  flood w;
+  Alcotest.(check int) "all after flood" 7 (have ())
+
+let test_gossip_exchange_progress () =
+  let w = make_world ~n:7 ~b:2 () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1"));
+  let rng = Sim.Srng.create 99 in
+  let pushed = Gossip.exchange_once ~servers:w.servers ~rng () in
+  Alcotest.(check bool) "first round pushes" true (pushed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Confidentiality                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_confidential_roundtrip () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"med" in
+      let sealed = Confidential.make ~client:alice ~key:"family-secret" () in
+      ok (Confidential.write sealed ~item:"records" "diagnosis: healthy");
+      Alcotest.(check string) "decrypts" "diagnosis: healthy"
+        (ok (Confidential.read sealed ~item:"records")));
+  (* Servers hold only ciphertext. *)
+  let uid = Uid.make ~group:"med" ~item:"records" in
+  let stored = Option.get (Server.current_write w.servers.(0) uid) in
+  Alcotest.(check bool) "ciphertext at rest" false
+    (stored.Payload.value = "diagnosis: healthy");
+  Alcotest.(check bool) "plaintext not a substring" true
+    (String.length stored.Payload.value > String.length "diagnosis: healthy")
+
+let test_confidential_wrong_key () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"med" in
+      let sealed = Confidential.make ~client:alice ~key:"right" () in
+      ok (Confidential.write sealed ~item:"r" "secret");
+      let bob = connect w "bob" ~group:"med" in
+      let snooping = Confidential.make ~client:bob ~key:"wrong" () in
+      match Confidential.read_opt snooping ~item:"r" with
+      | Ok None -> ()
+      | Ok (Some v) -> Alcotest.failf "wrong key decrypted: %s" v
+      | Error e -> Alcotest.failf "unexpected error: %s" (Client.error_to_string e))
+
+let test_key_rotation () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"med" in
+      let sealed = Confidential.make ~client:alice ~key:"k1" () in
+      ok (Confidential.write sealed ~item:"a" "va");
+      ok (Confidential.write sealed ~item:"b" "vb");
+      ok (Confidential.rotate_key sealed ~new_key:"k2" ~items:[ "a"; "b" ]);
+      Alcotest.(check string) "a readable after rotation" "va"
+        (ok (Confidential.read sealed ~item:"a"));
+      Alcotest.(check string) "b readable after rotation" "vb"
+        (ok (Confidential.read sealed ~item:"b"));
+      (* Old key no longer decrypts current state. *)
+      let old = Confidential.make ~client:alice ~key:"k1" () in
+      match Confidential.read_opt old ~item:"a" with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "old key still decrypts")
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_proofs () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.write alice ~item:"y" "w1"));
+  let server = w.servers.(0) in
+  let writes = Server.audit_log server in
+  Alcotest.(check int) "three announced writes" 3 (List.length writes);
+  let target = List.nth writes 1 in
+  (match Audit.prove_write server target with
+  | None -> Alcotest.fail "no proof"
+  | Some (proof, commitment) ->
+    Alcotest.(check bool) "proof verifies" true
+      (Audit.check_proof commitment target proof);
+    let other = List.nth writes 0 in
+    Alcotest.(check bool) "proof rejects other write" false
+      (Audit.check_proof commitment other proof));
+  flood w;
+  Alcotest.(check bool) "logs agree after flood" true (Audit.roots_agree w.servers)
+
+let test_audit_detects_divergence () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1"));
+  (* No flood: only b+1 servers saw the write. *)
+  Alcotest.(check bool) "divergence visible" false (Audit.roots_agree w.servers)
+
+(* ------------------------------------------------------------------ *)
+(* Paper cost formulas (the section 6 accounting, as tests)           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_around fn =
+  Metrics.reset ();
+  let before = Metrics.read () in
+  let v = fn () in
+  (v, Metrics.diff (Metrics.read ()) before)
+
+let test_costs_context_ops () =
+  List.iter
+    (fun (n, b) ->
+      let w = make_world ~n ~b () in
+      let q = Quorums.context_quorum ~n ~b in
+      in_world w (fun () ->
+          let alice = connect w "alice" ~group:"g" in
+          ok (Client.write alice ~item:"x" "v");
+          let _, m = snapshot_around (fun () -> ok (Client.disconnect alice)) in
+          Alcotest.(check int)
+            (Printf.sprintf "ctx store msgs n=%d b=%d" n b)
+            (2 * q) m.Metrics.messages;
+          Alcotest.(check int) "one signature" 1 m.Metrics.signs;
+          Alcotest.(check int) "q server verifies" q m.Metrics.server_verifies);
+      in_world w (fun () ->
+          let (_ : Client.t), m = snapshot_around (fun () -> connect w "alice" ~group:"g") in
+          Alcotest.(check int)
+            (Printf.sprintf "ctx read msgs n=%d b=%d" n b)
+            (2 * q) m.Metrics.messages;
+          Alcotest.(check int) "best case one verification" 1 m.Metrics.verifies))
+    [ (4, 1); (7, 2); (10, 3); (13, 4) ]
+
+let test_costs_data_write () =
+  List.iter
+    (fun (n, b) ->
+      let w = make_world ~n ~b () in
+      in_world w (fun () ->
+          let alice =
+            connect w "alice" ~group:"g"
+              ~cfg:(fun c -> { c with Client.paper_cost_model = true })
+          in
+          let _, m = snapshot_around (fun () -> ok (Client.write alice ~item:"x" "v")) in
+          Alcotest.(check int)
+            (Printf.sprintf "write msgs = b+1 (n=%d b=%d)" n b)
+            (b + 1) m.Metrics.messages;
+          Alcotest.(check int) "one signature" 1 m.Metrics.signs;
+          Alcotest.(check int) "b+1 server verifies" (b + 1) m.Metrics.server_verifies))
+    [ (4, 1); (7, 2); (10, 3) ]
+
+let test_costs_data_read () =
+  List.iter
+    (fun (n, b) ->
+      let w = make_world ~n ~b () in
+      in_world w (fun () ->
+          let alice =
+            connect w "alice" ~group:"g"
+              ~cfg:(fun c -> { c with Client.paper_cost_model = true })
+          in
+          ok (Client.write alice ~item:"x" "v");
+          let _, m = snapshot_around (fun () -> ok (Client.read alice ~item:"x")) in
+          (* b+1 meta round trips plus one value fetch round trip. *)
+          Alcotest.(check int)
+            (Printf.sprintf "read msgs (n=%d b=%d)" n b)
+            ((2 * (b + 1)) + 2)
+            m.Metrics.messages;
+          Alcotest.(check int) "one client verification" 1 m.Metrics.verifies;
+          Alcotest.(check int) "no signing on read" 0 m.Metrics.signs))
+    [ (4, 1); (7, 2); (10, 3) ]
+
+let test_costs_multi_writer () =
+  List.iter
+    (fun (n, b) ->
+      let w = make_world ~n ~b () in
+      in_world w (fun () ->
+          let alice =
+            connect w "alice" ~group:"g"
+              ~cfg:(fun c -> { (mw c) with Client.paper_cost_model = true })
+          in
+          let _, mw_write =
+            snapshot_around (fun () -> ok (Client.write alice ~item:"x" "v"))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "mw write msgs = 2b+1 (n=%d b=%d)" n b)
+            ((2 * b) + 1)
+            mw_write.Metrics.messages;
+          let _, mw_read = snapshot_around (fun () -> ok (Client.read alice ~item:"x")) in
+          Alcotest.(check int)
+            (Printf.sprintf "mw read msgs = 2(2b+1) (n=%d b=%d)" n b)
+            (2 * ((2 * b) + 1))
+            mw_read.Metrics.messages;
+          Alcotest.(check int) "no client verify on vouched read" 0
+            mw_read.Metrics.verifies))
+    [ (4, 1); (7, 2); (10, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: MRC monotonicity under random schedules & faults         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_mrc_monotonic =
+  QCheck.Test.make ~name:"MRC never regresses (random schedules, 1 byzantine)"
+    ~count:30
+    QCheck.(pair int (int_range 0 5))
+    (fun (seed, byz_choice) ->
+      let w = make_world ~n:4 ~b:1 () in
+      let behavior =
+        List.nth
+          [
+            Faults.Honest; Faults.Crash; Faults.Stale; Faults.Corrupt_value;
+            Faults.Corrupt_meta; Faults.Equivocate;
+          ]
+          byz_choice
+      in
+      wrap w 0 behavior;
+      let rng = Sim.Srng.create seed in
+      let ok_or_none = function Ok v -> Some v | Error _ -> None in
+      in_world w (fun () ->
+          let alice = connect w "alice" ~group:"g" in
+          let bob =
+            connect w "bob" ~group:"g"
+              ~cfg:(fun c -> { c with Client.read_spread = true; seed })
+          in
+          let version = ref 0 in
+          let last_seen = ref (-1) in
+          let sound = ref true in
+          for _ = 1 to 25 do
+            match Sim.Srng.int_below rng 3 with
+            | 0 ->
+              incr version;
+              ignore (ok_or_none (Client.write alice ~item:"x" (string_of_int !version)))
+            | 1 ->
+              ignore (Gossip.exchange_once ~servers:w.servers ~rng ())
+            | _ -> (
+              match ok_or_none (Client.read bob ~item:"x") with
+              | Some v ->
+                let v = int_of_string v in
+                if v < !last_seen then sound := false;
+                last_seen := max !last_seen v
+              | None -> ())
+          done;
+          !sound))
+
+(* ------------------------------------------------------------------ *)
+(* Server unit behaviours                                             *)
+(* ------------------------------------------------------------------ *)
+
+let direct_write w i write ~await_ack =
+  Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
+    { Payload.token = None; request = Payload.Write_req { write; await_ack } }
+
+let test_server_rejects_duplicates () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "v"
+  in
+  Alcotest.(check bool) "first accepted" true
+    (direct_write w 0 write ~await_ack:true = Some Payload.Ack);
+  Alcotest.(check bool) "duplicate rejected" true
+    (direct_write w 0 write ~await_ack:true = Some (Payload.Denied "write rejected"));
+  Alcotest.(check int) "stored once" 1 (List.length (Server.log_writes w.servers.(0) uid))
+
+let test_server_rejects_stamp_kind_mix () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let scalar_write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "v"
+  in
+  let multi_write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.multi ~time:9 ~writer:"alice" ~value:"w") "w"
+  in
+  ignore (direct_write w 0 scalar_write ~await_ack:true);
+  Alcotest.(check bool) "kind mix rejected" true
+    (direct_write w 0 multi_write ~await_ack:true
+    = Some (Payload.Denied "write rejected"));
+  match Server.current_write w.servers.(0) uid with
+  | Some stored -> Alcotest.(check string) "scalar value kept" "v" stored.Payload.value
+  | None -> Alcotest.fail "lost the original"
+
+let test_server_ctx_seq_ordering () =
+  let w = make_world () in
+  let record seq =
+    Signing.sign_context ~key:(key_of "alice") ~client:"alice" ~group:"g" ~seq
+      Context.empty
+  in
+  let send r =
+    Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+      {
+        Payload.token = None;
+        request = Payload.Ctx_write { client = "alice"; group = "g"; record = r };
+      }
+  in
+  ignore (send (record 5));
+  ignore (send (record 3)) (* stale: must not overwrite *);
+  let got =
+    Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+      { Payload.token = None; request = Payload.Ctx_read { client = "alice"; group = "g" } }
+  in
+  (match got with
+  | Some (Payload.Ctx_reply (Some r)) -> Alcotest.(check int) "kept newest seq" 5 r.Payload.seq
+  | _ -> Alcotest.fail "no context");
+  (* Forged context: rejected before storage. *)
+  let forged = { (record 9) with Payload.signature = String.make 64 'x' } in
+  (match send forged with
+  | Some (Payload.Denied _) -> ()
+  | _ -> Alcotest.fail "forged context accepted");
+  match
+    Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+      { Payload.token = None; request = Payload.Ctx_read { client = "alice"; group = "g" } }
+  with
+  | Some (Payload.Ctx_reply (Some r)) -> Alcotest.(check int) "still seq 5" 5 r.Payload.seq
+  | _ -> Alcotest.fail "context lost"
+
+let test_client_no_quorum_when_majority_down () =
+  let w = make_world ~n:4 ~b:1 () in
+  (* Take down 3 of 4 servers: the context quorum of 3 is unreachable. *)
+  for i = 1 to 3 do
+    wrap w i Faults.Crash
+  done;
+  in_world w (fun () ->
+      let config = Client.default_config ~n:4 ~b:1 in
+      let config = { config with Client.timeout = 0.05 } in
+      match
+        Client.connect ~config ~uid:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ~group:"g" ()
+      with
+      | Error (Client.No_quorum { wanted = 3; _ }) -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" (Client.error_to_string e)
+      | Ok _ -> Alcotest.fail "connected without a quorum")
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_restore () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "v1");
+      ok (Client.write alice ~item:"x" "v2");
+      ok (Client.write alice ~item:"y" "w1");
+      ok (Client.disconnect alice));
+  let blob = Server.snapshot w.servers.(0) in
+  (match Server.restore ~id:0 ~keyring:w.keyring ~n:4 ~b:1 blob with
+  | None -> Alcotest.fail "restore failed"
+  | Some restored ->
+    let uid = Uid.make ~group:"g" ~item:"x" in
+    (match (Server.current_write restored uid, Server.current_write w.servers.(0) uid) with
+    | Some a, Some b -> Alcotest.(check bool) "current preserved" true (a = b)
+    | _ -> Alcotest.fail "current write lost");
+    Alcotest.(check int) "log preserved" 2
+      (List.length (Server.log_writes restored uid));
+    Alcotest.(check int) "items preserved" 2 (Server.item_count restored);
+    Alcotest.(check int) "audit preserved"
+      (List.length (Server.audit_log w.servers.(0)))
+      (List.length (Server.audit_log restored));
+    (* A restored server keeps serving the protocol: swap it in and read. *)
+    w.hmap.(0) <- Server.handler restored;
+    in_world w (fun () ->
+        let alice = connect w "alice" ~group:"g" in
+        Alcotest.(check string) "serves after restart" "v2"
+          (ok (Client.read alice ~item:"x"))));
+  (* Corrupt snapshots are rejected, not crashed on. *)
+  Alcotest.(check bool) "garbage rejected" true
+    (Server.restore ~id:0 ~keyring:w.keyring ~n:4 ~b:1 "junk" = None);
+  Alcotest.(check bool) "wrong id rejected" true
+    (Server.restore ~id:3 ~keyring:w.keyring ~n:4 ~b:1 blob = None)
+
+let test_save_load_file () =
+  let w = make_world ~n:4 ~b:1 () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      ok (Client.write alice ~item:"x" "persisted"));
+  let path = Filename.temp_file "securestore" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Server.save_file w.servers.(0) ~path;
+      match Server.load_file ~id:0 ~keyring:w.keyring ~n:4 ~b:1 ~path () with
+      | None -> Alcotest.fail "load_file failed"
+      | Some restored ->
+        let uid = Uid.make ~group:"g" ~item:"x" in
+        (match Server.current_write restored uid with
+        | Some wr -> Alcotest.(check string) "value survives" "persisted" wr.Payload.value
+        | None -> Alcotest.fail "item lost"));
+  Alcotest.(check bool) "missing file" true
+    (Server.load_file ~id:0 ~keyring:w.keyring ~n:4 ~b:1 ~path:"/nonexistent/x" ()
+    = None)
+
+let test_snapshot_preserves_held_writes () =
+  let w = mw_guarded_world () in
+  let doc = Uid.make ~group:"plan" ~item:"doc" in
+  let dep = Uid.make ~group:"plan" ~item:"dep" in
+  let dep_stamp = Stamp.multi ~time:5 ~writer:"alice" ~value:"base" in
+  let doc_write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid:doc
+      ~stamp:(Stamp.multi ~time:6 ~writer:"alice" ~value:"final")
+      ~wctx:(Context.of_bindings [ (dep, dep_stamp) ])
+      "final"
+  in
+  ignore
+    (Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+       { Payload.token = None; request = Payload.Write_req { write = doc_write; await_ack = true } });
+  Alcotest.(check int) "held before snapshot" 1 (Server.pending_count w.servers.(0) doc);
+  let config =
+    { (Server.default_config ~n:4 ~b:1) with Server.malicious_client_guard = true }
+  in
+  match Server.restore ~config ~id:0 ~keyring:w.keyring ~n:4 ~b:1 (Server.snapshot w.servers.(0)) with
+  | None -> Alcotest.fail "restore failed"
+  | Some restored ->
+    Alcotest.(check int) "still held after restart" 1 (Server.pending_count restored doc);
+    (* The dependency arriving after restart releases the held write. *)
+    let dep_write =
+      Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid:dep
+        ~stamp:dep_stamp "base"
+    in
+    ignore
+      (Server.handle restored ~now:0.0 ~from:(-1)
+         { Payload.token = None; request = Payload.Write_req { write = dep_write; await_ack = true } });
+    Alcotest.(check bool) "released after restart" true
+      (Server.current_write restored doc <> None)
+
+(* Keytree + Confidential integration: the section 5.2 story for shared
+   readers. The owner manages the reader group with an LKH key tree;
+   evicting a reader rotates the group key and re-encrypts the data, so
+   the evicted reader keeps access to nothing new. *)
+let test_group_key_rotation_end_to_end () =
+  let w = make_world () in
+  let mgr = Crypto.Keytree.create_manager ~capacity:4 ~seed:"readers" in
+  let leaf name = Crypto.Sha256.digest ("reader-leaf:" ^ name) in
+  let bob_view = Crypto.Keytree.create_member ~name:"bob" ~leaf_key:(leaf "bob") in
+  let carol_view = Crypto.Keytree.create_member ~name:"carol" ~leaf_key:(leaf "carol") in
+  let broadcast msgs =
+    Crypto.Keytree.apply bob_view msgs;
+    Crypto.Keytree.apply carol_view msgs
+  in
+  broadcast (Crypto.Keytree.join mgr ~name:"bob" ~leaf_key:(leaf "bob"));
+  broadcast (Crypto.Keytree.join mgr ~name:"carol" ~leaf_key:(leaf "carol"));
+  (* Alice publishes under the group key; both readers decrypt. *)
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"news" in
+      let sealed =
+        Confidential.make ~client:alice ~key:(Crypto.Keytree.group_key mgr) ()
+      in
+      ok (Confidential.write sealed ~item:"letter" "issue 1");
+      let read_as view name =
+        match Crypto.Keytree.member_group_key view with
+        | None -> Alcotest.failf "%s has no group key" name
+        | Some key ->
+          let session = connect w name ~group:"news" in
+          Confidential.read (Confidential.make ~client:session ~key ()) ~item:"letter"
+      in
+      Alcotest.(check string) "bob decrypts" "issue 1" (ok (read_as bob_view "bob"));
+      Alcotest.(check string) "carol decrypts" "issue 1" (ok (read_as carol_view "carol"));
+      (* Bob is evicted: rekey the group, rotate the data to the new key. *)
+      let msgs = Crypto.Keytree.leave mgr ~name:"bob" in
+      broadcast msgs;
+      ok
+        (Confidential.rotate_key sealed ~new_key:(Crypto.Keytree.group_key mgr)
+           ~items:[ "letter" ]);
+      ok (Confidential.write sealed ~item:"letter" "issue 2 (members only)");
+      Alcotest.(check string) "carol follows the rotation" "issue 2 (members only)"
+        (ok (read_as carol_view "carol"));
+      (* Bob's stale key no longer decrypts anything current. *)
+      let bob_key = Option.get (Crypto.Keytree.member_group_key bob_view) in
+      Alcotest.(check bool) "bob's key is stale" false
+        (bob_key = Crypto.Keytree.group_key mgr);
+      let bob_session = connect w "bob" ~group:"news" in
+      match
+        Confidential.read_opt
+          (Confidential.make ~client:bob_session ~key:bob_key ())
+          ~item:"letter"
+      with
+      | Ok None -> ()
+      | Ok (Some v) -> Alcotest.failf "evicted reader decrypted: %s" v
+      | Error e -> Alcotest.failf "unexpected: %s" (Client.error_to_string e))
+
+(* Partitions: a client that can reach too few servers cannot assemble a
+   context quorum; when the partition heals the same store works again.
+   Runs under the discrete-event engine (partitions are a network
+   property, not a server one). *)
+let test_partition_and_heal () =
+  let w = make_world ~n:4 ~b:1 () in
+  let engine = Sim.Engine.create ~seed:3 () in
+  Array.iteri
+    (fun i _ ->
+      Sim.Engine.add_server engine i (fun ~now ~from payload ->
+          w.hmap.(i) ~now ~from payload))
+    w.servers;
+  (* Cut servers 2 and 3 off from everyone. *)
+  Sim.Engine.set_reachable engine (fun src dst ->
+      let cut x = x = 2 || x = 3 in
+      not (cut src || cut dst));
+  let phase1 = ref None and phase2 = ref None in
+  Sim.Engine.spawn engine (fun () ->
+      let config =
+        { (Client.default_config ~n:4 ~b:1) with Client.timeout = 0.2 }
+      in
+      (match
+         Client.connect ~config ~uid:"alice" ~key:(key_of "alice")
+           ~keyring:w.keyring ~group:"g" ()
+       with
+      | Error (Client.No_quorum _) -> phase1 := Some `No_quorum
+      | Error _ -> phase1 := Some `Other
+      | Ok _ -> phase1 := Some `Connected);
+      (* Heal and retry. *)
+      Sim.Engine.set_reachable engine (fun _ _ -> true);
+      match
+        Client.connect ~config ~uid:"alice" ~key:(key_of "alice")
+          ~keyring:w.keyring ~group:"g" ()
+      with
+      | Ok session -> (
+        match Client.write session ~item:"x" "post-heal" with
+        | Ok () -> phase2 := Some `Wrote
+        | Error _ -> phase2 := Some `Write_failed)
+      | Error _ -> phase2 := Some `Connect_failed);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "partitioned connect refused" true (!phase1 = Some `No_quorum);
+  Alcotest.(check bool) "healed store works" true (!phase2 = Some `Wrote)
+
+(* CC safety: whenever a reader obtains y (which the writer produced
+   after writing version i of x), any later read of x must return
+   version >= i — no causally overwritten value is ever readable,
+   whatever the schedule and despite one Byzantine server. *)
+let prop_cc_no_overwritten_reads =
+  QCheck.Test.make ~name:"CC never serves causally overwritten values"
+    ~count:25
+    QCheck.(pair int (int_range 0 5))
+    (fun (seed, byz_choice) ->
+      let w = make_world ~n:4 ~b:1 () in
+      let behavior =
+        List.nth
+          [
+            Faults.Honest; Faults.Crash; Faults.Stale; Faults.Corrupt_value;
+            Faults.Corrupt_meta; Faults.Equivocate;
+          ]
+          byz_choice
+      in
+      wrap w 0 behavior;
+      let rng = Sim.Srng.create seed in
+      in_world w (fun () ->
+          let alice = connect w "alice" ~group:"g" ~cfg:cc in
+          let bob =
+            connect w "bob" ~group:"g"
+              ~cfg:(fun c -> { (cc c) with Client.read_spread = true; seed })
+          in
+          let version = ref 0 in
+          let sound = ref true in
+          for _ = 1 to 20 do
+            match Sim.Srng.int_below rng 3 with
+            | 0 ->
+              (* A causally linked pair: x := i, then y := "i" (y's
+                 context names x's fresh stamp). *)
+              incr version;
+              (match Client.write alice ~item:"x" (string_of_int !version) with
+              | Ok () -> (
+                match Client.write alice ~item:"y" (string_of_int !version) with
+                | Ok () -> ()
+                | Error _ -> ())
+              | Error _ -> decr version)
+            | 1 -> ignore (Gossip.exchange_once ~servers:w.servers ~rng ())
+            | _ -> (
+              match Client.read bob ~item:"y" with
+              | Ok y_version -> (
+                let depends_on = int_of_string y_version in
+                match Client.read bob ~item:"x" with
+                | Ok x_version ->
+                  if int_of_string x_version < depends_on then sound := false
+                | Error _ -> ())
+              | Error _ -> ())
+          done;
+          !sound))
+
+let qsuite props = List.map QCheck_alcotest.to_alcotest props
+
+let () =
+  Alcotest.run "store"
+    [
+      ("uid", [ Alcotest.test_case "basics" `Quick test_uid ]);
+      ( "stamp",
+        [
+          Alcotest.test_case "ordering" `Quick test_stamp_order;
+          Alcotest.test_case "fork" `Quick test_stamp_fork;
+          Alcotest.test_case "codec" `Quick test_stamp_codec;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "basics" `Quick test_context_basics;
+          Alcotest.test_case "merge/dominates" `Quick test_context_merge_dominates;
+        ]
+        @ qsuite
+            [
+              prop_merge_commutes; prop_merge_idempotent; prop_merge_dominates;
+              prop_context_codec;
+            ] );
+      ( "quorums",
+        [ Alcotest.test_case "formulas" `Quick test_quorum_formulas ]
+        @ qsuite [ prop_context_overlap; prop_masking_larger ] );
+      ("payload", [ Alcotest.test_case "roundtrips" `Quick test_payload_roundtrips ]);
+      ("access", [ Alcotest.test_case "tokens" `Quick test_access_control ]);
+      ("keyring", [ Alcotest.test_case "binding" `Quick test_keyring ]);
+      ( "single-writer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "other reader" `Quick test_read_other_client;
+          Alcotest.test_case "not found" `Quick test_read_not_found;
+          Alcotest.test_case "overwrite" `Quick test_overwrite_returns_latest;
+          Alcotest.test_case "mrc expansion" `Quick test_mrc_expansion_beats_stale_servers;
+          Alcotest.test_case "session context" `Quick test_session_context_roundtrip;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_session_rejects_ops;
+          Alcotest.test_case "reconstruction" `Quick test_context_reconstruction;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "cc pulls deps" `Quick test_cc_pulls_dependencies;
+          Alcotest.test_case "mrc does not" `Quick test_mrc_does_not_pull_dependencies;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "corrupt value" `Quick test_corrupt_value_detected;
+          Alcotest.test_case "equivocation" `Quick test_equivocating_meta_rejected;
+          Alcotest.test_case "crash" `Quick test_crash_and_silent_servers;
+          Alcotest.test_case "stale context" `Quick test_stale_server_context;
+          Alcotest.test_case "forged gossip" `Quick test_forged_write_rejected_by_servers;
+          Alcotest.test_case "unknown writer" `Quick test_unknown_writer_rejected;
+        ] );
+      ( "multi-writer",
+        [
+          Alcotest.test_case "two clients" `Quick test_multi_writer_two_clients;
+          Alcotest.test_case "monotonic" `Quick test_multi_writer_monotonic_per_reader;
+          Alcotest.test_case "fork detection" `Quick test_fork_detection;
+          Alcotest.test_case "malicious context held" `Quick test_malicious_context_held;
+          Alcotest.test_case "guard releases" `Quick test_guard_releases_when_deps_arrive;
+          Alcotest.test_case "guard vs gossip order" `Quick test_guard_holds_out_of_order_gossip;
+          Alcotest.test_case "eager report masked" `Quick test_eager_report_masked_by_vouching;
+          Alcotest.test_case "log retention" `Quick test_log_keeps_overwritten_value;
+        ] );
+      ( "inline-read",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_inline_read_roundtrip;
+          Alcotest.test_case "one-round cost" `Quick test_inline_read_one_round_cost;
+          Alcotest.test_case "fallback" `Quick test_inline_read_falls_back;
+          Alcotest.test_case "corruption" `Quick test_inline_read_survives_corruption;
+        ] );
+      ( "jitter",
+        [ Alcotest.test_case "privacy" `Quick test_timestamp_jitter ]
+        @ qsuite [ test_jitter_monotonic ] );
+      ( "log-erasure",
+        [
+          Alcotest.test_case "gossip evidence" `Quick test_log_erasure_via_gossip;
+          Alcotest.test_case "no resurrection" `Quick test_erased_write_not_readmitted;
+        ] );
+      ("auth", [ Alcotest.test_case "end to end" `Quick test_auth_enforced ]);
+      ( "dynamic-quorums",
+        [
+          Alcotest.test_case "evidence unit" `Quick test_evidence_unit;
+          Alcotest.test_case "proves corruption" `Quick test_evidence_proves_corrupt_server;
+          Alcotest.test_case "shrinks quorum" `Quick test_evidence_shrinks_context_quorum;
+          Alcotest.test_case "clamped" `Quick test_evidence_never_goes_negative;
+        ] );
+      ( "dispersal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dispersal_roundtrip;
+          Alcotest.test_case "confidentiality" `Quick test_dispersal_confidentiality;
+          Alcotest.test_case "crash tolerance" `Quick test_dispersal_crash_tolerance;
+          Alcotest.test_case "corrupt fragment" `Quick test_dispersal_corrupt_fragment_rejected;
+          Alcotest.test_case "not found / bounds" `Quick test_dispersal_not_found_and_bounds;
+        ] );
+      ( "gossip",
+        [
+          Alcotest.test_case "flood converges" `Quick test_gossip_flood_converges;
+          Alcotest.test_case "exchange progress" `Quick test_gossip_exchange_progress;
+        ] );
+      ( "confidential",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_confidential_roundtrip;
+          Alcotest.test_case "wrong key" `Quick test_confidential_wrong_key;
+          Alcotest.test_case "rotation" `Quick test_key_rotation;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "duplicates" `Quick test_server_rejects_duplicates;
+          Alcotest.test_case "stamp kinds" `Quick test_server_rejects_stamp_kind_mix;
+          Alcotest.test_case "ctx ordering" `Quick test_server_ctx_seq_ordering;
+          Alcotest.test_case "no quorum" `Quick test_client_no_quorum_when_majority_down;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "save/load file" `Quick test_save_load_file;
+          Alcotest.test_case "held writes survive" `Quick test_snapshot_preserves_held_writes;
+        ] );
+      ( "partition",
+        [ Alcotest.test_case "split and heal" `Quick test_partition_and_heal ] );
+      ( "group-keys",
+        [
+          Alcotest.test_case "eviction end-to-end" `Quick
+            test_group_key_rotation_end_to_end;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "proofs" `Quick test_audit_proofs;
+          Alcotest.test_case "divergence" `Quick test_audit_detects_divergence;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "context ops" `Quick test_costs_context_ops;
+          Alcotest.test_case "data write" `Quick test_costs_data_write;
+          Alcotest.test_case "data read" `Quick test_costs_data_read;
+          Alcotest.test_case "multi-writer" `Quick test_costs_multi_writer;
+        ] );
+      ("properties", qsuite [ prop_mrc_monotonic; prop_cc_no_overwritten_reads ]);
+    ]
