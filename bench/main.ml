@@ -4,8 +4,12 @@
      dune exec bench/main.exe            -- all experiments + E9 microbench
      dune exec bench/main.exe -- e3 e9   -- a subset
      dune exec bench/main.exe -- --seed 7 e7
+     dune exec bench/main.exe -- e9 --json   -- also write BENCH_crypto.json
 
-   Output is plain text, one table per experiment. *)
+   Output is plain text, one table per experiment. With --json, the E9
+   crypto and end-to-end numbers are additionally written to
+   BENCH_crypto.json (ns/op) so the perf trajectory is machine-tracked;
+   an existing "baseline" object in that file is preserved across runs. *)
 
 let fmt = Format.std_formatter
 
@@ -31,6 +35,92 @@ let bechamel_run tests =
       rows := (name, ns) :: !rows)
     results;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+(* ---- BENCH_crypto.json -------------------------------------------- *)
+
+let json_key name =
+  (* "crypto/rsa1024-sign" -> "rsa1024_sign"; "store-ops/write(b+1)" ->
+     "write_b_1": drop the group prefix, map non-alphanumerics to '_',
+     squeeze and trim the underscores. *)
+  let name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char buf c
+      | _ ->
+        if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '_'
+        then Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if String.length s > 0 && s.[String.length s - 1] = '_' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let results_json rows =
+  "{ "
+  ^ String.concat ", "
+      (List.map
+         (fun (name, ns) ->
+           Printf.sprintf "\"%s_ns\": %.1f" (json_key name) ns)
+         rows)
+  ^ " }"
+
+(* The first --json run records its numbers as the baseline; later runs
+   keep that baseline so before/after is visible in one committed file. *)
+let existing_baseline path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let key = "\"baseline\"" in
+    let klen = String.length key and n = String.length s in
+    let rec find i =
+      if i + klen > n then None
+      else if String.sub s i klen = key then Some (i + klen)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some after -> (
+      match String.index_from_opt s after '{' with
+      | None -> None
+      | Some opening ->
+        let rec close i depth =
+          if i >= n then None
+          else
+            match s.[i] with
+            | '{' -> close (i + 1) (depth + 1)
+            | '}' -> if depth = 1 then Some i else close (i + 1) (depth - 1)
+            | _ -> close (i + 1) depth
+        in
+        Option.map
+          (fun closing -> String.sub s opening (closing - opening + 1))
+          (close opening 0))
+  end
+
+let write_bench_json ~path rows =
+  let current = results_json rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-crypto-v1\",\n  \"unit\": \"ns/op\",\n\
+        \  \"baseline\": %s,\n  \"current\": %s\n}\n"
+        baseline current);
+  Format.fprintf fmt "wrote %s@." path
 
 let e9 () =
   let open Bechamel in
@@ -83,7 +173,8 @@ let e9 () =
         ];
     }
   in
-  Workload.Table.print fmt table
+  Workload.Table.print fmt table;
+  rows
 
 (* One Bechamel test per full protocol op, run against an in-process
    world: the end-to-end computational cost of each store operation. *)
@@ -135,13 +226,14 @@ let e9_protocol () =
       notes = [ "dominated by the signature asymmetry measured in E9" ];
     }
   in
-  Workload.Table.print fmt table
+  Workload.Table.print fmt table;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let experiments seed : (string * (unit -> unit)) list =
+let experiments ~seed ~json : (string * (unit -> unit)) list =
   let t f () = Workload.Table.print fmt (f ()) in
   [
     ("e1", t Workload.Experiments.e1_context_messages);
@@ -155,8 +247,10 @@ let experiments seed : (string * (unit -> unit)) list =
     ("e8b", t Workload.Experiments.e8b_spurious_context);
     ( "e9",
       fun () ->
-        e9 ();
-        e9_protocol () );
+        let micro = e9 () in
+        let proto = e9_protocol () in
+        if json then write_bench_json ~path:"BENCH_crypto.json" (micro @ proto)
+    );
     ("e10", t (fun () -> Workload.Experiments.e10_wan_latency ~seed ()));
     ("e11", t Workload.Experiments.e11_read_strategies);
     ("e12", t Workload.Experiments.e12_dispersal);
@@ -166,13 +260,14 @@ let experiments seed : (string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse seed picked = function
-    | [] -> (seed, List.rev picked)
-    | "--seed" :: v :: rest -> parse (int_of_string v) picked rest
-    | name :: rest -> parse seed (String.lowercase_ascii name :: picked) rest
+  let rec parse seed json picked = function
+    | [] -> (seed, json, List.rev picked)
+    | "--seed" :: v :: rest -> parse (int_of_string v) json picked rest
+    | "--json" :: rest -> parse seed true picked rest
+    | name :: rest -> parse seed json (String.lowercase_ascii name :: picked) rest
   in
-  let seed, picked = parse 42 [] args in
-  let table = experiments seed in
+  let seed, json, picked = parse 42 false [] args in
+  let table = experiments ~seed ~json in
   let to_run = match picked with [] -> List.map fst table | _ -> picked in
   Format.fprintf fmt
     "secure store benchmark harness — reproducing section 6 of Lakshmanan, \

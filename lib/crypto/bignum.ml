@@ -199,35 +199,27 @@ let rem a b = snd (divmod a b)
 
 type mont = {
   m : int array; (* modulus limbs, length k *)
+  mt : t; (* the modulus as a normalized value, for reductions *)
   k : int;
   m' : int; (* -m^{-1} mod 2^26 *)
-  r2 : t; (* (2^26)^(2k) mod m, for conversion into the domain *)
+  r2 : int array; (* (2^26)^(2k) mod m, for conversion into the domain *)
+  one_m : int array; (* R mod m: 1 in the Montgomery domain *)
+  scratch : int array; (* k+2 limbs reused across mont_mul_into calls *)
 }
 
-let mont_init m =
-  let k = Array.length m in
-  assert (k > 0 && m.(0) land 1 = 1);
-  (* Newton iteration for the inverse of m.(0) modulo 2^26. *)
-  let inv = ref 1 in
-  for _ = 1 to 5 do
-    inv := !inv * ((2 - (m.(0) * !inv)) land limb_mask) land limb_mask
-  done;
-  assert (m.(0) * !inv land limb_mask = 1);
-  let m' = ((1 lsl limb_bits) - !inv) land limb_mask in
-  let r2 = rem (shift_left one (2 * k * limb_bits)) m in
-  { m; k; m'; r2 }
-
-(* CIOS Montgomery product: result = x*y / R mod m where R = 2^(26k).
-   x and y are limb arrays of length k (zero padded); result likewise. *)
-let mont_mul ctx x y =
+(* CIOS Montgomery product into [dst]: dst = x*y / R mod m with R = 2^(26k).
+   x, y and dst are limb arrays of length k; dst may alias x or y because
+   the product accumulates in ctx.scratch and is blitted out at the end. *)
+let mont_mul_into ctx dst x y =
   let k = ctx.k and m = ctx.m and m' = ctx.m' in
-  let t = Array.make (k + 2) 0 in
+  let t = ctx.scratch in
+  Array.fill t 0 (k + 2) 0;
   for i = 0 to k - 1 do
-    let xi = x.(i) in
+    let xi = Array.unsafe_get x i in
     let c = ref 0 in
     for j = 0 to k - 1 do
-      let v = t.(j) + (xi * y.(j)) + !c in
-      t.(j) <- v land limb_mask;
+      let v = Array.unsafe_get t j + (xi * Array.unsafe_get y j) + !c in
+      Array.unsafe_set t j (v land limb_mask);
       c := v lsr limb_bits
     done;
     let v = t.(k) + !c in
@@ -237,8 +229,8 @@ let mont_mul ctx x y =
     let v = t.(0) + (mi * m.(0)) in
     let c = ref (v lsr limb_bits) in
     for j = 1 to k - 1 do
-      let v = t.(j) + (mi * m.(j)) + !c in
-      t.(j - 1) <- v land limb_mask;
+      let v = Array.unsafe_get t j + (mi * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (j - 1) (v land limb_mask);
       c := v lsr limb_bits
     done;
     let v = t.(k) + !c in
@@ -273,25 +265,97 @@ let mont_mul ctx x y =
     t.(k) <- t.(k) - !borrow;
     assert (t.(k) = 0)
   end;
-  Array.sub t 0 k
+  Array.blit t 0 dst 0 k
 
 let pad k a =
   let out = Array.make k 0 in
   Array.blit a 0 out 0 (Array.length a);
   out
 
-let mont_modexp ~base ~exp ~modulus =
-  let ctx = mont_init modulus in
-  let k = ctx.k in
-  let base_m = mont_mul ctx (pad k base) (pad k ctx.r2) in
-  (* 1 in the Montgomery domain is R mod m = mont_mul 1 r2. *)
-  let acc = ref (mont_mul ctx (pad k one) (pad k ctx.r2)) in
-  for i = num_bits exp - 1 downto 0 do
-    acc := mont_mul ctx !acc !acc;
-    if bit exp i then acc := mont_mul ctx !acc base_m
+let mont_init mt =
+  let m = mt in
+  let k = Array.length m in
+  if k = 0 || m.(0) land 1 = 0 then
+    invalid_arg "Bignum.mont_of_modulus: modulus must be odd";
+  (* Newton iteration for the inverse of m.(0) modulo 2^26. *)
+  let inv = ref 1 in
+  for _ = 1 to 5 do
+    inv := !inv * ((2 - (m.(0) * !inv)) land limb_mask) land limb_mask
   done;
-  let out = mont_mul ctx !acc (pad k one) in
-  normalize out
+  assert (m.(0) * !inv land limb_mask = 1);
+  let m' = ((1 lsl limb_bits) - !inv) land limb_mask in
+  let r2 = pad k (rem (shift_left one (2 * k * limb_bits)) m) in
+  let one_m = pad k (rem (shift_left one (k * limb_bits)) m) in
+  { m; mt; k; m'; r2; one_m; scratch = Array.make (k + 2) 0 }
+
+(* Rebuilding a context costs a division per modulus; RSA reuses the same
+   handful of moduli for every sign/verify, so a small cache pays for
+   itself immediately. Flushed wholesale when full — eviction precision
+   does not matter at this size. *)
+let mont_cache : (t, mont) Hashtbl.t = Hashtbl.create 16
+let mont_cache_limit = 16
+
+let mont_of_modulus m =
+  match Hashtbl.find_opt mont_cache m with
+  | Some ctx -> ctx
+  | None ->
+    let ctx = mont_init m in
+    if Hashtbl.length mont_cache >= mont_cache_limit then
+      Hashtbl.reset mont_cache;
+    Hashtbl.add mont_cache m ctx;
+    ctx
+
+let mont_modulus ctx = ctx.mt
+
+(* Fixed 4-bit windowed exponentiation over a precomputed context. Only
+   odd powers base^1, base^3, ..., base^15 are tabulated: a window value
+   v = u * 2^z (u odd) is folded in as (4-z) squarings, one multiply by
+   base^u, then z more squarings. *)
+let mont_modexp_ctx ctx ~base ~exp =
+  if is_zero exp then (if equal ctx.mt one then zero else one)
+  else begin
+    let k = ctx.k in
+    let base = rem base ctx.mt in
+    let bm = Array.make k 0 in
+    mont_mul_into ctx bm (pad k base) ctx.r2;
+    let b2 = Array.make k 0 in
+    mont_mul_into ctx b2 bm bm;
+    (* odd_pows.(i) = base^(2i+1) in the Montgomery domain *)
+    let odd_pows = Array.init 8 (fun _ -> Array.make k 0) in
+    Array.blit bm 0 odd_pows.(0) 0 k;
+    for i = 1 to 7 do
+      mont_mul_into ctx odd_pows.(i) odd_pows.(i - 1) b2
+    done;
+    let acc = Array.copy ctx.one_m in
+    let nwin = (num_bits exp + 3) / 4 in
+    for w = nwin - 1 downto 0 do
+      let v = ref 0 in
+      for j = 3 downto 0 do
+        v := (!v lsl 1) lor (if bit exp ((4 * w) + j) then 1 else 0)
+      done;
+      if !v = 0 then
+        for _ = 1 to 4 do
+          mont_mul_into ctx acc acc acc
+        done
+      else begin
+        let z = ref 0 in
+        while !v land 1 = 0 do
+          v := !v lsr 1;
+          incr z
+        done;
+        for _ = 1 to 4 - !z do
+          mont_mul_into ctx acc acc acc
+        done;
+        mont_mul_into ctx acc acc odd_pows.(!v lsr 1);
+        for _ = 1 to !z do
+          mont_mul_into ctx acc acc acc
+        done
+      end
+    done;
+    let out = Array.make k 0 in
+    mont_mul_into ctx out acc (pad k one);
+    normalize out
+  end
 
 let modexp ~base ~exp ~modulus =
   if is_zero modulus then raise Division_by_zero;
@@ -299,7 +363,8 @@ let modexp ~base ~exp ~modulus =
   else begin
     let base = rem base modulus in
     if is_zero exp then one
-    else if not (is_even modulus) then mont_modexp ~base ~exp ~modulus
+    else if not (is_even modulus) then
+      mont_modexp_ctx (mont_of_modulus modulus) ~base ~exp
     else begin
       (* Even modulus fallback: plain square-and-multiply with reduction. *)
       let acc = ref one in

@@ -62,9 +62,27 @@ val divmod : t -> t -> t * t
 val rem : t -> t -> t
 
 val modexp : base:t -> exp:t -> modulus:t -> t
-(** [base^exp mod modulus]. Uses Montgomery multiplication when [modulus]
-    is odd, plain divide-and-reduce otherwise.
+(** [base^exp mod modulus]. Uses windowed Montgomery exponentiation over a
+    cached per-modulus context when [modulus] is odd, plain
+    divide-and-reduce otherwise.
     @raise Division_by_zero on zero modulus. *)
+
+type mont
+(** Precomputed Montgomery context for one odd modulus: the limb-inverse,
+    the conversion constant R^2 mod m, and reusable scratch buffers.
+    Building one costs a long division; exponentiating with one does not. *)
+
+val mont_of_modulus : t -> mont
+(** Context for an odd modulus, served from a small global cache so hot
+    moduli (RSA keys) are only ever precomputed once.
+    @raise Invalid_argument on an even or zero modulus. *)
+
+val mont_modulus : mont -> t
+(** The modulus a context was built for. *)
+
+val mont_modexp_ctx : mont -> base:t -> exp:t -> t
+(** [base^exp mod (mont_modulus ctx)] by fixed 4-bit windowed
+    square-and-multiply with precomputed odd powers of [base]. *)
 
 val gcd : t -> t -> t
 

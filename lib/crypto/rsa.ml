@@ -1,10 +1,23 @@
 type public = { n : Bignum.t; e : Bignum.t }
 
+(* CRT precomputation: dp = d mod (p-1), dq = d mod (q-1),
+   qinv = q^-1 mod p, plus ready-made Montgomery contexts for p and q.
+   Signing then costs two half-width exponentiations instead of one
+   full-width one. *)
+type crt = {
+  dp : Bignum.t;
+  dq : Bignum.t;
+  qinv : Bignum.t;
+  mp : Bignum.mont;
+  mq : Bignum.mont;
+}
+
 type keypair = {
   public : public;
   d : Bignum.t;
   p : Bignum.t;
   q : Bignum.t;
+  crt : crt option;
 }
 
 let e_value = Bignum.of_int 65537
@@ -22,6 +35,19 @@ let encode_message ~em_len msg =
   let ps = String.make (em_len - t_len - 3) '\xff' in
   "\x00\x01" ^ ps ^ "\x00" ^ t
 
+let precompute_crt ~d ~p ~q =
+  match Bignum.mod_inverse q ~modulus:p with
+  | None -> None
+  | Some qinv ->
+    Some
+      {
+        dp = Bignum.rem d (Bignum.sub_int p 1);
+        dq = Bignum.rem d (Bignum.sub_int q 1);
+        qinv;
+        mp = Bignum.mont_of_modulus p;
+        mq = Bignum.mont_of_modulus q;
+      }
+
 let generate ?(bits = 512) rng =
   if bits < 512 then invalid_arg "Rsa.generate: need at least 512 bits";
   let half = bits / 2 in
@@ -34,7 +60,8 @@ let generate ?(bits = 512) rng =
       let phi = Bignum.(mul (sub_int p 1) (sub_int q 1)) in
       match Bignum.mod_inverse e_value ~modulus:phi with
       | None -> keys ()
-      | Some d -> { public = { n; e = e_value }; d; p; q }
+      | Some d ->
+        { public = { n; e = e_value }; d; p; q; crt = precompute_crt ~d ~p ~q }
     end
   in
   keys ()
@@ -42,7 +69,21 @@ let generate ?(bits = 512) rng =
 let sign key msg =
   let k = modulus_bytes key.public in
   let em = Bignum.of_bytes_be (encode_message ~em_len:k msg) in
-  let s = Bignum.modexp ~base:em ~exp:key.d ~modulus:key.public.n in
+  let s =
+    match key.crt with
+    | None -> Bignum.modexp ~base:em ~exp:key.d ~modulus:key.public.n
+    | Some c ->
+      (* Garner recombination: s = m2 + q * (qinv * (m1 - m2) mod p). *)
+      let m1 = Bignum.mont_modexp_ctx c.mp ~base:em ~exp:c.dp in
+      let m2 = Bignum.mont_modexp_ctx c.mq ~base:em ~exp:c.dq in
+      let m2p = Bignum.rem m2 key.p in
+      let diff =
+        if Bignum.compare m1 m2p >= 0 then Bignum.sub m1 m2p
+        else Bignum.sub (Bignum.add m1 key.p) m2p
+      in
+      let h = Bignum.rem (Bignum.mul c.qinv diff) key.p in
+      Bignum.add m2 (Bignum.mul h key.q)
+  in
   Bignum.to_bytes_be ~len:k s
 
 let verify pub ~msg ~signature =
@@ -52,7 +93,11 @@ let verify pub ~msg ~signature =
   let s = Bignum.of_bytes_be signature in
   Bignum.compare s pub.n < 0
   &&
-  let em = Bignum.modexp ~base:s ~exp:pub.e ~modulus:pub.n in
+  let em =
+    (* modexp caches the Montgomery context per modulus, so repeated
+       verifications under one public key skip the precomputation. *)
+    Bignum.modexp ~base:s ~exp:pub.e ~modulus:pub.n
+  in
   let recovered = Bignum.to_bytes_be ~len:k em in
   Hmac.equal_constant_time recovered (encode_message ~em_len:k msg)
 

@@ -42,25 +42,28 @@ let init () =
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-(* Compress one 64-byte block taken from [src] at [off] into [t.h]. *)
+(* Compress one 64-byte block taken from [src] at [off] into [t.h].
+   Bounds are established once by the callers (off + 64 <= length src),
+   so the inner loops use unchecked accessors — this function accounts
+   for nearly all hashing time and every sign/verify hashes first. *)
 let compress t src off =
   let w = t.w in
   for i = 0 to 15 do
     let j = off + (4 * i) in
-    w.(i) <-
-      (Char.code (Bytes.get src j) lsl 24)
-      lor (Char.code (Bytes.get src (j + 1)) lsl 16)
-      lor (Char.code (Bytes.get src (j + 2)) lsl 8)
-      lor Char.code (Bytes.get src (j + 3))
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get src j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get src (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get src (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get src (j + 3)))
   done;
   for i = 16 to 63 do
-    let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
-    in
-    let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
-    in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+    let w15 = Array.unsafe_get w (i - 15) in
+    let w2 = Array.unsafe_get w (i - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask32)
   done;
   let h = t.h in
   let a = ref h.(0)
@@ -74,7 +77,9 @@ let compress t src off =
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
+    let temp1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask32
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let temp2 = (s0 + maj) land mask32 in

@@ -121,10 +121,13 @@ let rpc t ~quorum dsts request =
   t.opstats.messages <- t.opstats.messages + List.length dsts + List.length replies;
   (match t.cfg.evidence with
   | Some e ->
-    let responded = List.map (fun (r : Sim.Runtime.reply) -> r.from) replies in
+    let responded = Hashtbl.create (List.length replies) in
+    List.iter
+      (fun (r : Sim.Runtime.reply) -> Hashtbl.replace responded r.from ())
+      replies;
     List.iter
       (fun dst ->
-        if List.mem dst responded then Fault_evidence.clear_suspicion e ~server:dst
+        if Hashtbl.mem responded dst then Fault_evidence.clear_suspicion e ~server:dst
         else Fault_evidence.report_suspicion e ~server:dst)
       dsts
   | None -> ());
@@ -160,8 +163,13 @@ let server_set t k =
     Array.to_list (Array.sub arr 0 k)
   end
 
+(* Constant-time membership: the chosen set is rebuilt on every retry
+   round, so scanning it per-universe-element was O(n^2) on the read/write
+   retry path. *)
 let remaining_servers t chosen =
-  List.filter (fun s -> not (List.mem s chosen)) (server_universe t)
+  let chosen_tbl = Hashtbl.create (List.length chosen) in
+  List.iter (fun s -> Hashtbl.replace chosen_tbl s ()) chosen;
+  List.filter (fun s -> not (Hashtbl.mem chosen_tbl s)) (server_universe t)
 
 (* A logical timestamp: strictly increasing per client, loosely tracking
    the runtime clock (the paper's "current clock value"). *)

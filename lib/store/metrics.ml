@@ -6,6 +6,8 @@ type snapshot = {
   digests : int;
   server_verifies : int;
   macs : int;
+  sigcache_hits : int;
+  sigcache_misses : int;
 }
 
 let messages = ref 0
@@ -15,6 +17,8 @@ let verifies = ref 0
 let digests = ref 0
 let server_verifies = ref 0
 let macs = ref 0
+let sigcache_hits = ref 0
+let sigcache_misses = ref 0
 
 let reset () =
   messages := 0;
@@ -23,7 +27,9 @@ let reset () =
   verifies := 0;
   digests := 0;
   server_verifies := 0;
-  macs := 0
+  macs := 0;
+  sigcache_hits := 0;
+  sigcache_misses := 0
 
 let read () =
   {
@@ -34,6 +40,8 @@ let read () =
     digests = !digests;
     server_verifies = !server_verifies;
     macs = !macs;
+    sigcache_hits = !sigcache_hits;
+    sigcache_misses = !sigcache_misses;
   }
 
 let diff late early =
@@ -45,6 +53,8 @@ let diff late early =
     digests = late.digests - early.digests;
     server_verifies = late.server_verifies - early.server_verifies;
     macs = late.macs - early.macs;
+    sigcache_hits = late.sigcache_hits - early.sigcache_hits;
+    sigcache_misses = late.sigcache_misses - early.sigcache_misses;
   }
 
 let add_messages n = messages := !messages + n
@@ -54,7 +64,16 @@ let incr_verify () = incr verifies
 let incr_digest () = incr digests
 let incr_server_verify () = incr server_verifies
 let incr_mac () = incr macs
+let incr_sigcache_hit () = incr sigcache_hits
+let incr_sigcache_miss () = incr sigcache_misses
+
+(* Paper-model verification counts stay in [verifies]/[server_verifies];
+   the RSA exponentiations actually performed are the cache misses. *)
+let rsa_verifies s = s.sigcache_misses
 
 let pp fmt s =
-  Format.fprintf fmt "msgs=%d signs=%d verifies=%d (server %d) digests=%d macs=%d"
+  Format.fprintf fmt
+    "msgs=%d signs=%d verifies=%d (server %d) digests=%d macs=%d \
+     sigcache=%d/%d hit/miss"
     s.messages s.signs s.verifies s.server_verifies s.digests s.macs
+    s.sigcache_hits s.sigcache_misses

@@ -13,6 +13,8 @@ type snapshot = {
   digests : int;
   server_verifies : int;  (** verifications done at servers *)
   macs : int;  (** MAC computations (PBFT-style authenticators) *)
+  sigcache_hits : int;  (** verifications answered from the sig cache *)
+  sigcache_misses : int;  (** verifications that ran the RSA math *)
 }
 
 val reset : unit -> unit
@@ -26,5 +28,12 @@ val incr_verify : unit -> unit
 val incr_digest : unit -> unit
 val incr_server_verify : unit -> unit
 val incr_mac : unit -> unit
+val incr_sigcache_hit : unit -> unit
+val incr_sigcache_miss : unit -> unit
+
+val rsa_verifies : snapshot -> int
+(** RSA exponentiations actually performed for verification — the cache
+    misses. [verifies] and [server_verifies] keep counting the paper's
+    section 6 cost-model verifications regardless of caching. *)
 
 val pp : Format.formatter -> snapshot -> unit

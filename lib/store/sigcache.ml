@@ -1,0 +1,89 @@
+(* Bounded LRU over digest keys. An entry records the verdict of one RSA
+   signature verification; because verification is deterministic, replaying
+   the verdict is indistinguishable from re-running the RSA math. The key
+   must bind public key, message and signature together (Signing hashes all
+   three), so a forged signature can only ever cache its own [false]. *)
+
+type node = {
+  key : string;
+  verdict : bool;
+  mutable prev : node option; (* toward most-recently used *)
+  mutable next : node option; (* toward least-recently used *)
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option; (* most-recently used *)
+  mutable tail : node option; (* least-recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Sigcache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.verdict
+
+let add t key verdict =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    (* Deterministic verification cannot change its mind; just refresh. *)
+    unlink t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then begin
+      match t.tail with
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.key
+      | None -> ()
+    end;
+    let node = { key; verdict; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,29 @@
+(** Bounded LRU cache of signature-verification verdicts.
+
+    A write gossiped to n servers and re-read by many clients is otherwise
+    RSA-verified on every arrival; verification is deterministic, so the
+    verdict for a given (public key, message, signature) triple can be
+    replayed from a digest-keyed cache. [Signing] owns the node-wide
+    instance; this module is the mechanism. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : t -> string -> bool option
+(** Verdict for a digest key if cached; refreshes its recency and counts a
+    hit, or counts a miss on [None]. *)
+
+val add : t -> string -> bool -> unit
+(** Insert a verdict, evicting the least-recently-used entry at capacity.
+    Re-adding an existing key refreshes recency (the verdict of a
+    deterministic verification cannot change). *)
+
+val clear : t -> unit
+(** Drop all entries and reset the hit/miss counters. *)
+
+val capacity : t -> int
+val size : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,7 +1,21 @@
 (** Signature production and verification with cost accounting.
 
     Every sign/verify passes through here so the section 6 computational
-    cost claims (E2/E3) can be measured rather than asserted. *)
+    cost claims (E2/E3) can be measured rather than asserted.
+
+    Verifications are answered from a node-wide bounded LRU cache keyed by
+    a digest of (public key, message, signature): a write disseminated to
+    n servers and re-read by many clients costs one RSA exponentiation per
+    node, not one per arrival. The [verifies]/[server_verifies] metrics
+    keep counting paper-model verifications; [sigcache_hits]/
+    [sigcache_misses] record how many hit the cache vs ran the RSA math. *)
+
+val reset_sigcache : ?capacity:int -> unit -> unit
+(** Replace the verification cache with an empty one (default capacity
+    4096). Use [~capacity:1] to effectively disable caching. *)
+
+val sigcache_stats : unit -> int * int
+(** Lifetime [(hits, misses)] of the current cache instance. *)
 
 val sign_write :
   key:Crypto.Rsa.keypair ->

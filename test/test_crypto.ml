@@ -275,6 +275,42 @@ let prop_modexp_matches_naive =
       Bignum.equal !naive
         (Bignum.modexp ~base ~exp:(Bignum.of_int exp) ~modulus:m))
 
+(* The windowed Montgomery path must agree with textbook binary
+   square-and-multiply for multi-window exponents (the existing naive
+   property only exercises exponents below one window). *)
+let prop_windowed_modexp_matches_binary =
+  QCheck.Test.make ~name:"windowed modexp = binary square-multiply" ~count:30
+    (QCheck.triple sized_bignum sized_bignum QCheck.int)
+    (fun (m, exp, seed) ->
+      let m = Bignum.add_int m 3 in
+      let m = if Bignum.is_even m then Bignum.add_int m 1 else m in
+      let rng = Prng.create ~seed:("win-" ^ string_of_int seed) in
+      let base = Prng.bits rng 200 in
+      let reduced = Bignum.rem base m in
+      let naive = ref Bignum.one in
+      for i = Bignum.num_bits exp - 1 downto 0 do
+        naive := Bignum.rem (Bignum.mul !naive !naive) m;
+        if Bignum.bit exp i then naive := Bignum.rem (Bignum.mul !naive reduced) m
+      done;
+      Bignum.equal !naive (Bignum.modexp ~base ~exp ~modulus:m))
+
+let test_mont_ctx_api () =
+  let m = Bignum.of_hex "fffffffffffffffffffffffffffffffeffffffffffffffff" in
+  let ctx = Bignum.mont_of_modulus m in
+  Alcotest.check bn "modulus roundtrips" m (Bignum.mont_modulus ctx);
+  Alcotest.(check bool) "context is cached" true
+    (ctx == Bignum.mont_of_modulus m);
+  let base = Bignum.of_hex "123456789abcdef0123456789abcdef" in
+  let exp = Bignum.of_hex "deadbeefcafe" in
+  Alcotest.check bn "ctx modexp = modexp"
+    (Bignum.modexp ~base ~exp ~modulus:m)
+    (Bignum.mont_modexp_ctx ctx ~base ~exp);
+  Alcotest.check bn "exp 0" Bignum.one
+    (Bignum.mont_modexp_ctx ctx ~base ~exp:Bignum.zero);
+  Alcotest.check_raises "even modulus rejected"
+    (Invalid_argument "Bignum.mont_of_modulus: modulus must be odd") (fun () ->
+      ignore (Bignum.mont_of_modulus (Bignum.of_int 10)))
+
 let prop_mod_int_matches =
   QCheck.Test.make ~name:"mod_int = rem" ~count:200
     (QCheck.pair sized_bignum QCheck.small_nat)
@@ -432,6 +468,38 @@ let test_rsa_key_internal_consistency () =
   Alcotest.check bn "e*d = 1 mod phi" Bignum.one
     (Bignum.rem (Bignum.mul key.public.e key.d) phi);
   Alcotest.(check int) "modulus width" 512 (Bignum.num_bits key.public.n)
+
+(* CRT signing is an internal optimization: its signatures must be
+   byte-identical to the single-exponentiation path. *)
+let crt_test_key =
+  lazy (Rsa.generate ~bits:512 (Prng.create ~seed:"rsa-crt"))
+
+let test_rsa_crt_matches_plain () =
+  let key = Lazy.force crt_test_key in
+  Alcotest.(check bool) "generate fills crt" true (key.crt <> None);
+  let plain = { key with crt = None } in
+  List.iter
+    (fun msg ->
+      let s_crt = Rsa.sign key msg in
+      Alcotest.(check string) ("crt = plain: " ^ msg) (Rsa.sign plain msg) s_crt;
+      Alcotest.(check bool) ("verifies: " ^ msg) true
+        (Rsa.verify key.public ~msg ~signature:s_crt))
+    [ ""; "x"; "the quick brown fox"; String.make 1000 'z' ];
+  (* precompute_crt on an existing plain key restores the fast path. *)
+  match Rsa.precompute_crt ~d:key.d ~p:key.p ~q:key.q with
+  | None -> Alcotest.fail "precompute_crt failed for distinct primes"
+  | Some crt ->
+    Alcotest.(check string) "recomputed crt signs identically"
+      (Rsa.sign plain "m") (Rsa.sign { plain with crt = Some crt } "m")
+
+let prop_rsa_crt_roundtrip =
+  QCheck.Test.make ~name:"rsa crt sign/verify roundtrip" ~count:15
+    QCheck.string (fun msg ->
+      let key = Lazy.force crt_test_key in
+      let signature = Rsa.sign key msg in
+      signature = Rsa.sign { key with crt = None } msg
+      && Rsa.verify key.public ~msg ~signature
+      && not (Rsa.verify key.public ~msg:(msg ^ "!") ~signature))
 
 let test_rsa_public_serialization () =
   let rng = Prng.create ~seed:"rsa-serde" in
@@ -860,12 +928,14 @@ let () =
           Alcotest.test_case "modexp known" `Quick test_bignum_modexp_known;
           Alcotest.test_case "inverse" `Quick test_bignum_inverse;
           Alcotest.test_case "more edges" `Quick test_bignum_more_edges;
+          Alcotest.test_case "mont ctx api" `Quick test_mont_ctx_api;
         ]
         @ qsuite
             [
               prop_add_commutes; prop_mul_commutes; prop_add_sub_roundtrip;
               prop_divmod_identity; prop_shift_roundtrip; prop_bytes_roundtrip;
-              prop_modexp_matches_naive; prop_mod_int_matches;
+              prop_modexp_matches_naive; prop_windowed_modexp_matches_binary;
+              prop_mod_int_matches;
             ] );
       ( "prng",
         [
@@ -887,8 +957,10 @@ let () =
           Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
           Alcotest.test_case "cross key" `Quick test_rsa_cross_key;
           Alcotest.test_case "key consistency" `Quick test_rsa_key_internal_consistency;
+          Alcotest.test_case "crt = plain" `Quick test_rsa_crt_matches_plain;
           Alcotest.test_case "public serde" `Quick test_rsa_public_serialization;
-        ] );
+        ]
+        @ qsuite [ prop_rsa_crt_roundtrip ] );
       ( "aead",
         [
           Alcotest.test_case "roundtrip" `Quick test_aead_roundtrip;

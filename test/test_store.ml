@@ -1796,6 +1796,112 @@ let prop_cc_no_overwritten_reads =
           done;
           !sound))
 
+(* ------------------------------------------------------------------ *)
+(* Signature-verification cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sc_keyring () =
+  let keyring = Keyring.create () in
+  Keyring.register keyring "alice" (key_of "alice").Crypto.Rsa.public;
+  keyring
+
+let signed_write ~item value =
+  let uid = Uid.make ~group:"sc" ~item in
+  Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+    ~stamp:(Stamp.scalar 1) value
+
+let flip_byte s i = String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 0x5a) else c) s
+
+let test_sigcache_lru () =
+  let c = Sigcache.create ~capacity:2 in
+  Sigcache.add c "a" true;
+  Sigcache.add c "b" false;
+  Alcotest.(check (option bool)) "a hit" (Some true) (Sigcache.find c "a");
+  (* b is now least-recently used; inserting a third key evicts it. *)
+  Sigcache.add c "c" true;
+  Alcotest.(check (option bool)) "b evicted" None (Sigcache.find c "b");
+  Alcotest.(check (option bool)) "a kept" (Some true) (Sigcache.find c "a");
+  Alcotest.(check (option bool)) "c kept" (Some true) (Sigcache.find c "c");
+  Alcotest.(check int) "size bounded" 2 (Sigcache.size c);
+  Alcotest.(check int) "hits" 3 (Sigcache.hits c);
+  Alcotest.(check int) "misses" 1 (Sigcache.misses c);
+  Sigcache.clear c;
+  Alcotest.(check int) "cleared" 0 (Sigcache.size c);
+  Alcotest.(check int) "counters cleared" 0 (Sigcache.hits c);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Sigcache.create: capacity must be positive") (fun () ->
+      ignore (Sigcache.create ~capacity:0))
+
+let test_sigcache_hit_consistency () =
+  Signing.reset_sigcache ();
+  let keyring = sc_keyring () in
+  let w = signed_write ~item:"x" "v" in
+  Metrics.reset ();
+  Alcotest.(check bool) "cold verify ok" true (Signing.verify_write keyring w);
+  Alcotest.(check bool) "warm verify same verdict" true
+    (Signing.verify_write keyring w);
+  Alcotest.(check bool) "server verify also hits" true
+    (Signing.server_verify_write keyring w);
+  let m = Metrics.read () in
+  Alcotest.(check int) "paper-model client verifies" 2 m.Metrics.verifies;
+  Alcotest.(check int) "paper-model server verifies" 1 m.Metrics.server_verifies;
+  Alcotest.(check int) "one miss" 1 m.Metrics.sigcache_misses;
+  Alcotest.(check int) "two hits" 2 m.Metrics.sigcache_hits;
+  Alcotest.(check int) "one actual RSA op" 1 (Metrics.rsa_verifies m)
+
+let test_sigcache_forged_never_valid () =
+  Signing.reset_sigcache ();
+  let keyring = sc_keyring () in
+  let w = signed_write ~item:"y" "v" in
+  let forged = { w with Payload.signature = flip_byte w.signature 7 } in
+  (* Repeated verification of a forgery stays false: its cached verdict
+     is keyed by the forged bytes themselves. *)
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "forged rejected" false
+      (Signing.verify_write keyring forged)
+  done;
+  Alcotest.(check bool) "genuine write unaffected" true
+    (Signing.verify_write keyring w);
+  (* Tampering with an already-cached-valid write cannot reuse its
+     verdict: the digest key binds the message bytes too. *)
+  let tampered = { w with Payload.value = "other" } in
+  Alcotest.(check bool) "tampered value rejected" false
+    (Signing.verify_write keyring tampered);
+  (* And the quiet diagnostic path leaves the counters alone. *)
+  Metrics.reset ();
+  Alcotest.(check bool) "quiet check" false (Signing.check_write_quiet keyring forged);
+  let m = Metrics.read () in
+  Alcotest.(check int) "quiet: no hit counted" 0 m.Metrics.sigcache_hits;
+  Alcotest.(check int) "quiet: no miss counted" 0 m.Metrics.sigcache_misses
+
+let prop_sigcache_bounded =
+  QCheck.Test.make ~name:"sigcache bounded, last insert resident" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list small_nat))
+    (fun (capacity, keys) ->
+      let c = Sigcache.create ~capacity in
+      List.iter (fun k -> Sigcache.add c (string_of_int k) (k mod 2 = 0)) keys;
+      Sigcache.size c <= capacity
+      &&
+      match List.rev keys with
+      | [] -> Sigcache.size c = 0
+      | last :: _ ->
+        Sigcache.find c (string_of_int last) = Some (last mod 2 = 0))
+
+let prop_sigcache_verdict_stable =
+  QCheck.Test.make ~name:"cached verdict = cold verdict" ~count:30
+    QCheck.(pair string bool)
+    (fun (value, corrupt) ->
+      Signing.reset_sigcache ();
+      let keyring = sc_keyring () in
+      let w = signed_write ~item:"p" value in
+      let w =
+        if corrupt then { w with Payload.signature = flip_byte w.signature 3 }
+        else w
+      in
+      let cold = Signing.verify_write keyring w in
+      let warm = Signing.verify_write keyring w in
+      cold = warm && warm = not corrupt)
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let () =
@@ -1934,5 +2040,13 @@ let () =
           Alcotest.test_case "data read" `Quick test_costs_data_read;
           Alcotest.test_case "multi-writer" `Quick test_costs_multi_writer;
         ] );
+      ( "sigcache",
+        [
+          Alcotest.test_case "lru mechanics" `Quick test_sigcache_lru;
+          Alcotest.test_case "hit consistency" `Quick test_sigcache_hit_consistency;
+          Alcotest.test_case "forgery never cached valid" `Quick
+            test_sigcache_forged_never_valid;
+        ]
+        @ qsuite [ prop_sigcache_bounded; prop_sigcache_verdict_stable ] );
       ("properties", qsuite [ prop_mrc_monotonic; prop_cc_no_overwritten_reads ]);
     ]
