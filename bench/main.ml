@@ -107,19 +107,25 @@ let existing_baseline path =
           (close opening 0))
   end
 
-let write_bench_json ~path rows =
+(* [baseline_rows], when given, seeds the baseline of a first-run file
+   (e.g. the legacy-transport numbers measured in the same process);
+   an existing committed baseline always wins. *)
+let write_bench_json ~path ~schema ?baseline_rows rows =
   let current = results_json rows in
   let baseline =
-    match existing_baseline path with Some b -> b | None -> current
+    match existing_baseline path with
+    | Some b -> b
+    | None -> (
+      match baseline_rows with Some b -> results_json b | None -> current)
   in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       Printf.fprintf oc
-        "{\n  \"schema\": \"bench-crypto-v1\",\n  \"unit\": \"ns/op\",\n\
+        "{\n  \"schema\": \"%s\",\n  \"unit\": \"ns/op\",\n\
         \  \"baseline\": %s,\n  \"current\": %s\n}\n"
-        baseline current);
+        schema baseline current);
   Format.fprintf fmt "wrote %s@." path
 
 let e9 () =
@@ -230,6 +236,128 @@ let e9_protocol () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* E10 (live half): loopback RPC over the real TCP transport           *)
+(* ------------------------------------------------------------------ *)
+
+(* A real n=4, b=1 cluster of Server_hosts on loopback; each measured
+   op is one quorum RPC round (fan out to all n, resume at the write
+   quorum ceil((n+b+1)/2) = 3), the access pattern every store
+   operation reduces to. Run once over the legacy connect-per-request
+   transport (the baseline BENCH_net.json preserves) and once over the
+   pooled pipelined one. *)
+let e10_net ~json () =
+  let n = 4 and b = 1 in
+  let keyring = Store.Keyring.create () in
+  let servers =
+    Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ())
+  in
+  let hosts =
+    Array.map (fun server -> Tcpnet.Server_host.start ~server ~port:0 ()) servers
+  in
+  let eps = Array.map (fun h -> ("127.0.0.1", Tcpnet.Server_host.port h)) hosts in
+  let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
+  let payload =
+    Store.Payload.encode_envelope
+      {
+        Store.Payload.token = None;
+        request =
+          Store.Payload.Meta_query
+            { uid = Store.Uid.make ~group:"bench" ~item:"x" };
+      }
+  in
+  let quorum = (n + b + 1 + 1) / 2 in
+  let all = List.init n Fun.id in
+  let one_round () =
+    ignore
+      (Sim.Runtime.call_many ~timeout:2.0 ~quorum all payload
+        : Sim.Runtime.reply list)
+  in
+  let latency transport iters =
+    let stats = Sim.Stats.create () in
+    Tcpnet.Live.run ~transport ~endpoints (fun () ->
+        for _ = 1 to 10 do
+          one_round ()
+        done;
+        for _ = 1 to iters do
+          let t0 = Unix.gettimeofday () in
+          one_round ();
+          Sim.Stats.add stats ((Unix.gettimeofday () -. t0) *. 1e9)
+        done);
+    stats
+  in
+  let throughput transport threads iters =
+    let workers =
+      List.init threads (fun _ ->
+          Thread.create
+            (fun () ->
+              Tcpnet.Live.run ~transport ~endpoints (fun () ->
+                  for _ = 1 to iters do
+                    one_round ()
+                  done))
+            ())
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter Thread.join workers;
+    let dt = Unix.gettimeofday () -. t0 in
+    dt *. 1e9 /. float_of_int (threads * iters)
+  in
+  let measure transport =
+    let stats = latency transport 300 in
+    let c8 = throughput transport 8 150 in
+    [
+      ("net/rpc-quorum-p50", Sim.Stats.percentile stats 50.0);
+      ("net/rpc-quorum-p95", Sim.Stats.percentile stats 95.0);
+      ("net/rpc-quorum-mean", Sim.Stats.mean stats);
+      ("net/rpc-quorum-c8", c8);
+    ]
+  in
+  let legacy = measure `Legacy in
+  let pooled = measure `Pooled in
+  Array.iter Tcpnet.Server_host.stop hosts;
+  let pp_ns ns =
+    if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else Printf.sprintf "%.1f us" (ns /. 1e3)
+  in
+  let table =
+    {
+      Workload.Table.id = "E10b";
+      title =
+        Printf.sprintf
+          "Loopback quorum RPC (real TCP, n=%d b=%d, quorum %d-of-%d)" n b
+          quorum n;
+      header = [ "metric"; "per-connection"; "pooled+pipelined"; "speedup" ];
+      rows =
+        List.map2
+          (fun (name, base_ns) (_, pooled_ns) ->
+            [
+              name;
+              pp_ns base_ns;
+              pp_ns pooled_ns;
+              Printf.sprintf "%.1fx" (base_ns /. pooled_ns);
+            ])
+          legacy pooled;
+      notes =
+        [
+          "per-connection: dial + thread per destination per call, 1 ms poll-wait";
+          "pooled: persistent connections, correlation-id pipelining, condition wakeup";
+          "rpc-quorum-c8: ns/op across 8 concurrent client threads";
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  let s = Store.Metrics.rpc_latency_stats () in
+  Format.fprintf fmt
+    "transport metrics: %d rpcs, in-flight hwm %d, pool rpc p50 %.1f us \
+     (p99 %.1f us)@."
+    s.Store.Metrics.rpc_count
+    (Store.Metrics.inflight_high_water ())
+    (s.Store.Metrics.p50_ns /. 1e3)
+    (s.Store.Metrics.p99_ns /. 1e3);
+  if json then
+    write_bench_json ~path:"BENCH_net.json" ~schema:"bench-net-v1"
+      ~baseline_rows:legacy pooled
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,9 +377,13 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
       fun () ->
         let micro = e9 () in
         let proto = e9_protocol () in
-        if json then write_bench_json ~path:"BENCH_crypto.json" (micro @ proto)
-    );
-    ("e10", t (fun () -> Workload.Experiments.e10_wan_latency ~seed ()));
+        if json then
+          write_bench_json ~path:"BENCH_crypto.json" ~schema:"bench-crypto-v1"
+            (micro @ proto) );
+    ( "e10",
+      fun () ->
+        Workload.Table.print fmt (Workload.Experiments.e10_wan_latency ~seed ());
+        e10_net ~json () );
     ("e11", t Workload.Experiments.e11_read_strategies);
     ("e12", t Workload.Experiments.e12_dispersal);
     ("e13", t Workload.Experiments.e13_dynamic_quorums);

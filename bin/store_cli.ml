@@ -27,12 +27,13 @@ let session_config ~n ~b ~cc ~multi =
     timeout = 2.0;
   }
 
-let with_session ~servers ~b ~uid ~group ~cc ~multi fn =
+let with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy fn =
   let eps = Array.of_list (endpoints_of servers) in
   let n = Array.length eps in
   let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
   let keyring = Keys.keyring [ uid ] in
-  Tcpnet.Live.run ~endpoints (fun () ->
+  let transport = if legacy then `Legacy else `Pooled in
+  Tcpnet.Live.run ~transport ~endpoints (fun () ->
       match
         Store.Client.connect
           ~config:(session_config ~n ~b ~cc ~multi)
@@ -48,9 +49,14 @@ let with_session ~servers ~b ~uid ~group ~cc ~multi fn =
             (Store.Client.error_to_string e));
         result)
 
+let legacy_flag =
+  Arg.(value & flag
+       & info [ "legacy-transport" ]
+           ~doc:"Use the connect-per-request transport instead of the pooled one.")
+
 let write_cmd =
-  let run servers b uid group item value cc multi =
-    with_session ~servers ~b ~uid ~group ~cc ~multi (fun session ->
+  let run servers b uid group item value cc multi legacy =
+    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy (fun session ->
         match Store.Client.write session ~item value with
         | Ok () -> Printf.printf "ok\n"
         | Error e -> failwith (Store.Client.error_to_string e))
@@ -64,11 +70,12 @@ let write_cmd =
   let cc = Arg.(value & flag & info [ "cc" ] ~doc:"Causal consistency.") in
   let multi = Arg.(value & flag & info [ "multi" ] ~doc:"Multi-writer mode.") in
   Cmd.v (Cmd.info "write" ~doc:"Write a value")
-    Term.(const run $ servers $ b $ uid $ group $ item $ value $ cc $ multi)
+    Term.(const run $ servers $ b $ uid $ group $ item $ value $ cc $ multi
+          $ legacy_flag)
 
 let read_cmd =
-  let run servers b uid group item cc multi =
-    with_session ~servers ~b ~uid ~group ~cc ~multi (fun session ->
+  let run servers b uid group item cc multi legacy =
+    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy (fun session ->
         match Store.Client.read session ~item with
         | Ok v -> Printf.printf "%s\n" v
         | Error e -> failwith (Store.Client.error_to_string e))
@@ -81,7 +88,7 @@ let read_cmd =
   let cc = Arg.(value & flag & info [ "cc" ] ~doc:"Causal consistency.") in
   let multi = Arg.(value & flag & info [ "multi" ] ~doc:"Multi-writer mode.") in
   Cmd.v (Cmd.info "read" ~doc:"Read a value")
-    Term.(const run $ servers $ b $ uid $ group $ item $ cc $ multi)
+    Term.(const run $ servers $ b $ uid $ group $ item $ cc $ multi $ legacy_flag)
 
 (* Self-contained end-to-end demo: n servers on ephemeral localhost
    ports, gossip threads between them, and two client sessions over real
@@ -126,6 +133,14 @@ let demo_cmd =
           | Ok v -> Printf.printf "bob read over TCP: %S\n%!" v
           | Error e -> failwith (Store.Client.error_to_string e)));
     Array.iter Tcpnet.Server_host.stop hosts;
+    let m = Store.Metrics.read () in
+    let r = Store.Metrics.rpc_latency_stats () in
+    Printf.printf
+      "transport: %d rpc rounds over %d pooled connections (%d reuses, %d \
+       reconnects), rpc p50 %.0f us\n"
+      m.Store.Metrics.rpcs m.Store.Metrics.tcp_connects
+      m.Store.Metrics.tcp_reuses m.Store.Metrics.tcp_reconnects
+      (r.Store.Metrics.p50_ns /. 1e3);
     Printf.printf "demo ok\n"
   in
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained networked demo") Term.(const run $ const ())

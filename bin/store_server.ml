@@ -8,7 +8,7 @@
 open Cmdliner
 
 let run id port n b clients guard log_depth peers gossip_period snapshot
-    snapshot_period =
+    snapshot_period stats_period =
   let keyring = Keys.keyring (Keys.split_commas clients) in
   let config =
     {
@@ -56,10 +56,32 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
   Printf.printf "secure store server %d/%d (b=%d, guard=%b) listening on 127.0.0.1:%d\n%!"
     id n b guard
     (Tcpnet.Server_host.port host);
-  (* Serve until killed. *)
-  let forever = Mutex.create () in
+  (if stats_period > 0.0 then
+     ignore
+       (Thread.create
+          (fun () ->
+            while true do
+              Thread.delay stats_period;
+              let m = Store.Metrics.read () in
+              Printf.printf
+                "stats: %d items | %d msgs, %d server verifies (%d RSA) | \
+                 transport: %d connects, %d reuses, %d reconnects, %d \
+                 in-flight peak\n%!"
+                (Store.Server.item_count server)
+                m.Store.Metrics.messages m.Store.Metrics.server_verifies
+                (Store.Metrics.rsa_verifies m)
+                m.Store.Metrics.tcp_connects m.Store.Metrics.tcp_reuses
+                m.Store.Metrics.tcp_reconnects
+                (Store.Metrics.inflight_high_water ())
+            done)
+          ()));
+  (* Serve until killed. Relocking a held mutex raises EDEADLK on
+     OCaml 5, so park on a condition nobody ever signals instead. *)
+  let forever = Mutex.create () and never = Condition.create () in
   Mutex.lock forever;
-  Mutex.lock forever
+  while true do
+    Condition.wait never forever
+  done
 
 let cmd =
   let id = Arg.(value & opt int 0 & info [ "id" ] ~doc:"Server id (0..n-1).") in
@@ -89,9 +111,14 @@ let cmd =
   let snapshot_period =
     Arg.(value & opt float 10.0 & info [ "snapshot-period" ] ~doc:"Seconds between snapshots.")
   in
+  let stats_period =
+    Arg.(value & opt float 0.0
+         & info [ "stats-period" ]
+             ~doc:"Seconds between metrics reports on stdout (0 = off).")
+  in
   Cmd.v
     (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
     Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
-          $ snapshot $ snapshot_period)
+          $ snapshot $ snapshot_period $ stats_period)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,10 @@ type snapshot = {
   macs : int;
   sigcache_hits : int;
   sigcache_misses : int;
+  tcp_connects : int;
+  tcp_reuses : int;
+  tcp_reconnects : int;
+  rpcs : int;
 }
 
 let messages = ref 0
@@ -19,6 +23,19 @@ let server_verifies = ref 0
 let macs = ref 0
 let sigcache_hits = ref 0
 let sigcache_misses = ref 0
+let tcp_connects = ref 0
+let tcp_reuses = ref 0
+let tcp_reconnects = ref 0
+let rpcs = ref 0
+
+(* Transport gauges live outside the snapshot: the in-flight high-water
+   mark and a bounded reservoir of recent RPC round durations (the last
+   [rpc_reservoir_size] samples; percentiles are over that window). *)
+let inflight_hwm = ref 0
+let rpc_reservoir_size = 4096
+let rpc_samples = Array.make rpc_reservoir_size 0.0
+let rpc_sample_count = ref 0
+let rpc_lock = Mutex.create ()
 
 let reset () =
   messages := 0;
@@ -29,7 +46,15 @@ let reset () =
   server_verifies := 0;
   macs := 0;
   sigcache_hits := 0;
-  sigcache_misses := 0
+  sigcache_misses := 0;
+  tcp_connects := 0;
+  tcp_reuses := 0;
+  tcp_reconnects := 0;
+  rpcs := 0;
+  Mutex.lock rpc_lock;
+  inflight_hwm := 0;
+  rpc_sample_count := 0;
+  Mutex.unlock rpc_lock
 
 let read () =
   {
@@ -42,6 +67,10 @@ let read () =
     macs = !macs;
     sigcache_hits = !sigcache_hits;
     sigcache_misses = !sigcache_misses;
+    tcp_connects = !tcp_connects;
+    tcp_reuses = !tcp_reuses;
+    tcp_reconnects = !tcp_reconnects;
+    rpcs = !rpcs;
   }
 
 let diff late early =
@@ -55,6 +84,10 @@ let diff late early =
     macs = late.macs - early.macs;
     sigcache_hits = late.sigcache_hits - early.sigcache_hits;
     sigcache_misses = late.sigcache_misses - early.sigcache_misses;
+    tcp_connects = late.tcp_connects - early.tcp_connects;
+    tcp_reuses = late.tcp_reuses - early.tcp_reuses;
+    tcp_reconnects = late.tcp_reconnects - early.tcp_reconnects;
+    rpcs = late.rpcs - early.rpcs;
   }
 
 let add_messages n = messages := !messages + n
@@ -66,6 +99,51 @@ let incr_server_verify () = incr server_verifies
 let incr_mac () = incr macs
 let incr_sigcache_hit () = incr sigcache_hits
 let incr_sigcache_miss () = incr sigcache_misses
+let incr_tcp_connect () = incr tcp_connects
+let incr_tcp_reuse () = incr tcp_reuses
+let incr_tcp_reconnect () = incr tcp_reconnects
+let incr_rpc () = incr rpcs
+
+let note_inflight n = if n > !inflight_hwm then inflight_hwm := n
+let inflight_high_water () = !inflight_hwm
+
+let record_rpc_ns ns =
+  Mutex.lock rpc_lock;
+  rpc_samples.(!rpc_sample_count mod rpc_reservoir_size) <- ns;
+  incr rpc_sample_count;
+  Mutex.unlock rpc_lock
+
+type rpc_stats = {
+  rpc_count : int;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+let rpc_latency_stats () =
+  Mutex.lock rpc_lock;
+  let n = min !rpc_sample_count rpc_reservoir_size in
+  let samples = Array.sub rpc_samples 0 n in
+  let count = !rpc_sample_count in
+  Mutex.unlock rpc_lock;
+  if n = 0 then
+    { rpc_count = 0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
+  else begin
+    Array.sort compare samples;
+    (* Nearest-rank percentile over the retained window. *)
+    let pct p =
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      samples.(max 0 (min (n - 1) (rank - 1)))
+    in
+    {
+      rpc_count = count;
+      p50_ns = pct 50.0;
+      p95_ns = pct 95.0;
+      p99_ns = pct 99.0;
+      max_ns = samples.(n - 1);
+    }
+  end
 
 (* Paper-model verification counts stay in [verifies]/[server_verifies];
    the RSA exponentiations actually performed are the cache misses. *)
@@ -74,6 +152,7 @@ let rsa_verifies s = s.sigcache_misses
 let pp fmt s =
   Format.fprintf fmt
     "msgs=%d signs=%d verifies=%d (server %d) digests=%d macs=%d \
-     sigcache=%d/%d hit/miss"
+     sigcache=%d/%d hit/miss tcp=%d+%d/%d conn/reconn/reuse rpcs=%d"
     s.messages s.signs s.verifies s.server_verifies s.digests s.macs
-    s.sigcache_hits s.sigcache_misses
+    s.sigcache_hits s.sigcache_misses s.tcp_connects s.tcp_reconnects
+    s.tcp_reuses s.rpcs

@@ -15,6 +15,10 @@ type snapshot = {
   macs : int;  (** MAC computations (PBFT-style authenticators) *)
   sigcache_hits : int;  (** verifications answered from the sig cache *)
   sigcache_misses : int;  (** verifications that ran the RSA math *)
+  tcp_connects : int;  (** transport sockets dialed *)
+  tcp_reuses : int;  (** RPC submissions that reused a pooled connection *)
+  tcp_reconnects : int;  (** dials to an endpoint that had connected before *)
+  rpcs : int;  (** quorum RPC rounds issued through the pooled transport *)
 }
 
 val reset : unit -> unit
@@ -30,6 +34,31 @@ val incr_server_verify : unit -> unit
 val incr_mac : unit -> unit
 val incr_sigcache_hit : unit -> unit
 val incr_sigcache_miss : unit -> unit
+val incr_tcp_connect : unit -> unit
+val incr_tcp_reuse : unit -> unit
+val incr_tcp_reconnect : unit -> unit
+val incr_rpc : unit -> unit
+
+val note_inflight : int -> unit
+(** Report the current number of in-flight requests; the high-water mark
+    is retained (a gauge, not part of {!snapshot}). *)
+
+val inflight_high_water : unit -> int
+
+val record_rpc_ns : float -> unit
+(** Record one RPC round duration (nanoseconds) in a bounded reservoir
+    of recent samples. *)
+
+type rpc_stats = {
+  rpc_count : int;  (** samples ever recorded (reservoir keeps the last 4096) *)
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+val rpc_latency_stats : unit -> rpc_stats
+(** Nearest-rank percentiles over the retained sample window. *)
 
 val rsa_verifies : snapshot -> int
 (** RSA exponentiations actually performed for verification — the cache

@@ -359,6 +359,20 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
       have;
     Some Payload.Ack
 
+(* Warm the signature cache for everything [handle] will verify, so the
+   expensive RSA math can run outside whatever lock serializes [handle].
+   Purely advisory: [handle] re-checks every signature (through the
+   cache), so a caller skipping this loses speed, never safety. *)
+let preverify t (env : Payload.envelope) =
+  match env.request with
+  | Payload.Write_req { write; _ } -> Signing.warm_write t.keyring write
+  | Payload.Gossip_push { writes; _ } ->
+    List.iter (Signing.warm_write t.keyring) writes
+  | Payload.Ctx_write { client; group; record } ->
+    Signing.warm_context t.keyring ~client ~group record
+  | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
+  | Payload.Log_query _ | Payload.Read_inline _ | Payload.Group_query _ -> ()
+
 let handler t ~now ~from payload =
   match Payload.decode_envelope payload with
   | None -> None

@@ -39,6 +39,12 @@ val handler : t -> now:float -> from:Sim.Runtime.node_id -> string -> string opt
 (** Wire-level dispatch: decodes the envelope, encodes the response.
     Malformed requests get no reply. Register this with the engine. *)
 
+val preverify : t -> Payload.envelope -> unit
+(** Warm the signature-verification cache for every signed part of the
+    request. Hosts that serialize {!handle} behind a lock call this
+    first, outside the lock, so RSA verification never runs under it;
+    {!handle} still re-checks (as cache hits), so this is advisory. *)
+
 val take_gossip_buffer : t -> Payload.write list
 (** Writes accepted since the last call — what the next gossip round
     pushes; clears the buffer. *)

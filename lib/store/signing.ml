@@ -8,10 +8,20 @@
 let default_sigcache_capacity = 4096
 let sigcache = ref (Sigcache.create ~capacity:default_sigcache_capacity)
 
-let reset_sigcache ?(capacity = default_sigcache_capacity) () =
-  sigcache := Sigcache.create ~capacity
+(* The TCP transport verifies outside the server-state lock, so cache
+   lookups race across connection threads; the LRU's intrusive list is
+   not safe to mutate concurrently. The RSA math itself runs unlocked. *)
+let sigcache_lock = Mutex.create ()
 
-let sigcache_stats () = (Sigcache.hits !sigcache, Sigcache.misses !sigcache)
+let with_sigcache fn =
+  Mutex.lock sigcache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sigcache_lock) fn
+
+let reset_sigcache ?(capacity = default_sigcache_capacity) () =
+  with_sigcache (fun () -> sigcache := Sigcache.create ~capacity)
+
+let sigcache_stats () =
+  with_sigcache (fun () -> (Sigcache.hits !sigcache, Sigcache.misses !sigcache))
 
 let cache_key pub ~msg ~signature =
   let ctx = Crypto.Sha256.init () in
@@ -28,14 +38,14 @@ let cache_key pub ~msg ~signature =
    re-checks, which must not skew any counter (including hit/miss). *)
 let cached_verify ?(count = true) pub ~msg ~signature =
   let key = cache_key pub ~msg ~signature in
-  match Sigcache.find !sigcache key with
+  match with_sigcache (fun () -> Sigcache.find !sigcache key) with
   | Some verdict ->
     if count then Metrics.incr_sigcache_hit ();
     verdict
   | None ->
     if count then Metrics.incr_sigcache_miss ();
     let verdict = Crypto.Rsa.verify pub ~msg ~signature in
-    Sigcache.add !sigcache key verdict;
+    with_sigcache (fun () -> Sigcache.add !sigcache key verdict);
     verdict
 
 let sign_write ~key ~writer ~uid ~stamp ?wctx value =
@@ -62,17 +72,23 @@ let server_verify_write keyring w =
   Metrics.incr_server_verify ();
   check_write keyring w
 
+(* Cache warming: run the RSA math now (counting cache traffic, so
+   [Metrics.rsa_verifies] stays honest about where exponentiations ran)
+   without counting a logical verification — the later in-lock check
+   does that and hits the cache. *)
+let warm_write keyring w = ignore (check_write keyring w : bool)
+
 let sign_context ~key ~client ~group ~seq ctx =
   Metrics.incr_sign ();
   let body = Payload.ctx_body ~client ~group ~seq ctx in
   { Payload.seq; ctx; signature = Crypto.Rsa.sign key body }
 
-let check_context keyring ~client ~group (r : Payload.ctx_record) =
+let check_context ?count keyring ~client ~group (r : Payload.ctx_record) =
   match Keyring.find keyring client with
   | None -> false
   | Some pub ->
     let body = Payload.ctx_body ~client ~group ~seq:r.seq r.ctx in
-    cached_verify pub ~msg:body ~signature:r.signature
+    cached_verify ?count pub ~msg:body ~signature:r.signature
 
 let verify_context keyring ~client ~group r =
   Metrics.incr_verify ();
@@ -81,3 +97,6 @@ let verify_context keyring ~client ~group r =
 let server_verify_context keyring ~client ~group r =
   Metrics.incr_server_verify ();
   check_context keyring ~client ~group r
+
+let warm_context keyring ~client ~group r =
+  ignore (check_context keyring ~client ~group r : bool)

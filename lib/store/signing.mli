@@ -50,3 +50,13 @@ val verify_context :
 
 val server_verify_context :
   Keyring.t -> client:string -> group:string -> Payload.ctx_record -> bool
+
+val warm_write : Keyring.t -> Payload.write -> unit
+(** Run the verification now so a subsequent [server_verify_write] is a
+    cache hit. Counts cache traffic (the RSA really runs here) but not a
+    logical verification — used by the TCP host to verify outside the
+    server-state lock. *)
+
+val warm_context :
+  Keyring.t -> client:string -> group:string -> Payload.ctx_record -> unit
+(** Context analogue of {!warm_write}. *)

@@ -1,0 +1,48 @@
+(* Endpoint addressing shared by every transport socket. [inet_addr_of_string]
+   re-parses the dotted quad on each call, which showed up in profiles once
+   connections stopped dominating; the cache makes repeated dials to the same
+   endpoint a hashtable hit. *)
+
+let cache : (string, Unix.inet_addr) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let inet_addr host =
+  Mutex.lock cache_lock;
+  match Hashtbl.find_opt cache host with
+  | Some addr ->
+    Mutex.unlock cache_lock;
+    addr
+  | None ->
+    Mutex.unlock cache_lock;
+    (* Parse outside the lock: a bad host raises without poisoning it. *)
+    let addr = Unix.inet_addr_of_string host in
+    Mutex.lock cache_lock;
+    Hashtbl.replace cache host addr;
+    Mutex.unlock cache_lock;
+    addr
+
+let sockaddr (host, port) = Unix.ADDR_INET (inet_addr host, port)
+
+(* Small framed RPCs are exactly the traffic Nagle's algorithm delays;
+   every transport socket disables it. *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let connect ?read_timeout endpoint =
+  match sockaddr endpoint with
+  | exception _ -> None
+  | addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      set_nodelay fd;
+      (match read_timeout with
+      | Some t -> (
+        try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t
+        with Unix.Unix_error _ -> ())
+      | None -> ());
+      Unix.connect fd addr
+    with
+    | () -> Some fd
+    | exception _ ->
+      (try Unix.close fd with _ -> ());
+      None)

@@ -36,3 +36,100 @@ let read_frame fd =
     let b i = Char.code header.[i] in
     let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
     if len > max_frame then None else read_exactly fd len
+
+(* --- pipelined sub-protocol (inside frames) ----------------------------- *)
+
+(* Tag bytes. 0x00/0x01 are the original one-shot protocol and stay
+   valid; 0x02 adds a 4-byte big-endian correlation id so many requests
+   can be in flight on one connection and replies may arrive in any
+   order; 0x03 is a connection-level framed error (not id-correlated). *)
+
+let tag_oneway = '\x00'
+let tag_call = '\x01'
+let tag_pipelined = '\x02'
+let tag_conn_error = '\x03'
+
+let max_id = 0x3fffffff
+
+let put_id buf pos id =
+  Bytes.set buf pos (Char.chr ((id lsr 24) land 0xff));
+  Bytes.set buf (pos + 1) (Char.chr ((id lsr 16) land 0xff));
+  Bytes.set buf (pos + 2) (Char.chr ((id lsr 8) land 0xff));
+  Bytes.set buf (pos + 3) (Char.chr (id land 0xff))
+
+let get_id s pos =
+  let b i = Char.code s.[pos + i] in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let with_id ~tag ~id ?status payload =
+  if id < 0 || id > max_id then invalid_arg "Frame: correlation id out of range";
+  let slen = match status with Some _ -> 1 | None -> 0 in
+  let buf = Bytes.create (5 + slen + String.length payload) in
+  Bytes.set buf 0 tag;
+  put_id buf 1 id;
+  (match status with Some s -> Bytes.set buf 5 s | None -> ());
+  Bytes.blit_string payload 0 buf (5 + slen) (String.length payload);
+  Bytes.unsafe_to_string buf
+
+let encode_oneway payload = String.make 1 tag_oneway ^ payload
+let encode_call ~id payload = with_id ~tag:tag_pipelined ~id payload
+
+let status_no_reply = '\x00'
+let status_ok = '\x01'
+let status_rejected = '\x02'
+
+let encode_reply ~id = function
+  | Some payload -> with_id ~tag:tag_pipelined ~id ~status:status_ok payload
+  | None -> with_id ~tag:tag_pipelined ~id ~status:status_no_reply ""
+
+let encode_reject ~id message =
+  with_id ~tag:tag_pipelined ~id ~status:status_rejected message
+
+let encode_conn_error message = String.make 1 tag_conn_error ^ message
+
+type request =
+  | Oneway of string
+  | Legacy_call of string
+  | Call of { id : int; payload : string }
+
+let parse_request frame =
+  if String.length frame = 0 then None
+  else
+    let rest () = String.sub frame 1 (String.length frame - 1) in
+    match frame.[0] with
+    | c when c = tag_oneway -> Some (Oneway (rest ()))
+    | c when c = tag_call -> Some (Legacy_call (rest ()))
+    | c when c = tag_pipelined ->
+      if String.length frame < 5 then None
+      else
+        Some
+          (Call
+             {
+               id = get_id frame 1;
+               payload = String.sub frame 5 (String.length frame - 5);
+             })
+    | _ -> None
+
+type response =
+  | Reply of { id : int; payload : string option }
+      (** [None] is the pipelined analogue of the legacy "no reply". *)
+  | Reject of { id : int; message : string }
+  | Conn_error of string
+
+let parse_response frame =
+  if String.length frame = 0 then None
+  else
+    match frame.[0] with
+    | c when c = tag_conn_error ->
+      Some (Conn_error (String.sub frame 1 (String.length frame - 1)))
+    | c when c = tag_pipelined ->
+      if String.length frame < 6 then None
+      else
+        let id = get_id frame 1 in
+        let body = String.sub frame 6 (String.length frame - 6) in
+        (match frame.[5] with
+        | s when s = status_ok -> Some (Reply { id; payload = Some body })
+        | s when s = status_no_reply -> Some (Reply { id; payload = None })
+        | s when s = status_rejected -> Some (Reject { id; message = body })
+        | _ -> None)
+    | _ -> None

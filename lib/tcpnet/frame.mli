@@ -13,3 +13,38 @@ val write_frame : Unix.file_descr -> string -> unit
 val read_frame : Unix.file_descr -> string option
 (** [None] on clean EOF before or inside a frame, or on an oversized
     length prefix. *)
+
+(** {1 Pipelined sub-protocol}
+
+    Inside each frame, the first byte is a tag: [0x00] one-way and
+    [0x01] one-shot call are the legacy protocol; [0x02] carries a
+    4-byte big-endian correlation id, letting many requests share one
+    connection with out-of-order replies; [0x03] is a connection-level
+    framed error for requests the server could not even parse. A
+    pipelined response carries a status byte after the id: [0x00] no
+    reply, [0x01] ok + payload, [0x02] rejected + message. *)
+
+val max_id : int
+(** Correlation ids live in [0 .. max_id] (30 bits, wraps). *)
+
+val encode_oneway : string -> string
+val encode_call : id:int -> string -> string
+val encode_reply : id:int -> string option -> string
+val encode_reject : id:int -> string -> string
+val encode_conn_error : string -> string
+
+type request =
+  | Oneway of string
+  | Legacy_call of string
+  | Call of { id : int; payload : string }
+
+val parse_request : string -> request option
+(** [None] on an empty frame, unknown tag, or truncated pipelined
+    header — the server answers those with {!encode_conn_error}. *)
+
+type response =
+  | Reply of { id : int; payload : string option }
+  | Reject of { id : int; message : string }
+  | Conn_error of string
+
+val parse_response : string -> response option

@@ -1,20 +1,17 @@
 open Effect.Deep
 
 type endpoints = Sim.Runtime.node_id -> (string * int) option
+type transport = [ `Pooled | `Legacy ]
 
-let connect_to (host, port) =
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match Unix.connect fd addr with
-  | () -> Some fd
-  | exception _ ->
-    (try Unix.close fd with _ -> ());
-    None
+(* --- legacy one-shot transport (kept as the measured baseline) --------- *)
 
-(* One request per connection: simple and adequate for a demo transport
-   (a production build would pool connections). *)
-let call_once endpoint payload =
-  match connect_to endpoint with
+(* One request per connection: the original demo transport. Retained so
+   `bench e10` can measure pooled-vs-per-connection on the same code
+   path, and as a fallback. [read_timeout] bounds the blocking read so a
+   silent server cannot pin the thread (and its fd) forever — the thread
+   reaps itself at the deadline instead of leaking. *)
+let call_once ~timeout endpoint payload =
+  match Addr.connect ~read_timeout:timeout endpoint with
   | None -> None
   | Some fd ->
     Fun.protect
@@ -30,13 +27,13 @@ let call_once endpoint payload =
         | exception _ -> None)
 
 let send_once endpoint payload =
-  match connect_to endpoint with
+  match Addr.connect endpoint with
   | None -> ()
   | Some fd ->
-    (try Frame.write_frame fd ("\x00" ^ payload) with _ -> ());
+    (try Frame.write_frame fd (Frame.encode_oneway payload) with _ -> ());
     (try Unix.close fd with _ -> ())
 
-let do_call_many ~endpoints (spec : Sim.Runtime.call_spec) =
+let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
   let lock = Mutex.create () in
   let replies = ref [] in
   let arrived = ref 0 in
@@ -48,7 +45,10 @@ let do_call_many ~endpoints (spec : Sim.Runtime.call_spec) =
         ignore
           (Thread.create
              (fun () ->
-               match call_once endpoint spec.Sim.Runtime.request with
+               match
+                 call_once ~timeout:spec.Sim.Runtime.timeout endpoint
+                   spec.Sim.Runtime.request
+               with
                | Some payload ->
                  Mutex.lock lock;
                  replies := { Sim.Runtime.from = dst; payload } :: !replies;
@@ -57,7 +57,8 @@ let do_call_many ~endpoints (spec : Sim.Runtime.call_spec) =
                | None -> ())
              ()))
     spec.Sim.Runtime.dsts;
-  (* OCaml's Condition has no timed wait; poll at 1 ms granularity. *)
+  (* The legacy waiter polls at 1 ms granularity — part of what the
+     pooled transport exists to avoid. *)
   let deadline = Unix.gettimeofday () +. spec.Sim.Runtime.timeout in
   let quorum = spec.Sim.Runtime.quorum in
   let rec wait () =
@@ -79,7 +80,37 @@ let do_call_many ~endpoints (spec : Sim.Runtime.call_spec) =
   Mutex.unlock lock;
   result
 
-let run ~endpoints fn =
+(* --- pooled transport (default) ---------------------------------------- *)
+
+let do_call_many ~pool ~endpoints (spec : Sim.Runtime.call_spec) =
+  let dsts =
+    List.filter_map
+      (fun dst -> Option.map (fun ep -> (dst, ep)) (endpoints dst))
+      spec.Sim.Runtime.dsts
+  in
+  Pool.call_many pool ~timeout:spec.Sim.Runtime.timeout
+    ~quorum:spec.Sim.Runtime.quorum dsts spec.Sim.Runtime.request
+  |> List.map (fun (from, payload) -> { Sim.Runtime.from; payload })
+
+let run ?(transport = `Pooled) ?pool ~endpoints fn =
+  let pool =
+    match pool with
+    | Some p -> p
+    | None -> ( match transport with `Pooled -> Pool.shared () | `Legacy -> Pool.shared ())
+  in
+  let call_many spec =
+    match transport with
+    | `Pooled -> do_call_many ~pool ~endpoints spec
+    | `Legacy -> do_call_many_legacy ~endpoints spec
+  in
+  let send_oneway dst payload =
+    match endpoints dst with
+    | None -> ()
+    | Some endpoint -> (
+      match transport with
+      | `Pooled -> Pool.send pool endpoint payload
+      | `Legacy -> send_once endpoint payload)
+  in
   let rec interpret : 'a. (unit -> 'a) -> 'a =
     fun fn ->
       match_with fn ()
@@ -106,14 +137,12 @@ let run ~endpoints fn =
               | Sim.Runtime.Send_oneway (dst, payload) ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    (match endpoints dst with
-                    | Some endpoint -> send_once endpoint payload
-                    | None -> ());
+                    send_oneway dst payload;
                     continue k ())
               | Sim.Runtime.Call_many spec ->
                 Some
                   (fun (k : (a, _) continuation) ->
-                    continue k (do_call_many ~endpoints spec))
+                    continue k (call_many spec))
               | _ -> None);
         }
   in

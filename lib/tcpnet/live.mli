@@ -1,14 +1,26 @@
 (** Real-time, real-socket interpretation of the {!Sim.Runtime} effects.
 
     The third interpreter for the same protocol code: [Now] is the wall
-    clock, [Sleep] blocks the thread, [Call_many] fans out one thread
-    per destination and wakes the caller at quorum or deadline, and
-    one-way sends are fire-and-forget. Endpoint resolution maps node ids
-    to [(host, port)] pairs served by {!Server_host}. *)
+    clock, [Sleep] blocks the thread, and [Call_many]/[Send_oneway] go
+    over TCP. Endpoint resolution maps node ids to [(host, port)] pairs
+    served by {!Server_host}.
+
+    Two transports interpret the network effects:
+    - [`Pooled] (default): {!Pool} — persistent per-endpoint
+      connections, correlation-id pipelining, condition-based quorum
+      wakeup, no per-call threads or sockets;
+    - [`Legacy]: the original connect-per-request transport (one thread
+      and one socket per destination per call, 1 ms poll-wait), kept as
+      the measured baseline for `bench e10` and as a fallback. Its
+      sockets now carry a read timeout so per-call threads always reap
+      themselves at the deadline. *)
 
 type endpoints = Sim.Runtime.node_id -> (string * int) option
+type transport = [ `Pooled | `Legacy ]
 
-val run : endpoints:endpoints -> (unit -> 'a) -> 'a
-(** Interpret the thunk's effects over TCP. Unresolvable or unreachable
-    destinations simply never reply (indistinguishable from a crashed
-    server, as in the paper's model). *)
+val run :
+  ?transport:transport -> ?pool:Pool.t -> endpoints:endpoints -> (unit -> 'a) -> 'a
+(** Interpret the thunk's effects over TCP ([pool] defaults to
+    {!Pool.shared}). Unresolvable or unreachable destinations simply
+    never reply (indistinguishable from a crashed server, as in the
+    paper's model). *)

@@ -1,0 +1,541 @@
+(* Pooled, pipelined RPC transport.
+
+   One persistent connection (a few, bounded) per endpoint; requests are
+   framed with a correlation id ({!Frame.encode_call}) so many can be in
+   flight at once and replies may come back in any order. A dedicated
+   reader thread per connection completes a pending-request table;
+   callers wait on a Condition, woken either by quorum completion or by
+   the pool's single timekeeper thread at their deadline (self-pipe +
+   select — no polling). Dead connections are detected by the reader
+   (EOF) or the writer (EPIPE), their pending requests fail fast, and
+   the next use redials, behind a capped exponential backoff. *)
+
+type result = Reply of string | Rejected of string | No_reply | Dropped
+
+type pending = { complete : result -> unit }
+
+type conn = {
+  fd : Unix.file_descr;
+  pending : (int, pending) Hashtbl.t;
+  plock : Mutex.t;  (* guards [pending], [in_flight], [alive] *)
+  wlock : Mutex.t;  (* serializes frame writes *)
+  mutable alive : bool;
+  mutable in_flight : int;
+}
+
+type endpoint_state = {
+  ep : string * int;
+  elock : Mutex.t;
+  econd : Condition.t; (* signalled when a dial resolves either way *)
+  mutable conns : conn list;
+  mutable dialing : int;
+  mutable fail_streak : int;
+  mutable down_until : float;
+  mutable last_backoff : float;
+  mutable ever_connected : bool;
+}
+
+(* A quorum fan-out in progress. [outstanding] remembers every (conn,
+   id) registration so completion — by quorum, exhaustion or deadline —
+   can drop the abandoned entries instead of leaking them until the
+   connection dies. *)
+type group = {
+  glock : Mutex.t;
+  gcond : Condition.t;
+  quorum : int;
+  total : int;
+  deadline : float;
+  mutable replies : (int * string) list; (* newest first *)
+  mutable arrived : int;
+  mutable failures : int;
+  mutable last_error : result option;
+  mutable finished : bool;
+  mutable outstanding : (conn * int) list;
+}
+
+type timer = {
+  tlock : Mutex.t;
+  mutable entries : (float * group) list; (* ascending by deadline *)
+  pipe_rd : Unix.file_descr;
+  pipe_wr : Unix.file_descr;
+  mutable tstop : bool;
+}
+
+type t = {
+  lock : Mutex.t; (* guards [endpoints], [id_counter] *)
+  endpoints : (string * int, endpoint_state) Hashtbl.t;
+  timer : timer;
+  max_conns : int;
+  backoff_base : float;
+  backoff_max : float;
+  mutable id_counter : int;
+  inflight : int Atomic.t;
+}
+
+(* --- timekeeper -------------------------------------------------------- *)
+
+let timer_loop timer () =
+  let buf = Bytes.create 64 in
+  let rec loop () =
+    Mutex.lock timer.tlock;
+    let stop = timer.tstop in
+    let next = match timer.entries with [] -> None | (d, _) :: _ -> Some d in
+    Mutex.unlock timer.tlock;
+    if stop then begin
+      (try Unix.close timer.pipe_rd with _ -> ());
+      try Unix.close timer.pipe_wr with _ -> ()
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      let wait = match next with None -> -1.0 | Some d -> d -. now in
+      (if wait > 0.0 || next = None then
+         match Unix.select [ timer.pipe_rd ] [] [] wait with
+         | [ fd ], _, _ -> ignore (Unix.read fd buf 0 64)
+         | _ -> ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      let now = Unix.gettimeofday () in
+      Mutex.lock timer.tlock;
+      let rec split fired = function
+        | (d, g) :: rest when d <= now -> split (g :: fired) rest
+        | rest -> (fired, rest)
+      in
+      let fired, rest = split [] timer.entries in
+      timer.entries <- rest;
+      Mutex.unlock timer.tlock;
+      List.iter
+        (fun g ->
+          Mutex.lock g.glock;
+          Condition.broadcast g.gcond;
+          Mutex.unlock g.glock)
+        fired;
+      loop ()
+    end
+  in
+  loop ()
+
+let timer_wake timer =
+  try ignore (Unix.write timer.pipe_wr (Bytes.make 1 'w') 0 1)
+  with Unix.Unix_error _ -> () (* full pipe already guarantees a wakeup *)
+
+let timer_register timer deadline group =
+  Mutex.lock timer.tlock;
+  let wake =
+    match timer.entries with [] -> true | (d, _) :: _ -> deadline < d
+  in
+  let rec insert = function
+    | [] -> [ (deadline, group) ]
+    | (d, _) :: _ as l when deadline < d -> (deadline, group) :: l
+    | e :: rest -> e :: insert rest
+  in
+  timer.entries <- insert timer.entries;
+  Mutex.unlock timer.tlock;
+  if wake then timer_wake timer
+
+(* --- pool -------------------------------------------------------------- *)
+
+let create ?(max_connections_per_endpoint = 2) ?(backoff_base = 0.05)
+    ?(backoff_max = 2.0) () =
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  Unix.set_nonblock pipe_wr;
+  let timer =
+    { tlock = Mutex.create (); entries = []; pipe_rd; pipe_wr; tstop = false }
+  in
+  ignore (Thread.create (timer_loop timer) ());
+  {
+    lock = Mutex.create ();
+    endpoints = Hashtbl.create 16;
+    timer;
+    max_conns = max 1 max_connections_per_endpoint;
+    backoff_base;
+    backoff_max;
+    id_counter = 0;
+    inflight = Atomic.make 0;
+  }
+
+let shared_pool = lazy (create ())
+let shared () = Lazy.force shared_pool
+
+let endpoint_state pool ep =
+  Mutex.lock pool.lock;
+  let st =
+    match Hashtbl.find_opt pool.endpoints ep with
+    | Some st -> st
+    | None ->
+      let st =
+        {
+          ep;
+          elock = Mutex.create ();
+          econd = Condition.create ();
+          conns = [];
+          dialing = 0;
+          fail_streak = 0;
+          down_until = 0.0;
+          last_backoff = 0.0;
+          ever_connected = false;
+        }
+      in
+      Hashtbl.replace pool.endpoints ep st;
+      st
+  in
+  Mutex.unlock pool.lock;
+  st
+
+let next_id pool =
+  Mutex.lock pool.lock;
+  let id = pool.id_counter in
+  pool.id_counter <- (id + 1) land Frame.max_id;
+  Mutex.unlock pool.lock;
+  id
+
+let track_inflight pool d =
+  let v = Atomic.fetch_and_add pool.inflight d + d in
+  if d > 0 then Store.Metrics.note_inflight v
+
+(* Tear a connection down: unlink it, fail its pending requests, and
+   shut the socket so the reader (the fd's sole closer) wakes up.
+   Idempotent — the writer and the reader may both get here. *)
+let kill_conn pool st conn =
+  Mutex.lock conn.plock;
+  let was_alive = conn.alive in
+  conn.alive <- false;
+  let orphans =
+    Hashtbl.fold (fun _ p acc -> p :: acc) conn.pending []
+  in
+  Hashtbl.reset conn.pending;
+  conn.in_flight <- 0;
+  Mutex.unlock conn.plock;
+  if was_alive then begin
+    Mutex.lock st.elock;
+    st.conns <- List.filter (fun c -> c != conn) st.conns;
+    Mutex.unlock st.elock;
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ())
+  end;
+  track_inflight pool (-List.length orphans);
+  List.iter (fun p -> p.complete Dropped) orphans
+
+let reader pool st conn () =
+  let deliver id result =
+    Mutex.lock conn.plock;
+    let p = Hashtbl.find_opt conn.pending id in
+    (match p with
+    | Some _ ->
+      Hashtbl.remove conn.pending id;
+      conn.in_flight <- conn.in_flight - 1
+    | None -> ());
+    Mutex.unlock conn.plock;
+    match p with
+    | Some p ->
+      track_inflight pool (-1);
+      p.complete result
+    | None -> () (* reply for an abandoned (post-quorum) request *)
+  in
+  let rec loop () =
+    match Frame.read_frame conn.fd with
+    | None -> ()
+    | Some frame ->
+      (match Frame.parse_response frame with
+      | Some (Frame.Reply { id; payload = Some p }) -> deliver id (Reply p)
+      | Some (Frame.Reply { id; payload = None }) -> deliver id No_reply
+      | Some (Frame.Reject { id; message }) -> deliver id (Rejected message)
+      | Some (Frame.Conn_error _) | None -> ());
+      loop ()
+  in
+  (try loop () with _ -> ());
+  kill_conn pool st conn;
+  try Unix.close conn.fd with _ -> ()
+
+let backoff_delay pool streak =
+  min pool.backoff_max (pool.backoff_base *. (2.0 ** float_of_int (streak - 1)))
+
+(* Pick the least-loaded live connection; dial a new one only when every
+   existing connection is busy and the per-endpoint cap allows it. When
+   the cap is already consumed by dials in flight (no connection to
+   reuse yet), wait for a dial to resolve rather than over-dialing past
+   the bound. *)
+let acquire pool st =
+  Mutex.lock st.elock;
+  let rec pick () =
+    if Unix.gettimeofday () < st.down_until then begin
+      Mutex.unlock st.elock;
+      None
+    end
+    else begin
+      let best =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | Some b when b.in_flight <= c.in_flight -> acc
+            | _ -> Some c)
+          None st.conns
+      in
+      let at_cap = List.length st.conns + st.dialing >= pool.max_conns in
+      match best with
+      | Some c when c.in_flight = 0 || at_cap ->
+        Mutex.unlock st.elock;
+        Store.Metrics.incr_tcp_reuse ();
+        Some c
+      | None when at_cap ->
+        (* Every slot is a dial in progress; its completion (either
+           way) is broadcast on [econd]. *)
+        Condition.wait st.econd st.elock;
+        pick ()
+      | _ ->
+        st.dialing <- st.dialing + 1;
+        Mutex.unlock st.elock;
+        let fd = Addr.connect st.ep in
+        Mutex.lock st.elock;
+        st.dialing <- st.dialing - 1;
+        (match fd with
+        | Some fd ->
+          let conn =
+            {
+              fd;
+              pending = Hashtbl.create 8;
+              plock = Mutex.create ();
+              wlock = Mutex.create ();
+              alive = true;
+              in_flight = 0;
+            }
+          in
+          st.conns <- conn :: st.conns;
+          st.fail_streak <- 0;
+          st.down_until <- 0.0;
+          st.last_backoff <- 0.0;
+          let reconnect = st.ever_connected in
+          st.ever_connected <- true;
+          Condition.broadcast st.econd;
+          Mutex.unlock st.elock;
+          Store.Metrics.incr_tcp_connect ();
+          if reconnect then Store.Metrics.incr_tcp_reconnect ();
+          ignore (Thread.create (reader pool st conn) ());
+          Some conn
+        | None ->
+          st.fail_streak <- st.fail_streak + 1;
+          let delay = backoff_delay pool st.fail_streak in
+          st.last_backoff <- delay;
+          st.down_until <- Unix.gettimeofday () +. delay;
+          Condition.broadcast st.econd;
+          Mutex.unlock st.elock;
+          None)
+    end
+  in
+  pick ()
+
+let write_frame_on conn bytes =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () -> Frame.write_frame conn.fd bytes)
+
+let group_complete group ~from result =
+  Mutex.lock group.glock;
+  (if not group.finished then begin
+     (match result with
+     | Reply payload ->
+       group.replies <- (from, payload) :: group.replies;
+       group.arrived <- group.arrived + 1
+     | (Rejected _ | No_reply | Dropped) as err ->
+       group.failures <- group.failures + 1;
+       group.last_error <- Some err);
+     if
+       group.arrived >= group.quorum
+       || group.arrived + group.failures >= group.total
+     then begin
+       group.finished <- true;
+       Condition.broadcast group.gcond
+     end
+   end);
+  Mutex.unlock group.glock
+
+(* Register a pending entry and write the request. A connection that
+   died between acquire and write is retried once on a fresh dial; a
+   write that fails after registration kills the connection, which
+   completes our entry (and everyone else's) as [Dropped]. *)
+let rec submit ?(attempts = 2) pool group st ~from payload =
+  if attempts = 0 then group_complete group ~from Dropped
+  else
+    match acquire pool st with
+    | None -> group_complete group ~from Dropped
+    | Some conn -> (
+      let id = next_id pool in
+      Mutex.lock conn.plock;
+      let registered =
+        conn.alive
+        &&
+        (Hashtbl.replace conn.pending id
+           { complete = (fun r -> group_complete group ~from r) };
+         conn.in_flight <- conn.in_flight + 1;
+         true)
+      in
+      Mutex.unlock conn.plock;
+      if not registered then
+        submit ~attempts:(attempts - 1) pool group st ~from payload
+      else begin
+        track_inflight pool 1;
+        Mutex.lock group.glock;
+        group.outstanding <- (conn, id) :: group.outstanding;
+        Mutex.unlock group.glock;
+        match write_frame_on conn (Frame.encode_call ~id payload) with
+        | () -> ()
+        | exception _ ->
+          (* Reclaim our entry (unless the reader beat us to it) so the
+             retry does not double-count this destination. *)
+          Mutex.lock conn.plock;
+          let mine = Hashtbl.mem conn.pending id in
+          if mine then begin
+            Hashtbl.remove conn.pending id;
+            conn.in_flight <- conn.in_flight - 1
+          end;
+          Mutex.unlock conn.plock;
+          kill_conn pool st conn;
+          if mine then begin
+            track_inflight pool (-1);
+            submit ~attempts:(attempts - 1) pool group st ~from payload
+          end
+      end)
+
+let make_group ~quorum ~total ~deadline =
+  {
+    glock = Mutex.create ();
+    gcond = Condition.create ();
+    quorum = max 1 quorum;
+    total;
+    deadline;
+    replies = [];
+    arrived = 0;
+    failures = 0;
+    last_error = None;
+    finished = false;
+    outstanding = [];
+  }
+
+let await group =
+  Mutex.lock group.glock;
+  let rec wait () =
+    if group.finished then ()
+    else if Unix.gettimeofday () >= group.deadline then group.finished <- true
+    else begin
+      Condition.wait group.gcond group.glock;
+      wait ()
+    end
+  in
+  wait ();
+  let replies = List.rev group.replies in
+  let outstanding = group.outstanding in
+  group.outstanding <- [];
+  Mutex.unlock group.glock;
+  outstanding, replies
+
+(* Abandon the requests a finished group no longer cares about: their
+   table entries go away now, not whenever the server or the connection
+   eventually gets around to it. *)
+let drop_outstanding pool outstanding =
+  List.iter
+    (fun (conn, id) ->
+      Mutex.lock conn.plock;
+      let mine = Hashtbl.mem conn.pending id in
+      if mine then begin
+        Hashtbl.remove conn.pending id;
+        conn.in_flight <- conn.in_flight - 1
+      end;
+      Mutex.unlock conn.plock;
+      if mine then track_inflight pool (-1))
+    outstanding
+
+let run_group pool group dsts payload =
+  let start = Unix.gettimeofday () in
+  timer_register pool.timer group.deadline group;
+  List.iter
+    (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from payload)
+    dsts;
+  let outstanding, replies = await group in
+  drop_outstanding pool outstanding;
+  Store.Metrics.incr_rpc ();
+  Store.Metrics.record_rpc_ns ((Unix.gettimeofday () -. start) *. 1e9);
+  replies
+
+let call_many pool ?(timeout = 5.0) ~quorum dsts payload =
+  match dsts with
+  | [] -> []
+  | _ ->
+    let group =
+      make_group ~quorum ~total:(List.length dsts)
+        ~deadline:(Unix.gettimeofday () +. timeout)
+    in
+    run_group pool group dsts payload
+
+let call pool ?(timeout = 5.0) endpoint payload =
+  let group =
+    make_group ~quorum:1 ~total:1 ~deadline:(Unix.gettimeofday () +. timeout)
+  in
+  match run_group pool group [ (0, endpoint) ] payload with
+  | (_, payload) :: _ -> Reply payload
+  | [] -> ( match group.last_error with Some err -> err | None -> Dropped)
+
+let send pool endpoint payload =
+  let st = endpoint_state pool endpoint in
+  let frame = Frame.encode_oneway payload in
+  let rec go attempts =
+    if attempts > 0 then
+      match acquire pool st with
+      | None -> ()
+      | Some conn -> (
+        match write_frame_on conn frame with
+        | () -> ()
+        | exception _ ->
+          kill_conn pool st conn;
+          go (attempts - 1))
+  in
+  go 2
+
+(* --- introspection / teardown ------------------------------------------ *)
+
+let connection_count pool ep =
+  match
+    Mutex.lock pool.lock;
+    let st = Hashtbl.find_opt pool.endpoints ep in
+    Mutex.unlock pool.lock;
+    st
+  with
+  | None -> 0
+  | Some st ->
+    Mutex.lock st.elock;
+    let n = List.length st.conns in
+    Mutex.unlock st.elock;
+    n
+
+let current_backoff pool ep =
+  match
+    Mutex.lock pool.lock;
+    let st = Hashtbl.find_opt pool.endpoints ep in
+    Mutex.unlock pool.lock;
+    st
+  with
+  | None -> 0.0
+  | Some st ->
+    Mutex.lock st.elock;
+    let b = st.last_backoff in
+    Mutex.unlock st.elock;
+    b
+
+let in_flight pool = Atomic.get pool.inflight
+
+let shutdown pool =
+  Mutex.lock pool.timer.tlock;
+  pool.timer.tstop <- true;
+  Mutex.unlock pool.timer.tlock;
+  timer_wake pool.timer;
+  let states =
+    Mutex.lock pool.lock;
+    let ss = Hashtbl.fold (fun _ st acc -> st :: acc) pool.endpoints [] in
+    Hashtbl.reset pool.endpoints;
+    Mutex.unlock pool.lock;
+    ss
+  in
+  List.iter
+    (fun st ->
+      Mutex.lock st.elock;
+      let conns = st.conns in
+      Mutex.unlock st.elock;
+      List.iter (fun conn -> kill_conn pool st conn) conns)
+    states

@@ -1,0 +1,70 @@
+(** Pooled, pipelined RPC transport.
+
+    Persistent connections (a bounded few per endpoint) carry
+    correlation-id framed requests ({!Frame.encode_call}), so many RPCs
+    share one connection and replies may arrive out of order. Each
+    connection has one reader thread resolving a pending-request table;
+    quorum fan-outs wait on a Condition woken by completion or by a
+    single timekeeper thread at the deadline — there is no polling, no
+    per-call thread, and no per-call socket. Failed endpoints back off
+    exponentially up to a cap before redial.
+
+    Transport counters ([tcp_connects]/[tcp_reuses]/[tcp_reconnects]/
+    [rpcs], the in-flight high-water mark, RPC latency percentiles) are
+    reported through {!Store.Metrics}. *)
+
+type t
+
+val create :
+  ?max_connections_per_endpoint:int (** default 2 *) ->
+  ?backoff_base:float (** first redial delay, default 0.05 s *) ->
+  ?backoff_max:float (** backoff cap, default 2 s *) ->
+  unit ->
+  t
+
+val shared : unit -> t
+(** The process-wide pool (created on first use) — what {!Live} and
+    {!Server_host} gossip use by default, so clients and servers in one
+    process share connections. *)
+
+type result =
+  | Reply of string  (** the server answered *)
+  | Rejected of string  (** the server answered with a framed error *)
+  | No_reply  (** the server processed the call but had no response *)
+  | Dropped  (** never delivered: endpoint down, connection died, or timeout *)
+
+val call : t -> ?timeout:float -> string * int -> string -> result
+(** One RPC. The result distinguishes "server rejected" ([Rejected])
+    from "connection died" ([Dropped]). Default timeout 5 s. *)
+
+val call_many :
+  t ->
+  ?timeout:float ->
+  quorum:int ->
+  (int * (string * int)) list ->
+  string ->
+  (int * string) list
+(** Fan the request out to every [(node_id, endpoint)] destination and
+    return [(node_id, reply)] pairs in arrival order, as soon as
+    [quorum] replies are in, every destination has failed, or the
+    timeout fires. Abandoned requests are dropped from the pending
+    tables immediately — nothing keeps running past completion. *)
+
+val send : t -> string * int -> string -> unit
+(** Fire-and-forget one-way message on a pooled connection (gossip
+    pushes). Retries once on a connection found dead at write time. *)
+
+val connection_count : t -> string * int -> int
+(** Live pooled connections to the endpoint (introspection). *)
+
+val current_backoff : t -> string * int -> float
+(** The endpoint's current redial backoff delay in seconds; [0.] when
+    healthy (introspection for tests). *)
+
+val in_flight : t -> int
+(** Requests currently registered and unanswered across the pool. *)
+
+val shutdown : t -> unit
+(** Close every pooled connection and stop the timekeeper. The pool must
+    not be used afterwards (tests only — the shared pool lives as long
+    as the process). *)

@@ -4,51 +4,77 @@ type t = {
   listener : Unix.file_descr;
   bound_port : int;
   mutable running : bool;
-  lock : Mutex.t;
+  mutable accept_th : Thread.t option;
+  lock : Mutex.t; (* guards server *state mutation* only — see below *)
+  conns_lock : Mutex.t;
+  mutable conns : Unix.file_descr list; (* accepted sockets, for [stop] *)
 }
 
 let with_lock t fn =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) fn
 
+let track_conn t fd =
+  Mutex.lock t.conns_lock;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_lock
+
+let untrack_conn t fd =
+  Mutex.lock t.conns_lock;
+  t.conns <- List.filter (fun c -> c <> fd) t.conns;
+  Mutex.unlock t.conns_lock
+
+(* Request processing is split around the lock: envelope decode and
+   signature verification (the expensive RSA math, via
+   {!Store.Server.preverify}'s cache warming) happen outside it, so
+   concurrent connections only serialize on the actual server-state
+   mutation. [Error] means the request could not even be decoded. *)
+let process t server raw : (Store.Payload.response option, string) Result.t =
+  match Store.Payload.decode_envelope raw with
+  | None -> Error "malformed envelope"
+  | Some env ->
+    Store.Server.preverify server env;
+    Ok
+      (with_lock t (fun () ->
+           Store.Server.handle server ~now:(Unix.gettimeofday ()) ~from:(-1) env))
+
 let handle_connection t server fd =
+  Addr.set_nodelay fd;
   let rec loop () =
     match Frame.read_frame fd with
     | None -> ()
-    | Some request when String.length request >= 1 ->
-      let tag = Char.code request.[0] in
-      let payload = String.sub request 1 (String.length request - 1) in
-      let response =
-        with_lock t (fun () ->
-            Store.Server.handler server ~now:(Unix.gettimeofday ()) ~from:(-1)
-              payload)
-      in
-      if tag = 1 then begin
-        match response with
-        | Some r -> Frame.write_frame fd ("\x01" ^ r)
-        | None -> Frame.write_frame fd "\x00"
-      end;
+    | Some frame ->
+      (match Frame.parse_request frame with
+      | Some (Frame.Oneway payload) ->
+        ignore (process t server payload : (_, _) Result.t)
+      | Some (Frame.Legacy_call payload) ->
+        (* Legacy semantics preserved: malformed or reply-less requests
+           answer with the bare "no reply" byte. *)
+        (match process t server payload with
+        | Ok (Some r) -> Frame.write_frame fd ("\x01" ^ Store.Payload.encode_response r)
+        | Ok None | Error _ -> Frame.write_frame fd "\x00")
+      | Some (Frame.Call { id; payload }) ->
+        (match process t server payload with
+        | Ok (Some r) ->
+          Frame.write_frame fd
+            (Frame.encode_reply ~id (Some (Store.Payload.encode_response r)))
+        | Ok None -> Frame.write_frame fd (Frame.encode_reply ~id None)
+        | Error msg -> Frame.write_frame fd (Frame.encode_reject ~id msg))
+      | None ->
+        (* A frame we cannot even parse gets a framed error rather than
+           a silent drop, so clients can tell "server rejected" from
+           "connection died". Frames stay self-delimiting, so the
+           stream is still in sync — keep serving. *)
+        Frame.write_frame fd (Frame.encode_conn_error "malformed frame"));
       loop ()
-    | Some _ -> ()
   in
   (try loop () with Unix.Unix_error _ | Sys_error _ -> ());
+  untrack_conn t fd;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let push_to_peer ~host ~port payload =
-  match
-    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd addr
-     with e ->
-       Unix.close fd;
-       raise e);
-    fd
-  with
-  | fd ->
-    (try Frame.write_frame fd ("\x00" ^ payload)
-     with Unix.Unix_error _ | Sys_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-  | exception (Unix.Unix_error _ | Failure _) -> ()
+(* Gossip pushes ride the shared connection pool: one persistent
+   connection per peer instead of a dial per push per peer. *)
+let push_to_peer ~host ~port payload = Pool.send (Pool.shared ()) (host, port) payload
 
 let gossip_loop t server { peers; period } =
   while t.running do
@@ -63,7 +89,10 @@ let gossip_loop t server { peers; period } =
             Store.Payload.token = None;
             request =
               Store.Payload.Gossip_push
-                { writes; have = Store.Server.gossip_summary server };
+                {
+                  writes;
+                  have = with_lock t (fun () -> Store.Server.gossip_summary server);
+                };
           }
       in
       List.iter (fun (host, port) -> push_to_peer ~host ~port payload) peers
@@ -79,16 +108,28 @@ let start ?gossip ~server ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  let t = { listener; bound_port; running = true; lock = Mutex.create () } in
+  let t =
+    {
+      listener;
+      bound_port;
+      running = true;
+      accept_th = None;
+      lock = Mutex.create ();
+      conns_lock = Mutex.create ();
+      conns = [];
+    }
+  in
   let accept_loop () =
     while t.running do
       match Unix.accept listener with
-      | fd, _ -> ignore (Thread.create (handle_connection t server) fd)
+      | fd, _ ->
+        track_conn t fd;
+        ignore (Thread.create (handle_connection t server) fd)
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
       | exception Unix.Unix_error _ -> ()
     done
   in
-  ignore (Thread.create accept_loop ());
+  t.accept_th <- Some (Thread.create accept_loop ());
   (match gossip with
   | Some g -> ignore (Thread.create (gossip_loop t server) g)
   | None -> ());
@@ -98,4 +139,21 @@ let port t = t.bound_port
 
 let stop t =
   t.running <- false;
-  try Unix.close t.listener with Unix.Unix_error _ -> ()
+  (* [shutdown] before [close]: a thread blocked in [accept] holds a
+     kernel reference that keeps the port bound even after [close], and
+     on Linux [close] alone does not wake it. [shutdown] does; joining
+     the accept thread then guarantees the port is free on return, so a
+     caller can rebind it immediately. *)
+  (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.accept_th with Some th -> Thread.join th | None -> ());
+  (* Shut accepted connections down too: pooled clients hold persistent
+     connections, and a stopped server must look stopped to them (their
+     readers see EOF and redial on the next use). The connection thread
+     owns the close. *)
+  Mutex.lock t.conns_lock;
+  let conns = t.conns in
+  Mutex.unlock t.conns_lock;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns

@@ -1,14 +1,19 @@
 (** Host a {!Store.Server} behind a TCP listener.
 
-    Wire sub-protocol (inside {!Frame}s):
-    - request frame:  one tag byte — [0x00] one-way, [0x01] call — then
-      the {!Store.Payload.envelope} bytes;
-    - response frame (calls only): [0x00] for "no reply" or [0x01]
-      followed by the {!Store.Payload.response} bytes.
+    Wire sub-protocol (inside {!Frame}s): the original one-shot tags
+    ([0x00] one-way, [0x01] call) remain, and [0x02] adds correlation-id
+    pipelining — many requests in flight on one connection, replies in
+    any order of completion, each echoing the request id and a status
+    byte. Unparsable frames are answered with a framed [0x03] error
+    instead of a silent drop, so a client can tell "server rejected"
+    from "connection died".
 
-    One thread per connection; the store state is guarded by a mutex so
-    the passive-server semantics match the in-process ones. An optional
-    gossip thread pushes newly accepted writes to peer endpoints. *)
+    One thread per connection. The store mutex is scoped to server-state
+    mutation only: envelope decode and signature verification (RSA) run
+    outside it, so connections contend only on the state update. The
+    optional gossip thread pushes newly accepted writes to peers over
+    the shared connection {!Pool} (persistent connections, not a dial
+    per push). *)
 
 type gossip = { peers : (string * int) list; period : float }
 
@@ -19,6 +24,7 @@ val start : ?gossip:gossip -> server:Store.Server.t -> port:int -> unit -> t
     [port = 0] picks an ephemeral port (see {!port}). *)
 
 val port : t -> int
+
 val stop : t -> unit
-(** Close the listener and stop the gossip thread. In-flight connection
-    threads finish their current request. *)
+(** Close the listener, stop the gossip thread, and shut down accepted
+    connections (pooled clients see EOF and redial on next use). *)

@@ -38,6 +38,32 @@ let test_frame_oversize_rejected () =
       Unix.close a;
       Alcotest.(check bool) "oversize rejected" true (Tcpnet.Frame.read_frame b = None))
 
+let test_pipelined_codec () =
+  (* Pure codec roundtrips for the correlation-id sub-protocol. *)
+  let open Tcpnet.Frame in
+  (match parse_request (encode_call ~id:77 "payload") with
+  | Some (Call { id = 77; payload = "payload" }) -> ()
+  | _ -> Alcotest.fail "call roundtrip");
+  (match parse_request (encode_oneway "gossip") with
+  | Some (Oneway "gossip") -> ()
+  | _ -> Alcotest.fail "oneway roundtrip");
+  (match parse_response (encode_reply ~id:max_id (Some "r")) with
+  | Some (Reply { id; payload = Some "r" }) ->
+    Alcotest.(check int) "max id" max_id id
+  | _ -> Alcotest.fail "reply roundtrip");
+  (match parse_response (encode_reply ~id:3 None) with
+  | Some (Reply { id = 3; payload = None }) -> ()
+  | _ -> Alcotest.fail "no-reply roundtrip");
+  (match parse_response (encode_reject ~id:9 "bad") with
+  | Some (Reject { id = 9; message = "bad" }) -> ()
+  | _ -> Alcotest.fail "reject roundtrip");
+  (match parse_response (encode_conn_error "oops") with
+  | Some (Conn_error "oops") -> ()
+  | _ -> Alcotest.fail "conn-error roundtrip");
+  Alcotest.(check bool) "unknown tag" true (parse_request "\xff" = None);
+  Alcotest.(check bool) "empty" true (parse_request "" = None);
+  Alcotest.(check bool) "short pipelined" true (parse_request "\x02\x00" = None)
+
 let with_cluster ?(n = 4) ?(b = 1) fn =
   let keyring = Store.Keyring.create () in
   Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
@@ -139,6 +165,292 @@ let test_gossip_over_tcp () =
   Array.iter (function Some h -> Tcpnet.Server_host.stop h | None -> ()) hosts;
   Alcotest.(check bool) "gossip push delivered over tcp" true delivered
 
+(* --- pooled transport ---------------------------------------------------- *)
+
+let meta_query_payload =
+  Store.Payload.encode_envelope
+    {
+      Store.Payload.token = None;
+      request =
+        Store.Payload.Meta_query { uid = Store.Uid.make ~group:"net" ~item:"x" };
+    }
+
+(* A server that accepts connections and never replies: requests park in
+   the pending table until their deadline. *)
+let blackhole () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 16;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let stop = ref false in
+  let accepted = ref [] in
+  let th =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          match Unix.accept listener with
+          | fd, _ -> accepted := fd :: !accepted
+          | exception _ -> ()
+        done)
+      ()
+  in
+  let teardown () =
+    stop := true;
+    (* shutdown, not just close: close alone does not wake a thread
+       blocked in [accept], and the join below would hang forever. *)
+    (try Unix.shutdown listener Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close listener with _ -> ());
+    Thread.join th;
+    List.iter (fun fd -> try Unix.close fd with _ -> ()) !accepted
+  in
+  (port, teardown)
+
+let live_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_no_fd_leak_on_timeouts () =
+  (* Regression for the legacy leak: per-call threads kept fds alive
+     after the deadline. 100 timed-out calls through the pool must not
+     grow the process fd table — one pooled connection serves them all,
+     and abandoned requests are dropped at completion. *)
+  let port, teardown = blackhole () in
+  Fun.protect ~finally:teardown (fun () ->
+      let pool = Tcpnet.Pool.create () in
+      let ep = ("127.0.0.1", port) in
+      (* First call dials the pooled connection; count fds after that. *)
+      ignore (Tcpnet.Pool.call pool ~timeout:0.01 ep meta_query_payload);
+      let before = live_fds () in
+      for _ = 1 to 100 do
+        match Tcpnet.Pool.call pool ~timeout:0.01 ep meta_query_payload with
+        | Tcpnet.Pool.Dropped -> ()
+        | _ -> Alcotest.fail "blackhole call should time out"
+      done;
+      let after = live_fds () in
+      Alcotest.(check bool)
+        (Printf.sprintf "fd growth bounded (%d -> %d)" before after)
+        true
+        (after - before <= 2);
+      Alcotest.(check int) "no abandoned in-flight requests" 0
+        (Tcpnet.Pool.in_flight pool);
+      Alcotest.(check int) "single pooled connection" 1
+        (Tcpnet.Pool.connection_count pool ep);
+      Tcpnet.Pool.shutdown pool)
+
+(* Replies in reverse order of the requests on one connection: the
+   correlation id, not arrival order, matches replies to callers. *)
+let test_pipelined_out_of_order () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 4;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (* The server keeps its end open until after the asserts: closing it
+     early would let the pool's reader see EOF and unlink the connection
+     before the "one shared connection" check runs. *)
+  let server_fd = ref None in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        server_fd := Some fd;
+        let reqs =
+          List.init 2 (fun _ ->
+              match Tcpnet.Frame.read_frame fd with
+              | Some frame -> (
+                match Tcpnet.Frame.parse_request frame with
+                | Some (Tcpnet.Frame.Call { id; payload }) -> (id, payload)
+                | _ -> Alcotest.fail "expected pipelined call")
+              | None -> Alcotest.fail "unexpected EOF")
+        in
+        List.iter
+          (fun (id, payload) ->
+            Tcpnet.Frame.write_frame fd
+              (Tcpnet.Frame.encode_reply ~id (Some ("echo:" ^ payload))))
+          (List.rev reqs))
+      ()
+  in
+  let pool = Tcpnet.Pool.create ~max_connections_per_endpoint:1 () in
+  let ep = ("127.0.0.1", port) in
+  let result = Array.make 2 Tcpnet.Pool.Dropped in
+  let callers =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            (* Stagger so both are in flight on the single connection
+               before the server replies to either. *)
+            if i = 1 then Thread.delay 0.02;
+            result.(i) <-
+              Tcpnet.Pool.call pool ~timeout:2.0 ep (Printf.sprintf "req%d" i))
+          ())
+  in
+  List.iter Thread.join callers;
+  Thread.join server;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Tcpnet.Pool.Reply p ->
+        Alcotest.(check string) "correlated reply" (Printf.sprintf "echo:req%d" i) p
+      | _ -> Alcotest.fail "expected a reply")
+    result;
+  Alcotest.(check int) "one shared connection" 1
+    (Tcpnet.Pool.connection_count pool ep);
+  Tcpnet.Pool.shutdown pool;
+  (match !server_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+  Unix.close listener
+
+let test_framed_errors () =
+  with_cluster (fun ~keyring:_ ~endpoints:_ ~hosts ~n:_ ~b:_ ->
+      let ep = ("127.0.0.1", Tcpnet.Server_host.port hosts.(0)) in
+      (* An unparsable frame gets a framed connection error, not a
+         silent drop, and the connection keeps serving. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, snd ep));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Tcpnet.Frame.write_frame fd "\xee\xff";
+          (match Tcpnet.Frame.read_frame fd with
+          | Some frame -> (
+            match Tcpnet.Frame.parse_response frame with
+            | Some (Tcpnet.Frame.Conn_error _) -> ()
+            | _ -> Alcotest.fail "expected framed connection error")
+          | None -> Alcotest.fail "server dropped instead of replying");
+          (* Still in sync: a well-formed call on the same connection works. *)
+          Tcpnet.Frame.write_frame fd
+            (Tcpnet.Frame.encode_call ~id:5 meta_query_payload);
+          match Tcpnet.Frame.read_frame fd with
+          | Some frame -> (
+            match Tcpnet.Frame.parse_response frame with
+            | Some (Tcpnet.Frame.Reply { id = 5; payload = Some _ }) -> ()
+            | _ -> Alcotest.fail "expected reply after error")
+          | None -> Alcotest.fail "connection died after framed error");
+      (* A malformed envelope inside a well-formed call is rejected with
+         a message — the pool distinguishes it from a dead connection. *)
+      let pool = Tcpnet.Pool.create () in
+      (match Tcpnet.Pool.call pool ~timeout:2.0 ep "not-an-envelope" with
+      | Tcpnet.Pool.Rejected _ -> ()
+      | Tcpnet.Pool.Reply _ -> Alcotest.fail "garbage accepted"
+      | Tcpnet.Pool.No_reply | Tcpnet.Pool.Dropped ->
+        Alcotest.fail "rejection not distinguishable from drop");
+      Tcpnet.Pool.shutdown pool)
+
+let test_pool_reconnect () =
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  let server = Store.Server.create ~id:0 ~keyring ~n:1 ~b:0 () in
+  let host1 = Tcpnet.Server_host.start ~server ~port:0 () in
+  let port = Tcpnet.Server_host.port host1 in
+  let ep = ("127.0.0.1", port) in
+  let pool = Tcpnet.Pool.create ~backoff_base:0.01 ~backoff_max:0.05 () in
+  (match Tcpnet.Pool.call pool ~timeout:2.0 ep meta_query_payload with
+  | Tcpnet.Pool.Reply _ -> ()
+  | _ -> Alcotest.fail "first call should succeed");
+  let before = (Store.Metrics.read ()).Store.Metrics.tcp_reconnects in
+  Tcpnet.Server_host.stop host1;
+  (* Restart on the same port: the pool must notice the dead connection
+     and transparently redial (within its backoff). *)
+  let host2 = Tcpnet.Server_host.start ~server ~port () in
+  let rec until tries =
+    match Tcpnet.Pool.call pool ~timeout:0.5 ep meta_query_payload with
+    | Tcpnet.Pool.Reply _ -> true
+    | _ ->
+      if tries = 0 then false
+      else begin
+        Thread.delay 0.05;
+        until (tries - 1)
+      end
+  in
+  let reconnected = until 40 in
+  let after = (Store.Metrics.read ()).Store.Metrics.tcp_reconnects in
+  Tcpnet.Server_host.stop host2;
+  Tcpnet.Pool.shutdown pool;
+  Alcotest.(check bool) "calls succeed after restart" true reconnected;
+  Alcotest.(check bool) "a reconnect was counted" true (after > before)
+
+let test_backoff_cap () =
+  (* An endpoint nobody listens on: each dial attempt fails and doubles
+     the backoff until the cap. *)
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close listener (* bound but never listening: connects are refused *);
+  let cap = 0.04 in
+  let pool = Tcpnet.Pool.create ~backoff_base:0.01 ~backoff_max:cap () in
+  let ep = ("127.0.0.1", port) in
+  let backoffs = ref [] in
+  for _ = 1 to 6 do
+    (match Tcpnet.Pool.call pool ~timeout:0.2 ep meta_query_payload with
+    | Tcpnet.Pool.Dropped -> ()
+    | _ -> Alcotest.fail "dead endpoint should drop");
+    let b = Tcpnet.Pool.current_backoff pool ep in
+    backoffs := b :: !backoffs;
+    (* Sleep past the window so the next call really redials. *)
+    Thread.delay (b +. 0.005)
+  done;
+  Tcpnet.Pool.shutdown pool;
+  (match !backoffs with
+  | last :: _ -> Alcotest.(check (float 1e-9)) "saturates at the cap" cap last
+  | [] -> assert false);
+  List.iter
+    (fun b -> Alcotest.(check bool) "never exceeds the cap" true (b <= cap +. 1e-9))
+    !backoffs;
+  (* The first failure starts at the base, not the cap. *)
+  match List.rev !backoffs with
+  | first :: _ -> Alcotest.(check (float 1e-9)) "starts at the base" 0.01 first
+  | [] -> assert false
+
+let test_concurrent_quorum_clients () =
+  with_cluster (fun ~keyring ~endpoints ~hosts:_ ~n ~b ->
+      let errors = ref [] in
+      let errors_lock = Mutex.create () in
+      let client name key items =
+        Thread.create
+          (fun () ->
+            try
+              Tcpnet.Live.run ~endpoints (fun () ->
+                  let session = connect ~keyring ~n ~b name key in
+                  List.iter
+                    (fun item ->
+                      ok (Store.Client.write session ~item (name ^ ":" ^ item)))
+                    items;
+                  List.iter
+                    (fun item ->
+                      Alcotest.(check string) "concurrent read" (name ^ ":" ^ item)
+                        (ok (Store.Client.read session ~item)))
+                    items;
+                  ok (Store.Client.disconnect session))
+            with e ->
+              Mutex.lock errors_lock;
+              errors := Printexc.to_string e :: !errors;
+              Mutex.unlock errors_lock)
+          ()
+      in
+      let items prefix = List.init 5 (fun i -> Printf.sprintf "%s%d" prefix i) in
+      let threads =
+        [
+          client "alice" alice_key (items "a");
+          client "bob" bob_key (items "b");
+          client "alice" alice_key (items "a2-");
+          client "bob" bob_key (items "b2-");
+        ]
+      in
+      List.iter Thread.join threads;
+      match !errors with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "concurrent client failed: %s" e)
+
 let () =
   Alcotest.run "tcpnet"
     [
@@ -146,6 +458,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "oversize" `Quick test_frame_oversize_rejected;
+          Alcotest.test_case "pipelined codec" `Quick test_pipelined_codec;
         ] );
       ( "live",
         [
@@ -153,5 +466,17 @@ let () =
           Alcotest.test_case "other reader" `Quick test_live_other_reader;
           Alcotest.test_case "crash tolerated" `Quick test_live_crash_tolerated;
           Alcotest.test_case "gossip push" `Quick test_gossip_over_tcp;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "no fd leak on timeouts" `Quick
+            test_no_fd_leak_on_timeouts;
+          Alcotest.test_case "pipelined out-of-order" `Quick
+            test_pipelined_out_of_order;
+          Alcotest.test_case "framed errors" `Quick test_framed_errors;
+          Alcotest.test_case "reconnect after restart" `Quick test_pool_reconnect;
+          Alcotest.test_case "backoff cap" `Quick test_backoff_cap;
+          Alcotest.test_case "concurrent quorum clients" `Quick
+            test_concurrent_quorum_clients;
         ] );
     ]
