@@ -3,6 +3,14 @@
    connections stopped dominating; the cache makes repeated dials to the same
    endpoint a hashtable hit. *)
 
+(* The pooled transport treats writing to a dead peer as a normal code
+   path (the writer's EPIPE feeds kill_conn/retry), but the default
+   SIGPIPE disposition would kill the process before the error-handling
+   code ever sees Unix_error EPIPE. Ignore it once, at transport load. *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> () (* no SIGPIPE on this platform *)
+
 let cache : (string, Unix.inet_addr) Hashtbl.t = Hashtbl.create 16
 let cache_lock = Mutex.create ()
 

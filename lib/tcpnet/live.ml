@@ -93,14 +93,15 @@ let do_call_many ~pool ~endpoints (spec : Sim.Runtime.call_spec) =
   |> List.map (fun (from, payload) -> { Sim.Runtime.from; payload })
 
 let run ?(transport = `Pooled) ?pool ~endpoints fn =
+  (* Lazy so the legacy path never materializes the shared pool (its
+     timekeeper thread and self-pipe fds) — in particular not in the
+     fd-leak scenarios the legacy baseline exists to measure. *)
   let pool =
-    match pool with
-    | Some p -> p
-    | None -> ( match transport with `Pooled -> Pool.shared () | `Legacy -> Pool.shared ())
+    match pool with Some p -> lazy p | None -> lazy (Pool.shared ())
   in
   let call_many spec =
     match transport with
-    | `Pooled -> do_call_many ~pool ~endpoints spec
+    | `Pooled -> do_call_many ~pool:(Lazy.force pool) ~endpoints spec
     | `Legacy -> do_call_many_legacy ~endpoints spec
   in
   let send_oneway dst payload =
@@ -108,7 +109,7 @@ let run ?(transport = `Pooled) ?pool ~endpoints fn =
     | None -> ()
     | Some endpoint -> (
       match transport with
-      | `Pooled -> Pool.send pool endpoint payload
+      | `Pooled -> Pool.send (Lazy.force pool) endpoint payload
       | `Legacy -> send_once endpoint payload)
   in
   let rec interpret : 'a. (unit -> 'a) -> 'a =

@@ -131,6 +131,14 @@ let timer_register timer deadline group =
   Mutex.unlock timer.tlock;
   if wake then timer_wake timer
 
+(* Groups that finish early (quorum before deadline) drop their entry
+   now rather than retaining the group — replies included — until the
+   deadline and waking the timekeeper for nobody. *)
+let timer_unregister timer group =
+  Mutex.lock timer.tlock;
+  timer.entries <- List.filter (fun (_, g) -> g != group) timer.entries;
+  Mutex.unlock timer.tlock
+
 (* --- pool -------------------------------------------------------------- *)
 
 let create ?(max_connections_per_endpoint = 2) ?(backoff_base = 0.05)
@@ -255,7 +263,11 @@ let backoff_delay pool streak =
 let acquire pool st =
   Mutex.lock st.elock;
   let rec pick () =
-    if Unix.gettimeofday () < st.down_until then begin
+    (* Backoff only gates dialing: a failed extra dial must not take
+       usable live connections out of service, so with live connections
+       we fall through and reuse the least-loaded one instead. *)
+    let in_backoff = Unix.gettimeofday () < st.down_until in
+    if st.conns = [] && in_backoff then begin
       Mutex.unlock st.elock;
       None
     end
@@ -270,7 +282,7 @@ let acquire pool st =
       in
       let at_cap = List.length st.conns + st.dialing >= pool.max_conns in
       match best with
-      | Some c when c.in_flight = 0 || at_cap ->
+      | Some c when c.in_flight = 0 || at_cap || in_backoff ->
         Mutex.unlock st.elock;
         Store.Metrics.incr_tcp_reuse ();
         Some c
@@ -449,6 +461,7 @@ let run_group pool group dsts payload =
     (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from payload)
     dsts;
   let outstanding, replies = await group in
+  timer_unregister pool.timer group;
   drop_outstanding pool outstanding;
   Store.Metrics.incr_rpc ();
   Store.Metrics.record_rpc_ns ((Unix.gettimeofday () -. start) *. 1e9);

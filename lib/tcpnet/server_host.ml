@@ -79,7 +79,14 @@ let push_to_peer ~host ~port payload = Pool.send (Pool.shared ()) (host, port) p
 let gossip_loop t server { peers; period } =
   while t.running do
     Thread.delay period;
-    let writes = with_lock t (fun () -> Store.Server.take_gossip_buffer server) in
+    (* One critical section for both: a write accepted between taking
+       the buffer and summarizing would be advertised in [have] without
+       appearing in [writes], so peers would skip pulling it. *)
+    let writes, have =
+      with_lock t (fun () ->
+          ( Store.Server.take_gossip_buffer server,
+            Store.Server.gossip_summary server ))
+    in
     match writes with
     | [] -> ()
     | writes ->
@@ -87,12 +94,7 @@ let gossip_loop t server { peers; period } =
         Store.Payload.encode_envelope
           {
             Store.Payload.token = None;
-            request =
-              Store.Payload.Gossip_push
-                {
-                  writes;
-                  have = with_lock t (fun () -> Store.Server.gossip_summary server);
-                };
+            request = Store.Payload.Gossip_push { writes; have };
           }
       in
       List.iter (fun (host, port) -> push_to_peer ~host ~port payload) peers
