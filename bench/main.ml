@@ -358,6 +358,414 @@ let e10_net ~json () =
       ~baseline_rows:legacy pooled
 
 (* ------------------------------------------------------------------ *)
+(* E15: chaos soak — live cluster under fault injection                *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_chaos.json is counts and milliseconds, not ns/op, so it gets
+   its own writer (same baseline-preserving convention as
+   [write_bench_json]). *)
+let write_chaos_json ~path ~seed ~digest rows =
+  let obj rows =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) rows)
+    ^ " }"
+  in
+  let current = obj rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-chaos-v1\",\n  \"seed\": %d,\n\
+        \  \"schedule_digest\": \"%s\",\n  \"baseline\": %s,\n\
+        \  \"current\": %s\n}\n"
+        seed digest baseline current);
+  Format.fprintf fmt "wrote %s@." path
+
+(* A real n=4 b=1 loopback cluster where every endpoint sits behind a
+   seeded {!Tcpnet.Chaos} proxy (drops, delays, corruption, mid-frame
+   resets, partition windows) and one server is Byzantine
+   (Corrupt_value). Two client sessions soak it — alice writes, bob
+   reads concurrently — and the harness asserts the paper's safety
+   invariants hold throughout:
+
+     1. every value a read returns was actually written by alice
+        (no forged or corrupted value survives verification);
+     2. within bob's session, per-item reads never go backwards (MRC);
+     3. after the chaos heals, alice's final writes become visible to a
+        fresh session on every item (gossip recovers partition losses);
+     4. no worker dies and the process fd table does not grow
+        (connection churn is bounded).
+
+   Liveness under chaos is *degraded*, never traded against safety:
+   failed ops count as degraded, and the time from first failure to
+   next success feeds the recovery-time percentiles. *)
+let e15_chaos ~seed ~json () =
+  let n = 4 and b = 1 in
+  Store.Metrics.reset ();
+  let key_of name =
+    Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("e15-" ^ name))
+  in
+  let alice_key = key_of "alice" and bob_key = key_of "bob" in
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
+  let servers =
+    Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ())
+  in
+  (* Proxies must know the server ports and servers gossip *through the
+     proxies*, so: reserve the server ports first, aim a proxy at each,
+     then bind the hosts to the reserved ports. *)
+  let reserve_port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let host_ports = Array.init n (fun _ -> reserve_port ()) in
+  let plans =
+    [|
+      Tcpnet.Chaos.plan ~seed ~drop:0.04 ~delay:0.001 ~jitter:0.004
+        ~reset:0.02 ();
+      Tcpnet.Chaos.plan ~seed:(seed + 1) ~drop:0.04 ~delay:0.001 ~jitter:0.004
+        ~blackhole:[ (1.5, 2.5); (4.0, 4.8) ] ();
+      Tcpnet.Chaos.plan ~seed:(seed + 2) ~drop:0.03 ~corrupt:0.06
+        ~drip_bytes:512 ~drip_delay:0.0005 ();
+      Tcpnet.Chaos.plan ~seed:(seed + 3) ~drop:0.03 ~delay:0.002 ();
+    |]
+  in
+  let digest = Tcpnet.Chaos.decision_digest plans.(0) ~frames:128 in
+  (* Same seed, same schedule — the digest is pure, so an identically
+     rebuilt plan must agree before anything runs. *)
+  assert (
+    String.equal digest
+      (Tcpnet.Chaos.decision_digest
+         (Tcpnet.Chaos.plan ~seed ~drop:0.04 ~delay:0.001 ~jitter:0.004
+            ~reset:0.02 ())
+         ~frames:128));
+  let proxies =
+    Array.init n (fun i ->
+        Tcpnet.Chaos.start ~plan:plans.(i)
+          ~target:("127.0.0.1", host_ports.(i))
+          ())
+  in
+  let proxy_eps =
+    Array.map (fun p -> ("127.0.0.1", Tcpnet.Chaos.port p)) proxies
+  in
+  let hosts =
+    Array.init n (fun i ->
+        let peers =
+          List.filteri (fun j _ -> j <> i) (Array.to_list proxy_eps)
+        in
+        let behavior =
+          if i = 3 then Store.Faults.Corrupt_value else Store.Faults.Honest
+        in
+        Tcpnet.Server_host.start
+          ~gossip:{ Tcpnet.Server_host.peers; period = 0.15 }
+          ~behavior ~server:servers.(i) ~port:host_ports.(i) ())
+  in
+  let endpoints id = if id >= 0 && id < n then Some proxy_eps.(id) else None in
+  let base_cfg = Store.Client.default_config ~n ~b in
+  let cfg_alice =
+    {
+      base_cfg with
+      Store.Client.timeout = 0.3;
+      read_retries = 3;
+      write_retries = 3;
+      retry_delay = 0.05;
+      retry_backoff_max = 0.4;
+      op_deadline = 4.0;
+    }
+  in
+  let cfg_bob = { cfg_alice with Store.Client.read_spread = true; seed } in
+  let lock = Mutex.create () in
+  let violations = ref [] in
+  let violate fmt_ =
+    Printf.ksprintf
+      (fun s ->
+        Mutex.lock lock;
+        violations := s :: !violations;
+        Mutex.unlock lock)
+      fmt_
+  in
+  let attempted : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_attempt item value =
+    Mutex.lock lock;
+    Hashtbl.replace attempted (item ^ "=" ^ value) ();
+    Mutex.unlock lock
+  in
+  let was_attempted item value =
+    Mutex.lock lock;
+    let r = Hashtbl.mem attempted (item ^ "=" ^ value) in
+    Mutex.unlock lock;
+    r
+  in
+  let ops_attempted = ref 0 and ops_succeeded = ref 0 in
+  let recovery = Sim.Stats.create () in
+  let recovery_count = ref 0 in
+  (* Per-worker recovery tracking: first failure of a failing streak to
+     the next success. *)
+  let make_op_tracker () =
+    let fail_since = ref nan in
+    fun run ->
+      Mutex.lock lock;
+      incr ops_attempted;
+      Mutex.unlock lock;
+      let ok = run () in
+      let now = Unix.gettimeofday () in
+      if ok then begin
+        Mutex.lock lock;
+        incr ops_succeeded;
+        if not (Float.is_nan !fail_since) then begin
+          Sim.Stats.add recovery ((now -. !fail_since) *. 1e3);
+          incr recovery_count
+        end;
+        Mutex.unlock lock;
+        fail_since := nan
+      end
+      else if Float.is_nan !fail_since then fail_since := now
+  in
+  let rec connect_retry name key cfg tries =
+    match
+      Store.Client.connect ~config:cfg ~uid:name ~key ~keyring ~group:"chaos" ()
+    with
+    | Ok c -> c
+    | Error e when tries > 0 ->
+      ignore e;
+      Thread.delay 0.2;
+      connect_retry name key cfg (tries - 1)
+    | Error e ->
+      failwith
+        (Printf.sprintf "e15 connect %s: %s" name
+           (Store.Client.error_to_string e))
+  in
+  let items = [| "k0"; "k1"; "k2"; "k3" |] in
+  let soak_writes = 60 in
+  let writer_done = ref false in
+  let writer () =
+    Tcpnet.Live.run ~endpoints (fun () ->
+        let alice = connect_retry "alice" alice_key cfg_alice 10 in
+        let op = make_op_tracker () in
+        for i = 1 to soak_writes do
+          let item = items.(i mod Array.length items) in
+          let value = Printf.sprintf "%s#%d" item i in
+          note_attempt item value;
+          op (fun () ->
+              match Store.Client.write alice ~item value with
+              | Ok () -> true
+              | Error _ -> false);
+          Thread.delay 0.03
+        done;
+        ignore (Store.Client.disconnect alice))
+  in
+  let reader () =
+    Tcpnet.Live.run ~endpoints (fun () ->
+        let bob = connect_retry "bob" bob_key cfg_bob 10 in
+        let op = make_op_tracker () in
+        let last_seq : (string, int) Hashtbl.t = Hashtbl.create 4 in
+        let i = ref 0 in
+        while not !writer_done do
+          incr i;
+          let item = items.(!i mod Array.length items) in
+          op (fun () ->
+              match Store.Client.read bob ~item with
+              | Error _ -> false
+              | Ok v ->
+                (* Invariant 1: only values alice actually wrote. *)
+                if not (was_attempted item v) then
+                  violate "read of %s returned un-written value %S" item v;
+                (* Invariant 2: per-item monotonicity within the session
+                   (values encode the writer's sequence number). *)
+                (match String.index_opt v '#' with
+                | Some h -> (
+                  match
+                    int_of_string_opt
+                      (String.sub v (h + 1) (String.length v - h - 1))
+                  with
+                  | Some seq ->
+                    (match Hashtbl.find_opt last_seq item with
+                    | Some prev when seq < prev ->
+                      violate "read of %s went backwards: %d after %d" item
+                        seq prev
+                    | _ -> ());
+                    Hashtbl.replace last_seq item seq
+                  | None -> ())
+                | None -> ());
+                true);
+          Thread.delay 0.02
+        done)
+  in
+  let crashes = ref 0 in
+  let guard name fn () =
+    try fn ()
+    with e ->
+      Mutex.lock lock;
+      incr crashes;
+      violations :=
+        Printf.sprintf "%s worker died: %s" name (Printexc.to_string e)
+        :: !violations;
+      Mutex.unlock lock
+  in
+  (* Warm the shared pool (timekeeper thread, self-pipe) before the fd
+     baseline, so only connection churn counts as growth. *)
+  Tcpnet.Live.run ~endpoints (fun () ->
+      let alice = connect_retry "alice" alice_key cfg_alice 10 in
+      let _ = Store.Client.write alice ~item:"warmup" "w" in
+      ());
+  let live_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let fd_baseline = live_fds () in
+  let t0 = Unix.gettimeofday () in
+  let wt = Thread.create (guard "writer" writer) () in
+  let rt = Thread.create (guard "reader" reader) () in
+  Thread.join wt;
+  writer_done := true;
+  Thread.join rt;
+  let soak_secs = Unix.gettimeofday () -. t0 in
+  (* Heal every proxy, then prove recovery: final writes must become
+     visible to a fresh session on every item once gossip catches up. *)
+  Array.iter Tcpnet.Chaos.heal proxies;
+  let final_values : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  Tcpnet.Live.run ~endpoints (fun () ->
+      let alice =
+        connect_retry "alice" alice_key
+          { cfg_alice with Store.Client.op_deadline = 10.0 }
+          10
+      in
+      Array.iter
+        (fun item ->
+          let value = Printf.sprintf "%s#final" item in
+          Hashtbl.replace final_values item value;
+          note_attempt item value;
+          match Store.Client.write alice ~item value with
+          | Ok () -> ()
+          | Error e ->
+            violate "post-heal write of %s failed: %s" item
+              (Store.Client.error_to_string e))
+        items;
+      let bob =
+        connect_retry "bob" bob_key
+          { cfg_bob with Store.Client.op_deadline = 10.0 }
+          10
+      in
+      let deadline = Unix.gettimeofday () +. 15.0 in
+      let rec converge remaining =
+        match remaining with
+        | [] -> ()
+        | _ when Unix.gettimeofday () > deadline ->
+          violate "post-heal convergence timed out on: %s"
+            (String.concat ", " remaining)
+        | _ ->
+          let remaining' =
+            List.filter
+              (fun item ->
+                match Store.Client.read bob ~item with
+                | Ok v -> not (String.equal v (Hashtbl.find final_values item))
+                | Error _ -> true)
+              remaining
+          in
+          if remaining' <> [] then Thread.delay 0.1;
+          converge remaining'
+      in
+      converge (Array.to_list items));
+  let fd_growth = live_fds () - fd_baseline in
+  (* Invariant 4: bounded connection churn. Generous slack: the pool
+     may legitimately hold a couple of connections per endpoint that
+     the warmup had not dialed yet, each spliced through a proxy. *)
+  if fd_growth > 40 then
+    violate "fd table grew by %d (baseline %d)" fd_growth fd_baseline;
+  let cstats =
+    Array.to_list (Array.map Tcpnet.Chaos.stats proxies)
+  in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 cstats in
+  let dropped = sum (fun (s : Tcpnet.Chaos.stats) -> s.dropped) in
+  let corrupted = sum (fun (s : Tcpnet.Chaos.stats) -> s.corrupted) in
+  let resets = sum (fun (s : Tcpnet.Chaos.stats) -> s.resets) in
+  let refused = sum (fun (s : Tcpnet.Chaos.stats) -> s.refused) in
+  let killed = sum (fun (s : Tcpnet.Chaos.stats) -> s.killed) in
+  let forwarded = sum (fun (s : Tcpnet.Chaos.stats) -> s.forwarded) in
+  Array.iter Tcpnet.Chaos.stop proxies;
+  Array.iter Tcpnet.Server_host.stop hosts;
+  let rec_pct p =
+    if !recovery_count = 0 then 0.0 else Sim.Stats.percentile recovery p
+  in
+  let m = Store.Metrics.read () in
+  let degraded = !ops_attempted - !ops_succeeded in
+  let nviol = List.length !violations in
+  List.iter (fun v -> Format.fprintf fmt "VIOLATION: %s@." v) (List.rev !violations);
+  let table =
+    {
+      Workload.Table.id = "E15";
+      title =
+        Printf.sprintf
+          "Chaos soak (n=%d b=%d, seeded fault proxies + Corrupt_value \
+           server, %.1f s)"
+          n b soak_secs;
+      header = [ "metric"; "value" ];
+      rows =
+        [
+          [ "ops attempted"; string_of_int !ops_attempted ];
+          [ "ops succeeded"; string_of_int !ops_succeeded ];
+          [ "ops degraded (failed under chaos)"; string_of_int degraded ];
+          [ "safety violations"; string_of_int nviol ];
+          [ "client retries / escalations";
+            Printf.sprintf "%d / %d" m.Store.Metrics.retries
+              m.Store.Metrics.escalations ];
+          [ "recovery p50 / p95 / max (ms)";
+            Printf.sprintf "%.0f / %.0f / %.0f" (rec_pct 50.0) (rec_pct 95.0)
+              (rec_pct 100.0) ];
+          [ "frames forwarded / dropped / corrupted";
+            Printf.sprintf "%d / %d / %d" forwarded dropped corrupted ];
+          [ "resets / conns refused / conns killed";
+            Printf.sprintf "%d / %d / %d" resets refused killed ];
+          [ "fd growth over soak"; string_of_int fd_growth ];
+        ];
+      notes =
+        [
+          "safety invariants: no un-written value returned, per-session";
+          "monotonic reads, post-heal convergence, zero worker deaths,";
+          Printf.sprintf "bounded fd churn; schedule digest %s"
+            (String.sub digest 0 16);
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  if json then
+    write_chaos_json ~path:"BENCH_chaos.json" ~seed ~digest
+      [
+        ("ops_attempted", string_of_int !ops_attempted);
+        ("ops_succeeded", string_of_int !ops_succeeded);
+        ("ops_degraded", string_of_int degraded);
+        ("safety_violations", string_of_int nviol);
+        ("worker_crashes", string_of_int !crashes);
+        ("client_retries", string_of_int m.Store.Metrics.retries);
+        ("client_escalations", string_of_int m.Store.Metrics.escalations);
+        ("recovery_p50_ms", Printf.sprintf "%.1f" (rec_pct 50.0));
+        ("recovery_p95_ms", Printf.sprintf "%.1f" (rec_pct 95.0));
+        ("recovery_max_ms", Printf.sprintf "%.1f" (rec_pct 100.0));
+        ("frames_forwarded", string_of_int forwarded);
+        ("frames_dropped", string_of_int dropped);
+        ("frames_corrupted", string_of_int corrupted);
+        ("resets", string_of_int resets);
+        ("conns_refused", string_of_int refused);
+        ("conns_killed", string_of_int killed);
+        ("fd_growth", string_of_int fd_growth);
+      ];
+  if nviol > 0 then begin
+    Format.fprintf fmt "E15: %d safety violation(s) — failing@." nviol;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -388,6 +796,7 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e12", t Workload.Experiments.e12_dispersal);
     ("e13", t Workload.Experiments.e13_dynamic_quorums);
     ("e14", t Workload.Experiments.e14_context_size);
+    ("e15", fun () -> e15_chaos ~seed ~json ());
   ]
 
 let () =

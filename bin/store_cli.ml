@@ -141,6 +141,11 @@ let demo_cmd =
       m.Store.Metrics.rpcs m.Store.Metrics.tcp_connects
       m.Store.Metrics.tcp_reuses m.Store.Metrics.tcp_reconnects
       (r.Store.Metrics.p50_ns /. 1e3);
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun h ->
+        Format.printf "endpoint %a@." (Store.Metrics.pp_endpoint_health ~now) h)
+      (Store.Metrics.endpoint_health ());
     Printf.printf "demo ok\n"
   in
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained networked demo") Term.(const run $ const ())

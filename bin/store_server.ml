@@ -72,7 +72,14 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
                 (Store.Metrics.rsa_verifies m)
                 m.Store.Metrics.tcp_connects m.Store.Metrics.tcp_reuses
                 m.Store.Metrics.tcp_reconnects
-                (Store.Metrics.inflight_high_water ())
+                (Store.Metrics.inflight_high_water ());
+              (* Gossip-peer health, as seen by this server's pool. *)
+              let now = Unix.gettimeofday () in
+              List.iter
+                (fun h ->
+                  Format.printf "stats: peer %a@."
+                    (Store.Metrics.pp_endpoint_health ~now) h)
+                (Store.Metrics.endpoint_health ())
             done)
           ()));
   (* Serve until killed. Relocking a held mutex raises EDEADLK on

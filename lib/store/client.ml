@@ -12,6 +12,9 @@ type config = {
   read_spread : bool;
   read_retries : int;
   retry_delay : float;
+  retry_backoff_max : float;
+  write_retries : int;
+  op_deadline : float;
   verify_vouched : bool;
   inline_read : bool;
   timestamp_jitter : int;
@@ -35,6 +38,9 @@ let default_config ~n ~b =
     read_spread = false;
     read_retries = 2;
     retry_delay = 0.05;
+    retry_backoff_max = 0.05;
+    write_retries = 0;
+    op_deadline = infinity;
     verify_vouched = false;
     inline_read = false;
     timestamp_jitter = 1;
@@ -185,6 +191,32 @@ let next_time t =
 
 let ensure_connected t k = if t.connected then k () else Error Disconnected
 
+(* Deadline-aware backoff between try-later rounds. [attempt] counts
+   completed rounds; the delay doubles from [retry_delay] up to
+   [retry_backoff_max] with full jitter in [d/2, d]. Returns [false]
+   when the sleep would overrun the operation deadline — the caller
+   gives up immediately rather than sleeping past it. With the default
+   config ([retry_backoff_max = retry_delay], infinite deadline) this is
+   exactly the old fixed-delay sleep and draws nothing from the rng, so
+   existing deterministic runs replay unchanged. *)
+let backoff_sleep t ~start ~attempt =
+  let base = t.cfg.retry_delay in
+  let cap = t.cfg.retry_backoff_max in
+  let d =
+    if cap <= base then base
+    else begin
+      let d = min cap (base *. (2. ** float_of_int attempt)) in
+      let u = float_of_int (Sim.Srng.int_below t.rng 1024) /. 1024. in
+      (d /. 2.) +. (d /. 2. *. u)
+    end
+  in
+  if Sim.Runtime.now () +. d > start +. t.cfg.op_deadline then false
+  else begin
+    Metrics.incr_retry ();
+    Sim.Runtime.sleep d;
+    true
+  end
+
 (* ---------------- Context operations (Fig. 1) ------------------------- *)
 
 let best_valid_context t replies =
@@ -220,7 +252,11 @@ let ctx_read t =
   let replies = rpc t ~quorum:q initial request in
   let replies =
     if List.length replies >= q then replies
-    else replies @ rpc t ~quorum:(q - List.length replies) (remaining_servers t initial) request
+    else begin
+      Metrics.incr_escalation ();
+      replies
+      @ rpc t ~quorum:(q - List.length replies) (remaining_servers t initial) request
+    end
   in
   if List.length replies < q then
     Error (No_quorum { wanted = q; got = List.length replies })
@@ -244,7 +280,10 @@ let ctx_store t =
   let got = acks replies in
   let got =
     if got >= q then got
-    else got + acks (rpc t ~quorum:(q - got) (remaining_servers t initial) request)
+    else begin
+      Metrics.incr_escalation ();
+      got + acks (rpc t ~quorum:(q - got) (remaining_servers t initial) request)
+    end
   in
   if got < q then Error (No_quorum { wanted = q; got }) else Ok ()
 
@@ -404,8 +443,10 @@ let read_write t ~item =
         else `Missing)
     | Multi_writer -> multi_read_round t ~uid ~floor ~set_size
   in
-  (* Fig. 2's escape hatch: contact additional servers, then try later. *)
-  let rec attempt ~retries ~set_size =
+  (* Fig. 2's escape hatch: contact additional servers, then try later
+     (with capped backoff, while the operation deadline allows). *)
+  let start = Sim.Runtime.now () in
+  let rec attempt ~retries ~tried ~set_size =
     match round set_size with
     | `Found w ->
       apply_read_to_context t w;
@@ -414,18 +455,19 @@ let read_write t ~item =
       t.opstats.read_failures <- t.opstats.read_failures + 1;
       Error (Writer_faulty uid)
     | `Missing ->
-      if set_size < t.cfg.n then attempt ~retries ~set_size:t.cfg.n
-      else if retries > 0 then begin
-        Sim.Runtime.sleep t.cfg.retry_delay;
-        attempt ~retries:(retries - 1) ~set_size:t.cfg.n
+      if set_size < t.cfg.n then begin
+        Metrics.incr_escalation ();
+        attempt ~retries ~tried ~set_size:t.cfg.n
       end
+      else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
+        attempt ~retries:(retries - 1) ~tried:(tried + 1) ~set_size:t.cfg.n
       else begin
         t.opstats.read_failures <- t.opstats.read_failures + 1;
         if Stamp.equal floor Stamp.zero then Error (Not_found uid)
         else Error (Stale { uid; wanted = floor })
       end
   in
-  attempt ~retries:t.cfg.read_retries ~set_size:base_set
+  attempt ~retries:t.cfg.read_retries ~tried:0 ~set_size:base_set
 
 let read t ~item =
   Result.map (fun (w : Payload.write) -> w.value) (read_write t ~item)
@@ -470,15 +512,29 @@ let write t ~item value =
       let acks replies =
         List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
       in
-      let initial = server_set t fanout in
-      let got = acks (rpc t ~quorum:fanout initial request) in
-      let got =
+      (* One round = preferred fanout plus escalation to the remaining
+         servers. Retrying re-sends the *same signed write* — servers
+         treat a duplicate stamp idempotently, so a retry after a lost
+         ack cannot double-apply. *)
+      let one_round () =
+        let initial = server_set t fanout in
+        let got = acks (rpc t ~quorum:fanout initial request) in
         if got >= fanout then got
-        else got + acks (rpc t ~quorum:(fanout - got) (remaining_servers t initial) request)
+        else begin
+          Metrics.incr_escalation ();
+          got + acks (rpc t ~quorum:(fanout - got) (remaining_servers t initial) request)
+        end
       in
-      if got >= fanout then Ok ()
-      else if got = 0 then Error Write_rejected
-      else Error (No_quorum { wanted = fanout; got })
+      let start = Sim.Runtime.now () in
+      let rec go ~retries ~tried =
+        let got = one_round () in
+        if got >= fanout then Ok ()
+        else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
+          go ~retries:(retries - 1) ~tried:(tried + 1)
+        else if got = 0 then Error Write_rejected
+        else Error (No_quorum { wanted = fanout; got })
+      in
+      go ~retries:t.cfg.write_retries ~tried:0
     end
   in
   (match (result, t.cfg.consistency) with

@@ -34,7 +34,22 @@ type config = {
       (** poll a random read set instead of a fixed one (exercises
           dissemination; used by experiment E7) *)
   read_retries : int;  (** try-later rounds before reporting staleness *)
-  retry_delay : float;
+  retry_delay : float;  (** first try-later delay *)
+  retry_backoff_max : float;
+      (** cap for the try-later delay, which doubles per round with full
+          jitter in [d/2, d]; the default equals [retry_delay], i.e. a
+          fixed delay and no jitter (and no rng draws), preserving
+          deterministic simulator runs. Raise it on live transports so
+          retries back off instead of hammering a struggling cluster. *)
+  write_retries : int;
+      (** full write rounds (fanout + escalation) to retry when acks fall
+          short; the same signed write is re-sent, which servers apply
+          idempotently. Default 0: a write fails as soon as one round
+          (including escalation) does, as before. *)
+  op_deadline : float;
+      (** absolute budget in seconds for one read or write operation:
+          no retry sleep may overrun it (the operation fails instead of
+          sleeping past the deadline). Default [infinity]. *)
   verify_vouched : bool;
       (** also signature-check multi-writer reads (defense in depth; off
           per the paper's cost accounting) *)

@@ -27,6 +27,18 @@ type behavior =
 val to_string : behavior -> string
 val all : behavior list
 
+val handle_typed :
+  behavior ->
+  Server.t ->
+  now:float ->
+  from:Sim.Runtime.node_id ->
+  Payload.envelope ->
+  Payload.response option
+(** The decorated typed handler — what {!wrap} uses after decoding, and
+    what live hosts ({!Tcpnet.Server_host}) dispatch to so Byzantine
+    behaviours run behind real sockets exactly as they do in the
+    simulator. *)
+
 val wrap :
   behavior ->
   Server.t ->

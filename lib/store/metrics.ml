@@ -12,6 +12,8 @@ type snapshot = {
   tcp_reuses : int;
   tcp_reconnects : int;
   rpcs : int;
+  retries : int;
+  escalations : int;
 }
 
 let messages = ref 0
@@ -27,6 +29,8 @@ let tcp_connects = ref 0
 let tcp_reuses = ref 0
 let tcp_reconnects = ref 0
 let rpcs = ref 0
+let retries = ref 0
+let escalations = ref 0
 
 (* Transport gauges live outside the snapshot: the in-flight high-water
    mark and a bounded reservoir of recent RPC round durations (the last
@@ -36,6 +40,39 @@ let rpc_reservoir_size = 4096
 let rpc_samples = Array.make rpc_reservoir_size 0.0
 let rpc_sample_count = ref 0
 let rpc_lock = Mutex.create ()
+
+(* --- per-endpoint transport health (a registry of gauges, like the
+   in-flight high-water mark: outside the snapshot) ------------------- *)
+
+type endpoint_health = {
+  endpoint : string;  (** "host:port" *)
+  connections : int;  (** live pooled connections *)
+  consecutive_failures : int;
+  last_error : string option;
+  down_until : float;  (** absolute time the endpoint is avoided until; 0 = healthy *)
+}
+
+let health_tbl : (string, endpoint_health) Hashtbl.t = Hashtbl.create 8
+let health_lock = Mutex.create ()
+
+let note_endpoint_health h =
+  Mutex.lock health_lock;
+  Hashtbl.replace health_tbl h.endpoint h;
+  Mutex.unlock health_lock
+
+let endpoint_health () =
+  Mutex.lock health_lock;
+  let all = Hashtbl.fold (fun _ h acc -> h :: acc) health_tbl [] in
+  Mutex.unlock health_lock;
+  List.sort (fun a b -> compare a.endpoint b.endpoint) all
+
+let pp_endpoint_health ~now fmt h =
+  Format.fprintf fmt "%s: %d conn, %d consecutive failures%s%s" h.endpoint
+    h.connections h.consecutive_failures
+    (if h.down_until > now then
+       Format.asprintf ", down for %.2fs" (h.down_until -. now)
+     else "")
+    (match h.last_error with Some e -> ", last error: " ^ e | None -> "")
 
 let reset () =
   messages := 0;
@@ -51,6 +88,11 @@ let reset () =
   tcp_reuses := 0;
   tcp_reconnects := 0;
   rpcs := 0;
+  retries := 0;
+  escalations := 0;
+  Mutex.lock health_lock;
+  Hashtbl.reset health_tbl;
+  Mutex.unlock health_lock;
   Mutex.lock rpc_lock;
   inflight_hwm := 0;
   rpc_sample_count := 0;
@@ -71,6 +113,8 @@ let read () =
     tcp_reuses = !tcp_reuses;
     tcp_reconnects = !tcp_reconnects;
     rpcs = !rpcs;
+    retries = !retries;
+    escalations = !escalations;
   }
 
 let diff late early =
@@ -88,6 +132,8 @@ let diff late early =
     tcp_reuses = late.tcp_reuses - early.tcp_reuses;
     tcp_reconnects = late.tcp_reconnects - early.tcp_reconnects;
     rpcs = late.rpcs - early.rpcs;
+    retries = late.retries - early.retries;
+    escalations = late.escalations - early.escalations;
   }
 
 let add_messages n = messages := !messages + n
@@ -103,6 +149,8 @@ let incr_tcp_connect () = incr tcp_connects
 let incr_tcp_reuse () = incr tcp_reuses
 let incr_tcp_reconnect () = incr tcp_reconnects
 let incr_rpc () = incr rpcs
+let incr_retry () = incr retries
+let incr_escalation () = incr escalations
 
 let note_inflight n = if n > !inflight_hwm then inflight_hwm := n
 let inflight_high_water () = !inflight_hwm
@@ -152,7 +200,8 @@ let rsa_verifies s = s.sigcache_misses
 let pp fmt s =
   Format.fprintf fmt
     "msgs=%d signs=%d verifies=%d (server %d) digests=%d macs=%d \
-     sigcache=%d/%d hit/miss tcp=%d+%d/%d conn/reconn/reuse rpcs=%d"
+     sigcache=%d/%d hit/miss tcp=%d+%d/%d conn/reconn/reuse rpcs=%d \
+     retries=%d escalations=%d"
     s.messages s.signs s.verifies s.server_verifies s.digests s.macs
     s.sigcache_hits s.sigcache_misses s.tcp_connects s.tcp_reconnects
-    s.tcp_reuses s.rpcs
+    s.tcp_reuses s.rpcs s.retries s.escalations

@@ -19,6 +19,10 @@ type snapshot = {
   tcp_reuses : int;  (** RPC submissions that reused a pooled connection *)
   tcp_reconnects : int;  (** dials to an endpoint that had connected before *)
   rpcs : int;  (** quorum RPC rounds issued through the pooled transport *)
+  retries : int;  (** client retry-later rounds (Fig. 2's "try again") *)
+  escalations : int;
+      (** client server-set expansions after a partial round (section 5's
+          "contact more servers") *)
 }
 
 val reset : unit -> unit
@@ -38,6 +42,38 @@ val incr_tcp_connect : unit -> unit
 val incr_tcp_reuse : unit -> unit
 val incr_tcp_reconnect : unit -> unit
 val incr_rpc : unit -> unit
+val incr_retry : unit -> unit
+val incr_escalation : unit -> unit
+
+(** {1 Per-endpoint transport health}
+
+    The transport pool reports each endpoint's health here (a registry
+    of gauges, outside {!snapshot}): consecutive failures, the last
+    error seen, and how long the endpoint is being avoided — what
+    operators need to tell "slow" from "suspected down". *)
+
+type endpoint_health = {
+  endpoint : string;  (** "host:port" *)
+  connections : int;  (** live pooled connections *)
+  consecutive_failures : int;
+      (** RPC failures (drops, timeouts, failed dials) since the last
+          success *)
+  last_error : string option;
+  down_until : float;
+      (** absolute time until which the endpoint is avoided (dial
+          backoff or suspicion window); [0.] when healthy *)
+}
+
+val note_endpoint_health : endpoint_health -> unit
+(** Record the endpoint's current health (keyed by [endpoint];
+    overwrites the previous report). *)
+
+val endpoint_health : unit -> endpoint_health list
+(** Every reported endpoint, sorted by endpoint string. Cleared by
+    {!reset}. *)
+
+val pp_endpoint_health : now:float -> Format.formatter -> endpoint_health -> unit
+(** [now] turns the absolute [down_until] into a remaining duration. *)
 
 val note_inflight : int -> unit
 (** Report the current number of in-flight requests; the high-water mark

@@ -1,0 +1,89 @@
+(** Deterministic fault-injecting TCP proxy.
+
+    A chaos proxy sits between a client and one server endpoint and
+    perturbs the framed byte stream according to a seeded {!plan}:
+    dropped frames, fixed and jittered delay, payload byte corruption,
+    mid-frame connection resets, slow-drip writes, and timed
+    blackhole/partition windows during which the endpoint kills existing
+    connections and tears down new ones.
+
+    Every per-frame decision is a pure function of
+    [(seed, connection index, direction, frame index, field)] — a
+    SHA-256 hash mapped to [0,1) — so there is no mutable RNG and the
+    fault schedule is independent of timing and thread interleaving:
+    the same seed replays the same schedule ({!decision_digest} lets
+    tests assert it).
+
+    The proxy is frame-aware: it reassembles each length-prefixed
+    {!Frame} before deciding, so corruption flips payload bytes under a
+    valid header and a drop removes a whole message, keeping the stream
+    parseable (resets cover torn streams: header plus half a payload,
+    then both sides die). Blackholes produce *visible* failures (EOF /
+    refused), so pools mark the endpoint down and gossip pushes requeue,
+    rather than frames silently vanishing. *)
+
+type plan = {
+  seed : int;
+  drop : float;  (** per-frame drop probability *)
+  delay : float;  (** fixed per-frame forwarding delay, seconds *)
+  jitter : float;  (** extra uniform [0, jitter) delay on top of [delay] *)
+  corrupt : float;  (** per-frame probability of flipping one payload byte *)
+  reset : float;
+      (** per-frame probability of writing header + half the payload and
+          then killing the connection *)
+  drip_bytes : int;  (** when > 0, forward in chunks of this many bytes *)
+  drip_delay : float;  (** pause between drip chunks, seconds *)
+  blackhole : (float * float) list;
+      (** partition windows, seconds relative to {!start}: within
+          [(from, until)) the proxy refuses new connections and kills
+          live ones *)
+}
+
+val plan :
+  ?drop:float ->
+  ?delay:float ->
+  ?jitter:float ->
+  ?corrupt:float ->
+  ?reset:float ->
+  ?drip_bytes:int ->
+  ?drip_delay:float ->
+  ?blackhole:(float * float) list ->
+  seed:int ->
+  unit ->
+  plan
+(** All faults default off: [plan ~seed ()] is a pass-through. *)
+
+val decision_digest : plan -> frames:int -> string
+(** Hex digest over the plan's fault decisions for the first two
+    connections, both directions, [frames] frames each. Equal for equal
+    seeds, (overwhelmingly) distinct otherwise — the reproducibility
+    check for a fault schedule. *)
+
+type stats = {
+  mutable conns : int;  (** connections accepted and spliced *)
+  mutable forwarded : int;  (** frames forwarded (possibly corrupted) *)
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable resets : int;
+  mutable refused : int;  (** connections torn down on arrival (blackhole) *)
+  mutable killed : int;  (** live fds shut down entering a blackhole *)
+}
+
+type t
+
+val start : ?port:int -> plan:plan -> target:string * int -> unit -> t
+(** Listen on [port] (default [0] = ephemeral, see {!port}) and splice
+    every accepted connection to [target] through the fault plan. *)
+
+val port : t -> int
+
+val heal : t -> unit
+(** Permanently switch to pass-through: all faults (including remaining
+    blackhole windows) stop applying to subsequent frames. Used to end a
+    soak's chaos phase and let the cluster converge. *)
+
+val stats : t -> stats
+(** A snapshot (the returned record is a copy). *)
+
+val stop : t -> unit
+(** Stop accepting, kill spliced connections, join the proxy threads. *)

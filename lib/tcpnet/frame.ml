@@ -29,13 +29,23 @@ let read_exactly fd len =
   in
   go 0
 
-let read_frame fd =
+(* The oversized case is distinguished from EOF so a server can answer a
+   framed error before dropping the connection. The claimed length is
+   never allocated: an attacker sending a huge prefix costs us 4 bytes
+   of header, not [len] bytes of buffer. *)
+type read_result = Frame of string | Eof | Oversized of int
+
+let read_frame_ext fd =
   match read_exactly fd 4 with
-  | None -> None
+  | None -> Eof
   | Some header ->
     let b i = Char.code header.[i] in
     let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > max_frame then None else read_exactly fd len
+    if len > max_frame then Oversized len
+    else (match read_exactly fd len with Some s -> Frame s | None -> Eof)
+
+let read_frame fd =
+  match read_frame_ext fd with Frame s -> Some s | Eof | Oversized _ -> None
 
 (* --- pipelined sub-protocol (inside frames) ----------------------------- *)
 
@@ -102,12 +112,15 @@ let parse_request frame =
     | c when c = tag_pipelined ->
       if String.length frame < 5 then None
       else
-        Some
-          (Call
-             {
-               id = get_id frame 1;
-               payload = String.sub frame 5 (String.length frame - 5);
-             })
+        (* Ids above [max_id] cannot be echoed back ({!encode_reply}
+           would refuse them), so a hostile id is rejected at parse time
+           and answered with a framed error — not an exception in the
+           connection thread. *)
+        let id = get_id frame 1 in
+        if id > max_id then None
+        else
+          Some
+            (Call { id; payload = String.sub frame 5 (String.length frame - 5) })
     | _ -> None
 
 type response =

@@ -14,6 +14,17 @@ val read_frame : Unix.file_descr -> string option
 (** [None] on clean EOF before or inside a frame, or on an oversized
     length prefix. *)
 
+type read_result =
+  | Frame of string
+  | Eof  (** clean EOF before or inside a frame *)
+  | Oversized of int
+      (** length prefix over {!max_frame}; the claimed length — nothing
+          was allocated or consumed past the 4-byte header *)
+
+val read_frame_ext : Unix.file_descr -> read_result
+(** Like {!read_frame} but distinguishes an oversized length prefix from
+    EOF, so servers can answer a framed error before closing. *)
+
 (** {1 Pipelined sub-protocol}
 
     Inside each frame, the first byte is a tag: [0x00] one-way and
@@ -39,8 +50,9 @@ type request =
   | Call of { id : int; payload : string }
 
 val parse_request : string -> request option
-(** [None] on an empty frame, unknown tag, or truncated pipelined
-    header — the server answers those with {!encode_conn_error}. *)
+(** [None] on an empty frame, unknown tag, truncated pipelined header,
+    or a correlation id above {!max_id} — the server answers those with
+    {!encode_conn_error}. *)
 
 type response =
   | Reply of { id : int; payload : string option }

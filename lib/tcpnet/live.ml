@@ -109,7 +109,7 @@ let run ?(transport = `Pooled) ?pool ~endpoints fn =
     | None -> ()
     | Some endpoint -> (
       match transport with
-      | `Pooled -> Pool.send (Lazy.force pool) endpoint payload
+      | `Pooled -> ignore (Pool.send (Lazy.force pool) endpoint payload : bool)
       | `Legacy -> send_once endpoint payload)
   in
   let rec interpret : 'a. (unit -> 'a) -> 'a =

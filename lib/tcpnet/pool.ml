@@ -14,8 +14,12 @@ type result = Reply of string | Rejected of string | No_reply | Dropped
 
 type pending = { complete : result -> unit }
 
+(* [conn] and [endpoint_state] are mutually recursive: the owner link
+   lets completion paths that only hold a connection (timeout reaping,
+   reader death) attribute the failure to the right endpoint's health. *)
 type conn = {
   fd : Unix.file_descr;
+  owner : endpoint_state;
   pending : (int, pending) Hashtbl.t;
   plock : Mutex.t;  (* guards [pending], [in_flight], [alive] *)
   wlock : Mutex.t;  (* serializes frame writes *)
@@ -23,7 +27,7 @@ type conn = {
   mutable in_flight : int;
 }
 
-type endpoint_state = {
+and endpoint_state = {
   ep : string * int;
   elock : Mutex.t;
   econd : Condition.t; (* signalled when a dial resolves either way *)
@@ -33,6 +37,17 @@ type endpoint_state = {
   mutable down_until : float;
   mutable last_backoff : float;
   mutable ever_connected : bool;
+  (* Health beyond dial backoff: RPC-level consecutive failures
+     (timeouts, dead connections, failed dials) drive a suspicion
+     window during which submissions fail fast even though live
+     connections may exist (a blackholed server accepts connections and
+     says nothing). When the window expires the endpoint is half-open:
+     traffic is admitted again, a success clears the suspicion, the
+     next failure re-arms a doubled window. *)
+  mutable rpc_fail_streak : int;
+  mutable last_error : string option;
+  mutable suspect_until : float;
+  mutable suspect_backoff : float;
 }
 
 (* A quorum fan-out in progress. [outstanding] remembers every (conn,
@@ -68,6 +83,9 @@ type t = {
   max_conns : int;
   backoff_base : float;
   backoff_max : float;
+  suspect_after : int;
+  suspect_base : float;
+  suspect_max : float;
   mutable id_counter : int;
   inflight : int Atomic.t;
 }
@@ -142,7 +160,8 @@ let timer_unregister timer group =
 (* --- pool -------------------------------------------------------------- *)
 
 let create ?(max_connections_per_endpoint = 2) ?(backoff_base = 0.05)
-    ?(backoff_max = 2.0) () =
+    ?(backoff_max = 2.0) ?(suspect_after = 5) ?(suspect_base = 0.25)
+    ?(suspect_max = 5.0) () =
   let pipe_rd, pipe_wr = Unix.pipe () in
   Unix.set_nonblock pipe_wr;
   let timer =
@@ -156,6 +175,9 @@ let create ?(max_connections_per_endpoint = 2) ?(backoff_base = 0.05)
     max_conns = max 1 max_connections_per_endpoint;
     backoff_base;
     backoff_max;
+    suspect_after = max 1 suspect_after;
+    suspect_base;
+    suspect_max;
     id_counter = 0;
     inflight = Atomic.make 0;
   }
@@ -163,11 +185,15 @@ let create ?(max_connections_per_endpoint = 2) ?(backoff_base = 0.05)
 let shared_pool = lazy (create ())
 let shared () = Lazy.force shared_pool
 
+(* Forward declaration dance avoided: defined below, used here only
+   after the state exists. *)
+let publish_health_ref = ref (fun (_ : endpoint_state) -> ())
+
 let endpoint_state pool ep =
   Mutex.lock pool.lock;
-  let st =
+  let st, created =
     match Hashtbl.find_opt pool.endpoints ep with
-    | Some st -> st
+    | Some st -> (st, false)
     | None ->
       let st =
         {
@@ -180,12 +206,19 @@ let endpoint_state pool ep =
           down_until = 0.0;
           last_backoff = 0.0;
           ever_connected = false;
+          rpc_fail_streak = 0;
+          last_error = None;
+          suspect_until = 0.0;
+          suspect_backoff = 0.0;
         }
       in
       Hashtbl.replace pool.endpoints ep st;
-      st
+      (st, true)
   in
   Mutex.unlock pool.lock;
+  (* First sighting: publish a healthy row so introspection shows every
+     endpoint the pool knows, not only the ones that have failed. *)
+  if created then !publish_health_ref st;
   st
 
 let next_id pool =
@@ -198,6 +231,57 @@ let next_id pool =
 let track_inflight pool d =
   let v = Atomic.fetch_and_add pool.inflight d + d in
   if d > 0 then Store.Metrics.note_inflight v
+
+(* --- endpoint health --------------------------------------------------- *)
+
+let publish_health st =
+  Mutex.lock st.elock;
+  let h =
+    {
+      Store.Metrics.endpoint =
+        Printf.sprintf "%s:%d" (fst st.ep) (snd st.ep);
+      connections = List.length st.conns;
+      consecutive_failures = st.rpc_fail_streak;
+      last_error = st.last_error;
+      down_until = max st.down_until st.suspect_until;
+    }
+  in
+  Mutex.unlock st.elock;
+  Store.Metrics.note_endpoint_health h
+
+let () = publish_health_ref := publish_health
+
+let note_rpc_ok st =
+  Mutex.lock st.elock;
+  let changed =
+    st.rpc_fail_streak <> 0 || st.suspect_until <> 0.0 || st.last_error <> None
+  in
+  st.rpc_fail_streak <- 0;
+  st.last_error <- None;
+  st.suspect_until <- 0.0;
+  st.suspect_backoff <- 0.0;
+  Mutex.unlock st.elock;
+  if changed then publish_health st
+
+let note_rpc_fail pool st error =
+  Mutex.lock st.elock;
+  st.rpc_fail_streak <- st.rpc_fail_streak + 1;
+  st.last_error <- Some error;
+  if st.rpc_fail_streak >= pool.suspect_after then begin
+    let d =
+      if st.suspect_backoff = 0.0 then pool.suspect_base
+      else min pool.suspect_max (st.suspect_backoff *. 2.0)
+    in
+    st.suspect_backoff <- d;
+    st.suspect_until <- Unix.gettimeofday () +. d
+  end;
+  Mutex.unlock st.elock;
+  publish_health st
+
+(* Fail fast while the suspicion window is open. Once it expires the
+   endpoint is half-open: requests flow again and the next completion
+   decides (success clears, failure re-arms a doubled window). *)
+let suspected st = Unix.gettimeofday () < st.suspect_until
 
 (* Tear a connection down: unlink it, fail its pending requests, and
    shut the socket so the reader (the fd's sole closer) wakes up.
@@ -218,6 +302,9 @@ let kill_conn pool st conn =
     Mutex.unlock st.elock;
     (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ())
   end;
+  if was_alive && orphans <> [] then
+    note_rpc_fail pool st "connection died with requests in flight"
+  else if was_alive then publish_health st;
   track_inflight pool (-List.length orphans);
   List.iter (fun p -> p.complete Dropped) orphans
 
@@ -231,6 +318,9 @@ let reader pool st conn () =
       conn.in_flight <- conn.in_flight - 1
     | None -> ());
     Mutex.unlock conn.plock;
+    (* Any framed response is evidence the endpoint is alive — including
+       responses to requests we already abandoned. *)
+    note_rpc_ok st;
     match p with
     | Some p ->
       track_inflight pool (-1);
@@ -302,6 +392,7 @@ let acquire pool st =
           let conn =
             {
               fd;
+              owner = st;
               pending = Hashtbl.create 8;
               plock = Mutex.create ();
               wlock = Mutex.create ();
@@ -319,6 +410,7 @@ let acquire pool st =
           Mutex.unlock st.elock;
           Store.Metrics.incr_tcp_connect ();
           if reconnect then Store.Metrics.incr_tcp_reconnect ();
+          publish_health st;
           ignore (Thread.create (reader pool st conn) ());
           Some conn
         | None ->
@@ -364,10 +456,13 @@ let group_complete group ~from result =
    write that fails after registration kills the connection, which
    completes our entry (and everyone else's) as [Dropped]. *)
 let rec submit ?(attempts = 2) pool group st ~from payload =
-  if attempts = 0 then group_complete group ~from Dropped
+  if suspected st then group_complete group ~from Dropped
+  else if attempts = 0 then group_complete group ~from Dropped
   else
     match acquire pool st with
-    | None -> group_complete group ~from Dropped
+    | None ->
+      note_rpc_fail pool st "dial failed or endpoint in backoff";
+      group_complete group ~from Dropped
     | Some conn -> (
       let id = next_id pool in
       Mutex.lock conn.plock;
@@ -423,9 +518,13 @@ let make_group ~quorum ~total ~deadline =
 
 let await group =
   Mutex.lock group.glock;
+  let timed_out = ref false in
   let rec wait () =
     if group.finished then ()
-    else if Unix.gettimeofday () >= group.deadline then group.finished <- true
+    else if Unix.gettimeofday () >= group.deadline then begin
+      group.finished <- true;
+      timed_out := true
+    end
     else begin
       Condition.wait group.gcond group.glock;
       wait ()
@@ -436,12 +535,16 @@ let await group =
   let outstanding = group.outstanding in
   group.outstanding <- [];
   Mutex.unlock group.glock;
-  outstanding, replies
+  (outstanding, replies, !timed_out)
 
 (* Abandon the requests a finished group no longer cares about: their
    table entries go away now, not whenever the server or the connection
-   eventually gets around to it. *)
-let drop_outstanding pool outstanding =
+   eventually gets around to it. When the group died of its deadline
+   (rather than completing at quorum), each still-pending entry is a
+   server that never answered in time — an endpoint-health failure. A
+   quorum-complete group's leftovers are just slower-than-quorum servers
+   and say nothing about health. *)
+let drop_outstanding pool ~timed_out outstanding =
   List.iter
     (fun (conn, id) ->
       Mutex.lock conn.plock;
@@ -451,7 +554,10 @@ let drop_outstanding pool outstanding =
         conn.in_flight <- conn.in_flight - 1
       end;
       Mutex.unlock conn.plock;
-      if mine then track_inflight pool (-1))
+      if mine then begin
+        track_inflight pool (-1);
+        if timed_out then note_rpc_fail pool conn.owner "request timed out"
+      end)
     outstanding
 
 let run_group pool group dsts payload =
@@ -460,9 +566,9 @@ let run_group pool group dsts payload =
   List.iter
     (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from payload)
     dsts;
-  let outstanding, replies = await group in
+  let outstanding, replies, timed_out = await group in
   timer_unregister pool.timer group;
-  drop_outstanding pool outstanding;
+  drop_outstanding pool ~timed_out outstanding;
   Store.Metrics.incr_rpc ();
   Store.Metrics.record_rpc_ns ((Unix.gettimeofday () -. start) *. 1e9);
   replies
@@ -489,12 +595,16 @@ let send pool endpoint payload =
   let st = endpoint_state pool endpoint in
   let frame = Frame.encode_oneway payload in
   let rec go attempts =
-    if attempts > 0 then
+    if attempts = 0 then false
+    else if suspected st then false
+    else
       match acquire pool st with
-      | None -> ()
+      | None ->
+        note_rpc_fail pool st "dial failed or endpoint in backoff";
+        false
       | Some conn -> (
         match write_frame_on conn frame with
-        | () -> ()
+        | () -> true
         | exception _ ->
           kill_conn pool st conn;
           go (attempts - 1))
@@ -532,6 +642,37 @@ let current_backoff pool ep =
     b
 
 let in_flight pool = Atomic.get pool.inflight
+
+type health = {
+  endpoint : string * int;
+  connections : int;
+  consecutive_failures : int;
+  last_error : string option;
+  down_until : float;
+}
+
+let health pool =
+  let states =
+    Mutex.lock pool.lock;
+    let ss = Hashtbl.fold (fun _ st acc -> st :: acc) pool.endpoints [] in
+    Mutex.unlock pool.lock;
+    ss
+  in
+  let snap st =
+    Mutex.lock st.elock;
+    let h =
+      {
+        endpoint = st.ep;
+        connections = List.length st.conns;
+        consecutive_failures = st.rpc_fail_streak;
+        last_error = st.last_error;
+        down_until = max st.down_until st.suspect_until;
+      }
+    in
+    Mutex.unlock st.elock;
+    h
+  in
+  List.sort compare (List.map snap states)
 
 let shutdown pool =
   Mutex.lock pool.timer.tlock;

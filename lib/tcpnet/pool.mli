@@ -19,6 +19,11 @@ val create :
   ?max_connections_per_endpoint:int (** default 2 *) ->
   ?backoff_base:float (** first redial delay, default 0.05 s *) ->
   ?backoff_max:float (** backoff cap, default 2 s *) ->
+  ?suspect_after:int
+    (** consecutive RPC failures (timeouts, dead connections, failed
+        dials) before the endpoint is suspected, default 5 *) ->
+  ?suspect_base:float (** first suspicion window, default 0.25 s *) ->
+  ?suspect_max:float (** suspicion window cap, default 5 s *) ->
   unit ->
   t
 
@@ -50,12 +55,37 @@ val call_many :
     timeout fires. Abandoned requests are dropped from the pending
     tables immediately — nothing keeps running past completion. *)
 
-val send : t -> string * int -> string -> unit
+val send : t -> string * int -> string -> bool
 (** Fire-and-forget one-way message on a pooled connection (gossip
-    pushes). Retries once on a connection found dead at write time. *)
+    pushes). Retries once on a connection found dead at write time.
+    [false] when the message could not even be written (endpoint down,
+    in backoff, or suspected) — the caller can requeue; [true] means
+    written, not delivered. *)
 
 val connection_count : t -> string * int -> int
 (** Live pooled connections to the endpoint (introspection). *)
+
+type health = {
+  endpoint : string * int;
+  connections : int;  (** live pooled connections *)
+  consecutive_failures : int;
+      (** RPC-level failures (timeouts, dead connections, failed dials)
+          since the last framed response from the endpoint *)
+  last_error : string option;
+  down_until : float;
+      (** absolute time until which the endpoint is avoided — the later
+          of the dial backoff and the suspicion window; [0.] healthy *)
+}
+
+val health : t -> health list
+(** Per-endpoint health, sorted by endpoint. After [suspect_after]
+    consecutive failures an endpoint enters a suspicion window
+    (submissions fail fast, even on live connections — a blackholed
+    server accepts connections and says nothing); when the window
+    expires it is half-open: traffic is admitted, a success clears the
+    suspicion, the next failure re-arms a doubled window up to
+    [suspect_max]. The same data is published to
+    {!Store.Metrics.endpoint_health} as it changes. *)
 
 val current_backoff : t -> string * int -> float
 (** The endpoint's current redial backoff delay in seconds; [0.] when

@@ -28,36 +28,59 @@ let untrack_conn t fd =
    signature verification (the expensive RSA math, via
    {!Store.Server.preverify}'s cache warming) happen outside it, so
    concurrent connections only serialize on the actual server-state
-   mutation. [Error] means the request could not even be decoded. *)
-let process t server raw : (Store.Payload.response option, string) Result.t =
+   mutation. [Error] means the request could not even be decoded.
+
+   Dispatch goes through {!Store.Faults.handle_typed}: with the default
+   [Honest] behaviour that is exactly {!Store.Server.handle}, and a
+   Byzantine behaviour reuses the simulator's wrappers unchanged — a
+   misbehaving host diverges only in what it says on the wire, never in
+   the underlying honest state machine. *)
+let process t ~behavior server raw :
+    (Store.Payload.response option, string) Result.t =
   match Store.Payload.decode_envelope raw with
   | None -> Error "malformed envelope"
   | Some env ->
     Store.Server.preverify server env;
     Ok
       (with_lock t (fun () ->
-           Store.Server.handle server ~now:(Unix.gettimeofday ()) ~from:(-1) env))
+           Store.Faults.handle_typed behavior server
+             ~now:(Unix.gettimeofday ()) ~from:(-1) env))
 
-let handle_connection t server fd =
+let handle_connection t ~behavior server fd =
   Addr.set_nodelay fd;
+  let process t server raw = process t ~behavior server raw in
   let rec loop () =
-    match Frame.read_frame fd with
-    | None -> ()
-    | Some frame ->
+    match Frame.read_frame_ext fd with
+    | Frame.Eof -> ()
+    | Frame.Oversized len ->
+      (* Answer before hanging up: the stream cannot be resynchronized
+         (we refuse to consume [len] bytes), but the client learns why
+         the connection is going away. Nothing was allocated. *)
+      (try
+         Frame.write_frame fd
+           (Frame.encode_conn_error
+              (Printf.sprintf "frame too large (%d > %d)" len Frame.max_frame))
+       with Unix.Unix_error _ | Sys_error _ -> ())
+    | Frame.Frame frame ->
       (match Frame.parse_request frame with
       | Some (Frame.Oneway payload) ->
         ignore (process t server payload : (_, _) Result.t)
       | Some (Frame.Legacy_call payload) ->
         (* Legacy semantics preserved: malformed or reply-less requests
-           answer with the bare "no reply" byte. *)
+           answer with the bare "no reply" byte. A Byzantine behaviour
+           that answers nothing is genuinely silent on the wire, exactly
+           as in the simulator — the client meets its deadline, not a
+           framed "nothing". *)
         (match process t server payload with
         | Ok (Some r) -> Frame.write_frame fd ("\x01" ^ Store.Payload.encode_response r)
+        | Ok None when behavior <> Store.Faults.Honest -> ()
         | Ok None | Error _ -> Frame.write_frame fd "\x00")
       | Some (Frame.Call { id; payload }) ->
         (match process t server payload with
         | Ok (Some r) ->
           Frame.write_frame fd
             (Frame.encode_reply ~id (Some (Store.Payload.encode_response r)))
+        | Ok None when behavior <> Store.Faults.Honest -> ()
         | Ok None -> Frame.write_frame fd (Frame.encode_reply ~id None)
         | Error msg -> Frame.write_frame fd (Frame.encode_reject ~id msg))
       | None ->
@@ -76,31 +99,64 @@ let handle_connection t server fd =
    connection per peer instead of a dial per push per peer. *)
 let push_to_peer ~host ~port payload = Pool.send (Pool.shared ()) (host, port) payload
 
+(* Writes popped off the gossip buffer are the server's only copy of
+   "what my peers have not seen": if a push fails they must be requeued,
+   or a write accepted while a peer was down would never reach it (the
+   pull side only fetches what the summary advertises as *missing*, and
+   the summary is per-item — a peer that later catches a newer write for
+   the same item masks the lost one entirely). The backlog is per-peer
+   and bounded: a long-dead peer costs at most [max_backlog] retained
+   writes, oldest dropped first (anti-entropy via the summary exchange
+   still recovers those once the peer returns). *)
+let max_backlog = 512
+
 let gossip_loop t server { peers; period } =
+  let backlog : (string * int, Store.Payload.write list) Hashtbl.t =
+    Hashtbl.create (List.length peers)
+  in
   while t.running do
     Thread.delay period;
     (* One critical section for both: a write accepted between taking
        the buffer and summarizing would be advertised in [have] without
        appearing in [writes], so peers would skip pulling it. *)
-    let writes, have =
+    let fresh, have =
       with_lock t (fun () ->
           ( Store.Server.take_gossip_buffer server,
             Store.Server.gossip_summary server ))
     in
-    match writes with
-    | [] -> ()
-    | writes ->
-      let payload =
-        Store.Payload.encode_envelope
-          {
-            Store.Payload.token = None;
-            request = Store.Payload.Gossip_push { writes; have };
-          }
-      in
-      List.iter (fun (host, port) -> push_to_peer ~host ~port payload) peers
+    List.iter
+      (fun peer ->
+        let pending =
+          (match Hashtbl.find_opt backlog peer with Some w -> w | None -> [])
+          @ fresh
+        in
+        match pending with
+        | [] -> ()
+        | writes ->
+          (* Backlogged writes were accepted before this round's
+             summary was taken, so [have] still covers them. *)
+          let payload =
+            Store.Payload.encode_envelope
+              {
+                Store.Payload.token = None;
+                request = Store.Payload.Gossip_push { writes; have };
+              }
+          in
+          let host, port = peer in
+          if push_to_peer ~host ~port payload then Hashtbl.remove backlog peer
+          else begin
+            let writes =
+              let n = List.length writes in
+              if n <= max_backlog then writes
+              else (* drop oldest; the tail is the newest *)
+                List.filteri (fun i _ -> i >= n - max_backlog) writes
+            in
+            Hashtbl.replace backlog peer writes
+          end)
+      peers
   done
 
-let start ?gossip ~server ~port () =
+let start ?gossip ?(behavior = Store.Faults.Honest) ~server ~port () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -126,7 +182,7 @@ let start ?gossip ~server ~port () =
       match Unix.accept listener with
       | fd, _ ->
         track_conn t fd;
-        ignore (Thread.create (handle_connection t server) fd)
+        ignore (Thread.create (handle_connection t ~behavior server) fd)
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
       | exception Unix.Unix_error _ -> ()
     done

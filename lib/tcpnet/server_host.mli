@@ -13,15 +13,30 @@
     outside it, so connections contend only on the state update. The
     optional gossip thread pushes newly accepted writes to peers over
     the shared connection {!Pool} (persistent connections, not a dial
-    per push). *)
+    per push); pushes that fail (peer down, endpoint suspected) are
+    requeued in a bounded per-peer backlog and retried next round, so a
+    write accepted during a partition still reaches peers once the
+    partition heals. *)
 
 type gossip = { peers : (string * int) list; period : float }
 
 type t
 
-val start : ?gossip:gossip -> server:Store.Server.t -> port:int -> unit -> t
+val start :
+  ?gossip:gossip ->
+  ?behavior:Store.Faults.behavior ->
+  server:Store.Server.t ->
+  port:int ->
+  unit ->
+  t
 (** Bind, listen and serve on a background thread; returns immediately.
-    [port = 0] picks an ephemeral port (see {!port}). *)
+    [port = 0] picks an ephemeral port (see {!port}).
+
+    [behavior] (default {!Store.Faults.Honest}) hosts the server behind
+    the corresponding Byzantine wrapper, so the simulator's fault suite
+    runs unchanged over real sockets. A behaviour that answers nothing
+    (e.g. [Crash], [Silent_reads] on queries) is genuinely silent on the
+    wire — the client runs into its deadline, not a framed "no reply". *)
 
 val port : t -> int
 

@@ -64,13 +64,16 @@ let test_pipelined_codec () =
   Alcotest.(check bool) "empty" true (parse_request "" = None);
   Alcotest.(check bool) "short pipelined" true (parse_request "\x02\x00" = None)
 
-let with_cluster ?(n = 4) ?(b = 1) fn =
+let with_cluster ?(n = 4) ?(b = 1) ?(behavior = fun _ -> Store.Faults.Honest) fn =
   let keyring = Store.Keyring.create () in
   Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
   Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
   let servers = Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ()) in
   let hosts =
-    Array.map (fun server -> Tcpnet.Server_host.start ~server ~port:0 ()) servers
+    Array.mapi
+      (fun i server ->
+        Tcpnet.Server_host.start ~behavior:(behavior i) ~server ~port:0 ())
+      servers
   in
   let eps = Array.map (fun h -> ("127.0.0.1", Tcpnet.Server_host.port h)) hosts in
   let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
@@ -451,6 +454,332 @@ let test_concurrent_quorum_clients () =
       | [] -> ()
       | e :: _ -> Alcotest.failf "concurrent client failed: %s" e)
 
+(* --- robustness: hostile frames, health, chaos, Byzantine hosts ---------- *)
+
+let reserve_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let p =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close fd;
+  p
+
+(* Regression for the gossip write-loss bug: writes popped off the
+   gossip buffer used to be dropped forever when the push failed. With a
+   dead peer the host must keep them in its backlog and deliver once the
+   peer comes up. *)
+let test_gossip_requeue_dead_peer () =
+  let n = 2 and b = 0 in
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  let server_a = Store.Server.create ~id:0 ~keyring ~n ~b () in
+  let server_b = Store.Server.create ~id:1 ~keyring ~n ~b () in
+  let peer_port = reserve_port () in
+  let host_a =
+    Tcpnet.Server_host.start
+      ~gossip:
+        {
+          Tcpnet.Server_host.peers = [ ("127.0.0.1", peer_port) ];
+          period = 0.05;
+        }
+      ~server:server_a ~port:0 ()
+  in
+  let uid = Store.Uid.make ~group:"requeue" ~item:"x" in
+  let w =
+    Store.Signing.sign_write ~key:alice_key ~writer:"alice" ~uid
+      ~stamp:(Store.Stamp.scalar 7) "survives the partition"
+  in
+  let payload =
+    Store.Payload.encode_envelope
+      {
+        Store.Payload.token = None;
+        request = Store.Payload.Write_req { write = w; await_ack = true };
+      }
+  in
+  let pool = Tcpnet.Pool.create () in
+  (match
+     Tcpnet.Pool.call pool ~timeout:2.0
+       ("127.0.0.1", Tcpnet.Server_host.port host_a)
+       payload
+   with
+  | Tcpnet.Pool.Reply _ -> ()
+  | _ -> Alcotest.fail "write to host A failed");
+  (* Let several gossip rounds fail against the dead peer first. *)
+  Thread.delay 0.3;
+  Alcotest.(check bool) "peer still empty" true
+    (Store.Server.current_write server_b uid = None);
+  let host_b = Tcpnet.Server_host.start ~server:server_b ~port:peer_port () in
+  let rec wait tries =
+    if Store.Server.current_write server_b uid <> None then true
+    else if tries = 0 then false
+    else begin
+      Thread.delay 0.1;
+      wait (tries - 1)
+    end
+  in
+  let delivered = wait 100 in
+  Tcpnet.Server_host.stop host_a;
+  Tcpnet.Server_host.stop host_b;
+  Tcpnet.Pool.shutdown pool;
+  Alcotest.(check bool) "requeued write delivered after peer recovery" true
+    delivered
+
+(* Per-endpoint health: consecutive failures trip a suspicion window
+   (fail-fast), the window expiring admits a probe, and a success clears
+   the state. *)
+let test_pool_health_suspicion () =
+  let port, teardown = blackhole () in
+  let ep = ("127.0.0.1", port) in
+  let pool =
+    Tcpnet.Pool.create ~suspect_after:2 ~suspect_base:0.1 ~suspect_max:0.2 ()
+  in
+  for _ = 1 to 2 do
+    match Tcpnet.Pool.call pool ~timeout:0.05 ep meta_query_payload with
+    | Tcpnet.Pool.Dropped -> ()
+    | _ -> Alcotest.fail "blackhole call should drop"
+  done;
+  (match Tcpnet.Pool.health pool with
+  | [ h ] ->
+    Alcotest.(check bool) "failures counted" true (h.Tcpnet.Pool.consecutive_failures >= 2);
+    Alcotest.(check bool) "suspected" true
+      (h.Tcpnet.Pool.down_until > Unix.gettimeofday ());
+    Alcotest.(check bool) "last error recorded" true
+      (h.Tcpnet.Pool.last_error <> None)
+  | hs -> Alcotest.failf "expected one endpoint, got %d" (List.length hs));
+  (* Suspected: the next call fails fast, well inside its timeout. *)
+  let t0 = Unix.gettimeofday () in
+  (match Tcpnet.Pool.call pool ~timeout:1.0 ep meta_query_payload with
+  | Tcpnet.Pool.Dropped -> ()
+  | _ -> Alcotest.fail "suspected endpoint should fail fast");
+  Alcotest.(check bool) "fail-fast under suspicion" true
+    (Unix.gettimeofday () -. t0 < 0.5);
+  (* The same health is published through Store.Metrics. *)
+  Alcotest.(check bool) "published to metrics" true
+    (List.exists
+       (fun (h : Store.Metrics.endpoint_health) ->
+         h.endpoint = Printf.sprintf "127.0.0.1:%d" port
+         && h.consecutive_failures >= 2)
+       (Store.Metrics.endpoint_health ()));
+  (* Replace the blackhole with a live server on the same port: once the
+     window expires the half-open probe succeeds and clears suspicion. *)
+  teardown ();
+  let keyring = Store.Keyring.create () in
+  let server = Store.Server.create ~id:0 ~keyring ~n:1 ~b:0 () in
+  let host = Tcpnet.Server_host.start ~server ~port () in
+  Thread.delay 0.25 (* past suspect_max: the window has expired *);
+  let rec until tries =
+    match Tcpnet.Pool.call pool ~timeout:0.5 ep meta_query_payload with
+    | Tcpnet.Pool.Reply _ -> true
+    | _ ->
+      if tries = 0 then false
+      else begin
+        Thread.delay 0.1;
+        until (tries - 1)
+      end
+  in
+  let recovered = until 30 in
+  Alcotest.(check bool) "half-open probe recovers" true recovered;
+  (match Tcpnet.Pool.health pool with
+  | [ h ] ->
+    Alcotest.(check int) "failures cleared" 0 h.Tcpnet.Pool.consecutive_failures;
+    Alcotest.(check (float 1e-9)) "suspicion cleared" 0. h.Tcpnet.Pool.down_until
+  | hs -> Alcotest.failf "expected one endpoint, got %d" (List.length hs));
+  Tcpnet.Server_host.stop host;
+  Tcpnet.Pool.shutdown pool
+
+(* Context reconstruction over the live transport: a session that dies
+   without writing its context back is rebuilt from the servers' signed
+   writes — with one Stale (frozen) server in the mix. *)
+let test_live_context_reconstruction () =
+  with_cluster
+    ~behavior:(fun i -> if i = 3 then Store.Faults.Stale else Store.Faults.Honest)
+    (fun ~keyring ~endpoints ~hosts:_ ~n ~b ->
+      Tcpnet.Live.run ~endpoints (fun () ->
+          let config = Store.Client.default_config ~n ~b in
+          let session ?recover () =
+            match
+              Store.Client.connect ?recover ~config ~uid:"alice" ~key:alice_key
+                ~keyring ~group:"recon" ()
+            with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" (Store.Client.error_to_string e)
+          in
+          let crashed = session () in
+          List.iter
+            (fun (item, v) -> ok (Store.Client.write crashed ~item v))
+            [ ("a", "1"); ("b", "2"); ("c", "3") ];
+          let old_ctx = Store.Client.context crashed in
+          (* No disconnect: the session is simply dropped (crash). *)
+          let revived = session ~recover:`Reconstruct () in
+          let new_ctx = Store.Client.context revived in
+          List.iter
+            (fun item ->
+              let uid = Store.Uid.make ~group:"recon" ~item in
+              let want = Store.Context.find old_ctx uid in
+              let got = Store.Context.find new_ctx uid in
+              Alcotest.(check bool)
+                (Printf.sprintf "context entry for %s rebuilt" item)
+                true
+                (Store.Stamp.compare got want = 0))
+            [ "a"; "b"; "c" ];
+          List.iter
+            (fun (item, v) ->
+              Alcotest.(check string) "reads correct after reconstruction" v
+                (ok (Store.Client.read revived ~item)))
+            [ ("a", "1"); ("b", "2"); ("c", "3") ]))
+
+(* Hostile wire inputs must never crash the server or allocate
+   unboundedly: oversized length prefixes, truncated pipelined headers,
+   and out-of-range correlation ids all get a framed error (or a clean
+   hangup) and the host keeps serving. *)
+let test_frame_hostile_inputs () =
+  with_cluster (fun ~keyring:_ ~endpoints:_ ~hosts ~n:_ ~b:_ ->
+      let port = Tcpnet.Server_host.port hosts.(0) in
+      let dial () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      in
+      let header len =
+        String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+      in
+      (* Length prefix just over the cap: a framed "too large" error,
+         then hangup — and crucially no 16 MiB allocation. *)
+      let fd = dial () in
+      ignore
+        (Unix.write_substring fd (header (Tcpnet.Frame.max_frame + 1)) 0 4);
+      (match Tcpnet.Frame.read_frame fd with
+      | Some frame -> (
+        match Tcpnet.Frame.parse_response frame with
+        | Some (Tcpnet.Frame.Conn_error msg) ->
+          Alcotest.(check bool) "mentions the size" true
+            (String.length msg > 0)
+        | _ -> Alcotest.fail "expected framed error for oversized prefix")
+      | None -> Alcotest.fail "server dropped oversized prefix silently");
+      Alcotest.(check bool) "connection closed after oversize" true
+        (Tcpnet.Frame.read_frame fd = None);
+      (try Unix.close fd with _ -> ());
+      (* Length prefix just under the cap with no body: the server just
+         waits for the body; closing is a clean EOF, not a crash. *)
+      let fd = dial () in
+      ignore (Unix.write_substring fd (header Tcpnet.Frame.max_frame) 0 4);
+      Unix.close fd;
+      (* Truncated pipelined header inside a well-formed frame. *)
+      let fd = dial () in
+      Tcpnet.Frame.write_frame fd "\x02\x00";
+      (match Tcpnet.Frame.read_frame fd with
+      | Some frame -> (
+        match Tcpnet.Frame.parse_response frame with
+        | Some (Tcpnet.Frame.Conn_error _) -> ()
+        | _ -> Alcotest.fail "expected framed error for truncated header")
+      | None -> Alcotest.fail "server dropped truncated header silently");
+      (* Correlation id above max_id: the server must reject it at parse
+         time — echoing it in a reply would be an encode error killing
+         the connection thread. The connection keeps serving. *)
+      let evil_id = "\x02\xff\xff\xff\xff" ^ meta_query_payload in
+      Tcpnet.Frame.write_frame fd evil_id;
+      (match Tcpnet.Frame.read_frame fd with
+      | Some frame -> (
+        match Tcpnet.Frame.parse_response frame with
+        | Some (Tcpnet.Frame.Conn_error _) -> ()
+        | _ -> Alcotest.fail "expected framed error for huge correlation id")
+      | None -> Alcotest.fail "server dropped huge correlation id silently");
+      Tcpnet.Frame.write_frame fd (Tcpnet.Frame.encode_call ~id:1 meta_query_payload);
+      (match Tcpnet.Frame.read_frame fd with
+      | Some frame -> (
+        match Tcpnet.Frame.parse_response frame with
+        | Some (Tcpnet.Frame.Reply { id = 1; payload = Some _ }) -> ()
+        | _ -> Alcotest.fail "expected reply after hostile frames")
+      | None -> Alcotest.fail "connection died after hostile frames");
+      try Unix.close fd with _ -> ())
+
+(* The chaos schedule is a pure function of the seed. *)
+let test_chaos_determinism () =
+  let d seed = Tcpnet.Chaos.decision_digest (Tcpnet.Chaos.plan ~seed ()) ~frames:64 in
+  Alcotest.(check string) "same seed, same schedule" (d 7) (d 7);
+  Alcotest.(check bool) "different seed, different schedule" true (d 7 <> d 8)
+
+let test_chaos_proxy_faults () =
+  let keyring = Store.Keyring.create () in
+  let server = Store.Server.create ~id:0 ~keyring ~n:1 ~b:0 () in
+  let host = Tcpnet.Server_host.start ~server ~port:0 () in
+  let target = ("127.0.0.1", Tcpnet.Server_host.port host) in
+  (* Pass-through: a faultless plan must be invisible to the RPC layer. *)
+  let clear = Tcpnet.Chaos.start ~plan:(Tcpnet.Chaos.plan ~seed:1 ()) ~target () in
+  let pool = Tcpnet.Pool.create () in
+  (match
+     Tcpnet.Pool.call pool ~timeout:2.0
+       ("127.0.0.1", Tcpnet.Chaos.port clear)
+       meta_query_payload
+   with
+  | Tcpnet.Pool.Reply _ -> ()
+  | _ -> Alcotest.fail "pass-through proxy broke the call");
+  (* The pump bumps its counter after the client already has the reply —
+     give the thread a beat. *)
+  let rec forwarded tries =
+    let f = (Tcpnet.Chaos.stats clear).Tcpnet.Chaos.forwarded in
+    if f >= 2 || tries = 0 then f
+    else begin
+      Thread.delay 0.02;
+      forwarded (tries - 1)
+    end
+  in
+  Alcotest.(check bool) "forwarded counted" true (forwarded 25 >= 2);
+  Tcpnet.Chaos.stop clear;
+  (* drop = 1.0: every frame vanishes; the call must time out cleanly. *)
+  let dead =
+    Tcpnet.Chaos.start ~plan:(Tcpnet.Chaos.plan ~seed:2 ~drop:1.0 ()) ~target ()
+  in
+  (match
+     Tcpnet.Pool.call pool ~timeout:0.2
+       ("127.0.0.1", Tcpnet.Chaos.port dead)
+       meta_query_payload
+   with
+  | Tcpnet.Pool.Dropped -> ()
+  | _ -> Alcotest.fail "dropped frames should time the call out");
+  Alcotest.(check bool) "drop counted" true
+    ((Tcpnet.Chaos.stats dead).Tcpnet.Chaos.dropped >= 1);
+  Tcpnet.Chaos.stop dead;
+  Tcpnet.Pool.shutdown pool;
+  Tcpnet.Server_host.stop host
+
+(* Byzantine behaviours behind real sockets. A Crash host accepts the
+   connection but answers nothing (the client runs into its deadline,
+   exactly as in the simulator); a Corrupt_value host in the read set
+   cannot make a client return a wrong value — the signature check
+   rejects the corruption and the next replica serves the real one. *)
+let test_byzantine_hosts () =
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  let server = Store.Server.create ~id:0 ~keyring ~n:1 ~b:0 () in
+  let host =
+    Tcpnet.Server_host.start ~behavior:Store.Faults.Crash ~server ~port:0 ()
+  in
+  let pool = Tcpnet.Pool.create () in
+  (match
+     Tcpnet.Pool.call pool ~timeout:0.2
+       ("127.0.0.1", Tcpnet.Server_host.port host)
+       meta_query_payload
+   with
+  | Tcpnet.Pool.Dropped -> ()
+  | _ -> Alcotest.fail "a Crash host must be silent on the wire");
+  Tcpnet.Pool.shutdown pool;
+  Tcpnet.Server_host.stop host;
+  (* Corrupt_value as server 0 — first in every preferred read set. *)
+  with_cluster
+    ~behavior:(fun i -> if i = 0 then Store.Faults.Corrupt_value else Store.Faults.Honest)
+    (fun ~keyring ~endpoints ~hosts:_ ~n ~b ->
+      Tcpnet.Live.run ~endpoints (fun () ->
+          let alice = connect ~keyring ~n ~b "alice" alice_key in
+          ok (Store.Client.write alice ~item:"x" "the real value");
+          Alcotest.(check string) "corruption rejected, real value served"
+            "the real value"
+            (ok (Store.Client.read alice ~item:"x"))))
+
 let () =
   Alcotest.run "tcpnet"
     [
@@ -478,5 +807,18 @@ let () =
           Alcotest.test_case "backoff cap" `Quick test_backoff_cap;
           Alcotest.test_case "concurrent quorum clients" `Quick
             test_concurrent_quorum_clients;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "gossip requeue to dead peer" `Quick
+            test_gossip_requeue_dead_peer;
+          Alcotest.test_case "pool health and suspicion" `Quick
+            test_pool_health_suspicion;
+          Alcotest.test_case "live context reconstruction" `Quick
+            test_live_context_reconstruction;
+          Alcotest.test_case "hostile frames" `Quick test_frame_hostile_inputs;
+          Alcotest.test_case "chaos determinism" `Quick test_chaos_determinism;
+          Alcotest.test_case "chaos proxy faults" `Quick test_chaos_proxy_faults;
+          Alcotest.test_case "byzantine hosts" `Quick test_byzantine_hosts;
         ] );
     ]
