@@ -766,6 +766,145 @@ let e15_chaos ~seed ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E16: consistency oracle — seeded schedule exploration               *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_check.json is pass/fail counts, not ns/op and not a perf
+   baseline: every run must report zero violations, so there is nothing
+   to compare against. *)
+let write_check_json ~path ~seed ~schedules ~events ~ops_ok ~ops_failed
+    ~violations ~canary_caught ~control_clean ~canary_shrunk_to
+    ~determinism_ok =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-check-v1\",\n  \"seed\": %d,\n\
+        \  \"schedules\": %d,\n  \"events\": %d,\n  \"ops_ok\": %d,\n\
+        \  \"ops_failed\": %d,\n  \"violations\": %d,\n\
+        \  \"canary_caught\": %b,\n  \"control_clean\": %b,\n\
+        \  \"canary_shrunk_to\": \"%s\",\n  \"determinism_ok\": %b\n}\n"
+        seed schedules events ops_ok ops_failed violations canary_caught
+        control_clean canary_shrunk_to determinism_ok);
+  Format.fprintf fmt "wrote %s@." path
+
+(* Hundreds of seeded fault schedules (random latency and loss, crash
+   windows, partitions, <= b Byzantine servers, mixed sw/mw mrc/cc
+   workloads), every client history checked by {!Check.Oracle}. Three
+   meta-checks keep the harness honest: the canary (a client whose
+   freshness check is disabled) must be flagged and must shrink to its
+   one relevant fault category; the same choreography with an honest
+   client must pass; and re-running a schedule must reproduce the exact
+   history digest (seed-only reproducibility). *)
+let e16_check ~seed ~json () =
+  let module E = Check.Explorer in
+  let schedules =
+    match Sys.getenv_opt "CHECK_SCHEDULES" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 500)
+    | None -> 500
+  in
+  (* Canary and control. *)
+  let canary = E.run (E.canary_schedule ~seed) in
+  let control = E.run { (E.canary_schedule ~seed) with E.canary = false } in
+  let canary_caught = canary.E.violations <> [] in
+  let control_clean = control.E.violations = [] in
+  Format.fprintf fmt "E16 canary (%s):@." (E.describe canary.E.schedule);
+  List.iter
+    (fun v -> Format.fprintf fmt "  caught: %s@." (Check.Oracle.violation_to_string v))
+    canary.E.violations;
+  if not canary_caught then
+    Format.fprintf fmt "  MISSED: the oracle did not flag the broken client@.";
+  if not control_clean then
+    Format.fprintf fmt "  control run unexpectedly violated@.";
+  let shrunk, kept = E.shrink canary in
+  let canary_shrunk_to =
+    String.concat "," (List.map E.category_name kept)
+  in
+  Format.fprintf fmt
+    "  shrink: %d fault categories -> {%s} (violation %s)@."
+    (List.length (E.active_categories canary.E.schedule))
+    canary_shrunk_to
+    (if shrunk.E.violations <> [] then "persists" else "LOST");
+  (* Determinism: the same seed must reproduce the same history. *)
+  let d1 = E.run (E.schedule_of_seed seed) in
+  let d2 = E.run (E.schedule_of_seed seed) in
+  let determinism_ok = String.equal d1.E.history_digest d2.E.history_digest in
+  if not determinism_ok then
+    Format.fprintf fmt "E16: seed %d did NOT reproduce its history digest@."
+      seed;
+  (* The sweep. *)
+  let t0 = Unix.gettimeofday () in
+  let events = ref 0 and ops_ok = ref 0 and ops_failed = ref 0 in
+  let violated = ref [] in
+  for i = 0 to schedules - 1 do
+    let out = E.run (E.schedule_of_seed (seed + i)) in
+    events := !events + out.E.events;
+    ops_ok := !ops_ok + out.E.ops_ok;
+    ops_failed := !ops_failed + out.E.ops_failed;
+    if out.E.violations <> [] then begin
+      violated := out :: !violated;
+      let path = Printf.sprintf "CHECK_violation_%d.json" out.E.schedule.E.seed in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (E.violation_report_json out));
+      Format.fprintf fmt "E16 VIOLATION (%s) -> %s@."
+        (E.describe out.E.schedule) path;
+      List.iter
+        (fun v ->
+          Format.fprintf fmt "  %s@." (Check.Oracle.violation_to_string v))
+        out.E.violations
+    end;
+    if (i + 1) mod 100 = 0 then
+      Format.fprintf fmt "E16: %d/%d schedules, %d events, 0 + %d violations@."
+        (i + 1) schedules !events
+        (List.length !violated)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let nviol =
+    List.fold_left (fun n o -> n + List.length o.E.violations) 0 !violated
+  in
+  let table =
+    {
+      Workload.Table.id = "E16";
+      title =
+        Printf.sprintf
+          "Consistency oracle over %d seeded schedules (seeds %d..%d, %.1f s)"
+          schedules seed (seed + schedules - 1) elapsed;
+      header = [ "metric"; "value" ];
+      rows =
+        [
+          [ "schedules explored"; string_of_int schedules ];
+          [ "history events checked"; string_of_int !events ];
+          [ "client ops ok / failed";
+            Printf.sprintf "%d / %d" !ops_ok !ops_failed ];
+          [ "oracle violations"; string_of_int nviol ];
+          [ "canary caught / control clean";
+            Printf.sprintf "%b / %b" canary_caught control_clean ];
+          [ "canary shrunk to"; "{" ^ canary_shrunk_to ^ "}" ];
+          [ "seed-reproducible history"; Printf.sprintf "%b" determinism_ok ];
+        ];
+      notes =
+        List.map
+          (fun (name, def) -> Printf.sprintf "%s: %s" name def)
+          Check.Oracle.properties;
+    }
+  in
+  Workload.Table.print fmt table;
+  if json then
+    write_check_json ~path:"BENCH_check.json" ~seed ~schedules ~events:!events
+      ~ops_ok:!ops_ok ~ops_failed:!ops_failed ~violations:nviol ~canary_caught
+      ~control_clean ~canary_shrunk_to ~determinism_ok;
+  if
+    nviol > 0 || (not canary_caught) || (not control_clean)
+    || not determinism_ok
+  then begin
+    Format.fprintf fmt "E16: oracle harness failed — see above@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -797,6 +936,7 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e13", t Workload.Experiments.e13_dynamic_quorums);
     ("e14", t Workload.Experiments.e14_context_size);
     ("e15", fun () -> e15_chaos ~seed ~json ());
+    ("e16", fun () -> e16_check ~seed ~json ());
   ]
 
 let () =

@@ -1,0 +1,469 @@
+module Client = Store.Client
+module Engine = Sim.Engine
+module Srng = Sim.Srng
+
+type fault_category = Loss | Jitter | Crash | Partition | Byzantine
+
+let category_name = function
+  | Loss -> "loss"
+  | Jitter -> "jitter"
+  | Crash -> "crash"
+  | Partition -> "partition"
+  | Byzantine -> "byzantine"
+
+type schedule = {
+  seed : int;
+  n : int;
+  b : int;
+  clients : int;
+  mode : Client.mode;
+  consistency : Client.consistency;
+  read_spread : bool;
+  items : int;
+  ops_per_client : int;
+  horizon : float;
+  drop_probability : float;
+  latency_hi : float;
+  gossip_period : float;
+  crashes : (int * float * float) list;
+  partitions : (int list * float * float) list;
+  byzantine : (int * Store.Faults.behavior) list;
+  canary : bool;
+  scripted : bool;
+}
+
+(* The latency floor below which [Jitter] counts as disabled. *)
+let base_latency_hi = 0.002
+let client_pool = [| "alice"; "bob"; "carol" |]
+
+let schedule_of_seed seed =
+  let rng = Srng.create seed in
+  let n = Srng.pick rng [ 4; 5; 7; 10 ] in
+  let max_b = min 2 ((n - 1) / 3) in
+  let b = 1 + Srng.int_below rng max_b in
+  let clients = 1 + Srng.int_below rng (Array.length client_pool) in
+  let mode =
+    if Srng.bool_with_probability rng 0.35 then Client.Multi_writer
+    else Client.Single_writer
+  in
+  let consistency =
+    if Srng.bool_with_probability rng 0.5 then Client.CC else Client.MRC
+  in
+  let read_spread = Srng.bool_with_probability rng 0.3 in
+  let items = 1 + Srng.int_below rng 3 in
+  let ops_per_client = 6 + Srng.int_below rng 7 in
+  let horizon = 10.0 +. (float_of_int ops_per_client *. 2.0) in
+  let drop_probability = Srng.pick rng [ 0.0; 0.0; 0.01; 0.05 ] in
+  let latency_hi = Srng.pick rng [ base_latency_hi; 0.01; 0.05 ] in
+  let gossip_period = Srng.pick rng [ 0.5; 2.0 ] in
+  let window () =
+    let from_t = Srng.uniform rng ~lo:1.0 ~hi:(horizon *. 0.6) in
+    let until_t = from_t +. Srng.uniform rng ~lo:2.0 ~hi:8.0 in
+    (from_t, until_t)
+  in
+  let crashes =
+    List.init (Srng.int_below rng 3) (fun _ ->
+        let s = Srng.int_below rng n in
+        let from_t, until_t = window () in
+        (s, from_t, until_t))
+  in
+  let partitions =
+    if Srng.bool_with_probability rng 0.4 then
+      let s = Srng.int_below rng n in
+      let from_t, until_t = window () in
+      [ ([ s ], from_t, until_t) ]
+    else []
+  in
+  let byzantine =
+    (* Stay inside the threat model: at most [b] lying servers. *)
+    let behaviors =
+      Store.Faults.
+        [ Stale; Corrupt_value; Corrupt_meta; Equivocate; Silent_reads; Drop_gossip; Crash ]
+      @ (if mode = Client.Multi_writer then [ Store.Faults.Eager_report ] else [])
+    in
+    let order = Array.init n Fun.id in
+    Srng.shuffle rng order;
+    List.init (Srng.int_below rng (b + 1)) (fun i ->
+        (order.(i), Srng.pick rng behaviors))
+  in
+  {
+    seed;
+    n;
+    b;
+    clients;
+    mode;
+    consistency;
+    read_spread;
+    items;
+    ops_per_client;
+    horizon;
+    drop_probability;
+    latency_hi;
+    gossip_period;
+    crashes;
+    partitions;
+    byzantine;
+    canary = false;
+    scripted = false;
+  }
+
+let canary_schedule ~seed =
+  {
+    seed;
+    n = 4;
+    b = 1;
+    clients = 2;
+    mode = Client.Single_writer;
+    consistency = Client.MRC;
+    read_spread = false;
+    items = 1;
+    ops_per_client = 4;
+    horizon = 13.0;
+    drop_probability = 0.0;
+    latency_hi = 0.02;
+    gossip_period = 1.0;
+    (* server 0 misses the second write and recovers stale; server 1
+       then goes down so the read's b+1 poll set only hears server 0 *)
+    crashes = [ (0, 0.5, 9.0); (1, 9.5, 1.0e9) ];
+    (* decoys the shrinker must prove irrelevant *)
+    partitions = [ ([ 2 ], 5.0, 6.0) ];
+    byzantine = [ (3, Store.Faults.Corrupt_value) ];
+    canary = true;
+    scripted = true;
+  }
+
+let describe s =
+  let windows l =
+    String.concat ","
+      (List.map (fun (sv, f, u) -> Printf.sprintf "%d@[%.1f,%.1f]" sv f u) l)
+  in
+  let parts =
+    String.concat ","
+      (List.map
+         (fun (g, f, u) ->
+           Printf.sprintf "{%s}@[%.1f,%.1f]"
+             (String.concat ";" (List.map string_of_int g))
+             f u)
+         s.partitions)
+  in
+  let byz =
+    String.concat ","
+      (List.map
+         (fun (sv, beh) ->
+           Printf.sprintf "%d:%s" sv (Store.Faults.to_string beh))
+         s.byzantine)
+  in
+  Printf.sprintf
+    "seed=%d n=%d b=%d clients=%d %s/%s%s items=%d ops=%d drop=%.2f lat<=%.3fs \
+     gossip=%.1fs crash=[%s] part=[%s] byz=[%s]%s"
+    s.seed s.n s.b s.clients
+    (match s.mode with Client.Single_writer -> "sw" | Client.Multi_writer -> "mw")
+    (match s.consistency with Client.MRC -> "mrc" | Client.CC -> "cc")
+    (if s.read_spread then "/spread" else "")
+    s.items s.ops_per_client s.drop_probability s.latency_hi s.gossip_period
+    (windows s.crashes) parts byz
+    (if s.canary then " CANARY" else "")
+
+let active_categories s =
+  List.filter_map Fun.id
+    [
+      (if s.drop_probability > 0.0 then Some Loss else None);
+      (if s.latency_hi > base_latency_hi then Some Jitter else None);
+      (if s.crashes <> [] then Some Crash else None);
+      (if s.partitions <> [] then Some Partition else None);
+      (if s.byzantine <> [] then Some Byzantine else None);
+    ]
+
+let disable cat s =
+  match cat with
+  | Loss -> { s with drop_probability = 0.0 }
+  | Jitter -> { s with latency_hi = base_latency_hi }
+  | Crash -> { s with crashes = [] }
+  | Partition -> { s with partitions = [] }
+  | Byzantine -> { s with byzantine = [] }
+
+type outcome = {
+  schedule : schedule;
+  history : History.t;
+  events : int;
+  ops_ok : int;
+  ops_failed : int;
+  violations : Oracle.violation list;
+  messages_sent : int;
+  bytes_sent : int;
+  messages_dropped : int;
+  history_digest : string;
+}
+
+(* ---------------- Workloads ------------------------------------------- *)
+
+let client_config sched i base =
+  {
+    base with
+    Client.consistency = sched.consistency;
+    mode = sched.mode;
+    timeout = 0.3;
+    read_retries = 1;
+    retry_delay = 0.2;
+    write_retries = 1;
+    read_spread = sched.read_spread;
+    seed = sched.seed + i;
+    canary_skip_freshness = sched.canary && i = 0;
+  }
+
+let connect_client sched (w : Workload.Worlds.t) i name =
+  let config = client_config sched i (Client.default_config ~n:sched.n ~b:sched.b) in
+  Client.connect ~config ~uid:name ~key:(Workload.Worlds.key_of name)
+    ~keyring:w.Workload.Worlds.keyring ~group:"g" ()
+
+let sleep_until t =
+  let now = Sim.Runtime.now () in
+  if t > now then Sim.Runtime.sleep (t -. now)
+
+(* Random mix: each client runs [ops_per_client] operations in two
+   sessions (the mid-run reconnect exercises context storage and the
+   oracle's continuity check). In single-writer mode only client 0
+   writes. A failed MRC write leaves the context at the old time, so
+   the next write of that item would reuse the stamp — the paper's
+   writer must retry the same update, which our internal write retry
+   already did, so the workload simply stops writing that item. *)
+let random_fibers sched (w : Workload.Worlds.t) engine ~ops_ok ~ops_failed =
+  for i = 0 to sched.clients - 1 do
+    let name = client_pool.(i) in
+    Engine.spawn engine
+      ~at:(0.05 *. float_of_int i)
+      ~client:(-(i + 1))
+      (fun () ->
+        let rng = Srng.create ((sched.seed * 131) + i) in
+        let poisoned : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+        let connect () =
+          match connect_client sched w i name with
+          | Ok c ->
+            incr ops_ok;
+            Some c
+          | Error _ ->
+            incr ops_failed;
+            None
+        in
+        let do_op c op =
+          let item = "item" ^ string_of_int (Srng.int_below rng sched.items) in
+          let writer = sched.mode = Client.Multi_writer || i = 0 in
+          if
+            writer
+            && (not (Hashtbl.mem poisoned item))
+            && Srng.bool_with_probability rng 0.5
+          then (
+            match Client.write c ~item (Printf.sprintf "%s-%d-%s" name op item) with
+            | Ok () -> incr ops_ok
+            | Error _ ->
+              incr ops_failed;
+              if sched.consistency = Client.MRC then
+                Hashtbl.replace poisoned item ())
+          else
+            match Client.read c ~item with
+            | Ok _ -> incr ops_ok
+            | Error _ -> incr ops_failed
+        in
+        let disconnect c =
+          match Client.disconnect c with
+          | Ok () -> incr ops_ok
+          | Error _ -> incr ops_failed
+        in
+        match connect () with
+        | None -> ()
+        | Some first ->
+          let client = ref first in
+          let half = max 1 (sched.ops_per_client / 2) in
+          (try
+             for op = 1 to sched.ops_per_client do
+               Sim.Runtime.sleep (Srng.exponential rng ~mean:0.8);
+               do_op !client op;
+               if op = half then begin
+                 disconnect !client;
+                 Sim.Runtime.sleep 0.5;
+                 match connect () with
+                 | Some c -> client := c
+                 | None -> raise Exit
+               end
+             done;
+             disconnect !client
+           with Exit -> ()))
+  done
+
+(* The canary choreography (see {!canary_schedule}): alice writes v1,
+   server 0 crashes and misses v2, recovers stale; server 1 goes down;
+   alice's t=11 read polls {0, 1} and only hears stale server 0. The
+   honest client rejects v1 (below its context floor) and escalates to
+   the fresh copy; the canary accepts it — the oracle must notice. *)
+let canary_fibers sched (w : Workload.Worlds.t) engine ~ops_ok ~ops_failed =
+  let count = function
+    | Ok _ -> incr ops_ok
+    | Error _ -> incr ops_failed
+  in
+  Engine.spawn engine ~at:0.0 ~client:(-1) (fun () ->
+      match connect_client sched w 0 "alice" with
+      | Error _ -> incr ops_failed
+      | Ok alice ->
+        incr ops_ok;
+        count (Client.write alice ~item:"x" "v1");
+        sleep_until 2.0;
+        count (Client.write alice ~item:"x" "v2");
+        sleep_until 11.0;
+        count (Client.read alice ~item:"x");
+        count (Client.disconnect alice));
+  Engine.spawn engine ~at:0.2 ~client:(-2) (fun () ->
+      match connect_client sched w 1 "bob" with
+      | Error _ -> incr ops_failed
+      | Ok bob ->
+        incr ops_ok;
+        sleep_until 4.0;
+        count (Client.read bob ~item:"x");
+        sleep_until 6.5;
+        count (Client.disconnect bob))
+
+(* ---------------- Running one schedule --------------------------------- *)
+
+let run sched =
+  let history = History.create () in
+  let ops_ok = ref 0 and ops_failed = ref 0 in
+  let sent = ref 0 and bytes = ref 0 and dropped = ref 0 in
+  History.recording history (fun () ->
+      let names =
+        Array.to_list (Array.sub client_pool 0 sched.clients)
+      in
+      let w = Workload.Worlds.make ~n:sched.n ~b:sched.b ~clients:names () in
+      let latency =
+        Sim.Latency.make ~drop_probability:sched.drop_probability
+          (Sim.Latency.Uniform { lo = 0.0005; hi = sched.latency_hi })
+      in
+      let engine = Engine.create ~seed:sched.seed ~latency () in
+      Workload.Worlds.register_engine w engine;
+      List.iter (fun (i, beh) -> Workload.Worlds.wrap w i beh) sched.byzantine;
+      ignore
+        (Store.Gossip.install engine ~servers:w.Workload.Worlds.servers
+           ~period:sched.gossip_period
+           ~rng:(Srng.create (sched.seed + 7919))
+           ());
+      List.iter
+        (fun (s, from_t, until_t) ->
+          Engine.spawn engine ~at:from_t (fun () -> Engine.set_down engine s true);
+          Engine.spawn engine ~at:until_t (fun () ->
+              Engine.set_down engine s false))
+        sched.crashes;
+      if sched.partitions <> [] then begin
+        let isolated : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+        Engine.set_reachable engine (fun src dst ->
+            Bool.equal (Hashtbl.mem isolated src) (Hashtbl.mem isolated dst));
+        List.iter
+          (fun (group, from_t, until_t) ->
+            Engine.spawn engine ~at:from_t (fun () ->
+                List.iter (fun s -> Hashtbl.replace isolated s ()) group);
+            Engine.spawn engine ~at:until_t (fun () ->
+                List.iter (fun s -> Hashtbl.remove isolated s) group))
+          sched.partitions
+      end;
+      if sched.scripted then canary_fibers sched w engine ~ops_ok ~ops_failed
+      else random_fibers sched w engine ~ops_ok ~ops_failed;
+      Engine.run ~until:sched.horizon engine;
+      let c = Engine.counters engine in
+      sent := c.Engine.messages_sent;
+      bytes := c.Engine.bytes_sent;
+      dropped := c.Engine.messages_dropped);
+  let events = History.events history in
+  {
+    schedule = sched;
+    history;
+    events = List.length events;
+    ops_ok = !ops_ok;
+    ops_failed = !ops_failed;
+    violations = Oracle.check events;
+    messages_sent = !sent;
+    bytes_sent = !bytes;
+    messages_dropped = !dropped;
+    history_digest = History.digest history;
+  }
+
+(* ---------------- Shrinking ------------------------------------------- *)
+
+let shrink out =
+  if out.violations = [] then (out, [])
+  else begin
+    let best = ref out in
+    List.iter
+      (fun cat ->
+        if List.mem cat (active_categories !best.schedule) then begin
+          let trial = run (disable cat !best.schedule) in
+          if trial.violations <> [] then best := trial
+        end)
+      [ Byzantine; Partition; Loss; Jitter; Crash ];
+    (!best, active_categories !best.schedule)
+  end
+
+(* ---------------- Reports --------------------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let violation_report_json out =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"check-violation-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" out.schedule.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schedule\": %s,\n" (json_string (describe out.schedule)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"history_digest\": %s,\n"
+       (json_string out.history_digest));
+  Buffer.add_string buf "  \"violations\": [\n";
+  List.iteri
+    (fun i (v : Oracle.violation) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"property\": %s, \"explanation\": %s, \"first_seq\": %d%s}"
+           (json_string v.property)
+           (json_string v.explanation)
+           v.first.Store.Trace.seq
+           (match v.second with
+           | None -> ""
+           | Some e -> Printf.sprintf ", \"second_seq\": %d" e.Store.Trace.seq)))
+    out.violations;
+  Buffer.add_string buf "\n  ],\n  \"history\": ";
+  Buffer.add_string buf (History.to_json out.history);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+type summary = {
+  runs : int;
+  total_events : int;
+  total_ok : int;
+  total_failed : int;
+  violated : outcome list;
+}
+
+let explore ~seeds =
+  List.fold_left
+    (fun acc seed ->
+      let out = run (schedule_of_seed seed) in
+      {
+        runs = acc.runs + 1;
+        total_events = acc.total_events + out.events;
+        total_ok = acc.total_ok + out.ops_ok;
+        total_failed = acc.total_failed + out.ops_failed;
+        violated =
+          (if out.violations <> [] then out :: acc.violated else acc.violated);
+      })
+    { runs = 0; total_events = 0; total_ok = 0; total_failed = 0; violated = [] }
+    seeds

@@ -1,0 +1,99 @@
+(** Seeded schedule exploration: run many fault-injected simulator
+    schedules, record every client history, and hand each one to
+    {!Oracle}.
+
+    A {!schedule} is a pure value derived from a seed — everything the
+    run does (topology, workload mix, latency, loss, crash windows,
+    partitions, Byzantine wrappers) comes from it, so a violation
+    reproduces from its printed seed alone. Fault injection never
+    exceeds the paper's threat model: at most [b] Byzantine servers
+    (crashes and partitions are benign and may exceed [b]; they only
+    cost liveness, which the oracle does not score). *)
+
+type fault_category = Loss | Jitter | Crash | Partition | Byzantine
+
+val category_name : fault_category -> string
+
+type schedule = {
+  seed : int;
+  n : int;
+  b : int;
+  clients : int;  (** 1–3, drawn from a fixed name pool *)
+  mode : Store.Client.mode;
+  consistency : Store.Client.consistency;
+  read_spread : bool;
+  items : int;
+  ops_per_client : int;
+  horizon : float;  (** virtual seconds to run the engine *)
+  drop_probability : float;
+  latency_hi : float;  (** uniform one-way delay upper bound (s) *)
+  gossip_period : float;
+  crashes : (int * float * float) list;  (** server, down-from, up-at *)
+  partitions : (int list * float * float) list;
+      (** isolated group, window; members keep talking to each other *)
+  byzantine : (int * Store.Faults.behavior) list;  (** at most [b] *)
+  canary : bool;
+      (** client 0 runs with [canary_skip_freshness] — the deliberately
+          broken client the oracle must flag *)
+  scripted : bool;
+      (** run the fixed canary choreography instead of the random mix *)
+}
+
+val schedule_of_seed : int -> schedule
+(** The random-mix schedule for a seed (never canary, never scripted). *)
+
+val canary_schedule : seed:int -> schedule
+(** The scripted stale-read choreography: one writer-reader whose
+    freshness check is disabled, a crash window that leaves server 0
+    with only the first write, plus decoy faults (a Byzantine
+    [Corrupt_value] server, a partition window, latency jitter) that
+    {!shrink} must eliminate, leaving only [Crash]. With
+    [canary = false] the same choreography runs an honest client — the
+    control that must produce no violation. *)
+
+val describe : schedule -> string
+(** One line, self-contained enough to eyeball the fault plan. *)
+
+val active_categories : schedule -> fault_category list
+val disable : fault_category -> schedule -> schedule
+
+type outcome = {
+  schedule : schedule;
+  history : History.t;
+  events : int;
+  ops_ok : int;
+  ops_failed : int;  (** failed client operations (liveness, not safety) *)
+  violations : Oracle.violation list;
+  messages_sent : int;
+  bytes_sent : int;
+  messages_dropped : int;
+  history_digest : string;  (** {!History.digest} — determinism witness *)
+}
+
+val run : schedule -> outcome
+(** Deterministic: the same schedule yields the same [history_digest],
+    engine counters and violations. *)
+
+val shrink : outcome -> outcome * fault_category list
+(** Greedy fault minimization: for each active category, re-run the
+    schedule with that category disabled and keep it disabled when the
+    violation persists. Returns the minimal violating outcome and the
+    fault categories it still needs. Identity on violation-free
+    outcomes. *)
+
+val violation_report_json : outcome -> string
+(** Counterexample artifact: schedule, violations (property,
+    explanation, event pair) and the full history — everything needed
+    to replay the oracle offline. *)
+
+type summary = {
+  runs : int;
+  total_events : int;
+  total_ok : int;
+  total_failed : int;
+  violated : outcome list;
+}
+
+val explore : seeds:int list -> summary
+(** Run [schedule_of_seed] for every seed; violating outcomes are
+    collected (histories of clean runs are dropped as they go). *)

@@ -21,6 +21,7 @@ type config = {
   evidence : Fault_evidence.t option;
   token : string option;
   seed : int;
+  canary_skip_freshness : bool;
 }
 
 let default_config ~n ~b =
@@ -47,6 +48,7 @@ let default_config ~n ~b =
     evidence = None;
     token = None;
     seed = 0;
+    canary_skip_freshness = false;
   }
 
 type error =
@@ -72,6 +74,7 @@ type t = {
   group : string;
   cfg : config;
   rng : Sim.Srng.t;
+  session : int;
   mutable ctx : Context.t;
   mutable ctx_seq : int;
   mutable last_time : int;
@@ -190,6 +193,26 @@ let next_time t =
   time
 
 let ensure_connected t k = if t.connected then k () else Error Disconnected
+
+(* ---------------- History tap (consistency oracle) -------------------- *)
+
+(* One ref read when no recorder is installed; with one, each emission
+   snapshots the context so the oracle can replay what the client knew
+   at every operation boundary. *)
+let trace t ~op ~phase ?outcome kind =
+  if Trace.enabled () then
+    Trace.record ~op ~time:(Sim.Runtime.now ()) ~client:t.uid
+      ~session:t.session
+      ~multi_writer:(t.cfg.mode = Multi_writer)
+      ~causal:(t.cfg.consistency = CC)
+      ~phase ?outcome ~kind
+      ~ctx:(Context.bindings t.ctx) ()
+
+let trace_op () = if Trace.enabled () then Trace.new_op () else 0
+
+let outcome_of_result ok = function
+  | Ok v -> ok v
+  | Error e -> Trace.Failed (error_to_string e)
 
 (* Deadline-aware backoff between try-later rounds. [attempt] counts
    completed rounds; the delay doubles from [retry_delay] up to
@@ -416,7 +439,14 @@ let read_write t ~item =
   ensure_connected t @@ fun () ->
   t.opstats.reads <- t.opstats.reads + 1;
   let uid = Uid.make ~group:t.group ~item in
-  let floor = Context.find t.ctx uid in
+  let opid = trace_op () in
+  trace t ~op:opid ~phase:Trace.Invoke (Trace.Read { uid });
+  (* The canary deliberately skips the context-freshness floor — the
+     broken client the consistency oracle must catch (never enable it
+     outside oracle tests). *)
+  let floor =
+    if t.cfg.canary_skip_freshness then Stamp.zero else Context.find t.ctx uid
+  in
   let base_set =
     match t.cfg.mode with
     | Single_writer -> Quorums.read_set ~b:(effective_b t)
@@ -467,7 +497,20 @@ let read_write t ~item =
         else Error (Stale { uid; wanted = floor })
       end
   in
-  attempt ~retries:t.cfg.read_retries ~tried:0 ~set_size:base_set
+  let result = attempt ~retries:t.cfg.read_retries ~tried:0 ~set_size:base_set in
+  trace t ~op:opid ~phase:Trace.Return
+    ~outcome:
+      (outcome_of_result
+         (fun (w : Payload.write) ->
+           Trace.Ok_value
+             {
+               stamp = w.stamp;
+               digest = Crypto.Sha256.hex_digest w.value;
+               writer = w.writer;
+             })
+         result)
+    (Trace.Read { uid });
+  result
 
 let read t ~item =
   Result.map (fun (w : Payload.write) -> w.value) (read_write t ~item)
@@ -486,6 +529,11 @@ let write t ~item value =
   t.opstats.writes <- t.opstats.writes + 1;
   let uid = Uid.make ~group:t.group ~item in
   let stamp = make_stamp t ~value in
+  let opid = trace_op () in
+  let wkind () =
+    Trace.Write { uid; stamp; digest = Crypto.Sha256.hex_digest value }
+  in
+  if Trace.enabled () then trace t ~op:opid ~phase:Trace.Invoke (wkind ());
   let wctx =
     match t.cfg.consistency with
     | CC ->
@@ -541,6 +589,10 @@ let write t ~item value =
   | Ok (), MRC -> t.ctx <- Context.observe t.ctx uid stamp
   | Ok (), CC -> () (* already in the context *)
   | Error _, _ -> ());
+  if Trace.enabled () then
+    trace t ~op:opid ~phase:Trace.Return
+      ~outcome:(outcome_of_result (fun () -> Trace.Ok_unit) result)
+      (wkind ());
   result
 
 (* ---------------- Context reconstruction ------------------------------ *)
@@ -582,7 +634,10 @@ let reconstruct_context t =
 
 let reconstruct t =
   ensure_connected t @@ fun () ->
+  let opid = trace_op () in
+  trace t ~op:opid ~phase:Trace.Invoke Trace.Reconstruct;
   reconstruct_context t;
+  trace t ~op:opid ~phase:Trace.Return ~outcome:Trace.Ok_unit Trace.Reconstruct;
   Ok ()
 
 (* ---------------- Session lifecycle ----------------------------------- *)
@@ -601,6 +656,7 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
       group;
       cfg;
       rng = Sim.Srng.create (cfg.seed + Hashtbl.hash (uid, group));
+      session = Trace.new_session ();
       ctx = Context.empty;
       ctx_seq = 0;
       last_time = 0;
@@ -609,8 +665,19 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
         { messages = 0; reads = 0; writes = 0; read_rounds = 0; read_failures = 0 };
     }
   in
+  let opid = trace_op () in
+  trace t ~op:opid ~phase:Trace.Invoke Trace.Connect;
+  let finish recovery =
+    trace t ~op:opid ~phase:Trace.Return
+      ~outcome:(Trace.Connected recovery) Trace.Connect;
+    Ok t
+  in
   match ctx_read t with
-  | Error e -> Error e
+  | Error e ->
+    trace t ~op:opid ~phase:Trace.Return
+      ~outcome:(Trace.Failed (error_to_string e))
+      Trace.Connect;
+    Error e
   | Ok (Some record) ->
     t.ctx <- record.ctx;
     t.ctx_seq <- record.seq;
@@ -618,21 +685,29 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
     List.iter
       (fun (_, stamp) -> t.last_time <- max t.last_time (Stamp.time stamp))
       (Context.bindings t.ctx);
-    Ok t
+    finish Trace.Stored
   | Ok None -> (
     match recover with
-    | `Fresh -> Ok t
+    | `Fresh -> finish Trace.Fresh
     | `Reconstruct ->
       reconstruct_context t;
       List.iter
         (fun (_, stamp) -> t.last_time <- max t.last_time (Stamp.time stamp))
         (Context.bindings t.ctx);
-      Ok t)
+      finish Trace.Rebuilt)
 
 let disconnect t =
   ensure_connected t @@ fun () ->
-  match ctx_store t with
-  | Ok () ->
-    t.connected <- false;
-    Ok ()
-  | Error e -> Error e
+  let opid = trace_op () in
+  trace t ~op:opid ~phase:Trace.Invoke Trace.Disconnect;
+  let result =
+    match ctx_store t with
+    | Ok () ->
+      t.connected <- false;
+      Ok ()
+    | Error e -> Error e
+  in
+  trace t ~op:opid ~phase:Trace.Return
+    ~outcome:(outcome_of_result (fun () -> Trace.Ok_unit) result)
+    Trace.Disconnect;
+  result

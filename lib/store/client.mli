@@ -71,6 +71,13 @@ type config = {
           across a client's sessions to keep what it has learned. *)
   token : string option;
   seed : int;  (** client-local randomness (read-set spreading) *)
+  canary_skip_freshness : bool;
+      (** DELIBERATELY BROKEN client variant for the consistency oracle's
+          canary: reads ignore the context-freshness floor, so a stale
+          server can serve values older than what this client already
+          observed. [Check.Oracle] must flag the resulting history — the
+          proof the oracle harness cannot pass vacuously. Never enable
+          outside oracle tests. *)
 }
 
 val default_config : n:int -> b:int -> config

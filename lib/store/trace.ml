@@ -1,0 +1,118 @@
+type phase = Invoke | Return
+type recovery = Stored | Fresh | Rebuilt
+
+type opkind =
+  | Connect
+  | Disconnect
+  | Reconstruct
+  | Write of { uid : Uid.t; stamp : Stamp.t; digest : string }
+  | Read of { uid : Uid.t }
+
+type outcome =
+  | Connected of recovery
+  | Ok_unit
+  | Ok_value of { stamp : Stamp.t; digest : string; writer : string }
+  | Failed of string
+
+type event = {
+  seq : int;
+  op : int;
+  time : float;
+  client : string;
+  session : int;
+  multi_writer : bool;
+  causal : bool;
+  phase : phase;
+  kind : opkind;
+  outcome : outcome option;
+  ctx : (Uid.t * Stamp.t) list;
+}
+
+let sink : (event -> unit) option ref = ref None
+let lock = Mutex.create ()
+let seq = ref 0
+let ops = ref 0
+let sessions = ref 0
+
+let enabled () = !sink <> None
+
+let set_sink s =
+  Mutex.lock lock;
+  sink := s;
+  Mutex.unlock lock
+
+let reset () =
+  Mutex.lock lock;
+  seq := 0;
+  ops := 0;
+  sessions := 0;
+  Mutex.unlock lock
+
+let next counter =
+  Mutex.lock lock;
+  incr counter;
+  let v = !counter in
+  Mutex.unlock lock;
+  v
+
+let new_session () = next sessions
+let new_op () = next ops
+
+let record ~op ~time ~client ~session ~multi_writer ~causal ~phase ?outcome
+    ~kind ~ctx () =
+  (* The sink is read and the event delivered under the lock: seq order
+     is emission order even when live-transport clients race. *)
+  Mutex.lock lock;
+  (match !sink with
+  | None -> ()
+  | Some f ->
+    incr seq;
+    f
+      {
+        seq = !seq;
+        op;
+        time;
+        client;
+        session;
+        multi_writer;
+        causal;
+        phase;
+        kind;
+        outcome;
+        ctx;
+      });
+  Mutex.unlock lock
+
+let pp_kind fmt = function
+  | Connect -> Format.pp_print_string fmt "connect"
+  | Disconnect -> Format.pp_print_string fmt "disconnect"
+  | Reconstruct -> Format.pp_print_string fmt "reconstruct"
+  | Write { uid; stamp; digest } ->
+    Format.fprintf fmt "write %a %a #%s" Uid.pp uid Stamp.pp stamp
+      (String.sub digest 0 (min 8 (String.length digest)))
+  | Read { uid } -> Format.fprintf fmt "read %a" Uid.pp uid
+
+let pp_outcome fmt = function
+  | Connected Stored -> Format.pp_print_string fmt "connected(stored-ctx)"
+  | Connected Fresh -> Format.pp_print_string fmt "connected(fresh)"
+  | Connected Rebuilt -> Format.pp_print_string fmt "connected(rebuilt)"
+  | Ok_unit -> Format.pp_print_string fmt "ok"
+  | Ok_value { stamp; digest; writer } ->
+    Format.fprintf fmt "value %a by %s #%s" Stamp.pp stamp writer
+      (String.sub digest 0 (min 8 (String.length digest)))
+  | Failed e -> Format.fprintf fmt "failed: %s" e
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%d] t=%.3f %s/s%d %s %a%a ctx{%a}" e.seq e.time
+    e.client e.session
+    (match e.phase with Invoke -> "invoke" | Return -> "return")
+    pp_kind e.kind
+    (fun fmt -> function
+      | None -> ()
+      | Some o -> Format.fprintf fmt " -> %a" pp_outcome o)
+    e.outcome
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt (uid, stamp) ->
+         Format.fprintf fmt "%a=%a" Uid.pp uid Stamp.pp stamp))
+    e.ctx

@@ -1,0 +1,85 @@
+(** Operation-history recording hook (the consistency oracle's tap).
+
+    {!Client} emits one [Invoke] event when an operation starts and one
+    [Return] event when it completes, each carrying a snapshot of the
+    client's context vector at that instant. A recorder (e.g.
+    [Check.History]) installs itself with {!set_sink}; with no sink
+    installed the instrumentation reduces to a single ref read per
+    operation, so production paths pay nothing.
+
+    Events deliberately record only what an external observer of the
+    client API could see — operation boundaries, arguments, results and
+    the context the client admits to — so the oracle checks the paper's
+    *client-enforced* guarantees (context monotonicity, single-writer
+    regularity relative to the reader's context, multi-writer total
+    order on [(time, writer, digest)] stamps, read-your-writes) against
+    the same information a real application would have. *)
+
+type phase = Invoke | Return
+
+type recovery = Stored | Fresh | Rebuilt
+(** How a connect obtained its context: a validly signed stored record,
+    an empty start, or section 5.1's reconstruction from server logs. *)
+
+type opkind =
+  | Connect
+  | Disconnect
+  | Reconstruct
+  | Write of { uid : Uid.t; stamp : Stamp.t; digest : string }
+      (** [digest] is the hex SHA-256 of the written value. *)
+  | Read of { uid : Uid.t }
+
+type outcome =
+  | Connected of recovery
+  | Ok_unit
+  | Ok_value of { stamp : Stamp.t; digest : string; writer : string }
+      (** A successful read: the returned write's stamp, hex value
+          digest, and claimed writer. *)
+  | Failed of string  (** rendered {!Client.error} *)
+
+type event = {
+  seq : int;  (** global emission order, assigned by the recorder hook *)
+  op : int;  (** pairs an [Invoke] with its [Return] *)
+  time : float;  (** {!Sim.Runtime.now} at emission *)
+  client : string;
+  session : int;  (** distinguishes reconnects of the same client *)
+  multi_writer : bool;
+  causal : bool;  (** CC session (MRC otherwise) *)
+  phase : phase;
+  kind : opkind;
+  outcome : outcome option;  (** [None] on [Invoke] *)
+  ctx : (Uid.t * Stamp.t) list;  (** context snapshot at emission *)
+}
+
+val enabled : unit -> bool
+(** Cheap test the instrumentation guards every emission with. *)
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or remove) the recorder. Emission and [seq] assignment
+    happen under an internal mutex, so concurrent live-transport clients
+    serialize into one well-ordered history. *)
+
+val reset : unit -> unit
+(** Restart the [seq], [op] and [session] counters — called by a
+    recorder at the start of a run so identical schedules produce
+    identical histories. *)
+
+val new_session : unit -> int
+val new_op : unit -> int
+
+val record :
+  op:int ->
+  time:float ->
+  client:string ->
+  session:int ->
+  multi_writer:bool ->
+  causal:bool ->
+  phase:phase ->
+  ?outcome:outcome ->
+  kind:opkind ->
+  ctx:(Uid.t * Stamp.t) list ->
+  unit ->
+  unit
+(** No-op when no sink is installed. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1321,6 +1321,138 @@ let test_audit_detects_divergence () =
   (* No flood: only b+1 servers saw the write. *)
   Alcotest.(check bool) "divergence visible" false (Audit.roots_agree w.servers)
 
+(* An equivocating writer hands different values under one stamp to
+   different servers. Cross-server root comparison exposes the split,
+   and inclusion proofs localize it: each server can prove exactly what
+   it was given, so the conflicting pair of proofs convicts the writer
+   (or the server that fabricated an entry). *)
+let test_audit_localizes_equivocation () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let stamp = Stamp.scalar 1 in
+  let key = key_of "mallory" in
+  let wa = Signing.sign_write ~key ~writer:"mallory" ~uid ~stamp "va" in
+  let wb = Signing.sign_write ~key ~writer:"mallory" ~uid ~stamp "vb" in
+  let deliver i wr =
+    match
+      Server.handle w.servers.(i) ~now:0.0 ~from:(-9)
+        { Payload.token = None; request = Payload.Write_req { write = wr; await_ack = true } }
+    with
+    | Some Payload.Ack -> ()
+    | _ -> Alcotest.failf "server %d rejected the write" i
+  in
+  List.iter (fun i -> deliver i wa) [ 0; 1; 3 ];
+  deliver 2 wb;
+  Alcotest.(check bool) "equivocation splits the roots" false
+    (Audit.roots_agree w.servers);
+  Alcotest.(check bool) "the honest majority agrees" true
+    (Audit.roots_agree [| w.servers.(0); w.servers.(1); w.servers.(3) |]);
+  (* Localization: server 2 proves it was given vb; a server that never
+     saw vb cannot produce a proof for it. *)
+  (match Audit.prove_write w.servers.(2) wb with
+  | None -> Alcotest.fail "server 2 cannot prove its own entry"
+  | Some (proof, commitment) ->
+    Alcotest.(check bool) "divergent entry provable where it lives" true
+      (Audit.check_proof commitment wb proof);
+    Alcotest.(check bool) "proof does not transfer to the other value" false
+      (Audit.check_proof commitment wa proof));
+  Alcotest.(check bool) "no proof of vb from an honest server" true
+    (Audit.prove_write w.servers.(0) wb = None)
+
+(* A tamperer that advertises a sky-high stamp in meta replies but, when
+   the client fetches that stamp, hands over its genuine (stale) freshest
+   write.  The signed value is older than the claim, which is exactly the
+   stamp-regression misbehaviour the client can prove.  Everything else
+   (writes, gossip ingestion) passes through to the real server. *)
+let stamp_regression_tamperer server ~now ~from payload =
+  match Payload.decode_envelope payload with
+  | None -> None
+  | Some env ->
+    let freshest uid =
+      match
+        Server.handle server ~now ~from
+          { env with Payload.request = Payload.Meta_query { uid } }
+      with
+      | Some (Payload.Meta_reply { stamp; _ }) -> stamp
+      | _ -> None
+    in
+    let resp =
+      match env.Payload.request with
+      | Payload.Meta_query _ ->
+        (match Server.handle server ~now ~from env with
+        | Some (Payload.Meta_reply { stamp = Some _; writer_faulty }) ->
+          Some
+            (Payload.Meta_reply
+               { stamp = Some (Stamp.scalar 1_000_000_000); writer_faulty })
+        | r -> r)
+      | Payload.Value_read { uid; stamp = _ } ->
+        (match freshest uid with
+        | Some s ->
+          Server.handle server ~now ~from
+            { env with Payload.request = Payload.Value_read { uid; stamp = s } }
+        | None -> Some (Payload.Value_reply None))
+      | _ -> Server.handle server ~now ~from env
+    in
+    Option.map Payload.encode_response resp
+
+(* A tampering server rolled back to stale state that inflates its meta
+   claims: the client proves the misbehaviour (stamp regression), the
+   evidence store excludes the server, and auditing first exposes the
+   rollback and then confirms gossip repaired it. *)
+let test_evidence_and_audit_catch_rollback () =
+  let w = make_world () in
+  let evidence = Fault_evidence.create ~servers:(List.init 4 Fun.id) ~b:1 in
+  in_world w (fun () ->
+      let alice =
+        connect w "alice" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      ok (Client.write alice ~item:"x" "v1");
+      let stale = Server.snapshot w.servers.(0) in
+      ok (Client.write alice ~item:"x" "v2");
+      flood w;
+      (* Roll server 0 back to the v1-only state and make it lie about
+         freshness: its meta replies now claim a stamp it cannot back. *)
+      (match
+         Server.restore ~id:0 ~keyring:w.keyring ~n:w.n ~b:w.b stale
+       with
+      | None -> Alcotest.fail "snapshot did not restore"
+      | Some rolled_back ->
+        w.servers.(0) <- rolled_back;
+        w.hmap.(0) <- stamp_regression_tamperer rolled_back);
+      Alcotest.(check bool) "audit exposes the rollback" false
+        (Audit.roots_agree w.servers);
+      (* Alice's context demands v2; server 0's inflated claim sorts
+         first, the fetch comes back too old, and that mismatch is a
+         proof of misbehaviour. The read still succeeds elsewhere. *)
+      Alcotest.(check string) "read survives the tamperer" "v2"
+        (ok (Client.read alice ~item:"x"));
+      Alcotest.(check bool) "server 0 proven faulty" true
+        (Fault_evidence.is_proven evidence 0);
+      Alcotest.(check bool) "proof is a stamp regression" true
+        (Fault_evidence.proof_of evidence 0
+        = Some Fault_evidence.Stamp_regression);
+      Alcotest.(check int) "effective b drops" 0
+        (Fault_evidence.effective_b evidence);
+      Alcotest.(check bool) "reads now avoid the proven server" true
+        (not (List.mem 0 (Fault_evidence.preferred_servers evidence))));
+  (* Anti-entropy repair (section 5.2): an honest peer forwards its whole
+     signed write for the item; the rolled-back server re-verifies the
+     client signature and reinstalls v2 (the tamperer corrupts replies,
+     not ingestion), and the audit roots re-converge. *)
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  (match Server.current_write w.servers.(1) uid with
+  | None -> Alcotest.fail "honest server lost v2"
+  | Some w2 ->
+    ignore
+      (Server.handle w.servers.(0) ~now:0.0 ~from:1
+         {
+           Payload.token = None;
+           request = Payload.Gossip_push { writes = [ w2 ]; have = [] };
+         }));
+  Alcotest.(check bool) "audit confirms repair after re-push" true
+    (Audit.roots_agree w.servers)
+
 (* ------------------------------------------------------------------ *)
 (* Paper cost formulas (the section 6 accounting, as tests)           *)
 (* ------------------------------------------------------------------ *)
@@ -2032,6 +2164,10 @@ let () =
         [
           Alcotest.test_case "proofs" `Quick test_audit_proofs;
           Alcotest.test_case "divergence" `Quick test_audit_detects_divergence;
+          Alcotest.test_case "localizes equivocation" `Quick
+            test_audit_localizes_equivocation;
+          Alcotest.test_case "rollback proven and repaired" `Quick
+            test_evidence_and_audit_catch_rollback;
         ] );
       ( "costs",
         [

@@ -780,6 +780,15 @@ let test_byzantine_hosts () =
             "the real value"
             (ok (Store.Client.read alice ~item:"x"))))
 
+(* The heaviest cases here spend most of their time in real sleeps
+   (reconnect backoff, gossip requeue timers).  They run in CI and under
+   SOAK=1 locally, and are skipped otherwise to keep the default
+   [dune runtest] loop snappy. *)
+let soak = Sys.getenv_opt "SOAK" = Some "1"
+
+let soak_case name speed fn =
+  Alcotest.test_case name speed (fun () -> if soak then fn () else Alcotest.skip ())
+
 let () =
   Alcotest.run "tcpnet"
     [
@@ -804,15 +813,15 @@ let () =
             test_pipelined_out_of_order;
           Alcotest.test_case "framed errors" `Quick test_framed_errors;
           Alcotest.test_case "reconnect after restart" `Quick test_pool_reconnect;
-          Alcotest.test_case "backoff cap" `Quick test_backoff_cap;
+          soak_case "backoff cap" `Quick test_backoff_cap;
           Alcotest.test_case "concurrent quorum clients" `Quick
             test_concurrent_quorum_clients;
         ] );
       ( "robustness",
         [
-          Alcotest.test_case "gossip requeue to dead peer" `Quick
+          soak_case "gossip requeue to dead peer" `Quick
             test_gossip_requeue_dead_peer;
-          Alcotest.test_case "pool health and suspicion" `Quick
+          soak_case "pool health and suspicion" `Quick
             test_pool_health_suspicion;
           Alcotest.test_case "live context reconstruction" `Quick
             test_live_context_reconstruction;
