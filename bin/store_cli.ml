@@ -150,9 +150,161 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc:"Self-contained networked demo") Term.(const run $ const ())
 
+(* --- stats: scrape a server's /metrics and pretty-print ----------------- *)
+
+(* One exposition sample: "name{l=\"v\",...} value". The label parser is
+   deliberately simple — our label values (endpoints, op and phase
+   names) never contain commas or escaped quotes. *)
+let parse_sample line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some sp -> (
+    let metric = String.sub line 0 sp in
+    match float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1)) with
+    | None -> None
+    | Some v ->
+      let name, labels =
+        match String.index_opt metric '{' with
+        | None -> (metric, [])
+        | Some i when String.length metric > i + 1 && metric.[String.length metric - 1] = '}' ->
+          let name = String.sub metric 0 i in
+          let inner = String.sub metric (i + 1) (String.length metric - i - 2) in
+          let labels =
+            List.filter_map
+              (fun kv ->
+                match String.index_opt kv '=' with
+                | None -> None
+                | Some eq ->
+                  let k = String.sub kv 0 eq in
+                  let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+                  let v =
+                    if String.length v >= 2 && v.[0] = '"' then
+                      String.sub v 1 (String.length v - 2)
+                    else v
+                  in
+                  Some (k, v))
+              (String.split_on_char ',' inner)
+          in
+          (name, labels)
+        | Some _ -> (metric, [])
+      in
+      Some (name, labels, v))
+
+let pp_dur_s fmt s =
+  if s < 1e-3 then Format.fprintf fmt "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf fmt "%.2fms" (s *. 1e3)
+  else Format.fprintf fmt "%.3fs" s
+
+(* Nearest-rank percentile from cumulative buckets, same convention the
+   server used to fill them: first bucket whose cumulative count covers
+   the rank; its upper bound is the answer. *)
+let bucket_percentile buckets total p =
+  if total = 0 then 0.0
+  else begin
+    let rank = max 1 (min total (int_of_float (ceil (p /. 100.0 *. float_of_int total)))) in
+    let rec find = function
+      | [] -> 0.0
+      | (le, cum) :: rest -> if cum >= rank then le else find rest
+    in
+    find buckets
+  end
+
+let stats_cmd =
+  let run host port spans =
+    (match Tcpnet.Metrics_http.get ~host ~port ~path:"/metrics" () with
+    | Error e -> failwith ("scrape http://" ^ host ^ ":" ^ string_of_int port ^ "/metrics failed: " ^ e)
+    | Ok body ->
+      let lines = String.split_on_char '\n' body in
+      (* Histograms reassemble from their _bucket samples, keyed by base
+         name + labels minus "le"; everything else prints as-is. *)
+      let histos : (string * (string * string) list, (float * int) list ref) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let scalars = ref [] in
+      List.iter
+        (fun line ->
+          if line <> "" && line.[0] <> '#' then
+            match parse_sample line with
+            | None -> ()
+            | Some (name, labels, v) ->
+              if Filename.check_suffix name "_bucket" then begin
+                let base = Filename.chop_suffix name "_bucket" in
+                let le =
+                  match List.assoc_opt "le" labels with
+                  | Some "+Inf" -> infinity
+                  | Some s -> (try float_of_string s with _ -> infinity)
+                  | None -> infinity
+                in
+                let rest =
+                  List.sort compare (List.remove_assoc "le" labels)
+                in
+                let cell =
+                  match Hashtbl.find_opt histos (base, rest) with
+                  | Some c -> c
+                  | None ->
+                    let c = ref [] in
+                    Hashtbl.add histos (base, rest) c;
+                    c
+                in
+                cell := (le, int_of_float v) :: !cell
+              end
+              else if
+                Filename.check_suffix name "_sum"
+                || Filename.check_suffix name "_count"
+              then () (* folded into the histogram line below *)
+              else scalars := (name, labels, v) :: !scalars)
+        lines;
+      let pp_labels fmt = function
+        | [] -> ()
+        | labels ->
+          Format.fprintf fmt "{%s}"
+            (String.concat ","
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+      in
+      Format.printf "@[<v>== scalars ==@,";
+      List.iter
+        (fun (name, labels, v) ->
+          Format.printf "%s%a %.0f@," name pp_labels labels v)
+        (List.sort compare !scalars);
+      Format.printf "@,== latency histograms ==@,";
+      let entries =
+        List.sort compare
+          (Hashtbl.fold (fun k c acc -> (k, List.sort compare !c) :: acc) histos [])
+      in
+      List.iter
+        (fun ((base, labels), buckets) ->
+          let total =
+            match List.rev buckets with (_, cum) :: _ -> cum | [] -> 0
+          in
+          Format.printf "%s%a n=%d p50=%a p95=%a p99=%a@," base pp_labels
+            labels total pp_dur_s
+            (bucket_percentile buckets total 50.0)
+            pp_dur_s
+            (bucket_percentile buckets total 95.0)
+            pp_dur_s
+            (bucket_percentile buckets total 99.0))
+        entries;
+      Format.printf "@]@?");
+    if spans then
+      match Tcpnet.Metrics_http.get ~host ~port ~path:"/spans" () with
+      | Error e -> failwith ("scrape /spans failed: " ^ e)
+      | Ok body -> Printf.printf "%s\n" body
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Metrics host.") in
+  let port =
+    Arg.(required & opt (some int) None
+         & info [ "metrics-port"; "p" ] ~doc:"The server's --metrics-port.")
+  in
+  let spans =
+    Arg.(value & flag & info [ "spans" ] ~doc:"Also dump the span journal (/spans JSON).")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Scrape a server's /metrics endpoint and pretty-print it")
+    Term.(const run $ host $ port $ spans)
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "store_cli" ~doc:"Secure distributed store client (DSN 2001 reproduction)")
-          [ write_cmd; read_cmd; demo_cmd ]))
+          [ write_cmd; read_cmd; demo_cmd; stats_cmd ]))

@@ -8,7 +8,7 @@
 open Cmdliner
 
 let run id port n b clients guard log_depth peers gossip_period snapshot
-    snapshot_period stats_period =
+    snapshot_period stats_period metrics_port =
   let keyring = Keys.keyring (Keys.split_commas clients) in
   let config =
     {
@@ -56,29 +56,64 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
   Printf.printf "secure store server %d/%d (b=%d, guard=%b) listening on 127.0.0.1:%d\n%!"
     id n b guard
     (Tcpnet.Server_host.port host);
+  (* Exposition endpoint: /metrics (Prometheus text format) and /spans
+     (the recent-span journal as JSON). Serving it turns tracing on —
+     the span phases are the point of scraping. *)
+  (match metrics_port with
+  | None -> ()
+  | Some mport ->
+    Obs.Span.set_enabled true;
+    let routes =
+      [
+        ( "/metrics",
+          fun () ->
+            ( Obs.Expo.content_type,
+              Obs.Expo.render
+                (Store.Metrics.families () @ [ Obs.Span.phase_family () ]) ) );
+        ( "/spans",
+          fun () -> ("application/json", Obs.Span.spans_json ~limit:64 ()) );
+      ]
+    in
+    let http = Tcpnet.Metrics_http.start ~port:mport ~routes () in
+    Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+      (Tcpnet.Metrics_http.port http));
   (if stats_period > 0.0 then
+     let pp_peers now fmt hs =
+       List.iter
+         (fun h ->
+           Format.fprintf fmt "@,stats: peer %a"
+             (Store.Metrics.pp_endpoint_health ~now) h)
+         hs
+     in
      ignore
        (Thread.create
           (fun () ->
             while true do
               Thread.delay stats_period;
               let m = Store.Metrics.read () in
-              Printf.printf
-                "stats: %d items | %d msgs, %d server verifies (%d RSA) | \
-                 transport: %d connects, %d reuses, %d reconnects, %d \
-                 in-flight peak\n%!"
+              let rpc = Store.Metrics.rpc_latency_stats () in
+              let now = Unix.gettimeofday () in
+              let ms ns = ns /. 1e6 in
+              (* One Format call for the whole report: a multi-server
+                 launch script interleaves stdout per line, and a report
+                 torn across servers is worse than none. *)
+              Format.printf
+                "@[<v>stats: %d items, %d gossip queued | %d msgs, %d \
+                 server verifies (%d RSA) | transport: %d connects, %d \
+                 reuses, %d reconnects, %d in-flight peak | rpc: %d \
+                 rounds, p50=%.2fms p95=%.2fms p99=%.2fms%a@]@."
                 (Store.Server.item_count server)
+                (Store.Server.gossip_pending server)
                 m.Store.Metrics.messages m.Store.Metrics.server_verifies
                 (Store.Metrics.rsa_verifies m)
                 m.Store.Metrics.tcp_connects m.Store.Metrics.tcp_reuses
                 m.Store.Metrics.tcp_reconnects
-                (Store.Metrics.inflight_high_water ());
-              (* Gossip-peer health, as seen by this server's pool. *)
-              let now = Unix.gettimeofday () in
-              List.iter
-                (fun h ->
-                  Format.printf "stats: peer %a@."
-                    (Store.Metrics.pp_endpoint_health ~now) h)
+                (Store.Metrics.inflight_high_water ())
+                rpc.Store.Metrics.rpc_count
+                (ms rpc.Store.Metrics.p50_ns)
+                (ms rpc.Store.Metrics.p95_ns)
+                (ms rpc.Store.Metrics.p99_ns)
+                (pp_peers now)
                 (Store.Metrics.endpoint_health ())
             done)
           ()));
@@ -123,9 +158,16 @@ let cmd =
          & info [ "stats-period" ]
              ~doc:"Seconds between metrics reports on stdout (0 = off).")
   in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ]
+             ~doc:"Serve /metrics (Prometheus text format) and /spans \
+                   (JSON span journal) on this port; enables tracing. \
+                   0 = ephemeral.")
+  in
   Cmd.v
     (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
     Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
-          $ snapshot $ snapshot_period $ stats_period)
+          $ snapshot $ snapshot_period $ stats_period $ metrics_port)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,106 @@
+type labels = (string * string) list
+
+type metric =
+  | Counter of (labels * float) list
+  | Gauge of (labels * float) list
+  | Histogram of (labels * Histo.t) list
+
+type family = { name : string; help : string; metric : metric }
+
+let counter ~name ~help ?(labels = []) v =
+  { name; help; metric = Counter [ (labels, v) ] }
+
+let gauge ~name ~help ?(labels = []) v =
+  { name; help; metric = Gauge [ (labels, v) ] }
+
+let family ~name ~help metric = { name; help; metric }
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+(* Label values may carry error strings; quotes, backslashes and
+   newlines must not break the line-oriented format. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_labels buf = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let add_value buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" v)
+
+let add_sample buf name labels v =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  add_value buf v;
+  Buffer.add_char buf '\n'
+
+let add_histogram buf name labels h =
+  let cum = Histo.cumulative h in
+  Array.iteri
+    (fun i bound ->
+      add_sample buf (name ^ "_bucket")
+        (labels @ [ ("le", Printf.sprintf "%.9g" (bound /. 1e9)) ])
+        (float_of_int cum.(i)))
+    Histo.bounds;
+  add_sample buf (name ^ "_bucket")
+    (labels @ [ ("le", "+Inf") ])
+    (float_of_int cum.(Histo.bucket_count));
+  add_sample buf (name ^ "_sum") labels (Histo.sum h /. 1e9);
+  add_sample buf (name ^ "_count") labels (float_of_int (Histo.count h))
+
+let render families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf "# HELP ";
+      Buffer.add_string buf f.name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (escape_help f.help);
+      Buffer.add_string buf "\n# TYPE ";
+      Buffer.add_string buf f.name;
+      (match f.metric with
+      | Counter samples ->
+        Buffer.add_string buf " counter\n";
+        List.iter (fun (labels, v) -> add_sample buf f.name labels v) samples
+      | Gauge samples ->
+        Buffer.add_string buf " gauge\n";
+        List.iter (fun (labels, v) -> add_sample buf f.name labels v) samples
+      | Histogram histos ->
+        Buffer.add_string buf " histogram\n";
+        List.iter (fun (labels, h) -> add_histogram buf f.name labels h) histos))
+    families;
+  Buffer.contents buf

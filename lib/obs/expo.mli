@@ -1,0 +1,31 @@
+(** Prometheus-style text exposition (format version 0.0.4).
+
+    Pure rendering: callers assemble {!family} values from whatever
+    counters, gauges and {!Histo} instances they own, and {!render}
+    produces the text a scraper expects — one [# HELP]/[# TYPE] pair per
+    family, samples with escaped labels, histograms as cumulative
+    [_bucket] series (with [le="+Inf"]) plus [_sum] and [_count].
+
+    Histogram bucket bounds and sums are converted from the histograms'
+    nanoseconds to seconds, the Prometheus convention for durations. *)
+
+type labels = (string * string) list
+
+type metric =
+  | Counter of (labels * float) list
+  | Gauge of (labels * float) list
+  | Histogram of (labels * Histo.t) list
+
+type family = { name : string; help : string; metric : metric }
+
+val counter : name:string -> help:string -> ?labels:labels -> float -> family
+(** Single-sample counter family. *)
+
+val gauge : name:string -> help:string -> ?labels:labels -> float -> family
+
+val family : name:string -> help:string -> metric -> family
+
+val content_type : string
+(** The value to serve in the HTTP [Content-Type] header. *)
+
+val render : family list -> string

@@ -1,0 +1,129 @@
+(* Counters over geometrically spaced buckets. A mutex (not atomics)
+   guards each histogram: observations are a handful of loads and
+   stores, so the lock is uncontended in practice and keeps merge and
+   snapshot trivially consistent. *)
+
+let decades = 10 (* buckets per decade *)
+let bucket_count = 100 (* 100 ns .. ~794 s *)
+
+let bounds =
+  Array.init bucket_count (fun i ->
+      100.0 *. (10.0 ** (float_of_int i /. float_of_int decades)))
+
+(* Binary search for the first bound >= v: deterministic against the
+   precomputed bounds (no float-log round-tripping), which is what lets
+   the percentile oracle test demand exact bucket agreement. *)
+let bucket_of v =
+  if v <= bounds.(0) then 0
+  else if v > bounds.(bucket_count - 1) then bucket_count
+  else begin
+    let lo = ref 0 and hi = ref (bucket_count - 1) in
+    (* invariant: bounds.(!lo) < v <= bounds.(!hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+type t = {
+  buckets : int array; (* bucket_count + 1: last is overflow *)
+  mutable n : int;
+  mutable total : float;
+  mutable peak : float;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    buckets = Array.make (bucket_count + 1) 0;
+    n = 0;
+    total = 0.0;
+    peak = 0.0;
+    lock = Mutex.create ();
+  }
+
+let observe t v =
+  let v = if v < 0.0 then 0.0 else v in
+  let i = bucket_of v in
+  Mutex.lock t.lock;
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v > t.peak then t.peak <- v;
+  Mutex.unlock t.lock
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.n in
+  Mutex.unlock t.lock;
+  n
+
+let sum t =
+  Mutex.lock t.lock;
+  let s = t.total in
+  Mutex.unlock t.lock;
+  s
+
+let max_value t =
+  Mutex.lock t.lock;
+  let m = t.peak in
+  Mutex.unlock t.lock;
+  m
+
+let counts t =
+  Mutex.lock t.lock;
+  let c = Array.copy t.buckets in
+  Mutex.unlock t.lock;
+  c
+
+let cumulative t =
+  let c = counts t in
+  for i = 1 to bucket_count do
+    c.(i) <- c.(i) + c.(i - 1)
+  done;
+  c
+
+let percentile t p =
+  Mutex.lock t.lock;
+  let n = t.n in
+  let c = Array.copy t.buckets in
+  let peak = t.peak in
+  Mutex.unlock t.lock;
+  if n = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      max 1 (min n r)
+    in
+    let rec find i cum =
+      let cum = cum + c.(i) in
+      if cum >= rank then i else find (i + 1) cum
+    in
+    let i = find 0 0 in
+    if i >= bucket_count then peak else bounds.(i)
+  end
+
+let merge a b =
+  let t = create () in
+  let add src =
+    Mutex.lock src.lock;
+    for i = 0 to bucket_count do
+      t.buckets.(i) <- t.buckets.(i) + src.buckets.(i)
+    done;
+    t.n <- t.n + src.n;
+    t.total <- t.total +. src.total;
+    if src.peak > t.peak then t.peak <- src.peak;
+    Mutex.unlock src.lock
+  in
+  add a;
+  add b;
+  t
+
+let reset t =
+  Mutex.lock t.lock;
+  Array.fill t.buckets 0 (bucket_count + 1) 0;
+  t.n <- 0;
+  t.total <- 0.0;
+  t.peak <- 0.0;
+  Mutex.unlock t.lock

@@ -1,0 +1,57 @@
+(** Fixed-bucket log-scale latency histograms.
+
+    The observability layer's primitive: a small array of counters over
+    geometrically spaced duration buckets (10 per decade from 100 ns to
+    ~13 min), plus running count/sum/max. Observations are O(log buckets)
+    and touch no heap; histograms merge by adding counters, so per-thread
+    or per-endpoint instances can be combined for exposition.
+
+    Bucket semantics follow Prometheus: bucket [i] counts observations
+    [v <= bounds.(i)] (cumulative rendering happens at exposition time);
+    everything above the last finite bound lands in the overflow bucket.
+    All durations are in nanoseconds. *)
+
+type t
+
+val bucket_count : int
+(** Number of finite buckets (the overflow bucket is extra). *)
+
+val bounds : float array
+(** Upper bounds of the finite buckets, ascending, in nanoseconds.
+    [Array.length bounds = bucket_count]. *)
+
+val bucket_of : float -> int
+(** Index of the bucket an observation falls into: the first [i] with
+    [v <= bounds.(i)], or [bucket_count] for the overflow bucket. *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one duration (ns). Negative values clamp to zero. *)
+
+val count : t -> int
+val sum : t -> float
+val max_value : t -> float
+(** Largest observation seen ([0.] when empty) — gives the overflow
+    bucket a meaningful percentile answer. *)
+
+val counts : t -> int array
+(** Snapshot of per-bucket (non-cumulative) counts, length
+    [bucket_count + 1]; the last entry is the overflow bucket. *)
+
+val cumulative : t -> int array
+(** Snapshot of cumulative counts, length [bucket_count + 1];
+    [cumulative.(bucket_count) = count]. *)
+
+val percentile : t -> float -> float
+(** Nearest-rank percentile resolved to the upper bound of the bucket
+    containing the rank ([max_value] for the overflow bucket, [0.] when
+    empty). Exact statement: for any sample multiset, [percentile h p]
+    equals [bounds.(bucket_of v)] where [v] is the nearest-rank
+    percentile of the sorted samples — the property the oracle test
+    checks. *)
+
+val merge : t -> t -> t
+(** A fresh histogram whose counters are the sums of both inputs. *)
+
+val reset : t -> unit

@@ -1,0 +1,316 @@
+type phase = { pname : string; pstart_ns : float; pdur_ns : float }
+
+(* Rpc pairs are kept structured and only rendered when a span is
+   dumped: annotating a quorum round then costs a cons, not a string
+   build, on the transport hot path. *)
+type attr = Text of string | Rpc of (string * int) list
+
+let attr_text = function
+  | Text s -> s
+  | Rpc pairs ->
+    let b = Buffer.create 48 in
+    Buffer.add_string b "rpc";
+    List.iter
+      (fun (ep, id) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b ep;
+        Buffer.add_char b '#';
+        Buffer.add_string b (string_of_int id))
+      pairs;
+    Buffer.contents b
+
+type closed = {
+  id : int;
+  op : string;
+  thread : int;
+  start : float;
+  dur_ns : float;
+  phases : phase list;
+  attrs : attr list;
+}
+
+(* A span being built on some thread. Phases and attrs accumulate
+   reversed; [path] is the stack of open phase names. *)
+type live = {
+  lid : int;
+  lop : string;
+  lthread : int;
+  lstart : float;
+  mutable lphases : phase list;
+  mutable lattrs : attr list;
+  mutable path : string list;
+}
+
+let on = ref false
+let set_enabled v = on := v
+let enabled () = !on
+
+(* Per-OS-thread active span. The table is only touched when tracing is
+   enabled, and each thread only ever writes its own binding; the lock
+   covers the table structure itself. *)
+let tls : (int, live) Hashtbl.t = Hashtbl.create 16
+let tls_lock = Mutex.create ()
+
+(* Guarded by [tls_lock]: span ids are only minted while installing the
+   thread's binding, so the counter rides the same critical section. *)
+let id_counter = ref 0
+
+let self_id () = Thread.id (Thread.self ())
+
+let current () =
+  let tid = self_id () in
+  Mutex.lock tls_lock;
+  let l = Hashtbl.find_opt tls tid in
+  Mutex.unlock tls_lock;
+  l
+
+let current_id () =
+  if not !on then None
+  else match current () with Some l -> Some l.lid | None -> None
+
+let add_attr a =
+  match current () with
+  | Some l -> l.lattrs <- a :: l.lattrs
+  | None -> ()
+
+let annotate s = if !on then add_attr (Text s)
+let annotate_rpc pairs = if !on then add_attr (Rpc pairs)
+
+(* --- phase-duration registry ------------------------------------------- *)
+
+let registry : (string * string, Histo.t) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let histo_locked key =
+  match Hashtbl.find_opt registry key with
+  | Some h -> h
+  | None ->
+    let h = Histo.create () in
+    Hashtbl.add registry key h;
+    h
+
+let phase_stats () =
+  Mutex.lock registry_lock;
+  let all =
+    Hashtbl.fold (fun (op, phase) h acc -> (op, phase, h) :: acc) registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun (o1, p1, _) (o2, p2, _) ->
+      match String.compare o1 o2 with 0 -> String.compare p1 p2 | c -> c)
+    all
+
+let phase_histo ~op ~phase =
+  Mutex.lock registry_lock;
+  let h = Hashtbl.find_opt registry (op, phase) in
+  Mutex.unlock registry_lock;
+  h
+
+let phase_family ?(name = "securestore_phase_duration_seconds") () =
+  Expo.family ~name
+    ~help:"Per-operation phase durations from tracing spans."
+    (Expo.Histogram
+       (List.map
+          (fun (op, ph, h) -> ([ ("op", op); ("phase", ph) ], h))
+          (phase_stats ())))
+
+let reset_stats () =
+  Mutex.lock registry_lock;
+  Hashtbl.reset registry;
+  Mutex.unlock registry_lock
+
+(* --- journal ------------------------------------------------------------ *)
+
+(* Ring buffer of completed spans: slot [total mod capacity] is written
+   next, so the buffer always holds the newest [capacity] spans. *)
+let journal_lock = Mutex.create ()
+let journal = ref (Array.make 256 None)
+let journal_total = ref 0
+
+let set_journal_capacity cap =
+  let cap = max 1 cap in
+  Mutex.lock journal_lock;
+  journal := Array.make cap None;
+  journal_total := 0;
+  Mutex.unlock journal_lock
+
+let reset_journal () =
+  Mutex.lock journal_lock;
+  Array.fill !journal 0 (Array.length !journal) None;
+  journal_total := 0;
+  Mutex.unlock journal_lock
+
+let journal_add c =
+  Mutex.lock journal_lock;
+  let arr = !journal in
+  arr.(!journal_total mod Array.length arr) <- Some c;
+  incr journal_total;
+  Mutex.unlock journal_lock
+
+let recent ?limit () =
+  Mutex.lock journal_lock;
+  let arr = Array.copy !journal in
+  let total = !journal_total in
+  Mutex.unlock journal_lock;
+  let cap = Array.length arr in
+  let stored = min total cap in
+  let wanted = match limit with Some l -> min l stored | None -> stored in
+  (* Newest first: walk backwards from the last written slot. *)
+  List.filter_map
+    (fun i -> arr.((total - 1 - i + (cap * 2)) mod cap))
+    (List.init wanted Fun.id)
+
+(* --- JSON dump ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_json buf c =
+  Printf.bprintf buf
+    "{\"id\":%d,\"op\":\"%s\",\"thread\":%d,\"start\":%.6f,\"dur_ns\":%.0f,"
+    c.id (json_escape c.op) c.thread c.start c.dur_ns;
+  Buffer.add_string buf "\"attrs\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%s\"" (json_escape (attr_text a)))
+    c.attrs;
+  Buffer.add_string buf "],\"phases\":[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"name\":\"%s\",\"start_ns\":%.0f,\"dur_ns\":%.0f}"
+        (json_escape p.pname) p.pstart_ns p.pdur_ns)
+    c.phases;
+  Buffer.add_string buf "]}"
+
+let spans_json ?limit () =
+  let spans = recent ?limit () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"spans\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      span_json buf c)
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* --- span construction -------------------------------------------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let close_span l =
+  let stop = now () in
+  let dur_ns = (stop -. l.lstart) *. 1e9 in
+  let phases = List.rev l.lphases in
+  let c =
+    {
+      id = l.lid;
+      op = l.lop;
+      thread = l.lthread;
+      start = l.lstart;
+      dur_ns;
+      phases;
+      attrs = List.rev l.lattrs;
+    }
+  in
+  (* One registry lock for the whole span (total + every phase) rather
+     than a lock round-trip per phase. *)
+  Mutex.lock registry_lock;
+  let total_h = histo_locked (l.lop, "total") in
+  let phase_hs =
+    List.map (fun p -> (histo_locked (l.lop, p.pname), p.pdur_ns)) phases
+  in
+  Mutex.unlock registry_lock;
+  Histo.observe total_h dur_ns;
+  List.iter (fun (h, d) -> Histo.observe h d) phase_hs;
+  journal_add c
+
+let run_phase l name f =
+  let path = name :: l.path in
+  (* Unnested phases (the overwhelmingly common case) keep their name
+     as-is — no list reversal, no concatenation. *)
+  let pname =
+    match path with [ only ] -> only | _ -> String.concat "/" (List.rev path)
+  in
+  l.path <- path;
+  let t0 = now () in
+  (* Hand-rolled protect: this runs per phase on the hot path, and
+     [Fun.protect]'s closure is measurable there. *)
+  let finish () =
+    let t1 = now () in
+    l.lphases <-
+      {
+        pname;
+        pstart_ns = (t0 -. l.lstart) *. 1e9;
+        pdur_ns = (t1 -. t0) *. 1e9;
+      }
+      :: l.lphases;
+    l.path <- (match l.path with _ :: rest -> rest | [] -> [])
+  in
+  match f () with
+  | r ->
+    finish ();
+    r
+  | exception e ->
+    finish ();
+    raise e
+
+let with_phase name f =
+  if not !on then f ()
+  else match current () with None -> f () | Some l -> run_phase l name f
+
+let with_op op f =
+  if not !on then f ()
+  else
+    match current () with
+    | Some l ->
+      (* An op inside an op: the inner operation is a phase of the
+         outer one (a connect's context read, say). *)
+      run_phase l op f
+    | None ->
+      let tid = self_id () in
+      let start = now () in
+      Mutex.lock tls_lock;
+      incr id_counter;
+      let l =
+        {
+          lid = !id_counter;
+          lop = op;
+          lthread = tid;
+          lstart = start;
+          lphases = [];
+          lattrs = [];
+          path = [];
+        }
+      in
+      Hashtbl.replace tls tid l;
+      Mutex.unlock tls_lock;
+      let finish () =
+        Mutex.lock tls_lock;
+        Hashtbl.remove tls tid;
+        Mutex.unlock tls_lock;
+        close_span l
+      in
+      (match f () with
+      | r ->
+        finish ();
+        r
+      | exception e ->
+        finish ();
+        raise e)

@@ -1,0 +1,105 @@
+(** Hierarchical tracing spans.
+
+    Every instrumented operation opens a {e span} ({!with_op}) and marks
+    the interesting stretches inside it as {e phases} ({!with_phase}):
+    quorum poll, value fetch, signature verify, backoff wait, and so on.
+    Phases nest — an inner phase's name is recorded as
+    ["outer/inner"] — and an op opened while another op is active on the
+    same thread becomes a phase of the outer op, so layered code (a
+    connect that performs a context read) composes without coordination.
+
+    Two things happen when a span closes:
+
+    - its total duration and every phase duration are recorded into a
+      global registry of {!Histo} histograms keyed by [(op, phase)]
+      (phase ["total"] is the whole span), the source of the per-phase
+      percentiles the bench and the [/metrics] endpoint report;
+    - the completed span (with phases and attributes) is appended to a
+      bounded ring-buffer journal that always keeps the newest spans,
+      dumpable as JSON via [/spans] for post-mortem of a slow or failed
+      operation.
+
+    Tracing is globally disabled by default. When disabled, {!with_op}
+    and {!with_phase} run their argument with nothing but a flag check —
+    no clock reads, no allocation, no locking — so instrumented hot
+    paths pay nothing (the <3% tracing-on budget is measured by bench
+    e17). Span state is per-OS-thread; the simulation engine's
+    single-thread cooperative scheduling would interleave clients, so
+    enable tracing only around live-transport (or single-client
+    in-process) work. *)
+
+type phase = {
+  pname : string;  (** "/"-joined nesting path *)
+  pstart_ns : float;  (** offset from span start, ns *)
+  pdur_ns : float;
+}
+
+(** A span attribute: free text, or transport correlation pairs of
+    (endpoint, correlation id) kept structured so the hot path pays a
+    cons — the ["rpc ep#id ..."] string is built by {!attr_text} only
+    when a span is dumped. *)
+type attr = Text of string | Rpc of (string * int) list
+
+val attr_text : attr -> string
+
+type closed = {
+  id : int;  (** unique, increasing: newest span has the largest id *)
+  op : string;
+  thread : int;  (** OS thread id the span ran on *)
+  start : float;  (** epoch seconds *)
+  dur_ns : float;
+  phases : phase list;  (** in completion order *)
+  attrs : attr list;  (** in emission order *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_op : string -> (unit -> 'a) -> 'a
+(** Run the function under a span named after the operation. Nested
+    calls record as phases of the outermost op. The span closes (and is
+    journaled) even if the function raises. *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** Time a stretch of the current span. Outside any {!with_op} (or with
+    tracing disabled) it just runs the function. *)
+
+val annotate : string -> unit
+(** Attach a free-form attribute to the current span. No-op outside a
+    span. *)
+
+val annotate_rpc : (string * int) list -> unit
+(** Attach (endpoint, correlation id) pairs to the current span without
+    rendering them (see {!attr}). No-op outside a span. *)
+
+val current_id : unit -> int option
+(** Id of this thread's active span, for correlating external records. *)
+
+(** {1 Phase-duration registry} *)
+
+val phase_stats : unit -> (string * string * Histo.t) list
+(** Every [(op, phase, histogram)] recorded so far, sorted by op then
+    phase. The histograms are live references: they keep accumulating. *)
+
+val phase_histo : op:string -> phase:string -> Histo.t option
+
+val phase_family : ?name:string -> unit -> Expo.family
+(** The whole registry as one exposition family of histograms labeled
+    [{op="...",phase="..."}]. Default name
+    [securestore_phase_duration_seconds]. *)
+
+val reset_stats : unit -> unit
+
+(** {1 Span journal} *)
+
+val set_journal_capacity : int -> unit
+(** Resize (and clear) the ring buffer. Default 256 spans. *)
+
+val recent : ?limit:int -> unit -> closed list
+(** Most recent completed spans, newest first. *)
+
+val spans_json : ?limit:int -> unit -> string
+(** [{"spans": [...]}] — newest first; each span carries its op, thread,
+    start, duration, attributes and phase timings (offsets in ns). *)
+
+val reset_journal : unit -> unit

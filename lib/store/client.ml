@@ -236,7 +236,7 @@ let backoff_sleep t ~start ~attempt =
   if Sim.Runtime.now () +. d > start +. t.cfg.op_deadline then false
   else begin
     Metrics.incr_retry ();
-    Sim.Runtime.sleep d;
+    Obs.Span.with_phase "backoff" (fun () -> Sim.Runtime.sleep d);
     true
   end
 
@@ -258,6 +258,7 @@ let best_valid_context t replies =
   in
   (* Verify in freshness order; the first valid record is the answer, so
      the best case costs exactly one verification (section 6). *)
+  Obs.Span.with_phase "verify" @@ fun () ->
   List.find_map
     (fun (from, record) ->
       if Signing.verify_context t.keyring ~client:t.uid ~group:t.group record
@@ -269,16 +270,21 @@ let best_valid_context t replies =
     sorted
 
 let ctx_read t =
+  Obs.Span.with_op "ctx_read" @@ fun () ->
   let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
   let request = Payload.Ctx_read { client = t.uid; group = t.group } in
   let initial = server_set t q in
-  let replies = rpc t ~quorum:q initial request in
+  let replies =
+    Obs.Span.with_phase "ctx_poll" (fun () -> rpc t ~quorum:q initial request)
+  in
   let replies =
     if List.length replies >= q then replies
     else begin
       Metrics.incr_escalation ();
       replies
-      @ rpc t ~quorum:(q - List.length replies) (remaining_servers t initial) request
+      @ Obs.Span.with_phase "escalate" (fun () ->
+            rpc t ~quorum:(q - List.length replies) (remaining_servers t initial)
+              request)
     end
   in
   if List.length replies < q then
@@ -286,11 +292,13 @@ let ctx_read t =
   else Ok (best_valid_context t replies)
 
 let ctx_store t =
+  Obs.Span.with_op "ctx_store" @@ fun () ->
   let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
   t.ctx_seq <- t.ctx_seq + 1;
   let record =
-    Signing.sign_context ~key:t.key ~client:t.uid ~group:t.group ~seq:t.ctx_seq
-      t.ctx
+    Obs.Span.with_phase "sign" (fun () ->
+        Signing.sign_context ~key:t.key ~client:t.uid ~group:t.group
+          ~seq:t.ctx_seq t.ctx)
   in
   let request =
     Payload.Ctx_write { client = t.uid; group = t.group; record }
@@ -299,13 +307,18 @@ let ctx_store t =
     List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
   in
   let initial = server_set t q in
-  let replies = rpc t ~quorum:q initial request in
+  let replies =
+    Obs.Span.with_phase "ctx_write" (fun () -> rpc t ~quorum:q initial request)
+  in
   let got = acks replies in
   let got =
     if got >= q then got
     else begin
       Metrics.incr_escalation ();
-      got + acks (rpc t ~quorum:(q - got) (remaining_servers t initial) request)
+      got
+      + acks
+          (Obs.Span.with_phase "escalate" (fun () ->
+               rpc t ~quorum:(q - got) (remaining_servers t initial) request))
     end
   in
   if got < q then Error (No_quorum { wanted = q; got }) else Ok ()
@@ -316,7 +329,10 @@ let ctx_store t =
    meta-data, then fetch and verify from the freshest claimant downward. *)
 let single_read_round t ~uid ~floor ~set_size =
   let dsts = server_set t set_size in
-  let metas = rpc t ~quorum:set_size dsts (Payload.Meta_query { uid }) in
+  let metas =
+    Obs.Span.with_phase "meta_poll" (fun () ->
+        rpc t ~quorum:set_size dsts (Payload.Meta_query { uid }))
+  in
   let candidates =
     List.filter_map
       (fun (from, resp) ->
@@ -330,12 +346,16 @@ let single_read_round t ~uid ~floor ~set_size =
     List.sort (fun (_, a) (_, b) -> Stamp.compare b a) candidates
   in
   let fetch (from, claimed) =
-    match rpc t ~quorum:1 [ from ] (Payload.Value_read { uid; stamp = claimed }) with
+    match
+      Obs.Span.with_phase "value_fetch" (fun () ->
+          rpc t ~quorum:1 [ from ] (Payload.Value_read { uid; stamp = claimed }))
+    with
     | (_, Payload.Value_reply (Some w)) :: _ ->
       if
         Uid.equal w.Payload.uid uid
         && Stamp.compare w.Payload.stamp floor >= 0
-        && Signing.verify_write t.keyring w
+        && Obs.Span.with_phase "verify" (fun () ->
+               Signing.verify_write t.keyring w)
       then Some w
       else begin
         (* An honest server never stores an unverifiable write and never
@@ -355,7 +375,10 @@ let single_read_round t ~uid ~floor ~set_size =
    context floor. *)
 let inline_read_round t ~uid ~floor ~set_size =
   let dsts = server_set t set_size in
-  let replies = rpc t ~quorum:set_size dsts (Payload.Read_inline { uid }) in
+  let replies =
+    Obs.Span.with_phase "inline_poll" (fun () ->
+        rpc t ~quorum:set_size dsts (Payload.Read_inline { uid }))
+  in
   let candidates =
     List.filter_map
       (fun (from, resp) ->
@@ -372,6 +395,7 @@ let inline_read_round t ~uid ~floor ~set_size =
       (fun ((_, a) : int * Payload.write) (_, b) -> Stamp.compare b.stamp a.stamp)
       candidates
   in
+  Obs.Span.with_phase "verify" @@ fun () ->
   List.find_map
     (fun (from, w) ->
       if Signing.verify_write t.keyring w then Some w
@@ -386,7 +410,10 @@ let inline_read_round t ~uid ~floor ~set_size =
 let multi_read_round t ~uid ~floor ~set_size =
   let vouch_needed = Quorums.mw_vouch ~b:(effective_b t) in
   let dsts = server_set t set_size in
-  let replies = rpc t ~quorum:set_size dsts (Payload.Log_query { uid }) in
+  let replies =
+    Obs.Span.with_phase "log_poll" (fun () ->
+        rpc t ~quorum:set_size dsts (Payload.Log_query { uid }))
+  in
   let table : (Stamp.t, (int list * Payload.write) ref) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -420,7 +447,9 @@ let multi_read_round t ~uid ~floor ~set_size =
         if
           List.length froms >= vouch_needed
           && Stamp.compare stamp floor >= 0
-          && ((not t.cfg.verify_vouched) || Signing.verify_write t.keyring w)
+          && ((not t.cfg.verify_vouched)
+             || Obs.Span.with_phase "verify" (fun () ->
+                    Signing.verify_write t.keyring w))
         then
           match !best with
           | Some (s, _) when Stamp.compare s stamp >= 0 -> ()
@@ -437,6 +466,7 @@ let apply_read_to_context t (w : Payload.write) =
 
 let read_write t ~item =
   ensure_connected t @@ fun () ->
+  Obs.Span.with_op "read" @@ fun () ->
   t.opstats.reads <- t.opstats.reads + 1;
   let uid = Uid.make ~group:t.group ~item in
   let opid = trace_op () in
@@ -526,6 +556,7 @@ let make_stamp t ~value =
 
 let write t ~item value =
   ensure_connected t @@ fun () ->
+  Obs.Span.with_op "write" @@ fun () ->
   t.opstats.writes <- t.opstats.writes + 1;
   let uid = Uid.make ~group:t.group ~item in
   let stamp = make_stamp t ~value in
@@ -543,7 +574,10 @@ let write t ~item value =
       Some t.ctx
     | MRC -> None
   in
-  let w = Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx value in
+  let w =
+    Obs.Span.with_phase "sign" (fun () ->
+        Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx value)
+  in
   let fanout =
     match t.cfg.mode with
     | Single_writer -> Quorums.write_set ~b:(effective_b t)
@@ -566,11 +600,19 @@ let write t ~item value =
          ack cannot double-apply. *)
       let one_round () =
         let initial = server_set t fanout in
-        let got = acks (rpc t ~quorum:fanout initial request) in
+        let got =
+          acks
+            (Obs.Span.with_phase "write_quorum" (fun () ->
+                 rpc t ~quorum:fanout initial request))
+        in
         if got >= fanout then got
         else begin
           Metrics.incr_escalation ();
-          got + acks (rpc t ~quorum:(fanout - got) (remaining_servers t initial) request)
+          got
+          + acks
+              (Obs.Span.with_phase "escalate" (fun () ->
+                   rpc t ~quorum:(fanout - got) (remaining_servers t initial)
+                     request))
         end
       in
       let start = Sim.Runtime.now () in
@@ -600,8 +642,12 @@ let write t ~item value =
 (* Read every item's signed current write from every server; keep, per
    item, the freshest stamp whose signature checks out. *)
 let reconstruct_context t =
+  Obs.Span.with_op "reconstruct" @@ fun () ->
   let request = Payload.Group_query { group = t.group } in
-  let replies = rpc t ~quorum:t.cfg.n t.cfg.servers request in
+  let replies =
+    Obs.Span.with_phase "group_query" (fun () ->
+        rpc t ~quorum:t.cfg.n t.cfg.servers request)
+  in
   let per_item : (string, Payload.write list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (_, resp) ->
@@ -617,19 +663,20 @@ let reconstruct_context t =
       | _ -> ())
     replies;
   let ctx = ref Context.empty in
-  Hashtbl.iter
-    (fun _ cell ->
-      let ordered =
-        List.sort
-          (fun (a : Payload.write) b -> Stamp.compare b.stamp a.stamp)
-          !cell
-      in
-      match
-        List.find_opt (fun w -> Signing.verify_write t.keyring w) ordered
-      with
-      | Some w -> ctx := Context.observe !ctx w.Payload.uid w.Payload.stamp
-      | None -> ())
-    per_item;
+  Obs.Span.with_phase "verify" (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          let ordered =
+            List.sort
+              (fun (a : Payload.write) b -> Stamp.compare b.stamp a.stamp)
+              !cell
+          in
+          match
+            List.find_opt (fun w -> Signing.verify_write t.keyring w) ordered
+          with
+          | Some w -> ctx := Context.observe !ctx w.Payload.uid w.Payload.stamp
+          | None -> ())
+        per_item);
   t.ctx <- Context.merge t.ctx !ctx
 
 let reconstruct t =
@@ -665,6 +712,7 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
         { messages = 0; reads = 0; writes = 0; read_rounds = 0; read_failures = 0 };
     }
   in
+  Obs.Span.with_op "connect" @@ fun () ->
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Connect;
   let finish recovery =
@@ -698,6 +746,7 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
 
 let disconnect t =
   ensure_connected t @@ fun () ->
+  Obs.Span.with_op "disconnect" @@ fun () ->
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Disconnect;
   let result =

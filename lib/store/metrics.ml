@@ -33,13 +33,33 @@ let retries = ref 0
 let escalations = ref 0
 
 (* Transport gauges live outside the snapshot: the in-flight high-water
-   mark and a bounded reservoir of recent RPC round durations (the last
-   [rpc_reservoir_size] samples; percentiles are over that window). *)
+   mark, a log-scale histogram of RPC round durations (fixed counters,
+   mergeable — this replaced the old 4096-sample reservoir), and a
+   registry of per-endpoint RPC-latency histograms filled by the pool
+   when tracing is enabled. *)
 let inflight_hwm = ref 0
-let rpc_reservoir_size = 4096
-let rpc_samples = Array.make rpc_reservoir_size 0.0
-let rpc_sample_count = ref 0
-let rpc_lock = Mutex.create ()
+let rpc_histo = Obs.Histo.create ()
+let ep_histos : (string, Obs.Histo.t) Hashtbl.t = Hashtbl.create 8
+let ep_histos_lock = Mutex.create ()
+
+let endpoint_rpc_histo endpoint =
+  Mutex.lock ep_histos_lock;
+  let h =
+    match Hashtbl.find_opt ep_histos endpoint with
+    | Some h -> h
+    | None ->
+      let h = Obs.Histo.create () in
+      Hashtbl.add ep_histos endpoint h;
+      h
+  in
+  Mutex.unlock ep_histos_lock;
+  h
+
+let endpoint_rpc_histos () =
+  Mutex.lock ep_histos_lock;
+  let all = Hashtbl.fold (fun ep h acc -> (ep, h) :: acc) ep_histos [] in
+  Mutex.unlock ep_histos_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 (* --- per-endpoint transport health (a registry of gauges, like the
    in-flight high-water mark: outside the snapshot) ------------------- *)
@@ -74,6 +94,12 @@ let pp_endpoint_health ~now fmt h =
      else "")
     (match h.last_error with Some e -> ", last error: " ^ e | None -> "")
 
+(* [reset] clears the per-operation counters an experiment snapshots
+   around a measured op — and nothing an operator watches live: the
+   endpoint-health registry and the in-flight high-water mark survive,
+   so a bench or periodic snapshot reset no longer blanks the health
+   view mid-observation. Tests that need a truly pristine slate call
+   [reset_gauges] too. *)
 let reset () =
   messages := 0;
   bytes := 0;
@@ -90,13 +116,16 @@ let reset () =
   rpcs := 0;
   retries := 0;
   escalations := 0;
+  Obs.Histo.reset rpc_histo
+
+let reset_gauges () =
   Mutex.lock health_lock;
   Hashtbl.reset health_tbl;
   Mutex.unlock health_lock;
-  Mutex.lock rpc_lock;
-  inflight_hwm := 0;
-  rpc_sample_count := 0;
-  Mutex.unlock rpc_lock
+  Mutex.lock ep_histos_lock;
+  Hashtbl.reset ep_histos;
+  Mutex.unlock ep_histos_lock;
+  inflight_hwm := 0
 
 let read () =
   {
@@ -155,11 +184,9 @@ let incr_escalation () = incr escalations
 let note_inflight n = if n > !inflight_hwm then inflight_hwm := n
 let inflight_high_water () = !inflight_hwm
 
-let record_rpc_ns ns =
-  Mutex.lock rpc_lock;
-  rpc_samples.(!rpc_sample_count mod rpc_reservoir_size) <- ns;
-  incr rpc_sample_count;
-  Mutex.unlock rpc_lock
+let record_rpc_ns ns = Obs.Histo.observe rpc_histo ns
+
+let rpc_latency_histo () = rpc_histo
 
 type rpc_stats = {
   rpc_count : int;
@@ -170,32 +197,94 @@ type rpc_stats = {
 }
 
 let rpc_latency_stats () =
-  Mutex.lock rpc_lock;
-  let n = min !rpc_sample_count rpc_reservoir_size in
-  let samples = Array.sub rpc_samples 0 n in
-  let count = !rpc_sample_count in
-  Mutex.unlock rpc_lock;
-  if n = 0 then
-    { rpc_count = 0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0; max_ns = 0.0 }
-  else begin
-    Array.sort compare samples;
-    (* Nearest-rank percentile over the retained window. *)
-    let pct p =
-      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-      samples.(max 0 (min (n - 1) (rank - 1)))
-    in
-    {
-      rpc_count = count;
-      p50_ns = pct 50.0;
-      p95_ns = pct 95.0;
-      p99_ns = pct 99.0;
-      max_ns = samples.(n - 1);
-    }
-  end
+  {
+    rpc_count = Obs.Histo.count rpc_histo;
+    p50_ns = Obs.Histo.percentile rpc_histo 50.0;
+    p95_ns = Obs.Histo.percentile rpc_histo 95.0;
+    p99_ns = Obs.Histo.percentile rpc_histo 99.0;
+    max_ns = Obs.Histo.max_value rpc_histo;
+  }
 
 (* Paper-model verification counts stay in [verifies]/[server_verifies];
    the RSA exponentiations actually performed are the cache misses. *)
 let rsa_verifies s = s.sigcache_misses
+
+(* Everything this module tracks, as exposition families for a /metrics
+   scrape: the section 6 counters, the operator gauges (in-flight
+   high-water, per-endpoint health), and the RPC latency histograms
+   (global and per-endpoint). Span phase histograms are Obs.Span's own
+   family; the server binary concatenates both. *)
+let families () =
+  let s = read () in
+  let c name help v =
+    Obs.Expo.counter ~name:("securestore_" ^ name) ~help (float_of_int v)
+  in
+  let counters =
+    [
+      c "messages_total" "Protocol messages, both directions." s.messages;
+      c "bytes_total" "Payload bytes across protocol messages." s.bytes;
+      c "signs_total" "Signatures produced." s.signs;
+      c "verifies_total" "Client-side signature verifications (cost model)."
+        s.verifies;
+      c "server_verifies_total"
+        "Server-side signature verifications (cost model)." s.server_verifies;
+      c "digests_total" "Digest computations." s.digests;
+      c "macs_total" "MAC computations (PBFT-style authenticators)." s.macs;
+      c "sigcache_hits_total" "Verifications answered from the sig cache."
+        s.sigcache_hits;
+      c "sigcache_misses_total" "Verifications that ran the RSA math."
+        s.sigcache_misses;
+      c "tcp_connects_total" "Transport sockets dialed." s.tcp_connects;
+      c "tcp_reuses_total" "RPC submissions reusing a pooled connection."
+        s.tcp_reuses;
+      c "tcp_reconnects_total" "Dials to a previously connected endpoint."
+        s.tcp_reconnects;
+      c "rpcs_total" "Quorum RPC rounds through the pooled transport." s.rpcs;
+      c "retries_total" "Client retry-later rounds." s.retries;
+      c "escalations_total" "Client server-set expansions." s.escalations;
+    ]
+  in
+  let now = Unix.gettimeofday () in
+  let health = endpoint_health () in
+  let ep_gauge name help value =
+    Obs.Expo.family ~name:("securestore_" ^ name) ~help
+      (Obs.Expo.Gauge
+         (List.map
+            (fun h -> ([ ("endpoint", h.endpoint) ], value h))
+            health))
+  in
+  let gauges =
+    [
+      Obs.Expo.gauge ~name:"securestore_inflight_high_water"
+        ~help:"Peak concurrent in-flight transport requests."
+        (float_of_int (inflight_high_water ()));
+      ep_gauge "endpoint_health"
+        "1 when the endpoint is usable, 0 while it is avoided \
+         (dial backoff or suspicion window)."
+        (fun h -> if h.down_until > now then 0.0 else 1.0);
+      ep_gauge "endpoint_connections" "Live pooled connections." (fun h ->
+          float_of_int h.connections);
+      ep_gauge "endpoint_consecutive_failures"
+        "RPC failures since the endpoint's last success." (fun h ->
+          float_of_int h.consecutive_failures);
+    ]
+  in
+  let histograms =
+    [
+      Obs.Expo.family ~name:"securestore_rpc_duration_seconds"
+        ~help:"Quorum RPC round duration over the pooled transport."
+        (Obs.Expo.Histogram [ ([], rpc_histo) ]);
+      Obs.Expo.family ~name:"securestore_endpoint_rpc_duration_seconds"
+        ~help:
+          "Per-endpoint request-to-reply latency (recorded while tracing \
+           is enabled)."
+        (Obs.Expo.Histogram
+           (List.map
+              (fun (ep, h) -> ([ ("endpoint", ep) ], h))
+              (endpoint_rpc_histos ())));
+    ]
+  in
+  counters @ gauges @ histograms
 
 let pp fmt s =
   Format.fprintf fmt

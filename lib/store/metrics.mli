@@ -26,6 +26,18 @@ type snapshot = {
 }
 
 val reset : unit -> unit
+(** Clear the per-operation counters (the {!snapshot} fields) and the
+    RPC latency histogram. Operator gauges — {!endpoint_health},
+    {!inflight_high_water}, the per-endpoint latency registry — are
+    deliberately left alone so a measurement reset cannot blank the
+    health view a live operator is watching; use {!reset_gauges} for
+    those. *)
+
+val reset_gauges : unit -> unit
+(** Clear the operator gauges: the endpoint-health registry, the
+    per-endpoint latency histograms and the in-flight high-water mark.
+    For tests that need a pristine slate. *)
+
 val read : unit -> snapshot
 val diff : snapshot -> snapshot -> snapshot
 
@@ -70,7 +82,7 @@ val note_endpoint_health : endpoint_health -> unit
 
 val endpoint_health : unit -> endpoint_health list
 (** Every reported endpoint, sorted by endpoint string. Cleared by
-    {!reset}. *)
+    {!reset_gauges}, not {!reset}. *)
 
 val pp_endpoint_health : now:float -> Format.formatter -> endpoint_health -> unit
 (** [now] turns the absolute [down_until] into a remaining duration. *)
@@ -82,11 +94,22 @@ val note_inflight : int -> unit
 val inflight_high_water : unit -> int
 
 val record_rpc_ns : float -> unit
-(** Record one RPC round duration (nanoseconds) in a bounded reservoir
-    of recent samples. *)
+(** Record one RPC round duration (nanoseconds) in the global log-scale
+    latency histogram (fixed bucket counters; replaced the old
+    4096-sample reservoir). *)
+
+val rpc_latency_histo : unit -> Obs.Histo.t
+(** The global RPC-latency histogram itself (live reference). *)
+
+val endpoint_rpc_histo : string -> Obs.Histo.t
+(** The per-endpoint ("host:port") RPC-latency histogram, created on
+    first use. The pool records into it while tracing is enabled. *)
+
+val endpoint_rpc_histos : unit -> (string * Obs.Histo.t) list
+(** Every per-endpoint histogram, sorted by endpoint. *)
 
 type rpc_stats = {
-  rpc_count : int;  (** samples ever recorded (reservoir keeps the last 4096) *)
+  rpc_count : int;  (** samples ever recorded *)
   p50_ns : float;
   p95_ns : float;
   p99_ns : float;
@@ -94,7 +117,13 @@ type rpc_stats = {
 }
 
 val rpc_latency_stats : unit -> rpc_stats
-(** Nearest-rank percentiles over the retained sample window. *)
+(** Nearest-rank percentiles resolved to histogram bucket bounds. *)
+
+val families : unit -> Obs.Expo.family list
+(** Everything this module tracks as Prometheus exposition families
+    ([securestore_*]): counters, operator gauges (including per-endpoint
+    health) and RPC latency histograms. Span phase histograms are
+    {!Obs.Span.phase_family}'s job. *)
 
 val rsa_verifies : snapshot -> int
 (** RSA exponentiations actually performed for verification — the cache

@@ -383,6 +383,8 @@ let take_gossip_buffer t =
   t.gossip_buffer <- [];
   writes
 
+let gossip_pending t = List.length t.gossip_buffer
+
 let current_write t uid =
   match Hashtbl.find_opt t.items (Uid.to_string uid) with
   | None -> None

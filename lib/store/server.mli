@@ -49,6 +49,10 @@ val take_gossip_buffer : t -> Payload.write list
 (** Writes accepted since the last call — what the next gossip round
     pushes; clears the buffer. *)
 
+val gossip_pending : t -> int
+(** Writes waiting in the gossip buffer (queue depth — what the next
+    round will drain). Observability only; does not touch the buffer. *)
+
 val current_write : t -> Uid.t -> Payload.write option
 (** Introspection for tests: the announced current write of an item. *)
 

@@ -44,7 +44,13 @@ let cached_verify ?(count = true) pub ~msg ~signature =
     verdict
   | None ->
     if count then Metrics.incr_sigcache_miss ();
-    let verdict = Crypto.Rsa.verify pub ~msg ~signature in
+    (* Only misses get a phase: this is where the RSA exponentiation
+       actually runs, so traced ops show "verify/rsa_verify" exactly as
+       often as the cache failed them. *)
+    let verdict =
+      Obs.Span.with_phase "rsa_verify" (fun () ->
+          Crypto.Rsa.verify pub ~msg ~signature)
+    in
     with_sigcache (fun () -> Sigcache.add !sigcache key verdict);
     verdict
 

@@ -1,0 +1,34 @@
+(** Minimal HTTP/1.0 server for metrics exposition.
+
+    Serves GET requests from a fixed route table — enough for a
+    Prometheus scrape or a [store_cli stats] pretty-print, and nothing
+    more (no keep-alive, no chunking, no request bodies). Routes are
+    thunks so every scrape renders fresh state. *)
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  routes:(string * (unit -> string * string)) list ->
+  unit ->
+  t
+(** [start ~port ~routes ()] binds [host] (default loopback) and serves
+    each request on its own thread. A route maps a path (["/metrics"])
+    to a thunk returning [(content_type, body)]. [port] may be [0] to
+    let the kernel pick; see {!port}. Unknown paths get 404, anything
+    but GET gets 405. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Shut the listener down and join the accept thread; the bound port is
+    free again on return. In-flight request threads finish on their
+    own. *)
+
+val get : ?host:string -> port:int -> path:string -> unit -> (string, string) result
+(** One-shot HTTP GET against such a server (or anything speaking plain
+    HTTP): [Ok body] on a 200, [Error] with the status line or failure
+    otherwise. Used by [store_cli stats] and tests; honors a 5s socket
+    read timeout. *)

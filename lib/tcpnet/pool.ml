@@ -12,7 +12,16 @@
 
 type result = Reply of string | Rejected of string | No_reply | Dropped
 
-type pending = { complete : result -> unit }
+(* [t0]/[histo] are the tracing hook: when spans are enabled at submit
+   time, the reader feeds [reply - t0] to the endpoint's latency
+   histogram on delivery. Timing rides the pending entry itself rather
+   than a wrapper closure — the hook must stay cheap on the submit
+   path. *)
+type pending = {
+  complete : result -> unit;
+  t0 : float;
+  histo : Obs.Histo.t option;
+}
 
 (* [conn] and [endpoint_state] are mutually recursive: the owner link
    lets completion paths that only hold a connection (timeout reaping,
@@ -29,6 +38,8 @@ type conn = {
 
 and endpoint_state = {
   ep : string * int;
+  ep_name : string;  (* "host:port", precomputed: hooks on the submit
+                        path must not pay for formatting *)
   elock : Mutex.t;
   econd : Condition.t; (* signalled when a dial resolves either way *)
   mutable conns : conn list;
@@ -48,6 +59,12 @@ and endpoint_state = {
   mutable last_error : string option;
   mutable suspect_until : float;
   mutable suspect_backoff : float;
+  (* Resolved lazily on the first traced submit and kept: the reply
+     path records into it before waking the quorum waiter, so it must
+     not pay a registry lookup per reply. (A Metrics.reset_gauges
+     while tracing is live detaches this cache from the registry;
+     gauge resets are a test-only pristine-slate affair.) *)
+  mutable ep_histo : Obs.Histo.t option;
 }
 
 (* A quorum fan-out in progress. [outstanding] remembers every (conn,
@@ -198,6 +215,7 @@ let endpoint_state pool ep =
       let st =
         {
           ep;
+          ep_name = Printf.sprintf "%s:%d" (fst ep) (snd ep);
           elock = Mutex.create ();
           econd = Condition.create ();
           conns = [];
@@ -210,6 +228,7 @@ let endpoint_state pool ep =
           last_error = None;
           suspect_until = 0.0;
           suspect_backoff = 0.0;
+          ep_histo = None;
         }
       in
       Hashtbl.replace pool.endpoints ep st;
@@ -238,8 +257,7 @@ let publish_health st =
   Mutex.lock st.elock;
   let h =
     {
-      Store.Metrics.endpoint =
-        Printf.sprintf "%s:%d" (fst st.ep) (snd st.ep);
+      Store.Metrics.endpoint = st.ep_name;
       connections = List.length st.conns;
       consecutive_failures = st.rpc_fail_streak;
       last_error = st.last_error;
@@ -324,7 +342,14 @@ let reader pool st conn () =
     match p with
     | Some p ->
       track_inflight pool (-1);
-      p.complete result
+      (match p.histo with
+      | None -> p.complete result
+      | Some h ->
+        (* Clock first, observe last: completing may be the quorum
+           signal, and the histogram update must not delay it. *)
+        let t1 = Unix.gettimeofday () in
+        p.complete result;
+        Obs.Histo.observe h ((t1 -. p.t0) *. 1e9))
     | None -> () (* reply for an abandoned (post-quorum) request *)
   in
   let rec loop () =
@@ -465,12 +490,31 @@ let rec submit ?(attempts = 2) pool group st ~from payload =
       group_complete group ~from Dropped
     | Some conn -> (
       let id = next_id pool in
+      (* Tracing hook, behind [Obs.Span.enabled] so the traced-off hot
+         path stays identical: no clock reads, no extra allocation.
+         [run_group] annotates the caller's span with the (endpoint,
+         correlation id) pairs so a span can be matched to the
+         per-endpoint percentiles it contributed to. *)
+      let histo, t0 =
+        if not (Obs.Span.enabled ()) then (None, 0.0)
+        else begin
+          let h =
+            match st.ep_histo with
+            | Some h -> h
+            | None ->
+              let h = Store.Metrics.endpoint_rpc_histo st.ep_name in
+              st.ep_histo <- Some h;
+              h
+          in
+          (Some h, Unix.gettimeofday ())
+        end
+      in
+      let complete r = group_complete group ~from r in
       Mutex.lock conn.plock;
       let registered =
         conn.alive
         &&
-        (Hashtbl.replace conn.pending id
-           { complete = (fun r -> group_complete group ~from r) };
+        (Hashtbl.replace conn.pending id { complete; t0; histo };
          conn.in_flight <- conn.in_flight + 1;
          true)
       in
@@ -566,6 +610,20 @@ let run_group pool group dsts payload =
   List.iter
     (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from payload)
     dsts;
+  (* One annotation per round, not per destination: an (ep, corr) pair
+     for every request actually registered, so a slow span's attrs
+     point straight at the per-endpoint histograms involved. Rendering
+     is deferred to dump time (see {!Obs.Span.attr}). *)
+  if Obs.Span.enabled () then begin
+    Mutex.lock group.glock;
+    let pairs =
+      List.rev_map
+        (fun (conn, id) -> (conn.owner.ep_name, id))
+        group.outstanding
+    in
+    Mutex.unlock group.glock;
+    Obs.Span.annotate_rpc pairs
+  end;
   let outstanding, replies, timed_out = await group in
   timer_unregister pool.timer group;
   drop_outstanding pool ~timed_out outstanding;

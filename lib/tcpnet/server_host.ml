@@ -35,16 +35,41 @@ let untrack_conn t fd =
    Byzantine behaviour reuses the simulator's wrappers unchanged — a
    misbehaving host diverges only in what it says on the wire, never in
    the underlying honest state machine. *)
+(* Server-side request spans ride the same global Span switch, plus
+   this local one: an in-process cluster (bench e17, tests) silences the
+   server half to measure *client* tracing overhead — the deployment
+   shape, where servers are separate processes and their span cost
+   cannot serialize into client latency through the shared runtime
+   lock. The untraced arm repeats the six-line body rather than calling
+   [with_phase] no-ops, which would still pay a span lookup per phase
+   on every request. *)
+let trace_requests = ref true
+let set_request_tracing v = trace_requests := v
+
 let process t ~behavior server raw :
     (Store.Payload.response option, string) Result.t =
-  match Store.Payload.decode_envelope raw with
-  | None -> Error "malformed envelope"
-  | Some env ->
-    Store.Server.preverify server env;
-    Ok
-      (with_lock t (fun () ->
-           Store.Faults.handle_typed behavior server
-             ~now:(Unix.gettimeofday ()) ~from:(-1) env))
+  if !trace_requests && Obs.Span.enabled () then
+    Obs.Span.with_op "server_request" @@ fun () ->
+    match
+      Obs.Span.with_phase "decode" (fun () -> Store.Payload.decode_envelope raw)
+    with
+    | None -> Error "malformed envelope"
+    | Some env ->
+      Obs.Span.with_phase "verify" (fun () -> Store.Server.preverify server env);
+      Ok
+        (Obs.Span.with_phase "apply" (fun () ->
+             with_lock t (fun () ->
+                 Store.Faults.handle_typed behavior server
+                   ~now:(Unix.gettimeofday ()) ~from:(-1) env)))
+  else
+    match Store.Payload.decode_envelope raw with
+    | None -> Error "malformed envelope"
+    | Some env ->
+      Store.Server.preverify server env;
+      Ok
+        (with_lock t (fun () ->
+             Store.Faults.handle_typed behavior server
+               ~now:(Unix.gettimeofday ()) ~from:(-1) env))
 
 let handle_connection t ~behavior server fd =
   Addr.set_nodelay fd;
@@ -116,14 +141,17 @@ let gossip_loop t server { peers; period } =
   in
   while t.running do
     Thread.delay period;
+    Obs.Span.with_op "gossip_round" @@ fun () ->
     (* One critical section for both: a write accepted between taking
        the buffer and summarizing would be advertised in [have] without
        appearing in [writes], so peers would skip pulling it. *)
     let fresh, have =
-      with_lock t (fun () ->
-          ( Store.Server.take_gossip_buffer server,
-            Store.Server.gossip_summary server ))
+      Obs.Span.with_phase "drain" (fun () ->
+          with_lock t (fun () ->
+              ( Store.Server.take_gossip_buffer server,
+                Store.Server.gossip_summary server )))
     in
+    Obs.Span.with_phase "push" @@ fun () ->
     List.iter
       (fun peer ->
         let pending =

@@ -1,0 +1,371 @@
+(* Observability-layer tests: histogram bucket semantics against a
+   sorted-array oracle, span nesting (including across threads), the
+   ring-buffer journal, exposition well-formedness, the metrics HTTP
+   endpoint, and the Metrics reset split. *)
+
+let bounds = Obs.Histo.bounds
+let bucket_count = Obs.Histo.bucket_count
+
+(* --- histograms --------------------------------------------------------- *)
+
+(* Durations spanning the whole bucket range (and past it), negatives
+   included to exercise the clamp. *)
+let dur_gen =
+  QCheck.map
+    (fun (mant, exp) -> float_of_int mant *. (10.0 ** float_of_int exp))
+    QCheck.(pair (int_range (-5) 999) (int_range 0 9))
+
+let qcheck_percentile_oracle =
+  (* The mli's exact promise: [percentile h p] equals the bound of the
+     bucket holding the nearest-rank percentile of the sorted samples,
+     or the true maximum when that lands in the overflow bucket. *)
+  QCheck.Test.make ~name:"percentile matches sorted-array oracle" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 200) dur_gen) (int_range 1 100))
+    (fun (samples, p) ->
+      let h = Obs.Histo.create () in
+      List.iter (Obs.Histo.observe h) samples;
+      let clamped = List.map (fun v -> if v < 0.0 then 0.0 else v) samples in
+      let sorted = List.sort compare clamped in
+      let n = List.length sorted in
+      let p = float_of_int p in
+      let rank =
+        max 1 (min n (int_of_float (ceil (p /. 100.0 *. float_of_int n))))
+      in
+      let v = List.nth sorted (rank - 1) in
+      let expected =
+        let i = Obs.Histo.bucket_of v in
+        if i >= bucket_count then List.fold_left max 0.0 clamped
+        else bounds.(i)
+      in
+      Obs.Histo.percentile h p = expected)
+
+let qcheck_sum_count_max =
+  QCheck.Test.make ~name:"sum/count/max track observations" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 200) dur_gen)
+    (fun samples ->
+      let h = Obs.Histo.create () in
+      List.iter (Obs.Histo.observe h) samples;
+      let clamped = List.map (fun v -> if v < 0.0 then 0.0 else v) samples in
+      Obs.Histo.count h = List.length samples
+      && Obs.Histo.sum h = List.fold_left ( +. ) 0.0 clamped
+      && Obs.Histo.max_value h = List.fold_left max 0.0 clamped)
+
+let test_bucket_boundaries () =
+  (* le-semantics: a value exactly on a bound belongs to that bucket;
+     one ulp-ish above it belongs to the next. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "bound %d inclusive" i)
+        i
+        (Obs.Histo.bucket_of bounds.(i));
+      let next = min (i + 1) bucket_count in
+      Alcotest.(check int)
+        (Printf.sprintf "just above bound %d" i)
+        next
+        (Obs.Histo.bucket_of (bounds.(i) *. 1.000001)))
+    [ 0; 1; 17; 50; 98; bucket_count - 1 ];
+  Alcotest.(check int) "zero in first bucket" 0 (Obs.Histo.bucket_of 0.0);
+  Alcotest.(check int) "huge overflows" bucket_count
+    (Obs.Histo.bucket_of 1e18);
+  let h = Obs.Histo.create () in
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0
+    (Obs.Histo.percentile h 50.0);
+  Obs.Histo.observe h (-5.0);
+  Alcotest.(check int) "negative clamps to first bucket" 1
+    (Obs.Histo.counts h).(0);
+  let cum = Obs.Histo.cumulative h in
+  Alcotest.(check int) "cumulative ends at count" (Obs.Histo.count h)
+    cum.(bucket_count)
+
+let test_merge_adds_counters () =
+  let a = Obs.Histo.create () and b = Obs.Histo.create () in
+  List.iter (Obs.Histo.observe a) [ 150.0; 1e6; 3e9 ];
+  List.iter (Obs.Histo.observe b) [ 150.0; 7e3 ];
+  let m = Obs.Histo.merge a b in
+  Alcotest.(check int) "merged count" 5 (Obs.Histo.count m);
+  Alcotest.(check (float 0.0)) "merged sum"
+    (Obs.Histo.sum a +. Obs.Histo.sum b)
+    (Obs.Histo.sum m);
+  Alcotest.(check (float 0.0)) "merged max" 3e9 (Obs.Histo.max_value m);
+  let ca = Obs.Histo.counts a
+  and cb = Obs.Histo.counts b
+  and cm = Obs.Histo.counts m in
+  Array.iteri
+    (fun i n -> Alcotest.(check int) "merged bucket" (ca.(i) + cb.(i)) n)
+    cm
+
+(* --- spans --------------------------------------------------------------- *)
+
+let with_tracing f =
+  Obs.Span.reset_stats ();
+  Obs.Span.set_journal_capacity 512;
+  Obs.Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Span.set_enabled false) f
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_op "outer" (fun () ->
+      Obs.Span.with_phase "p1" (fun () ->
+          Obs.Span.with_phase "p2" (fun () -> ()));
+      (* an op inside an op records as a phase of the outer one *)
+      Obs.Span.with_op "inner" (fun () -> ());
+      Obs.Span.annotate "note";
+      Obs.Span.annotate_rpc [ ("h:1", 5); ("h:2", 6) ]);
+  (match Obs.Span.recent ~limit:1 () with
+  | [ c ] ->
+    Alcotest.(check string) "op" "outer" c.Obs.Span.op;
+    Alcotest.(check (list string))
+      "phases, completion order"
+      [ "p1/p2"; "p1"; "inner" ]
+      (List.map (fun p -> p.Obs.Span.pname) c.Obs.Span.phases);
+    Alcotest.(check (list string))
+      "attrs render lazily"
+      [ "note"; "rpc h:1#5 h:2#6" ]
+      (List.map Obs.Span.attr_text c.Obs.Span.attrs)
+  | _ -> Alcotest.fail "expected one journaled span");
+  (match Obs.Span.phase_histo ~op:"outer" ~phase:"p1/p2" with
+  | Some h -> Alcotest.(check int) "nested phase recorded" 1 (Obs.Histo.count h)
+  | None -> Alcotest.fail "missing nested phase histogram");
+  match Obs.Span.phase_histo ~op:"inner" ~phase:"total" with
+  | Some _ -> Alcotest.fail "inner op must not open its own span"
+  | None -> ()
+
+let test_concurrent_spans () =
+  (* Spans are per-thread: concurrent ops must neither mix phases nor
+     lose counts. *)
+  let threads = 8 and ops = 50 in
+  with_tracing @@ fun () ->
+  let worker k () =
+    let op = "op" ^ string_of_int k in
+    for _ = 1 to ops do
+      Obs.Span.with_op op (fun () ->
+          Obs.Span.with_phase "a" (fun () -> ());
+          Obs.Span.with_phase "b" (fun () -> ()))
+    done
+  in
+  let ths = List.init threads (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ths;
+  for k = 0 to threads - 1 do
+    let op = "op" ^ string_of_int k in
+    List.iter
+      (fun phase ->
+        match Obs.Span.phase_histo ~op ~phase with
+        | Some h ->
+          Alcotest.(check int) (op ^ "/" ^ phase) ops (Obs.Histo.count h)
+        | None -> Alcotest.fail ("missing histogram for " ^ op))
+      [ "total"; "a"; "b" ]
+  done;
+  List.iter
+    (fun c ->
+      Alcotest.(check (list string))
+        "no cross-thread phases" [ "a"; "b" ]
+        (List.map (fun p -> p.Obs.Span.pname) c.Obs.Span.phases))
+    (Obs.Span.recent ())
+
+let test_journal_wraparound () =
+  with_tracing @@ fun () ->
+  Obs.Span.set_journal_capacity 8;
+  for i = 0 to 19 do
+    Obs.Span.with_op ("w" ^ string_of_int i) (fun () -> ())
+  done;
+  let spans = Obs.Span.recent () in
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length spans);
+  Alcotest.(check (list string))
+    "newest first, oldest overwritten"
+    (List.init 8 (fun i -> "w" ^ string_of_int (19 - i)))
+    (List.map (fun c -> c.Obs.Span.op) spans);
+  let ids = List.map (fun c -> c.Obs.Span.id) spans in
+  Alcotest.(check bool) "ids strictly decreasing" true
+    (List.sort (fun a b -> compare b a) ids = ids);
+  Alcotest.(check int) "limit respected" 3
+    (List.length (Obs.Span.recent ~limit:3 ()));
+  Obs.Span.reset_journal ();
+  Alcotest.(check int) "reset empties" 0 (List.length (Obs.Span.recent ()));
+  Obs.Span.set_journal_capacity 256
+
+let test_disabled_is_inert () =
+  Obs.Span.reset_stats ();
+  Obs.Span.reset_journal ();
+  Obs.Span.set_enabled false;
+  Obs.Span.with_op "ghost" (fun () ->
+      Obs.Span.with_phase "p" (fun () -> ());
+      Obs.Span.annotate "x");
+  Alcotest.(check int) "nothing journaled" 0
+    (List.length (Obs.Span.recent ()));
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Obs.Span.phase_stats ()));
+  Alcotest.(check bool) "no current id" true (Obs.Span.current_id () = None)
+
+(* --- exposition ---------------------------------------------------------- *)
+
+let find_lines pred text =
+  List.filter pred (String.split_on_char '\n' text)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_exposition_well_formed () =
+  let h = Obs.Histo.create () in
+  List.iter (Obs.Histo.observe h) [ 150.0; 3e4; 3e4; 7e8 ];
+  let text =
+    Obs.Expo.render
+      [
+        Obs.Expo.counter ~name:"t_ops_total" ~help:"ops" 42.0;
+        Obs.Expo.gauge ~name:"t_depth" ~help:"queue \"depth\"\nnow"
+          ~labels:[ ("peer", "a\"b") ]
+          3.0;
+        Obs.Expo.family ~name:"t_latency_seconds" ~help:"lat"
+          (Obs.Expo.Histogram [ ([ ("op", "read") ], h) ]);
+      ]
+  in
+  Alcotest.(check bool) "content type versioned" true
+    (starts_with "text/plain" Obs.Expo.content_type);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("has " ^ needle) true
+        (find_lines (starts_with needle) text <> []))
+    [
+      "# TYPE t_ops_total counter";
+      "# TYPE t_depth gauge";
+      "# TYPE t_latency_seconds histogram";
+      "t_ops_total 42";
+    ];
+  (* HELP escapes newlines (not quotes — the 0.0.4 rule); label values
+     escape both *)
+  Alcotest.(check bool) "help escaped" true
+    (find_lines (fun l -> l = "# HELP t_depth queue \"depth\"\\nnow") text
+    <> []);
+  Alcotest.(check bool) "label escaped" true
+    (find_lines (starts_with "t_depth{peer=\"a\\\"b\"} 3") text <> []);
+  (* histogram: cumulative monotone buckets, +Inf equals _count *)
+  let buckets = find_lines (starts_with "t_latency_seconds_bucket") text in
+  Alcotest.(check bool) "has buckets" true (buckets <> []);
+  let value_of line =
+    let i = String.rindex line ' ' in
+    float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let values = List.map value_of buckets in
+  Alcotest.(check bool) "buckets cumulative" true
+    (List.sort compare values = values);
+  let inf =
+    match
+      find_lines (fun l -> starts_with "t_latency_seconds_bucket" l
+                           && String.length l > 0
+                           &&
+                           let re = Str.regexp_string "le=\"+Inf\"" in
+                           (try ignore (Str.search_forward re l 0); true
+                            with Not_found -> false))
+        text
+    with
+    | [ l ] -> value_of l
+    | _ -> Alcotest.fail "expected exactly one +Inf bucket"
+  in
+  (match find_lines (starts_with "t_latency_seconds_count") text with
+  | [ l ] -> Alcotest.(check (float 0.0)) "+Inf equals count" (value_of l) inf
+  | _ -> Alcotest.fail "expected one _count line");
+  match find_lines (starts_with "t_latency_seconds_sum") text with
+  | [ l ] ->
+    (* sums render in seconds *)
+    Alcotest.(check (float 1e-9)) "sum in seconds" (Obs.Histo.sum h /. 1e9)
+      (value_of l)
+  | _ -> Alcotest.fail "expected one _sum line"
+
+let test_metrics_endpoint_roundtrip () =
+  let hits = ref 0 in
+  let http =
+    Tcpnet.Metrics_http.start ~port:0
+      ~routes:
+        [
+          ( "/metrics",
+            fun () ->
+              incr hits;
+              (Obs.Expo.content_type, "fresh " ^ string_of_int !hits) );
+          ("/boom", fun () -> failwith "render exploded");
+        ]
+      ()
+  in
+  let port = Tcpnet.Metrics_http.port http in
+  Fun.protect ~finally:(fun () -> Tcpnet.Metrics_http.stop http) @@ fun () ->
+  (match Tcpnet.Metrics_http.get ~port ~path:"/metrics" () with
+  | Ok body -> Alcotest.(check string) "scrape" "fresh 1" body
+  | Error e -> Alcotest.fail ("scrape failed: " ^ e));
+  (match Tcpnet.Metrics_http.get ~port ~path:"/metrics" () with
+  | Ok body -> Alcotest.(check string) "thunks rerun" "fresh 2" body
+  | Error _ -> Alcotest.fail "second scrape failed");
+  (match Tcpnet.Metrics_http.get ~port ~path:"/nope" () with
+  | Ok _ -> Alcotest.fail "404 expected"
+  | Error _ -> ());
+  match Tcpnet.Metrics_http.get ~port ~path:"/boom" () with
+  | Ok _ -> Alcotest.fail "route failure must not 200"
+  | Error _ -> ()
+
+(* --- Metrics reset split ------------------------------------------------- *)
+
+let test_reset_keeps_gauges () =
+  Store.Metrics.reset ();
+  Store.Metrics.reset_gauges ();
+  Store.Metrics.incr_rpc ();
+  Store.Metrics.record_rpc_ns 5e6;
+  Store.Metrics.note_inflight 7;
+  Store.Metrics.note_endpoint_health
+    {
+      Store.Metrics.endpoint = "h:1";
+      connections = 1;
+      consecutive_failures = 2;
+      last_error = Some "x";
+      down_until = 0.0;
+    };
+  Obs.Histo.observe (Store.Metrics.endpoint_rpc_histo "h:1") 5e6;
+  Store.Metrics.reset ();
+  Alcotest.(check int) "counters cleared" 0 (Store.Metrics.read ()).rpcs;
+  Alcotest.(check int) "rpc histogram cleared" 0
+    (Store.Metrics.rpc_latency_stats ()).rpc_count;
+  Alcotest.(check int) "health survives reset" 1
+    (List.length (Store.Metrics.endpoint_health ()));
+  Alcotest.(check int) "endpoint latency survives reset" 1
+    (List.length (Store.Metrics.endpoint_rpc_histos ()));
+  Alcotest.(check int) "hwm survives reset" 7
+    (Store.Metrics.inflight_high_water ());
+  Store.Metrics.reset_gauges ();
+  Alcotest.(check int) "health cleared by reset_gauges" 0
+    (List.length (Store.Metrics.endpoint_health ()));
+  Alcotest.(check int) "endpoint latency cleared by reset_gauges" 0
+    (List.length (Store.Metrics.endpoint_rpc_histos ()));
+  Alcotest.(check int) "hwm cleared by reset_gauges" 0
+    (Store.Metrics.inflight_high_water ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "histo",
+        [
+          q qcheck_percentile_oracle;
+          q qcheck_sum_count_max;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "merge adds counters" `Quick
+            test_merge_adds_counters;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting and attrs" `Quick test_span_nesting;
+          Alcotest.test_case "concurrent threads" `Quick test_concurrent_spans;
+          Alcotest.test_case "journal wraparound" `Quick
+            test_journal_wraparound;
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "well-formed exposition" `Quick
+            test_exposition_well_formed;
+          Alcotest.test_case "metrics endpoint roundtrip" `Quick
+            test_metrics_endpoint_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "reset keeps operator gauges" `Quick
+            test_reset_keeps_gauges;
+        ] );
+    ]
