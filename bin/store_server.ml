@@ -69,7 +69,9 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
           fun () ->
             ( Obs.Expo.content_type,
               Obs.Expo.render
-                (Store.Metrics.families () @ [ Obs.Span.phase_family () ]) ) );
+                (Store.Metrics.families ()
+                @ Store.Signing.sigcache_families ()
+                @ [ Obs.Span.phase_family () ]) ) );
         ( "/spans",
           fun () -> ("application/json", Obs.Span.spans_json ~limit:64 ()) );
       ]

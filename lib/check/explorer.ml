@@ -28,6 +28,7 @@ type schedule = {
   crashes : (int * float * float) list;
   partitions : (int list * float * float) list;
   byzantine : (int * Store.Faults.behavior) list;
+  signing : Client.signing_mode;
   canary : bool;
   scripted : bool;
 }
@@ -78,13 +79,24 @@ let schedule_of_seed seed =
     (* Stay inside the threat model: at most [b] lying servers. *)
     let behaviors =
       Store.Faults.
-        [ Stale; Corrupt_value; Corrupt_meta; Equivocate; Silent_reads; Drop_gossip; Crash ]
+        [ Stale; Corrupt_value; Corrupt_meta; Equivocate; Silent_reads;
+          Drop_gossip; Crash; Downgrade ]
       @ (if mode = Client.Multi_writer then [ Store.Faults.Eager_report ] else [])
     in
     let order = Array.init n Fun.id in
     Srng.shuffle rng order;
     List.init (Srng.int_below rng (b + 1)) (fun i ->
         (order.(i), Srng.pick rng behaviors))
+  in
+  (* Drawn last so adding signing modes leaves earlier draws (topology,
+     faults) of a given seed unchanged. Baseline twice: the per-write-sig
+     path stays the most exercised. *)
+  let signing =
+    Srng.pick rng
+      [
+        Client.Per_write_sig; Client.Per_write_sig; Client.Merkle_batch 4;
+        Client.Mac_fast;
+      ]
   in
   {
     seed;
@@ -103,6 +115,7 @@ let schedule_of_seed seed =
     crashes;
     partitions;
     byzantine;
+    signing;
     canary = false;
     scripted = false;
   }
@@ -128,6 +141,7 @@ let canary_schedule ~seed =
     (* decoys the shrinker must prove irrelevant *)
     partitions = [ ([ 2 ], 5.0, 6.0) ];
     byzantine = [ (3, Store.Faults.Corrupt_value) ];
+    signing = Client.Per_write_sig;
     canary = true;
     scripted = true;
   }
@@ -154,11 +168,15 @@ let describe s =
          s.byzantine)
   in
   Printf.sprintf
-    "seed=%d n=%d b=%d clients=%d %s/%s%s items=%d ops=%d drop=%.2f lat<=%.3fs \
-     gossip=%.1fs crash=[%s] part=[%s] byz=[%s]%s"
+    "seed=%d n=%d b=%d clients=%d %s/%s/%s%s items=%d ops=%d drop=%.2f \
+     lat<=%.3fs gossip=%.1fs crash=[%s] part=[%s] byz=[%s]%s"
     s.seed s.n s.b s.clients
     (match s.mode with Client.Single_writer -> "sw" | Client.Multi_writer -> "mw")
     (match s.consistency with Client.MRC -> "mrc" | Client.CC -> "cc")
+    (match s.signing with
+    | Client.Per_write_sig -> "sig"
+    | Client.Merkle_batch k -> Printf.sprintf "batch%d" k
+    | Client.Mac_fast -> "mac")
     (if s.read_spread then "/spread" else "")
     s.items s.ops_per_client s.drop_probability s.latency_hi s.gossip_period
     (windows s.crashes) parts byz
@@ -209,6 +227,10 @@ let client_config sched i base =
     read_spread = sched.read_spread;
     seed = sched.seed + i;
     canary_skip_freshness = sched.canary && i = 0;
+    signing = sched.signing;
+    (* Small so random runs exercise the escalation path, not just the
+       read-triggered flush. *)
+    escalate_every = 3;
   }
 
 let connect_client sched (w : Workload.Worlds.t) i name =

@@ -32,6 +32,10 @@ type schedule = {
   partitions : (int list * float * float) list;
       (** isolated group, window; members keep talking to each other *)
   byzantine : (int * Store.Faults.behavior) list;  (** at most [b] *)
+  signing : Store.Client.signing_mode;
+      (** write-evidence mode for every client in the run; random
+          schedules draw per-write-sig (weighted), Merkle batching, or
+          the MAC fast path so the oracle checks all three *)
   canary : bool;
       (** client 0 runs with [canary_skip_freshness] — the deliberately
           broken client the oracle must flag *)

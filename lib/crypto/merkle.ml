@@ -53,13 +53,36 @@ let prove t index =
     Some { index; path = walk index t.levels [] }
   end
 
-let verify ~root:expected ~leaf proof =
-  let h =
-    List.fold_left
-      (fun h (sibling, side) ->
-        match side with
-        | `Right -> node_hash h sibling
-        | `Left -> node_hash sibling h)
-      (leaf_hash leaf) proof.path
-  in
-  Hmac.equal_constant_time h expected
+(* Verification recomputes the tree's level widths from [size], so the
+   proof's shape — how many siblings, on which sides, and where the odd
+   promoted nodes fall — is fully determined by (size, index). A proof
+   with a stripped, reordered or side-swapped path, or a relabeled
+   index, fails structurally before any hash comparison; the claimed
+   index is therefore binding, not advisory. *)
+let verify ~root:expected ~size ~leaf proof =
+  if size <= 0 || proof.index < 0 || proof.index >= size then false
+  else begin
+    let rec climb i width path h =
+      if width <= 1 then (match path with [] -> Some h | _ :: _ -> None)
+      else begin
+        let has_sibling = if i land 1 = 0 then i + 1 < width else true in
+        let parent_width = (width + 1) / 2 in
+        if not has_sibling then climb (i / 2) parent_width path h
+        else
+          match path with
+          | [] -> None
+          | (sibling, side) :: rest ->
+            let expected_side = if i land 1 = 0 then `Right else `Left in
+            if side <> expected_side then None
+            else begin
+              let h =
+                if i land 1 = 0 then node_hash h sibling else node_hash sibling h
+              in
+              climb (i / 2) parent_width rest h
+            end
+      end
+    in
+    match climb proof.index size proof.path (leaf_hash leaf) with
+    | Some h -> Hmac.equal_constant_time h expected
+    | None -> false
+  end

@@ -22,5 +22,9 @@ type proof = { index : int; path : (string * [ `Left | `Right ]) list }
 val prove : tree -> int -> proof option
 (** Inclusion proof for the leaf at [index]. *)
 
-val verify : root:string -> leaf:string -> proof -> bool
-(** Check that [leaf] is at [proof.index] under [root]. *)
+val verify : root:string -> size:int -> leaf:string -> proof -> bool
+(** Check that [leaf] is at [proof.index] under the root of a tree with
+    [size] leaves. The expected proof shape (sibling count, sides, odd
+    promotions) is recomputed from [size] and [proof.index], so a
+    mutated index or a stripped/reordered path is rejected structurally
+    — the index is part of what the proof commits to. *)

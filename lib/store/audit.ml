@@ -24,7 +24,8 @@ let prove_write server w =
     Option.map (fun proof -> (proof, commit server)) (Crypto.Merkle.prove t index)
 
 let check_proof commitment w proof =
-  Crypto.Merkle.verify ~root:commitment.root ~leaf:(Payload.write_body w) proof
+  Crypto.Merkle.verify ~root:commitment.root ~size:commitment.size
+    ~leaf:(Payload.write_body w) proof
 
 let roots_agree servers =
   let canonical server =

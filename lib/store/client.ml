@@ -1,6 +1,14 @@
 type consistency = MRC | CC
 type mode = Single_writer | Multi_writer
 
+(* How writes get their evidence. [Per_write_sig] is the paper's
+   baseline: one RSA signature per write. [Merkle_batch k] amortizes the
+   signature over up to k writes (one root signature + per-write
+   inclusion proofs). [Mac_fast] replaces the signature with a
+   per-server HMAC vector and escalates to batch evidence lazily —
+   before reads, at disconnect, or every [escalate_every] writes. *)
+type signing_mode = Per_write_sig | Merkle_batch of int | Mac_fast
+
 type config = {
   n : int;
   b : int;
@@ -22,6 +30,8 @@ type config = {
   token : string option;
   seed : int;
   canary_skip_freshness : bool;
+  signing : signing_mode;
+  escalate_every : int;
 }
 
 let default_config ~n ~b =
@@ -49,6 +59,8 @@ let default_config ~n ~b =
     token = None;
     seed = 0;
     canary_skip_freshness = false;
+    signing = Per_write_sig;
+    escalate_every = 8;
   }
 
 type error =
@@ -79,6 +91,9 @@ type t = {
   mutable ctx_seq : int;
   mutable last_time : int;
   mutable connected : bool;
+  mutable unescalated : Payload.write list;
+      (* Mac_fast writes acked by a quorum but not yet escalated to
+         third-party-verifiable evidence; newest first *)
   opstats : opstats;
 }
 
@@ -112,6 +127,14 @@ let report_proof t ~server event =
   match t.cfg.evidence with
   | Some e -> Fault_evidence.report_proof e ~server event
   | None -> ()
+
+(* What a served-but-unverifiable write proves about the server: MAC
+   evidence means it leaked a held fast-path write (an honest server
+   never serves those); anything else is an ordinary bad signature. *)
+let classify_bad_write (w : Payload.write) =
+  match w.evidence with
+  | Payload.Mac _ -> Fault_evidence.Evidence_downgrade
+  | Payload.Sig _ | Payload.Batch _ -> Fault_evidence.Invalid_signature
 
 (* Protocol message accounting (paper section 6 counts both directions). *)
 let rpc t ~quorum dsts request =
@@ -323,6 +346,105 @@ let ctx_store t =
   in
   if got < q then Error (No_quorum { wanted = q; got }) else Ok ()
 
+(* ---------------- Dissemination and evidence escalation ---------------- *)
+
+let write_fanout t =
+  match t.cfg.mode with
+  | Single_writer -> Quorums.write_set ~b:(effective_b t)
+  | Multi_writer -> Quorums.mw_write_set ~b:(effective_b t)
+
+(* Push one evidence-carrying write to a write quorum. One round =
+   preferred fanout plus escalation to the remaining servers. Retrying
+   re-sends the *same* write — servers treat a duplicate stamp
+   idempotently, so a retry after a lost ack cannot double-apply. *)
+let disseminate t (w : Payload.write) =
+  let fanout = write_fanout t in
+  if t.cfg.paper_cost_model then begin
+    send_oneway t (server_set t fanout)
+      (Payload.Write_req { write = w; await_ack = false });
+    Ok ()
+  end
+  else begin
+    let request = Payload.Write_req { write = w; await_ack = true } in
+    let acks replies =
+      List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
+    in
+    let one_round () =
+      let initial = server_set t fanout in
+      let got =
+        acks
+          (Obs.Span.with_phase "write_quorum" (fun () ->
+               rpc t ~quorum:fanout initial request))
+      in
+      if got >= fanout then got
+      else begin
+        Metrics.incr_escalation ();
+        got
+        + acks
+            (Obs.Span.with_phase "escalate" (fun () ->
+                 rpc t ~quorum:(fanout - got) (remaining_servers t initial)
+                   request))
+      end
+    in
+    let start = Sim.Runtime.now () in
+    let rec go ~retries ~tried =
+      let got = one_round () in
+      if got >= fanout then Ok ()
+      else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
+        go ~retries:(retries - 1) ~tried:(tried + 1)
+      else if got = 0 then Error Write_rejected
+      else Error (No_quorum { wanted = fanout; got })
+    in
+    go ~retries:t.cfg.write_retries ~tried:0
+  end
+
+(* Escalate every pending Mac_fast write to third-party-verifiable Batch
+   evidence: sign one Merkle root over the pending bodies, then offer
+   every server the evidence swap. A server that never saw the MAC write
+   (missed the write quorum, or trimmed its hold slot) answers [Denied]
+   and gets the full signed write instead — escalation doubles as
+   anti-entropy for the fast path. Best-effort by design: the writes
+   already reached a write quorum under MAC evidence, so an upgrade
+   failure at some server delays gossip of that write, never safety. *)
+let flush_escalations t =
+  match t.unescalated with
+  | [] -> ()
+  | pending ->
+    t.unescalated <- [];
+    let writes = List.rev pending in
+    Obs.Span.with_op "escalate_evidence" @@ fun () ->
+    let batch = Signbatch.create ~key:t.key ~limit:(List.length writes) in
+    List.iter
+      (fun w -> ignore (Signbatch.add batch w : [ `Buffered | `Full ]))
+      writes;
+    let upgraded = Signbatch.flush batch in
+    List.iter
+      (fun (w : Payload.write) ->
+        let request =
+          Payload.Evidence_upgrade
+            {
+              uid = w.uid;
+              stamp = w.stamp;
+              writer = w.writer;
+              evidence = w.evidence;
+            }
+        in
+        let dsts = server_universe t in
+        let replies =
+          Obs.Span.with_phase "upgrade" (fun () ->
+              rpc t ~quorum:(List.length dsts) dsts request)
+        in
+        List.iter
+          (fun (from, resp) ->
+            match resp with
+            | Payload.Denied _ ->
+              ignore
+                (rpc t ~quorum:1 [ from ]
+                   (Payload.Write_req { write = w; await_ack = true }))
+            | _ -> ())
+          replies)
+      upgraded
+
 (* ---------------- Reads ------------------------------------------------ *)
 
 (* Single-writer read round (Fig. 2): poll [read_set] servers for
@@ -361,7 +483,7 @@ let single_read_round t ~uid ~floor ~set_size =
         (* An honest server never stores an unverifiable write and never
            serves a value older than the stamp it just claimed. *)
         if not (Signing.check_write_quiet t.keyring w) then
-          report_proof t ~server:from Fault_evidence.Invalid_signature
+          report_proof t ~server:from (classify_bad_write w)
         else if Stamp.compare w.Payload.stamp claimed < 0 then
           report_proof t ~server:from Fault_evidence.Stamp_regression;
         None
@@ -400,7 +522,7 @@ let inline_read_round t ~uid ~floor ~set_size =
     (fun (from, w) ->
       if Signing.verify_write t.keyring w then Some w
       else begin
-        report_proof t ~server:from Fault_evidence.Invalid_signature;
+        report_proof t ~server:from (classify_bad_write w);
         None
       end)
     ordered
@@ -466,6 +588,10 @@ let apply_read_to_context t (w : Payload.write) =
 
 let read_write t ~item =
   ensure_connected t @@ fun () ->
+  (* Read-your-writes under Mac_fast: a MAC-held write is invisible to
+     readers (including this one) until escalated, so flush before the
+     context floor can demand a stamp no server will serve. *)
+  if t.unescalated <> [] then flush_escalations t;
   Obs.Span.with_op "read" @@ fun () ->
   t.opstats.reads <- t.opstats.reads + 1;
   let uid = Uid.make ~group:t.group ~item in
@@ -574,68 +700,145 @@ let write t ~item value =
       Some t.ctx
     | MRC -> None
   in
+  let sign_evidence () =
+    match t.cfg.signing with
+    | Merkle_batch _ ->
+      (* A synchronous single write under batching degenerates to a
+         batch of one: same Batch evidence shape every verifier expects,
+         no extra latency. Throughput callers use {!write_batch} to
+         actually amortize the signature. *)
+      let batch = Signbatch.create ~key:t.key ~limit:1 in
+      ignore
+        (Signbatch.add batch
+           {
+             Payload.uid;
+             stamp;
+             wctx;
+             value;
+             writer = t.uid;
+             evidence = Payload.Sig "";
+           }
+          : [ `Buffered | `Full ]);
+      (match Signbatch.flush batch with [ w ] -> w | _ -> assert false)
+    | Per_write_sig | Mac_fast ->
+      Obs.Span.with_phase "sign" (fun () ->
+          Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx value)
+  in
   let w =
-    Obs.Span.with_phase "sign" (fun () ->
-        Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx value)
+    match t.cfg.signing with
+    | Mac_fast -> (
+      match
+        Obs.Span.with_phase "mac" (fun () ->
+            Signing.mac_write t.keyring ~writer:t.uid ~uid ~stamp ?wctx
+              ~servers:t.cfg.servers value)
+      with
+      | Some w -> w
+      | None ->
+        (* Missing pairwise keys: fall back to the signature rather than
+           send a write some addressed server could never verify. *)
+        sign_evidence ())
+    | Per_write_sig | Merkle_batch _ -> sign_evidence ()
   in
-  let fanout =
-    match t.cfg.mode with
-    | Single_writer -> Quorums.write_set ~b:(effective_b t)
-    | Multi_writer -> Quorums.mw_write_set ~b:(effective_b t)
-  in
-  let result =
-    if t.cfg.paper_cost_model then begin
-      send_oneway t (server_set t fanout)
-        (Payload.Write_req { write = w; await_ack = false });
-      Ok ()
-    end
-    else begin
-      let request = Payload.Write_req { write = w; await_ack = true } in
-      let acks replies =
-        List.length (List.filter (fun (_, r) -> r = Payload.Ack) replies)
-      in
-      (* One round = preferred fanout plus escalation to the remaining
-         servers. Retrying re-sends the *same signed write* — servers
-         treat a duplicate stamp idempotently, so a retry after a lost
-         ack cannot double-apply. *)
-      let one_round () =
-        let initial = server_set t fanout in
-        let got =
-          acks
-            (Obs.Span.with_phase "write_quorum" (fun () ->
-                 rpc t ~quorum:fanout initial request))
-        in
-        if got >= fanout then got
-        else begin
-          Metrics.incr_escalation ();
-          got
-          + acks
-              (Obs.Span.with_phase "escalate" (fun () ->
-                   rpc t ~quorum:(fanout - got) (remaining_servers t initial)
-                     request))
-        end
-      in
-      let start = Sim.Runtime.now () in
-      let rec go ~retries ~tried =
-        let got = one_round () in
-        if got >= fanout then Ok ()
-        else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
-          go ~retries:(retries - 1) ~tried:(tried + 1)
-        else if got = 0 then Error Write_rejected
-        else Error (No_quorum { wanted = fanout; got })
-      in
-      go ~retries:t.cfg.write_retries ~tried:0
-    end
-  in
+  let result = disseminate t w in
   (match (result, t.cfg.consistency) with
   | Ok (), MRC -> t.ctx <- Context.observe t.ctx uid stamp
   | Ok (), CC -> () (* already in the context *)
   | Error _, _ -> ());
+  (match (result, w.evidence) with
+  | Ok (), Payload.Mac _ ->
+    t.unescalated <- w :: t.unescalated;
+    if List.length t.unescalated >= max 1 t.cfg.escalate_every then
+      flush_escalations t
+  | _ -> ());
   if Trace.enabled () then
     trace t ~op:opid ~phase:Trace.Return
       ~outcome:(outcome_of_result (fun () -> Trace.Ok_unit) result)
       (wkind ());
   result
+
+(* Throughput path: write many items amortizing the signature cost.
+   Under [Merkle_batch k] the items are chunked into batches of k; each
+   chunk is stamped and (for CC) context-threaded in one pass, signed
+   with a single RSA operation over the chunk's Merkle root, then
+   disseminated write by write — so traced operations never overlap and
+   dissemination order still satisfies each write's causal context.
+   Under the other modes this is just [write] in a loop. *)
+let write_chunk t chunk =
+  let _, prepared =
+    List.fold_left
+      (fun (ctx, acc) (item, value) ->
+        let uid = Uid.make ~group:t.group ~item in
+        let stamp = make_stamp t ~value in
+        let ctx, wctx =
+          match t.cfg.consistency with
+          | CC ->
+            let ctx = Context.set ctx uid stamp in
+            (ctx, Some ctx)
+          | MRC -> (ctx, None)
+        in
+        (ctx, (uid, stamp, wctx, value, ctx) :: acc))
+      (t.ctx, []) chunk
+  in
+  let prepared = List.rev prepared in
+  let batch = Signbatch.create ~key:t.key ~limit:(List.length prepared) in
+  List.iter
+    (fun (uid, stamp, wctx, value, _) ->
+      ignore
+        (Signbatch.add batch
+           {
+             Payload.uid;
+             stamp;
+             wctx;
+             value;
+             writer = t.uid;
+             evidence = Payload.Sig "";
+           }
+          : [ `Buffered | `Full ]))
+    prepared;
+  let signed = Signbatch.flush batch in
+  List.map2
+    (fun (uid, stamp, _, value, post_ctx) w ->
+      Obs.Span.with_op "write" @@ fun () ->
+      t.opstats.writes <- t.opstats.writes + 1;
+      if t.cfg.consistency = CC then t.ctx <- post_ctx;
+      let opid = trace_op () in
+      let wkind () =
+        Trace.Write { uid; stamp; digest = Crypto.Sha256.hex_digest value }
+      in
+      if Trace.enabled () then trace t ~op:opid ~phase:Trace.Invoke (wkind ());
+      let result = disseminate t w in
+      (match (result, t.cfg.consistency) with
+      | Ok (), MRC -> t.ctx <- Context.observe t.ctx uid stamp
+      | Ok (), CC -> ()
+      | Error _, _ -> ());
+      if Trace.enabled () then
+        trace t ~op:opid ~phase:Trace.Return
+          ~outcome:(outcome_of_result (fun () -> Trace.Ok_unit) result)
+          (wkind ());
+      result)
+    prepared signed
+
+let write_batch t items =
+  if not t.connected then List.map (fun _ -> Error Disconnected) items
+  else
+    match (items, t.cfg.signing) with
+    | [], _ -> []
+    | _, (Per_write_sig | Mac_fast) ->
+      List.map (fun (item, value) -> write t ~item value) items
+    | _, Merkle_batch k ->
+      let k = max 1 k in
+      let rec chunks acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | x :: rest ->
+          if n = k then chunks (List.rev cur :: acc) [ x ] 1 rest
+          else chunks acc (x :: cur) (n + 1) rest
+      in
+      List.concat_map (write_chunk t) (chunks [] [] 0 items)
+
+let flush t =
+  ensure_connected t @@ fun () ->
+  flush_escalations t;
+  Ok ()
 
 (* ---------------- Context reconstruction ------------------------------ *)
 
@@ -681,6 +884,7 @@ let reconstruct_context t =
 
 let reconstruct t =
   ensure_connected t @@ fun () ->
+  if t.unescalated <> [] then flush_escalations t;
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Reconstruct;
   reconstruct_context t;
@@ -708,6 +912,7 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
       ctx_seq = 0;
       last_time = 0;
       connected = true;
+      unescalated = [];
       opstats =
         { messages = 0; reads = 0; writes = 0; read_rounds = 0; read_failures = 0 };
     }
@@ -746,6 +951,9 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
 
 let disconnect t =
   ensure_connected t @@ fun () ->
+  (* Escalate before storing the context: the stored floor may name
+     MAC-held stamps, and a future session must be able to read them. *)
+  if t.unescalated <> [] then flush_escalations t;
   Obs.Span.with_op "disconnect" @@ fun () ->
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Disconnect;

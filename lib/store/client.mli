@@ -19,6 +19,22 @@
 type consistency = MRC | CC
 type mode = Single_writer | Multi_writer
 
+type signing_mode =
+  | Per_write_sig  (** one RSA signature per write — the paper's baseline *)
+  | Merkle_batch of int
+      (** one signature per batch of up to k writes: {!write_batch} signs
+          the Merkle root of the chunk's write bodies, each write carries
+          root + inclusion proof ({!Payload.Batch}); single {!write}s
+          degenerate to batches of one *)
+  | Mac_fast
+      (** no signature on the write path at all: a per-server HMAC vector
+          ({!Payload.Mac}) gets the write accepted into servers' held
+          slots, and a background escalation ({!Payload.Evidence_upgrade},
+          triggered every [escalate_every] writes, before reads, and at
+          disconnect) swaps in Merkle-batch evidence so the write can be
+          announced and gossiped. Falls back to a signature when pairwise
+          keys are missing. *)
+
 type config = {
   n : int;
   b : int;
@@ -78,10 +94,15 @@ type config = {
           observed. [Check.Oracle] must flag the resulting history — the
           proof the oracle harness cannot pass vacuously. Never enable
           outside oracle tests. *)
+  signing : signing_mode;
+  escalate_every : int;
+      (** Mac_fast: pending fast-path writes that force an escalation
+          flush (reads and disconnect flush regardless). Default 8. *)
 }
 
 val default_config : n:int -> b:int -> config
-(** Single writer, MRC, reliable writes, servers [0..n-1].
+(** Single writer, MRC, reliable writes, servers [0..n-1], per-write
+    signatures.
     @raise Invalid_argument when n < 3b+1. *)
 
 type error =
@@ -131,6 +152,18 @@ val disconnect : t -> (unit, error) result
 
 val write : t -> item:string -> string -> (unit, error) result
 (** Write a value to [group/item] under the session's consistency level. *)
+
+val write_batch :
+  t -> (string * string) list -> (unit, error) result list
+(** Write several [(item, value)] pairs, amortizing signatures under
+    [Merkle_batch k] (one RSA sign per chunk of k); results come back in
+    argument order. Writes disseminate sequentially, so each CC write's
+    context covers its in-batch predecessors. Under the other signing
+    modes this is {!write} in a loop. *)
+
+val flush : t -> (unit, error) result
+(** Escalate any pending Mac_fast writes to signed (batch) evidence now.
+    Reads, {!reconstruct} and {!disconnect} do this implicitly. *)
 
 val read : t -> item:string -> (string, error) result
 val read_write : t -> item:string -> (Payload.write, error) result

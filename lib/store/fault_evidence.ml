@@ -1,9 +1,14 @@
-type event = Invalid_signature | Stamp_regression | Forged_context
+type event =
+  | Invalid_signature
+  | Stamp_regression
+  | Forged_context
+  | Evidence_downgrade
 
 let event_to_string = function
   | Invalid_signature -> "invalid-signature"
   | Stamp_regression -> "stamp-regression"
   | Forged_context -> "forged-context"
+  | Evidence_downgrade -> "evidence-downgrade"
 
 type t = {
   universe : int list;

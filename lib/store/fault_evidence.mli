@@ -23,6 +23,11 @@ type event =
   | Invalid_signature  (** served a write that fails verification *)
   | Stamp_regression  (** served a value older than its own meta claim *)
   | Forged_context  (** served a context record failing verification *)
+  | Evidence_downgrade
+      (** served a write carrying MAC-vector evidence — which is not
+          third-party verifiable, and which an honest server holds
+          unannounced until the client escalates it; serving one is
+          proof of misbehaviour *)
 
 val create : servers:int list -> b:int -> t
 (** [servers] is the node-id universe (the client's server list). *)

@@ -8,6 +8,7 @@ type behavior =
   | Equivocate
   | Eager_report
   | Drop_gossip
+  | Downgrade
 
 let to_string = function
   | Honest -> "honest"
@@ -19,11 +20,12 @@ let to_string = function
   | Equivocate -> "equivocate"
   | Eager_report -> "eager-report"
   | Drop_gossip -> "drop-gossip"
+  | Downgrade -> "downgrade"
 
 let all =
   [
     Honest; Crash; Silent_reads; Stale; Corrupt_value; Corrupt_meta;
-    Equivocate; Eager_report; Drop_gossip;
+    Equivocate; Eager_report; Drop_gossip; Downgrade;
   ]
 
 let flip_byte s i =
@@ -45,24 +47,28 @@ let is_query (env : Payload.envelope) =
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
   | Payload.Log_query _ | Payload.Group_query _ | Payload.Read_inline _ ->
     true
-  | Payload.Ctx_write _ | Payload.Write_req _ | Payload.Gossip_push _ -> false
+  | Payload.Ctx_write _ | Payload.Write_req _ | Payload.Gossip_push _
+  | Payload.Evidence_upgrade _ ->
+    false
 
 let is_write_or_gossip (env : Payload.envelope) =
   match env.request with
-  | Payload.Write_req _ | Payload.Gossip_push _ | Payload.Ctx_write _ -> true
+  | Payload.Write_req _ | Payload.Gossip_push _ | Payload.Ctx_write _
+  | Payload.Evidence_upgrade _ ->
+    true
   | _ -> false
+
+let best_stamp writes =
+  List.fold_left
+    (fun acc (w : Payload.write) ->
+      match acc with
+      | Some s when Stamp.compare s w.stamp >= 0 -> acc
+      | _ -> Some w.stamp)
+    None writes
 
 (* Eager reporting: answer meta/log queries from pending (held) writes as
    if they were announced — the attack the b+1 vouching rule masks. *)
 let with_pending server (env : Payload.envelope) honest_resp =
-  let best_stamp writes =
-    List.fold_left
-      (fun acc (w : Payload.write) ->
-        match acc with
-        | Some s when Stamp.compare s w.stamp >= 0 -> acc
-        | _ -> Some w.stamp)
-      None writes
-  in
   match (env.request, honest_resp) with
   | Payload.Meta_query { uid }, Some (Payload.Meta_reply { stamp; writer_faulty }) ->
     let held = Server.pending_writes server uid in
@@ -85,6 +91,75 @@ let with_pending server (env : Payload.envelope) honest_resp =
             (Server.pending_writes server uid)))
   | _ -> honest_resp
 
+(* Evidence downgrade, leak half: serve MAC-held writes as if they were
+   announced. Their MAC vectors are genuine (the server really received
+   them) but carry no third-party-verifiable evidence — exactly what an
+   honest server refuses to serve, so a reader treats any such reply as
+   proof of misbehaviour. *)
+let with_maced server (env : Payload.envelope) honest_resp =
+  match (env.request, honest_resp) with
+  | Payload.Meta_query { uid }, Some (Payload.Meta_reply { stamp; writer_faulty })
+    ->
+    let held = Server.maced_writes server uid in
+    let stamp =
+      match (stamp, best_stamp held) with
+      | Some s, Some h -> Some (if Stamp.compare h s > 0 then h else s)
+      | None, h -> h
+      | s, None -> s
+    in
+    Some (Payload.Meta_reply { stamp; writer_faulty })
+  | Payload.Log_query { uid }, Some (Payload.Log_reply { writes; writer_faulty })
+    ->
+    Some
+      (Payload.Log_reply
+         { writes = Server.maced_writes server uid @ writes; writer_faulty })
+  | Payload.Value_read { uid; stamp }, Some (Payload.Value_reply None) ->
+    Some
+      (Payload.Value_reply
+         (List.find_opt
+            (fun (w : Payload.write) -> Stamp.equal w.stamp stamp)
+            (Server.maced_writes server uid)))
+  | Payload.Read_inline { uid }, Some (Payload.Value_reply current) ->
+    let held = Server.maced_writes server uid in
+    let newest =
+      List.fold_left
+        (fun acc (w : Payload.write) ->
+          match acc with
+          | Some (c : Payload.write) when Stamp.compare c.stamp w.stamp >= 0 ->
+            acc
+          | _ -> Some w)
+        current held
+    in
+    Some (Payload.Value_reply newest)
+  | _ -> honest_resp
+
+(* Evidence downgrade, tamper half: strip an element from a batch
+   write's inclusion proof (the truncated path must fail the size-aware
+   verifier structurally) — or, when the proof is already empty (batch
+   of one), corrupt the root signature. Sig evidence is left alone
+   (Corrupt_value covers that ground) and Mac evidence is already
+   damning as served. *)
+let strip_batch_proof (w : Payload.write) =
+  match w.Payload.evidence with
+  | Payload.Batch b ->
+    let evidence =
+      match b.proof.Crypto.Merkle.path with
+      | _ :: rest ->
+        Payload.Batch { b with proof = { b.proof with path = rest } }
+      | [] -> Payload.Batch { b with root_sig = flip_byte b.root_sig 11 }
+    in
+    { w with evidence }
+  | Payload.Sig _ | Payload.Mac _ -> w
+
+let map_writes f resp =
+  match resp with
+  | Some (Payload.Value_reply (Some w)) -> Some (Payload.Value_reply (Some (f w)))
+  | Some (Payload.Log_reply { writes; writer_faulty }) ->
+    Some (Payload.Log_reply { writes = List.map f writes; writer_faulty })
+  | Some (Payload.Group_reply writes) ->
+    Some (Payload.Group_reply (List.map f writes))
+  | _ -> resp
+
 let mutate_response behavior server (env : Payload.envelope) resp =
   match (behavior, resp) with
   | (Honest | Crash | Silent_reads | Stale | Drop_gossip), _ -> resp
@@ -106,6 +181,7 @@ let mutate_response behavior server (env : Payload.envelope) resp =
     Some (Payload.Meta_reply { stamp = Some (inflate s); writer_faulty })
   | Equivocate, _ -> resp (* serves genuine values on fetch *)
   | Eager_report, _ -> with_pending server env resp
+  | Downgrade, _ -> map_writes strip_batch_proof (with_maced server env resp)
 
 let handle_typed behavior server ~now ~from env =
   match behavior with
@@ -142,5 +218,5 @@ let forge_write ~keyring:_ ~uid ~value ~writer =
     wctx = None;
     value;
     writer;
-    signature = String.make 64 '\x42';
+    evidence = Payload.Sig (String.make 64 '\x42');
   }

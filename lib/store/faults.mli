@@ -23,6 +23,12 @@ type behavior =
       (** multi-writer: reports held (pending) writes before their causal
           predecessors arrived, the attack b+1 vouching masks *)
   | Drop_gossip  (** accepts client writes but ignores gossip pushes *)
+  | Downgrade
+      (** evidence downgrade: serves MAC-held writes as if announced
+          (their MAC vectors are genuine but not third-party
+          verifiable) and strips elements from batch inclusion proofs —
+          the attacks the evidence checks in {!Signing.verify_write}
+          must catch *)
 
 val to_string : behavior -> string
 val all : behavior list

@@ -1,9 +1,16 @@
-(** Directory of client public keys.
+(** Directory of client public keys and pairwise MAC keys.
 
     The paper assumes clients and servers own key pairs whose public
     halves are well known; key management itself is out of scope. This
     directory is that assumption made concrete — servers verify writer
-    signatures against it, clients verify each other's writes. *)
+    signatures against it, clients verify each other's writes.
+
+    For the MAC-vector write fast path it additionally holds pairwise
+    client<->server HMAC secrets: the client MACs a write once per
+    addressed server, and only that server can check its tag. MAC'd
+    writes are not third-party verifiable, which is exactly why
+    {!Server} never announces or gossips them before signature
+    escalation. *)
 
 type t
 
@@ -14,3 +21,13 @@ val register : t -> string -> Crypto.Rsa.public -> unit
 val find : t -> string -> Crypto.Rsa.public option
 val known : t -> string -> bool
 val size : t -> int
+
+val register_mac : t -> client:string -> server:int -> string -> unit
+(** Bind the shared HMAC secret for one client/server pair.
+    @raise Invalid_argument if the pair is bound to a different secret. *)
+
+val mac_key : t -> client:string -> server:int -> string option
+
+val macs_complete : t -> client:string -> n:int -> bool
+(** Does [client] share a MAC key with every server in [0, n)? The
+    client-side precondition for choosing the MAC fast path. *)

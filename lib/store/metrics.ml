@@ -99,8 +99,14 @@ let pp_endpoint_health ~now fmt h =
    endpoint-health registry and the in-flight high-water mark survive,
    so a bench or periodic snapshot reset no longer blanks the health
    view mid-observation. Tests that need a truly pristine slate call
-   [reset_gauges] too. *)
+   [reset_gauges] too.
+
+   Per-phase span histograms are experiment-scoped like the counters, so
+   they clear here too: a bench running several phases in one process
+   (e18 runs three signing modes back to back) must not report one
+   mode's percentiles polluted by another's samples. *)
 let reset () =
+  Obs.Span.reset_stats ();
   messages := 0;
   bytes := 0;
   signs := 0;

@@ -26,8 +26,11 @@ type snapshot = {
 }
 
 val reset : unit -> unit
-(** Clear the per-operation counters (the {!snapshot} fields) and the
-    RPC latency histogram. Operator gauges — {!endpoint_health},
+(** Clear the per-operation counters (the {!snapshot} fields), the RPC
+    latency histogram, and the per-phase span histograms
+    ({!Obs.Span.reset_stats}) — everything experiment-scoped, so
+    back-to-back bench phases in one process start from clean
+    percentiles. Operator gauges — {!endpoint_health},
     {!inflight_high_water}, the per-endpoint latency registry — are
     deliberately left alone so a measurement reset cannot blank the
     health view a live operator is watching; use {!reset_gauges} for

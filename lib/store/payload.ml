@@ -1,12 +1,26 @@
 open Wire
 
+let digest_len = 32
+
+type batch_evidence = {
+  root : string; (* 32-byte Merkle root over the batch's write bodies *)
+  size : int; (* leaves under the root *)
+  proof : Crypto.Merkle.proof; (* this write's inclusion proof *)
+  root_sig : string; (* writer's signature over batch_body root size *)
+}
+
+type evidence =
+  | Sig of string
+  | Batch of batch_evidence
+  | Mac of (int * string) list
+
 type write = {
   uid : Uid.t;
   stamp : Stamp.t;
   wctx : Context.t option;
   value : string;
   writer : string;
-  signature : string;
+  evidence : evidence;
 }
 
 type ctx_record = { seq : int; ctx : Context.t; signature : string }
@@ -20,6 +34,27 @@ let write_body w =
       Codec.Enc.option enc Context.encode w.wctx;
       Codec.Enc.string enc w.value;
       Codec.Enc.string enc w.writer)
+    ()
+
+(* The batch signature binds root and size together: verification then
+   derives the proof shape from the signed size, so no server can relabel
+   a leaf's position without breaking the signature or the hash chain. *)
+let batch_body ~root ~size =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc "write-batch";
+      Codec.Enc.varint enc size;
+      Codec.Enc.fixed enc ~len:digest_len root)
+    ()
+
+(* A MAC binds the destination server id: a tag minted for server i is
+   not a valid tag at server j even if the pairwise keys ever collided. *)
+let mac_body ~server body =
+  Codec.encode
+    (fun enc () ->
+      Codec.Enc.string enc "write-mac";
+      Codec.Enc.varint enc server;
+      Codec.Enc.string enc body)
     ()
 
 let ctx_body ~client ~group ~seq ctx =
@@ -42,6 +77,12 @@ type request =
   | Read_inline of { uid : Uid.t }
   | Group_query of { group : string }
   | Gossip_push of { writes : write list; have : (Uid.t * Stamp.t) list }
+  | Evidence_upgrade of {
+      uid : Uid.t;
+      stamp : Stamp.t;
+      writer : string;
+      evidence : evidence;
+    }
 
 type envelope = { token : string option; request : request }
 
@@ -54,13 +95,66 @@ type response =
   | Group_reply of write list
   | Denied of string
 
+let encode_proof enc (p : Crypto.Merkle.proof) =
+  Codec.Enc.varint enc p.index;
+  Codec.Enc.list enc
+    (fun enc (h, side) ->
+      Codec.Enc.fixed enc ~len:digest_len h;
+      Codec.Enc.bool enc (side = `Right))
+    p.path
+
+let decode_proof dec : Crypto.Merkle.proof =
+  let index = Codec.Dec.varint dec in
+  let path =
+    Codec.Dec.list dec (fun dec ->
+        let h = Codec.Dec.fixed dec ~len:digest_len in
+        let right = Codec.Dec.bool dec in
+        (h, if right then `Right else `Left))
+  in
+  { index; path }
+
+let encode_evidence enc = function
+  | Sig s ->
+    Codec.Enc.u8 enc 0;
+    Codec.Enc.string enc s
+  | Batch { root; size; proof; root_sig } ->
+    Codec.Enc.u8 enc 1;
+    Codec.Enc.fixed enc ~len:digest_len root;
+    Codec.Enc.varint enc size;
+    encode_proof enc proof;
+    Codec.Enc.string enc root_sig
+  | Mac tags ->
+    Codec.Enc.u8 enc 2;
+    Codec.Enc.list enc
+      (fun enc (sid, tag) ->
+        Codec.Enc.varint enc sid;
+        Codec.Enc.fixed enc ~len:digest_len tag)
+      tags
+
+let decode_evidence dec =
+  match Codec.Dec.u8 dec with
+  | 0 -> Sig (Codec.Dec.string dec)
+  | 1 ->
+    let root = Codec.Dec.fixed dec ~len:digest_len in
+    let size = Codec.Dec.varint dec in
+    let proof = decode_proof dec in
+    let root_sig = Codec.Dec.string dec in
+    Batch { root; size; proof; root_sig }
+  | 2 ->
+    Mac
+      (Codec.Dec.list dec (fun dec ->
+           let sid = Codec.Dec.varint dec in
+           let tag = Codec.Dec.fixed dec ~len:digest_len in
+           (sid, tag)))
+  | _ -> raise (Codec.Error "bad evidence tag")
+
 let encode_write enc w =
   Uid.encode enc w.uid;
   Stamp.encode enc w.stamp;
   Codec.Enc.option enc Context.encode w.wctx;
   Codec.Enc.string enc w.value;
   Codec.Enc.string enc w.writer;
-  Codec.Enc.string enc w.signature
+  encode_evidence enc w.evidence
 
 let decode_write dec =
   let uid = Uid.decode dec in
@@ -68,8 +162,8 @@ let decode_write dec =
   let wctx = Codec.Dec.option dec Context.decode in
   let value = Codec.Dec.string dec in
   let writer = Codec.Dec.string dec in
-  let signature = Codec.Dec.string dec in
-  { uid; stamp; wctx; value; writer; signature }
+  let evidence = decode_evidence dec in
+  { uid; stamp; wctx; value; writer; evidence }
 
 let encode_ctx_record enc r =
   Codec.Enc.varint enc r.seq;
@@ -120,6 +214,12 @@ let encode_request enc = function
   | Read_inline { uid } ->
     Codec.Enc.u8 enc 8;
     Uid.encode enc uid
+  | Evidence_upgrade { uid; stamp; writer; evidence } ->
+    Codec.Enc.u8 enc 9;
+    Uid.encode enc uid;
+    Stamp.encode enc stamp;
+    Codec.Enc.string enc writer;
+    encode_evidence enc evidence
 
 let decode_request dec =
   match Codec.Dec.u8 dec with
@@ -153,6 +253,12 @@ let decode_request dec =
     in
     Gossip_push { writes; have }
   | 8 -> Read_inline { uid = Uid.decode dec }
+  | 9 ->
+    let uid = Uid.decode dec in
+    let stamp = Stamp.decode dec in
+    let writer = Codec.Dec.string dec in
+    let evidence = decode_evidence dec in
+    Evidence_upgrade { uid; stamp; writer; evidence }
   | _ -> raise (Codec.Error "bad request tag")
 
 let encode_envelope env =

@@ -1,9 +1,34 @@
 (** Wire messages between clients and servers.
 
-    A {!write} is the unit of replication and the unit of signing: the
-    signature covers the item uid, the timestamp, the writer context (if
-    any) and the value, so no server can alter any of it undetected and
-    gossip can forward whole write messages verbatim (section 5.2). *)
+    A {!write} is the unit of replication, and its {!evidence} is what
+    makes it self-certifying. Three evidence forms exist, trading sign
+    cost against verifiability scope:
+
+    - {!Sig}: a per-write signature over {!write_body} — the paper's
+      baseline (section 5.2): anyone holding the writer's public key can
+      check it, so the write may travel anywhere (gossip, audit).
+    - {!Batch}: one signature over the Merkle root of up to k write
+      bodies, plus this write's inclusion proof — same third-party
+      verifiability, amortized k-fold sign cost (the PoWerStore
+      observation that per-write public-key operations are avoidable).
+    - {!Mac}: a vector of per-server HMAC tags — verifiable only by the
+      addressed servers, so such a write must never cross the
+      gossip/anti-entropy boundary; it is held unannounced until the
+      client escalates it to signed (Batch) evidence with
+      {!Evidence_upgrade}. *)
+
+type batch_evidence = {
+  root : string;  (** 32-byte Merkle root over the batch's write bodies *)
+  size : int;  (** number of leaves under [root] *)
+  proof : Crypto.Merkle.proof;  (** this write's inclusion proof *)
+  root_sig : string;  (** writer's signature over {!batch_body} *)
+}
+
+type evidence =
+  | Sig of string
+  | Batch of batch_evidence
+  | Mac of (int * string) list
+      (** [(server id, HMAC-SHA256 over {!mac_body})] per addressed server *)
 
 type write = {
   uid : Uid.t;
@@ -11,11 +36,24 @@ type write = {
   wctx : Context.t option;  (** CC writes carry the writer's context *)
   value : string;
   writer : string;  (** client uid *)
-  signature : string;
+  evidence : evidence;
 }
 
 val write_body : write -> string
-(** The canonical bytes the writer signs (everything but the signature). *)
+(** The canonical bytes the writer authenticates (everything but the
+    evidence): uid, stamp, context, value, writer. Identical across all
+    three evidence forms, so escalating a write from MAC to batch
+    evidence re-certifies exactly the same bytes. *)
+
+val batch_body : root:string -> size:int -> string
+(** Canonical signed bytes for a Merkle batch root: domain-separated
+    from {!write_body} and binding the leaf count, so the proof shape a
+    verifier derives from [size] is covered by the signature. *)
+
+val mac_body : server:int -> string -> string
+(** [mac_body ~server body] — the bytes a per-server MAC tag
+    authenticates: the write body plus the destination server id, so a
+    tag replayed at a different server fails even before key lookup. *)
 
 type ctx_record = { seq : int; ctx : Context.t; signature : string }
 (** A stored context: [seq] is the client's session counter, so "latest"
@@ -42,6 +80,17 @@ type request =
           evidence behind section 5.3's log erasure rule ("old values
           could be erased once a server learns that a new value is
           available at at least 2b+1 servers") *)
+  | Evidence_upgrade of {
+      uid : Uid.t;
+      stamp : Stamp.t;
+      writer : string;
+      evidence : evidence;
+    }
+      (** lazy signature escalation: replace the held MAC-fast write
+          [uid, stamp] with third-party-verifiable [evidence] (normally
+          [Batch]), allowing it to be announced and gossiped. [writer]
+          lets hosts warm the root-signature check outside their state
+          lock. *)
 
 type envelope = { token : string option; request : request }
 
@@ -53,6 +102,14 @@ type response =
   | Log_reply of { writes : write list; writer_faulty : bool }
   | Group_reply of write list
   | Denied of string
+
+val encode_write : Wire.Codec.Enc.t -> write -> unit
+val decode_write : Wire.Codec.Dec.t -> write
+(** Exposed for {!Server}'s snapshot codec; raises {!Wire.Codec.Error}
+    on malformed input like every decoder here. *)
+
+val encode_evidence : Wire.Codec.Enc.t -> evidence -> unit
+val decode_evidence : Wire.Codec.Dec.t -> evidence
 
 val encode_envelope : envelope -> string
 val decode_envelope : string -> envelope option

@@ -3,16 +3,29 @@ type config = {
   b : int;
   malicious_client_guard : bool;
   log_depth : int;
+  mac_hold_depth : int;
   auth : Access_control.service option;
 }
 
 let default_config ~n ~b =
-  { n; b; malicious_client_guard = false; log_depth = 4; auth = None }
+  {
+    n;
+    b;
+    malicious_client_guard = false;
+    log_depth = 4;
+    mac_hold_depth = 32;
+    auth = None;
+  }
 
 type item_state = {
   mutable current : Payload.write option;
   mutable log : Payload.write list; (* newest first, excludes current *)
   mutable pending : Payload.write list; (* guard: held, unannounced *)
+  mutable maced : Payload.write list;
+      (* MAC-fast writes: verified with our pairwise key but carrying no
+         third-party-verifiable evidence, so never announced, served, or
+         gossiped until the client escalates them to signed evidence
+         (Evidence_upgrade). Bounded by [mac_hold_depth], oldest dropped. *)
   mutable forked : bool;
   mutable holders : (Stamp.t * int list) list;
       (* which servers are known (via gossip summaries) to hold which
@@ -59,6 +72,7 @@ let item_state t uid =
         current = None;
         log = [];
         pending = [];
+        maced = [];
         forked = false;
         holders = [];
         erased_below = Stamp.zero;
@@ -97,8 +111,9 @@ let detect_fork t st (w : Payload.write) =
   let conflicts other = Stamp.is_fork w.stamp other.Payload.stamp in
   let in_log = List.exists conflicts st.log in
   let in_pending = List.exists conflicts st.pending in
+  let in_maced = List.exists conflicts st.maced in
   let in_current = match st.current with Some c -> conflicts c | None -> false in
-  if in_log || in_pending || in_current then begin
+  if in_log || in_pending || in_maced || in_current then begin
     st.forked <- true;
     Hashtbl.replace t.faulty_writers w.writer ();
     true
@@ -111,10 +126,25 @@ let already_stored st (w : Payload.write) =
   || List.exists same st.log
   || List.exists same st.pending
 
+let in_maced st (w : Payload.write) =
+  List.exists
+    (fun other -> Stamp.equal other.Payload.stamp w.stamp)
+    st.maced
+
+let drop_maced st stamp =
+  st.maced <-
+    List.filter
+      (fun (m : Payload.write) -> not (Stamp.equal m.stamp stamp))
+      st.maced
+
 let trim depth l = List.filteri (fun i _ -> i < depth) l
 
 (* Install an accepted (announced) write. Returns true if state changed. *)
 let install t st (w : Payload.write) =
+  (* If we held the same stamp as a MAC-fast write, the announced form
+     (escalated by the client, or gossiped from a peer that saw the
+     signed version) supersedes it. *)
+  drop_maced st w.stamp;
   match st.current with
   | None ->
     st.current <- Some w;
@@ -209,6 +239,24 @@ let accept_write t w =
   | `Accepted -> drain_pending t
   | `Held | `Rejected -> ());
   result
+
+(* Accept a MAC-fast write into the held [maced] slot: verified under
+   our pairwise key, but invisible to reads, gossip and fork vouching
+   until the client upgrades its evidence. Mirrors [try_accept]'s guards
+   so a Byzantine client cannot use the fast path to smuggle forks or
+   resurrect erased stamps. *)
+let accept_mac_write t (w : Payload.write) =
+  let st = item_state t w.uid in
+  if Stamp.compare w.stamp st.erased_below < 0 then `Rejected
+  else if already_stored st w || in_maced st w then `Rejected
+  else if is_writer_faulty t w.writer then `Rejected
+  else if detect_fork t st w then `Rejected
+  else if not (Signing.server_verify_mac t.keyring ~server:t.id w) then
+    `Rejected
+  else begin
+    st.maced <- trim t.config.mac_hold_depth (w :: st.maced);
+    `Held
+  end
 
 (* Section 5.3 log erasure: once 2b+1 distinct servers are known to hold
    a stamp at least as new as a logged value's successor, the old value
@@ -313,13 +361,54 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
   | Payload.Write_req { write; await_ack } ->
     auth ~expect_client:write.writer ~group:(Uid.group write.uid) ~op:`Write
       (fun () ->
-        let result = accept_write t write in
+        let result =
+          match write.evidence with
+          | Payload.Mac _ -> accept_mac_write t write
+          | Payload.Sig _ | Payload.Batch _ -> accept_write t write
+        in
         if await_ack then
           Some
             (match result with
             | `Accepted | `Held -> Payload.Ack
             | `Rejected -> Payload.Denied "write rejected")
         else None)
+  | Payload.Evidence_upgrade { uid; stamp; writer; evidence } ->
+    auth ~expect_client:writer ~group:(Uid.group uid) ~op:`Write (fun () ->
+        let st = item_state t uid in
+        match
+          List.find_opt
+            (fun (m : Payload.write) -> Stamp.equal m.stamp stamp)
+            st.maced
+        with
+        | Some held ->
+          if not (String.equal held.writer writer) then
+            Some (Payload.Denied "writer mismatch")
+          else begin
+            let upgraded = { held with Payload.evidence } in
+            match accept_write t upgraded with
+            | `Accepted | `Held ->
+              drop_maced st stamp;
+              Some Payload.Ack
+            | `Rejected ->
+              (* Bad evidence: keep the MAC-held write so a corrected
+                 retry can still upgrade it. *)
+              Some (Payload.Denied "upgrade rejected")
+          end
+        | None ->
+          (* Not held. If the stamp is already announced (gossip beat
+             the upgrade, or the hold was trimmed after the signed form
+             arrived) the upgrade is an idempotent success; otherwise
+             the client must fall back to a full write. *)
+          let announced =
+            (match st.current with
+            | Some c -> Stamp.equal c.Payload.stamp stamp
+            | None -> false)
+            || List.exists
+                 (fun (w : Payload.write) -> Stamp.equal w.stamp stamp)
+                 st.log
+          in
+          if announced then Some Payload.Ack
+          else Some (Payload.Denied "unknown write"))
   | Payload.Log_query { uid } ->
     auth ~group:(Uid.group uid) ~op:`Read (fun () ->
         let writes = log_writes t uid in
@@ -370,6 +459,8 @@ let preverify t (env : Payload.envelope) =
     List.iter (Signing.warm_write t.keyring) writes
   | Payload.Ctx_write { client; group; record } ->
     Signing.warm_context t.keyring ~client ~group record
+  | Payload.Evidence_upgrade { writer; evidence; _ } ->
+    Signing.warm_batch t.keyring ~writer evidence
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
   | Payload.Log_query _ | Payload.Read_inline _ | Payload.Group_query _ -> ()
 
@@ -400,31 +491,29 @@ let pending_writes t uid =
   | None -> []
   | Some st -> st.pending
 
+let maced_count t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> 0
+  | Some st -> List.length st.maced
+
+let maced_writes t uid =
+  match Hashtbl.find_opt t.items (Uid.to_string uid) with
+  | None -> []
+  | Some st -> st.maced
+
 let item_count t = Hashtbl.length t.items
 let audit_log t = List.rev t.audit
 
 (* --- persistence -------------------------------------------------------- *)
 
-let snapshot_version = 1
+(* Version 2: writes carry structured evidence (the v1 flat signature
+   string became the evidence codec) and items persist their MAC-held
+   writes, so a restart does not silently drop fast-path writes awaiting
+   escalation. The write codec itself is {!Payload.encode_write}. *)
+let snapshot_version = 2
 
-let encode_write enc (w : Payload.write) =
-  let open Wire.Codec in
-  Uid.encode enc w.uid;
-  Stamp.encode enc w.stamp;
-  Enc.option enc Context.encode w.wctx;
-  Enc.string enc w.value;
-  Enc.string enc w.writer;
-  Enc.string enc w.signature
-
-let decode_write dec : Payload.write =
-  let open Wire.Codec in
-  let uid = Uid.decode dec in
-  let stamp = Stamp.decode dec in
-  let wctx = Dec.option dec Context.decode in
-  let value = Dec.string dec in
-  let writer = Dec.string dec in
-  let signature = Dec.string dec in
-  { uid; stamp; wctx; value; writer; signature }
+let encode_write = Payload.encode_write
+let decode_write = Payload.decode_write
 
 let snapshot t =
   let open Wire.Codec in
@@ -440,6 +529,7 @@ let snapshot t =
           Enc.option enc encode_write st.current;
           Enc.list enc encode_write st.log;
           Enc.list enc encode_write st.pending;
+          Enc.list enc encode_write st.maced;
           Enc.bool enc st.forked;
           Stamp.encode enc st.erased_below)
         items;
@@ -479,9 +569,19 @@ let restore ?config ~id ~keyring ~n ~b blob =
               let current = Dec.option dec decode_write in
               let log = Dec.list dec decode_write in
               let pending = Dec.list dec decode_write in
+              let maced = Dec.list dec decode_write in
               let forked = Dec.bool dec in
               let erased_below = Stamp.decode dec in
-              (key, { current; log; pending; forked; holders = []; erased_below }))
+              ( key,
+                {
+                  current;
+                  log;
+                  pending;
+                  maced;
+                  forked;
+                  holders = [];
+                  erased_below;
+                } ))
         in
         List.iter (fun (key, st) -> Hashtbl.replace t.items key st) items;
         let contexts =

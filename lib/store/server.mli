@@ -20,11 +20,14 @@ type config = {
   b : int;
   malicious_client_guard : bool;
   log_depth : int;  (** overwritten values retained per item *)
+  mac_hold_depth : int;
+      (** MAC-fast writes held per item awaiting evidence escalation;
+          oldest dropped beyond this *)
   auth : Access_control.service option;
 }
 
 val default_config : n:int -> b:int -> config
-(** guard off, log depth 4, no auth. *)
+(** guard off, log depth 4, MAC hold depth 32, no auth. *)
 
 type t
 
@@ -62,6 +65,13 @@ val pending_count : t -> Uid.t -> int
 val pending_writes : t -> Uid.t -> Payload.write list
 (** The held writes themselves (used by the eager-report fault injector,
     which leaks them before their causal predecessors arrive). *)
+
+val maced_count : t -> Uid.t -> int
+(** MAC-fast writes held for an item, awaiting {!Payload.Evidence_upgrade}. *)
+
+val maced_writes : t -> Uid.t -> Payload.write list
+(** The MAC-held writes themselves. An honest server never serves these;
+    the downgrade fault injector leaks them to model a Byzantine one. *)
 
 val item_count : t -> int
 val is_writer_faulty : t -> string -> bool

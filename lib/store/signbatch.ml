@@ -1,0 +1,43 @@
+(* Merkle-batch signing: collect up to [limit] unsigned writes, sign one
+   Merkle root over their bodies, and hand each write back carrying
+   [Batch] evidence (root, signed root, inclusion proof). One RSA sign
+   certifies the whole batch; each verifier pays one (cached) RSA verify
+   per batch plus a Merkle path per write. *)
+
+type t = {
+  key : Crypto.Rsa.keypair;
+  limit : int;
+  mutable pending : Payload.write list; (* newest first *)
+}
+
+let create ~key ~limit =
+  if limit < 1 then invalid_arg "Signbatch.create: limit must be positive";
+  { key; limit; pending = [] }
+
+let limit t = t.limit
+let pending t = List.length t.pending
+
+let add t w =
+  t.pending <- w :: t.pending;
+  if List.length t.pending >= t.limit then `Full else `Buffered
+
+let flush t =
+  match List.rev t.pending with
+  | [] -> []
+  | writes ->
+    t.pending <- [];
+    let bodies = List.map Payload.write_body writes in
+    let tree = Crypto.Merkle.of_leaves bodies in
+    let root = Crypto.Merkle.root tree in
+    let size = Crypto.Merkle.size tree in
+    let root_sig =
+      Obs.Span.with_phase "batch_sign" (fun () ->
+          Signing.sign_batch_root ~key:t.key ~root ~size)
+    in
+    List.mapi
+      (fun i w ->
+        match Crypto.Merkle.prove tree i with
+        | Some proof ->
+          { w with Payload.evidence = Payload.Batch { root; size; proof; root_sig } }
+        | None -> assert false (* i < size by construction *))
+      writes

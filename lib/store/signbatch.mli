@@ -1,0 +1,26 @@
+(** Merkle-batch signature aggregation.
+
+    The write-path fast path's signing side: buffer up to [limit]
+    unsigned writes, then {!flush} signs a single {!Crypto.Merkle} root
+    over their {!Payload.write_body} bytes and returns the same writes
+    carrying {!Payload.Batch} evidence — root, root signature, and a
+    per-write inclusion proof. Sign cost amortizes [limit]-fold while
+    every write stays individually third-party verifiable (one cached
+    RSA verify plus a Merkle path per write on the receiving side). *)
+
+type t
+
+val create : key:Crypto.Rsa.keypair -> limit:int -> t
+(** @raise Invalid_argument when [limit < 1]. *)
+
+val add : t -> Payload.write -> [ `Buffered | `Full ]
+(** Buffer an unsigned write (its evidence field is ignored and replaced
+    at {!flush}). [`Full] signals the buffer reached [limit] — flush now. *)
+
+val pending : t -> int
+val limit : t -> int
+
+val flush : t -> Payload.write list
+(** Sign the buffered writes as one Merkle batch and return them (in
+    {!add} order) with [Batch] evidence attached; empties the buffer.
+    Costs exactly one RSA signature regardless of batch size. *)

@@ -23,6 +23,32 @@ let reset_sigcache ?(capacity = default_sigcache_capacity) () =
 let sigcache_stats () =
   with_sigcache (fun () -> (Sigcache.hits !sigcache, Sigcache.misses !sigcache))
 
+(* Live view of the cache instance itself (entries/capacity and its own
+   lifetime hit/miss counters, which unlike the Metrics counters survive
+   [Metrics.reset]) as exposition families for a /metrics scrape. *)
+let sigcache_families () =
+  let hits, misses, entries, capacity =
+    with_sigcache (fun () ->
+        ( Sigcache.hits !sigcache,
+          Sigcache.misses !sigcache,
+          Sigcache.size !sigcache,
+          Sigcache.capacity !sigcache ))
+  in
+  [
+    Obs.Expo.counter ~name:"securestore_sigcache_lifetime_hits_total"
+      ~help:"Cache-instance lifetime hits (survives metric resets)."
+      (float_of_int hits);
+    Obs.Expo.counter ~name:"securestore_sigcache_lifetime_misses_total"
+      ~help:"Cache-instance lifetime misses (survives metric resets)."
+      (float_of_int misses);
+    Obs.Expo.gauge ~name:"securestore_sigcache_entries"
+      ~help:"Cached verification verdicts currently held."
+      (float_of_int entries);
+    Obs.Expo.gauge ~name:"securestore_sigcache_capacity"
+      ~help:"LRU capacity of the verification cache."
+      (float_of_int capacity);
+  ]
+
 let cache_key pub ~msg ~signature =
   let ctx = Crypto.Sha256.init () in
   Crypto.Sha256.update ctx (Crypto.Rsa.public_to_string pub);
@@ -56,17 +82,67 @@ let cached_verify ?(count = true) pub ~msg ~signature =
 
 let sign_write ~key ~writer ~uid ~stamp ?wctx value =
   let unsigned =
-    { Payload.uid; stamp; wctx; value; writer; signature = "" }
+    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Sig "" }
   in
   Metrics.incr_sign ();
-  { unsigned with signature = Crypto.Rsa.sign key (Payload.write_body unsigned) }
+  {
+    unsigned with
+    evidence = Payload.Sig (Crypto.Rsa.sign key (Payload.write_body unsigned));
+  }
 
-let check_write ?count keyring (w : Payload.write) =
+let sign_batch_root ~key ~root ~size =
+  Metrics.incr_sign ();
+  Crypto.Rsa.sign key (Payload.batch_body ~root ~size)
+
+(* Build the MAC-evidence form of a write: one HMAC tag per server in
+   [servers]. [None] when any pairwise key is missing — the caller falls
+   back to a signature rather than sending a write some addressed server
+   could never verify. *)
+let mac_write keyring ~writer ~uid ~stamp ?wctx ~servers value =
+  let unsigned =
+    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Mac [] }
+  in
+  let body = Payload.write_body unsigned in
+  let tags =
+    List.filter_map
+      (fun server ->
+        match Keyring.mac_key keyring ~client:writer ~server with
+        | None -> None
+        | Some key ->
+          Metrics.incr_mac ();
+          Some (server, Crypto.Hmac.sha256 ~key (Payload.mac_body ~server body)))
+      servers
+  in
+  if List.length tags = List.length servers then
+    Some { unsigned with evidence = Payload.Mac tags }
+  else None
+
+(* Third-party verification: signature or batch evidence only. MAC
+   evidence is deliberately unverifiable here — a client or gossip peer
+   holding no pairwise key must treat such a write as unauthenticated,
+   which is what keeps MAC-fast writes inside their write quorum until
+   escalation. *)
+let check_write ?(count = true) keyring (w : Payload.write) =
   match Keyring.find keyring w.writer with
   | None -> false
-  | Some pub ->
-    cached_verify ?count pub ~msg:(Payload.write_body w) ~signature:w.signature
-    && Stamp.matches_value w.stamp w.value
+  | Some pub -> (
+    match w.evidence with
+    | Payload.Sig signature ->
+      cached_verify ~count pub ~msg:(Payload.write_body w) ~signature
+      && Stamp.matches_value w.stamp w.value
+    | Payload.Batch { root; size; proof; root_sig } ->
+      size > 0
+      && proof.Crypto.Merkle.index >= 0
+      && proof.Crypto.Merkle.index < size
+      && cached_verify ~count pub
+           ~msg:(Payload.batch_body ~root ~size)
+           ~signature:root_sig
+      && begin
+           if count then Metrics.incr_digest ();
+           Crypto.Merkle.verify ~root ~size ~leaf:(Payload.write_body w) proof
+         end
+      && Stamp.matches_value w.stamp w.value
+    | Payload.Mac _ -> false)
 
 let verify_write keyring w =
   Metrics.incr_verify ();
@@ -78,11 +154,50 @@ let server_verify_write keyring w =
   Metrics.incr_server_verify ();
   check_write keyring w
 
+(* The addressed server's check of a MAC-fast write: find our tag, check
+   it under our pairwise key with the claimed writer. Counted as a
+   server verification (it plays the same protocol role), plus a MAC
+   computation instead of an RSA one — the entire point. *)
+let server_verify_mac keyring ~server (w : Payload.write) =
+  Metrics.incr_server_verify ();
+  match w.evidence with
+  | Payload.Mac tags -> (
+    match List.assoc_opt server tags with
+    | None -> false
+    | Some tag -> (
+      match Keyring.mac_key keyring ~client:w.writer ~server with
+      | None -> false
+      | Some key ->
+        Metrics.incr_mac ();
+        Crypto.Hmac.verify ~key
+          ~msg:(Payload.mac_body ~server (Payload.write_body w))
+          ~tag
+        && Stamp.matches_value w.stamp w.value))
+  | Payload.Sig _ | Payload.Batch _ -> false
+
 (* Cache warming: run the RSA math now (counting cache traffic, so
    [Metrics.rsa_verifies] stays honest about where exponentiations ran)
    without counting a logical verification — the later in-lock check
    does that and hits the cache. *)
-let warm_write keyring w = ignore (check_write keyring w : bool)
+let warm_write keyring (w : Payload.write) =
+  match w.evidence with
+  | Payload.Mac _ -> () (* HMAC is cheap; checked under the lock *)
+  | Payload.Sig _ | Payload.Batch _ -> ignore (check_write keyring w : bool)
+
+(* Warm just the root-signature check of batch evidence — what an
+   [Evidence_upgrade] will verify under the lock. The Merkle path hashes
+   are cheap and rerun there. *)
+let warm_batch keyring ~writer evidence =
+  match evidence with
+  | Payload.Batch { root; size; root_sig; _ } -> (
+    match Keyring.find keyring writer with
+    | Some pub ->
+      ignore
+        (cached_verify pub ~msg:(Payload.batch_body ~root ~size)
+           ~signature:root_sig
+          : bool)
+    | None -> ())
+  | Payload.Sig _ | Payload.Mac _ -> ()
 
 let sign_context ~key ~client ~group ~seq ctx =
   Metrics.incr_sign ();

@@ -8,7 +8,11 @@
     n servers and re-read by many clients costs one RSA exponentiation per
     node, not one per arrival. The [verifies]/[server_verifies] metrics
     keep counting paper-model verifications; [sigcache_hits]/
-    [sigcache_misses] record how many hit the cache vs ran the RSA math. *)
+    [sigcache_misses] record how many hit the cache vs ran the RSA math.
+
+    Batch evidence goes through the same cache keyed by the signed root:
+    verifying k writes of one batch costs one RSA exponentiation (the
+    first root check; the other k-1 hit the cache) plus k Merkle paths. *)
 
 val reset_sigcache : ?capacity:int -> unit -> unit
 (** Replace the verification cache with an empty one (default capacity
@@ -16,6 +20,11 @@ val reset_sigcache : ?capacity:int -> unit -> unit
 
 val sigcache_stats : unit -> int * int
 (** Lifetime [(hits, misses)] of the current cache instance. *)
+
+val sigcache_families : unit -> Obs.Expo.family list
+(** The live cache as exposition families: instance-lifetime hit/miss
+    counters (these survive {!Metrics.reset}, unlike the snapshot
+    counters) and entries/capacity gauges. *)
 
 val sign_write :
   key:Crypto.Rsa.keypair ->
@@ -25,12 +34,37 @@ val sign_write :
   ?wctx:Context.t ->
   string ->
   Payload.write
+(** Per-write signature evidence — the paper's baseline write. *)
+
+val sign_batch_root : key:Crypto.Rsa.keypair -> root:string -> size:int -> string
+(** Sign {!Payload.batch_body} — one signature certifying a whole
+    Merkle batch of write bodies (used by {!Signbatch}). *)
+
+val mac_write :
+  Keyring.t ->
+  writer:string ->
+  uid:Uid.t ->
+  stamp:Stamp.t ->
+  ?wctx:Context.t ->
+  servers:int list ->
+  string ->
+  Payload.write option
+(** Build the MAC-vector evidence form: one HMAC tag per server in
+    [servers] under the pairwise keys. [None] when any key is missing
+    (caller should fall back to a signature). *)
 
 val verify_write : Keyring.t -> Payload.write -> bool
-(** Client-side verification (counts toward [verifies]). *)
+(** Client-side verification (counts toward [verifies]). [Sig] and
+    [Batch] evidence only; MAC evidence always fails — it is not
+    third-party verifiable, and an honest server never serves it. *)
 
 val server_verify_write : Keyring.t -> Payload.write -> bool
 (** Same check, counted as a server-side verification. *)
+
+val server_verify_mac : Keyring.t -> server:int -> Payload.write -> bool
+(** The addressed server's check of a MAC-fast write: our tag from the
+    vector, under our pairwise key with the claimed writer, over
+    {!Payload.mac_body} (which binds our server id). *)
 
 val check_write_quiet : Keyring.t -> Payload.write -> bool
 (** Verification without cost accounting — used when classifying an
@@ -55,7 +89,12 @@ val warm_write : Keyring.t -> Payload.write -> unit
 (** Run the verification now so a subsequent [server_verify_write] is a
     cache hit. Counts cache traffic (the RSA really runs here) but not a
     logical verification — used by the TCP host to verify outside the
-    server-state lock. *)
+    server-state lock. No-op for MAC evidence (HMACs are cheap enough to
+    check under the lock). *)
+
+val warm_batch : Keyring.t -> writer:string -> Payload.evidence -> unit
+(** Warm the root-signature check of batch evidence — the expensive part
+    of an {!Payload.Evidence_upgrade}. *)
 
 val warm_context :
   Keyring.t -> client:string -> group:string -> Payload.ctx_record -> unit

@@ -29,6 +29,13 @@ module Enc = struct
     varint t (String.length s);
     Buffer.add_string t s
 
+  let fixed t ~len s =
+    if String.length s <> len then
+      invalid_arg
+        (Printf.sprintf "Codec.Enc.fixed: expected %d bytes, got %d" len
+           (String.length s));
+    Buffer.add_string t s
+
   let option t enc = function
     | None -> u8 t 0
     | Some v ->
@@ -85,6 +92,13 @@ module Dec = struct
     if t.pos + n > String.length t.src then fail "string overruns input";
     let s = String.sub t.src t.pos n in
     t.pos <- t.pos + n;
+    s
+
+  let fixed t ~len =
+    if len < 0 || t.pos + len > String.length t.src then
+      fail "fixed field overruns input";
+    let s = String.sub t.src t.pos len in
+    t.pos <- t.pos + len;
     s
 
   let option t dec = match u8 t with

@@ -22,6 +22,12 @@ module Enc : sig
   val string : t -> string -> unit
   (** Varint length prefix then raw bytes. *)
 
+  val fixed : t -> len:int -> string -> unit
+  (** Raw bytes with no length prefix — for fields whose width both sides
+      know statically (digests, MAC tags). Saves the prefix byte on every
+      hash of a Merkle path and makes width errors encoding-time errors.
+      @raise Invalid_argument when the string is not exactly [len] bytes. *)
+
   val option : t -> (t -> 'a -> unit) -> 'a option -> unit
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   val pair : t -> (t -> 'a -> unit) -> (t -> 'b -> unit) -> 'a * 'b -> unit
@@ -37,6 +43,10 @@ module Dec : sig
   val varint : t -> int
   val float : t -> float
   val string : t -> string
+
+  val fixed : t -> len:int -> string
+  (** Read exactly [len] raw bytes (the {!Enc.fixed} counterpart). *)
+
   val option : t -> (t -> 'a) -> 'a option
   val list : t -> (t -> 'a) -> 'a list
   val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b

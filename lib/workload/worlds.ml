@@ -23,7 +23,15 @@ let default_clients = [ "alice"; "bob"; "carol"; "mallory" ]
 let make ?(n = 4) ?(b = 1) ?(guard = false) ?(clients = default_clients) () =
   let keyring = Store.Keyring.create () in
   List.iter
-    (fun c -> Store.Keyring.register keyring c (key_of c).Crypto.Rsa.public)
+    (fun c ->
+      Store.Keyring.register keyring c (key_of c).Crypto.Rsa.public;
+      (* Pairwise MAC secrets for the Mac_fast write path: every
+         client×server pair gets a deterministic derived key, standing in
+         for the session-key exchange a deployment would run. *)
+      for server = 0 to n - 1 do
+        Store.Keyring.register_mac keyring ~client:c ~server
+          (Crypto.Sha256.digest (Printf.sprintf "wk-mac!%s!%d" c server))
+      done)
     clients;
   let config =
     { (Store.Server.default_config ~n ~b) with Store.Server.malicious_client_guard = guard }

@@ -262,6 +262,31 @@ let test_chaos_decision_digest_deterministic () =
   Alcotest.(check string) "same seed, same fault schedule" d5 d5';
   Alcotest.(check bool) "different seed, different schedule" true (d5 <> d6)
 
+(* Every signing mode — baseline, Merkle batching, MAC fast path — must
+   satisfy the oracle even with a downgrading server leaking MAC-held
+   writes and stripping batch proofs. *)
+let test_signing_modes_clean () =
+  List.iter
+    (fun (label, signing) ->
+      let sched =
+        {
+          (E.schedule_of_seed 4242) with
+          E.signing;
+          byzantine = [ (0, Store.Faults.Downgrade) ];
+        }
+      in
+      let out = E.run sched in
+      match out.E.violations with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "%s mode violated the oracle:\n%s" label
+          (O.violation_to_string v))
+    [
+      ("per-write-sig", Store.Client.Per_write_sig);
+      ("merkle-batch", Store.Client.Merkle_batch 4);
+      ("mac-fast", Store.Client.Mac_fast);
+    ]
+
 let test_sweep_clean () =
   let count = if soak then 200 else 16 in
   let s = E.explore ~seeds:(List.init count (fun i -> 9000 + i)) in
@@ -367,6 +392,8 @@ let () =
             test_seed_reproduces_history;
           Alcotest.test_case "chaos decision digest" `Quick
             test_chaos_decision_digest_deterministic;
+          Alcotest.test_case "signing modes violation-free" `Quick
+            test_signing_modes_clean;
           Alcotest.test_case "sweep is violation-free" `Quick test_sweep_clean;
           Alcotest.test_case "history json + recording guard" `Quick
             test_history_json_and_recording_guard;

@@ -568,9 +568,9 @@ let test_merkle_proofs () =
       | None -> Alcotest.failf "no proof for %d" i
       | Some proof ->
         Alcotest.(check bool) (Printf.sprintf "proof %d verifies" i) true
-          (Merkle.verify ~root ~leaf proof);
+          (Merkle.verify ~root ~size:7 ~leaf proof);
         Alcotest.(check bool) (Printf.sprintf "proof %d rejects other leaf" i) false
-          (Merkle.verify ~root ~leaf:"forged" proof))
+          (Merkle.verify ~root ~size:7 ~leaf:"forged" proof))
     leaves;
   Alcotest.(check bool) "out of range" true (Merkle.prove tree 7 = None)
 
@@ -587,12 +587,58 @@ let prop_merkle_all_proofs_verify =
     (fun leaves ->
       let tree = Merkle.of_leaves leaves in
       let root = Merkle.root tree in
+      let size = Merkle.size tree in
       List.for_all
         (fun i ->
           match Merkle.prove tree i with
           | None -> false
-          | Some proof -> Merkle.verify ~root ~leaf:(List.nth leaves i) proof)
+          | Some proof ->
+            Merkle.verify ~root ~size ~leaf:(List.nth leaves i) proof)
         (List.init (List.length leaves) Fun.id))
+
+(* The size-aware verifier recomputes the expected proof shape from
+   (size, index), so every structural mutation — wrong index, stripped
+   path element, swapped sibling side, corrupted root — must fail, even
+   when all leaves are identical (where content alone could not tell
+   positions apart). *)
+let prop_merkle_mutations_rejected =
+  QCheck.Test.make ~name:"merkle mutated proofs rejected" ~count:100
+    QCheck.(pair (list_of_size Gen.(2 -- 33) string) (int_bound 10_000))
+    (fun (leaves, salt) ->
+      let tree = Merkle.of_leaves leaves in
+      let root = Merkle.root tree in
+      let size = Merkle.size tree in
+      let i = salt mod size in
+      match Merkle.prove tree i with
+      | None -> false
+      | Some proof ->
+        let leaf = List.nth leaves i in
+        let ok = Merkle.verify ~root ~size ~leaf proof in
+        let wrong_index =
+          Merkle.verify ~root ~size ~leaf
+            { proof with Merkle.index = (i + 1) mod size }
+        in
+        let stripped =
+          match proof.Merkle.path with
+          | [] -> false (* size >= 2: never empty *)
+          | _ :: rest ->
+            Merkle.verify ~root ~size ~leaf { proof with Merkle.path = rest }
+        in
+        let swapped =
+          match proof.Merkle.path with
+          | [] -> false
+          | (h, side) :: rest ->
+            let side = match side with `Left -> `Right | `Right -> `Left in
+            Merkle.verify ~root ~size ~leaf
+              { proof with Merkle.path = (h, side) :: rest }
+        in
+        let bad_root =
+          let b = Bytes.of_string root in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+          Merkle.verify ~root:(Bytes.to_string b) ~size ~leaf proof
+        in
+        ok && (not wrong_index) && (not stripped) && (not swapped)
+        && not bad_root)
 
 (* ------------------------------------------------------------------ *)
 (* GF(256) and polynomials                                            *)
@@ -1004,5 +1050,6 @@ let () =
           Alcotest.test_case "proofs" `Quick test_merkle_proofs;
           Alcotest.test_case "root sensitivity" `Quick test_merkle_root_changes_with_leaves;
         ]
-        @ qsuite [ prop_merkle_all_proofs_verify ] );
+        @ qsuite
+            [ prop_merkle_all_proofs_verify; prop_merkle_mutations_rejected ] );
     ]

@@ -336,6 +336,71 @@ let test_reset_keeps_gauges () =
   Alcotest.(check int) "hwm cleared by reset_gauges" 0
     (Store.Metrics.inflight_high_water ())
 
+(* Regression: Metrics.reset must also clear the per-phase span
+   histograms, or a benchmark's second mode inherits the first mode's
+   latency samples. *)
+let test_reset_clears_span_histos () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_op "bench_write" (fun () ->
+      Obs.Span.with_phase "sign" (fun () -> ()));
+  Alcotest.(check bool) "phase recorded" true (Obs.Span.phase_stats () <> []);
+  Store.Metrics.reset ();
+  Alcotest.(check int) "span histograms cleared" 0
+    (List.length (Obs.Span.phase_stats ()));
+  match Obs.Span.phase_histo ~op:"bench_write" ~phase:"sign" with
+  | Some _ -> Alcotest.fail "stale phase histogram survived reset"
+  | None -> ()
+
+let test_sigcache_exposition () =
+  Store.Signing.reset_sigcache ();
+  (* The snapshot counters (reset-scoped) and the cache-lifetime families
+     must both render. *)
+  let snap = Obs.Expo.render (Store.Metrics.families ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("snapshot has " ^ needle) true
+        (find_lines (starts_with needle) snap <> []))
+    [
+      "securestore_sigcache_hits_total";
+      "securestore_sigcache_misses_total";
+    ];
+  let life = Obs.Expo.render (Store.Signing.sigcache_families ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("lifetime has " ^ needle) true
+        (find_lines (starts_with needle) life <> []))
+    [
+      "securestore_sigcache_lifetime_hits_total 0";
+      "securestore_sigcache_lifetime_misses_total 0";
+      "securestore_sigcache_entries 0";
+      "securestore_sigcache_capacity 4096";
+    ];
+  (* Lifetime counters track the live cache, not the snapshot deltas:
+     they survive Metrics.reset. *)
+  let keyring = Store.Keyring.create () in
+  let key =
+    Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:"obs-sigcache")
+  in
+  Store.Keyring.register keyring "alice" key.Crypto.Rsa.public;
+  let w =
+    Store.Signing.sign_write ~key ~writer:"alice"
+      ~uid:(Store.Uid.make ~group:"g" ~item:"x")
+      ~stamp:(Store.Stamp.scalar 1) "v"
+  in
+  Alcotest.(check bool) "cold verify" true (Store.Signing.verify_write keyring w);
+  Alcotest.(check bool) "warm verify" true (Store.Signing.verify_write keyring w);
+  Store.Metrics.reset ();
+  let life = Obs.Expo.render (Store.Signing.sigcache_families ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("after reset: " ^ needle) true
+        (find_lines (starts_with needle) life <> []))
+    [
+      "securestore_sigcache_lifetime_hits_total 1";
+      "securestore_sigcache_lifetime_misses_total 1";
+      "securestore_sigcache_entries 1";
+    ]
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -367,5 +432,9 @@ let () =
         [
           Alcotest.test_case "reset keeps operator gauges" `Quick
             test_reset_keeps_gauges;
+          Alcotest.test_case "reset clears span histograms" `Quick
+            test_reset_clears_span_histos;
+          Alcotest.test_case "sigcache exposition" `Quick
+            test_sigcache_exposition;
         ] );
     ]

@@ -26,7 +26,14 @@ let clients = [ "alice"; "bob"; "carol"; "mallory" ]
 
 let make_world ?(n = 4) ?(b = 1) ?server_config () =
   let keyring = Keyring.create () in
-  List.iter (fun c -> Keyring.register keyring c (key_of c).Crypto.Rsa.public) clients;
+  List.iter
+    (fun c ->
+      Keyring.register keyring c (key_of c).Crypto.Rsa.public;
+      for server = 0 to n - 1 do
+        Keyring.register_mac keyring ~client:c ~server
+          (Crypto.Sha256.digest (Printf.sprintf "mac!%s!%d" c server))
+      done)
+    clients;
   let servers =
     Array.init n (fun id ->
         Server.create ?config:server_config ~id ~keyring ~n ~b ())
@@ -219,7 +226,7 @@ let sample_write =
     wctx = Some (Context.of_bindings [ (u1, Stamp.scalar 9); (u2, Stamp.scalar 2) ]);
     value = "hello world";
     writer = "alice";
-    signature = String.make 64 '\x01';
+    evidence = Payload.Sig (String.make 64 '\x01');
   }
 
 let test_payload_roundtrips () =
@@ -1985,7 +1992,11 @@ let test_sigcache_forged_never_valid () =
   Signing.reset_sigcache ();
   let keyring = sc_keyring () in
   let w = signed_write ~item:"y" "v" in
-  let forged = { w with Payload.signature = flip_byte w.signature 7 } in
+  let forged =
+    match w.Payload.evidence with
+    | Payload.Sig s -> { w with Payload.evidence = Payload.Sig (flip_byte s 7) }
+    | _ -> Alcotest.fail "expected Sig evidence"
+  in
   (* Repeated verification of a forgery stays false: its cached verdict
      is keyed by the forged bytes themselves. *)
   for _ = 1 to 3 do
@@ -2027,12 +2038,290 @@ let prop_sigcache_verdict_stable =
       let keyring = sc_keyring () in
       let w = signed_write ~item:"p" value in
       let w =
-        if corrupt then { w with Payload.signature = flip_byte w.signature 3 }
-        else w
+        match (corrupt, w.Payload.evidence) with
+        | true, Payload.Sig s ->
+          { w with Payload.evidence = Payload.Sig (flip_byte s 3) }
+        | _ -> w
       in
       let cold = Signing.verify_write keyring w in
       let warm = Signing.verify_write keyring w in
       cold = warm && warm = not corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* Write-path fast paths: MAC vectors, Merkle batches, escalation     *)
+(* ------------------------------------------------------------------ *)
+
+let mac_fast cfg =
+  { cfg with Client.signing = Client.Mac_fast; escalate_every = 100 }
+
+let merkle4 cfg = { cfg with Client.signing = Client.Merkle_batch 4 }
+
+let mac_write_exn w ~writer ~item ~stamp value =
+  let uid = Uid.make ~group:"g" ~item in
+  match
+    Signing.mac_write w.keyring ~writer ~uid ~stamp
+      ~servers:(List.init w.n Fun.id) value
+  with
+  | Some mw -> mw
+  | None -> Alcotest.fail "MAC keys missing in fixture"
+
+let send_upgrade w i (mw : Payload.write) evidence =
+  Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
+    {
+      Payload.token = None;
+      request =
+        Payload.Evidence_upgrade
+          {
+            uid = mw.Payload.uid;
+            stamp = mw.Payload.stamp;
+            writer = mw.Payload.writer;
+            evidence;
+          };
+    }
+
+(* Re-sign [writes] as one Merkle batch (what the client's escalation
+   queue does). *)
+let batch_evidence_of ~key writes =
+  let sb = Signbatch.create ~key ~limit:(List.length writes) in
+  List.iter (fun w -> ignore (Signbatch.add sb w)) writes;
+  Signbatch.flush sb
+
+let test_mac_write_held_and_upgraded () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let mw = mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 5) "v" in
+  Alcotest.(check bool) "mac write acked" true
+    (direct_write w 0 mw ~await_ack:true = Some Payload.Ack);
+  Alcotest.(check bool) "invisible to reads" true
+    (Server.current_write w.servers.(0) uid = None);
+  Alcotest.(check int) "held in mac slot" 1 (Server.maced_count w.servers.(0) uid);
+  Alcotest.(check bool) "duplicate mac rejected" true
+    (direct_write w 0 mw ~await_ack:true = Some (Payload.Denied "write rejected"));
+  match batch_evidence_of ~key:(key_of "alice") [ mw ] with
+  | [ upgraded ] ->
+    (* Bad evidence cannot announce the write, and the hold survives so a
+       corrected retry can. *)
+    let bad =
+      match upgraded.Payload.evidence with
+      | Payload.Batch be ->
+        Payload.Batch { be with Payload.root_sig = flip_byte be.Payload.root_sig 5 }
+      | _ -> Alcotest.fail "expected batch evidence"
+    in
+    Alcotest.(check bool) "forged upgrade denied" true
+      (send_upgrade w 0 mw bad = Some (Payload.Denied "upgrade rejected"));
+    Alcotest.(check int) "still held" 1 (Server.maced_count w.servers.(0) uid);
+    (* Upgrading under the wrong writer name is refused outright. *)
+    Alcotest.(check bool) "writer mismatch denied" true
+      (send_upgrade w 0 { mw with Payload.writer = "bob" }
+         upgraded.Payload.evidence
+      = Some (Payload.Denied "writer mismatch"));
+    (* The genuine upgrade announces the write and drains the hold. *)
+    Alcotest.(check bool) "upgrade acked" true
+      (send_upgrade w 0 mw upgraded.Payload.evidence = Some Payload.Ack);
+    Alcotest.(check int) "hold drained" 0 (Server.maced_count w.servers.(0) uid);
+    (match Server.current_write w.servers.(0) uid with
+    | Some stored ->
+      Alcotest.(check string) "announced value" "v" stored.Payload.value;
+      Alcotest.(check bool) "carries batch evidence" true
+        (match stored.Payload.evidence with Payload.Batch _ -> true | _ -> false)
+    | None -> Alcotest.fail "upgrade did not announce the write");
+    (* Re-sending the upgrade after announcement is an idempotent Ack;
+       an upgrade for a stamp this server never saw is not. *)
+    Alcotest.(check bool) "re-upgrade idempotent" true
+      (send_upgrade w 0 mw upgraded.Payload.evidence = Some Payload.Ack);
+    let ghost =
+      mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 99) "ghost"
+    in
+    Alcotest.(check bool) "unknown stamp denied" true
+      (send_upgrade w 0 ghost upgraded.Payload.evidence
+      = Some (Payload.Denied "unknown write"))
+  | _ -> Alcotest.fail "batch of one flushed to unexpected shape"
+
+let test_mac_binding_rejects_replay () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  (* A vector computed only for server 1 gives server 0 nothing to check. *)
+  let only1 =
+    match
+      Signing.mac_write w.keyring ~writer:"alice" ~uid ~stamp:(Stamp.scalar 5)
+        ~servers:[ 1 ] "v"
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "MAC keys missing"
+  in
+  Alcotest.(check bool) "missing tag rejected" true
+    (direct_write w 0 only1 ~await_ack:true
+    = Some (Payload.Denied "write rejected"));
+  (* Relabelling server 1's tag as server 0's fails: the MAC body binds
+     the destination server id. *)
+  let relabeled =
+    match only1.Payload.evidence with
+    | Payload.Mac [ (1, tag) ] ->
+      { only1 with Payload.evidence = Payload.Mac [ (0, tag) ] }
+    | _ -> Alcotest.fail "unexpected vector shape"
+  in
+  Alcotest.(check bool) "relabelled tag rejected" true
+    (direct_write w 0 relabeled ~await_ack:true
+    = Some (Payload.Denied "write rejected"));
+  (* Splicing a genuine vector onto a different write fails: the tags
+     cover the write body, not just the stamp. *)
+  let genuine = mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 5) "v" in
+  let other = mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 6) "other" in
+  let spliced = { other with Payload.evidence = genuine.Payload.evidence } in
+  Alcotest.(check bool) "cross-write splice rejected" true
+    (direct_write w 0 spliced ~await_ack:true
+    = Some (Payload.Denied "write rejected"));
+  Alcotest.(check int) "nothing held" 0 (Server.maced_count w.servers.(0) uid)
+
+let test_mac_evidence_not_gossipable () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let mw = mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 5) "v" in
+  (match
+     Server.handle w.servers.(0) ~now:0.0 ~from:9
+       {
+         Payload.token = None;
+         request = Payload.Gossip_push { writes = [ mw ]; have = [] };
+       }
+   with
+  | Some Payload.Ack -> ()
+  | _ -> Alcotest.fail "gossip should be acked");
+  (* MAC evidence is not third-party verifiable: a gossiped copy must be
+     neither announced nor held. *)
+  Alcotest.(check bool) "not announced" true
+    (Server.current_write w.servers.(0) uid = None);
+  Alcotest.(check int) "not held either" 0 (Server.maced_count w.servers.(0) uid)
+
+let test_snapshot_preserves_maced () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let mw = mac_write_exn w ~writer:"alice" ~item:"x" ~stamp:(Stamp.scalar 5) "v" in
+  ignore (direct_write w 0 mw ~await_ack:true);
+  Alcotest.(check int) "held before snapshot" 1 (Server.maced_count w.servers.(0) uid);
+  match Server.restore ~id:0 ~keyring:w.keyring ~n:4 ~b:1 (Server.snapshot w.servers.(0)) with
+  | None -> Alcotest.fail "restore failed"
+  | Some restored -> (
+    Alcotest.(check int) "held after restart" 1 (Server.maced_count restored uid);
+    Alcotest.(check bool) "still unannounced" true
+      (Server.current_write restored uid = None);
+    (* The escalation still lands on the restored server. *)
+    match batch_evidence_of ~key:(key_of "alice") [ mw ] with
+    | [ upgraded ] ->
+      (match
+         Server.handle restored ~now:0.0 ~from:(-1)
+           {
+             Payload.token = None;
+             request =
+               Payload.Evidence_upgrade
+                 {
+                   uid;
+                   stamp = mw.Payload.stamp;
+                   writer = "alice";
+                   evidence = upgraded.Payload.evidence;
+                 };
+           }
+       with
+      | Some Payload.Ack -> ()
+      | _ -> Alcotest.fail "upgrade after restart failed");
+      Alcotest.(check bool) "announced after restart + upgrade" true
+        (Server.current_write restored uid <> None)
+    | _ -> Alcotest.fail "batch shape")
+
+let test_mac_fast_client_end_to_end () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:mac_fast in
+      ok (Client.write alice ~item:"x" "fast-v1");
+      (* Quorum-acked but only as held MACs: no server announces it. *)
+      Alcotest.(check bool) "unannounced before escalation" true
+        (Array.for_all (fun s -> Server.current_write s uid = None) w.servers);
+      Alcotest.(check bool) "held by the write set" true
+        (Array.exists (fun s -> Server.maced_count s uid = 1) w.servers);
+      (* Reads flush the escalation queue first: read-your-writes holds. *)
+      Alcotest.(check string) "read-your-writes" "fast-v1"
+        (ok (Client.read alice ~item:"x"));
+      Alcotest.(check bool) "announced everywhere after flush" true
+        (Array.for_all (fun s -> Server.current_write s uid <> None) w.servers);
+      (* And the escalated form is ordinary verifiable evidence. *)
+      let bob = connect w "bob" ~group:"g" in
+      Alcotest.(check string) "other reader" "fast-v1"
+        (ok (Client.read bob ~item:"x"));
+      ok (Client.disconnect alice))
+
+let test_write_batch_amortizes_signs () =
+  let w = make_world () in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:merkle4 in
+      let items =
+        List.init 4 (fun i -> ("it" ^ string_of_int i, "v" ^ string_of_int i))
+      in
+      Metrics.reset ();
+      List.iter (fun r -> ok r) (Client.write_batch alice items);
+      let m = Metrics.read () in
+      Alcotest.(check int) "one RSA sign for four writes" 1 m.Metrics.signs;
+      List.iter
+        (fun (item, v) ->
+          Alcotest.(check string) ("read " ^ item) v (ok (Client.read alice ~item)))
+        items;
+      let uid = Uid.make ~group:"g" ~item:"it0" in
+      let batch_stored s =
+        match Server.current_write s uid with
+        | Some stored -> (
+          match stored.Payload.evidence with
+          | Payload.Batch be -> be.Payload.size = 4
+          | _ -> false)
+        | None -> false
+      in
+      Alcotest.(check bool) "batch evidence stored" true
+        (Array.exists batch_stored w.servers))
+
+let test_downgrade_server_proven_faulty () =
+  let w = make_world () in
+  wrap w 0 Faults.Downgrade;
+  let evidence = Fault_evidence.create ~servers:(List.init 4 Fun.id) ~b:1 in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:mac_fast in
+      ok (Client.write alice ~item:"x" "secret-fast");
+      (* Before escalation the write exists only as held MACs. The
+         downgrading server leaks its held copy; honest servers stay
+         silent. Leaked MAC evidence is proof of misbehaviour. *)
+      let bob =
+        connect w "bob" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      (match Client.read bob ~item:"x" with
+      | Ok v -> Alcotest.failf "MAC-held value leaked as readable: %s" v
+      | Error _ -> ());
+      Alcotest.(check bool) "downgrade proven" true
+        (Fault_evidence.is_proven evidence 0);
+      (match Fault_evidence.proof_of evidence 0 with
+      | Some Fault_evidence.Evidence_downgrade -> ()
+      | _ -> Alcotest.fail "expected downgrade proof");
+      (* Once escalated, the write reads fine from the honest servers. *)
+      ok (Client.flush alice);
+      Alcotest.(check string) "readable after escalation" "secret-fast"
+        (ok (Client.read bob ~item:"x")))
+
+let test_downgrade_strips_batch_proofs_detected () =
+  let w = make_world () in
+  wrap w 0 Faults.Downgrade;
+  let evidence = Fault_evidence.create ~servers:(List.init 4 Fun.id) ~b:1 in
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" ~cfg:merkle4 in
+      List.iter (fun r -> ok r)
+        (Client.write_batch alice [ ("x", "b1"); ("y", "b2") ]);
+      let bob =
+        connect w "bob" ~group:"g"
+          ~cfg:(fun c -> { c with Client.evidence = Some evidence })
+      in
+      (* Server 0 serves the batch write with its inclusion proof
+         mutilated; verification fails, the honest copy wins, and the
+         stripping is proven. *)
+      Alcotest.(check string) "honest copy wins" "b1"
+        (ok (Client.read bob ~item:"x"));
+      Alcotest.(check bool) "proof stripping proven" true
+        (Fault_evidence.is_proven evidence 0))
 
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
@@ -2184,5 +2473,24 @@ let () =
             test_sigcache_forged_never_valid;
         ]
         @ qsuite [ prop_sigcache_bounded; prop_sigcache_verdict_stable ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "mac hold + upgrade" `Quick
+            test_mac_write_held_and_upgraded;
+          Alcotest.test_case "mac binding vs replay" `Quick
+            test_mac_binding_rejects_replay;
+          Alcotest.test_case "mac not gossipable" `Quick
+            test_mac_evidence_not_gossipable;
+          Alcotest.test_case "maced survives snapshot" `Quick
+            test_snapshot_preserves_maced;
+          Alcotest.test_case "mac-fast end to end" `Quick
+            test_mac_fast_client_end_to_end;
+          Alcotest.test_case "batch amortizes signs" `Quick
+            test_write_batch_amortizes_signs;
+          Alcotest.test_case "downgrade proven" `Quick
+            test_downgrade_server_proven_faulty;
+          Alcotest.test_case "stripped proofs proven" `Quick
+            test_downgrade_strips_batch_proofs_detected;
+        ] );
       ("properties", qsuite [ prop_mrc_monotonic; prop_cc_no_overwritten_reads ]);
     ]

@@ -114,7 +114,7 @@ let prop_envelope_bitflip =
                     wctx = None;
                     value = "some value";
                     writer = "alice";
-                    signature = String.make 64 's';
+                    evidence = Store.Payload.Sig (String.make 64 's');
                   };
                 await_ack = true;
               };
@@ -130,6 +130,73 @@ let prop_envelope_bitflip =
       in
       match Store.Payload.decode_envelope flipped with Some _ | None -> true)
 
+(* Fixed-width codec fields: exact round-trip, length enforcement on
+   both sides. *)
+let test_fixed_roundtrip () =
+  let h = String.init 32 (fun i -> Char.chr (i * 7 mod 256)) in
+  let encoded =
+    Codec.encode
+      (fun enc () ->
+        Codec.Enc.fixed enc ~len:32 h;
+        Codec.Enc.string enc "tail")
+      ()
+  in
+  let h', tail =
+    Codec.decode
+      (fun dec ->
+        let h' = Codec.Dec.fixed dec ~len:32 in
+        (h', Codec.Dec.string dec))
+      encoded
+  in
+  Alcotest.(check string) "fixed field" h h';
+  Alcotest.(check string) "rest intact" "tail" tail;
+  Alcotest.check_raises "wrong width rejected at encode"
+    (Invalid_argument "Codec.Enc.fixed: expected 32 bytes, got 3") (fun () ->
+      ignore (Codec.encode (fun enc () -> Codec.Enc.fixed enc ~len:32 "abc") ()));
+  Alcotest.(check bool) "truncated input fails" true
+    (match Codec.decode (fun dec -> Codec.Dec.fixed dec ~len:32) "short" with
+    | _ -> false
+    | exception Codec.Error _ -> true)
+
+(* Every evidence form survives the write codec round-trip. *)
+let test_evidence_roundtrip () =
+  let uid = Store.Uid.make ~group:"g" ~item:"x" in
+  let base evidence =
+    {
+      Store.Payload.uid;
+      stamp = Store.Stamp.scalar 7;
+      wctx = None;
+      value = "v";
+      writer = "alice";
+      evidence;
+    }
+  in
+  let roundtrip w =
+    let encoded =
+      Codec.encode (fun enc () -> Store.Payload.encode_write enc w) ()
+    in
+    Codec.decode Store.Payload.decode_write encoded
+  in
+  let h i = String.make 32 (Char.chr i) in
+  List.iter
+    (fun w -> Alcotest.(check bool) "write round-trips" true (roundtrip w = w))
+    [
+      base (Store.Payload.Sig (String.make 64 's'));
+      base
+        (Store.Payload.Batch
+           {
+             root = h 1;
+             size = 8;
+             proof =
+               {
+                 Crypto.Merkle.index = 3;
+                 path = [ (h 2, `Left); (h 3, `Right); (h 4, `Right) ];
+               };
+             root_sig = String.make 64 'r';
+           });
+      base (Store.Payload.Mac [ (0, h 5); (2, h 6); (3, h 7) ]);
+    ]
+
 let qsuite props = List.map QCheck_alcotest.to_alcotest props
 
 let () =
@@ -141,6 +208,8 @@ let () =
           Alcotest.test_case "float" `Quick test_float_roundtrip;
           Alcotest.test_case "containers" `Quick test_string_and_containers;
           Alcotest.test_case "malformed" `Quick test_malformed_inputs;
+          Alcotest.test_case "fixed fields" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "evidence forms" `Quick test_evidence_roundtrip;
         ] );
       ( "fuzz",
         qsuite
