@@ -746,6 +746,130 @@ let e15_chaos ~seed ~json () =
      histogram's bucket bounds. *)
   let rec_pct p = Obs.Histo.percentile recovery p /. 1e6 in
   let m = Store.Metrics.read () in
+  (* --- Sharded-isolation phase: a Byzantine replica *inside one
+     shard* must leave the other shard untouched, and its own shard's
+     quorums must mask it (b=1). Two shards, four multi-shard hosts
+     (each serving one replica of both shards on one port); host 2 runs
+     Corrupt_value on shard 1 only. A router writes and reads groups on
+     both shards; every op must succeed and read back exactly what was
+     written, and the per-shard client metrics must show zero failures
+     on the clean shard. *)
+  let iso_shards = 2 in
+  Store.Metrics.reset ();
+  let iso_key = key_of "iso" in
+  let iso_keyring = Store.Keyring.create () in
+  Store.Keyring.register iso_keyring "iso" iso_key.Crypto.Rsa.public;
+  for gid = 0 to (iso_shards * n) - 1 do
+    Store.Keyring.register_mac iso_keyring ~client:"iso" ~server:gid
+      (Crypto.Sha256.digest (Printf.sprintf "e15-iso-mac!%d" gid))
+  done;
+  let iso_servers =
+    Array.init (iso_shards * n) (fun gid ->
+        Store.Server.create ~id:gid ~keyring:iso_keyring ~n ~b ())
+  in
+  let iso_ports = Array.init n (fun _ -> reserve_port ()) in
+  let iso_hosts =
+    Array.init n (fun r ->
+        let peers =
+          List.filteri (fun j _ -> j <> r)
+            (Array.to_list (Array.map (fun p -> ("127.0.0.1", p)) iso_ports))
+        in
+        let specs =
+          List.init iso_shards (fun s ->
+              {
+                Tcpnet.Server_host.shard = s;
+                server = iso_servers.((s * n) + r);
+                behavior =
+                  (if r = 2 && s = 1 then Store.Faults.Corrupt_value
+                   else Store.Faults.Honest);
+                peers;
+              })
+        in
+        Tcpnet.Server_host.start_sharded ~gossip_period:0.2 ~shards:specs
+          ~port:iso_ports.(r) ())
+  in
+  let iso_table = Store.Shardmap.make ~seed:"e15-iso" ~shards:iso_shards () in
+  (* Enough groups that both shards get some (deterministic: same seed,
+     same table, same split in every run). *)
+  let iso_groups = List.init 8 (fun g -> Printf.sprintf "iso%d" g) in
+  let groups_on s =
+    List.filter
+      (fun g -> Store.Shardmap.shard_of_group iso_table g = s)
+      iso_groups
+  in
+  List.iter
+    (fun s ->
+      if groups_on s = [] then
+        violate "sharded isolation: no sample group landed on shard %d" s)
+    (List.init iso_shards Fun.id);
+  let iso_eps gid =
+    if gid >= 0 && gid < iso_shards * n then
+      Some ("127.0.0.1", iso_ports.(gid mod n))
+    else None
+  in
+  let iso_config_of shard =
+    {
+      base_cfg with
+      Store.Client.servers = Store.Router.shard_servers ~n shard;
+      timeout = 1.0;
+      signing = Store.Client.Mac_fast;
+      op_deadline = 5.0;
+      write_retries = 1;
+      read_retries = 2;
+      retry_delay = 0.02;
+      retry_backoff_max = 0.1;
+    }
+  in
+  let iso_ops = ref 0 in
+  Tcpnet.Live.run ~endpoints:iso_eps
+    ~shard_of:(fun node -> Some (node / n))
+    (fun () ->
+      let router =
+        Store.Router.create ~table:iso_table ~uid:"iso" ~key:iso_key
+          ~keyring:iso_keyring ~config_of:iso_config_of ()
+      in
+      for i = 1 to 8 do
+        List.iter
+          (fun g ->
+            let uid =
+              Store.Uid.make ~group:g ~item:(Printf.sprintf "k%d" (i mod 3))
+            in
+            let value = Printf.sprintf "%s#%d" g i in
+            incr iso_ops;
+            (match Store.Router.write router ~uid value with
+            | Ok () -> ()
+            | Error e ->
+              violate "sharded isolation: write %s (shard %d) failed: %s"
+                (Store.Uid.to_string uid)
+                (Store.Shardmap.shard_of_uid iso_table uid)
+                (Store.Client.error_to_string e));
+            incr iso_ops;
+            match Store.Router.read router ~uid with
+            | Ok v when String.equal v value -> ()
+            | Ok v ->
+              violate "sharded isolation: read %s got %S want %S"
+                (Store.Uid.to_string uid) v value
+            | Error e ->
+              violate "sharded isolation: read %s (shard %d) failed: %s"
+                (Store.Uid.to_string uid)
+                (Store.Shardmap.shard_of_uid iso_table uid)
+                (Store.Client.error_to_string e))
+          iso_groups
+      done;
+      ignore (Store.Router.disconnect router));
+  let iso_failures s =
+    match List.assoc_opt s (Store.Metrics.shard_client_stats ()) with
+    | Some c -> c.Store.Metrics.shard_failures
+    | None -> 0
+  in
+  let iso_shard0_failures = iso_failures 0 in
+  let iso_shard1_failures = iso_failures 1 in
+  if iso_shard0_failures > 0 then
+    violate
+      "sharded isolation: %d client-op failure(s) on shard 0, which hosts \
+       no Byzantine replica"
+      iso_shard0_failures;
+  Array.iter Tcpnet.Server_host.stop iso_hosts;
   let degraded = !ops_attempted - !ops_succeeded in
   let nviol = List.length !violations in
   List.iter (fun v -> Format.fprintf fmt "VIOLATION: %s@." v) (List.rev !violations);
@@ -775,6 +899,12 @@ let e15_chaos ~seed ~json () =
           [ "resets / conns refused / conns killed";
             Printf.sprintf "%d / %d / %d" resets refused killed ];
           [ "fd growth over soak"; string_of_int fd_growth ];
+          [ Printf.sprintf
+              "sharded isolation (S=%d, Corrupt_value in shard 1): ops / \
+               shard-0 / shard-1 failures"
+              iso_shards;
+            Printf.sprintf "%d / %d / %d" !iso_ops iso_shard0_failures
+              iso_shard1_failures ];
         ];
       notes =
         [
@@ -782,6 +912,8 @@ let e15_chaos ~seed ~json () =
           "monotonic reads, post-heal convergence, zero worker deaths,";
           Printf.sprintf "bounded fd churn; schedule digest %s"
             (String.sub digest 0 16);
+          "sharded isolation: a Byzantine replica inside one shard is \
+           masked by its own quorum and invisible to the other shard.";
         ];
     }
   in
@@ -807,6 +939,10 @@ let e15_chaos ~seed ~json () =
         ("conns_refused", string_of_int refused);
         ("conns_killed", string_of_int killed);
         ("fd_growth", string_of_int fd_growth);
+        ("sharded_iso_shards", string_of_int iso_shards);
+        ("sharded_iso_ops", string_of_int !iso_ops);
+        ("sharded_iso_shard0_failures", string_of_int iso_shard0_failures);
+        ("sharded_iso_shard1_failures", string_of_int iso_shard1_failures);
       ];
   if nviol > 0 then begin
     Format.fprintf fmt "E15: %d safety violation(s) — failing@." nviol;
@@ -822,7 +958,7 @@ let e15_chaos ~seed ~json () =
    to compare against. *)
 let write_check_json ~path ~seed ~schedules ~events ~ops_ok ~ops_failed
     ~violations ~canary_caught ~control_clean ~canary_shrunk_to
-    ~determinism_ok =
+    ~determinism_ok ~router_shards ~router_events ~router_violations =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -832,9 +968,12 @@ let write_check_json ~path ~seed ~schedules ~events ~ops_ok ~ops_failed
         \  \"schedules\": %d,\n  \"events\": %d,\n  \"ops_ok\": %d,\n\
         \  \"ops_failed\": %d,\n  \"violations\": %d,\n\
         \  \"canary_caught\": %b,\n  \"control_clean\": %b,\n\
-        \  \"canary_shrunk_to\": \"%s\",\n  \"determinism_ok\": %b\n}\n"
+        \  \"canary_shrunk_to\": \"%s\",\n  \"determinism_ok\": %b,\n\
+        \  \"router_shards\": %d,\n  \"router_events\": %d,\n\
+        \  \"router_violations\": %d\n}\n"
         seed schedules events ops_ok ops_failed violations canary_caught
-        control_clean canary_shrunk_to determinism_ok);
+        control_clean canary_shrunk_to determinism_ok router_shards
+        router_events router_violations);
   Format.fprintf fmt "wrote %s@." path
 
 (* Hundreds of seeded fault schedules (random latency and loss, crash
@@ -881,6 +1020,130 @@ let e16_check ~seed ~json () =
   if not determinism_ok then
     Format.fprintf fmt "E16: seed %d did NOT reproduce its history digest@."
       seed;
+  (* Router segment: the oracle over a *sharded* world. A client-side
+     router (one session per group, groups consistently hashed onto
+     shards, global server ids s*n+r) must preserve every guarantee
+     unchanged, because no context crosses a shard boundary — checked
+     on the combined history and again on each shard's partition. *)
+  let router_shards = 2 in
+  let router_events, router_violations =
+    let rn = 4 and rb = 1 in
+    let key_of name =
+      Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("e16r-" ^ name))
+    in
+    let alice_key = key_of "alice" and bob_key = key_of "bob" in
+    let keyring = Store.Keyring.create () in
+    Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+    Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
+    let servers =
+      Array.init (router_shards * rn) (fun gid ->
+          Store.Server.create ~id:gid ~keyring ~n:rn ~b:rb ())
+    in
+    let handlers dst ~from req =
+      if dst >= 0 && dst < Array.length servers then
+        Store.Server.handler servers.(dst) ~now:0.0 ~from req
+      else None
+    in
+    let tbl =
+      Store.Shardmap.make ~seed:"e16-router" ~shards:router_shards ()
+    in
+    let config_of shard =
+      {
+        (Store.Client.default_config ~n:rn ~b:rb) with
+        Store.Client.servers = Store.Router.shard_servers ~n:rn shard;
+      }
+    in
+    let groups = List.init 12 (fun g -> Printf.sprintf "rg%d" g) in
+    let fail ctx e = failwith (ctx ^ ": " ^ Store.Client.error_to_string e) in
+    let hist = Check.History.create () in
+    Check.History.recording hist (fun () ->
+        Sim.Direct.run ~handlers (fun () ->
+            (* Alice writes every group (interleaved across shards) and
+               reads some of her own writes back mid-stream. *)
+            let ra =
+              Store.Router.create ~table:tbl ~uid:"alice" ~key:alice_key
+                ~keyring ~config_of ()
+            in
+            for i = 0 to 5 do
+              List.iter
+                (fun g ->
+                  let uid =
+                    Store.Uid.make ~group:g
+                      ~item:(Printf.sprintf "k%d" (i mod 3))
+                  in
+                  (match
+                     Store.Router.write ra ~uid (Printf.sprintf "%s=%d" g i)
+                   with
+                  | Ok () -> ()
+                  | Error e -> fail "e16 router write" e);
+                  if i land 1 = 1 then
+                    match Store.Router.read ra ~uid with
+                    | Ok _ -> ()
+                    | Error e -> fail "e16 router read-own" e)
+                groups
+            done;
+            (match Store.Router.disconnect ra with
+            | Ok () -> ()
+            | Error e -> fail "e16 router disconnect" e);
+            (* Bob reads everything twice (monotonic reads + linkage). *)
+            let rbr =
+              Store.Router.create ~table:tbl ~uid:"bob" ~key:bob_key ~keyring
+                ~config_of ()
+            in
+            List.iter
+              (fun g ->
+                for i = 0 to 2 do
+                  for _pass = 1 to 2 do
+                    let uid =
+                      Store.Uid.make ~group:g ~item:(Printf.sprintf "k%d" i)
+                    in
+                    match Store.Router.read rbr ~uid with
+                    | Ok _ -> ()
+                    | Error e -> fail "e16 router read" e
+                  done
+                done)
+              groups;
+            ignore (Store.Router.disconnect rbr)));
+    let events = Check.History.events hist in
+    (* A session serves exactly one group, so partitioning by the shard
+       of the uids a session touched is total on uid-bearing events;
+       connect/disconnect events follow their session. *)
+    let session_shard = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Store.Trace.event) ->
+        match e.Store.Trace.kind with
+        | Store.Trace.Write { uid; _ } | Store.Trace.Read { uid } ->
+          if not (Hashtbl.mem session_shard (e.client, e.session)) then
+            Hashtbl.replace session_shard (e.client, e.session)
+              (Store.Shardmap.shard_of_uid tbl uid)
+        | _ -> ())
+      events;
+    let viol = ref (Check.Oracle.check events) in
+    List.iter
+      (fun s ->
+        let evs =
+          List.filter
+            (fun (e : Store.Trace.event) ->
+              Hashtbl.find_opt session_shard (e.client, e.session) = Some s)
+            events
+        in
+        Format.fprintf fmt "E16 router: shard %d history: %d events@." s
+          (List.length evs);
+        if evs = [] then
+          Format.fprintf fmt
+            "  EMPTY: shard %d saw no operations (table imbalance?)@." s;
+        viol := !viol @ Check.Oracle.check evs)
+      (List.init router_shards Fun.id);
+    List.iter
+      (fun v ->
+        Format.fprintf fmt "E16 router VIOLATION: %s@."
+          (Check.Oracle.violation_to_string v))
+      !viol;
+    (List.length events, List.length !viol)
+  in
+  Format.fprintf fmt
+    "E16 router: %d events over %d shards, %d violation(s)@." router_events
+    router_shards router_violations;
   (* The sweep. *)
   let t0 = Unix.gettimeofday () in
   let events = ref 0 and ops_ok = ref 0 and ops_failed = ref 0 in
@@ -932,6 +1195,9 @@ let e16_check ~seed ~json () =
             Printf.sprintf "%b / %b" canary_caught control_clean ];
           [ "canary shrunk to"; "{" ^ canary_shrunk_to ^ "}" ];
           [ "seed-reproducible history"; Printf.sprintf "%b" determinism_ok ];
+          [ Printf.sprintf "router world (%d shards): events / violations"
+              router_shards;
+            Printf.sprintf "%d / %d" router_events router_violations ];
         ];
       notes =
         List.map
@@ -943,10 +1209,11 @@ let e16_check ~seed ~json () =
   if json then
     write_check_json ~path:"BENCH_check.json" ~seed ~schedules ~events:!events
       ~ops_ok:!ops_ok ~ops_failed:!ops_failed ~violations:nviol ~canary_caught
-      ~control_clean ~canary_shrunk_to ~determinism_ok;
+      ~control_clean ~canary_shrunk_to ~determinism_ok ~router_shards
+      ~router_events ~router_violations;
   if
     nviol > 0 || (not canary_caught) || (not control_clean)
-    || not determinism_ok
+    || (not determinism_ok) || router_violations > 0
   then begin
     Format.fprintf fmt "E16: oracle harness failed — see above@.";
     exit 1
@@ -1441,6 +1708,641 @@ let e18_sign ~json () =
         ])
 
 (* ------------------------------------------------------------------ *)
+(* E19: keyspace sharding — multi-process scale-out, open-loop zipfian *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_shard.json records saturation throughput per (shards, workers)
+   cell plus the measured core count: scale-out is a statement about
+   hardware — one core cannot run S quorum groups in parallel no matter
+   how the keyspace is partitioned — so CI gates its scaling assertion
+   on "cores", never on hope. *)
+let write_shard_json ~path ~cores rows =
+  let obj rows =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) rows)
+    ^ " }"
+  in
+  let current = obj rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-shard-v1\",\n  \"cores\": %d,\n\
+        \  \"baseline\": %s,\n  \"current\": %s\n}\n"
+        cores baseline current);
+  Format.fprintf fmt "wrote %s@." path
+
+let cpu_cores () =
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let count = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.length line >= 9 && String.sub line 0 9 = "processor"
+             then incr count
+           done
+         with End_of_file -> ());
+        max 1 !count)
+  with Sys_error _ -> 1
+
+let reserve_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let p =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close fd;
+  p
+
+(* One bench worker (the hidden [e19-worker] argv mode): a shard router
+   over live TCP driving one open-loop plan, as its own process so
+   client-side crypto runs beside the servers the way a real client
+   fleet would. The parent owns the sweep; a worker knows only its cell
+   and prints one RESULT line to merge.
+
+   Latency is measured from each op's *scheduled* arrival (see
+   {!Workload.Openloop}), so queueing under overload counts; an op
+   "meets SLO" when it completed (ok, or a clean miss on a never-written
+   key) within [slo_ms] of when it was due. Groups are spread over the
+   worker's [conc] threads by group id, which combined with the plan's
+   owned-group write remapping keeps every group single-writer and
+   every {!Store.Client} session single-threaded. *)
+let e19_worker argv =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match String.index_opt a '=' with
+      | Some i ->
+        Hashtbl.replace tbl (String.sub a 0 i)
+          (String.sub a (i + 1) (String.length a - i - 1))
+      | None -> ())
+    argv;
+  let geti k = int_of_string (Hashtbl.find tbl k) in
+  let getf k = float_of_string (Hashtbl.find tbl k) in
+  let gets k = Hashtbl.find tbl k in
+  let windex = geti "windex" and workers = geti "workers" in
+  let shards = geti "shards" and n = geti "n" and b = geti "b" in
+  let rate = getf "rate" and duration = getf "duration" in
+  let theta = getf "theta" and keys = geti "keys" and groups = geti "groups" in
+  let write_ratio = getf "wr" and conc = geti "conc" in
+  let slo_ns = getf "slo_ms" *. 1e6 in
+  let seed = gets "seed" in
+  let eps =
+    match Demokeys.parse_endpoints (gets "eps") with
+    | Some l -> Array.of_list l
+    | None -> failwith "e19-worker: bad eps"
+  in
+  let uid = Printf.sprintf "w%d" windex in
+  let key = Demokeys.keypair uid in
+  let keyring =
+    Demokeys.keyring ~mac_servers:(shards * n)
+      (List.init workers (fun i -> Printf.sprintf "w%d" i))
+  in
+  let table = Store.Shardmap.make ~seed:("e19!" ^ seed) ~shards () in
+  let owned =
+    List.filter (fun g -> g mod workers = windex) (List.init groups Fun.id)
+  in
+  let plan =
+    Workload.Openloop.plan
+      ~seed:(Printf.sprintf "%s!w%d!%.3f" seed windex rate)
+      ~keys ~theta ~groups ~rate ~duration ~write_ratio ~owned_groups:owned
+  in
+  let config_of shard =
+    {
+      (Store.Client.default_config ~n ~b) with
+      Store.Client.servers = Store.Router.shard_servers ~n shard;
+      timeout = 1.0;
+      signing = Store.Client.Mac_fast;
+      escalate_every = 64;
+      read_retries = 2;
+      write_retries = 1;
+      retry_delay = 0.02;
+      retry_backoff_max = 0.1;
+      op_deadline = 5.0;
+    }
+  in
+  let gid_of u =
+    let g = Store.Uid.group u in
+    int_of_string (String.sub g 1 (String.length g - 1))
+  in
+  let endpoints id =
+    if id >= 0 && id < Array.length eps then Some eps.(id) else None
+  in
+  let lock = Mutex.create () and cond = Condition.create () in
+  let ready = ref 0 and start = ref 0.0 in
+  let offered = ref 0 and ok = ref 0 and failed = ref 0 in
+  let miss = ref 0 and in_slo = ref 0 in
+  let histos = Array.init conc (fun _ -> Obs.Histo.create ()) in
+  let run_thread tid =
+    Tcpnet.Live.run ~endpoints
+      ~shard_of:(fun node -> Some (node / n))
+      (fun () ->
+        let router =
+          Store.Router.create ~table ~uid ~key ~keyring ~config_of ()
+        in
+        (* Prewarm every session this thread will use — connects (RSA,
+           context recovery) happen before the clock starts, the way a
+           fleet holds warm sessions. *)
+        for g = 0 to groups - 1 do
+          if g mod conc = tid then
+            ignore
+              (Store.Router.session router ~group:(Printf.sprintf "g%d" g))
+        done;
+        Mutex.lock lock;
+        incr ready;
+        Condition.broadcast cond;
+        while !start = 0.0 do
+          Condition.wait cond lock
+        done;
+        let t0 = !start in
+        Mutex.unlock lock;
+        let nops = ref 0 and nok = ref 0 and nfail = ref 0 in
+        let nmiss = ref 0 and nslo = ref 0 in
+        Array.iteri
+          (fun i (op : Workload.Openloop.op) ->
+            if gid_of op.uid mod conc = tid then begin
+              incr nops;
+              let due = t0 +. op.at in
+              let now = Unix.gettimeofday () in
+              if due > now then Thread.delay (due -. now);
+              let outcome =
+                match op.kind with
+                | Workload.Openloop.Write -> (
+                  match
+                    Store.Router.write router ~uid:op.uid
+                      (Printf.sprintf "v%d.%d" windex i)
+                  with
+                  | Ok () -> `Ok
+                  | Error _ -> `Fail)
+                | Workload.Openloop.Read -> (
+                  match Store.Router.read router ~uid:op.uid with
+                  | Ok _ -> `Ok
+                  | Error (Store.Client.Not_found _) -> `Miss
+                  | Error _ -> `Fail)
+              in
+              let lat = (Unix.gettimeofday () -. due) *. 1e9 in
+              Obs.Histo.observe histos.(tid) lat;
+              (match outcome with
+              | `Ok -> incr nok
+              | `Miss -> incr nmiss
+              | `Fail -> incr nfail);
+              if outcome <> `Fail && lat <= slo_ns then incr nslo
+            end)
+          plan;
+        ignore (Store.Router.flush_all router);
+        ignore (Store.Router.disconnect router);
+        Mutex.lock lock;
+        offered := !offered + !nops;
+        ok := !ok + !nok;
+        failed := !failed + !nfail;
+        miss := !miss + !nmiss;
+        in_slo := !in_slo + !nslo;
+        Mutex.unlock lock)
+  in
+  let threads = Array.init conc (fun tid -> Thread.create run_thread tid) in
+  Mutex.lock lock;
+  while !ready < conc do
+    Condition.wait cond lock
+  done;
+  start := Unix.gettimeofday () +. 0.05;
+  Condition.broadcast cond;
+  Mutex.unlock lock;
+  Array.iter Thread.join threads;
+  let h = Array.fold_left Obs.Histo.merge (Obs.Histo.create ()) histos in
+  Printf.printf
+    "RESULT offered=%d ok=%d failed=%d miss=%d in_slo=%d count=%d sum=%.0f \
+     max=%.0f counts=%s\n%!"
+    !offered !ok !failed !miss !in_slo (Obs.Histo.count h) (Obs.Histo.sum h)
+    (Obs.Histo.max_value h)
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Obs.Histo.counts h))))
+
+type e19_merged = {
+  sh_offered : int;
+  sh_ok : int;
+  sh_failed : int;
+  sh_miss : int;
+  sh_in_slo : int;
+  sh_count : int;
+  sh_sum : float;
+  sh_max : float;
+  sh_counts : int array;
+}
+
+(* Nearest-rank percentile over merged histogram counts, resolved to the
+   bucket's upper bound (the overflow bucket answers with the max). *)
+let e19_pct m p =
+  if m.sh_count = 0 then 0.0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int m.sh_count)))
+    in
+    let acc = ref 0 and res = ref m.sh_max in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= rank then begin
+             (res :=
+                if i < Array.length Obs.Histo.bounds then Obs.Histo.bounds.(i)
+                else m.sh_max);
+             raise Exit
+           end)
+         m.sh_counts
+     with Exit -> ());
+    !res
+  end
+
+(* The tentpole's scaling question, answered end to end: S independent
+   shard groups (each its own n=4 b=1 quorum group, hosted by real
+   store_server processes that serve several shard replicas per port),
+   W router workers (separate processes) offering a zipfian open-loop
+   load, rates swept per cell until the completion-within-SLO ratio
+   drops below 0.95. Saturation = the completed-in-SLO throughput of
+   the highest passing rate. Fresh cluster per step so every
+   measurement starts from empty stores and cold queues.
+
+   Env knobs (CI runs a reduced sweep): E19_SHARDS, E19_WORKERS,
+   E19_RATES (per-worker op/s ladder), E19_DURATION, E19_KEYS,
+   E19_SLO_MS. *)
+let e19_shard ~seed ~json () =
+  let n = 4 and b = 1 in
+  let env_list name default parse =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+      match List.filter_map parse (Demokeys.split_commas s) with
+      | [] -> default
+      | l -> l)
+  in
+  let env_float name default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+      match float_of_string_opt s with Some f -> f | None -> default)
+  in
+  let env_int name default = int_of_float (env_float name (float_of_int default)) in
+  let shards_list = env_list "E19_SHARDS" [ 1; 2; 4; 8 ] int_of_string_opt in
+  let workers_list = env_list "E19_WORKERS" [ 2; 4 ] int_of_string_opt in
+  let rates =
+    env_list "E19_RATES" [ 100.; 200.; 400.; 800.; 1600. ] float_of_string_opt
+  in
+  let duration = env_float "E19_DURATION" 1.5 in
+  let keys = env_int "E19_KEYS" 10_000 in
+  let slo_ms = env_float "E19_SLO_MS" 250.0 in
+  let theta = 0.9 and groups = 64 and conc = 4 and write_ratio = 0.5 in
+  let cores = cpu_cores () in
+  let self = Sys.executable_name in
+  let server_exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname self))
+      "bin/store_server.exe"
+  in
+  if not (Sys.file_exists server_exe) then
+    failwith
+      (Printf.sprintf "e19: %s not built (run a full dune build)" server_exe);
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let clients_arg w =
+    String.concat "," (List.init w (fun i -> Printf.sprintf "w%d" i))
+  in
+  (* Server layout for S shards: columns c = 0..min(S,4)-1, replica rows
+     r = 0..n-1. Process (r,c) hosts replica r of every shard s with
+     s mod cols = c, so S=8 exercises multi-shard hosting (two shards
+     per port) while S<=4 is one shard per process. Ports are reserved
+     up front so --peers (gossip, per shard, through the shard-tagged
+     frames) can be passed at spawn. *)
+  let spawn_cluster ~shards ~w =
+    let cols = min shards 4 in
+    let ports =
+      Array.init n (fun _ -> Array.init cols (fun _ -> reserve_port ()))
+    in
+    let pids = ref [] in
+    for r = 0 to n - 1 do
+      for c = 0 to cols - 1 do
+        let shard_ids =
+          List.filter (fun s -> s mod cols = c) (List.init shards Fun.id)
+        in
+        let peers =
+          String.concat ","
+            (List.filter_map
+               (fun r' ->
+                 if r' = r then None
+                 else Some (Printf.sprintf "127.0.0.1:%d" ports.(r').(c)))
+               (List.init n Fun.id))
+        in
+        let argv =
+          [|
+            server_exe;
+            "--id"; string_of_int r;
+            "--port"; string_of_int ports.(r).(c);
+            "-n"; string_of_int n;
+            "-b"; string_of_int b;
+            "--shards"; String.concat "," (List.map string_of_int shard_ids);
+            "--shards-total"; string_of_int shards;
+            "--clients"; clients_arg w;
+            "--peers"; peers;
+            "--gossip-period"; "0.5";
+          |]
+        in
+        pids := Unix.create_process server_exe argv devnull devnull devnull
+                :: !pids
+      done
+    done;
+    let eps =
+      String.concat ","
+        (List.init (shards * n) (fun gid ->
+             let s = gid / n and r = gid mod n in
+             Printf.sprintf "127.0.0.1:%d" ports.(r).(s mod cols)))
+    in
+    (!pids, ports, eps)
+  in
+  let kill_cluster pids =
+    List.iter
+      (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      pids;
+    List.iter
+      (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      pids
+  in
+  let wait_listening port =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec loop () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let up =
+        try
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          true
+        with Unix.Unix_error _ -> false
+      in
+      Unix.close fd;
+      if not up then
+        if Unix.gettimeofday () > deadline then
+          failwith (Printf.sprintf "e19: server on port %d never came up" port)
+        else begin
+          Thread.delay 0.02;
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let parse_result line =
+    let kvs =
+      List.filter_map
+        (fun part ->
+          match String.index_opt part '=' with
+          | Some i ->
+            Some
+              ( String.sub part 0 i,
+                String.sub part (i + 1) (String.length part - i - 1) )
+          | None -> None)
+        (String.split_on_char ' ' line)
+    in
+    let geti k = int_of_string (List.assoc k kvs) in
+    let getf k = float_of_string (List.assoc k kvs) in
+    {
+      sh_offered = geti "offered";
+      sh_ok = geti "ok";
+      sh_failed = geti "failed";
+      sh_miss = geti "miss";
+      sh_in_slo = geti "in_slo";
+      sh_count = geti "count";
+      sh_sum = getf "sum";
+      sh_max = getf "max";
+      sh_counts =
+        Array.of_list
+          (List.map int_of_string
+             (String.split_on_char ',' (List.assoc "counts" kvs)));
+    }
+  in
+  let merge a b =
+    {
+      sh_offered = a.sh_offered + b.sh_offered;
+      sh_ok = a.sh_ok + b.sh_ok;
+      sh_failed = a.sh_failed + b.sh_failed;
+      sh_miss = a.sh_miss + b.sh_miss;
+      sh_in_slo = a.sh_in_slo + b.sh_in_slo;
+      sh_count = a.sh_count + b.sh_count;
+      sh_sum = a.sh_sum +. b.sh_sum;
+      sh_max = Float.max a.sh_max b.sh_max;
+      sh_counts =
+        (if Array.length a.sh_counts = 0 then b.sh_counts
+         else Array.mapi (fun i c -> c + b.sh_counts.(i)) a.sh_counts);
+    }
+  in
+  let empty =
+    {
+      sh_offered = 0; sh_ok = 0; sh_failed = 0; sh_miss = 0; sh_in_slo = 0;
+      sh_count = 0; sh_sum = 0.0; sh_max = 0.0; sh_counts = [||];
+    }
+  in
+  (* One ladder step: fresh cluster, W worker processes at [rate] ops/s
+     each, merged worker results. Workers re-exec this binary in the
+     e19-worker mode; a worker that dies without a RESULT line makes the
+     step count as fully failed rather than killing the sweep. *)
+  let run_step ~shards ~w ~rate =
+    let pids, ports, eps = spawn_cluster ~shards ~w in
+    Fun.protect
+      ~finally:(fun () -> kill_cluster pids)
+      (fun () ->
+        Array.iter (fun row -> Array.iter wait_listening row) ports;
+        let workers =
+          List.init w (fun i ->
+              let rd, wr = Unix.pipe () in
+              let argv =
+                [|
+                  self; "e19-worker";
+                  Printf.sprintf "windex=%d" i;
+                  Printf.sprintf "workers=%d" w;
+                  Printf.sprintf "shards=%d" shards;
+                  Printf.sprintf "n=%d" n;
+                  Printf.sprintf "b=%d" b;
+                  Printf.sprintf "seed=%d" seed;
+                  Printf.sprintf "rate=%f" rate;
+                  Printf.sprintf "duration=%f" duration;
+                  Printf.sprintf "theta=%f" theta;
+                  Printf.sprintf "keys=%d" keys;
+                  Printf.sprintf "groups=%d" groups;
+                  Printf.sprintf "wr=%f" write_ratio;
+                  Printf.sprintf "conc=%d" conc;
+                  Printf.sprintf "slo_ms=%f" slo_ms;
+                  "eps=" ^ eps;
+                |]
+              in
+              let pid = Unix.create_process self argv devnull wr Unix.stderr in
+              Unix.close wr;
+              (pid, Unix.in_channel_of_descr rd))
+        in
+        List.fold_left
+          (fun acc (pid, ic) ->
+            let result = ref None in
+            (try
+               while true do
+                 let line = input_line ic in
+                 if
+                   String.length line >= 7 && String.sub line 0 7 = "RESULT "
+                 then result := Some (parse_result line)
+               done
+             with End_of_file -> ());
+            close_in_noerr ic;
+            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+            match !result with
+            | Some m -> merge acc m
+            | None ->
+              Format.fprintf fmt "E19: worker died without a RESULT line@.";
+              acc)
+          empty workers)
+  in
+  (* One cell: climb the rate ladder until the in-SLO completion ratio
+     drops below 0.95; saturation is the last passing step. *)
+  let run_cell ~shards ~w =
+    let ratio m =
+      if m.sh_offered = 0 then 0.0
+      else float_of_int m.sh_in_slo /. float_of_int m.sh_offered
+    in
+    let rec climb best = function
+      | [] -> (best, best)
+      | rate :: rest ->
+        Format.fprintf fmt "E19: shards=%d workers=%d rate=%.0f/worker ...@."
+          shards w rate;
+        let m = run_step ~shards ~w ~rate in
+        Format.fprintf fmt
+          "  offered %d | ok %d miss %d failed %d | in-SLO ratio %.3f@."
+          m.sh_offered m.sh_ok m.sh_miss m.sh_failed (ratio m);
+        if ratio m >= 0.95 then
+          match rest with
+          | [] -> (Some (rate, m), Some (rate, m))
+          | _ -> climb (Some (rate, m)) rest
+        else (best, Some (rate, m))
+    in
+    let best, last = climb None rates in
+    let sat, satm =
+      match (best, last) with
+      | Some (rate, m), _ -> (rate, m)
+      | None, Some (rate, m) -> (rate, m)
+      | None, None -> (0.0, empty)
+    in
+    let saturated = best <> None in
+    let sat_ops =
+      if duration > 0.0 then float_of_int satm.sh_in_slo /. duration else 0.0
+    in
+    (shards, w, saturated, sat *. float_of_int w, sat_ops, ratio satm, satm)
+  in
+  let cells =
+    List.concat_map
+      (fun s -> List.map (fun w -> run_cell ~shards:s ~w) workers_list)
+      shards_list
+  in
+  Unix.close devnull;
+  let rows =
+    List.map
+      (fun (s, w, saturated, offered_rate, sat_ops, r, m) ->
+        [
+          string_of_int s;
+          string_of_int w;
+          Printf.sprintf "%.0f%s" offered_rate (if saturated then "" else "*");
+          Printf.sprintf "%.0f" sat_ops;
+          Printf.sprintf "%.3f" r;
+          Printf.sprintf "%.1f" (e19_pct m 50.0 /. 1e6);
+          Printf.sprintf "%.1f" (e19_pct m 95.0 /. 1e6);
+          Printf.sprintf "%.1f" (e19_pct m 99.0 /. 1e6);
+        ])
+      cells
+  in
+  (* Scaling ratio at the largest worker count present: S-shard
+     saturation over 1-shard saturation. *)
+  let wmax = List.fold_left max 0 workers_list in
+  let sat_of s =
+    List.find_map
+      (fun (s', w, _, _, sat_ops, _, _) ->
+        if s' = s && w = wmax then Some sat_ops else None)
+      cells
+  in
+  let speedups =
+    List.filter_map
+      (fun s ->
+        if s = 1 then None
+        else
+          match (sat_of 1, sat_of s) with
+          | Some one, Some many when one > 0.0 -> Some (s, many /. one)
+          | _ -> None)
+      shards_list
+  in
+  let table =
+    {
+      Workload.Table.id = "E19";
+      title =
+        Printf.sprintf
+          "Keyspace sharding scale-out (open-loop zipfian theta=%.2f, %d \
+           keys, %d groups, write ratio %.2f, SLO %.0f ms, %.1f s/step, %d \
+           core%s)"
+          theta keys groups write_ratio slo_ms duration cores
+          (if cores = 1 then "" else "s");
+      header =
+        [ "shards"; "workers"; "offered/s"; "sat ops/s"; "in-SLO";
+          "p50 (ms)"; "p95 (ms)"; "p99 (ms)" ];
+      rows;
+      notes =
+        [
+          "sat ops/s = completed-within-SLO throughput at the highest \
+           offered rate whose in-SLO ratio stayed >= 0.95;";
+          "offered/s marked * = never saturated cleanly (first ladder rate \
+           already below 0.95) — numbers are that step's;";
+          (match speedups with
+          | [] -> "scaling ratio: n/a (no 1-shard cell to compare against)"
+          | sp ->
+            "scaling vs 1 shard: "
+            ^ String.concat ", "
+                (List.map
+                   (fun (s, r) -> Printf.sprintf "%dx shards -> %.2fx" s r)
+                   sp));
+          "latency counted from each op's scheduled arrival (queueing \
+           under overload included); see EXPERIMENTS.md on core-count \
+           caveats.";
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  if json then
+    write_shard_json ~path:"BENCH_shard.json" ~cores
+      (List.concat_map
+         (fun (s, w, saturated, offered_rate, sat_ops, r, m) ->
+           let p = Printf.sprintf "s%dw%d_" s w in
+           [
+             (p ^ "sat_ops_per_s", Printf.sprintf "%.1f" sat_ops);
+             (p ^ "offered_per_s", Printf.sprintf "%.1f" offered_rate);
+             (p ^ "saturated", string_of_bool saturated);
+             (p ^ "in_slo_ratio", Printf.sprintf "%.3f" r);
+             (p ^ "p50_ns", Printf.sprintf "%.0f" (e19_pct m 50.0));
+             (p ^ "p95_ns", Printf.sprintf "%.0f" (e19_pct m 95.0));
+             (p ^ "p99_ns", Printf.sprintf "%.0f" (e19_pct m 99.0));
+           ])
+         cells
+      @ List.map
+          (fun (s, r) ->
+            (Printf.sprintf "speedup_%dx_over_1" s, Printf.sprintf "%.3f" r))
+          speedups
+      @ [
+          ("duration_s", Printf.sprintf "%.2f" duration);
+          ("slo_ms", Printf.sprintf "%.1f" slo_ms);
+          ("theta", Printf.sprintf "%.2f" theta);
+          ("keys", string_of_int keys);
+          ("groups", string_of_int groups);
+          ("worker_threads", string_of_int conc);
+        ])
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1475,10 +2377,10 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e16", fun () -> e16_check ~seed ~json ());
     ("e17", fun () -> e17_obs ~json ());
     ("e18", fun () -> e18_sign ~json ());
+    ("e19", fun () -> e19_shard ~seed ~json ());
   ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+let main args =
   let rec parse seed json picked = function
     | [] -> (seed, json, List.rev picked)
     | "--seed" :: v :: rest -> parse (int_of_string v) json picked rest
@@ -1500,3 +2402,8 @@ let () =
         Format.fprintf fmt "unknown experiment %S (known: %s)@." name
           (String.concat ", " (List.map fst table)))
     to_run
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "e19-worker" :: rest -> e19_worker rest
+  | args -> main args

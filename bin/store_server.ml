@@ -3,13 +3,42 @@
      dune exec bin/store_server.exe -- --id 0 --port 7000 --n 4 --b 1 \
        --peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 
-   Peers are the *other* servers' endpoints, used for gossip pushes. *)
+   Peers are the *other* servers' endpoints, used for gossip pushes.
+
+   With --shards the process hosts one replica of *several* shard
+   groups behind the same port (frame tags 0x04/0x05 carry the shard
+   id; see Tcpnet.Server_host.start_sharded):
+
+     dune exec bin/store_server.exe -- --id 2 --shards 0,4 \
+       --shards-total 8 --port 7002 --peers ...
+
+   hosts replica 2 of shards 0 and 4. Node ids are global — shard s's
+   replica r is node s*n + r — so every signature and MAC names exactly
+   one replica of one shard; --shards-total sizes the MAC universe. *)
 
 open Cmdliner
 
 let run id port n b clients guard log_depth peers gossip_period snapshot
-    snapshot_period stats_period metrics_port =
-  let keyring = Keys.keyring (Keys.split_commas clients) in
+    snapshot_period stats_period metrics_port shards shards_total =
+  let shard_ids =
+    match shards with
+    | "" -> []
+    | s -> (
+      match List.map int_of_string_opt (Keys.split_commas s) with
+      | exception _ -> failwith "bad --shards"
+      | ids ->
+        List.map
+          (function Some i when i >= 0 -> i | _ -> failwith "bad --shards")
+          ids)
+  in
+  let total_shards =
+    List.fold_left (fun acc s -> max acc (s + 1)) (max 1 shards_total) shard_ids
+  in
+  (* Every replica of every shard shares one flat MAC universe so a
+     Mac_fast client can authenticate to any of the total*n global ids. *)
+  let keyring =
+    Keys.keyring ~mac_servers:(total_shards * n) (Keys.split_commas clients)
+  in
   let config =
     {
       (Store.Server.default_config ~n ~b) with
@@ -19,43 +48,99 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
   in
   (* A long-term store survives restarts: reload the last snapshot if one
      exists, and persist periodically. *)
-  let server =
+  let make_server ~gid ~snapshot =
     match snapshot with
     | Some path when Sys.file_exists path -> (
-      match Store.Server.load_file ~config ~id ~keyring ~n ~b ~path () with
+      match Store.Server.load_file ~config ~id:gid ~keyring ~n ~b ~path () with
       | Some server ->
         Printf.printf "restored state from %s (%d items)\n%!" path
           (Store.Server.item_count server);
         server
       | None ->
         Printf.eprintf "warning: snapshot %s unreadable; starting fresh\n" path;
-        Store.Server.create ~config ~id ~keyring ~n ~b ())
-    | Some _ | None -> Store.Server.create ~config ~id ~keyring ~n ~b ()
+        Store.Server.create ~config ~id:gid ~keyring ~n ~b ())
+    | Some _ | None -> Store.Server.create ~config ~id:gid ~keyring ~n ~b ()
   in
-  (match snapshot with
-  | Some path ->
-    ignore
-      (Thread.create
-         (fun () ->
-           while true do
-             Thread.delay snapshot_period;
-             try Store.Server.save_file server ~path
-             with Sys_error msg -> Printf.eprintf "snapshot failed: %s\n" msg
-           done)
-         ())
-  | None -> ());
-  let gossip =
+  let snapshot_for shard =
+    match (snapshot, shard) with
+    | None, _ -> None
+    | Some path, None -> Some path
+    | Some path, Some s -> Some (Printf.sprintf "%s.s%d" path s)
+  in
+  (* (shard, server, snapshot path) per hosted shard; the legacy
+     unsharded daemon is the one-entry untagged case. *)
+  let hosted =
+    match shard_ids with
+    | [] -> [ (None, make_server ~gid:id ~snapshot:(snapshot_for None), snapshot_for None) ]
+    | ids ->
+      List.map
+        (fun s ->
+          let snap = snapshot_for (Some s) in
+          (Some s, make_server ~gid:((s * n) + id) ~snapshot:snap, snap))
+        ids
+  in
+  (if snapshot <> None then
+     ignore
+       (Thread.create
+          (fun () ->
+            while true do
+              Thread.delay snapshot_period;
+              List.iter
+                (fun (_, server, snap) ->
+                  match snap with
+                  | Some path -> (
+                    try Store.Server.save_file server ~path
+                    with Sys_error msg ->
+                      Printf.eprintf "snapshot failed: %s\n" msg)
+                  | None -> ())
+                hosted
+            done)
+          ()));
+  let peer_list =
     match peers with
-    | "" -> None
+    | "" -> []
     | peers -> (
       match Keys.parse_endpoints peers with
-      | Some peers -> Some { Tcpnet.Server_host.peers; period = gossip_period }
+      | Some peers -> peers
       | None -> failwith "bad --peers (expected host:port,host:port,...)")
   in
-  let host = Tcpnet.Server_host.start ?gossip ~server ~port () in
-  Printf.printf "secure store server %d/%d (b=%d, guard=%b) listening on 127.0.0.1:%d\n%!"
-    id n b guard
-    (Tcpnet.Server_host.port host);
+  let host =
+    match hosted with
+    | [ (None, server, _) ] ->
+      let gossip =
+        match peer_list with
+        | [] -> None
+        | peers -> Some { Tcpnet.Server_host.peers; period = gossip_period }
+      in
+      Tcpnet.Server_host.start ?gossip ~server ~port ()
+    | hosted ->
+      let specs =
+        List.map
+          (fun (shard, server, _) ->
+            {
+              Tcpnet.Server_host.shard = Option.get shard;
+              server;
+              behavior = Store.Faults.Honest;
+              peers = peer_list;
+            })
+          hosted
+      in
+      Tcpnet.Server_host.start_sharded ~gossip_period ~shards:specs ~port ()
+  in
+  (match shard_ids with
+  | [] ->
+    Printf.printf
+      "secure store server %d/%d (b=%d, guard=%b) listening on 127.0.0.1:%d\n%!"
+      id n b guard
+      (Tcpnet.Server_host.port host)
+  | ids ->
+    Printf.printf
+      "secure store server replica %d of shards [%s] (n=%d, b=%d, guard=%b) \
+       listening on 127.0.0.1:%d\n%!"
+      id
+      (String.concat "," (List.map string_of_int ids))
+      n b guard
+      (Tcpnet.Server_host.port host));
   (* Exposition endpoint: /metrics (Prometheus text format) and /spans
      (the recent-span journal as JSON). Serving it turns tracing on —
      the span phases are the point of scraping. *)
@@ -87,6 +172,39 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
              (Store.Metrics.pp_endpoint_health ~now) h)
          hs
      in
+     (* One line per hosted shard: items, dispatched requests, handling
+        p50 — a hot shard stands out without scraping /metrics. *)
+     let pp_shards fmt () =
+       let reqs = Store.Metrics.shard_request_stats () in
+       List.iter
+         (fun (shard, server, _) ->
+           let wire = match shard with Some s -> s | None -> 0 in
+           let count, p50ms =
+             match List.assoc_opt wire reqs with
+             | Some c ->
+               ( c.Store.Metrics.shard_requests,
+                 Obs.Histo.percentile c.Store.Metrics.shard_request_latency 50.0
+                 /. 1e6 )
+             | None -> (0, 0.0)
+           in
+           Format.fprintf fmt "@,stats: shard %d: %d items, %d gossip queued, \
+                               %d reqs, p50=%.2fms"
+             wire
+             (Store.Server.item_count server)
+             (Store.Server.gossip_pending server)
+             count p50ms)
+         hosted
+     in
+     let total_items () =
+       List.fold_left
+         (fun acc (_, server, _) -> acc + Store.Server.item_count server)
+         0 hosted
+     in
+     let total_gossip () =
+       List.fold_left
+         (fun acc (_, server, _) -> acc + Store.Server.gossip_pending server)
+         0 hosted
+     in
      ignore
        (Thread.create
           (fun () ->
@@ -103,9 +221,9 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
                 "@[<v>stats: %d items, %d gossip queued | %d msgs, %d \
                  server verifies (%d RSA) | transport: %d connects, %d \
                  reuses, %d reconnects, %d in-flight peak | rpc: %d \
-                 rounds, p50=%.2fms p95=%.2fms p99=%.2fms%a@]@."
-                (Store.Server.item_count server)
-                (Store.Server.gossip_pending server)
+                 rounds, p50=%.2fms p95=%.2fms p99=%.2fms%a%a@]@."
+                (total_items ())
+                (total_gossip ())
                 m.Store.Metrics.messages m.Store.Metrics.server_verifies
                 (Store.Metrics.rsa_verifies m)
                 m.Store.Metrics.tcp_connects m.Store.Metrics.tcp_reuses
@@ -117,6 +235,7 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
                 (ms rpc.Store.Metrics.p99_ns)
                 (pp_peers now)
                 (Store.Metrics.endpoint_health ())
+                pp_shards ()
             done)
           ()));
   (* Serve until killed. Relocking a held mutex raises EDEADLK on
@@ -150,7 +269,8 @@ let cmd =
   in
   let snapshot =
     Arg.(value & opt (some string) None
-         & info [ "snapshot" ] ~doc:"Persist state to this file and reload it on start.")
+         & info [ "snapshot" ] ~doc:"Persist state to this file and reload it on start \
+                                     (sharded hosts use FILE.s<shard> per shard).")
   in
   let snapshot_period =
     Arg.(value & opt float 10.0 & info [ "snapshot-period" ] ~doc:"Seconds between snapshots.")
@@ -158,7 +278,8 @@ let cmd =
   let stats_period =
     Arg.(value & opt float 0.0
          & info [ "stats-period" ]
-             ~doc:"Seconds between metrics reports on stdout (0 = off).")
+             ~doc:"Seconds between metrics reports on stdout (0 = off); \
+                   sharded hosts print one extra line per shard.")
   in
   let metrics_port =
     Arg.(value & opt (some int) None
@@ -167,9 +288,22 @@ let cmd =
                    (JSON span journal) on this port; enables tracing. \
                    0 = ephemeral.")
   in
+  let shards =
+    Arg.(value & opt string ""
+         & info [ "shards" ]
+             ~doc:"Comma-separated shard ids to host one replica of \
+                   (empty = unsharded legacy daemon). Replica $(b,--id) of \
+                   shard s is global node s*n + id.")
+  in
+  let shards_total =
+    Arg.(value & opt int 1
+         & info [ "shards-total" ]
+             ~doc:"Total shards in the deployment (sizes the client-server \
+                   MAC universe; defaults to max hosted shard + 1).")
+  in
   Cmd.v
     (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
     Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
-          $ snapshot $ snapshot_period $ stats_period $ metrics_port)
+          $ snapshot $ snapshot_period $ stats_period $ metrics_port $ shards $ shards_total)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,50 @@
+(* Shared key-universe convention for the networked demo binaries.
+
+   The paper assumes every principal's public key is well known and
+   leaves key management out of scope. These tools realize that
+   assumption by deriving each named client's keypair deterministically
+   from its name, so every server and client computes the same keyring
+   from the same --clients list. A production deployment would replace
+   this module with real key distribution. *)
+
+let keypair name =
+  Crypto.Rsa.generate (Crypto.Prng.create ~seed:("securestore-demo-key:" ^ name))
+
+(* Pairwise client↔server MAC secrets, same well-known-key assumption as
+   the signing keys. [server] is a *global* node id: in a sharded
+   deployment shard s's replica r is node s*n + r, so one derivation
+   covers single- and multi-shard universes alike. *)
+let mac_secret ~client ~server =
+  Crypto.Sha256.digest
+    (Printf.sprintf "securestore-demo-mac:%s:%d" client server)
+
+let keyring ?(mac_servers = 0) names =
+  let keyring = Store.Keyring.create () in
+  List.iter
+    (fun name ->
+      Store.Keyring.register keyring name (keypair name).Crypto.Rsa.public;
+      for server = 0 to mac_servers - 1 do
+        Store.Keyring.register_mac keyring ~client:name ~server
+          (mac_secret ~client:name ~server)
+      done)
+    names;
+  keyring
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i ->
+    let host = String.sub s 0 i in
+    let host = if host = "" || host = "localhost" then "127.0.0.1" else host in
+    (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port -> Some (host, port)
+    | None -> None)
+
+let parse_endpoints s =
+  let parts = split_commas s in
+  let parsed = List.filter_map parse_endpoint parts in
+  if List.length parsed <> List.length parts then None else Some parsed

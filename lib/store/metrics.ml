@@ -61,6 +61,80 @@ let endpoint_rpc_histos () =
   Mutex.unlock ep_histos_lock;
   List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
+(* --- per-shard registries ------------------------------------------- *)
+
+(* Two views of a shard: what the servers hosting it saw (requests
+   dispatched into that shard's state) and what a router's client ops
+   against it looked like. Both are keyed by shard id so a hot or sick
+   shard stands out on /metrics and in the stats line. *)
+
+type shard_client = {
+  mutable shard_reads : int;
+  mutable shard_writes : int;
+  mutable shard_failures : int;
+  shard_op_latency : Obs.Histo.t;
+}
+
+type shard_server = {
+  mutable shard_requests : int;
+  shard_request_latency : Obs.Histo.t;
+}
+
+let shard_client_tbl : (int, shard_client) Hashtbl.t = Hashtbl.create 8
+let shard_server_tbl : (int, shard_server) Hashtbl.t = Hashtbl.create 8
+let shard_lock = Mutex.create ()
+
+let shard_cell tbl shard fresh =
+  Mutex.lock shard_lock;
+  let cell =
+    match Hashtbl.find_opt tbl shard with
+    | Some c -> c
+    | None ->
+      let c = fresh () in
+      Hashtbl.add tbl shard c;
+      c
+  in
+  Mutex.unlock shard_lock;
+  cell
+
+let note_shard_client_op ~shard ~write ~ok ns =
+  let c =
+    shard_cell shard_client_tbl shard (fun () ->
+        {
+          shard_reads = 0;
+          shard_writes = 0;
+          shard_failures = 0;
+          shard_op_latency = Obs.Histo.create ();
+        })
+  in
+  if write then c.shard_writes <- c.shard_writes + 1
+  else c.shard_reads <- c.shard_reads + 1;
+  if not ok then c.shard_failures <- c.shard_failures + 1;
+  Obs.Histo.observe c.shard_op_latency ns
+
+let note_shard_request ~shard ns =
+  let c =
+    shard_cell shard_server_tbl shard (fun () ->
+        { shard_requests = 0; shard_request_latency = Obs.Histo.create () })
+  in
+  c.shard_requests <- c.shard_requests + 1;
+  Obs.Histo.observe c.shard_request_latency ns
+
+let sorted_shards tbl =
+  Mutex.lock shard_lock;
+  let all = Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl [] in
+  Mutex.unlock shard_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+let shard_client_stats () = sorted_shards shard_client_tbl
+let shard_request_stats () = sorted_shards shard_server_tbl
+
+let reset_shards () =
+  Mutex.lock shard_lock;
+  Hashtbl.reset shard_client_tbl;
+  Hashtbl.reset shard_server_tbl;
+  Mutex.unlock shard_lock
+
 (* --- per-endpoint transport health (a registry of gauges, like the
    in-flight high-water mark: outside the snapshot) ------------------- *)
 
@@ -122,7 +196,8 @@ let reset () =
   rpcs := 0;
   retries := 0;
   escalations := 0;
-  Obs.Histo.reset rpc_histo
+  Obs.Histo.reset rpc_histo;
+  reset_shards ()
 
 let reset_gauges () =
   Mutex.lock health_lock;
@@ -275,8 +350,56 @@ let families () =
           float_of_int h.consecutive_failures);
     ]
   in
+  let shard_label s = [ ("shard", string_of_int s) ] in
+  let shard_servers = shard_request_stats () in
+  let shard_clients = shard_client_stats () in
+  let shard_families =
+    if shard_servers = [] && shard_clients = [] then []
+    else
+      [
+        Obs.Expo.family ~name:"securestore_shard_requests_total"
+          ~help:"Requests dispatched into this shard's server state."
+          (Obs.Expo.Counter
+             (List.map
+                (fun (s, c) ->
+                  (shard_label s, float_of_int c.shard_requests))
+                shard_servers));
+        Obs.Expo.family ~name:"securestore_shard_request_duration_seconds"
+          ~help:"Server-side request handling latency per shard."
+          (Obs.Expo.Histogram
+             (List.map
+                (fun (s, c) -> (shard_label s, c.shard_request_latency))
+                shard_servers));
+        Obs.Expo.family ~name:"securestore_shard_client_ops_total"
+          ~help:"Router-side operations per shard and op kind."
+          (Obs.Expo.Counter
+             (List.concat_map
+                (fun (s, c) ->
+                  [
+                    ( ("op", "read") :: shard_label s,
+                      float_of_int c.shard_reads );
+                    ( ("op", "write") :: shard_label s,
+                      float_of_int c.shard_writes );
+                  ])
+                shard_clients));
+        Obs.Expo.family ~name:"securestore_shard_client_failures_total"
+          ~help:"Router-side operations per shard that returned an error."
+          (Obs.Expo.Counter
+             (List.map
+                (fun (s, c) ->
+                  (shard_label s, float_of_int c.shard_failures))
+                shard_clients));
+        Obs.Expo.family ~name:"securestore_shard_client_op_duration_seconds"
+          ~help:"Router-side end-to-end op latency per shard."
+          (Obs.Expo.Histogram
+             (List.map
+                (fun (s, c) -> (shard_label s, c.shard_op_latency))
+                shard_clients));
+      ]
+  in
   let histograms =
-    [
+    shard_families
+    @ [
       Obs.Expo.family ~name:"securestore_rpc_duration_seconds"
         ~help:"Quorum RPC round duration over the pooled transport."
         (Obs.Expo.Histogram [ ([], rpc_histo) ]);

@@ -60,6 +60,36 @@ val incr_rpc : unit -> unit
 val incr_retry : unit -> unit
 val incr_escalation : unit -> unit
 
+(** {1 Per-shard registries}
+
+    Two per-shard views, both experiment-scoped (cleared by {!reset}):
+    what servers hosting a shard saw (requests dispatched into that
+    shard's state) and what a router's ops against it looked like. Both
+    surface on [/metrics] labeled by shard id, so a hot shard under a
+    skewed workload is visible at a glance. *)
+
+type shard_client = {
+  mutable shard_reads : int;
+  mutable shard_writes : int;
+  mutable shard_failures : int;  (** ops that returned an error *)
+  shard_op_latency : Obs.Histo.t;  (** end-to-end router op latency *)
+}
+
+type shard_server = {
+  mutable shard_requests : int;
+  shard_request_latency : Obs.Histo.t;
+}
+
+val note_shard_client_op : shard:int -> write:bool -> ok:bool -> float -> unit
+(** Record one routed client op (latency in nanoseconds). *)
+
+val note_shard_request : shard:int -> float -> unit
+(** Record one server-side request dispatched into [shard]'s state. *)
+
+val shard_client_stats : unit -> (int * shard_client) list
+val shard_request_stats : unit -> (int * shard_server) list
+(** Sorted by shard id; cells are live references. *)
+
 (** {1 Per-endpoint transport health}
 
     The transport pool reports each endpoint's health here (a registry

@@ -1,0 +1,72 @@
+type t = {
+  table : Shardmap.t;
+  uid : string;
+  key : Crypto.Rsa.keypair;
+  keyring : Keyring.t;
+  config_of : int -> Client.config;
+  sessions : (string, Client.t) Hashtbl.t;
+}
+
+let shard_servers ~n shard = List.init n (fun r -> (shard * n) + r)
+
+let create ?admin ~table ~uid ~key ~keyring ~config_of () =
+  (match admin with
+  | Some pub when not (Shardmap.verify table pub) ->
+    invalid_arg "Router.create: shard table signature invalid"
+  | _ -> ());
+  { table; uid; key; keyring; config_of; sessions = Hashtbl.create 16 }
+
+let shard_of t uid = Shardmap.shard_of_uid t.table uid
+let table t = t.table
+
+let session t ~group =
+  match Hashtbl.find_opt t.sessions group with
+  | Some c -> Ok c
+  | None -> (
+    let shard = Shardmap.shard_of_group t.table group in
+    let config = t.config_of shard in
+    match
+      Client.connect ~config ~uid:t.uid ~key:t.key ~keyring:t.keyring ~group ()
+    with
+    | Ok c ->
+      Hashtbl.replace t.sessions group c;
+      Ok c
+    | Error _ as e -> e)
+
+(* Wrap one routed op: resolve the owning session, run, and account the
+   outcome to the shard so a hot or sick shard shows up on /metrics. *)
+let routed t ~uid ~write op =
+  let group = Uid.group uid in
+  let shard = Shardmap.shard_of_group t.table group in
+  let t0 = Sim.Runtime.now () in
+  let result =
+    match session t ~group with Ok c -> op c | Error _ as e -> e
+  in
+  let ns = (Sim.Runtime.now () -. t0) *. 1e9 in
+  let ok = match result with Ok _ -> true | Error _ -> false in
+  Metrics.note_shard_client_op ~shard ~write ~ok (if ns > 0.0 then ns else 0.0);
+  result
+
+let write t ~uid value =
+  routed t ~uid ~write:true (fun c -> Client.write c ~item:(Uid.item uid) value)
+
+let read t ~uid =
+  routed t ~uid ~write:false (fun c -> Client.read c ~item:(Uid.item uid))
+
+(* Fold an action over every open session, reporting the first error but
+   visiting all of them (a failed shard must not strand another shard's
+   pending escalations or context write-back). *)
+let each t f =
+  Hashtbl.fold
+    (fun _group c acc ->
+      match f c with Ok () -> acc | Error _ as e when acc = Ok () -> e | _ -> acc)
+    t.sessions (Ok ())
+
+let flush_all t = each t Client.flush
+
+let disconnect t =
+  let r = each t Client.disconnect in
+  Hashtbl.reset t.sessions;
+  r
+
+let sessions t = Hashtbl.fold (fun g c acc -> (g, c) :: acc) t.sessions []

@@ -1,0 +1,109 @@
+type t = {
+  version : int;
+  seed : string;
+  shards : int;
+  vnodes : int;
+  points : (int * int) array;
+  signature : string option;
+}
+
+(* Ring positions are the first 62 bits of a SHA-256 over a
+   domain-separated preimage. 62 bits keeps them non-negative native
+   ints; collisions between distinct vnodes are astronomically unlikely
+   and harmless anyway (ties break by shard id through the sort). *)
+let ring_point preimage =
+  let d = Crypto.Sha256.digest preimage in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code d.[i]
+  done;
+  !v land max_int
+
+let vnode_point ~seed ~shard ~vnode =
+  ring_point (Printf.sprintf "shardmap-vnode!%s!%d!%d" seed shard vnode)
+
+let group_point ~seed group =
+  ring_point (Printf.sprintf "shardmap-group!%s!%s" seed group)
+
+let derive_points ~seed ~shards ~vnodes =
+  let points = Array.make (shards * vnodes) (0, 0) in
+  for s = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      points.((s * vnodes) + v) <- (vnode_point ~seed ~shard:s ~vnode:v, s)
+    done
+  done;
+  Array.sort compare points;
+  points
+
+let make ?(version = 1) ?(vnodes = 64) ~seed ~shards () =
+  if shards < 1 then invalid_arg "Shardmap.make: shards must be >= 1";
+  if vnodes < 1 then invalid_arg "Shardmap.make: vnodes must be >= 1";
+  {
+    version;
+    seed;
+    shards;
+    vnodes;
+    points = derive_points ~seed ~shards ~vnodes;
+    signature = None;
+  }
+
+(* Successor on the ring: the first point with position >= the group's,
+   wrapping to the smallest point past the top. *)
+let shard_of_group t group =
+  if t.shards = 1 then 0
+  else begin
+    let p = group_point ~seed:t.seed group in
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) < p then lo := mid + 1 else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+  end
+
+let shard_of_uid t uid = shard_of_group t (Uid.group uid)
+
+let digest t =
+  Crypto.Sha256.digest
+    (Printf.sprintf "shardmap-v1!%d!%d!%d!%s" t.version t.shards t.vnodes
+       t.seed)
+
+let sign t key = { t with signature = Some (Crypto.Rsa.sign key (digest t)) }
+
+let verify t pub =
+  match t.signature with
+  | None -> false
+  | Some signature -> Crypto.Rsa.verify pub ~msg:(digest t) ~signature
+
+let encode e t =
+  let open Wire.Codec.Enc in
+  varint e t.version;
+  string e t.seed;
+  varint e t.shards;
+  varint e t.vnodes;
+  option e string t.signature
+
+let decode d =
+  let open Wire.Codec.Dec in
+  let version = varint d in
+  let seed = string d in
+  let shards = varint d in
+  let vnodes = varint d in
+  let signature = option d string in
+  if shards < 1 || vnodes < 1 then
+    raise (Wire.Codec.Error "Shardmap.decode: bad shard table");
+  { version; seed; shards; vnodes; points = derive_points ~seed ~shards ~vnodes;
+    signature }
+
+let to_string t = Wire.Codec.encode encode t
+let of_string s = Wire.Codec.decode_opt decode s
+
+let spread t ~groups =
+  let counts = Array.make t.shards 0 in
+  List.iter
+    (fun g ->
+      let s = shard_of_group t g in
+      counts.(s) <- counts.(s) + 1)
+    groups;
+  counts

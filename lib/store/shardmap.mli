@@ -1,0 +1,53 @@
+(** Shard table: deterministic ownership of the uid space.
+
+    The paper scopes every context to a "related group of items", so the
+    natural unit of horizontal partitioning is the uid's group: all items
+    of one group live on one shard, each shard is an independent n-server
+    quorum group, and no context ever spans shards. The table maps a
+    group name to a shard via consistent hashing — each shard projects
+    [vnodes] points onto a ring derived from a seed, and a group belongs
+    to the shard owning the first point at or after the group's own ring
+    position. The construction is a pure function of
+    [(version, seed, shards, vnodes)], so every client and test that
+    agrees on those four values agrees on ownership without any exchange.
+
+    Tables are versioned and signable: an administrator signs the
+    canonical digest, and routers refuse tables whose signature does not
+    verify, so a Byzantine party cannot steer a client's keys onto a
+    shard it controls by handing out a doctored table. *)
+
+type t = private {
+  version : int;  (** Monotonic table epoch; reconfiguration bumps it. *)
+  seed : string;  (** Ring derivation seed. *)
+  shards : int;  (** Number of shard groups, [>= 1]. *)
+  vnodes : int;  (** Ring points per shard, [>= 1]. *)
+  points : (int * int) array;
+      (** Sorted [(ring point, shard)] pairs — derived, not free. *)
+  signature : string option;
+}
+
+val make : ?version:int -> ?vnodes:int -> seed:string -> shards:int -> unit -> t
+(** Build a table. [vnodes] defaults to 64, [version] to 1.
+    @raise Invalid_argument when [shards < 1] or [vnodes < 1]. *)
+
+val shard_of_group : t -> string -> int
+(** The shard owning every item of [group]. Total and deterministic. *)
+
+val shard_of_uid : t -> Uid.t -> int
+
+val digest : t -> string
+(** Canonical digest over [(version, seed, shards, vnodes)] — the derived
+    ring is not part of the preimage, since it is a function of these. *)
+
+val sign : t -> Crypto.Rsa.keypair -> t
+val verify : t -> Crypto.Rsa.public -> bool
+(** [verify] is [false] for unsigned tables: a router configured with an
+    admin key treats "no signature" the same as a bad one. *)
+
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t
+val to_string : t -> string
+val of_string : string -> t option
+
+val spread : t -> groups:string list -> int array
+(** Groups owned per shard over a sample — distribution diagnostics. *)

@@ -58,8 +58,20 @@ let tag_oneway = '\x00'
 let tag_call = '\x01'
 let tag_pipelined = '\x02'
 let tag_conn_error = '\x03'
+let tag_sharded_call = '\x04'
+let tag_sharded_oneway = '\x05'
 
 let max_id = 0x3fffffff
+let max_shard = 0xffff
+
+let put_shard buf pos shard =
+  if shard < 0 || shard > max_shard then
+    invalid_arg "Frame: shard id out of range";
+  Bytes.set buf pos (Char.chr ((shard lsr 8) land 0xff));
+  Bytes.set buf (pos + 1) (Char.chr (shard land 0xff))
+
+let get_shard s pos =
+  (Char.code s.[pos] lsl 8) lor Char.code s.[pos + 1]
 
 let put_id buf pos id =
   Bytes.set buf pos (Char.chr ((id lsr 24) land 0xff));
@@ -81,8 +93,53 @@ let with_id ~tag ~id ?status payload =
   Bytes.blit_string payload 0 buf (5 + slen) (String.length payload);
   Bytes.unsafe_to_string buf
 
-let encode_oneway payload = String.make 1 tag_oneway ^ payload
+let encode_oneway ?shard payload =
+  match shard with
+  | None -> String.make 1 tag_oneway ^ payload
+  | Some shard ->
+    let len = String.length payload in
+    let buf = Bytes.create (3 + len) in
+    Bytes.set buf 0 tag_sharded_oneway;
+    put_shard buf 1 shard;
+    Bytes.blit_string payload 0 buf 3 len;
+    Bytes.unsafe_to_string buf
+
 let encode_call ~id payload = with_id ~tag:tag_pipelined ~id payload
+
+(* --- prebuilt call buffers ---------------------------------------------
+   A quorum broadcast sends the same payload to every endpoint; only the
+   per-connection correlation id differs. A prebuilt buffer is the full
+   wire image — frame length prefix included — built once per broadcast;
+   each submission patches the 4 id bytes in place and writes the buffer
+   directly. The caller must serialize patch+write per buffer (the pool's
+   group submit loop runs them sequentially in one thread). *)
+
+type prebuilt = Bytes.t
+
+let prebuilt_call ?shard payload =
+  let plen = String.length payload in
+  let slen = match shard with Some _ -> 2 | None -> 0 in
+  let body = 5 + slen + plen in
+  if body > max_frame then invalid_arg "Frame.prebuilt_call: frame too large";
+  let buf = Bytes.create (4 + body) in
+  Bytes.set buf 0 (Char.chr ((body lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((body lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((body lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (body land 0xff));
+  (match shard with
+  | None -> Bytes.set buf 4 tag_pipelined
+  | Some s ->
+    Bytes.set buf 4 tag_sharded_call;
+    put_shard buf 9 s);
+  put_id buf 5 0;
+  Bytes.blit_string payload 0 buf (9 + slen) plen;
+  buf
+
+let set_prebuilt_id buf id =
+  if id < 0 || id > max_id then invalid_arg "Frame: correlation id out of range";
+  put_id buf 5 id
+
+let write_prebuilt fd buf = write_all fd buf 0 (Bytes.length buf)
 
 let status_no_reply = '\x00'
 let status_ok = '\x01'
@@ -101,6 +158,8 @@ type request =
   | Oneway of string
   | Legacy_call of string
   | Call of { id : int; payload : string }
+  | Sharded_call of { id : int; shard : int; payload : string }
+  | Sharded_oneway of { shard : int; payload : string }
 
 let parse_request frame =
   if String.length frame = 0 then None
@@ -121,6 +180,28 @@ let parse_request frame =
         else
           Some
             (Call { id; payload = String.sub frame 5 (String.length frame - 5) })
+    | c when c = tag_sharded_call ->
+      if String.length frame < 7 then None
+      else
+        let id = get_id frame 1 in
+        if id > max_id then None
+        else
+          Some
+            (Sharded_call
+               {
+                 id;
+                 shard = get_shard frame 5;
+                 payload = String.sub frame 7 (String.length frame - 7);
+               })
+    | c when c = tag_sharded_oneway ->
+      if String.length frame < 3 then None
+      else
+        Some
+          (Sharded_oneway
+             {
+               shard = get_shard frame 1;
+               payload = String.sub frame 3 (String.length frame - 3);
+             })
     | _ -> None
 
 type response =

@@ -33,13 +33,40 @@ val read_frame_ext : Unix.file_descr -> read_result
     connection with out-of-order replies; [0x03] is a connection-level
     framed error for requests the server could not even parse. A
     pipelined response carries a status byte after the id: [0x00] no
-    reply, [0x01] ok + payload, [0x02] rejected + message. *)
+    reply, [0x01] ok + payload, [0x02] rejected + message.
+
+    Sharded hosts add two tags: [0x04] is a pipelined call whose 4-byte
+    id is followed by a 2-byte big-endian shard id, and [0x05] is a
+    one-way with a 2-byte shard id — the host dispatches either to that
+    shard's server state. Responses are unchanged (the correlation id
+    already names the request, shard included). *)
 
 val max_id : int
 (** Correlation ids live in [0 .. max_id] (30 bits, wraps). *)
 
-val encode_oneway : string -> string
+val max_shard : int
+(** Shard ids live in [0 .. max_shard] (16 bits on the wire). *)
+
+val encode_oneway : ?shard:int -> string -> string
+(** With [shard], a [0x05] sharded one-way; otherwise the legacy [0x00].
+    @raise Invalid_argument when [shard] exceeds {!max_shard}. *)
+
 val encode_call : id:int -> string -> string
+
+(** {2 Prebuilt call buffers}
+
+    A quorum broadcast sends one payload to every endpoint; only the
+    correlation id differs per connection. [prebuilt_call] builds the
+    full wire image (length prefix, tag, zeroed id, optional shard,
+    payload) once; each send patches the id with {!set_prebuilt_id} and
+    writes the buffer with {!write_prebuilt} — no per-endpoint encode or
+    copy. The caller must serialize patch+write pairs on one buffer. *)
+
+type prebuilt = Bytes.t
+
+val prebuilt_call : ?shard:int -> string -> prebuilt
+val set_prebuilt_id : prebuilt -> int -> unit
+val write_prebuilt : Unix.file_descr -> prebuilt -> unit
 val encode_reply : id:int -> string option -> string
 val encode_reject : id:int -> string -> string
 val encode_conn_error : string -> string
@@ -48,6 +75,8 @@ type request =
   | Oneway of string
   | Legacy_call of string
   | Call of { id : int; payload : string }
+  | Sharded_call of { id : int; shard : int; payload : string }
+  | Sharded_oneway of { shard : int; payload : string }
 
 val parse_request : string -> request option
 (** [None] on an empty frame, unknown tag, truncated pipelined header,

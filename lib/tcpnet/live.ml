@@ -82,17 +82,23 @@ let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
 
 (* --- pooled transport (default) ---------------------------------------- *)
 
-let do_call_many ~pool ~endpoints (spec : Sim.Runtime.call_spec) =
+let do_call_many ~pool ~endpoints ~shard_of (spec : Sim.Runtime.call_spec) =
   let dsts =
     List.filter_map
       (fun dst -> Option.map (fun ep -> (dst, ep)) (endpoints dst))
       spec.Sim.Runtime.dsts
   in
-  Pool.call_many pool ~timeout:spec.Sim.Runtime.timeout
+  (* One quorum round always addresses one replica set, and a replica
+     set lives wholly inside one shard — so the first destination's
+     shard speaks for the round. *)
+  let shard =
+    match spec.Sim.Runtime.dsts with [] -> None | dst :: _ -> shard_of dst
+  in
+  Pool.call_many pool ~timeout:spec.Sim.Runtime.timeout ?shard
     ~quorum:spec.Sim.Runtime.quorum dsts spec.Sim.Runtime.request
   |> List.map (fun (from, payload) -> { Sim.Runtime.from; payload })
 
-let run ?(transport = `Pooled) ?pool ~endpoints fn =
+let run ?(transport = `Pooled) ?pool ?(shard_of = fun _ -> None) ~endpoints fn =
   (* Lazy so the legacy path never materializes the shared pool (its
      timekeeper thread and self-pipe fds) — in particular not in the
      fd-leak scenarios the legacy baseline exists to measure. *)
@@ -101,7 +107,7 @@ let run ?(transport = `Pooled) ?pool ~endpoints fn =
   in
   let call_many spec =
     match transport with
-    | `Pooled -> do_call_many ~pool:(Lazy.force pool) ~endpoints spec
+    | `Pooled -> do_call_many ~pool:(Lazy.force pool) ~endpoints ~shard_of spec
     | `Legacy -> do_call_many_legacy ~endpoints spec
   in
   let send_oneway dst payload =
@@ -109,7 +115,10 @@ let run ?(transport = `Pooled) ?pool ~endpoints fn =
     | None -> ()
     | Some endpoint -> (
       match transport with
-      | `Pooled -> ignore (Pool.send (Lazy.force pool) endpoint payload : bool)
+      | `Pooled ->
+        ignore
+          (Pool.send (Lazy.force pool) ?shard:(shard_of dst) endpoint payload
+            : bool)
       | `Legacy -> send_once endpoint payload)
   in
   let rec interpret : 'a. (unit -> 'a) -> 'a =

@@ -19,8 +19,20 @@ type endpoints = Sim.Runtime.node_id -> (string * int) option
 type transport = [ `Pooled | `Legacy ]
 
 val run :
-  ?transport:transport -> ?pool:Pool.t -> endpoints:endpoints -> (unit -> 'a) -> 'a
+  ?transport:transport ->
+  ?pool:Pool.t ->
+  ?shard_of:(Sim.Runtime.node_id -> int option) ->
+  endpoints:endpoints ->
+  (unit -> 'a) ->
+  'a
 (** Interpret the thunk's effects over TCP ([pool] defaults to
     {!Pool.shared}). Unresolvable or unreachable destinations simply
     never reply (indistinguishable from a crashed server, as in the
-    paper's model). *)
+    paper's model).
+
+    [shard_of] (default [fun _ -> None]) maps a node id to the shard its
+    traffic must be tagged with on the wire — with the flat id scheme of
+    {!Store.Router.shard_servers}, [fun node -> Some (node / n)]. A
+    quorum round is tagged by its first destination's shard: the router
+    guarantees every round addresses a single shard's replica set. The
+    legacy transport ignores shards. *)

@@ -476,11 +476,24 @@ let group_complete group ~from result =
    end);
   Mutex.unlock group.glock
 
+let write_prebuilt_on conn buf =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () -> Frame.write_prebuilt conn.fd buf)
+
 (* Register a pending entry and write the request. A connection that
    died between acquire and write is retried once on a fresh dial; a
    write that fails after registration kills the connection, which
-   completes our entry (and everyone else's) as [Dropped]. *)
-let rec submit ?(attempts = 2) pool group st ~from payload =
+   completes our entry (and everyone else's) as [Dropped].
+
+   [buf] is the broadcast's shared prebuilt frame (encoded once per
+   quorum round, not once per destination); only the 4 correlation-id
+   bytes are patched per send. Patching is safe because a group's
+   submissions — including these retries — all run sequentially in the
+   calling thread, and the bytes are fully written out before the next
+   destination patches them again. *)
+let rec submit ?(attempts = 2) pool group st ~from buf =
   if suspected st then group_complete group ~from Dropped
   else if attempts = 0 then group_complete group ~from Dropped
   else
@@ -520,13 +533,14 @@ let rec submit ?(attempts = 2) pool group st ~from payload =
       in
       Mutex.unlock conn.plock;
       if not registered then
-        submit ~attempts:(attempts - 1) pool group st ~from payload
+        submit ~attempts:(attempts - 1) pool group st ~from buf
       else begin
         track_inflight pool 1;
         Mutex.lock group.glock;
         group.outstanding <- (conn, id) :: group.outstanding;
         Mutex.unlock group.glock;
-        match write_frame_on conn (Frame.encode_call ~id payload) with
+        Frame.set_prebuilt_id buf id;
+        match write_prebuilt_on conn buf with
         | () -> ()
         | exception _ ->
           (* Reclaim our entry (unless the reader beat us to it) so the
@@ -541,7 +555,7 @@ let rec submit ?(attempts = 2) pool group st ~from payload =
           kill_conn pool st conn;
           if mine then begin
             track_inflight pool (-1);
-            submit ~attempts:(attempts - 1) pool group st ~from payload
+            submit ~attempts:(attempts - 1) pool group st ~from buf
           end
       end)
 
@@ -604,11 +618,11 @@ let drop_outstanding pool ~timed_out outstanding =
       end)
     outstanding
 
-let run_group pool group dsts payload =
+let run_group pool group dsts buf =
   let start = Unix.gettimeofday () in
   timer_register pool.timer group.deadline group;
   List.iter
-    (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from payload)
+    (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from buf)
     dsts;
   (* One annotation per round, not per destination: an (ep, corr) pair
      for every request actually registered, so a slow span's attrs
@@ -631,7 +645,7 @@ let run_group pool group dsts payload =
   Store.Metrics.record_rpc_ns ((Unix.gettimeofday () -. start) *. 1e9);
   replies
 
-let call_many pool ?(timeout = 5.0) ~quorum dsts payload =
+let call_many pool ?(timeout = 5.0) ?shard ~quorum dsts payload =
   match dsts with
   | [] -> []
   | _ ->
@@ -639,19 +653,21 @@ let call_many pool ?(timeout = 5.0) ~quorum dsts payload =
       make_group ~quorum ~total:(List.length dsts)
         ~deadline:(Unix.gettimeofday () +. timeout)
     in
-    run_group pool group dsts payload
+    run_group pool group dsts (Frame.prebuilt_call ?shard payload)
 
-let call pool ?(timeout = 5.0) endpoint payload =
+let call pool ?(timeout = 5.0) ?shard endpoint payload =
   let group =
     make_group ~quorum:1 ~total:1 ~deadline:(Unix.gettimeofday () +. timeout)
   in
-  match run_group pool group [ (0, endpoint) ] payload with
+  match
+    run_group pool group [ (0, endpoint) ] (Frame.prebuilt_call ?shard payload)
+  with
   | (_, payload) :: _ -> Reply payload
   | [] -> ( match group.last_error with Some err -> err | None -> Dropped)
 
-let send pool endpoint payload =
+let send pool ?shard endpoint payload =
   let st = endpoint_state pool endpoint in
-  let frame = Frame.encode_oneway payload in
+  let frame = Frame.encode_oneway ?shard payload in
   let rec go attempts =
     if attempts = 0 then false
     else if suspected st then false

@@ -38,13 +38,15 @@ type result =
   | No_reply  (** the server processed the call but had no response *)
   | Dropped  (** never delivered: endpoint down, connection died, or timeout *)
 
-val call : t -> ?timeout:float -> string * int -> string -> result
+val call : t -> ?timeout:float -> ?shard:int -> string * int -> string -> result
 (** One RPC. The result distinguishes "server rejected" ([Rejected])
-    from "connection died" ([Dropped]). Default timeout 5 s. *)
+    from "connection died" ([Dropped]). Default timeout 5 s. [shard]
+    addresses one shard of a multi-shard host ({!Frame} tag [0x04]). *)
 
 val call_many :
   t ->
   ?timeout:float ->
+  ?shard:int ->
   quorum:int ->
   (int * (string * int)) list ->
   string ->
@@ -53,14 +55,21 @@ val call_many :
     return [(node_id, reply)] pairs in arrival order, as soon as
     [quorum] replies are in, every destination has failed, or the
     timeout fires. Abandoned requests are dropped from the pending
-    tables immediately — nothing keeps running past completion. *)
+    tables immediately — nothing keeps running past completion.
 
-val send : t -> string * int -> string -> bool
+    The request is encoded into its wire frame once per round and the
+    buffer shared across destinations (only the correlation id is
+    patched per send) — a quorum broadcast costs one encode, not
+    [n]. With [shard], every destination is addressed as that shard
+    (a quorum group lives wholly inside one shard by construction). *)
+
+val send : t -> ?shard:int -> string * int -> string -> bool
 (** Fire-and-forget one-way message on a pooled connection (gossip
     pushes). Retries once on a connection found dead at write time.
     [false] when the message could not even be written (endpoint down,
     in backoff, or suspected) — the caller can requeue; [true] means
-    written, not delivered. *)
+    written, not delivered. [shard] addresses one shard of a
+    multi-shard host. *)
 
 val connection_count : t -> string * int -> int
 (** Live pooled connections to the endpoint (introspection). *)

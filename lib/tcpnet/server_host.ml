@@ -1,18 +1,41 @@
 type gossip = { peers : (string * int) list; period : float }
 
+type shard_spec = {
+  shard : int;
+  server : Store.Server.t;
+  behavior : Store.Faults.behavior;
+  peers : (string * int) list;
+}
+
+(* One hosted shard: its server state machine, its own lock (the whole
+   point of sharded hosting — S independent locks instead of one global
+   store mutex), its behaviour wrapper, and its gossip peer set.
+   [tagged] records whether outgoing gossip must carry the wire shard id
+   (multi-shard hosts; a legacy single-server host pushes untagged
+   one-ways so pre-sharding peers keep understanding it). *)
+type shard_state = {
+  sid : int;
+  sserver : Store.Server.t;
+  sbehavior : Store.Faults.behavior;
+  slock : Mutex.t;
+  speers : (string * int) list;
+  tagged : bool;
+}
+
 type t = {
   listener : Unix.file_descr;
   bound_port : int;
   mutable running : bool;
   mutable accept_th : Thread.t option;
-  lock : Mutex.t; (* guards server *state mutation* only — see below *)
+  shards : (int, shard_state) Hashtbl.t;
+  default_shard : shard_state; (* untagged legacy traffic lands here *)
   conns_lock : Mutex.t;
   mutable conns : Unix.file_descr list; (* accepted sockets, for [stop] *)
 }
 
-let with_lock t fn =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) fn
+let with_lock st fn =
+  Mutex.lock st.slock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.slock) fn
 
 let track_conn t fd =
   Mutex.lock t.conns_lock;
@@ -28,13 +51,15 @@ let untrack_conn t fd =
    signature verification (the expensive RSA math, via
    {!Store.Server.preverify}'s cache warming) happen outside it, so
    concurrent connections only serialize on the actual server-state
-   mutation. [Error] means the request could not even be decoded.
+   mutation — and only against requests for the *same shard*. [Error]
+   means the request could not even be decoded.
 
    Dispatch goes through {!Store.Faults.handle_typed}: with the default
    [Honest] behaviour that is exactly {!Store.Server.handle}, and a
    Byzantine behaviour reuses the simulator's wrappers unchanged — a
    misbehaving host diverges only in what it says on the wire, never in
-   the underlying honest state machine. *)
+   the underlying honest state machine. Behaviour is per shard, so one
+   host can be Byzantine inside one shard and honest in the others. *)
 (* Server-side request spans ride the same global Span switch, plus
    this local one: an in-process cluster (bench e17, tests) silences the
    server half to measure *client* tracing overhead — the deployment
@@ -46,34 +71,52 @@ let untrack_conn t fd =
 let trace_requests = ref true
 let set_request_tracing v = trace_requests := v
 
-let process t ~behavior server raw :
-    (Store.Payload.response option, string) Result.t =
-  if !trace_requests && Obs.Span.enabled () then
-    Obs.Span.with_op "server_request" @@ fun () ->
-    match
-      Obs.Span.with_phase "decode" (fun () -> Store.Payload.decode_envelope raw)
-    with
-    | None -> Error "malformed envelope"
-    | Some env ->
-      Obs.Span.with_phase "verify" (fun () -> Store.Server.preverify server env);
-      Ok
-        (Obs.Span.with_phase "apply" (fun () ->
-             with_lock t (fun () ->
-                 Store.Faults.handle_typed behavior server
-                   ~now:(Unix.gettimeofday ()) ~from:(-1) env)))
-  else
-    match Store.Payload.decode_envelope raw with
-    | None -> Error "malformed envelope"
-    | Some env ->
-      Store.Server.preverify server env;
-      Ok
-        (with_lock t (fun () ->
-             Store.Faults.handle_typed behavior server
-               ~now:(Unix.gettimeofday ()) ~from:(-1) env))
+let process st raw : (Store.Payload.response option, string) Result.t =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    if !trace_requests && Obs.Span.enabled () then
+      Obs.Span.with_op "server_request" @@ fun () ->
+      match
+        Obs.Span.with_phase "decode" (fun () ->
+            Store.Payload.decode_envelope raw)
+      with
+      | None -> Error "malformed envelope"
+      | Some env ->
+        Obs.Span.with_phase "verify" (fun () ->
+            Store.Server.preverify st.sserver env);
+        Ok
+          (Obs.Span.with_phase "apply" (fun () ->
+               with_lock st (fun () ->
+                   Store.Faults.handle_typed st.sbehavior st.sserver
+                     ~now:(Unix.gettimeofday ()) ~from:(-1) env)))
+    else
+      match Store.Payload.decode_envelope raw with
+      | None -> Error "malformed envelope"
+      | Some env ->
+        Store.Server.preverify st.sserver env;
+        Ok
+          (with_lock st (fun () ->
+               Store.Faults.handle_typed st.sbehavior st.sserver
+                 ~now:(Unix.gettimeofday ()) ~from:(-1) env))
+  in
+  Store.Metrics.note_shard_request ~shard:st.sid
+    ((Unix.gettimeofday () -. t0) *. 1e9);
+  result
 
-let handle_connection t ~behavior server fd =
+let handle_connection t fd =
   Addr.set_nodelay fd;
-  let process t server raw = process t ~behavior server raw in
+  (* A pipelined reply (or Byzantine silence) for one shard's call; the
+     correlation id already names the request, so responses need no
+     shard field of their own. *)
+  let reply_call st ~id payload =
+    match process st payload with
+    | Ok (Some r) ->
+      Frame.write_frame fd
+        (Frame.encode_reply ~id (Some (Store.Payload.encode_response r)))
+    | Ok None when st.sbehavior <> Store.Faults.Honest -> ()
+    | Ok None -> Frame.write_frame fd (Frame.encode_reply ~id None)
+    | Error msg -> Frame.write_frame fd (Frame.encode_reject ~id msg)
+  in
   let rec loop () =
     match Frame.read_frame_ext fd with
     | Frame.Eof -> ()
@@ -89,25 +132,35 @@ let handle_connection t ~behavior server fd =
     | Frame.Frame frame ->
       (match Frame.parse_request frame with
       | Some (Frame.Oneway payload) ->
-        ignore (process t server payload : (_, _) Result.t)
+        ignore (process t.default_shard payload : (_, _) Result.t)
+      | Some (Frame.Sharded_oneway { shard; payload }) -> (
+        (* A one-way for a shard we do not host is dropped, like any
+           one-way failure: the gossip protocol self-heals via summaries. *)
+        match Hashtbl.find_opt t.shards shard with
+        | Some st -> ignore (process st payload : (_, _) Result.t)
+        | None -> ())
       | Some (Frame.Legacy_call payload) ->
         (* Legacy semantics preserved: malformed or reply-less requests
            answer with the bare "no reply" byte. A Byzantine behaviour
            that answers nothing is genuinely silent on the wire, exactly
            as in the simulator — the client meets its deadline, not a
            framed "nothing". *)
-        (match process t server payload with
-        | Ok (Some r) -> Frame.write_frame fd ("\x01" ^ Store.Payload.encode_response r)
-        | Ok None when behavior <> Store.Faults.Honest -> ()
-        | Ok None | Error _ -> Frame.write_frame fd "\x00")
-      | Some (Frame.Call { id; payload }) ->
-        (match process t server payload with
+        let st = t.default_shard in
+        (match process st payload with
         | Ok (Some r) ->
+          Frame.write_frame fd ("\x01" ^ Store.Payload.encode_response r)
+        | Ok None when st.sbehavior <> Store.Faults.Honest -> ()
+        | Ok None | Error _ -> Frame.write_frame fd "\x00")
+      | Some (Frame.Call { id; payload }) -> reply_call t.default_shard ~id payload
+      | Some (Frame.Sharded_call { id; shard; payload }) -> (
+        match Hashtbl.find_opt t.shards shard with
+        | Some st -> reply_call st ~id payload
+        | None ->
+          (* A shard we do not host is a routing error on the client's
+             side (stale table, wrong endpoint) — answered, not dropped,
+             so the router can tell misrouting from a dead server. *)
           Frame.write_frame fd
-            (Frame.encode_reply ~id (Some (Store.Payload.encode_response r)))
-        | Ok None when behavior <> Store.Faults.Honest -> ()
-        | Ok None -> Frame.write_frame fd (Frame.encode_reply ~id None)
-        | Error msg -> Frame.write_frame fd (Frame.encode_reject ~id msg))
+            (Frame.encode_reject ~id (Printf.sprintf "shard %d not hosted" shard)))
       | None ->
         (* A frame we cannot even parse gets a framed error rather than
            a silent drop, so clients can tell "server rejected" from
@@ -121,8 +174,10 @@ let handle_connection t ~behavior server fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Gossip pushes ride the shared connection pool: one persistent
-   connection per peer instead of a dial per push per peer. *)
-let push_to_peer ~host ~port payload = Pool.send (Pool.shared ()) (host, port) payload
+   connection per peer instead of a dial per push per peer. A tagged
+   (multi-shard) host addresses the peer's same-shard state. *)
+let push_to_peer ?shard ~host ~port payload =
+  Pool.send (Pool.shared ()) ?shard (host, port) payload
 
 (* Writes popped off the gossip buffer are the server's only copy of
    "what my peers have not seen": if a push fails they must be requeued,
@@ -135,9 +190,13 @@ let push_to_peer ~host ~port payload = Pool.send (Pool.shared ()) (host, port) p
    still recovers those once the peer returns). *)
 let max_backlog = 512
 
-let gossip_loop t server { peers; period } =
+(* One gossip thread per hosted shard: shard s's writes go to shard s's
+   peer replicas and nowhere else — partners are per shard, exactly like
+   the locks. *)
+let gossip_loop t st ~period =
+  let shard = if st.tagged then Some st.sid else None in
   let backlog : (string * int, Store.Payload.write list) Hashtbl.t =
-    Hashtbl.create (List.length peers)
+    Hashtbl.create (List.length st.speers)
   in
   while t.running do
     Thread.delay period;
@@ -147,9 +206,9 @@ let gossip_loop t server { peers; period } =
        appearing in [writes], so peers would skip pulling it. *)
     let fresh, have =
       Obs.Span.with_phase "drain" (fun () ->
-          with_lock t (fun () ->
-              ( Store.Server.take_gossip_buffer server,
-                Store.Server.gossip_summary server )))
+          with_lock st (fun () ->
+              ( Store.Server.take_gossip_buffer st.sserver,
+                Store.Server.gossip_summary st.sserver )))
     in
     Obs.Span.with_phase "push" @@ fun () ->
     List.iter
@@ -171,7 +230,8 @@ let gossip_loop t server { peers; period } =
               }
           in
           let host, port = peer in
-          if push_to_peer ~host ~port payload then Hashtbl.remove backlog peer
+          if push_to_peer ?shard ~host ~port payload then
+            Hashtbl.remove backlog peer
           else begin
             let writes =
               let n = List.length writes in
@@ -181,10 +241,11 @@ let gossip_loop t server { peers; period } =
             in
             Hashtbl.replace backlog peer writes
           end)
-      peers
+      st.speers
   done
 
-let start ?gossip ?(behavior = Store.Faults.Honest) ~server ~port () =
+let launch ~specs ~tagged ~gossip_period ~port =
+  (match specs with [] -> invalid_arg "Server_host: no shards to host" | _ -> ());
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -194,13 +255,34 @@ let start ?gossip ?(behavior = Store.Faults.Honest) ~server ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
+  let states =
+    List.map
+      (fun spec ->
+        {
+          sid = spec.shard;
+          sserver = spec.server;
+          sbehavior = spec.behavior;
+          slock = Mutex.create ();
+          speers = spec.peers;
+          tagged;
+        })
+      specs
+  in
+  let shards = Hashtbl.create (List.length states) in
+  List.iter
+    (fun st ->
+      if Hashtbl.mem shards st.sid then
+        invalid_arg "Server_host: duplicate shard id";
+      Hashtbl.replace shards st.sid st)
+    states;
   let t =
     {
       listener;
       bound_port;
       running = true;
       accept_th = None;
-      lock = Mutex.create ();
+      shards;
+      default_shard = List.hd states;
       conns_lock = Mutex.create ();
       conns = [];
     }
@@ -210,18 +292,34 @@ let start ?gossip ?(behavior = Store.Faults.Honest) ~server ~port () =
       match Unix.accept listener with
       | fd, _ ->
         track_conn t fd;
-        ignore (Thread.create (handle_connection t ~behavior server) fd)
+        ignore (Thread.create (handle_connection t) fd)
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
       | exception Unix.Unix_error _ -> ()
     done
   in
   t.accept_th <- Some (Thread.create accept_loop ());
-  (match gossip with
-  | Some g -> ignore (Thread.create (gossip_loop t server) g)
-  | None -> ());
+  List.iter
+    (fun st ->
+      if st.speers <> [] then
+        ignore (Thread.create (fun () -> gossip_loop t st ~period:gossip_period) ()))
+    states;
   t
 
+let start ?gossip ?(behavior = Store.Faults.Honest) ~server ~port () =
+  let peers, period =
+    match gossip with
+    | Some (g : gossip) -> (g.peers, g.period)
+    | None -> ([], 1.0)
+  in
+  launch
+    ~specs:[ { shard = 0; server; behavior; peers } ]
+    ~tagged:false ~gossip_period:period ~port
+
+let start_sharded ?(gossip_period = 1.0) ~shards ~port () =
+  launch ~specs:shards ~tagged:true ~gossip_period ~port
+
 let port t = t.bound_port
+let hosted_shards t = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) t.shards [])
 
 let stop t =
   t.running <- false;

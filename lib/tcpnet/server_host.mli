@@ -20,6 +20,16 @@
 
 type gossip = { peers : (string * int) list; period : float }
 
+(** One shard hosted by a process: its server state, its (per-shard)
+    Byzantine behaviour, and its gossip peers — the endpoints of the
+    other replicas of the *same shard*. *)
+type shard_spec = {
+  shard : int;  (** wire shard id, [0 .. Frame.max_shard] *)
+  server : Store.Server.t;
+  behavior : Store.Faults.behavior;
+  peers : (string * int) list;  (** [[]] = no gossip for this shard *)
+}
+
 type t
 
 val start :
@@ -38,7 +48,22 @@ val start :
     (e.g. [Crash], [Silent_reads] on queries) is genuinely silent on the
     wire — the client runs into its deadline, not a framed "no reply". *)
 
+val start_sharded :
+  ?gossip_period:float -> shards:shard_spec list -> port:int -> unit -> t
+(** Host several shard replicas behind one listener. Sharded frames
+    ([0x04]/[0x05]) dispatch to the matching shard's server under that
+    shard's own lock — S independent locks instead of one global store
+    mutex — and each shard gossips to its own peer set on its own
+    thread, with the shard tag on the wire. Calls for a shard this host
+    does not serve are rejected with a framed error (a stale shard
+    table looks different from a dead server). Untagged legacy traffic
+    lands on the first listed shard.
+    @raise Invalid_argument on an empty or duplicate shard list. *)
+
 val port : t -> int
+
+val hosted_shards : t -> int list
+(** Shard ids this host serves, ascending. *)
 
 val set_request_tracing : bool -> unit
 (** Whether request handling opens [server_request] spans (decode /

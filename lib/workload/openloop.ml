@@ -1,0 +1,128 @@
+(* YCSB-style constant-time zipfian sampler (Gray et al.'s "Quickly
+   generating billion-record synthetic databases" rejection-free form):
+   the zeta sums are precomputed once, and each sample is one uniform
+   draw plus arithmetic. *)
+type zipf = {
+  keys : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+}
+
+let zipf ~keys ~theta =
+  if keys < 1 then invalid_arg "Openloop.zipf: keys must be >= 1";
+  if theta < 0.0 || theta >= 1.0 then
+    invalid_arg "Openloop.zipf: theta must be in [0, 1)";
+  let zeta n =
+    let s = ref 0.0 in
+    for i = 1 to n do
+      s := !s +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    !s
+  in
+  let zetan = zeta keys in
+  let zeta2 = if keys >= 2 then 1.0 +. (1.0 /. Float.pow 2.0 theta) else zetan in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    if keys < 2 then 1.0
+    else
+      (1.0 -. Float.pow (2.0 /. float_of_int keys) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+  in
+  { keys; theta; zetan; alpha; eta }
+
+let draw z ~u =
+  if z.keys = 1 then 0
+  else begin
+    let uz = u *. z.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 z.theta then 1
+    else
+      let r =
+        float_of_int z.keys
+        *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha
+      in
+      min (z.keys - 1) (int_of_float r)
+  end
+
+(* Knuth's multiplicative hash spreads consecutive ranks — the popular
+   ones — across the group space instead of clustering them in group 0
+   (and hence on one shard). *)
+let scramble k = k * 2654435761 land max_int
+
+let group_of_key ~groups k = scramble k mod groups
+
+let uid_of_key ~groups k =
+  Store.Uid.make
+    ~group:("g" ^ string_of_int (group_of_key ~groups k))
+    ~item:("k" ^ string_of_int k)
+
+type kind = Read | Write
+
+type op = { at : float; uid : Store.Uid.t; kind : kind }
+
+let plan ~seed ~keys ~theta ~groups ~rate ~duration ~write_ratio ~owned_groups =
+  if groups < 1 then invalid_arg "Openloop.plan: groups must be >= 1";
+  if rate <= 0.0 then invalid_arg "Openloop.plan: rate must be positive";
+  let z = zipf ~keys ~theta in
+  let prng = Crypto.Prng.create ~seed:("openloop!" ^ seed) in
+  let owned = Array.of_list owned_groups in
+  let count = int_of_float (rate *. duration) in
+  Array.init count (fun i ->
+      let u = Crypto.Prng.float_unit prng in
+      let k = draw z ~u in
+      let kind =
+        if Crypto.Prng.float_unit prng < write_ratio then Write else Read
+      in
+      let uid =
+        match kind with
+        | Read -> uid_of_key ~groups k
+        | Write ->
+          (* Single-writer discipline: this planner's writes stay inside
+             its own groups. The remap is keyed by the rank so the same
+             hot key always rewrites to the same owned group. *)
+          if
+            Array.length owned = 0
+            || Array.exists (fun g -> g = group_of_key ~groups k) owned
+          then uid_of_key ~groups k
+          else
+            Store.Uid.make
+              ~group:
+                ("g"
+                ^ string_of_int owned.(scramble k mod Array.length owned))
+              ~item:("k" ^ string_of_int k)
+      in
+      { at = float_of_int i /. rate; uid; kind })
+
+type summary = {
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+let summarize latencies =
+  let n = Array.length latencies in
+  if n = 0 then
+    { count = 0; mean_ns = 0.0; p50_ns = 0.0; p95_ns = 0.0; p99_ns = 0.0;
+      max_ns = 0.0 }
+  else begin
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let pct p =
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+    in
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    {
+      count = n;
+      mean_ns = sum /. float_of_int n;
+      p50_ns = pct 50.0;
+      p95_ns = pct 95.0;
+      p99_ns = pct 99.0;
+      max_ns = sorted.(n - 1);
+    }
+  end

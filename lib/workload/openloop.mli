@@ -1,0 +1,68 @@
+(** Open-loop workload plans: zipfian key popularity, fixed arrival
+    schedule.
+
+    A closed-loop driver (issue, wait, issue) measures only its own
+    back-pressure: when the store slows down, the driver slows down, and
+    saturation hides. An open-loop driver fixes the arrival schedule in
+    advance — requests become due at [i/rate] regardless of how the
+    store is doing — and measures each op's latency from its *scheduled*
+    arrival, so queueing delay under overload is part of the number, the
+    way user-facing latency actually behaves.
+
+    Key popularity is zipfian over a large keyspace (the YCSB
+    constant-time sampler: one uniform draw, no per-sample loop), with
+    ranks scrambled across groups so the hot keys do not all land on one
+    shard. Plans are pure data built from a seeded PRNG: the same
+    arguments produce the same plan in any process, which is how a
+    multi-process bench keeps workers disjoint and reproducible. *)
+
+type zipf
+
+val zipf : keys:int -> theta:float -> zipf
+(** Sampler over ranks [0 .. keys-1] with P(rank i) ∝ 1/(i+1)^theta.
+    [theta = 0] is uniform; YCSB's default skew is 0.99.
+    @raise Invalid_argument unless [keys >= 1] and [0 <= theta < 1]. *)
+
+val draw : zipf -> u:float -> int
+(** Rank for one uniform draw [u] in [0, 1). Constant time. *)
+
+val group_of_key : groups:int -> int -> int
+(** The group a key naturally belongs to — a multiplicative scramble of
+    the rank, so consecutive (popular) ranks spread across groups. *)
+
+val uid_of_key : groups:int -> int -> Store.Uid.t
+(** ["g<group>/k<key>"] for the key's natural group. *)
+
+type kind = Read | Write
+
+type op = { at : float; uid : Store.Uid.t; kind : kind }
+(** One planned request: due [at] seconds after the plan's epoch. *)
+
+val plan :
+  seed:string ->
+  keys:int ->
+  theta:float ->
+  groups:int ->
+  rate:float ->
+  duration:float ->
+  write_ratio:float ->
+  owned_groups:int list ->
+  op array
+(** A fixed-interval arrival schedule of [rate *. duration] ops. Reads
+    sample the whole keyspace; writes are remapped into [owned_groups]
+    (keyed by the op's rank, so the remap is deterministic) because the
+    store is single-writer per group — a bench worker may only write
+    groups it owns. [owned_groups = []] means every group is owned. *)
+
+type summary = {
+  count : int;
+  mean_ns : float;
+  p50_ns : float;
+  p95_ns : float;
+  p99_ns : float;
+  max_ns : float;
+}
+
+val summarize : float array -> summary
+(** Exact (nearest-rank) percentiles over the given latencies, in
+    nanoseconds. Zeros for an empty array. *)
