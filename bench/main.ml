@@ -278,7 +278,7 @@ let e10_net ~json () =
   let payload =
     Store.Payload.encode_envelope
       {
-        Store.Payload.token = None;
+        Store.Payload.token = None; epoch = 0;
         request =
           Store.Payload.Meta_query
             { uid = Store.Uid.make ~group:"bench" ~item:"x" };
@@ -958,7 +958,8 @@ let e15_chaos ~seed ~json () =
    to compare against. *)
 let write_check_json ~path ~seed ~schedules ~events ~ops_ok ~ops_failed
     ~violations ~canary_caught ~control_clean ~canary_shrunk_to
-    ~determinism_ok ~router_shards ~router_events ~router_violations =
+    ~determinism_ok ~router_shards ~router_events ~router_violations
+    ~reconfig_schedules ~reconfig_events ~reconfig_violations =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -970,10 +971,12 @@ let write_check_json ~path ~seed ~schedules ~events ~ops_ok ~ops_failed
         \  \"canary_caught\": %b,\n  \"control_clean\": %b,\n\
         \  \"canary_shrunk_to\": \"%s\",\n  \"determinism_ok\": %b,\n\
         \  \"router_shards\": %d,\n  \"router_events\": %d,\n\
-        \  \"router_violations\": %d\n}\n"
+        \  \"router_violations\": %d,\n  \"reconfig_schedules\": %d,\n\
+        \  \"reconfig_events\": %d,\n  \"reconfig_violations\": %d\n}\n"
         seed schedules events ops_ok ops_failed violations canary_caught
         control_clean canary_shrunk_to determinism_ok router_shards
-        router_events router_violations);
+        router_events router_violations reconfig_schedules reconfig_events
+        reconfig_violations);
   Format.fprintf fmt "wrote %s@." path
 
 (* Hundreds of seeded fault schedules (random latency and loss, crash
@@ -1176,6 +1179,57 @@ let e16_check ~seed ~json () =
   let nviol =
     List.fold_left (fun n o -> n + List.length o.E.violations) 0 !violated
   in
+  (* Reconfiguration sweep: the same seeds again, each schedule now with
+     1-2 admin-signed membership transitions interleaved with its faults.
+     Every oracle property must hold across epoch boundaries too. *)
+  let reconfig_schedules =
+    match Sys.getenv_opt "CHECK_RECONFIG_SCHEDULES" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 200)
+    | None -> max 200 (min schedules 500)
+  in
+  let rt0 = Unix.gettimeofday () in
+  let reconfig_events = ref 0 and reconfig_hist_events = ref 0 in
+  let reconfig_ok = ref 0 and reconfig_failed = ref 0 in
+  let reconfig_violated = ref 0 in
+  for i = 0 to reconfig_schedules - 1 do
+    let sched = E.reconfig_schedule_of_seed (seed + i) in
+    if sched.E.reconfigs = [] then begin
+      Format.fprintf fmt "E16 reconfig: seed %d drew NO membership events@."
+        (seed + i);
+      reconfig_violated := !reconfig_violated + 1
+    end;
+    reconfig_events := !reconfig_events + List.length sched.E.reconfigs;
+    let out = E.run sched in
+    reconfig_hist_events := !reconfig_hist_events + out.E.events;
+    reconfig_ok := !reconfig_ok + out.E.ops_ok;
+    reconfig_failed := !reconfig_failed + out.E.ops_failed;
+    if out.E.violations <> [] then begin
+      reconfig_violated := !reconfig_violated + List.length out.E.violations;
+      let path =
+        Printf.sprintf "CHECK_violation_reconfig_%d.json" out.E.schedule.E.seed
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (E.violation_report_json out));
+      Format.fprintf fmt "E16 RECONFIG VIOLATION (%s) -> %s@."
+        (E.describe out.E.schedule) path;
+      List.iter
+        (fun v ->
+          Format.fprintf fmt "  %s@." (Check.Oracle.violation_to_string v))
+        out.E.violations
+    end;
+    if (i + 1) mod 100 = 0 then
+      Format.fprintf fmt
+        "E16 reconfig: %d/%d schedules, %d transitions, %d violations@."
+        (i + 1) reconfig_schedules !reconfig_events !reconfig_violated
+  done;
+  let reconfig_elapsed = Unix.gettimeofday () -. rt0 in
+  Format.fprintf fmt
+    "E16 reconfig: %d schedules, %d membership transitions, %d history \
+     events, %d / %d ops ok/failed, %d violation(s) (%.1f s)@."
+    reconfig_schedules !reconfig_events !reconfig_hist_events !reconfig_ok
+    !reconfig_failed !reconfig_violated reconfig_elapsed;
   let table =
     {
       Workload.Table.id = "E16";
@@ -1198,6 +1252,9 @@ let e16_check ~seed ~json () =
           [ Printf.sprintf "router world (%d shards): events / violations"
               router_shards;
             Printf.sprintf "%d / %d" router_events router_violations ];
+          [ "reconfig schedules / transitions";
+            Printf.sprintf "%d / %d" reconfig_schedules !reconfig_events ];
+          [ "reconfig violations"; string_of_int !reconfig_violated ];
         ];
       notes =
         List.map
@@ -1210,10 +1267,12 @@ let e16_check ~seed ~json () =
     write_check_json ~path:"BENCH_check.json" ~seed ~schedules ~events:!events
       ~ops_ok:!ops_ok ~ops_failed:!ops_failed ~violations:nviol ~canary_caught
       ~control_clean ~canary_shrunk_to ~determinism_ok ~router_shards
-      ~router_events ~router_violations;
+      ~router_events ~router_violations ~reconfig_schedules
+      ~reconfig_events:!reconfig_events ~reconfig_violations:!reconfig_violated;
   if
     nviol > 0 || (not canary_caught) || (not control_clean)
     || (not determinism_ok) || router_violations > 0
+    || !reconfig_violated > 0
   then begin
     Format.fprintf fmt "E16: oracle harness failed — see above@.";
     exit 1
@@ -2343,6 +2402,521 @@ let e19_shard ~seed ~json () =
         ])
 
 (* ------------------------------------------------------------------ *)
+(* E20: asynchronous reconfiguration — rolling replacement under chaos *)
+(* ------------------------------------------------------------------ *)
+
+let write_reconfig_json ~path ~seed rows =
+  let obj rows =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) rows)
+    ^ " }"
+  in
+  let current = obj rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-reconfig-v1\",\n  \"seed\": %d,\n\
+        \  \"baseline\": %s,\n  \"current\": %s\n}\n"
+        seed baseline current);
+  Format.fprintf fmt "wrote %s@." path
+
+(* Live-TCP churn soak: an n=4, b=1 fleet behind chaos proxies has every
+   server replaced, one at a time, by a fresh standby — four admin-signed
+   epoch transitions (v2..v5) while a writer and a reader keep operating.
+   Per transition: start the standby's host, announce the next epoch,
+   wait until every member of the new epoch reports it over Epoch_get
+   (the convergence latency), then gracefully retire the departing
+   server (drain -> snapshot -> verify the snapshot reloads -> stop) and
+   evict its endpoint from the connection pool. Clients ride across all
+   four epochs in one session: a superseded write hits Stale_epoch,
+   adopts the piggybacked config and retries against the re-derived
+   quorums. Standbys bootstrap through ordinary gossip — surviving
+   members re-announce their state when they see a joiner.
+
+   Scored: op availability (>= 99% required), safety (reads return only
+   written values, per-session per-item monotonicity, zero oracle
+   violations on the recorded history), epoch convergence latency, and
+   bootstrap bytes. *)
+let e20_reconfig ~seed ~json () =
+  let n = 4 and b = 1 in
+  let capacity = 2 * n in
+  Store.Metrics.reset ();
+  Store.Metrics.reset_gauges ();
+  let key_of name =
+    Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("e20-" ^ name))
+  in
+  let alice_key = key_of "alice" and bob_key = key_of "bob" in
+  let admin_key = key_of "admin" in
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
+  List.iter
+    (fun client ->
+      for server = 0 to capacity - 1 do
+        Store.Keyring.register_mac keyring ~client ~server
+          (Crypto.Sha256.digest (Printf.sprintf "e20-mac!%s!%d" client server))
+      done)
+    [ "alice"; "bob" ];
+  let sconfig =
+    {
+      (Store.Server.default_config ~n ~b) with
+      Store.Server.epoch_admin = Some admin_key.Crypto.Rsa.public;
+    }
+  in
+  let servers =
+    Array.init capacity (fun id ->
+        Store.Server.create ~config:sconfig ~id ~keyring ~n ~b ())
+  in
+  let genesis =
+    match Store.Config_epoch.genesis ~servers:(List.init n Fun.id) ~b () with
+    | Ok e -> Store.Config_epoch.sign e admin_key
+    | Error m -> failwith ("e20 genesis: " ^ m)
+  in
+  (* Only the initial members hold the genesis; standbys learn whatever
+     epoch makes them members from the announcement or from gossip. *)
+  for id = 0 to n - 1 do
+    Store.Server.set_epoch servers.(id) genesis
+  done;
+  let host_ports = Array.init capacity (fun _ -> reserve_port ()) in
+  let plans =
+    Array.init capacity (fun i ->
+        Tcpnet.Chaos.plan ~seed:(seed + i) ~drop:0.01 ~delay:0.0005
+          ~jitter:0.002 ())
+  in
+  let proxies =
+    Array.init capacity (fun i ->
+        Tcpnet.Chaos.start ~plan:plans.(i)
+          ~target:("127.0.0.1", host_ports.(i))
+          ())
+  in
+  let proxy_eps =
+    Array.map (fun p -> ("127.0.0.1", Tcpnet.Chaos.port p)) proxies
+  in
+  (* Peer lists cover the whole capacity: gossip to a not-yet-started
+     standby fails harmlessly (bounded backlog, endpoint suspicion) and
+     starts landing the moment its host comes up. *)
+  let peers_for i =
+    List.filteri (fun j _ -> j <> i) (Array.to_list proxy_eps)
+  in
+  let start_host i =
+    Tcpnet.Server_host.start
+      ~gossip:{ Tcpnet.Server_host.peers = peers_for i; period = 0.1 }
+      ~server:servers.(i) ~port:host_ports.(i) ()
+  in
+  let hosts = Array.make capacity None in
+  for i = 0 to n - 1 do
+    hosts.(i) <- Some (start_host i)
+  done;
+  let endpoints id =
+    if id >= 0 && id < capacity then Some proxy_eps.(id) else None
+  in
+  let base_cfg = Store.Client.default_config ~n ~b in
+  let cfg_alice =
+    {
+      base_cfg with
+      Store.Client.timeout = 0.3;
+      read_retries = 3;
+      write_retries = 3;
+      retry_delay = 0.05;
+      retry_backoff_max = 0.4;
+      op_deadline = 8.0;
+      epoch_admin = Some admin_key.Crypto.Rsa.public;
+    }
+  in
+  let cfg_bob = { cfg_alice with Store.Client.read_spread = true; seed } in
+  let lock = Mutex.create () in
+  let violations = ref [] in
+  let violate fmt_ =
+    Printf.ksprintf
+      (fun s ->
+        Mutex.lock lock;
+        violations := s :: !violations;
+        Mutex.unlock lock)
+      fmt_
+  in
+  let attempted : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_attempt item value =
+    Mutex.lock lock;
+    Hashtbl.replace attempted (item ^ "=" ^ value) ();
+    Mutex.unlock lock
+  in
+  let was_attempted item value =
+    Mutex.lock lock;
+    let r = Hashtbl.mem attempted (item ^ "=" ^ value) in
+    Mutex.unlock lock;
+    r
+  in
+  let ops_attempted = ref 0 and ops_succeeded = ref 0 in
+  let op run =
+    Mutex.lock lock;
+    incr ops_attempted;
+    Mutex.unlock lock;
+    if run () then begin
+      Mutex.lock lock;
+      incr ops_succeeded;
+      Mutex.unlock lock
+    end
+  in
+  let rec connect_retry name key cfg tries =
+    match
+      Store.Client.connect ~config:cfg ~uid:name ~key ~keyring ~group:"churn"
+        ()
+    with
+    | Ok c -> c
+    | Error e when tries > 0 ->
+      ignore e;
+      Thread.delay 0.2;
+      connect_retry name key cfg (tries - 1)
+    | Error e ->
+      failwith
+        (Printf.sprintf "e20 connect %s: %s" name
+           (Store.Client.error_to_string e))
+  in
+  (* Rolling replacement: epoch v(2+i) swaps server i for standby n+i. *)
+  let transitions = List.init n (fun i -> (i, n + i, 2 + i)) in
+  let convergence_ms = ref [] in
+  let epoch_chain = ref genesis in
+  let controller_done = ref false in
+  let writer_done = ref false in
+  let snapshot_reloads = ref 0 in
+  let final_epoch_seen = ref 0 in
+  let controller () =
+    Tcpnet.Live.run ~endpoints (fun () ->
+        List.iter
+          (fun (old_id, fresh_id, version) ->
+            Sim.Runtime.sleep 0.8;
+            hosts.(fresh_id) <- Some (start_host fresh_id);
+            (* The pool has watched this endpoint refuse connections all
+               soak; reset its suspicion so the join is not served with a
+               stale backoff. *)
+            Tcpnet.Pool.evict (Tcpnet.Pool.shared ()) proxy_eps.(fresh_id);
+            let prev = !epoch_chain in
+            let next_servers =
+              fresh_id
+              :: List.filter (fun s -> s <> old_id)
+                   (Store.Config_epoch.servers prev)
+            in
+            let e =
+              match
+                Store.Config_epoch.next prev ~servers:next_servers ~b ()
+              with
+              | Ok e -> Store.Config_epoch.sign e admin_key
+              | Error m -> failwith ("e20 epoch v" ^ string_of_int version ^ ": " ^ m)
+            in
+            epoch_chain := e;
+            let announce =
+              Store.Payload.encode_envelope
+                {
+                  Store.Payload.token = None;
+                  epoch = 0;
+                  request = Store.Payload.Epoch_announce e;
+                }
+            in
+            let dsts = List.sort_uniq compare (old_id :: next_servers) in
+            let t0 = Unix.gettimeofday () in
+            ignore
+              (Sim.Runtime.call_many ~timeout:1.0
+                 ~quorum:(List.length dsts) dsts announce);
+            (* Convergence: every member of the new epoch reports it. *)
+            let get =
+              Store.Payload.encode_envelope
+                {
+                  Store.Payload.token = None;
+                  epoch = 0;
+                  request = Store.Payload.Epoch_get;
+                }
+            in
+            let deadline = t0 +. 10.0 in
+            let rec wait remaining =
+              match remaining with
+              | [] ->
+                convergence_ms :=
+                  ((Unix.gettimeofday () -. t0) *. 1e3) :: !convergence_ms
+              | _ when Unix.gettimeofday () > deadline ->
+                violate "epoch v%d did not converge on servers: %s" version
+                  (String.concat "," (List.map string_of_int remaining))
+              | _ ->
+                let remaining' =
+                  List.filter
+                    (fun sid ->
+                      match Sim.Runtime.call_one ~timeout:0.5 sid get with
+                      | None -> true
+                      | Some payload -> (
+                        match Store.Payload.decode_response payload with
+                        | Some (Store.Payload.Epoch_reply (Some got)) ->
+                          Store.Config_epoch.version got < version
+                        | _ -> true))
+                    remaining
+                in
+                if remaining' <> [] then Sim.Runtime.sleep 0.05;
+                wait remaining'
+            in
+            wait next_servers;
+            (* Graceful departure: drain (deny new writes, flush gossip
+               backlog), snapshot, prove the snapshot reloads with the
+               epoch and drain flag intact, stop, evict the endpoint. *)
+            (match hosts.(old_id) with
+            | None -> ()
+            | Some h ->
+              Tcpnet.Server_host.drain h;
+              let path = Filename.temp_file "e20-snap" ".bin" in
+              Store.Server.save_file servers.(old_id) ~path;
+              (match
+                 Store.Server.load_result ~config:sconfig ~id:old_id ~keyring
+                   ~n ~b ~path ()
+               with
+              | Ok reloaded
+                when Store.Server.epoch_version reloaded
+                     = Store.Server.epoch_version servers.(old_id)
+                     && Store.Server.draining reloaded ->
+                incr snapshot_reloads
+              | Ok _ ->
+                violate
+                  "departing server %d: snapshot reloaded without its epoch \
+                   or drain flag"
+                  old_id
+              | Error m ->
+                violate "departing server %d: snapshot did not reload: %s"
+                  old_id m);
+              Sys.remove path;
+              Tcpnet.Server_host.stop h;
+              hosts.(old_id) <- None);
+            Tcpnet.Chaos.stop proxies.(old_id);
+            Tcpnet.Pool.evict (Tcpnet.Pool.shared ()) proxy_eps.(old_id))
+          transitions);
+    controller_done := true
+  in
+  let items = [| "k0"; "k1"; "k2"; "k3" |] in
+  let writer () =
+    Tcpnet.Live.run ~endpoints (fun () ->
+        let alice = connect_retry "alice" alice_key cfg_alice 10 in
+        let i = ref 0 in
+        while not !controller_done do
+          incr i;
+          let item = items.(!i mod Array.length items) in
+          let value = Printf.sprintf "%s#%d" item !i in
+          note_attempt item value;
+          op (fun () ->
+              match Store.Client.write alice ~item value with
+              | Ok () -> true
+              | Error _ -> false);
+          Thread.delay 0.03
+        done;
+        (* Final writes land on the fully rotated fleet. *)
+        Array.iter
+          (fun item ->
+            let value = Printf.sprintf "%s#final" item in
+            note_attempt item value;
+            op (fun () ->
+                match Store.Client.write alice ~item value with
+                | Ok () -> true
+                | Error _ -> false))
+          items;
+        final_epoch_seen :=
+          (match Store.Client.epoch alice with
+          | Some e -> Store.Config_epoch.version e
+          | None -> 0);
+        ignore (Store.Client.disconnect alice))
+  in
+  let reader () =
+    Tcpnet.Live.run ~endpoints (fun () ->
+        let bob = connect_retry "bob" bob_key cfg_bob 10 in
+        let last_seq : (string, int) Hashtbl.t = Hashtbl.create 4 in
+        let i = ref 0 in
+        while not !writer_done do
+          incr i;
+          let item = items.(!i mod Array.length items) in
+          op (fun () ->
+              match Store.Client.read bob ~item with
+              | Error _ -> false
+              | Ok v ->
+                if not (was_attempted item v) then
+                  violate "read of %s returned un-written value %S" item v;
+                (match String.index_opt v '#' with
+                | Some h -> (
+                  match
+                    int_of_string_opt
+                      (String.sub v (h + 1) (String.length v - h - 1))
+                  with
+                  | Some sq ->
+                    (match Hashtbl.find_opt last_seq item with
+                    | Some prev when sq < prev ->
+                      violate "read of %s went backwards: %d after %d" item
+                        sq prev
+                    | _ -> ());
+                    Hashtbl.replace last_seq item sq
+                  | None -> ())
+                | None -> ());
+                true);
+          Thread.delay 0.02
+        done;
+        ignore (Store.Client.disconnect bob))
+  in
+  let crashes = ref 0 in
+  let guard name fn () =
+    try fn ()
+    with e ->
+      Mutex.lock lock;
+      incr crashes;
+      violations :=
+        Printf.sprintf "%s worker died: %s" name (Printexc.to_string e)
+        :: !violations;
+      Mutex.unlock lock
+  in
+  let history = Check.History.create () in
+  let soak_secs = ref 0.0 in
+  Check.History.recording history (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let ct = Thread.create (guard "controller" controller) () in
+      let wt = Thread.create (guard "writer" writer) () in
+      let rt = Thread.create (guard "reader" reader) () in
+      Thread.join ct;
+      controller_done := true;
+      Thread.join wt;
+      writer_done := true;
+      Thread.join rt;
+      soak_secs := Unix.gettimeofday () -. t0;
+      (* Post-churn convergence: a fresh session, configured with the
+         final membership the way any new client would be, must read
+         every item's final value once gossip settles. *)
+      Array.iteri
+        (fun i p -> if hosts.(i) <> None then Tcpnet.Chaos.heal p)
+        proxies;
+      let final_members = Store.Config_epoch.servers !epoch_chain in
+      Tcpnet.Live.run ~endpoints (fun () ->
+          let bob =
+            connect_retry "bob" bob_key
+              {
+                cfg_bob with
+                Store.Client.servers = final_members;
+                op_deadline = 10.0;
+              }
+              10
+          in
+          let deadline = Unix.gettimeofday () +. 15.0 in
+          let rec converge remaining =
+            match remaining with
+            | [] -> ()
+            | _ when Unix.gettimeofday () > deadline ->
+              violate "post-churn convergence timed out on: %s"
+                (String.concat ", " remaining)
+            | _ ->
+              let remaining' =
+                List.filter
+                  (fun item ->
+                    match Store.Client.read bob ~item with
+                    | Ok v -> not (String.equal v (item ^ "#final"))
+                    | Error _ -> true)
+                  remaining
+              in
+              if remaining' <> [] then Thread.delay 0.1;
+              converge remaining'
+          in
+          converge (Array.to_list items);
+          ignore (Store.Client.disconnect bob)));
+  let oracle_violations =
+    Check.Oracle.check (Check.History.events history)
+  in
+  List.iter
+    (fun v ->
+      violate "oracle: %s" (Check.Oracle.violation_to_string v))
+    oracle_violations;
+  Array.iteri
+    (fun i h -> match h with Some h -> (Tcpnet.Server_host.stop h; Tcpnet.Chaos.stop proxies.(i)) | None -> ())
+    hosts;
+  let m = Store.Metrics.read () in
+  let availability =
+    if !ops_attempted = 0 then 0.0
+    else 100.0 *. float_of_int !ops_succeeded /. float_of_int !ops_attempted
+  in
+  let conv = !convergence_ms in
+  let conv_max = List.fold_left Float.max 0.0 conv in
+  let conv_mean =
+    if conv = [] then 0.0
+    else List.fold_left ( +. ) 0.0 conv /. float_of_int (List.length conv)
+  in
+  let nviol = List.length !violations in
+  List.iter
+    (fun v -> Format.fprintf fmt "VIOLATION: %s@." v)
+    (List.rev !violations);
+  let table =
+    {
+      Workload.Table.id = "E20";
+      title =
+        Printf.sprintf
+          "Reconfiguration soak (n=%d b=%d, rolling replacement of every \
+           server under chaos proxies, %.1f s)"
+          n b !soak_secs;
+      header = [ "metric"; "value" ];
+      rows =
+        [
+          [ "epoch transitions announced";
+            string_of_int (List.length transitions) ];
+          [ "final epoch version (client view)";
+            string_of_int !final_epoch_seen ];
+          [ "ops attempted / succeeded";
+            Printf.sprintf "%d / %d" !ops_attempted !ops_succeeded ];
+          [ "availability"; Printf.sprintf "%.2f%%" availability ];
+          [ "safety violations (incl. oracle)"; string_of_int nviol ];
+          [ "oracle events checked";
+            string_of_int (Check.History.length history) ];
+          [ "epoch convergence mean / max (ms)";
+            Printf.sprintf "%.0f / %.0f" conv_mean conv_max ];
+          [ "bootstrap bytes re-announced";
+            string_of_int (Store.Metrics.bootstrap_bytes ()) ];
+          [ "server epoch adoptions / stale-epoch rejections";
+            Printf.sprintf "%d / %d"
+              (Store.Metrics.epoch_transitions ())
+              (Store.Metrics.epoch_rejections ()) ];
+          [ "departing snapshots reloaded"; string_of_int !snapshot_reloads ];
+          [ "client retries / escalations";
+            Printf.sprintf "%d / %d" m.Store.Metrics.retries
+              m.Store.Metrics.escalations ];
+        ];
+      notes =
+        [
+          "every server of the initial membership is drained out and";
+          "replaced by a standby mid-soak; clients cross all four epoch";
+          "boundaries inside one session via Stale_epoch adoption.";
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  if json then
+    write_reconfig_json ~path:"BENCH_reconfig.json" ~seed
+      [
+        ("transitions", string_of_int (List.length transitions));
+        ("final_epoch_version", string_of_int !final_epoch_seen);
+        ("ops_attempted", string_of_int !ops_attempted);
+        ("ops_succeeded", string_of_int !ops_succeeded);
+        ("availability_pct", Printf.sprintf "%.2f" availability);
+        ("safety_violations", string_of_int nviol);
+        ("oracle_events", string_of_int (Check.History.length history));
+        ("oracle_violations", string_of_int (List.length oracle_violations));
+        ("convergence_ms_mean", Printf.sprintf "%.1f" conv_mean);
+        ("convergence_ms_max", Printf.sprintf "%.1f" conv_max);
+        ("bootstrap_bytes", string_of_int (Store.Metrics.bootstrap_bytes ()));
+        ("epoch_adoptions", string_of_int (Store.Metrics.epoch_transitions ()));
+        ("stale_epoch_rejections",
+          string_of_int (Store.Metrics.epoch_rejections ()));
+        ("snapshot_reloads", string_of_int !snapshot_reloads);
+        ("worker_crashes", string_of_int !crashes);
+        ("client_retries", string_of_int m.Store.Metrics.retries);
+      ];
+  if nviol > 0 || availability < 99.0 || !final_epoch_seen <> n + 1 then begin
+    Format.fprintf fmt
+      "E20: failed — %d violation(s), %.2f%% availability, final epoch v%d@."
+      nviol availability !final_epoch_seen;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2378,6 +2952,7 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e17", fun () -> e17_obs ~json ());
     ("e18", fun () -> e18_sign ~json ());
     ("e19", fun () -> e19_shard ~seed ~json ());
+    ("e20", fun () -> e20_reconfig ~seed ~json ());
   ]
 
 let main args =

@@ -19,7 +19,7 @@
 open Cmdliner
 
 let run id port n b clients guard log_depth peers gossip_period snapshot
-    snapshot_period stats_period metrics_port shards shards_total =
+    snapshot_period stats_period metrics_port shards shards_total drain =
   let shard_ids =
     match shards with
     | "" -> []
@@ -51,13 +51,23 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
   let make_server ~gid ~snapshot =
     match snapshot with
     | Some path when Sys.file_exists path -> (
-      match Store.Server.load_file ~config ~id:gid ~keyring ~n ~b ~path () with
-      | Some server ->
-        Printf.printf "restored state from %s (%d items)\n%!" path
-          (Store.Server.item_count server);
+      match
+        Store.Server.load_result ~config ~id:gid ~keyring ~n ~b ~path ()
+      with
+      | Ok server ->
+        let epoch =
+          match Store.Server.epoch_version server with
+          | 0 -> ""
+          | v -> Printf.sprintf ", epoch v%d" v
+        in
+        Printf.printf "restored state from %s (%d items%s)\n%!" path
+          (Store.Server.item_count server)
+          epoch;
         server
-      | None ->
-        Printf.eprintf "warning: snapshot %s unreadable; starting fresh\n" path;
+      | Error msg ->
+        (* Truncated or tampered snapshots are detected (v3 carries an
+           integrity trailer) and refused loudly, not half-loaded. *)
+        Printf.eprintf "warning: snapshot %s: %s; starting fresh\n%!" path msg;
         Store.Server.create ~config ~id:gid ~keyring ~n ~b ())
     | Some _ | None -> Store.Server.create ~config ~id:gid ~keyring ~n ~b ()
   in
@@ -238,13 +248,41 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
                 pp_shards ()
             done)
           ()));
-  (* Serve until killed. Relocking a held mutex raises EDEADLK on
-     OCaml 5, so park on a condition nobody ever signals instead. *)
-  let forever = Mutex.create () and never = Condition.create () in
-  Mutex.lock forever;
-  while true do
-    Condition.wait never forever
-  done
+  (* Graceful departure: deny new client writes, push the remaining
+     gossip backlog (including MAC-held writes already escalated) to
+     peers, snapshot every hosted shard, exit. Run for --drain and on
+     SIGTERM/SIGINT, so a rolling replacement loses no accepted write:
+     what this server held is either at its peers or in the snapshot. *)
+  let save_all () =
+    List.iter
+      (fun (_, server, snap) ->
+        match snap with
+        | Some path -> (
+          try Store.Server.save_file server ~path
+          with Sys_error msg -> Printf.eprintf "snapshot failed: %s\n%!" msg)
+        | None -> ())
+      hosted
+  in
+  let shutdown () =
+    Printf.printf "draining: flushing gossip backlog to %d peer(s)\n%!"
+      (List.length peer_list);
+    Tcpnet.Server_host.drain host;
+    save_all ();
+    Tcpnet.Server_host.stop host;
+    Printf.printf "drained; exiting\n%!";
+    exit 0
+  in
+  if drain then shutdown ();
+  (* Signal handlers only flip an atomic: drain dials peers and touches
+     the filesystem, which must not run in handler context. *)
+  let stopping = Atomic.make false in
+  let request_stop _ = Atomic.set stopping true in
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  while not (Atomic.get stopping) do
+    Thread.delay 0.2
+  done;
+  shutdown ()
 
 let cmd =
   let id = Arg.(value & opt int 0 & info [ "id" ] ~doc:"Server id (0..n-1).") in
@@ -301,9 +339,18 @@ let cmd =
              ~doc:"Total shards in the deployment (sizes the client-server \
                    MAC universe; defaults to max hosted shard + 1).")
   in
+  let drain =
+    Arg.(value & flag
+         & info [ "drain" ]
+             ~doc:"Graceful departure: start (restoring any snapshot), deny \
+                   new writes, push the remaining gossip backlog to peers, \
+                   snapshot, exit. SIGTERM does the same to a running \
+                   server.")
+  in
   Cmd.v
     (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
     Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
-          $ snapshot $ snapshot_period $ stats_period $ metrics_port $ shards $ shards_total)
+          $ snapshot $ snapshot_period $ stats_period $ metrics_port $ shards $ shards_total
+          $ drain)
 
 let () = exit (Cmd.eval cmd)

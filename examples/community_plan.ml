@@ -93,7 +93,7 @@ let () =
           ignore
             (Store.Server.handle s ~now:0.0 ~from:(-1)
                {
-                 Store.Payload.token = None;
+                 Store.Payload.token = None; epoch = 0;
                  request = Store.Payload.Write_req { write = poisoned; await_ack = true };
                }))
         servers;

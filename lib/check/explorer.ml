@@ -2,7 +2,7 @@ module Client = Store.Client
 module Engine = Sim.Engine
 module Srng = Sim.Srng
 
-type fault_category = Loss | Jitter | Crash | Partition | Byzantine
+type fault_category = Loss | Jitter | Crash | Partition | Byzantine | Reconfig
 
 let category_name = function
   | Loss -> "loss"
@@ -10,6 +10,12 @@ let category_name = function
   | Crash -> "crash"
   | Partition -> "partition"
   | Byzantine -> "byzantine"
+  | Reconfig -> "reconfig"
+
+type reconfig =
+  | Add_server of int
+  | Remove_server of int
+  | Replace_server of { remove : int; add : int }
 
 type schedule = {
   seed : int;
@@ -31,6 +37,10 @@ type schedule = {
   signing : Client.signing_mode;
   canary : bool;
   scripted : bool;
+  reconfigs : (float * reconfig) list;
+      (* time-ordered, admin-signed membership transitions; empty =
+         static world (no epoch machinery at all) *)
+  capacity : int;  (* server processes; ids n.. are join standbys *)
 }
 
 (* The latency floor below which [Jitter] counts as disabled. *)
@@ -118,7 +128,62 @@ let schedule_of_seed seed =
     signing;
     canary = false;
     scripted = false;
+    reconfigs = [];
+    capacity = n;
   }
+
+(* A seed's schedule plus 1-2 membership transitions. The reconfig draws
+   come from a *separate* stream (seed xor a constant), so every other
+   draw of [schedule_of_seed] — topology, faults, signing — is byte-for-
+   byte the seed's familiar schedule and existing determinism digests
+   stay comparable. Transitions keep (n, b) valid at every step: adds
+   bring in fresh standbys, removes only happen above the 3b+1 floor,
+   replaces keep n constant. *)
+let reconfig_schedule_of_seed seed =
+  let s = schedule_of_seed seed in
+  let rng = Srng.create (seed lxor 0x5eed) in
+  let count = 1 + Srng.int_below rng 2 in
+  let members = ref (List.init s.n Fun.id) in
+  let next_standby = ref s.n in
+  let events =
+    List.init count (fun i ->
+        let at =
+          s.horizon
+          *. ((0.2 +. (0.5 *. float_of_int i /. float_of_int count))
+             +. (0.15 *. float_of_int (Srng.int_below rng 100) /. 100.))
+        in
+        let pick_member () =
+          List.nth !members (Srng.int_below rng (List.length !members))
+        in
+        let can_remove = List.length !members - 1 >= (3 * s.b) + 1 in
+        let ev =
+          match Srng.int_below rng 3 with
+          | 0 ->
+            let add = !next_standby in
+            incr next_standby;
+            members := !members @ [ add ];
+            Add_server add
+          | 1 when can_remove ->
+            let r = pick_member () in
+            members := List.filter (fun x -> x <> r) !members;
+            Remove_server r
+          | _ ->
+            let r = pick_member () in
+            let add = !next_standby in
+            incr next_standby;
+            members := add :: List.filter (fun x -> x <> r) !members;
+            Replace_server { remove = r; add }
+        in
+        (at, ev))
+  in
+  { s with reconfigs = events; capacity = !next_standby }
+
+let apply_reconfig ev servers =
+  match ev with
+  | Add_server s -> List.sort_uniq compare (s :: servers)
+  | Remove_server s -> List.filter (fun x -> x <> s) servers
+  | Replace_server { remove; add } ->
+    List.sort_uniq compare (add :: List.filter (fun x -> x <> remove) servers)
 
 let canary_schedule ~seed =
   {
@@ -144,6 +209,8 @@ let canary_schedule ~seed =
     signing = Client.Per_write_sig;
     canary = true;
     scripted = true;
+    reconfigs = [];
+    capacity = 4;
   }
 
 let describe s =
@@ -167,9 +234,20 @@ let describe s =
            Printf.sprintf "%d:%s" sv (Store.Faults.to_string beh))
          s.byzantine)
   in
+  let reconf =
+    String.concat ","
+      (List.map
+         (fun (at, ev) ->
+           match ev with
+           | Add_server sv -> Printf.sprintf "+%d@%.1f" sv at
+           | Remove_server sv -> Printf.sprintf "-%d@%.1f" sv at
+           | Replace_server { remove; add } ->
+             Printf.sprintf "%d>%d@%.1f" remove add at)
+         s.reconfigs)
+  in
   Printf.sprintf
     "seed=%d n=%d b=%d clients=%d %s/%s/%s%s items=%d ops=%d drop=%.2f \
-     lat<=%.3fs gossip=%.1fs crash=[%s] part=[%s] byz=[%s]%s"
+     lat<=%.3fs gossip=%.1fs crash=[%s] part=[%s] byz=[%s] reconf=[%s]%s"
     s.seed s.n s.b s.clients
     (match s.mode with Client.Single_writer -> "sw" | Client.Multi_writer -> "mw")
     (match s.consistency with Client.MRC -> "mrc" | Client.CC -> "cc")
@@ -179,7 +257,7 @@ let describe s =
     | Client.Mac_fast -> "mac")
     (if s.read_spread then "/spread" else "")
     s.items s.ops_per_client s.drop_probability s.latency_hi s.gossip_period
-    (windows s.crashes) parts byz
+    (windows s.crashes) parts byz reconf
     (if s.canary then " CANARY" else "")
 
 let active_categories s =
@@ -190,6 +268,7 @@ let active_categories s =
       (if s.crashes <> [] then Some Crash else None);
       (if s.partitions <> [] then Some Partition else None);
       (if s.byzantine <> [] then Some Byzantine else None);
+      (if s.reconfigs <> [] then Some Reconfig else None);
     ]
 
 let disable cat s =
@@ -199,6 +278,10 @@ let disable cat s =
   | Crash -> { s with crashes = [] }
   | Partition -> { s with partitions = [] }
   | Byzantine -> { s with byzantine = [] }
+  | Reconfig ->
+    (* No membership events; the epoch machinery disappears entirely
+       (capacity stays — idle standbys are inert). *)
+    { s with reconfigs = [] }
 
 type outcome = {
   schedule : schedule;
@@ -231,6 +314,9 @@ let client_config sched i base =
     (* Small so random runs exercise the escalation path, not just the
        read-triggered flush. *)
     escalate_every = 3;
+    epoch_admin =
+      (if sched.reconfigs = [] then None
+       else Some (Workload.Worlds.key_of "admin").Crypto.Rsa.public);
   }
 
 let connect_client sched (w : Workload.Worlds.t) i name =
@@ -353,7 +439,15 @@ let run sched =
       let names =
         Array.to_list (Array.sub client_pool 0 sched.clients)
       in
-      let w = Workload.Worlds.make ~n:sched.n ~b:sched.b ~clients:names () in
+      let admin =
+        if sched.reconfigs = [] then None
+        else Some (Workload.Worlds.key_of "admin")
+      in
+      let w =
+        Workload.Worlds.make ~n:sched.n ~b:sched.b ~capacity:sched.capacity
+          ?epoch_admin:(Option.map (fun k -> k.Crypto.Rsa.public) admin)
+          ~clients:names ()
+      in
       let latency =
         Sim.Latency.make ~drop_probability:sched.drop_probability
           (Sim.Latency.Uniform { lo = 0.0005; hi = sched.latency_hi })
@@ -384,6 +478,50 @@ let run sched =
                 List.iter (fun s -> Hashtbl.remove isolated s) group))
           sched.partitions
       end;
+      (match admin with
+      | None -> ()
+      | Some akey ->
+        (* Every process (standbys included) starts from the same signed
+           genesis; later epochs reach laggards via gossip piggyback. *)
+        let genesis =
+          match
+            Store.Config_epoch.genesis ~servers:(List.init sched.n Fun.id)
+              ~b:sched.b ()
+          with
+          | Ok e -> Store.Config_epoch.sign e akey
+          | Error m -> failwith ("Explorer.run: genesis: " ^ m)
+        in
+        Array.iter
+          (fun s -> Store.Server.set_epoch s genesis)
+          w.Workload.Worlds.servers;
+        (* The admin's view of the chain advances at each scheduled time
+           regardless of delivery — announcements can be lost or arrive
+           at crashed servers, and the system must still converge. *)
+        let current = ref genesis in
+        List.iter
+          (fun (at, ev) ->
+            Engine.spawn engine ~at ~client:(-99) (fun () ->
+                let old_members = Store.Config_epoch.servers !current in
+                let servers = apply_reconfig ev old_members in
+                match
+                  Store.Config_epoch.next !current ~servers ~b:sched.b ()
+                with
+                | Error _ -> ()
+                | Ok e ->
+                  let e = Store.Config_epoch.sign e akey in
+                  current := e;
+                  let msg =
+                    Store.Payload.encode_envelope
+                      {
+                        Store.Payload.token = None;
+                        epoch = 0;
+                        request = Store.Payload.Epoch_announce e;
+                      }
+                  in
+                  List.iter
+                    (fun s -> Sim.Runtime.send s msg)
+                    (List.sort_uniq compare (old_members @ servers))))
+          sched.reconfigs);
       if sched.scripted then canary_fibers sched w engine ~ops_ok ~ops_failed
       else random_fibers sched w engine ~ops_ok ~ops_failed;
       Engine.run ~until:sched.horizon engine;
@@ -417,7 +555,7 @@ let shrink out =
           let trial = run (disable cat !best.schedule) in
           if trial.violations <> [] then best := trial
         end)
-      [ Byzantine; Partition; Loss; Jitter; Crash ];
+      [ Byzantine; Partition; Loss; Jitter; Crash; Reconfig ];
     (!best, active_categories !best.schedule)
   end
 

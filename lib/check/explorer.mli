@@ -10,9 +10,14 @@
     (crashes and partitions are benign and may exceed [b]; they only
     cost liveness, which the oracle does not score). *)
 
-type fault_category = Loss | Jitter | Crash | Partition | Byzantine
+type fault_category = Loss | Jitter | Crash | Partition | Byzantine | Reconfig
 
 val category_name : fault_category -> string
+
+type reconfig =
+  | Add_server of int  (** bring a standby into the membership *)
+  | Remove_server of int  (** drain a member out (only above the 3b+1 floor) *)
+  | Replace_server of { remove : int; add : int }  (** rolling swap, n constant *)
 
 type schedule = {
   seed : int;
@@ -41,10 +46,23 @@ type schedule = {
           broken client the oracle must flag *)
   scripted : bool;
       (** run the fixed canary choreography instead of the random mix *)
+  reconfigs : (float * reconfig) list;
+      (** time-ordered admin-signed membership transitions; empty means a
+          static world with no epoch machinery at all *)
+  capacity : int;
+      (** server processes created for the run; ids [n ..] are standbys
+          that [Add_server]/[Replace_server] can bring in *)
 }
 
 val schedule_of_seed : int -> schedule
-(** The random-mix schedule for a seed (never canary, never scripted). *)
+(** The random-mix schedule for a seed (never canary, never scripted,
+    no reconfigurations). *)
+
+val reconfig_schedule_of_seed : int -> schedule
+(** [schedule_of_seed seed] plus 1–2 membership transitions drawn from a
+    separate random stream, so every non-reconfig draw matches the plain
+    schedule for the same seed. Transitions keep the membership valid
+    ([>= 3b+1]) at every step. *)
 
 val canary_schedule : seed:int -> schedule
 (** The scripted stale-read choreography: one writer-reader whose

@@ -135,10 +135,11 @@ let event_json buf (e : Store.Trace.event) =
        e.seq e.op e.time);
   str buf e.client;
   Buffer.add_string buf
-    (Printf.sprintf ", \"session\": %d, \"mode\": \"%s\", \"consistency\": \"%s\", \"phase\": \"%s\", \"kind\": "
+    (Printf.sprintf ", \"session\": %d, \"mode\": \"%s\", \"consistency\": \"%s\", \"epoch\": %d, \"phase\": \"%s\", \"kind\": "
        e.session
        (if e.multi_writer then "mw" else "sw")
        (if e.causal then "cc" else "mrc")
+       e.epoch
        (match e.phase with Store.Trace.Invoke -> "invoke" | Store.Trace.Return -> "return"));
   kind_json buf e.kind;
   (match e.outcome with

@@ -32,6 +32,7 @@ type config = {
   canary_skip_freshness : bool;
   signing : signing_mode;
   escalate_every : int;
+  epoch_admin : Crypto.Rsa.public option;
 }
 
 let default_config ~n ~b =
@@ -61,6 +62,7 @@ let default_config ~n ~b =
     canary_skip_freshness = false;
     signing = Per_write_sig;
     escalate_every = 8;
+    epoch_admin = None;
   }
 
 type error =
@@ -94,6 +96,9 @@ type t = {
   mutable unescalated : Payload.write list;
       (* Mac_fast writes acked by a quorum but not yet escalated to
          third-party-verifiable evidence; newest first *)
+  mutable epoch : Config_epoch.t option;
+      (* the config epoch this session operates under; [None] = static
+         deployment (the cfg's n/b/servers are final) *)
   opstats : opstats;
 }
 
@@ -102,6 +107,39 @@ let stats t = t.opstats
 let group t = t.group
 let context t = t.ctx
 let config t = t.cfg
+let epoch t = t.epoch
+
+(* The membership the session currently derives its quorum math from:
+   the adopted epoch when there is one, the static config otherwise.
+   Re-derivation is per-call, so adopting a new epoch mid-operation
+   redirects the very next round without dropping the operation. *)
+let epoch_version t =
+  match t.epoch with Some e -> e.Config_epoch.version | None -> 0
+
+let active_n t = match t.epoch with Some e -> Config_epoch.n e | None -> t.cfg.n
+
+let active_servers t =
+  match t.epoch with Some e -> e.Config_epoch.servers | None -> t.cfg.servers
+
+(* Adopt a server-offered epoch if it is strictly newer and carries the
+   administrator's signature (when one is pinned). Clients accept any
+   newer signed epoch without the hash-chain check — a session may lag
+   arbitrarily many transitions, and the signature is the authority. *)
+let try_adopt_epoch t (e : Config_epoch.t) =
+  let signed_ok =
+    match t.cfg.epoch_admin with
+    | Some pub -> Config_epoch.verify e pub
+    | None -> true
+  in
+  if
+    e.Config_epoch.version > epoch_version t
+    && signed_ok
+    && Result.is_ok (Config_epoch.validate e)
+  then begin
+    t.epoch <- Some e;
+    Metrics.set_epoch_version e.Config_epoch.version;
+    Metrics.incr_epoch_transition ()
+  end
 
 let pp_error fmt = function
   | No_quorum { wanted; got } ->
@@ -121,7 +159,7 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 let effective_b t =
   match t.cfg.evidence with
   | Some e -> Fault_evidence.effective_b e
-  | None -> t.cfg.b
+  | None -> ( match t.epoch with Some e -> e.Config_epoch.b | None -> t.cfg.b)
 
 let report_proof t ~server event =
   match t.cfg.evidence with
@@ -139,7 +177,8 @@ let classify_bad_write (w : Payload.write) =
 (* Protocol message accounting (paper section 6 counts both directions). *)
 let rpc t ~quorum dsts request =
   let payload =
-    Payload.encode_envelope { Payload.token = t.cfg.token; request }
+    Payload.encode_envelope
+      { Payload.token = t.cfg.token; epoch = epoch_version t; request }
   in
   let replies =
     Sim.Runtime.call_many ~timeout:t.cfg.timeout ~quorum dsts payload
@@ -163,14 +202,30 @@ let rpc t ~quorum dsts request =
         else Fault_evidence.report_suspicion e ~server:dst)
       dsts
   | None -> ());
-  List.filter_map
-    (fun (r : Sim.Runtime.reply) ->
-      Option.map (fun resp -> (r.from, resp)) (Payload.decode_response r.payload))
-    replies
+  let decoded =
+    List.filter_map
+      (fun (r : Sim.Runtime.reply) ->
+        Option.map (fun resp -> (r.from, resp)) (Payload.decode_response r.payload))
+      replies
+  in
+  (* A [Stale_epoch] both rejects the round and repairs the session: the
+     piggybacked config is verified and adopted here, and the reply is
+     dropped from the result — quorum counting sees a non-response, so
+     the operation's retry loop re-runs the round under the new epoch's
+     quorum math instead of failing the in-flight op. *)
+  List.filter
+    (fun (_, resp) ->
+      match resp with
+      | Payload.Stale_epoch e ->
+        try_adopt_epoch t e;
+        false
+      | _ -> true)
+    decoded
 
 let send_oneway t dsts request =
   let payload =
-    Payload.encode_envelope { Payload.token = t.cfg.token; request }
+    Payload.encode_envelope
+      { Payload.token = t.cfg.token; epoch = epoch_version t; request }
   in
   List.iter (fun dst -> Sim.Runtime.send dst payload) dsts;
   Metrics.add_messages (List.length dsts);
@@ -183,7 +238,7 @@ let send_oneway t dsts request =
 let server_universe t =
   match t.cfg.evidence with
   | Some e -> Fault_evidence.preferred_servers e
-  | None -> t.cfg.servers
+  | None -> active_servers t
 
 let server_set t k =
   let universe = server_universe t in
@@ -228,7 +283,7 @@ let trace t ~op ~phase ?outcome kind =
       ~session:t.session
       ~multi_writer:(t.cfg.mode = Multi_writer)
       ~causal:(t.cfg.consistency = CC)
-      ~phase ?outcome ~kind
+      ~epoch:(epoch_version t) ~phase ?outcome ~kind
       ~ctx:(Context.bindings t.ctx) ()
 
 let trace_op () = if Trace.enabled () then Trace.new_op () else 0
@@ -294,7 +349,7 @@ let best_valid_context t replies =
 
 let ctx_read t =
   Obs.Span.with_op "ctx_read" @@ fun () ->
-  let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
+  let q = Quorums.context_quorum ~n:(active_n t) ~b:(effective_b t) in
   let request = Payload.Ctx_read { client = t.uid; group = t.group } in
   let initial = server_set t q in
   let replies =
@@ -316,7 +371,7 @@ let ctx_read t =
 
 let ctx_store t =
   Obs.Span.with_op "ctx_store" @@ fun () ->
-  let q = Quorums.context_quorum ~n:t.cfg.n ~b:(effective_b t) in
+  let q = Quorums.context_quorum ~n:(active_n t) ~b:(effective_b t) in
   t.ctx_seq <- t.ctx_seq + 1;
   let record =
     Obs.Span.with_phase "sign" (fun () ->
@@ -641,12 +696,12 @@ let read_write t ~item =
       t.opstats.read_failures <- t.opstats.read_failures + 1;
       Error (Writer_faulty uid)
     | `Missing ->
-      if set_size < t.cfg.n then begin
+      if set_size < active_n t then begin
         Metrics.incr_escalation ();
-        attempt ~retries ~tried ~set_size:t.cfg.n
+        attempt ~retries ~tried ~set_size:(active_n t)
       end
       else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
-        attempt ~retries:(retries - 1) ~tried:(tried + 1) ~set_size:t.cfg.n
+        attempt ~retries:(retries - 1) ~tried:(tried + 1) ~set_size:(active_n t)
       else begin
         t.opstats.read_failures <- t.opstats.read_failures + 1;
         if Stamp.equal floor Stamp.zero then Error (Not_found uid)
@@ -730,7 +785,7 @@ let write t ~item value =
       match
         Obs.Span.with_phase "mac" (fun () ->
             Signing.mac_write t.keyring ~writer:t.uid ~uid ~stamp ?wctx
-              ~servers:t.cfg.servers value)
+              ~servers:(active_servers t) value)
       with
       | Some w -> w
       | None ->
@@ -849,7 +904,7 @@ let reconstruct_context t =
   let request = Payload.Group_query { group = t.group } in
   let replies =
     Obs.Span.with_phase "group_query" (fun () ->
-        rpc t ~quorum:t.cfg.n t.cfg.servers request)
+        rpc t ~quorum:(active_n t) (active_servers t) request)
   in
   let per_item : (string, Payload.write list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -913,11 +968,25 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
       last_time = 0;
       connected = true;
       unescalated = [];
+      epoch = None;
       opstats =
         { messages = 0; reads = 0; writes = 0; read_rounds = 0; read_failures = 0 };
     }
   in
   Obs.Span.with_op "connect" @@ fun () ->
+  (* Epoch discovery, for dynamic-membership deployments (an admin key
+     is pinned): ask the configured bootstrap servers which config epoch
+     is live and adopt the newest validly signed answer. One valid reply
+     suffices — the signature, not a quorum, is the authority — and a
+     missed newer epoch self-corrects on the first [Stale_epoch]. *)
+  if cfg.epoch_admin <> None then
+    Obs.Span.with_phase "epoch_discovery" (fun () ->
+        List.iter
+          (fun (_, resp) ->
+            match resp with
+            | Payload.Epoch_reply (Some e) -> try_adopt_epoch t e
+            | _ -> ())
+          (rpc t ~quorum:(List.length cfg.servers) cfg.servers Payload.Epoch_get));
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Connect;
   let finish recovery =

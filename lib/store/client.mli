@@ -98,6 +98,15 @@ type config = {
   escalate_every : int;
       (** Mac_fast: pending fast-path writes that force an escalation
           flush (reads and disconnect flush regardless). Default 8. *)
+  epoch_admin : Crypto.Rsa.public option;
+      (** Dynamic membership: the cluster administrator's public key.
+          When set, {!connect} discovers the live config epoch from the
+          configured servers, the session re-derives n/b/servers/quorums
+          from the adopted epoch (the static fields above become the
+          bootstrap membership only), and any {!Payload.Stale_epoch}
+          reply mid-session verifies and adopts the newer config without
+          failing the in-flight operation. [None] (default) = static
+          deployment; epochs are ignored. *)
 }
 
 val default_config : n:int -> b:int -> config
@@ -132,6 +141,11 @@ val uid : t -> string
 val group : t -> string
 val context : t -> Context.t
 val config : t -> config
+
+val epoch : t -> Config_epoch.t option
+(** The config epoch this session currently operates under ([None] in a
+    static deployment): adopted at {!connect} via discovery and updated
+    whenever a server's {!Payload.Stale_epoch} proves a newer one. *)
 
 val connect :
   ?recover:[ `Fresh | `Reconstruct ] ->

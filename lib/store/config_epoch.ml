@@ -1,0 +1,112 @@
+(* Signed, monotonically-versioned cluster configurations.
+
+   The paper assumes a static fleet of n = 3b+1 servers; production
+   clusters replace, add and drain servers continuously. A config epoch
+   generalizes the signed {!Shardmap} table from "which shard owns a
+   key" to "which servers exist at all": the server set and fault bound
+   of one membership generation, versioned, signed by the cluster
+   administrator, and chained to its predecessor by hash so a Byzantine
+   admin cannot fork membership history undetectably — two epochs with
+   the same version but different digests are the fork proof.
+
+   Quorum sizes are not stored; they are re-derived from (n, b) via
+   {!Quorums} by whoever holds the epoch, so client and server can never
+   disagree about the math of a config they agree on. *)
+
+open Wire
+
+type t = {
+  version : int;  (* monotonic, genesis = 1 *)
+  servers : Sim.Runtime.node_id list;  (* sorted, distinct *)
+  b : int;
+  prev_digest : string;  (* digest of the predecessor; zeros at genesis *)
+  signature : string option;  (* admin RSA signature over [digest] *)
+}
+
+let digest_len = 32
+let genesis_prev = String.make digest_len '\000'
+
+let n t = List.length t.servers
+let version t = t.version
+let servers t = t.servers
+let b t = t.b
+
+let member t id = List.mem id t.servers
+
+(* The preimage covers everything but the signature, with a domain
+   separator and explicit lengths so no field boundary is ambiguous. *)
+let digest t =
+  Crypto.Sha256.digest
+    (Printf.sprintf "config-epoch-v1!%d!%d!%d!%s!%s" t.version t.b
+       (List.length t.servers)
+       (String.concat "," (List.map string_of_int t.servers))
+       t.prev_digest)
+
+let validate t =
+  let sorted_distinct =
+    let rec check = function
+      | a :: (b :: _ as rest) -> if a < b then check rest else false
+      | _ -> true
+    in
+    check t.servers
+  in
+  if t.version < 1 then Error "config epoch: version must be >= 1"
+  else if not sorted_distinct then
+    Error "config epoch: servers must be sorted and distinct"
+  else if String.length t.prev_digest <> digest_len then
+    Error "config epoch: bad predecessor digest length"
+  else Quorums.validate ~n:(n t) ~b:t.b
+
+let make ~version ~servers ~b ~prev_digest () =
+  let t =
+    { version; servers = List.sort_uniq compare servers; b; prev_digest;
+      signature = None }
+  in
+  match validate t with Ok () -> Ok t | Error _ as e -> e
+
+let genesis ~servers ~b () = make ~version:1 ~servers ~b ~prev_digest:genesis_prev ()
+
+let next prev ~servers ~b () =
+  make ~version:(prev.version + 1) ~servers ~b ~prev_digest:(digest prev) ()
+
+let sign t key =
+  { t with signature = Some (Crypto.Rsa.sign key (digest t)) }
+
+let verify t pub =
+  match t.signature with
+  | None -> false
+  | Some signature -> Crypto.Rsa.verify pub ~msg:(digest t) ~signature
+
+(* Direct succession: the only transition an already-configured party
+   accepts without further trust. The admin applies membership changes
+   one version at a time, so any party holding epoch v can check that
+   v+1 really extends *its* v — a forked chain breaks here. *)
+let follows ~prev t =
+  t.version = prev.version + 1 && String.equal t.prev_digest (digest prev)
+
+let encode enc t =
+  Codec.Enc.varint enc t.version;
+  Codec.Enc.list enc Codec.Enc.varint t.servers;
+  Codec.Enc.varint enc t.b;
+  Codec.Enc.fixed enc ~len:digest_len t.prev_digest;
+  Codec.Enc.option enc Codec.Enc.string t.signature
+
+let decode dec =
+  let version = Codec.Dec.varint dec in
+  let servers = Codec.Dec.list dec Codec.Dec.varint in
+  let b = Codec.Dec.varint dec in
+  let prev_digest = Codec.Dec.fixed dec ~len:digest_len in
+  let signature = Codec.Dec.option dec Codec.Dec.string in
+  let t = { version; servers; b; prev_digest; signature } in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> raise (Codec.Error msg)
+
+let to_string t = Codec.encode (fun enc () -> encode enc t) ()
+let of_string s = Codec.decode_opt decode s
+
+let pp fmt t =
+  Format.fprintf fmt "epoch v%d (n=%d b=%d servers=[%s]%s)" t.version (n t)
+    t.b
+    (String.concat "," (List.map string_of_int t.servers))
+    (if t.signature = None then ", unsigned" else "")

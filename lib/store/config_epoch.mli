@@ -1,0 +1,65 @@
+(** Signed, monotonically-versioned cluster configurations (dynamic
+    membership).
+
+    One epoch names the server set and fault bound of a membership
+    generation. Epochs are signed by the cluster administrator and
+    chained to their predecessor by hash, so a Byzantine admin cannot
+    fork membership history undetectably: two validly signed epochs
+    with the same version but different digests are themselves the
+    fork proof. Quorum sizes are never stored — holders re-derive them
+    from [(n, b)] via {!Quorums}, so parties that agree on an epoch
+    cannot disagree on its math.
+
+    Protocol use: every {!Payload.envelope} carries its sender's epoch
+    version; servers answer requests from a superseded epoch with
+    {!Payload.Stale_epoch}, piggybacking the newer config so the
+    client can verify, adopt and re-derive quorums mid-session. *)
+
+type t = {
+  version : int;  (** monotonic, genesis = 1 *)
+  servers : Sim.Runtime.node_id list;  (** sorted, distinct *)
+  b : int;
+  prev_digest : string;
+      (** {!digest} of the predecessor epoch; all-zeros at genesis *)
+  signature : string option;  (** admin RSA signature over {!digest} *)
+}
+
+val genesis_prev : string
+(** The 32-byte all-zeros predecessor digest of a genesis epoch. *)
+
+val n : t -> int
+val version : t -> int
+val servers : t -> Sim.Runtime.node_id list
+val b : t -> int
+val member : t -> Sim.Runtime.node_id -> bool
+
+val digest : t -> string
+(** Domain-separated SHA-256 over every field except the signature. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks plus {!Quorums.validate} on the epoch's (n, b). *)
+
+val genesis : servers:Sim.Runtime.node_id list -> b:int -> unit -> (t, string) result
+(** Version 1, no predecessor. Servers are sorted and deduplicated. *)
+
+val next :
+  t -> servers:Sim.Runtime.node_id list -> b:int -> unit -> (t, string) result
+(** The direct successor of an epoch: version + 1, chained by hash. *)
+
+val sign : t -> Crypto.Rsa.keypair -> t
+val verify : t -> Crypto.Rsa.public -> bool
+
+val follows : prev:t -> t -> bool
+(** [follows ~prev t]: [t] is the direct successor of [prev] — version
+    is [prev]'s + 1 and [prev_digest] matches [digest prev]. The only
+    transition an already-configured party accepts without re-trusting
+    the admin signature alone. *)
+
+val encode : Wire.Codec.Enc.t -> t -> unit
+val decode : Wire.Codec.Dec.t -> t
+(** @raise Wire.Codec.Error on malformed or structurally invalid input. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -64,7 +64,7 @@ let next_time t =
   time
 
 let rpc_one t dst request =
-  let payload = Payload.encode_envelope { Payload.token = t.token; request } in
+  let payload = Payload.encode_envelope { Payload.token = t.token; epoch = 0; request } in
   let replies = Sim.Runtime.call_many ~timeout:t.timeout ~quorum:1 [ dst ] payload in
   Metrics.add_messages (1 + List.length replies);
   Metrics.add_bytes

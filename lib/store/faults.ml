@@ -45,10 +45,11 @@ let inflate stamp =
 let is_query (env : Payload.envelope) =
   match env.request with
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
-  | Payload.Log_query _ | Payload.Group_query _ | Payload.Read_inline _ ->
+  | Payload.Log_query _ | Payload.Group_query _ | Payload.Read_inline _
+  | Payload.Epoch_get ->
     true
   | Payload.Ctx_write _ | Payload.Write_req _ | Payload.Gossip_push _
-  | Payload.Evidence_upgrade _ ->
+  | Payload.Evidence_upgrade _ | Payload.Epoch_announce _ ->
     false
 
 let is_write_or_gossip (env : Payload.envelope) =

@@ -14,16 +14,20 @@ let install engine ~servers ?fanout ~period ~rng () =
          in
          let rng = Sim.Srng.split rng in
          Sim.Engine.every engine ~period ~client:sid (fun () ->
-             match Server.take_gossip_buffer server with
-             | [] -> ()
-             | writes ->
+             (* In an epoch-enabled world, pushes fire even with an
+                empty write buffer: the epoch itself is anti-entropy
+                state, and a server that crashed through an
+                announcement catches up from any peer's next push. *)
+             match (Server.take_gossip_buffer server, Server.epoch server) with
+             | [], None -> ()
+             | writes, epoch ->
                let payload =
                  Payload.encode_envelope
                    {
-                     Payload.token = None;
+                     Payload.token = None; epoch = 0;
                      request =
                        Payload.Gossip_push
-                         { writes; have = Server.gossip_summary server };
+                         { writes; have = Server.gossip_summary server; epoch };
                    }
                in
                List.iter
@@ -46,9 +50,11 @@ let exchange_once ~servers ~rng ?fanout () =
         pushed := !pushed + List.length writes;
         let env =
           {
-            Payload.token = None;
+            Payload.token = None; epoch = 0;
             request =
-              Payload.Gossip_push { writes; have = Server.gossip_summary server };
+              Payload.Gossip_push
+                { writes; have = Server.gossip_summary server;
+                  epoch = Server.epoch server };
           }
         in
         List.iter
@@ -72,9 +78,11 @@ let flood ~servers =
           progressed := true;
           let env =
             {
-              Payload.token = None;
+              Payload.token = None; epoch = 0;
               request =
-                Payload.Gossip_push { writes; have = Server.gossip_summary server };
+                Payload.Gossip_push
+                { writes; have = Server.gossip_summary server;
+                  epoch = Server.epoch server };
             }
           in
           for peer = 0 to n - 1 do

@@ -55,6 +55,23 @@ let endpoint_rpc_histo endpoint =
   Mutex.unlock ep_histos_lock;
   h
 
+(* Reconfiguration state, outside the snapshot for the same reason as
+   the transport gauges: the current epoch version and the transition /
+   rejection / bootstrap-transfer tallies are operator-facing and must
+   survive the per-experiment [reset]. *)
+let cur_epoch_version = ref 0
+let epoch_transitions_c = ref 0
+let epoch_rejections_c = ref 0
+let bootstrap_bytes_c = ref 0
+let set_epoch_version v = if v > !cur_epoch_version then cur_epoch_version := v
+let incr_epoch_transition () = incr epoch_transitions_c
+let incr_epoch_rejection () = incr epoch_rejections_c
+let add_bootstrap_bytes n = bootstrap_bytes_c := !bootstrap_bytes_c + n
+let epoch_version () = !cur_epoch_version
+let epoch_transitions () = !epoch_transitions_c
+let epoch_rejections () = !epoch_rejections_c
+let bootstrap_bytes () = !bootstrap_bytes_c
+
 let endpoint_rpc_histos () =
   Mutex.lock ep_histos_lock;
   let all = Hashtbl.fold (fun ep h acc -> (ep, h) :: acc) ep_histos [] in
@@ -154,6 +171,13 @@ let note_endpoint_health h =
   Hashtbl.replace health_tbl h.endpoint h;
   Mutex.unlock health_lock
 
+(* Membership churn retires endpoints for good; without this their
+   health rows (and suspicion state) would accumulate forever. *)
+let forget_endpoint_health endpoint =
+  Mutex.lock health_lock;
+  Hashtbl.remove health_tbl endpoint;
+  Mutex.unlock health_lock
+
 let endpoint_health () =
   Mutex.lock health_lock;
   let all = Hashtbl.fold (fun _ h acc -> h :: acc) health_tbl [] in
@@ -206,7 +230,11 @@ let reset_gauges () =
   Mutex.lock ep_histos_lock;
   Hashtbl.reset ep_histos;
   Mutex.unlock ep_histos_lock;
-  inflight_hwm := 0
+  inflight_hwm := 0;
+  cur_epoch_version := 0;
+  epoch_transitions_c := 0;
+  epoch_rejections_c := 0;
+  bootstrap_bytes_c := 0
 
 let read () =
   {
@@ -323,6 +351,14 @@ let families () =
       c "rpcs_total" "Quorum RPC rounds through the pooled transport." s.rpcs;
       c "retries_total" "Client retry-later rounds." s.retries;
       c "escalations_total" "Client server-set expansions." s.escalations;
+      c "epoch_transitions_total" "Config epochs adopted by this process."
+        (epoch_transitions ());
+      c "epoch_rejections_total"
+        "Requests rejected for carrying a superseded config epoch."
+        (epoch_rejections ());
+      c "bootstrap_bytes_total"
+        "Write-body bytes re-announced for joining-server bootstrap."
+        (bootstrap_bytes ());
     ]
   in
   let now = Unix.gettimeofday () in
@@ -339,6 +375,9 @@ let families () =
       Obs.Expo.gauge ~name:"securestore_inflight_high_water"
         ~help:"Peak concurrent in-flight transport requests."
         (float_of_int (inflight_high_water ()));
+      Obs.Expo.gauge ~name:"securestore_epoch_version"
+        ~help:"Highest config epoch version adopted by this process."
+        (float_of_int (epoch_version ()));
       ep_gauge "endpoint_health"
         "1 when the endpoint is usable, 0 while it is avoided \
          (dial backoff or suspicion window)."

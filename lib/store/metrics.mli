@@ -113,6 +113,12 @@ val note_endpoint_health : endpoint_health -> unit
 (** Record the endpoint's current health (keyed by [endpoint];
     overwrites the previous report). *)
 
+val forget_endpoint_health : string -> unit
+(** Drop an endpoint's health row entirely. Called when membership churn
+    retires an endpoint for good ({!Tcpnet.Pool.evict}); without it,
+    rows for servers no longer in any active config accumulate
+    forever. *)
+
 val endpoint_health : unit -> endpoint_health list
 (** Every reported endpoint, sorted by endpoint string. Cleared by
     {!reset_gauges}, not {!reset}. *)
@@ -125,6 +131,26 @@ val note_inflight : int -> unit
     is retained (a gauge, not part of {!snapshot}). *)
 
 val inflight_high_water : unit -> int
+
+(** {1 Reconfiguration}
+
+    Epoch state is operator-facing like the transport gauges: it
+    survives {!reset} and clears only under {!reset_gauges}. *)
+
+val set_epoch_version : int -> unit
+(** Report an adopted config epoch version; the maximum is retained. *)
+
+val incr_epoch_transition : unit -> unit
+val incr_epoch_rejection : unit -> unit
+
+val add_bootstrap_bytes : int -> unit
+(** Count write-body bytes re-announced into gossip for a joining
+    server's bootstrap transfer. *)
+
+val epoch_version : unit -> int
+val epoch_transitions : unit -> int
+val epoch_rejections : unit -> int
+val bootstrap_bytes : unit -> int
 
 val record_rpc_ns : float -> unit
 (** Record one RPC round duration (nanoseconds) in the global log-scale

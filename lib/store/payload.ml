@@ -76,15 +76,28 @@ type request =
   | Log_query of { uid : Uid.t }
   | Read_inline of { uid : Uid.t }
   | Group_query of { group : string }
-  | Gossip_push of { writes : write list; have : (Uid.t * Stamp.t) list }
+  | Gossip_push of {
+      writes : write list;
+      have : (Uid.t * Stamp.t) list;
+      epoch : Config_epoch.t option;
+          (* the pusher's config epoch, so anti-entropy also converges
+             membership: a server that missed an epoch announcement
+             (crashed, partitioned) catches up from any gossip peer *)
+    }
   | Evidence_upgrade of {
       uid : Uid.t;
       stamp : Stamp.t;
       writer : string;
       evidence : evidence;
     }
+  | Epoch_get  (* what epoch is this server on? (discovery) *)
+  | Epoch_announce of Config_epoch.t  (* admin: install this epoch *)
 
-type envelope = { token : string option; request : request }
+type envelope = {
+  token : string option;
+  epoch : int;  (* sender's config-epoch version; 0 = static/legacy *)
+  request : request;
+}
 
 type response =
   | Ctx_reply of ctx_record option
@@ -94,6 +107,10 @@ type response =
   | Log_reply of { writes : write list; writer_faulty : bool }
   | Group_reply of write list
   | Denied of string
+  | Epoch_reply of Config_epoch.t option
+  | Stale_epoch of Config_epoch.t
+      (* "your epoch is superseded" — carries the server's newer config
+         so one round-trip both rejects and repairs the client *)
 
 let encode_proof enc (p : Crypto.Merkle.proof) =
   Codec.Enc.varint enc p.index;
@@ -203,14 +220,15 @@ let encode_request enc = function
   | Group_query { group } ->
     Codec.Enc.u8 enc 6;
     Codec.Enc.string enc group
-  | Gossip_push { writes; have } ->
+  | Gossip_push { writes; have; epoch } ->
     Codec.Enc.u8 enc 7;
     Codec.Enc.list enc encode_write writes;
     Codec.Enc.list enc
       (fun enc (uid, stamp) ->
         Uid.encode enc uid;
         Stamp.encode enc stamp)
-      have
+      have;
+    Codec.Enc.option enc Config_epoch.encode epoch
   | Read_inline { uid } ->
     Codec.Enc.u8 enc 8;
     Uid.encode enc uid
@@ -220,6 +238,10 @@ let encode_request enc = function
     Stamp.encode enc stamp;
     Codec.Enc.string enc writer;
     encode_evidence enc evidence
+  | Epoch_get -> Codec.Enc.u8 enc 10
+  | Epoch_announce e ->
+    Codec.Enc.u8 enc 11;
+    Config_epoch.encode enc e
 
 let decode_request dec =
   match Codec.Dec.u8 dec with
@@ -251,7 +273,8 @@ let decode_request dec =
           let stamp = Stamp.decode dec in
           (uid, stamp))
     in
-    Gossip_push { writes; have }
+    let epoch = Codec.Dec.option dec Config_epoch.decode in
+    Gossip_push { writes; have; epoch }
   | 8 -> Read_inline { uid = Uid.decode dec }
   | 9 ->
     let uid = Uid.decode dec in
@@ -259,12 +282,15 @@ let decode_request dec =
     let writer = Codec.Dec.string dec in
     let evidence = decode_evidence dec in
     Evidence_upgrade { uid; stamp; writer; evidence }
+  | 10 -> Epoch_get
+  | 11 -> Epoch_announce (Config_epoch.decode dec)
   | _ -> raise (Codec.Error "bad request tag")
 
 let encode_envelope env =
   Codec.encode
     (fun enc () ->
       Codec.Enc.option enc Codec.Enc.string env.token;
+      Codec.Enc.varint enc env.epoch;
       encode_request enc env.request)
     ()
 
@@ -272,8 +298,9 @@ let decode_envelope s =
   Codec.decode_opt
     (fun dec ->
       let token = Codec.Dec.option dec Codec.Dec.string in
+      let epoch = Codec.Dec.varint dec in
       let request = decode_request dec in
-      { token; request })
+      { token; epoch; request })
     s
 
 let encode_response r =
@@ -300,7 +327,13 @@ let encode_response r =
         Codec.Enc.list enc encode_write writes
       | Denied reason ->
         Codec.Enc.u8 enc 6;
-        Codec.Enc.string enc reason)
+        Codec.Enc.string enc reason
+      | Epoch_reply e ->
+        Codec.Enc.u8 enc 7;
+        Codec.Enc.option enc Config_epoch.encode e
+      | Stale_epoch e ->
+        Codec.Enc.u8 enc 8;
+        Config_epoch.encode enc e)
     ()
 
 let decode_response s =
@@ -320,6 +353,8 @@ let decode_response s =
         Log_reply { writes; writer_faulty }
       | 5 -> Group_reply (Codec.Dec.list dec decode_write)
       | 6 -> Denied (Codec.Dec.string dec)
+      | 7 -> Epoch_reply (Codec.Dec.option dec Config_epoch.decode)
+      | 8 -> Stale_epoch (Config_epoch.decode dec)
       | _ -> raise (Codec.Error "bad response tag"))
     s
 
@@ -336,3 +371,6 @@ let pp_response fmt = function
   | Log_reply { writes; _ } -> Format.fprintf fmt "Log_reply (%d writes)" (List.length writes)
   | Group_reply writes -> Format.fprintf fmt "Group_reply (%d writes)" (List.length writes)
   | Denied reason -> Format.fprintf fmt "Denied %s" reason
+  | Epoch_reply None -> Format.pp_print_string fmt "Epoch_reply None"
+  | Epoch_reply (Some e) -> Format.fprintf fmt "Epoch_reply %a" Config_epoch.pp e
+  | Stale_epoch e -> Format.fprintf fmt "Stale_epoch %a" Config_epoch.pp e

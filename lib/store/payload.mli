@@ -75,11 +75,18 @@ type request =
           section 6's "read cost equals write cost" best case *)
   | Group_query of { group : string }
       (** all current writes in a group — context reconstruction *)
-  | Gossip_push of { writes : write list; have : (Uid.t * Stamp.t) list }
+  | Gossip_push of {
+      writes : write list;
+      have : (Uid.t * Stamp.t) list;
+      epoch : Config_epoch.t option;
+    }
       (** [have] is the sender's current stamp per item — the replication
           evidence behind section 5.3's log erasure rule ("old values
           could be erased once a server learns that a new value is
-          available at at least 2b+1 servers") *)
+          available at at least 2b+1 servers"). [epoch] is the pusher's
+          config epoch, so anti-entropy also converges membership: a
+          server that missed an epoch announcement catches up from any
+          gossip peer. *)
   | Evidence_upgrade of {
       uid : Uid.t;
       stamp : Stamp.t;
@@ -91,8 +98,21 @@ type request =
           [Batch]), allowing it to be announced and gossiped. [writer]
           lets hosts warm the root-signature check outside their state
           lock. *)
+  | Epoch_get
+      (** which config epoch is this server on? ([Epoch_reply]) —
+          client-side epoch discovery *)
+  | Epoch_announce of Config_epoch.t
+      (** administrative: install this (signed) epoch. Servers accept a
+          direct successor of their current epoch, or any strictly newer
+          validly-signed epoch when they have fallen behind. *)
 
-type envelope = { token : string option; request : request }
+type envelope = {
+  token : string option;
+  epoch : int;
+      (** the sender's config-epoch version; [0] = static/legacy
+          deployment (servers without an installed epoch ignore it) *)
+  request : request;
+}
 
 type response =
   | Ctx_reply of ctx_record option
@@ -102,6 +122,10 @@ type response =
   | Log_reply of { writes : write list; writer_faulty : bool }
   | Group_reply of write list
   | Denied of string
+  | Epoch_reply of Config_epoch.t option
+  | Stale_epoch of Config_epoch.t
+      (** "your epoch is superseded" — carries the server's newer config,
+          so one round both rejects the stale op and repairs the client *)
 
 val encode_write : Wire.Codec.Enc.t -> write -> unit
 val decode_write : Wire.Codec.Dec.t -> write

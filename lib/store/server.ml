@@ -5,6 +5,9 @@ type config = {
   log_depth : int;
   mac_hold_depth : int;
   auth : Access_control.service option;
+  epoch_admin : Crypto.Rsa.public option;
+      (* the cluster administrator's public key; when set, announced
+         config epochs must verify against it *)
 }
 
 let default_config ~n ~b =
@@ -15,6 +18,7 @@ let default_config ~n ~b =
     log_depth = 4;
     mac_hold_depth = 32;
     auth = None;
+    epoch_admin = None;
   }
 
 type item_state = {
@@ -44,6 +48,13 @@ type t = {
   faulty_writers : (string, unit) Hashtbl.t;
   mutable gossip_buffer : Payload.write list;
   mutable audit : Payload.write list; (* announced writes, newest first *)
+  mutable epoch : Config_epoch.t option;
+      (* the membership generation this server serves; None = static
+         deployment, every epoch check off *)
+  mutable draining : bool;
+      (* departing: refuse new client writes, keep serving reads and
+         evidence upgrades so held writes can still escalate and gossip
+         out before handoff *)
 }
 
 let create ?config ~id ~keyring ~n ~b () =
@@ -57,10 +68,16 @@ let create ?config ~id ~keyring ~n ~b () =
     faulty_writers = Hashtbl.create 4;
     gossip_buffer = [];
     audit = [];
+    epoch = None;
+    draining = false;
   }
 
 let id t = t.id
 let config t = t.config
+let epoch t = t.epoch
+let epoch_version t = match t.epoch with Some e -> e.Config_epoch.version | None -> 0
+let draining t = t.draining
+let begin_drain t = t.draining <- true
 
 let item_state t uid =
   let key = Uid.to_string uid in
@@ -131,6 +148,20 @@ let in_maced st (w : Payload.write) =
     (fun other -> Stamp.equal other.Payload.stamp w.stamp)
     st.maced
 
+(* The copy we hold under [w.stamp] carries the same writer and body:
+   [w] is a client retry after a lost ack, not a fork attempt, and must
+   be acknowledged — rejecting it turns a successful write into a
+   reported failure whenever the first ack is dropped by the network. *)
+let duplicate_of st (w : Payload.write) =
+  let matches (other : Payload.write) =
+    Stamp.equal other.stamp w.stamp
+    && String.equal other.writer w.writer
+    && String.equal (Payload.write_body other) (Payload.write_body w)
+  in
+  List.exists matches
+    ((match st.current with Some c -> [ c ] | None -> [])
+    @ st.log @ st.pending @ st.maced)
+
 let drop_maced st stamp =
   st.maced <-
     List.filter
@@ -179,7 +210,8 @@ let install t st (w : Payload.write) =
 let try_accept t (w : Payload.write) =
   let st = item_state t w.uid in
   if Stamp.compare w.stamp st.erased_below < 0 then `Rejected
-  else if already_stored st w then `Rejected
+  else if already_stored st w then
+    if duplicate_of st w then `Duplicate else `Rejected
   else if is_writer_faulty t w.writer then `Rejected
   else if detect_fork t st w then `Rejected
   else if
@@ -237,7 +269,7 @@ let accept_write t w =
   let result = try_accept t w in
   (match result with
   | `Accepted -> drain_pending t
-  | `Held | `Rejected -> ());
+  | `Held | `Rejected | `Duplicate -> ());
   result
 
 (* Accept a MAC-fast write into the held [maced] slot: verified under
@@ -248,7 +280,8 @@ let accept_write t w =
 let accept_mac_write t (w : Payload.write) =
   let st = item_state t w.uid in
   if Stamp.compare w.stamp st.erased_below < 0 then `Rejected
-  else if already_stored st w || in_maced st w then `Rejected
+  else if already_stored st w || in_maced st w then
+    if duplicate_of st w then `Duplicate else `Rejected
   else if is_writer_faulty t w.writer then `Rejected
   else if detect_fork t st w then `Rejected
   else if not (Signing.server_verify_mac t.keyring ~server:t.id w) then
@@ -317,12 +350,102 @@ let log_writes t uid =
     | None -> []
     | Some c -> c :: trim t.config.log_depth st.log)
 
+(* --- dynamic membership ------------------------------------------------- *)
+
+let set_epoch t e = t.epoch <- Some e
+
+(* Re-enqueue every announced write so the next gossip rounds carry this
+   server's whole state to the epoch's newcomers — the join bootstrap
+   rides the ordinary anti-entropy path, no separate transfer protocol.
+   The bytes are accounted as bootstrap transfer. *)
+let reannounce_for_bootstrap t =
+  let writes =
+    Hashtbl.fold
+      (fun _ st acc -> match st.current with Some w -> w :: acc | None -> acc)
+      t.items []
+  in
+  List.iter
+    (fun (w : Payload.write) ->
+      Metrics.add_bootstrap_bytes (String.length (Payload.write_body w)))
+    writes;
+  t.gossip_buffer <- writes @ t.gossip_buffer
+
+(* Adopt [e] if it is trustworthy and strictly newer. A configured
+   server insists on direct hash-chain succession when the version is
+   current + 1 — the admin applies transitions one at a time, and a
+   forked chain breaks exactly here. A server that has fallen behind
+   (crashed through announcements) accepts a version jump on the admin
+   signature alone; the chain remains auditable by whoever saw the
+   intermediate epochs. *)
+let try_adopt_epoch t (e : Config_epoch.t) =
+  let signed_ok =
+    match t.config.epoch_admin with
+    | Some pub -> Config_epoch.verify e pub
+    | None -> true (* no admin key configured: trust the announcement *)
+  in
+  match Config_epoch.validate e with
+  | Error msg -> Error msg
+  | Ok () ->
+    if not signed_ok then Error "epoch not signed by admin"
+    else begin
+      match t.epoch with
+      | Some cur when e.Config_epoch.version <= cur.Config_epoch.version ->
+        Error "epoch not newer"
+      | Some cur
+        when e.Config_epoch.version = cur.Config_epoch.version + 1
+             && not (Config_epoch.follows ~prev:cur e) ->
+        Error "epoch does not chain to predecessor"
+      | cur ->
+        t.epoch <- Some e;
+        Metrics.incr_epoch_transition ();
+        Metrics.set_epoch_version e.Config_epoch.version;
+        let joined =
+          match cur with
+          | None -> []
+          | Some prev ->
+            List.filter
+              (fun s -> not (Config_epoch.member prev s))
+              e.Config_epoch.servers
+        in
+        if Config_epoch.member e t.id then begin
+          if joined <> [] then reannounce_for_bootstrap t
+        end
+        else
+          (* We are not in the new membership: drain. Reads and
+             evidence upgrades continue; new writes are refused. *)
+          t.draining <- true;
+        Ok ()
+    end
+
+(* Server-to-server and membership traffic is never epoch-gated:
+   gossip must flow between epochs (it is how joiners bootstrap and
+   how laggards learn the new config), and discovery/announcement are
+   the repair channel itself. *)
+let epoch_exempt = function
+  | Payload.Gossip_push _ | Payload.Epoch_get | Payload.Epoch_announce _ ->
+    true
+  | Payload.Ctx_read _ | Payload.Ctx_write _ | Payload.Meta_query _
+  | Payload.Value_read _ | Payload.Write_req _ | Payload.Log_query _
+  | Payload.Group_query _ | Payload.Read_inline _ | Payload.Evidence_upgrade _
+    ->
+    false
+
 let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
   let auth ?expect_client ~group ~op k =
     match authorize t ~now ~token:env.token ?expect_client ~group ~op () with
     | Access_control.Authorized -> k ()
     | Access_control.Denied reason -> Some (Payload.Denied reason)
   in
+  match t.epoch with
+  | Some cur
+    when env.epoch < cur.Config_epoch.version && not (epoch_exempt env.request)
+    ->
+    (* The client is operating under a superseded membership: reject,
+       but piggyback the newer config so one round-trip both refuses
+       the stale op and repairs the sender. *)
+    Metrics.incr_epoch_rejection ();
+    Some (Payload.Stale_epoch cur)
+  | _ ->
   match env.request with
   | Payload.Ctx_read { client; group } ->
     auth ~group ~op:`Read (fun () ->
@@ -361,6 +484,12 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
   | Payload.Write_req { write; await_ack } ->
     auth ~expect_client:write.writer ~group:(Uid.group write.uid) ~op:`Write
       (fun () ->
+        if t.draining then
+          (* Departing server: no new writes. The client treats this
+             like any other refusal and lands the write on the current
+             epoch's members instead. *)
+          if await_ack then Some (Payload.Denied "draining") else None
+        else
         let result =
           match write.evidence with
           | Payload.Mac _ -> accept_mac_write t write
@@ -369,7 +498,7 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
         if await_ack then
           Some
             (match result with
-            | `Accepted | `Held -> Payload.Ack
+            | `Accepted | `Held | `Duplicate -> Payload.Ack
             | `Rejected -> Payload.Denied "write rejected")
         else None)
   | Payload.Evidence_upgrade { uid; stamp; writer; evidence } ->
@@ -386,7 +515,7 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
           else begin
             let upgraded = { held with Payload.evidence } in
             match accept_write t upgraded with
-            | `Accepted | `Held ->
+            | `Accepted | `Held | `Duplicate ->
               drop_maced st stamp;
               Some Payload.Ack
             | `Rejected ->
@@ -429,13 +558,18 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
             | Some _ | None -> ())
           t.items;
         Some (Payload.Group_reply !writes))
-  | Payload.Gossip_push { writes; have } ->
+  | Payload.Gossip_push { writes; have; epoch } ->
     (* Server-to-server: no token; the client signatures on each write
-       are the authority. A forged write simply fails verification. *)
+       are the authority. A forged write simply fails verification.
+       A piggybacked epoch is membership anti-entropy: adopt it under
+       the same rules as an announcement (signature + chain). *)
+    (match epoch with
+    | Some e -> ignore (try_adopt_epoch t e)
+    | None -> ());
     List.iter
       (fun (w : Payload.write) ->
         (match accept_write t w with
-        | `Accepted | `Held ->
+        | `Accepted | `Held | `Duplicate ->
           (* We hold it now, and so does the sender. *)
           record_holder t w.uid ~holder:t.id ~stamp:w.stamp;
           record_holder t w.uid ~holder:from ~stamp:w.stamp
@@ -447,6 +581,18 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
         if from >= 0 then record_holder t uid ~holder:from ~stamp)
       have;
     Some Payload.Ack
+  | Payload.Epoch_get -> Some (Payload.Epoch_reply t.epoch)
+  | Payload.Epoch_announce e -> (
+    match try_adopt_epoch t e with
+    | Ok () -> Some Payload.Ack
+    | Error "epoch not newer" ->
+      (* Idempotent re-announcement (or a laggard admin): not an error
+         worth a retry, but tell the sender where we actually are. *)
+      Some
+        (match t.epoch with
+        | Some cur -> Payload.Stale_epoch cur
+        | None -> Payload.Denied "no epoch")
+    | Error reason -> Some (Payload.Denied reason))
 
 (* Warm the signature cache for everything [handle] will verify, so the
    expensive RSA math can run outside whatever lock serializes [handle].
@@ -462,7 +608,8 @@ let preverify t (env : Payload.envelope) =
   | Payload.Evidence_upgrade { writer; evidence; _ } ->
     Signing.warm_batch t.keyring ~writer evidence
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
-  | Payload.Log_query _ | Payload.Read_inline _ | Payload.Group_query _ -> ()
+  | Payload.Log_query _ | Payload.Read_inline _ | Payload.Group_query _
+  | Payload.Epoch_get | Payload.Epoch_announce _ -> ()
 
 let handler t ~now ~from payload =
   match Payload.decode_envelope payload with
@@ -509,13 +656,19 @@ let audit_log t = List.rev t.audit
 (* Version 2: writes carry structured evidence (the v1 flat signature
    string became the evidence codec) and items persist their MAC-held
    writes, so a restart does not silently drop fast-path writes awaiting
-   escalation. The write codec itself is {!Payload.encode_write}. *)
-let snapshot_version = 2
+   escalation. Version 3 appends the config epoch (a restarted server
+   must rejoin the membership generation it left in, not genesis) and
+   wraps the whole body in a trailing SHA-256, so truncation or
+   corruption is detected before any field is decoded. The write codec
+   itself is {!Payload.encode_write}. *)
+let snapshot_version = 3
+
+let integrity_len = 32
 
 let encode_write = Payload.encode_write
 let decode_write = Payload.decode_write
 
-let snapshot t =
+let snapshot_body t =
   let open Wire.Codec in
   encode
     (fun enc () ->
@@ -548,18 +701,40 @@ let snapshot t =
         (Hashtbl.fold (fun writer () acc -> writer :: acc) t.faulty_writers []);
       (* pending gossip and audit trail (both newest-first in memory) *)
       Enc.list enc encode_write t.gossip_buffer;
-      Enc.list enc encode_write t.audit)
+      Enc.list enc encode_write t.audit;
+      Enc.option enc Config_epoch.encode t.epoch;
+      Enc.bool enc t.draining)
     ()
 
-let restore ?config ~id ~keyring ~n ~b blob =
+let snapshot t =
+  let body = snapshot_body t in
+  body ^ Crypto.Sha256.digest body
+
+let restore_result ?config ~id ~keyring ~n ~b blob =
   let open Wire.Codec in
+  (* v3 blobs end in a SHA-256 of everything before it; check it before
+     decoding a single field, so a truncated or bit-flipped file yields
+     a clear refusal, never a decoder exception. (A pre-v3 blob has no
+     trailer; it is given one legacy decode attempt below.) *)
+  let len = String.length blob in
+  let integrity_ok =
+    len > integrity_len
+    && String.equal
+         (Crypto.Sha256.digest (String.sub blob 0 (len - integrity_len)))
+         (String.sub blob (len - integrity_len) integrity_len)
+  in
+  let body = if integrity_ok then String.sub blob 0 (len - integrity_len) else blob in
   match
     decode
       (fun dec ->
         if Dec.string dec <> "securestore-snapshot" then
           raise (Wire.Codec.Error "bad magic");
-        if Dec.varint dec <> snapshot_version then
+        let version = Dec.varint dec in
+        if version <> 2 && version <> snapshot_version then
           raise (Wire.Codec.Error "unsupported snapshot version");
+        if version >= 3 && not integrity_ok then
+          raise
+            (Wire.Codec.Error "integrity check failed (truncated or corrupt)");
         let saved_id = Dec.varint dec in
         if saved_id <> id then raise (Wire.Codec.Error "server id mismatch");
         let t = create ?config ~id ~keyring ~n ~b () in
@@ -599,11 +774,27 @@ let restore ?config ~id ~keyring ~n ~b blob =
           (Dec.list dec Dec.string);
         t.gossip_buffer <- Dec.list dec decode_write;
         t.audit <- Dec.list dec decode_write;
+        if version >= 3 then begin
+          t.epoch <- Dec.option dec Config_epoch.decode;
+          t.draining <- Dec.bool dec;
+          (match t.epoch with
+          | Some e -> Metrics.set_epoch_version e.Config_epoch.version
+          | None -> ())
+        end;
         t)
-      blob
+      body
   with
-  | t -> Some t
-  | exception Wire.Codec.Error _ -> None
+  | t -> Ok t
+  | exception Wire.Codec.Error msg -> Error ("corrupt snapshot: " ^ msg)
+  | exception e ->
+    (* Any other decoder failure (short reads on a truncated pre-v3
+       blob, bad lengths) is still a refusal, not a crash. *)
+    Error ("corrupt snapshot: " ^ Printexc.to_string e)
+
+let restore ?config ~id ~keyring ~n ~b blob =
+  match restore_result ?config ~id ~keyring ~n ~b blob with
+  | Ok t -> Some t
+  | Error _ -> None
 
 let save_file t ~path =
   let tmp = path ^ ".tmp" in
@@ -613,13 +804,16 @@ let save_file t ~path =
     (fun () -> output_string oc (snapshot t));
   Sys.rename tmp path
 
-let load_file ?config ~id ~keyring ~n ~b ~path () =
+let load_result ?config ~id ~keyring ~n ~b ~path () =
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error e -> Error e
   | ic ->
     let blob =
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    restore ?config ~id ~keyring ~n ~b blob
+    restore_result ?config ~id ~keyring ~n ~b blob
+
+let load_file ?config ~id ~keyring ~n ~b ~path () =
+  Result.to_option (load_result ?config ~id ~keyring ~n ~b ~path ())

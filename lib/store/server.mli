@@ -24,6 +24,10 @@ type config = {
       (** MAC-fast writes held per item awaiting evidence escalation;
           oldest dropped beyond this *)
   auth : Access_control.service option;
+  epoch_admin : Crypto.Rsa.public option;
+      (** the cluster administrator's public key; when set, announced
+          config epochs ({!Payload.Epoch_announce}) must verify against
+          it. [None] = trust any structurally valid epoch (tests). *)
 }
 
 val default_config : n:int -> b:int -> config
@@ -34,6 +38,41 @@ type t
 val create : ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int -> unit -> t
 val id : t -> int
 val config : t -> config
+
+(** {1 Config epochs (dynamic membership)}
+
+    A server without an installed epoch ([epoch t = None]) behaves
+    exactly as before epochs existed: it never stamps gossip, never
+    rejects anything as stale. Once an epoch is installed (via
+    {!set_epoch}, {!Payload.Epoch_announce}, or gossip piggyback),
+    requests from envelopes with a lower epoch version are answered
+    {!Payload.Stale_epoch} — except gossip and the epoch requests
+    themselves, which must flow regardless so lagging parties can catch
+    up. *)
+
+val epoch : t -> Config_epoch.t option
+val epoch_version : t -> int
+(** 0 when no epoch is installed. *)
+
+val set_epoch : t -> Config_epoch.t -> unit
+(** Install unconditionally (bootstrap / genesis); no validation. Use
+    {!try_adopt_epoch} for announced transitions. *)
+
+val try_adopt_epoch : t -> Config_epoch.t -> (unit, string) result
+(** The announced-transition rule: the epoch must be structurally valid,
+    admin-signed when {!config.epoch_admin} is set, and strictly newer
+    than the current one; a direct successor (version + 1) must also
+    hash-chain to the current epoch ({!Config_epoch.follows}), while a
+    bigger jump is accepted on the signature alone (laggard catch-up).
+    On adoption: if servers joined and this server remains a member, its
+    full write-set is re-announced into gossip for their bootstrap; if
+    this server is no longer a member, it starts draining. *)
+
+val draining : t -> bool
+val begin_drain : t -> unit
+(** A draining server denies new client writes ([Denied "draining"]) but
+    keeps serving reads, gossip, and {!Payload.Evidence_upgrade} — held
+    MAC-fast writes must still escalate out before handoff. *)
 
 val handle : t -> now:float -> from:Sim.Runtime.node_id -> Payload.envelope -> Payload.response option
 (** Core request dispatch (typed). *)
@@ -92,19 +131,35 @@ val holder_count : t -> Uid.t -> Stamp.t -> int
 val snapshot : t -> string
 (** Serialize the server's durable state — items (current, log, held
     writes, fork flags, erasure watermarks), stored contexts,
-    quarantined writers, pending gossip, and the audit log — so a
-    repository survives restarts, as a long-term store must. Holder
-    evidence is deliberately not persisted (it is rebuilt from gossip). *)
+    quarantined writers, pending gossip, the audit log, and (v3) the
+    installed config epoch and drain flag — so a repository survives
+    restarts, as a long-term store must. The blob ends in a SHA-256 of
+    everything before it, so truncation or corruption is detected on
+    load. Holder evidence is deliberately not persisted (it is rebuilt
+    from gossip). *)
+
+val restore_result :
+  ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int -> string ->
+  (t, string) result
+(** Rebuild a server from {!snapshot} output. A failed integrity check
+    (truncated or bit-flipped blob), bad magic, version or id mismatch
+    yield [Error] with a clear reason — never a decoder exception.
+    Version-2 blobs (pre-epoch, no integrity trailer) still load.
+    Restored state is what an honest restarted server would have — every
+    write it re-announces still carries its original client signature. *)
 
 val restore :
   ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int -> string ->
   t option
-(** Rebuild a server from {!snapshot} output; [None] on corrupt input.
-    Restored state is what an honest restarted server would have — every
-    write it re-announces still carries its original client signature. *)
+(** {!restore_result} with the reason dropped. *)
 
 val save_file : t -> path:string -> unit
-(** {!snapshot} to a file, atomically (write-then-rename). *)
+(** {!snapshot} to a file, atomically (write to [path ^ ".tmp"], then
+    rename) — a crash mid-save never clobbers the previous snapshot. *)
+
+val load_result :
+  ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int ->
+  path:string -> unit -> (t, string) result
 
 val load_file :
   ?config:config -> id:int -> keyring:Keyring.t -> n:int -> b:int ->

@@ -22,6 +22,7 @@ type event = {
   session : int;
   multi_writer : bool;
   causal : bool;
+  epoch : int;  (* config epoch the client held at emission; 0 = static *)
   phase : phase;
   kind : opkind;
   outcome : outcome option;
@@ -58,8 +59,8 @@ let next counter =
 let new_session () = next sessions
 let new_op () = next ops
 
-let record ~op ~time ~client ~session ~multi_writer ~causal ~phase ?outcome
-    ~kind ~ctx () =
+let record ~op ~time ~client ~session ~multi_writer ~causal ?(epoch = 0) ~phase
+    ?outcome ~kind ~ctx () =
   (* The sink is read and the event delivered under the lock: seq order
      is emission order even when live-transport clients race. *)
   Mutex.lock lock;
@@ -76,6 +77,7 @@ let record ~op ~time ~client ~session ~multi_writer ~causal ~phase ?outcome
         session;
         multi_writer;
         causal;
+        epoch;
         phase;
         kind;
         outcome;

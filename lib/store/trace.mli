@@ -45,6 +45,10 @@ type event = {
   session : int;  (** distinguishes reconnects of the same client *)
   multi_writer : bool;
   causal : bool;  (** CC session (MRC otherwise) *)
+  epoch : int;
+      (** config epoch version the client held at emission; 0 = static
+          deployment. Lets the oracle attribute a violation to an epoch
+          boundary and check guarantees *across* reconfigurations. *)
   phase : phase;
   kind : opkind;
   outcome : outcome option;  (** [None] on [Invoke] *)
@@ -74,6 +78,7 @@ val record :
   session:int ->
   multi_writer:bool ->
   causal:bool ->
+  ?epoch:int ->
   phase:phase ->
   ?outcome:outcome ->
   kind:opkind ->

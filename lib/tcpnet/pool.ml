@@ -748,6 +748,28 @@ let health pool =
   in
   List.sort compare (List.map snap states)
 
+(* Retire an endpoint for good (membership churn): drop its state —
+   connections, backoff, suspicion counters — and its health row. A
+   later submission to the same address starts from a clean slate, like
+   a first sighting; without eviction, suspicion state for servers no
+   longer in any active config accumulates forever. *)
+let evict pool ep =
+  let st =
+    Mutex.lock pool.lock;
+    let st = Hashtbl.find_opt pool.endpoints ep in
+    Hashtbl.remove pool.endpoints ep;
+    Mutex.unlock pool.lock;
+    st
+  in
+  match st with
+  | None -> ()
+  | Some st ->
+    Mutex.lock st.elock;
+    let conns = st.conns in
+    Mutex.unlock st.elock;
+    List.iter (fun conn -> kill_conn pool st conn) conns;
+    Store.Metrics.forget_endpoint_health st.ep_name
+
 let shutdown pool =
   Mutex.lock pool.timer.tlock;
   pool.timer.tstop <- true;

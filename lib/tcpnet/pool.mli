@@ -103,6 +103,14 @@ val current_backoff : t -> string * int -> float
 val in_flight : t -> int
 (** Requests currently registered and unanswered across the pool. *)
 
+val evict : t -> string * int -> unit
+(** Retire an endpoint for good (membership churn): close its
+    connections, drop its backoff and suspicion state, and remove its
+    {!Store.Metrics.endpoint_health} row — without this, health and
+    suspicion entries for servers no longer in any active config
+    accumulate forever. A later submission to the same address starts
+    from a clean slate. *)
+
 val shutdown : t -> unit
 (** Close every pooled connection and stop the timekeeper. The pool must
     not be used afterwards (tests only — the shared pool lives as long

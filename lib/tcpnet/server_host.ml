@@ -204,11 +204,12 @@ let gossip_loop t st ~period =
     (* One critical section for both: a write accepted between taking
        the buffer and summarizing would be advertised in [have] without
        appearing in [writes], so peers would skip pulling it. *)
-    let fresh, have =
+    let fresh, have, epoch =
       Obs.Span.with_phase "drain" (fun () ->
           with_lock st (fun () ->
               ( Store.Server.take_gossip_buffer st.sserver,
-                Store.Server.gossip_summary st.sserver )))
+                Store.Server.gossip_summary st.sserver,
+                Store.Server.epoch st.sserver )))
     in
     Obs.Span.with_phase "push" @@ fun () ->
     List.iter
@@ -217,16 +218,19 @@ let gossip_loop t st ~period =
           (match Hashtbl.find_opt backlog peer with Some w -> w | None -> [])
           @ fresh
         in
-        match pending with
-        | [] -> ()
-        | writes ->
+        match (pending, epoch) with
+        | [], None -> ()
+        | writes, _ ->
           (* Backlogged writes were accepted before this round's
-             summary was taken, so [have] still covers them. *)
+             summary was taken, so [have] still covers them. In an
+             epoch-enabled cluster, pushes fire even with nothing to
+             send: the epoch rides every push, so a peer that missed an
+             announcement catches up from here. *)
           let payload =
             Store.Payload.encode_envelope
               {
-                Store.Payload.token = None;
-                request = Store.Payload.Gossip_push { writes; have };
+                Store.Payload.token = None; epoch = 0;
+                request = Store.Payload.Gossip_push { writes; have; epoch };
               }
           in
           let host, port = peer in
@@ -320,6 +324,44 @@ let start_sharded ?(gossip_period = 1.0) ~shards ~port () =
 
 let port t = t.bound_port
 let hosted_shards t = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) t.shards [])
+
+(* Graceful departure: stop accepting new client writes on every hosted
+   shard, then synchronously push the remaining gossip backlog to the
+   peers, so the departing state is replicated before the caller
+   snapshots and stops. Bounded passes: gossip one-ways are fire-and-
+   forget, so a dead peer must not wedge the drain. *)
+let drain ?(max_passes = 10) t =
+  Hashtbl.iter
+    (fun _ st -> with_lock st (fun () -> Store.Server.begin_drain st.sserver))
+    t.shards;
+  let flush_shard st =
+    let shard = if st.tagged then Some st.sid else None in
+    let passes = ref 0 in
+    let more = ref true in
+    while !more && !passes < max_passes do
+      incr passes;
+      let writes, have, epoch =
+        with_lock st (fun () ->
+            ( Store.Server.take_gossip_buffer st.sserver,
+              Store.Server.gossip_summary st.sserver,
+              Store.Server.epoch st.sserver ))
+      in
+      match writes with
+      | [] -> more := false
+      | writes ->
+        let payload =
+          Store.Payload.encode_envelope
+            {
+              Store.Payload.token = None; epoch = 0;
+              request = Store.Payload.Gossip_push { writes; have; epoch };
+            }
+        in
+        List.iter
+          (fun (host, port) -> ignore (push_to_peer ?shard ~host ~port payload))
+          st.speers
+    done
+  in
+  Hashtbl.iter (fun _ st -> if st.speers <> [] then flush_shard st) t.shards
 
 let stop t =
   t.running <- false;

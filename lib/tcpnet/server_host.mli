@@ -65,6 +65,14 @@ val port : t -> int
 val hosted_shards : t -> int list
 (** Shard ids this host serves, ascending. *)
 
+val drain : ?max_passes:int -> t -> unit
+(** Graceful departure, the first half of a handoff: put every hosted
+    shard's server into draining mode (new client writes are denied;
+    reads, gossip and {!Store.Payload.Evidence_upgrade} still served),
+    then synchronously push the remaining gossip backlog to the peers —
+    up to [max_passes] (default 10) rounds, so a dead peer cannot wedge
+    the drain. The caller then snapshots and {!stop}s. *)
+
 val set_request_tracing : bool -> unit
 (** Whether request handling opens [server_request] spans (decode /
     verify / apply phases) when tracing is globally enabled. On by

@@ -547,7 +547,7 @@ let e8b_spurious_context () =
         ignore
           (Server.handle s ~now:0.0 ~from:(-1)
              {
-               Payload.token = None;
+               Payload.token = None; epoch = 0;
                request = Payload.Write_req { write = poisoned; await_ack = true };
              }))
       w.servers;

@@ -20,7 +20,13 @@ let key_of name =
 
 let default_clients = [ "alice"; "bob"; "carol"; "mallory" ]
 
-let make ?(n = 4) ?(b = 1) ?(guard = false) ?(clients = default_clients) () =
+(* [capacity] servers exist as processes (ids [0 .. capacity-1]); the
+   initial membership is [0 .. n-1] and the rest are standbys a
+   reconfiguration can bring in later. MAC keys cover every process so
+   a client's fast path keeps working after a membership change. *)
+let make ?(n = 4) ?(b = 1) ?capacity ?epoch_admin ?(guard = false)
+    ?(clients = default_clients) () =
+  let capacity = max n (Option.value capacity ~default:n) in
   let keyring = Store.Keyring.create () in
   List.iter
     (fun c ->
@@ -28,23 +34,28 @@ let make ?(n = 4) ?(b = 1) ?(guard = false) ?(clients = default_clients) () =
       (* Pairwise MAC secrets for the Mac_fast write path: every
          client×server pair gets a deterministic derived key, standing in
          for the session-key exchange a deployment would run. *)
-      for server = 0 to n - 1 do
+      for server = 0 to capacity - 1 do
         Store.Keyring.register_mac keyring ~client:c ~server
           (Crypto.Sha256.digest (Printf.sprintf "wk-mac!%s!%d" c server))
       done)
     clients;
   let config =
-    { (Store.Server.default_config ~n ~b) with Store.Server.malicious_client_guard = guard }
+    {
+      (Store.Server.default_config ~n ~b) with
+      Store.Server.malicious_client_guard = guard;
+      epoch_admin;
+    }
   in
   let servers =
-    Array.init n (fun id -> Store.Server.create ~config ~id ~keyring ~n ~b ())
+    Array.init capacity (fun id -> Store.Server.create ~config ~id ~keyring ~n ~b ())
   in
   { n; b; keyring; servers; hmap = Array.map Store.Server.handler servers }
 
 let wrap t i behavior = t.hmap.(i) <- Store.Faults.wrap behavior t.servers.(i)
 
 let handlers t dst ~from request =
-  if dst >= 0 && dst < t.n then t.hmap.(dst) ~now:0.0 ~from request else None
+  if dst >= 0 && dst < Array.length t.hmap then t.hmap.(dst) ~now:0.0 ~from request
+  else None
 
 let in_direct t fn = Sim.Direct.run ~handlers:(handlers t) fn
 

@@ -16,12 +16,22 @@ val key_of : string -> Crypto.Rsa.keypair
 val make :
   ?n:int ->
   ?b:int ->
+  ?capacity:int ->
+  ?epoch_admin:Crypto.Rsa.public ->
   ?guard:bool ->
   ?clients:string list ->
   unit ->
   t
 (** Fresh world; default n=4, b=1, guard off, clients
-    [alice;bob;carol;mallory] (all registered in the keyring). *)
+    [alice;bob;carol;mallory] (all registered in the keyring).
+
+    [capacity] (default [n]) creates that many server processes: ids
+    [0 .. n-1] are the initial membership and the rest are standbys a
+    config-epoch reconfiguration can bring in later. MAC keys cover
+    every process. [epoch_admin] pins the administrator's public key in
+    every server's config (announced epochs must then verify against
+    it); installing a genesis epoch is the caller's job
+    ({!Store.Server.set_epoch}). *)
 
 val wrap : t -> int -> Store.Faults.behavior -> unit
 (** Replace server [i]'s handler with a Byzantine wrapper. *)

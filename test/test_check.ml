@@ -26,6 +26,7 @@ let ev ~seq ~op ~client ?(session = 1) ~phase ~kind ?outcome ?(ctx = []) () =
     session;
     multi_writer = false;
     causal = false;
+    epoch = 0;
     phase;
     kind;
     outcome;
@@ -299,6 +300,63 @@ let test_sweep_clean () =
       (E.describe o.E.schedule)
       (O.violation_to_string (List.hd o.E.violations))
 
+(* Reconfiguration schedules: the membership transitions are drawn from
+   a separate random stream, so every non-reconfig field matches the
+   plain schedule for the same seed (old seeds keep reproducing); and
+   replaying the transitions must keep the membership valid (>= 3b+1)
+   and inside the provisioned standby capacity at every step. *)
+let test_reconfig_schedule_shape () =
+  List.iter
+    (fun seed ->
+      let base = E.schedule_of_seed seed in
+      let r = E.reconfig_schedule_of_seed seed in
+      Alcotest.(check bool) "has transitions" true (r.E.reconfigs <> []);
+      Alcotest.(check bool) "transitions time-ordered" true
+        (List.sort compare (List.map fst r.E.reconfigs)
+        = List.map fst r.E.reconfigs);
+      Alcotest.(check bool) "base draws preserved" true
+        ({ r with E.reconfigs = []; capacity = base.E.capacity } = base);
+      Alcotest.(check bool) "standbys provisioned" true (r.E.capacity >= r.E.n);
+      let members = ref (List.init r.E.n Fun.id) in
+      List.iter
+        (fun (_, rc) ->
+          let next =
+            match rc with
+            | E.Add_server s -> List.sort_uniq compare (s :: !members)
+            | E.Remove_server s -> List.filter (fun x -> x <> s) !members
+            | E.Replace_server { remove; add } ->
+              List.sort_uniq compare
+                (add :: List.filter (fun x -> x <> remove) !members)
+          in
+          Alcotest.(check bool) "membership stays >= 3b+1" true
+            (List.length next >= (3 * r.E.b) + 1);
+          Alcotest.(check bool) "members within capacity" true
+            (List.for_all (fun s -> s >= 0 && s < r.E.capacity) next);
+          members := next)
+        r.E.reconfigs)
+    [ 11; 42; 777; 1001 ]
+
+(* A churning run is still a deterministic run, and the oracle's seven
+   properties must hold across the epoch transitions (SOAK=1 widens). *)
+let test_reconfig_runs_clean () =
+  let a = E.run (E.reconfig_schedule_of_seed 7100) in
+  let b = E.run (E.reconfig_schedule_of_seed 7100) in
+  Alcotest.(check string) "reconfig history reproduces" a.E.history_digest
+    b.E.history_digest;
+  let count = if soak then 40 else 8 in
+  for i = 0 to count - 1 do
+    let out = E.run (E.reconfig_schedule_of_seed (7000 + i)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d produced work" (7000 + i))
+      true (out.E.events > 0);
+    match out.E.violations with
+    | [] -> ()
+    | v :: _ ->
+      Alcotest.failf "reconfig schedule %s violated the oracle:\n%s"
+        (E.describe out.E.schedule)
+        (O.violation_to_string v)
+  done
+
 let test_history_json_and_recording_guard () =
   let out = E.run (E.canary_schedule ~seed:3) in
   let json = Check.History.to_json out.E.history in
@@ -395,6 +453,10 @@ let () =
           Alcotest.test_case "signing modes violation-free" `Quick
             test_signing_modes_clean;
           Alcotest.test_case "sweep is violation-free" `Quick test_sweep_clean;
+          Alcotest.test_case "reconfig schedule shape" `Quick
+            test_reconfig_schedule_shape;
+          Alcotest.test_case "reconfig runs violation-free" `Quick
+            test_reconfig_runs_clean;
           Alcotest.test_case "history json + recording guard" `Quick
             test_history_json_and_recording_guard;
         ] );

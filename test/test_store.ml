@@ -244,12 +244,12 @@ let test_payload_roundtrips () =
       Payload.Write_req { write = sample_write; await_ack = true };
       Payload.Log_query { uid = u1 };
       Payload.Group_query { group = "g" };
-      Payload.Gossip_push { writes = [ sample_write; sample_write ]; have = [ (u1, Stamp.scalar 9) ] };
+      Payload.Gossip_push { writes = [ sample_write; sample_write ]; have = [ (u1, Stamp.scalar 9) ]; epoch = None };
     ]
   in
   List.iter
     (fun request ->
-      let env = { Payload.token = Some "tok"; request } in
+      let env = { Payload.token = Some "tok"; epoch = 0; request } in
       match Payload.decode_envelope (Payload.encode_envelope env) with
       | Some env' ->
         Alcotest.(check bool) "envelope roundtrip" true (env = env')
@@ -492,7 +492,7 @@ let test_cc_pulls_dependencies () =
   in
   ignore
     (Server.handle w.servers.(2) ~now:0.0 ~from:0
-       { Payload.token = None; request = Payload.Gossip_push { writes = [ x2_write ]; have = [] } });
+       { Payload.token = None; epoch = 0; request = Payload.Gossip_push { writes = [ x2_write ]; have = []; epoch = None } });
   in_world w (fun () ->
       let carol =
         connect w "carol" ~group:"g"
@@ -522,7 +522,7 @@ let test_mrc_does_not_pull_dependencies () =
   let x2_write = Option.get (Server.current_write w.servers.(0) x2) in
   ignore
     (Server.handle w.servers.(2) ~now:0.0 ~from:0
-       { Payload.token = None; request = Payload.Gossip_push { writes = [ x2_write ]; have = [] } });
+       { Payload.token = None; epoch = 0; request = Payload.Gossip_push { writes = [ x2_write ]; have = []; epoch = None } });
   in_world w (fun () ->
       let carol =
         connect w "carol" ~group:"g"
@@ -602,7 +602,7 @@ let test_forged_write_rejected_by_servers () =
   let forged = Faults.forge_write ~keyring:w.keyring ~uid ~value:"evil" ~writer:"alice" in
   (match
      Server.handle w.servers.(0) ~now:0.0 ~from:9
-       { Payload.token = None; request = Payload.Gossip_push { writes = [ forged ]; have = [] } }
+       { Payload.token = None; epoch = 0; request = Payload.Gossip_push { writes = [ forged ]; have = []; epoch = None } }
    with
   | Some Payload.Ack -> ()
   | _ -> Alcotest.fail "gossip should be acked");
@@ -677,7 +677,7 @@ let test_fork_detection () =
   let push i write =
     ignore
       (Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
-         { Payload.token = None; request = Payload.Write_req { write; await_ack = true } })
+         { Payload.token = None; epoch = 0; request = Payload.Write_req { write; await_ack = true } })
   in
   Array.iteri (fun i _ -> push i w1) w.servers;
   Array.iteri (fun i _ -> push i w2) w.servers;
@@ -709,7 +709,7 @@ let test_malicious_context_held () =
       ignore
         (Server.handle s ~now:0.0 ~from:(-1)
            {
-             Payload.token = None;
+             Payload.token = None; epoch = 0;
              request = Payload.Write_req { write = poisoned; await_ack = true };
            }))
     w.servers;
@@ -761,7 +761,7 @@ let test_guard_holds_out_of_order_gossip () =
   let push i write =
     ignore
       (Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
-         { Payload.token = None; request = Payload.Write_req { write; await_ack = true } })
+         { Payload.token = None; epoch = 0; request = Payload.Write_req { write; await_ack = true } })
   in
   (* doc arrives before dep: held. *)
   push 0 doc_write;
@@ -792,7 +792,7 @@ let test_eager_report_masked_by_vouching () =
       ignore
         (Server.handle s ~now:0.0 ~from:(-1)
            {
-             Payload.token = None;
+             Payload.token = None; epoch = 0;
              request = Payload.Write_req { write = poisoned; await_ack = true };
            }))
     w.servers;
@@ -979,8 +979,8 @@ let test_erased_write_not_readmitted () =
   ignore
     (Server.handle victim ~now:0.0 ~from:9
        {
-         Payload.token = None;
-         request = Payload.Gossip_push { writes = [ v1_write ]; have = [] };
+         Payload.token = None; epoch = 0;
+         request = Payload.Gossip_push { writes = [ v1_write ]; have = []; epoch = None };
        });
   Alcotest.(check int) "replayed v1 stays out" 1
     (List.length (Server.log_writes victim uid))
@@ -1343,7 +1343,7 @@ let test_audit_localizes_equivocation () =
   let deliver i wr =
     match
       Server.handle w.servers.(i) ~now:0.0 ~from:(-9)
-        { Payload.token = None; request = Payload.Write_req { write = wr; await_ack = true } }
+        { Payload.token = None; epoch = 0; request = Payload.Write_req { write = wr; await_ack = true } }
     with
     | Some Payload.Ack -> ()
     | _ -> Alcotest.failf "server %d rejected the write" i
@@ -1454,8 +1454,8 @@ let test_evidence_and_audit_catch_rollback () =
     ignore
       (Server.handle w.servers.(0) ~now:0.0 ~from:1
          {
-           Payload.token = None;
-           request = Payload.Gossip_push { writes = [ w2 ]; have = [] };
+           Payload.token = None; epoch = 0;
+           request = Payload.Gossip_push { writes = [ w2 ]; have = []; epoch = None };
          }));
   Alcotest.(check bool) "audit confirms repair after re-push" true
     (Audit.roots_agree w.servers)
@@ -1607,7 +1607,7 @@ let prop_mrc_monotonic =
 
 let direct_write w i write ~await_ack =
   Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
-    { Payload.token = None; request = Payload.Write_req { write; await_ack } }
+    { Payload.token = None; epoch = 0; request = Payload.Write_req { write; await_ack } }
 
 let test_server_rejects_duplicates () =
   let w = make_world () in
@@ -1618,9 +1618,21 @@ let test_server_rejects_duplicates () =
   in
   Alcotest.(check bool) "first accepted" true
     (direct_write w 0 write ~await_ack:true = Some Payload.Ack);
-  Alcotest.(check bool) "duplicate rejected" true
-    (direct_write w 0 write ~await_ack:true = Some (Payload.Denied "write rejected"));
-  Alcotest.(check int) "stored once" 1 (List.length (Server.log_writes w.servers.(0) uid))
+  (* An identical resend is a client retry after a lost ack: it must be
+     acknowledged (idempotently), not rejected, and stored only once. *)
+  Alcotest.(check bool) "identical retry acked" true
+    (direct_write w 0 write ~await_ack:true = Some Payload.Ack);
+  Alcotest.(check int) "stored once" 1 (List.length (Server.log_writes w.servers.(0) uid));
+  (* A *different* body under the same stamp is not a retry. *)
+  let forged =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "forged"
+  in
+  Alcotest.(check bool) "same-stamp different-body rejected" true
+    (direct_write w 0 forged ~await_ack:true
+    = Some (Payload.Denied "write rejected"));
+  Alcotest.(check int) "still stored once" 1
+    (List.length (Server.log_writes w.servers.(0) uid))
 
 let test_server_rejects_stamp_kind_mix () =
   let w = make_world () in
@@ -1650,7 +1662,7 @@ let test_server_ctx_seq_ordering () =
   let send r =
     Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
       {
-        Payload.token = None;
+        Payload.token = None; epoch = 0;
         request = Payload.Ctx_write { client = "alice"; group = "g"; record = r };
       }
   in
@@ -1658,7 +1670,7 @@ let test_server_ctx_seq_ordering () =
   ignore (send (record 3)) (* stale: must not overwrite *);
   let got =
     Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
-      { Payload.token = None; request = Payload.Ctx_read { client = "alice"; group = "g" } }
+      { Payload.token = None; epoch = 0; request = Payload.Ctx_read { client = "alice"; group = "g" } }
   in
   (match got with
   | Some (Payload.Ctx_reply (Some r)) -> Alcotest.(check int) "kept newest seq" 5 r.Payload.seq
@@ -1670,7 +1682,7 @@ let test_server_ctx_seq_ordering () =
   | _ -> Alcotest.fail "forged context accepted");
   match
     Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
-      { Payload.token = None; request = Payload.Ctx_read { client = "alice"; group = "g" } }
+      { Payload.token = None; epoch = 0; request = Payload.Ctx_read { client = "alice"; group = "g" } }
   with
   | Some (Payload.Ctx_reply (Some r)) -> Alcotest.(check int) "still seq 5" 5 r.Payload.seq
   | _ -> Alcotest.fail "context lost"
@@ -1764,7 +1776,7 @@ let test_snapshot_preserves_held_writes () =
   in
   ignore
     (Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
-       { Payload.token = None; request = Payload.Write_req { write = doc_write; await_ack = true } });
+       { Payload.token = None; epoch = 0; request = Payload.Write_req { write = doc_write; await_ack = true } });
   Alcotest.(check int) "held before snapshot" 1 (Server.pending_count w.servers.(0) doc);
   let config =
     { (Server.default_config ~n:4 ~b:1) with Server.malicious_client_guard = true }
@@ -1780,9 +1792,242 @@ let test_snapshot_preserves_held_writes () =
     in
     ignore
       (Server.handle restored ~now:0.0 ~from:(-1)
-         { Payload.token = None; request = Payload.Write_req { write = dep_write; await_ack = true } });
+         { Payload.token = None; epoch = 0; request = Payload.Write_req { write = dep_write; await_ack = true } });
     Alcotest.(check bool) "released after restart" true
       (Server.current_write restored doc <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Config epochs & reconfiguration                                    *)
+(* ------------------------------------------------------------------ *)
+
+let force = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let test_epoch_chain_and_codec () =
+  let admin = key_of "admin" in
+  let g = force (Config_epoch.genesis ~servers:[ 3; 0; 1; 2; 1 ] ~b:1 ()) in
+  Alcotest.(check int) "genesis version" 1 (Config_epoch.version g);
+  Alcotest.(check (list int)) "servers sorted + deduped" [ 0; 1; 2; 3 ]
+    (Config_epoch.servers g);
+  Alcotest.(check bool) "genesis validates" true (Config_epoch.validate g = Ok ());
+  Alcotest.(check bool) "too few servers refused" true
+    (match Config_epoch.genesis ~servers:[ 0; 1 ] ~b:1 () with
+    | Error _ -> true
+    | Ok _ -> false);
+  let g = Config_epoch.sign g admin in
+  Alcotest.(check bool) "signature verifies" true
+    (Config_epoch.verify g admin.Crypto.Rsa.public);
+  Alcotest.(check bool) "wrong key refused" false
+    (Config_epoch.verify g (key_of "mallory").Crypto.Rsa.public);
+  let e2 = Config_epoch.sign (force (Config_epoch.next g ~servers:[ 1; 2; 3; 4 ] ~b:1 ())) admin in
+  Alcotest.(check int) "successor version" 2 (Config_epoch.version e2);
+  Alcotest.(check bool) "chains to predecessor" true (Config_epoch.follows ~prev:g e2);
+  Alcotest.(check bool) "does not chain to itself" false
+    (Config_epoch.follows ~prev:e2 e2);
+  (* The digest covers every field but the signature: flipping the fault
+     bound invalidates the admin signature. *)
+  Alcotest.(check bool) "tamper breaks signature" false
+    (Config_epoch.verify { e2 with Config_epoch.b = 0 } admin.Crypto.Rsa.public);
+  (* Wire round-trip preserves the chain and the signature. *)
+  match Config_epoch.of_string (Config_epoch.to_string e2) with
+  | None -> Alcotest.fail "codec round-trip failed"
+  | Some back ->
+    Alcotest.(check bool) "round-trip equal" true (back = e2);
+    Alcotest.(check bool) "round-trip still chains" true
+      (Config_epoch.follows ~prev:g back);
+    Alcotest.(check bool) "garbage decodes to None" true
+      (Config_epoch.of_string "not an epoch" = None)
+
+(* A server with an installed epoch answers requests from a superseded
+   epoch with [Stale_epoch], piggybacking the newer config — except
+   membership traffic, which is the repair channel itself. *)
+let test_epoch_stale_gate () =
+  let w = make_world () in
+  let g = force (Config_epoch.genesis ~servers:[ 0; 1; 2; 3 ] ~b:1 ()) in
+  Server.set_epoch w.servers.(0) g;
+  Alcotest.(check int) "installed" 1 (Server.epoch_version w.servers.(0));
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "v"
+  in
+  let env epoch request = { Payload.token = None; epoch; request } in
+  let handle e = Server.handle w.servers.(0) ~now:0.0 ~from:(-1) e in
+  (* A pre-epoch (version 0) envelope is superseded. *)
+  (match handle (env 0 (Payload.Write_req { write; await_ack = true })) with
+  | Some (Payload.Stale_epoch cur) ->
+    Alcotest.(check int) "piggybacked config" 1 (Config_epoch.version cur)
+  | _ -> Alcotest.fail "expected Stale_epoch");
+  Alcotest.(check bool) "nothing stored" true
+    (Server.current_write w.servers.(0) uid = None);
+  (* The same request at the current epoch is served. *)
+  Alcotest.(check bool) "current-epoch write accepted" true
+    (handle (env 1 (Payload.Write_req { write; await_ack = true }))
+    = Some Payload.Ack);
+  (match handle (env 1 (Payload.Read_inline { uid })) with
+  | Some (Payload.Value_reply (Some stored)) ->
+    Alcotest.(check string) "readable" "v" stored.Payload.value
+  | _ -> Alcotest.fail "read failed at current epoch");
+  (* Epoch discovery is never gated: that is how laggards repair. *)
+  match handle (env 0 Payload.Epoch_get) with
+  | Some (Payload.Epoch_reply (Some e)) ->
+    Alcotest.(check int) "discovery answers" 1 (Config_epoch.version e)
+  | _ -> Alcotest.fail "Epoch_get was gated"
+
+(* The announced-transition rule: direct successors must hash-chain;
+   version jumps are accepted on the admin signature alone; anything
+   unsigned, older, or mis-chained is refused; and adopting an epoch
+   that drops this server starts its drain. *)
+let test_epoch_adoption_rules () =
+  let admin = key_of "admin" in
+  let config =
+    { (Server.default_config ~n:4 ~b:1) with
+      Server.epoch_admin = Some admin.Crypto.Rsa.public
+    }
+  in
+  let w = make_world ~server_config:config () in
+  let s = w.servers.(0) in
+  let g =
+    Config_epoch.sign (force (Config_epoch.genesis ~servers:[ 0; 1; 2; 3 ] ~b:1 ())) admin
+  in
+  Server.set_epoch s g;
+  let e2 = force (Config_epoch.next g ~servers:[ 0; 1; 2; 3; 4 ] ~b:1 ()) in
+  Alcotest.(check bool) "unsigned refused" true
+    (Server.try_adopt_epoch s e2 = Error "epoch not signed by admin");
+  let e2 = Config_epoch.sign e2 admin in
+  Alcotest.(check bool) "signed successor adopted" true
+    (Server.try_adopt_epoch s e2 = Ok ());
+  Alcotest.(check int) "at version 2" 2 (Server.epoch_version s);
+  Alcotest.(check bool) "replayed older epoch refused" true
+    (Server.try_adopt_epoch s g = Error "epoch not newer");
+  (* A version-3 epoch chained to a *different* version-2 epoch: signed,
+     but it does not follow what this server holds. *)
+  let alt2 = force (Config_epoch.next g ~servers:[ 0; 1; 2; 3 ] ~b:1 ()) in
+  let forked = Config_epoch.sign (force (Config_epoch.next alt2 ~servers:[ 0; 1; 2; 3 ] ~b:1 ())) admin in
+  Alcotest.(check bool) "mis-chained successor refused" true
+    (Server.try_adopt_epoch s forked
+    = Error "epoch does not chain to predecessor");
+  Alcotest.(check int) "still at version 2" 2 (Server.epoch_version s);
+  (* A version jump (2 -> 4, e.g. after missing an announcement) is
+     accepted on the admin signature alone. *)
+  let e3 = Config_epoch.sign (force (Config_epoch.next e2 ~servers:[ 0; 1; 2; 3; 4 ] ~b:1 ())) admin in
+  let e4 = Config_epoch.sign (force (Config_epoch.next e3 ~servers:[ 0; 1; 2; 3; 4 ] ~b:1 ())) admin in
+  Alcotest.(check bool) "signed version jump adopted" true
+    (Server.try_adopt_epoch s e4 = Ok ());
+  Alcotest.(check int) "at version 4" 4 (Server.epoch_version s);
+  Alcotest.(check bool) "still serving" false (Server.draining s);
+  (* An epoch that drops this server from the membership drains it. *)
+  let e5 = Config_epoch.sign (force (Config_epoch.next e4 ~servers:[ 1; 2; 3; 4 ] ~b:1 ())) admin in
+  Alcotest.(check bool) "departure adopted" true (Server.try_adopt_epoch s e5 = Ok ());
+  Alcotest.(check bool) "draining after departure" true (Server.draining s)
+
+(* A draining server refuses new client writes but keeps serving reads,
+   so departing replicas stay useful while their state drains out. *)
+let test_drain_denies_new_writes () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let before =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "kept"
+  in
+  Alcotest.(check bool) "write before drain" true
+    (direct_write w 0 before ~await_ack:true = Some Payload.Ack);
+  Server.begin_drain w.servers.(0);
+  let after =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 6) "refused"
+  in
+  Alcotest.(check bool) "new write denied" true
+    (direct_write w 0 after ~await_ack:true
+    = Some (Payload.Denied "draining"));
+  match
+    Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+      { Payload.token = None; epoch = 0; request = Payload.Read_inline { uid } }
+  with
+  | Some (Payload.Value_reply (Some stored)) ->
+    Alcotest.(check string) "reads still served" "kept" stored.Payload.value
+  | _ -> Alcotest.fail "draining server stopped serving reads"
+
+(* Graceful departure round-trip: a drained server's snapshot carries
+   its epoch and drain flag, and no acknowledged write is lost across
+   the save/restart. *)
+let test_drain_restart_preserves_writes () =
+  let admin = key_of "admin" in
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "survives"
+  in
+  Alcotest.(check bool) "acked" true
+    (direct_write w 0 write ~await_ack:true = Some Payload.Ack);
+  let e =
+    Config_epoch.sign (force (Config_epoch.genesis ~servers:[ 0; 1; 2; 3 ] ~b:1 ())) admin
+  in
+  Server.set_epoch w.servers.(0) e;
+  Server.begin_drain w.servers.(0);
+  let path = Filename.temp_file "securestore" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Server.save_file w.servers.(0) ~path;
+      match Server.load_result ~id:0 ~keyring:w.keyring ~n:4 ~b:1 ~path () with
+      | Error msg -> Alcotest.failf "reload failed: %s" msg
+      | Ok restored ->
+        Alcotest.(check int) "epoch survives restart" 1
+          (Server.epoch_version restored);
+        Alcotest.(check bool) "drain flag survives restart" true
+          (Server.draining restored);
+        (match Server.current_write restored uid with
+        | Some stored ->
+          Alcotest.(check string) "no write lost" "survives" stored.Payload.value
+        | None -> Alcotest.fail "acknowledged write lost across drain-restart"))
+
+(* Crash-safety of the snapshot file format itself: a truncated or
+   bit-flipped blob is refused with a clear reason, never loaded as
+   silently wrong state and never a decoder crash. *)
+let test_snapshot_corruption_rejected () =
+  let w = make_world () in
+  let uid = Uid.make ~group:"g" ~item:"x" in
+  let write =
+    Signing.sign_write ~key:(key_of "alice") ~writer:"alice" ~uid
+      ~stamp:(Stamp.scalar 5) "v"
+  in
+  ignore (direct_write w 0 write ~await_ack:true);
+  let blob = Server.snapshot w.servers.(0) in
+  let expect_corrupt label blob =
+    match Server.restore_result ~id:0 ~keyring:w.keyring ~n:4 ~b:1 blob with
+    | Ok _ -> Alcotest.failf "%s: corrupt snapshot loaded" label
+    | Error msg ->
+      Alcotest.(check bool)
+        (label ^ " refused with a clear reason")
+        true
+        (String.length msg >= 16 && String.sub msg 0 16 = "corrupt snapshot")
+  in
+  Alcotest.(check bool) "intact blob loads" true
+    (Result.is_ok (Server.restore_result ~id:0 ~keyring:w.keyring ~n:4 ~b:1 blob));
+  (* Truncation: a crash mid-write leaves a short file. *)
+  expect_corrupt "truncated" (String.sub blob 0 (String.length blob / 2));
+  expect_corrupt "trailer cut" (String.sub blob 0 (String.length blob - 1));
+  (* A single flipped byte in the middle fails the integrity trailer. *)
+  let flipped = Bytes.of_string blob in
+  let mid = Bytes.length flipped / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+  expect_corrupt "bit flip" (Bytes.to_string flipped);
+  (* And via the file path used by the real server binary. *)
+  let path = Filename.temp_file "securestore" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc (String.sub blob 0 (String.length blob / 3));
+      close_out oc;
+      match Server.load_result ~id:0 ~keyring:w.keyring ~n:4 ~b:1 ~path () with
+      | Ok _ -> Alcotest.fail "truncated file loaded"
+      | Error msg ->
+        Alcotest.(check bool) "file load refused" true
+          (String.length msg >= 16 && String.sub msg 0 16 = "corrupt snapshot"))
 
 (* Keytree + Confidential integration: the section 5.2 story for shared
    readers. The owner manages the reader group with an LKH key tree;
@@ -2068,7 +2313,7 @@ let mac_write_exn w ~writer ~item ~stamp value =
 let send_upgrade w i (mw : Payload.write) evidence =
   Server.handle w.servers.(i) ~now:0.0 ~from:(-1)
     {
-      Payload.token = None;
+      Payload.token = None; epoch = 0;
       request =
         Payload.Evidence_upgrade
           {
@@ -2095,8 +2340,9 @@ let test_mac_write_held_and_upgraded () =
   Alcotest.(check bool) "invisible to reads" true
     (Server.current_write w.servers.(0) uid = None);
   Alcotest.(check int) "held in mac slot" 1 (Server.maced_count w.servers.(0) uid);
-  Alcotest.(check bool) "duplicate mac rejected" true
-    (direct_write w 0 mw ~await_ack:true = Some (Payload.Denied "write rejected"));
+  Alcotest.(check bool) "identical mac retry acked" true
+    (direct_write w 0 mw ~await_ack:true = Some Payload.Ack);
+  Alcotest.(check int) "held once" 1 (Server.maced_count w.servers.(0) uid);
   match batch_evidence_of ~key:(key_of "alice") [ mw ] with
   | [ upgraded ] ->
     (* Bad evidence cannot announce the write, and the hold survives so a
@@ -2180,8 +2426,8 @@ let test_mac_evidence_not_gossipable () =
   (match
      Server.handle w.servers.(0) ~now:0.0 ~from:9
        {
-         Payload.token = None;
-         request = Payload.Gossip_push { writes = [ mw ]; have = [] };
+         Payload.token = None; epoch = 0;
+         request = Payload.Gossip_push { writes = [ mw ]; have = []; epoch = None };
        }
    with
   | Some Payload.Ack -> ()
@@ -2210,7 +2456,7 @@ let test_snapshot_preserves_maced () =
       (match
          Server.handle restored ~now:0.0 ~from:(-1)
            {
-             Payload.token = None;
+             Payload.token = None; epoch = 0;
              request =
                Payload.Evidence_upgrade
                  {
@@ -2441,6 +2687,17 @@ let () =
           Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
           Alcotest.test_case "save/load file" `Quick test_save_load_file;
           Alcotest.test_case "held writes survive" `Quick test_snapshot_preserves_held_writes;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_snapshot_corruption_rejected;
+        ] );
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "epoch chain + codec" `Quick test_epoch_chain_and_codec;
+          Alcotest.test_case "stale-epoch gate" `Quick test_epoch_stale_gate;
+          Alcotest.test_case "adoption rules" `Quick test_epoch_adoption_rules;
+          Alcotest.test_case "drain denies writes" `Quick test_drain_denies_new_writes;
+          Alcotest.test_case "drain restart keeps writes" `Quick
+            test_drain_restart_preserves_writes;
         ] );
       ( "partition",
         [ Alcotest.test_case "split and heal" `Quick test_partition_and_heal ] );

@@ -147,7 +147,7 @@ let test_gossip_over_tcp () =
   in
   let payload =
     Store.Payload.encode_envelope
-      { Store.Payload.token = None; request = Store.Payload.Gossip_push { writes = [ w ]; have = [] } }
+      { Store.Payload.token = None; epoch = 0; request = Store.Payload.Gossip_push { writes = [ w ]; have = []; epoch = None } }
   in
   let host, port = eps.(2) in
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -173,7 +173,7 @@ let test_gossip_over_tcp () =
 let meta_query_payload =
   Store.Payload.encode_envelope
     {
-      Store.Payload.token = None;
+      Store.Payload.token = None; epoch = 0;
       request =
         Store.Payload.Meta_query { uid = Store.Uid.make ~group:"net" ~item:"x" };
     }
@@ -496,7 +496,7 @@ let test_gossip_requeue_dead_peer () =
   let payload =
     Store.Payload.encode_envelope
       {
-        Store.Payload.token = None;
+        Store.Payload.token = None; epoch = 0;
         request = Store.Payload.Write_req { write = w; await_ack = true };
       }
   in
@@ -589,6 +589,63 @@ let test_pool_health_suspicion () =
     Alcotest.(check (float 1e-9)) "suspicion cleared" 0. h.Tcpnet.Pool.down_until
   | hs -> Alcotest.failf "expected one endpoint, got %d" (List.length hs));
   Tcpnet.Server_host.stop host;
+  Tcpnet.Pool.shutdown pool
+
+(* Membership churn retires endpoints for good: eviction closes pooled
+   connections, clears backoff/suspicion state and removes the health
+   row (pool-local and in Store.Metrics) — and a later submission to the
+   same address starts from a clean slate instead of sitting out a stale
+   suspicion window inherited from the departed server. *)
+let test_pool_evict () =
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  let server = Store.Server.create ~id:0 ~keyring ~n:1 ~b:0 () in
+  let host1 = Tcpnet.Server_host.start ~server ~port:0 () in
+  let port = Tcpnet.Server_host.port host1 in
+  let ep = ("127.0.0.1", port) in
+  (* A suspicion window far longer than the test: were eviction to leak
+     it, the post-churn call below would fail fast rather than land. *)
+  let pool =
+    Tcpnet.Pool.create ~suspect_after:2 ~suspect_base:30.0 ~suspect_max:30.0 ()
+  in
+  (match Tcpnet.Pool.call pool ~timeout:2.0 ep meta_query_payload with
+  | Tcpnet.Pool.Reply _ -> ()
+  | _ -> Alcotest.fail "first call should succeed");
+  Alcotest.(check bool) "connection pooled" true
+    (Tcpnet.Pool.connection_count pool ep >= 1);
+  (* The server departs; unanswered calls drive the endpoint into
+     suspicion, exactly what a decommissioned address looks like. *)
+  Tcpnet.Server_host.stop host1;
+  for _ = 1 to 3 do
+    ignore (Tcpnet.Pool.call pool ~timeout:0.1 ep meta_query_payload)
+  done;
+  (match Tcpnet.Pool.health pool with
+  | [ h ] ->
+    Alcotest.(check bool) "suspected before eviction" true
+      (h.Tcpnet.Pool.down_until > Unix.gettimeofday ())
+  | hs -> Alcotest.failf "expected one endpoint, got %d" (List.length hs));
+  let metrics_row () =
+    List.exists
+      (fun (h : Store.Metrics.endpoint_health) ->
+        h.endpoint = Printf.sprintf "127.0.0.1:%d" port)
+      (Store.Metrics.endpoint_health ())
+  in
+  Alcotest.(check bool) "metrics row before eviction" true (metrics_row ());
+  Tcpnet.Pool.evict pool ep;
+  Alcotest.(check int) "connections closed" 0
+    (Tcpnet.Pool.connection_count pool ep);
+  Alcotest.(check int) "health row removed" 0
+    (List.length (Tcpnet.Pool.health pool));
+  Alcotest.(check bool) "metrics row removed" false (metrics_row ());
+  Alcotest.(check (float 1e-9)) "backoff cleared" 0.
+    (Tcpnet.Pool.current_backoff pool ep);
+  (* A joining server reuses the address: with the old suspicion gone,
+     traffic lands immediately instead of failing fast for 30 s. *)
+  let host2 = Tcpnet.Server_host.start ~server ~port () in
+  (match Tcpnet.Pool.call pool ~timeout:2.0 ep meta_query_payload with
+  | Tcpnet.Pool.Reply _ -> ()
+  | _ -> Alcotest.fail "evicted endpoint should start from a clean slate");
+  Tcpnet.Server_host.stop host2;
   Tcpnet.Pool.shutdown pool
 
 (* Context reconstruction over the live transport: a session that dies
@@ -823,6 +880,7 @@ let () =
             test_gossip_requeue_dead_peer;
           soak_case "pool health and suspicion" `Quick
             test_pool_health_suspicion;
+          Alcotest.test_case "evict retires endpoint" `Quick test_pool_evict;
           Alcotest.test_case "live context reconstruction" `Quick
             test_live_context_reconstruction;
           Alcotest.test_case "hostile frames" `Quick test_frame_hostile_inputs;

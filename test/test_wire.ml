@@ -103,7 +103,7 @@ let prop_envelope_bitflip =
       let uid = Store.Uid.make ~group:"g" ~item:"x" in
       let env =
         {
-          Store.Payload.token = Some "token";
+          Store.Payload.token = Some "token"; epoch = 0;
           request =
             Store.Payload.Write_req
               {
