@@ -19,7 +19,8 @@
 open Cmdliner
 
 let run id port n b clients guard log_depth peers gossip_period snapshot
-    snapshot_period stats_period metrics_port shards shards_total drain =
+    snapshot_period stats_period metrics_port shards shards_total drain
+    epoch_admin =
   let shard_ids =
     match shards with
     | "" -> []
@@ -44,6 +45,12 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
       (Store.Server.default_config ~n ~b) with
       Store.Server.malicious_client_guard = guard;
       log_depth;
+      (* Without this key the server refuses every announced epoch
+         transition — membership changes need an administrator. *)
+      epoch_admin =
+        Option.map
+          (fun name -> (Keys.keypair name).Crypto.Rsa.public)
+          epoch_admin;
     }
   in
   (* A long-term store survives restarts: reload the last snapshot if one
@@ -347,10 +354,17 @@ let cmd =
                    snapshot, exit. SIGTERM does the same to a running \
                    server.")
   in
+  let epoch_admin =
+    Arg.(value & opt (some string) None
+         & info [ "epoch-admin" ]
+             ~doc:"Name of the cluster administrator whose (demo-derived) \
+                   key signs config epochs. Announced membership changes \
+                   are refused unless this is set.")
+  in
   Cmd.v
     (Cmd.info "store_server" ~doc:"Secure distributed store server (DSN 2001 reproduction)")
     Term.(const run $ id $ port $ n $ b $ clients $ guard $ log_depth $ peers $ gossip_period
           $ snapshot $ snapshot_period $ stats_period $ metrics_port $ shards $ shards_total
-          $ drain)
+          $ drain $ epoch_admin)
 
 let () = exit (Cmd.eval cmd)

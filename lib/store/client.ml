@@ -122,24 +122,26 @@ let active_servers t =
   match t.epoch with Some e -> e.Config_epoch.servers | None -> t.cfg.servers
 
 (* Adopt a server-offered epoch if it is strictly newer and carries the
-   administrator's signature (when one is pinned). Clients accept any
-   newer signed epoch without the hash-chain check — a session may lag
-   arbitrarily many transitions, and the signature is the authority. *)
+   administrator's signature. With no pinned admin key the session is a
+   static deployment and epochs are ignored entirely: adopting an
+   unverifiable epoch would let a single Byzantine server replace the
+   whole server set (and fault bound) mid-session with one forged
+   [Stale_epoch]. Clients accept any newer signed epoch without the
+   hash-chain check — a session may lag arbitrarily many transitions,
+   and the signature is the authority. *)
 let try_adopt_epoch t (e : Config_epoch.t) =
-  let signed_ok =
-    match t.cfg.epoch_admin with
-    | Some pub -> Config_epoch.verify e pub
-    | None -> true
-  in
-  if
-    e.Config_epoch.version > epoch_version t
-    && signed_ok
-    && Result.is_ok (Config_epoch.validate e)
-  then begin
-    t.epoch <- Some e;
-    Metrics.set_epoch_version e.Config_epoch.version;
-    Metrics.incr_epoch_transition ()
-  end
+  match t.cfg.epoch_admin with
+  | None -> ()
+  | Some pub ->
+    if
+      e.Config_epoch.version > epoch_version t
+      && Config_epoch.verify e pub
+      && Result.is_ok (Config_epoch.validate e)
+    then begin
+      t.epoch <- Some e;
+      Metrics.set_epoch_version e.Config_epoch.version;
+      Metrics.incr_epoch_transition ()
+    end
 
 let pp_error fmt = function
   | No_quorum { wanted; got } ->
@@ -977,16 +979,20 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
   (* Epoch discovery, for dynamic-membership deployments (an admin key
      is pinned): ask the configured bootstrap servers which config epoch
      is live and adopt the newest validly signed answer. One valid reply
-     suffices — the signature, not a quorum, is the authority — and a
-     missed newer epoch self-corrects on the first [Stale_epoch]. *)
+     suffices — the signature, not a quorum, is the authority — but
+     waiting for all n would stall every connect behind a single crashed
+     bootstrap server for the full timeout, so wait for n - b (always
+     reachable with at most b faulty). A newer epoch missed here
+     self-corrects on the first [Stale_epoch]. *)
   if cfg.epoch_admin <> None then
     Obs.Span.with_phase "epoch_discovery" (fun () ->
+        let quorum = max 1 (List.length cfg.servers - cfg.b) in
         List.iter
           (fun (_, resp) ->
             match resp with
             | Payload.Epoch_reply (Some e) -> try_adopt_epoch t e
             | _ -> ())
-          (rpc t ~quorum:(List.length cfg.servers) cfg.servers Payload.Epoch_get));
+          (rpc t ~quorum cfg.servers Payload.Epoch_get));
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Connect;
   let finish recovery =

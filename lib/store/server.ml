@@ -370,52 +370,64 @@ let reannounce_for_bootstrap t =
     writes;
   t.gossip_buffer <- writes @ t.gossip_buffer
 
-(* Adopt [e] if it is trustworthy and strictly newer. A configured
-   server insists on direct hash-chain succession when the version is
+(* Adopt [e] if it is trustworthy and strictly newer. Epochs arrive on
+   unauthenticated channels (gossip pushes carry no token and the
+   membership requests are epoch-exempt), so without a configured admin
+   key every transition is refused — trusting an unverifiable epoch
+   would let anyone who can reach the port push a config that excludes
+   this server and flip it into draining, a denial of service that the
+   snapshot would then persist across restarts. A configured server
+   insists on direct hash-chain succession when the version is
    current + 1 — the admin applies transitions one at a time, and a
    forked chain breaks exactly here. A server that has fallen behind
    (crashed through announcements) accepts a version jump on the admin
    signature alone; the chain remains auditable by whoever saw the
    intermediate epochs. *)
 let try_adopt_epoch t (e : Config_epoch.t) =
-  let signed_ok =
-    match t.config.epoch_admin with
-    | Some pub -> Config_epoch.verify e pub
-    | None -> true (* no admin key configured: trust the announcement *)
-  in
-  match Config_epoch.validate e with
-  | Error msg -> Error msg
-  | Ok () ->
-    if not signed_ok then Error "epoch not signed by admin"
-    else begin
-      match t.epoch with
-      | Some cur when e.Config_epoch.version <= cur.Config_epoch.version ->
-        Error "epoch not newer"
-      | Some cur
-        when e.Config_epoch.version = cur.Config_epoch.version + 1
-             && not (Config_epoch.follows ~prev:cur e) ->
-        Error "epoch does not chain to predecessor"
-      | cur ->
-        t.epoch <- Some e;
-        Metrics.incr_epoch_transition ();
-        Metrics.set_epoch_version e.Config_epoch.version;
-        let joined =
-          match cur with
-          | None -> []
-          | Some prev ->
-            List.filter
-              (fun s -> not (Config_epoch.member prev s))
-              e.Config_epoch.servers
-        in
-        if Config_epoch.member e t.id then begin
-          if joined <> [] then reannounce_for_bootstrap t
-        end
-        else
-          (* We are not in the new membership: drain. Reads and
-             evidence upgrades continue; new writes are refused. *)
-          t.draining <- true;
-        Ok ()
-    end
+  match t.config.epoch_admin with
+  | None -> Error "no admin key"
+  | Some pub -> (
+    match Config_epoch.validate e with
+    | Error msg -> Error msg
+    | Ok () ->
+      if not (Config_epoch.verify e pub) then Error "epoch not signed by admin"
+      else begin
+        match t.epoch with
+        | Some cur when e.Config_epoch.version <= cur.Config_epoch.version ->
+          Error "epoch not newer"
+        | Some cur
+          when e.Config_epoch.version = cur.Config_epoch.version + 1
+               && not (Config_epoch.follows ~prev:cur e) ->
+          Error "epoch does not chain to predecessor"
+        | cur ->
+          t.epoch <- Some e;
+          Metrics.incr_epoch_transition ();
+          Metrics.set_epoch_version e.Config_epoch.version;
+          let joined =
+            match cur with
+            | None -> []
+            | Some prev ->
+              List.filter
+                (fun s -> not (Config_epoch.member prev s))
+                e.Config_epoch.servers
+          in
+          if Config_epoch.member e t.id then begin
+            if t.draining then begin
+              (* Removed in an earlier epoch, re-added here: return to
+                 service. Re-announce unconditionally — writes may have
+                 been missed while draining, and the drain-era state
+                 must reach the current members either way. *)
+              t.draining <- false;
+              reannounce_for_bootstrap t
+            end
+            else if joined <> [] then reannounce_for_bootstrap t
+          end
+          else
+            (* We are not in the new membership: drain. Reads and
+               evidence upgrades continue; new writes are refused. *)
+            t.draining <- true;
+          Ok ()
+      end)
 
 (* Server-to-server and membership traffic is never epoch-gated:
    gossip must flow between epochs (it is how joiners bootstrap and
@@ -452,7 +464,12 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
         Some (Payload.Ctx_reply (Hashtbl.find_opt t.contexts (client, group))))
   | Payload.Ctx_write { client; group; record } ->
     auth ~expect_client:client ~group ~op:`Write (fun () ->
-        if not (Signing.server_verify_context t.keyring ~client ~group record)
+        if t.draining then
+          (* Contexts are not gossiped on the write path, so a record
+             stored on a departing server would be lost at handoff; the
+             client lands it on the current epoch's members instead. *)
+          Some (Payload.Denied "draining")
+        else if not (Signing.server_verify_context t.keyring ~client ~group record)
         then Some (Payload.Denied "bad context signature")
         else begin
           let fresher =

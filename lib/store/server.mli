@@ -25,9 +25,13 @@ type config = {
           oldest dropped beyond this *)
   auth : Access_control.service option;
   epoch_admin : Crypto.Rsa.public option;
-      (** the cluster administrator's public key; when set, announced
-          config epochs ({!Payload.Epoch_announce}) must verify against
-          it. [None] = trust any structurally valid epoch (tests). *)
+      (** the cluster administrator's public key; announced config
+          epochs ({!Payload.Epoch_announce}, gossip piggybacks) must
+          verify against it. [None] = static deployment: every epoch
+          transition is refused ([Error "no admin key"]) — epochs
+          arrive on unauthenticated channels, so an unverifiable one
+          could drain this server off the membership. Bootstrap
+          installs ({!set_epoch}) are unaffected. *)
 }
 
 val default_config : n:int -> b:int -> config
@@ -59,20 +63,26 @@ val set_epoch : t -> Config_epoch.t -> unit
     {!try_adopt_epoch} for announced transitions. *)
 
 val try_adopt_epoch : t -> Config_epoch.t -> (unit, string) result
-(** The announced-transition rule: the epoch must be structurally valid,
-    admin-signed when {!config.epoch_admin} is set, and strictly newer
-    than the current one; a direct successor (version + 1) must also
-    hash-chain to the current epoch ({!Config_epoch.follows}), while a
-    bigger jump is accepted on the signature alone (laggard catch-up).
-    On adoption: if servers joined and this server remains a member, its
-    full write-set is re-announced into gossip for their bootstrap; if
-    this server is no longer a member, it starts draining. *)
+(** The announced-transition rule: {!config.epoch_admin} must be
+    configured (otherwise every transition is [Error "no admin key"]),
+    and the epoch must be structurally valid, admin-signed, and
+    strictly newer than the current one; a direct successor
+    (version + 1) must also hash-chain to the current epoch
+    ({!Config_epoch.follows}), while a bigger jump is accepted on the
+    signature alone (laggard catch-up). On adoption: if servers joined
+    and this server remains a member, its full write-set is
+    re-announced into gossip for their bootstrap; if this server is no
+    longer a member, it starts draining; if it was draining and the
+    new epoch re-admits it, the drain is cleared and its state
+    re-announced. *)
 
 val draining : t -> bool
 val begin_drain : t -> unit
-(** A draining server denies new client writes ([Denied "draining"]) but
-    keeps serving reads, gossip, and {!Payload.Evidence_upgrade} — held
-    MAC-fast writes must still escalate out before handoff. *)
+(** A draining server denies new client writes — both data
+    ({!Payload.Write_req}) and context records ({!Payload.Ctx_write}),
+    each with [Denied "draining"], since neither would survive handoff —
+    but keeps serving reads, gossip, and {!Payload.Evidence_upgrade} —
+    held MAC-fast writes must still escalate out before handoff. *)
 
 val handle : t -> now:float -> from:Sim.Runtime.node_id -> Payload.envelope -> Payload.response option
 (** Core request dispatch (typed). *)

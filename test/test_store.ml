@@ -1920,7 +1920,64 @@ let test_epoch_adoption_rules () =
   (* An epoch that drops this server from the membership drains it. *)
   let e5 = Config_epoch.sign (force (Config_epoch.next e4 ~servers:[ 1; 2; 3; 4 ] ~b:1 ())) admin in
   Alcotest.(check bool) "departure adopted" true (Server.try_adopt_epoch s e5 = Ok ());
-  Alcotest.(check bool) "draining after departure" true (Server.draining s)
+  Alcotest.(check bool) "draining after departure" true (Server.draining s);
+  (* Re-admission in a later epoch clears the drain — a remove-then-
+     re-add cycle must not leave the server permanently write-refusing
+     (the flag is persisted in snapshots, so it would even survive
+     restarts). *)
+  let e6 = Config_epoch.sign (force (Config_epoch.next e5 ~servers:[ 0; 1; 2; 3; 4 ] ~b:1 ())) admin in
+  Alcotest.(check bool) "re-admission adopted" true
+    (Server.try_adopt_epoch s e6 = Ok ());
+  Alcotest.(check bool) "drain cleared on rejoin" false (Server.draining s)
+
+(* Epochs travel over unauthenticated channels (gossip has no token,
+   announcements are epoch-exempt), so a server with no pinned admin
+   key must refuse every announced transition — otherwise anyone who
+   can reach the port could push a config excluding the server and flip
+   it into draining, with the flag persisted across restarts. *)
+let test_epoch_requires_admin_key () =
+  let w = make_world () in
+  let s = w.servers.(0) in
+  let admin = key_of "admin" in
+  let e =
+    Config_epoch.sign (force (Config_epoch.genesis ~servers:[ 1; 2; 3; 4 ] ~b:1 ())) admin
+  in
+  Alcotest.(check bool) "direct adoption refused" true
+    (Server.try_adopt_epoch s e = Error "no admin key");
+  (match
+     Server.handle s ~now:0.0 ~from:(-1)
+       { Payload.token = None; epoch = 0; request = Payload.Epoch_announce e }
+   with
+  | Some (Payload.Denied "no admin key") -> ()
+  | _ -> Alcotest.fail "announcement was not refused");
+  (* The gossip piggyback is the same unauthenticated channel. *)
+  ignore
+    (Server.handle s ~now:0.0 ~from:1
+       {
+         Payload.token = None; epoch = 0;
+         request = Payload.Gossip_push { writes = []; have = []; epoch = Some e };
+       });
+  Alcotest.(check int) "no epoch installed" 0 (Server.epoch_version s);
+  Alcotest.(check bool) "not draining" false (Server.draining s)
+
+(* A client with no pinned admin key is a static deployment: a single
+   Byzantine server's [Stale_epoch] must not replace its server set and
+   fault bound. Server 0 claims a fabricated membership of just itself;
+   the client must ignore it and keep its quorum math over the
+   configured servers. *)
+let test_client_ignores_epoch_without_admin_key () =
+  let w = make_world () in
+  let evil = force (Config_epoch.genesis ~servers:[ 0 ] ~b:0 ()) in
+  Server.set_epoch w.servers.(0) evil;
+  in_world w (fun () ->
+      let alice = connect w "alice" ~group:"g" in
+      Alcotest.(check bool) "no epoch adopted at connect" true
+        (Client.epoch alice = None);
+      ok (Client.write alice ~item:"x" "v1");
+      Alcotest.(check bool) "no epoch adopted mid-session" true
+        (Client.epoch alice = None);
+      Alcotest.(check string) "reads use the real quorum" "v1"
+        (ok (Client.read alice ~item:"x")))
 
 (* A draining server refuses new client writes but keeps serving reads,
    so departing replicas stay useful while their state drains out. *)
@@ -1941,6 +1998,21 @@ let test_drain_denies_new_writes () =
   Alcotest.(check bool) "new write denied" true
     (direct_write w 0 after ~await_ack:true
     = Some (Payload.Denied "draining"));
+  (* Context records are not gossiped on the write path, so one stored
+     on a departing server would be lost at handoff: also denied. *)
+  let record =
+    Signing.sign_context ~key:(key_of "alice") ~client:"alice" ~group:"g"
+      ~seq:1 Context.empty
+  in
+  (match
+     Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
+       {
+         Payload.token = None; epoch = 0;
+         request = Payload.Ctx_write { client = "alice"; group = "g"; record };
+       }
+   with
+  | Some (Payload.Denied "draining") -> ()
+  | _ -> Alcotest.fail "context write accepted while draining");
   match
     Server.handle w.servers.(0) ~now:0.0 ~from:(-1)
       { Payload.token = None; epoch = 0; request = Payload.Read_inline { uid } }
@@ -2695,6 +2767,10 @@ let () =
           Alcotest.test_case "epoch chain + codec" `Quick test_epoch_chain_and_codec;
           Alcotest.test_case "stale-epoch gate" `Quick test_epoch_stale_gate;
           Alcotest.test_case "adoption rules" `Quick test_epoch_adoption_rules;
+          Alcotest.test_case "no admin key refuses epochs" `Quick
+            test_epoch_requires_admin_key;
+          Alcotest.test_case "client ignores epochs without admin key" `Quick
+            test_client_ignores_epoch_without_admin_key;
           Alcotest.test_case "drain denies writes" `Quick test_drain_denies_new_writes;
           Alcotest.test_case "drain restart keeps writes" `Quick
             test_drain_restart_preserves_writes;
