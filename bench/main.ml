@@ -2917,6 +2917,281 @@ let e20_reconfig ~seed ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E21: coded bulk storage — dispersal as the live transport path      *)
+(* ------------------------------------------------------------------ *)
+
+let write_dispersal_json ~path rows =
+  let obj rows =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) rows)
+    ^ " }"
+  in
+  let current = obj rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-dispersal-v1\",\n\
+        \  \"baseline\": %s,\n  \"current\": %s\n}\n"
+        baseline current);
+  Format.fprintf fmt "wrote %s@." path
+
+(* Coded bulk transport vs full replication, over real sockets: an
+   n=4, b=1 fleet with live gossip, one fresh cluster per (mode, value
+   size) cell. Per cell a writer stores two values, the writer and a
+   second client read them all back, and the cell then waits for full
+   dissemination (every server announces every write; under dispersal
+   every server also holds its verified fragment). Bytes on wire =
+   client RPC bytes + gossip push bytes, both counted into the global
+   tally by the transport; storage = every server's retained
+   value-plus-fragment bytes. Every operation is recorded into the E16
+   oracle's history — a coded read returning wrong or stale bytes would
+   be flagged — and the bench fails on any violation or if the 1 MiB
+   savings fall under 1.5x. *)
+let e21_dispersal ~seed:_ ~json () =
+  let n = 4 and b = 1 in
+  let items = 2 in
+  let sizes = [ 65_536; 262_144; 1_048_576 ] in
+  let reserve_port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let key_of name =
+    Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("e21-" ^ name))
+  in
+  let alice_key = key_of "alice" and bob_key = key_of "bob" in
+  let mk_value ~label ~size i =
+    let tag = Printf.sprintf "e21-%s-%d-%d:" label size i in
+    tag
+    ^ String.init (size - String.length tag) (fun j ->
+          Char.chr ((j * 131 + i) land 0xff))
+  in
+  let violations = ref [] in
+  let violate fmt_str = Printf.ksprintf (fun s -> violations := s :: !violations) fmt_str in
+  let history = Check.History.create () in
+  let cell ~label ~dispersed ~size =
+    let keyring = Store.Keyring.create () in
+    Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+    Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
+    let servers =
+      Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ())
+    in
+    let ports = Array.init n (fun _ -> reserve_port ()) in
+    let eps = Array.map (fun p -> ("127.0.0.1", p)) ports in
+    let hosts =
+      Array.mapi
+        (fun i server ->
+          let peers = List.filteri (fun j _ -> j <> i) (Array.to_list eps) in
+          Tcpnet.Server_host.start
+            ~gossip:{ Tcpnet.Server_host.peers; period = 0.02 }
+            ~server ~port:ports.(i) ())
+        servers
+    in
+    Fun.protect ~finally:(fun () -> Array.iter Tcpnet.Server_host.stop hosts)
+    @@ fun () ->
+    let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
+    (* unique group per cell: cells are independent clusters and must
+       not alias item uids in the shared oracle history *)
+    let group = Printf.sprintf "e21-%s-%d" label size in
+    let names = Array.init items (fun i -> Printf.sprintf "doc%d" i) in
+    let values = Array.init items (mk_value ~label ~size) in
+    let m0 = Store.Metrics.read () in
+    let t0 = Unix.gettimeofday () in
+    Tcpnet.Live.run ~endpoints (fun () ->
+        let cfg =
+          {
+            (Store.Client.default_config ~n ~b) with
+            Store.Client.timeout = 5.0;
+            dispersal_threshold = (if dispersed then 4096 else 0);
+            dispersal_chunk = 262_144;
+          }
+        in
+        let connect name key =
+          match
+            Store.Client.connect ~config:cfg ~uid:name ~key ~keyring ~group ()
+          with
+          | Ok c -> c
+          | Error e -> failwith ("e21 connect: " ^ Store.Client.error_to_string e)
+        in
+        let alice = connect "alice" alice_key in
+        Array.iteri
+          (fun i item ->
+            match Store.Client.write alice ~item values.(i) with
+            | Ok () -> ()
+            | Error e -> failwith ("e21 write: " ^ Store.Client.error_to_string e))
+          names;
+        let read_all c who =
+          Array.iteri
+            (fun i item ->
+              match Store.Client.read c ~item with
+              | Ok v when String.equal v values.(i) -> ()
+              | Ok _ -> violate "%s: %s read wrong bytes for %s" group who item
+              | Error e ->
+                failwith ("e21 read: " ^ Store.Client.error_to_string e))
+            names
+        in
+        read_all alice "alice";
+        let bob = connect "bob" bob_key in
+        read_all bob "bob";
+        ignore (Store.Client.disconnect alice);
+        ignore (Store.Client.disconnect bob));
+    let ops_s = Unix.gettimeofday () -. t0 in
+    let uids = Array.map (fun item -> Store.Uid.make ~group ~item) names in
+    let settled () =
+      Array.for_all
+        (fun s ->
+          Array.for_all
+            (fun uid -> Store.Server.current_write s uid <> None)
+            uids
+          && ((not dispersed) || Store.Server.fragment_count s >= items))
+        servers
+    in
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    while (not (settled ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.05
+    done;
+    if not (settled ()) then violate "%s: dissemination never settled" group;
+    (* a final beat so in-flight gossip byte accounting lands *)
+    Thread.delay 0.1;
+    let d = Store.Metrics.diff (Store.Metrics.read ()) m0 in
+    let storage =
+      Array.fold_left (fun acc s -> acc + Store.Server.storage_bytes s) 0 servers
+    in
+    (label, size, d.Store.Metrics.bytes, d.Store.Metrics.messages, storage, ops_s)
+  in
+  let cells = ref [] in
+  Check.History.recording history (fun () ->
+      List.iter
+        (fun size ->
+          cells := cell ~label:"replicated" ~dispersed:false ~size :: !cells;
+          cells := cell ~label:"dispersed" ~dispersed:true ~size :: !cells)
+        sizes);
+  let cells = List.rev !cells in
+  let oracle_violations = Check.Oracle.check (Check.History.events history) in
+  List.iter
+    (fun v -> violate "oracle: %s" (Check.Oracle.violation_to_string v))
+    oracle_violations;
+  let find label size =
+    List.find_map
+      (fun (l, s, bytes, msgs, storage, el) ->
+        if String.equal l label && s = size then Some (bytes, msgs, storage, el)
+        else None)
+      cells
+  in
+  let ratios =
+    List.filter_map
+      (fun size ->
+        match (find "replicated" size, find "dispersed" size) with
+        | Some (rb, _, rs, _), Some (db, _, ds, _) when db > 0 && ds > 0 ->
+          Some
+            ( size,
+              float_of_int rb /. float_of_int db,
+              float_of_int rs /. float_of_int ds )
+        | _ -> None)
+      sizes
+  in
+  let mib bytes = float_of_int bytes /. (1024.0 *. 1024.0) in
+  List.iter
+    (fun v -> Format.fprintf fmt "VIOLATION: %s@." v)
+    (List.rev !violations);
+  let table =
+    {
+      Workload.Table.id = "E21";
+      title =
+        Printf.sprintf
+          "Coded bulk storage: dispersal (k=%d of %d) vs full replication \
+           over live TCP with gossip (%d values per cell, 2 readers)"
+          (b + 1) n items;
+      header =
+        [ "mode"; "value"; "wire (MiB)"; "msgs"; "stored (MiB)"; "ops (s)" ];
+      rows =
+        List.map
+          (fun (label, size, bytes, msgs, storage, el) ->
+            [
+              label;
+              Printf.sprintf "%d KiB" (size / 1024);
+              Printf.sprintf "%.2f" (mib bytes);
+              string_of_int msgs;
+              Printf.sprintf "%.2f" (mib storage);
+              Printf.sprintf "%.2f" el;
+            ])
+          cells;
+      notes =
+        [
+          "wire = client RPC bytes + gossip push bytes to full dissemination;";
+          "stored = retained write bodies + verified fragments across all \
+           servers;";
+          (match ratios with
+          | [] -> "savings: n/a"
+          | rs ->
+            "savings (replicated/dispersed): "
+            ^ String.concat ", "
+                (List.map
+                   (fun (size, w, s) ->
+                     Printf.sprintf "%d KiB wire %.2fx storage %.2fx"
+                       (size / 1024) w s)
+                   rs));
+          Printf.sprintf
+            "oracle: %d events checked, %d violation(s); every read's \
+             reconstructed bytes fed the linkage/freshness checks"
+            (Check.History.length history)
+            (List.length oracle_violations);
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  let wire_1m, storage_1m =
+    match List.find_opt (fun (s, _, _) -> s = 1_048_576) ratios with
+    | Some (_, w, s) -> (w, s)
+    | None -> (0.0, 0.0)
+  in
+  if json then
+    write_dispersal_json ~path:"BENCH_dispersal.json"
+      (List.concat_map
+         (fun (label, size, bytes, msgs, storage, el) ->
+           let p = Printf.sprintf "%s_%dk_" label (size / 1024) in
+           [
+             (p ^ "wire_bytes", string_of_int bytes);
+             (p ^ "messages", string_of_int msgs);
+             (p ^ "storage_bytes", string_of_int storage);
+             (p ^ "ops_s", Printf.sprintf "%.3f" el);
+           ])
+         cells
+      @ List.concat_map
+          (fun (size, w, s) ->
+            let p = Printf.sprintf "savings_%dk_" (size / 1024) in
+            [
+              (p ^ "wire", Printf.sprintf "%.3f" w);
+              (p ^ "storage", Printf.sprintf "%.3f" s);
+            ])
+          ratios
+      @ [
+          ("oracle_events", string_of_int (Check.History.length history));
+          ("oracle_violations", string_of_int (List.length oracle_violations));
+          ("safety_violations", string_of_int (List.length !violations));
+        ]);
+  if !violations <> [] || wire_1m < 1.5 || storage_1m < 1.5 then begin
+    Format.fprintf fmt
+      "E21: failed — %d violation(s), 1 MiB savings wire %.2fx storage %.2fx \
+       (want >= 1.5x)@."
+      (List.length !violations) wire_1m storage_1m;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2953,6 +3228,7 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e18", fun () -> e18_sign ~json ());
     ("e19", fun () -> e19_shard ~seed ~json ());
     ("e20", fun () -> e20_reconfig ~seed ~json ());
+    ("e21", fun () -> e21_dispersal ~seed ~json ());
   ]
 
 let main args =

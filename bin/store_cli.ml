@@ -18,16 +18,30 @@ let endpoints_of servers =
   | Some eps -> eps
   | None -> failwith "bad --servers (expected host:port,host:port,...)"
 
-let session_config ~n ~b ~cc ~multi =
+let session_config ~n ~b ~cc ~multi ~dispersal =
   let c = Store.Client.default_config ~n ~b in
-  {
-    c with
-    Store.Client.consistency = (if cc then Store.Client.CC else Store.Client.MRC);
-    mode = (if multi then Store.Client.Multi_writer else Store.Client.Single_writer);
-    timeout = 2.0;
-  }
+  let c =
+    {
+      c with
+      Store.Client.consistency = (if cc then Store.Client.CC else Store.Client.MRC);
+      mode = (if multi then Store.Client.Multi_writer else Store.Client.Single_writer);
+      timeout = 2.0;
+    }
+  in
+  let threshold, k, chunk = dispersal in
+  let c =
+    match threshold with
+    | Some t -> { c with Store.Client.dispersal_threshold = t }
+    | None -> c
+  in
+  let c =
+    match k with Some k -> { c with Store.Client.dispersal_k = Some k } | None -> c
+  in
+  match chunk with
+  | Some s -> { c with Store.Client.dispersal_chunk = s }
+  | None -> c
 
-let with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy fn =
+let with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy ~dispersal fn =
   let eps = Array.of_list (endpoints_of servers) in
   let n = Array.length eps in
   let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
@@ -36,7 +50,7 @@ let with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy fn =
   Tcpnet.Live.run ~transport ~endpoints (fun () ->
       match
         Store.Client.connect
-          ~config:(session_config ~n ~b ~cc ~multi)
+          ~config:(session_config ~n ~b ~cc ~multi ~dispersal)
           ~uid ~key:(Keys.keypair uid) ~keyring ~group ()
       with
       | Error e -> failwith ("connect: " ^ Store.Client.error_to_string e)
@@ -54,9 +68,34 @@ let legacy_flag =
        & info [ "legacy-transport" ]
            ~doc:"Use the connect-per-request transport instead of the pooled one.")
 
+(* Coded bulk transport knobs (DESIGN.md section 13). The library
+   defaults apply when a flag is absent; reads follow whatever the
+   stored metadata says, so only the write side strictly needs them,
+   but the chunk size also shapes fragment gathers. *)
+let dispersal_term =
+  let threshold =
+    Arg.(value & opt (some int) None
+         & info [ "dispersal-threshold" ]
+             ~doc:"Disperse values of at least $(docv) bytes instead of \
+                   replicating them (0 disables dispersal)." ~docv:"BYTES")
+  in
+  let k =
+    Arg.(value & opt (some int) None
+         & info [ "dispersal-k" ]
+             ~doc:"Reconstruction threshold for dispersed values \
+                   (default b+1)." ~docv:"K")
+  in
+  let chunk =
+    Arg.(value & opt (some int) None
+         & info [ "dispersal-chunk" ]
+             ~doc:"Fragment streaming chunk size in bytes." ~docv:"BYTES")
+  in
+  Term.(const (fun t k c -> (t, k, c)) $ threshold $ k $ chunk)
+
 let write_cmd =
-  let run servers b uid group item value cc multi legacy =
-    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy (fun session ->
+  let run servers b uid group item value cc multi legacy dispersal =
+    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy ~dispersal
+      (fun session ->
         match Store.Client.write session ~item value with
         | Ok () -> Printf.printf "ok\n"
         | Error e -> failwith (Store.Client.error_to_string e))
@@ -71,11 +110,12 @@ let write_cmd =
   let multi = Arg.(value & flag & info [ "multi" ] ~doc:"Multi-writer mode.") in
   Cmd.v (Cmd.info "write" ~doc:"Write a value")
     Term.(const run $ servers $ b $ uid $ group $ item $ value $ cc $ multi
-          $ legacy_flag)
+          $ legacy_flag $ dispersal_term)
 
 let read_cmd =
-  let run servers b uid group item cc multi legacy =
-    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy (fun session ->
+  let run servers b uid group item cc multi legacy dispersal =
+    with_session ~servers ~b ~uid ~group ~cc ~multi ~legacy ~dispersal
+      (fun session ->
         match Store.Client.read session ~item with
         | Ok v -> Printf.printf "%s\n" v
         | Error e -> failwith (Store.Client.error_to_string e))
@@ -88,7 +128,8 @@ let read_cmd =
   let cc = Arg.(value & flag & info [ "cc" ] ~doc:"Causal consistency.") in
   let multi = Arg.(value & flag & info [ "multi" ] ~doc:"Multi-writer mode.") in
   Cmd.v (Cmd.info "read" ~doc:"Read a value")
-    Term.(const run $ servers $ b $ uid $ group $ item $ cc $ multi $ legacy_flag)
+    Term.(const run $ servers $ b $ uid $ group $ item $ cc $ multi $ legacy_flag
+          $ dispersal_term)
 
 (* Self-contained end-to-end demo: n servers on ephemeral localhost
    ports, gossip threads between them, and two client sessions over real

@@ -2,7 +2,14 @@ module Client = Store.Client
 module Engine = Sim.Engine
 module Srng = Sim.Srng
 
-type fault_category = Loss | Jitter | Crash | Partition | Byzantine | Reconfig
+type fault_category =
+  | Loss
+  | Jitter
+  | Crash
+  | Partition
+  | Byzantine
+  | Reconfig
+  | Frag_loss
 
 let category_name = function
   | Loss -> "loss"
@@ -11,6 +18,7 @@ let category_name = function
   | Partition -> "partition"
   | Byzantine -> "byzantine"
   | Reconfig -> "reconfig"
+  | Frag_loss -> "frag-loss"
 
 type reconfig =
   | Add_server of int
@@ -41,6 +49,13 @@ type schedule = {
       (* time-ordered, admin-signed membership transitions; empty =
          static world (no epoch machinery at all) *)
   capacity : int;  (* server processes; ids n.. are join standbys *)
+  dispersal : bool;
+      (* big-value workload: clients write values over a small dispersal
+         threshold, so the coded k-of-n data path runs under this
+         schedule's faults, with a periodic fragment-repair round *)
+  frag_losses : (int * float) list;
+      (* (server, time): the server forgets every fragment it holds —
+         the "holder lost its disk" fault the repair loop must undo *)
 }
 
 (* The latency floor below which [Jitter] counts as disabled. *)
@@ -108,6 +123,19 @@ let schedule_of_seed seed =
         Client.Mac_fast;
       ]
   in
+  (* Dispersal draws come from a separate stream (seed xor a constant),
+     like the reconfig draws: every draw above is byte-for-byte the
+     seed's familiar schedule, so existing determinism digests stay
+     comparable. *)
+  let drng = Srng.create (seed lxor 0xd15b) in
+  let dispersal = Srng.bool_with_probability drng 0.4 in
+  let frag_losses =
+    if not dispersal then []
+    else
+      List.init (Srng.int_below drng 3) (fun _ ->
+          ( Srng.int_below drng n,
+            Srng.uniform drng ~lo:2.0 ~hi:(horizon *. 0.8) ))
+  in
   {
     seed;
     n;
@@ -130,6 +158,8 @@ let schedule_of_seed seed =
     scripted = false;
     reconfigs = [];
     capacity = n;
+    dispersal;
+    frag_losses;
   }
 
 (* A seed's schedule plus 1-2 membership transitions. The reconfig draws
@@ -211,6 +241,8 @@ let canary_schedule ~seed =
     scripted = true;
     reconfigs = [];
     capacity = 4;
+    dispersal = false;
+    frag_losses = [];
   }
 
 let describe s =
@@ -245,9 +277,16 @@ let describe s =
              Printf.sprintf "%d>%d@%.1f" remove add at)
          s.reconfigs)
   in
+  let fragl =
+    String.concat ","
+      (List.map
+         (fun (sv, at) -> Printf.sprintf "%d@%.1f" sv at)
+         s.frag_losses)
+  in
   Printf.sprintf
-    "seed=%d n=%d b=%d clients=%d %s/%s/%s%s items=%d ops=%d drop=%.2f \
-     lat<=%.3fs gossip=%.1fs crash=[%s] part=[%s] byz=[%s] reconf=[%s]%s"
+    "seed=%d n=%d b=%d clients=%d %s/%s/%s%s%s items=%d ops=%d drop=%.2f \
+     lat<=%.3fs gossip=%.1fs crash=[%s] part=[%s] byz=[%s] reconf=[%s] \
+     fragloss=[%s]%s"
     s.seed s.n s.b s.clients
     (match s.mode with Client.Single_writer -> "sw" | Client.Multi_writer -> "mw")
     (match s.consistency with Client.MRC -> "mrc" | Client.CC -> "cc")
@@ -256,8 +295,9 @@ let describe s =
     | Client.Merkle_batch k -> Printf.sprintf "batch%d" k
     | Client.Mac_fast -> "mac")
     (if s.read_spread then "/spread" else "")
+    (if s.dispersal then "/disp" else "")
     s.items s.ops_per_client s.drop_probability s.latency_hi s.gossip_period
-    (windows s.crashes) parts byz reconf
+    (windows s.crashes) parts byz reconf fragl
     (if s.canary then " CANARY" else "")
 
 let active_categories s =
@@ -269,6 +309,7 @@ let active_categories s =
       (if s.partitions <> [] then Some Partition else None);
       (if s.byzantine <> [] then Some Byzantine else None);
       (if s.reconfigs <> [] then Some Reconfig else None);
+      (if s.frag_losses <> [] then Some Frag_loss else None);
     ]
 
 let disable cat s =
@@ -282,6 +323,11 @@ let disable cat s =
     (* No membership events; the epoch machinery disappears entirely
        (capacity stays — idle standbys are inert). *)
     { s with reconfigs = [] }
+  | Frag_loss ->
+    (* Keep the dispersed workload, drop the disk-loss events — the
+       shrinker isolates whether losing fragments (vs merely coding
+       them) is what broke the schedule. *)
+    { s with frag_losses = [] }
 
 type outcome = {
   schedule : schedule;
@@ -314,6 +360,9 @@ let client_config sched i base =
     (* Small so random runs exercise the escalation path, not just the
        read-triggered flush. *)
     escalate_every = 3;
+    (* Low threshold so the padded workload values actually take the
+       coded path (production default is 64 KiB). *)
+    dispersal_threshold = (if sched.dispersal then 256 else 64 * 1024);
     epoch_admin =
       (if sched.reconfigs = [] then None
        else Some (Workload.Worlds.key_of "admin").Crypto.Rsa.public);
@@ -361,7 +410,16 @@ let random_fibers sched (w : Workload.Worlds.t) engine ~ops_ok ~ops_failed =
             && (not (Hashtbl.mem poisoned item))
             && Srng.bool_with_probability rng 0.5
           then (
-            match Client.write c ~item (Printf.sprintf "%s-%d-%s" name op item) with
+            (* With dispersal on, every other write is padded over the
+               threshold, so replicated and coded writes interleave on
+               the same items (no extra rng draws: op parity decides). *)
+            let value =
+              let base = Printf.sprintf "%s-%d-%s" name op item in
+              if sched.dispersal && op mod 2 = 0 then
+                base ^ String.make 512 '.'
+              else base
+            in
+            match Client.write c ~item value with
             | Ok () -> incr ops_ok
             | Error _ ->
               incr ops_failed;
@@ -460,6 +518,24 @@ let run sched =
            ~period:sched.gossip_period
            ~rng:(Srng.create (sched.seed + 7919))
            ());
+      if sched.dispersal then begin
+        (* Fragment anti-entropy on the gossip cadence, plus the
+           disk-loss events it must undo. *)
+        ignore
+          (Engine.every engine ~period:sched.gossip_period ~client:(-98)
+             (fun () ->
+               ignore
+                 (Store.Gossip.repair_once ~servers:w.Workload.Worlds.servers ()
+                   : int)));
+        List.iter
+          (fun (s, at) ->
+            Engine.spawn engine ~at ~client:(-97) (fun () ->
+                ignore
+                  (Store.Server.drop_all_fragments
+                     w.Workload.Worlds.servers.(s)
+                    : int)))
+          sched.frag_losses
+      end;
       List.iter
         (fun (s, from_t, until_t) ->
           Engine.spawn engine ~at:from_t (fun () -> Engine.set_down engine s true);

@@ -10,7 +10,17 @@
     (crashes and partitions are benign and may exceed [b]; they only
     cost liveness, which the oracle does not score). *)
 
-type fault_category = Loss | Jitter | Crash | Partition | Byzantine | Reconfig
+type fault_category =
+  | Loss
+  | Jitter
+  | Crash
+  | Partition
+  | Byzantine
+  | Reconfig
+  | Frag_loss
+      (** a server forgets every coded fragment it holds mid-run — a
+          committed dispersed write survives it as long as at most [b]
+          holders are lost between repair rounds *)
 
 val category_name : fault_category -> string
 
@@ -52,6 +62,13 @@ type schedule = {
   capacity : int;
       (** server processes created for the run; ids [n ..] are standbys
           that [Add_server]/[Replace_server] can bring in *)
+  dispersal : bool;
+      (** big-value workload: every other write is padded over a small
+          dispersal threshold, so the coded k-of-n data path runs under
+          this schedule's faults with a periodic fragment-repair round *)
+  frag_losses : (int * float) list;
+      (** (server, time) whole-disk fragment losses (drawn only when
+          [dispersal] is on, from the same separate stream) *)
 }
 
 val schedule_of_seed : int -> schedule

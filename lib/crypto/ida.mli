@@ -22,3 +22,22 @@ val reconstruct : k:int -> fragment list -> string option
 
 val fragment_to_string : fragment -> string
 val fragment_of_string : string -> fragment option
+
+val split_stripe : k:int -> n:int -> string -> string array
+(** Headerless stripe coding for the streaming path: encode one stripe
+    of the value into its n fragment pieces (array slot [i] is the piece
+    for fragment index [i+1]). A stripe of [len] bytes yields
+    [ceil(len/k)] bytes per piece, so callers that keep stripe sizes a
+    multiple of [k] get fragment offsets as a pure function of value
+    offsets. Encoding a long value stripe-by-stripe and concatenating
+    the pieces per index is equivalent to one-shot coding but never
+    holds more than a stripe at a time.
+    @raise Invalid_argument unless 1 <= k <= n <= 255. *)
+
+val reconstruct_stripe :
+  k:int -> len:int -> (int * string) list -> string option
+(** Inverse of {!split_stripe} for one stripe: rebuild [len] original
+    bytes from at least [k] [(index, piece)] pairs with distinct indices
+    (extras ignored). [None] on too few pieces or piece lengths that
+    don't match [ceil(len/k)]. Like {!reconstruct}, corrupted pieces
+    yield garbage — callers must check fragment digests. *)

@@ -50,6 +50,19 @@ let run ~handlers fn =
                         spec.dsts
                     in
                     continue k replies)
+              | Runtime.Call_scatter spec ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    ignore (tick ());
+                    let replies =
+                      List.filter_map
+                        (fun (dst, request) ->
+                          match handlers dst ~from:client_id request with
+                          | None -> None
+                          | Some payload -> Some { Runtime.from = dst; payload })
+                        spec.parts
+                    in
+                    continue k replies)
               | _ -> None);
         }
   in

@@ -99,9 +99,12 @@ let send_oneway t ~src ~dst ~payload =
 
 let post t ~src ~dst payload = send_oneway t ~src ~dst ~payload
 
-let start_call t ~client (spec : Runtime.call_spec)
+(* Shared engine for Call_many (one request broadcast) and Call_scatter
+   (a distinct request per destination): transmit every part, count
+   replies, resume the continuation at quorum or timeout. *)
+let start_scatter t ~client ~parts ~quorum ~timeout
     (k : (Runtime.reply list, unit) continuation) =
-  let needed = max 0 (min spec.quorum (List.length spec.dsts)) in
+  let needed = max 0 (min quorum (List.length parts)) in
   let pending = { replies = []; reply_count = 0; resumed = false; needed } in
   let finish () =
     if not pending.resumed then begin
@@ -110,18 +113,18 @@ let start_call t ~client (spec : Runtime.call_spec)
     end
   in
   (* Timeout fires with whatever has arrived. *)
-  schedule t (t.clock +. spec.timeout) finish;
+  schedule t (t.clock +. timeout) finish;
   if needed = 0 then finish ()
   else
     List.iter
-      (fun dst ->
-        transmit t ~src:client ~dst ~payload:spec.request
+      (fun (dst, request) ->
+        transmit t ~src:client ~dst ~payload:request
           ~on_delivery:(fun () ->
             if is_up t dst then
               match Hashtbl.find_opt t.handlers dst with
               | None -> ()
               | Some handler -> (
-                match handler ~now:t.clock ~from:client spec.request with
+                match handler ~now:t.clock ~from:client request with
                 | None -> ()
                 | Some response ->
                   transmit t ~src:dst ~dst:client ~payload:response
@@ -133,7 +136,13 @@ let start_call t ~client (spec : Runtime.call_spec)
                         pending.reply_count <- pending.reply_count + 1;
                         if pending.reply_count >= pending.needed then finish ()
                       end))))
-      spec.dsts
+      parts
+
+let start_call t ~client (spec : Runtime.call_spec)
+    (k : (Runtime.reply list, unit) continuation) =
+  start_scatter t ~client
+    ~parts:(List.map (fun dst -> (dst, spec.request)) spec.dsts)
+    ~quorum:spec.quorum ~timeout:spec.timeout k
 
 let rec exec_fiber t ~client fn =
   match_with fn ()
@@ -161,6 +170,11 @@ let rec exec_fiber t ~client fn =
                 continue k ())
           | Runtime.Call_many spec ->
             Some (fun (k : (a, unit) continuation) -> start_call t ~client spec k)
+          | Runtime.Call_scatter spec ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                start_scatter t ~client ~parts:spec.parts ~quorum:spec.quorum
+                  ~timeout:spec.timeout k)
           | _ -> None);
     }
 

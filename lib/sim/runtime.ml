@@ -8,10 +8,17 @@ type call_spec = {
   timeout : float;
 }
 
+type scatter_spec = {
+  parts : (node_id * string) list;
+  quorum : int;
+  timeout : float;
+}
+
 type _ Effect.t +=
   | Now : float Effect.t
   | Sleep : float -> unit Effect.t
   | Call_many : call_spec -> reply list Effect.t
+  | Call_scatter : scatter_spec -> reply list Effect.t
   | Send_oneway : (node_id * string) -> unit Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
 
@@ -23,6 +30,10 @@ let sleep d = Effect.perform (Sleep d)
 let call_many ?(timeout = default_timeout) ~quorum dsts request =
   let quorum = min quorum (List.length dsts) in
   Effect.perform (Call_many { dsts; request; quorum; timeout })
+
+let call_scatter ?(timeout = default_timeout) ~quorum parts =
+  let quorum = min quorum (List.length parts) in
+  Effect.perform (Call_scatter { parts; quorum; timeout })
 
 let call_one ?timeout dst request =
   match call_many ?timeout ~quorum:1 [ dst ] request with

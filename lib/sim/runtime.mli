@@ -21,10 +21,19 @@ type call_spec = {
   timeout : float;  (** give up (returning what arrived) after this long *)
 }
 
+type scatter_spec = {
+  parts : (node_id * string) list;
+      (** one (destination, request) pair per destination — the payloads
+          differ, unlike {!call_spec} which broadcasts one request *)
+  quorum : int;
+  timeout : float;
+}
+
 type _ Effect.t +=
   | Now : float Effect.t
   | Sleep : float -> unit Effect.t
   | Call_many : call_spec -> reply list Effect.t
+  | Call_scatter : scatter_spec -> reply list Effect.t
   | Send_oneway : (node_id * string) -> unit Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
 
@@ -36,6 +45,13 @@ val call_many :
 (** RPC the request to every destination; return once [quorum] replies
     are in (or the timeout fires, possibly with fewer). The quorum is
     clamped to the destination count. Default timeout 5 s. *)
+
+val call_scatter :
+  ?timeout:float -> quorum:int -> (node_id * string) list -> reply list
+(** Like {!call_many} but with a distinct request per destination — the
+    dispersal data path uses this to ship each server its own fragment
+    piece in one round with a single quorum wait. The quorum is clamped
+    to the destination count. *)
 
 val call_one : ?timeout:float -> node_id -> string -> string option
 (** Single-destination convenience. *)

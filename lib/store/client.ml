@@ -33,6 +33,9 @@ type config = {
   signing : signing_mode;
   escalate_every : int;
   epoch_admin : Crypto.Rsa.public option;
+  dispersal_threshold : int;
+  dispersal_k : int option;
+  dispersal_chunk : int;
 }
 
 let default_config ~n ~b =
@@ -63,6 +66,9 @@ let default_config ~n ~b =
     signing = Per_write_sig;
     escalate_every = 8;
     epoch_admin = None;
+    dispersal_threshold = 64 * 1024;
+    dispersal_k = None;
+    dispersal_chunk = 1 lsl 20;
   }
 
 type error =
@@ -72,6 +78,7 @@ type error =
   | Writer_faulty of Uid.t
   | Write_rejected
   | Disconnected
+  | Not_enough_fragments of { uid : Uid.t; needed : int; got : int }
 
 type opstats = {
   mutable messages : int;
@@ -153,6 +160,10 @@ let pp_error fmt = function
   | Writer_faulty uid -> Format.fprintf fmt "writer of %a deemed faulty" Uid.pp uid
   | Write_rejected -> Format.pp_print_string fmt "write rejected"
   | Disconnected -> Format.pp_print_string fmt "session disconnected"
+  | Not_enough_fragments { uid; needed; got } ->
+    Format.fprintf fmt
+      "%a: only %d authentic fragments reachable, need %d to reconstruct"
+      Uid.pp uid got needed
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
@@ -233,6 +244,38 @@ let send_oneway t dsts request =
   Metrics.add_messages (List.length dsts);
   Metrics.add_bytes (List.length dsts * String.length payload);
   t.opstats.messages <- t.opstats.messages + List.length dsts
+
+(* One scatter round: per-destination distinct requests (each server gets
+   its own fragment chunk), one quorum wait. Same accounting and
+   [Stale_epoch] repair as {!rpc}. *)
+let rpc_scatter t ~quorum parts =
+  let parts =
+    List.map
+      (fun (dst, request) ->
+        ( dst,
+          Payload.encode_envelope
+            { Payload.token = t.cfg.token; epoch = epoch_version t; request } ))
+      parts
+  in
+  let replies = Sim.Runtime.call_scatter ~timeout:t.cfg.timeout ~quorum parts in
+  Metrics.add_messages (List.length parts + List.length replies);
+  Metrics.add_bytes
+    (List.fold_left (fun acc (_, p) -> acc + String.length p) 0 parts
+    + List.fold_left
+        (fun acc (r : Sim.Runtime.reply) -> acc + String.length r.payload)
+        0 replies);
+  t.opstats.messages <-
+    t.opstats.messages + List.length parts + List.length replies;
+  List.filter_map
+    (fun (r : Sim.Runtime.reply) ->
+      Option.map (fun resp -> (r.from, resp)) (Payload.decode_response r.payload))
+    replies
+  |> List.filter (fun (_, resp) ->
+         match resp with
+         | Payload.Stale_epoch e ->
+           try_adopt_epoch t e;
+           false
+         | _ -> true)
 
 (* First [k] preferred servers; when spreading, a random k-subset.
    With an evidence store, proven-faulty servers are excluded and the
@@ -643,7 +686,148 @@ let apply_read_to_context t (w : Payload.write) =
   | CC, None | MRC, _ -> ());
   t.ctx <- Context.observe t.ctx w.uid w.stamp
 
-let read_write t ~item =
+(* ---------------- Dispersed reads -------------------------------------- *)
+
+(* Pull [k] digest-authentic fragments with ranged [Frag_get]s, [k]
+   streams in flight at a time. Server [i] holds fragment [i+1]. A
+   holder that stalls, misreports the fragment length, or fails the
+   whole-fragment digest check is struck and a fresh holder takes over
+   its index; the round budget bounds the loop against a Byzantine
+   trickle that feeds one authentic byte per round. *)
+let gather_fragments t ~uid ~stamp (meta : Payload.dispersal_meta) =
+  let fl = Dispersal.frag_length meta in
+  let chunk = max 1 t.cfg.dispersal_chunk in
+  let holders =
+    Array.of_list
+      (List.filter
+         (fun id -> id >= 0 && id + 1 <= meta.Payload.m)
+         (active_servers t))
+  in
+  let h = Array.length holders in
+  let digests = Array.of_list meta.Payload.digests in
+  let bufs = Array.map (fun _ -> Buffer.create 1024) holders in
+  let state = Array.make h `Fresh in
+  let count want =
+    Array.fold_left (fun a s -> if s = want then a + 1 else a) 0 state
+  in
+  let budget = ref (((((fl + chunk - 1) / chunk) + 2) * (h + 1)) + 4) in
+  let rec go () =
+    let finished = count `Done in
+    if finished >= meta.Payload.k then
+      Ok
+        (List.filter_map
+           (fun i ->
+             if state.(i) = `Done then
+               Some (holders.(i) + 1, Buffer.contents bufs.(i))
+             else None)
+           (List.init h Fun.id))
+    else begin
+      let want = meta.Payload.k - finished in
+      let active = ref (count `Active) in
+      Array.iteri
+        (fun i s ->
+          if s = `Fresh && !active < want then begin
+            state.(i) <- `Active;
+            incr active
+          end)
+        state;
+      if !active = 0 || !budget <= 0 then
+        Error (Not_enough_fragments { uid; needed = meta.Payload.k; got = finished })
+      else begin
+        decr budget;
+        let parts =
+          List.filter_map
+            (fun i ->
+              if state.(i) <> `Active then None
+              else
+                let off = Buffer.length bufs.(i) in
+                Some
+                  ( holders.(i),
+                    Payload.Frag_get
+                      {
+                        uid;
+                        stamp;
+                        index = holders.(i) + 1;
+                        off;
+                        len = min chunk (max 0 (fl - off));
+                      } ))
+            (List.init h Fun.id)
+        in
+        let replies =
+          Obs.Span.with_phase "frag_gather" (fun () ->
+              rpc_scatter t ~quorum:(List.length parts) parts)
+        in
+        Array.iteri
+          (fun i s ->
+            if s = `Active then begin
+              let reply =
+                List.find_map
+                  (fun (from, resp) ->
+                    if from = holders.(i) then Some resp else None)
+                  replies
+              in
+              match reply with
+              | Some (Payload.Frag_reply (Some c))
+                when c.Payload.total = fl && String.length c.Payload.data > 0
+                ->
+                Buffer.add_string bufs.(i) c.Payload.data;
+                if Buffer.length bufs.(i) > fl then state.(i) <- `Dead
+                else if Buffer.length bufs.(i) = fl then begin
+                  Metrics.incr_digest ();
+                  if
+                    String.equal
+                      (Crypto.Sha256.digest (Buffer.contents bufs.(i)))
+                      digests.(holders.(i))
+                  then state.(i) <- `Done
+                  else state.(i) <- `Dead
+                end
+              | _ -> state.(i) <- `Dead
+            end)
+          state;
+        go ()
+      end
+    end
+  in
+  if fl = 0 then Ok [] else go ()
+
+(* Turn a metadata write into the caller-visible value: replicated
+   writes carry it inline; dispersed writes gather and decode. The
+   metadata's signature covers the descriptor, so its digests speak with
+   the writer's authority — fragments need no signatures of their own. *)
+let resolve_value t (w : Payload.write) =
+  match w.Payload.frags with
+  | None -> Ok w.Payload.value
+  | Some meta ->
+    if
+      not
+        (Dispersal.meta_ok meta
+        && String.equal (Dispersal.meta_root meta) w.Payload.value)
+    then
+      Error
+        (Not_enough_fragments
+           { uid = w.Payload.uid; needed = meta.Payload.k; got = 0 })
+    else begin
+      match gather_fragments t ~uid:w.Payload.uid ~stamp:w.Payload.stamp meta with
+      | Error _ as e -> e
+      | Ok pieces -> (
+        match
+          Obs.Span.with_phase "decode" (fun () ->
+              Dispersal.decode_fragments meta pieces)
+        with
+        | Some value ->
+          Metrics.incr_dispersed_read ();
+          Ok value
+        | None ->
+          Error
+            (Not_enough_fragments
+               {
+                 uid = w.Payload.uid;
+                 needed = meta.Payload.k;
+                 got = List.length pieces;
+               }))
+    end
+
+let read_write_resolved t ~item =
   ensure_connected t @@ fun () ->
   (* Read-your-writes under Mac_fast: a MAC-held write is invisible to
      readers (including this one) until escalated, so flush before the
@@ -711,22 +895,36 @@ let read_write t ~item =
       end
   in
   let result = attempt ~retries:t.cfg.read_retries ~tried:0 ~set_size:base_set in
+  (* Dispersed items: the quorum handed back metadata; the value still
+     has to be gathered and decoded. The trace outcome digests the
+     reconstructed bytes, so the consistency oracle checks what callers
+     actually saw, coded path included. *)
+  let result =
+    match result with
+    | Error _ as e -> e
+    | Ok w -> (
+      match resolve_value t w with
+      | Ok value -> Ok (w, value)
+      | Error e ->
+        t.opstats.read_failures <- t.opstats.read_failures + 1;
+        Error e)
+  in
   trace t ~op:opid ~phase:Trace.Return
     ~outcome:
       (outcome_of_result
-         (fun (w : Payload.write) ->
+         (fun ((w : Payload.write), value) ->
            Trace.Ok_value
              {
                stamp = w.stamp;
-               digest = Crypto.Sha256.hex_digest w.value;
+               digest = Crypto.Sha256.hex_digest value;
                writer = w.writer;
              })
          result)
     (Trace.Read { uid });
   result
 
-let read t ~item =
-  Result.map (fun (w : Payload.write) -> w.value) (read_write t ~item)
+let read_write t ~item = Result.map fst (read_write_resolved t ~item)
+let read t ~item = Result.map snd (read_write_resolved t ~item)
 
 (* ---------------- Writes ----------------------------------------------- *)
 
@@ -737,8 +935,140 @@ let make_stamp t ~value =
     Metrics.incr_digest ();
     Stamp.multi ~time:(next_time t) ~writer:t.uid ~value
 
-let write t ~item value =
-  ensure_connected t @@ fun () ->
+(* ---------------- Dispersed writes ------------------------------------- *)
+
+let dispersal_k t =
+  match t.cfg.dispersal_k with Some k -> k | None -> effective_b t + 1
+
+(* Dispersal applies when the value clears the size threshold and the
+   current membership can host it: server ids name fragment indices
+   (server [i] holds fragment [i+1]), so every id must fit a descriptor,
+   and write liveness needs [k + b] complete streams among the members. *)
+let should_disperse t value =
+  t.cfg.dispersal_threshold > 0
+  && String.length value >= t.cfg.dispersal_threshold
+  &&
+  let servers = active_servers t in
+  let k = dispersal_k t in
+  servers <> []
+  && List.for_all (fun id -> id >= 0 && id < 255) servers
+  && k >= 1
+  && k + effective_b t <= List.length servers
+
+(* Scatter the fragments as chunked [Frag_put] streams — one scatter
+   round per chunk offset, every surviving stream advancing in step, so
+   no more than one chunk per destination is ever in flight. A server
+   that misses a round is dropped (its stream is broken anyway); the
+   write proceeds while at least [k + b] streams survive, which
+   guarantees [k] fragments land on honest servers. *)
+let scatter_fragments t ~uid ~stamp (meta : Payload.dispersal_meta) fragments =
+  let fl = Dispersal.frag_length meta in
+  let chunk = max 1 t.cfg.dispersal_chunk in
+  let rounds = max 1 ((fl + chunk - 1) / chunk) in
+  let need = meta.Payload.k + effective_b t in
+  let active =
+    ref
+      (List.filter
+         (fun id -> id >= 0 && id + 1 <= meta.Payload.m)
+         (active_servers t))
+  in
+  let rec go r =
+    if List.length !active < need then
+      Error (No_quorum { wanted = need; got = List.length !active })
+    else if r >= rounds then Ok ()
+    else begin
+      let off = r * chunk in
+      let len = max 0 (min chunk (fl - off)) in
+      let parts =
+        List.map
+          (fun id ->
+            ( id,
+              Payload.Frag_put
+                {
+                  uid;
+                  stamp;
+                  writer = t.uid;
+                  index = id + 1;
+                  seq = r;
+                  last = r = rounds - 1;
+                  data = String.sub fragments.(id) off len;
+                } ))
+          !active
+      in
+      let replies =
+        Obs.Span.with_phase "frag_scatter" (fun () ->
+            rpc_scatter t ~quorum:(List.length parts) parts)
+      in
+      active :=
+        List.filter
+          (fun id ->
+            List.exists
+              (fun (from, resp) -> from = id && resp = Payload.Ack)
+              replies)
+          !active;
+      go (r + 1)
+    end
+  in
+  go 0
+
+(* The two-protocol bulk write: scatter the coded fragments first, then
+   run the unchanged metadata quorum protocol over a small write whose
+   value is the descriptor's digest root. Orphaned fragments (crash
+   between the phases, or a lost metadata quorum) are invisible and
+   bounded on the servers — the metadata quorum is the sole commit
+   point, so atomicity under crash needs no cleanup protocol. Dispersed
+   writes always carry a per-write signature: the descriptor rides
+   inside the signed body, which the MAC and Merkle-batch fast paths do
+   not thread through. *)
+let write_dispersed t ~item value =
+  Obs.Span.with_op "write" @@ fun () ->
+  t.opstats.writes <- t.opstats.writes + 1;
+  let uid = Uid.make ~group:t.group ~item in
+  let servers = active_servers t in
+  let m = 1 + List.fold_left max 0 servers in
+  let meta, fragments =
+    Obs.Span.with_phase "encode" (fun () ->
+        Dispersal.plan ~k:(dispersal_k t) ~n:m value)
+  in
+  let root = Dispersal.meta_root meta in
+  let stamp = make_stamp t ~value:root in
+  let opid = trace_op () in
+  let wkind () =
+    (* the trace digests the caller's value, not the coding artifact:
+       consistency properties are stated over what was written *)
+    Trace.Write { uid; stamp; digest = Crypto.Sha256.hex_digest value }
+  in
+  if Trace.enabled () then trace t ~op:opid ~phase:Trace.Invoke (wkind ());
+  let wctx =
+    match t.cfg.consistency with
+    | CC ->
+      t.ctx <- Context.set t.ctx uid stamp;
+      Some t.ctx
+    | MRC -> None
+  in
+  let result =
+    match scatter_fragments t ~uid ~stamp meta fragments with
+    | Error _ as e -> e
+    | Ok () ->
+      let w =
+        Obs.Span.with_phase "sign" (fun () ->
+            Signing.sign_write ~key:t.key ~writer:t.uid ~uid ~stamp ?wctx
+              ~frags:meta root)
+      in
+      disseminate t w
+  in
+  (match (result, t.cfg.consistency) with
+  | Ok (), MRC -> t.ctx <- Context.observe t.ctx uid stamp
+  | Ok (), CC -> ()
+  | Error _, _ -> ());
+  if Result.is_ok result then Metrics.incr_dispersed_write ();
+  if Trace.enabled () then
+    trace t ~op:opid ~phase:Trace.Return
+      ~outcome:(outcome_of_result (fun () -> Trace.Ok_unit) result)
+      (wkind ());
+  result
+
+let write_replicated t ~item value =
   Obs.Span.with_op "write" @@ fun () ->
   t.opstats.writes <- t.opstats.writes + 1;
   let uid = Uid.make ~group:t.group ~item in
@@ -774,6 +1104,7 @@ let write t ~item value =
              value;
              writer = t.uid;
              evidence = Payload.Sig "";
+             frags = None;
            }
           : [ `Buffered | `Full ]);
       (match Signbatch.flush batch with [ w ] -> w | _ -> assert false)
@@ -813,6 +1144,11 @@ let write t ~item value =
       (wkind ());
   result
 
+let write t ~item value =
+  ensure_connected t @@ fun () ->
+  if should_disperse t value then write_dispersed t ~item value
+  else write_replicated t ~item value
+
 (* Throughput path: write many items amortizing the signature cost.
    Under [Merkle_batch k] the items are chunked into batches of k; each
    chunk is stamped and (for CC) context-threaded in one pass, signed
@@ -849,6 +1185,7 @@ let write_chunk t chunk =
              value;
              writer = t.uid;
              evidence = Payload.Sig "";
+             frags = None;
            }
           : [ `Buffered | `Full ]))
     prepared;

@@ -107,6 +107,22 @@ type config = {
           reply mid-session verifies and adopts the newer config without
           failing the in-flight operation. [None] (default) = static
           deployment; epochs are ignored. *)
+  dispersal_threshold : int;
+      (** Values at least this many bytes are written dispersed: coded
+          fragments scattered k-of-n over the servers, with only the
+          descriptor's digest root going through the full n-replica
+          metadata protocol. 0 or negative disables dispersal entirely.
+          Default 64 KiB. *)
+  dispersal_k : int option;
+      (** Reconstruction threshold for dispersed values. [None] (default)
+          = [b + 1], the smallest k that still tolerates [b] Byzantine
+          holders; write liveness needs [k + b <= n]. *)
+  dispersal_chunk : int;
+      (** Fragment bytes per {!Payload.Frag_put}/{!Payload.Frag_get}
+          round — the streaming granularity: at most one chunk per
+          connection is in memory or in flight at a time, so a 64 MB
+          value never materializes wholesale on the wire path. Default
+          1 MiB. *)
 }
 
 val default_config : n:int -> b:int -> config
@@ -122,6 +138,10 @@ type error =
   | Writer_faulty of Uid.t
   | Write_rejected
   | Disconnected
+  | Not_enough_fragments of { uid : Uid.t; needed : int; got : int }
+      (** a dispersed item's metadata was read fine, but fewer than [k]
+          digest-authentic fragments could be gathered (more than [b]
+          holders lost, corrupt, or silent) *)
 
 type t
 
@@ -165,7 +185,12 @@ val disconnect : t -> (unit, error) result
     session. Further operations return {!Disconnected}. *)
 
 val write : t -> item:string -> string -> (unit, error) result
-(** Write a value to [group/item] under the session's consistency level. *)
+(** Write a value to [group/item] under the session's consistency level.
+    Values of at least [dispersal_threshold] bytes take the dispersed
+    path (when the membership supports it): fragments are scattered
+    first, then the metadata write commits through the unchanged quorum
+    protocol — fragments without committed metadata stay invisible, so
+    the two phases are atomic under a crash at any point. *)
 
 val write_batch :
   t -> (string * string) list -> (unit, error) result list
@@ -180,9 +205,17 @@ val flush : t -> (unit, error) result
     Reads, {!reconstruct} and {!disconnect} do this implicitly. *)
 
 val read : t -> item:string -> (string, error) result
+(** The caller-visible value: for a dispersed item this gathers [k]
+    digest-authentic fragments and decodes them (so a successful read
+    proves integrity end to end); replicated items return the stored
+    bytes as before. *)
+
 val read_write : t -> item:string -> (Payload.write, error) result
 (** Like {!read} but returns the whole signed write (stamp, writer,
-    context). *)
+    context). For a dispersed item this is the *metadata* write — its
+    [value] is the descriptor's digest root, not the data; the
+    fragments are still gathered and verified (the result is [Error
+    Not_enough_fragments] if the value is unrecoverable). *)
 
 val reconstruct : t -> (unit, error) result
 (** Force context reconstruction from all servers (the expensive path for

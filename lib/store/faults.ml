@@ -46,16 +46,17 @@ let is_query (env : Payload.envelope) =
   match env.request with
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
   | Payload.Log_query _ | Payload.Group_query _ | Payload.Read_inline _
-  | Payload.Epoch_get ->
+  | Payload.Epoch_get | Payload.Frag_get _ ->
     true
   | Payload.Ctx_write _ | Payload.Write_req _ | Payload.Gossip_push _
-  | Payload.Evidence_upgrade _ | Payload.Epoch_announce _ ->
+  | Payload.Evidence_upgrade _ | Payload.Epoch_announce _ | Payload.Frag_put _
+    ->
     false
 
 let is_write_or_gossip (env : Payload.envelope) =
   match env.request with
   | Payload.Write_req _ | Payload.Gossip_push _ | Payload.Ctx_write _
-  | Payload.Evidence_upgrade _ ->
+  | Payload.Evidence_upgrade _ | Payload.Frag_put _ ->
     true
   | _ -> false
 
@@ -172,6 +173,12 @@ let mutate_response behavior server (env : Payload.envelope) resp =
          { writes = List.map corrupt_value_in writes; writer_faulty })
   | Corrupt_value, Some (Payload.Group_reply writes) ->
     Some (Payload.Group_reply (List.map corrupt_value_in writes))
+  | Corrupt_value, Some (Payload.Frag_reply (Some c)) ->
+    (* a corrupt fragment must fail the reader's digest check and be
+       replaced from another holder *)
+    Some
+      (Payload.Frag_reply
+         (Some { c with Payload.data = flip_byte c.Payload.data 0 }))
   | Corrupt_value, _ -> resp
   | Corrupt_meta, Some (Payload.Meta_reply { stamp = Some s; writer_faulty }) ->
     Some (Payload.Meta_reply { stamp = Some (inflate s); writer_faulty })
@@ -192,6 +199,8 @@ let handle_typed behavior server ~now ~from env =
     (* Pretend to cooperate but never change state. *)
     (match env.Payload.request with
     | Payload.Write_req { await_ack = true; _ } -> Some Payload.Ack
+    (* acks the fragment stream, stores nothing: silent fragment loss *)
+    | Payload.Frag_put _ -> Some Payload.Ack
     | _ -> None)
   | Drop_gossip when
       (match env.Payload.request with Payload.Gossip_push _ -> true | _ -> false) ->
@@ -220,4 +229,5 @@ let forge_write ~keyring:_ ~uid ~value ~writer =
     value;
     writer;
     evidence = Payload.Sig (String.make 64 '\x42');
+    frags = None;
   }

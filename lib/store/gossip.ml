@@ -64,6 +64,23 @@ let exchange_once ~servers ~rng ?fanout () =
     servers;
   !pushed
 
+(* Direct-invocation fragment anti-entropy (the sim/test counterpart of
+   the live host's repair pass): every server rebuilds its missing
+   fragments by pulling from peers' handlers. *)
+let repair_once ~servers () =
+  let n = Array.length servers in
+  Array.fold_left
+    (fun acc server ->
+      let sid = Server.id server in
+      let fetch ~peer request =
+        if peer < 0 || peer >= n || peer = sid then None
+        else
+          Server.handle servers.(peer) ~now:0.0 ~from:sid
+            { Payload.token = None; epoch = 0; request }
+      in
+      acc + Server.repair_fragments server ~fetch)
+    0 servers
+
 let flood ~servers =
   let n = Array.length servers in
   let progressed = ref true in

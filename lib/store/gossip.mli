@@ -24,6 +24,13 @@ val exchange_once : servers:Server.t array -> rng:Sim.Srng.t -> ?fanout:int -> u
     round for every server by direct handler invocation; returns the
     number of pushed writes. *)
 
+val repair_once : servers:Server.t array -> unit -> int
+(** One fragment anti-entropy round by direct handler invocation: every
+    server runs {!Server.repair_fragments} against its peers, so a
+    holder that lost a fragment of a committed dispersed write gets it
+    back (and counts it in [securestore_frag_repairs_total]). Returns
+    the number of fragments restored. *)
+
 val flood : servers:Server.t array -> unit
 (** Repeat direct full exchanges until no server has anything new — total
     dissemination (useful to model "writes are infrequent, reads hit

@@ -72,6 +72,26 @@ let epoch_transitions () = !epoch_transitions_c
 let epoch_rejections () = !epoch_rejections_c
 let bootstrap_bytes () = !bootstrap_bytes_c
 
+(* Dispersal counters live beside the epoch tallies, outside the
+   snapshot: fragment traffic and repairs are operator-facing totals a
+   per-experiment [reset] must not blank (the repair test watches
+   /metrics across resets). *)
+let frag_puts_c = ref 0
+let frag_gets_c = ref 0
+let frag_repairs_c = ref 0
+let dispersed_writes_c = ref 0
+let dispersed_reads_c = ref 0
+let incr_frag_put () = incr frag_puts_c
+let incr_frag_get () = incr frag_gets_c
+let incr_frag_repair () = incr frag_repairs_c
+let incr_dispersed_write () = incr dispersed_writes_c
+let incr_dispersed_read () = incr dispersed_reads_c
+let frag_puts () = !frag_puts_c
+let frag_gets () = !frag_gets_c
+let frag_repairs () = !frag_repairs_c
+let dispersed_writes () = !dispersed_writes_c
+let dispersed_reads () = !dispersed_reads_c
+
 let endpoint_rpc_histos () =
   Mutex.lock ep_histos_lock;
   let all = Hashtbl.fold (fun ep h acc -> (ep, h) :: acc) ep_histos [] in
@@ -234,7 +254,12 @@ let reset_gauges () =
   cur_epoch_version := 0;
   epoch_transitions_c := 0;
   epoch_rejections_c := 0;
-  bootstrap_bytes_c := 0
+  bootstrap_bytes_c := 0;
+  frag_puts_c := 0;
+  frag_gets_c := 0;
+  frag_repairs_c := 0;
+  dispersed_writes_c := 0;
+  dispersed_reads_c := 0
 
 let read () =
   {
@@ -359,6 +384,18 @@ let families () =
       c "bootstrap_bytes_total"
         "Write-body bytes re-announced for joining-server bootstrap."
         (bootstrap_bytes ());
+      c "frag_puts_total" "Fragment streams sealed by this process."
+        (frag_puts ());
+      c "frag_gets_total" "Fragment range reads served." (frag_gets ());
+      c "frag_repairs_total"
+        "Fragments reconstructed from peers and re-stored locally."
+        (frag_repairs ());
+      c "dispersed_writes_total"
+        "Client writes that took the coded-dispersal path."
+        (dispersed_writes ());
+      c "dispersed_reads_total"
+        "Client reads reconstructed from coded fragments."
+        (dispersed_reads ());
     ]
   in
   let now = Unix.gettimeofday () in

@@ -152,6 +152,33 @@ val epoch_transitions : unit -> int
 val epoch_rejections : unit -> int
 val bootstrap_bytes : unit -> int
 
+(** {1 Dispersal}
+
+    Fragment traffic and repair tallies, operator-facing like the epoch
+    counters: they survive {!reset} (the repair test scrapes [/metrics]
+    across experiment resets) and clear under {!reset_gauges}. *)
+
+val incr_frag_put : unit -> unit
+(** A fragment stream was sealed (final chunk stored) at a server. *)
+
+val incr_frag_get : unit -> unit
+(** A fragment range read was served. *)
+
+val incr_frag_repair : unit -> unit
+(** A missing fragment was reconstructed from peers and re-stored. *)
+
+val incr_dispersed_write : unit -> unit
+(** A client write took the coded-dispersal path. *)
+
+val incr_dispersed_read : unit -> unit
+(** A client read reconstructed its value from coded fragments. *)
+
+val frag_puts : unit -> int
+val frag_gets : unit -> int
+val frag_repairs : unit -> int
+val dispersed_writes : unit -> int
+val dispersed_reads : unit -> int
+
 val record_rpc_ns : float -> unit
 (** Record one RPC round duration (nanoseconds) in the global log-scale
     latency histogram (fixed bucket counters; replaced the old

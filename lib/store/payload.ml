@@ -14,6 +14,18 @@ type evidence =
   | Batch of batch_evidence
   | Mac of (int * string) list
 
+(* A dispersed write's metadata: the coding parameters and the digest of
+   every fragment. The write's [value] field holds the Merkle root over
+   [digests], so the stamp and the evidence bind all fragment bytes
+   without carrying them. *)
+type dispersal_meta = {
+  k : int; (* fragments needed to reconstruct *)
+  m : int; (* fragments minted (= n at write time) *)
+  total_length : int; (* original value length in bytes *)
+  stripe : int; (* value bytes coded per stripe; a multiple of k *)
+  digests : string list; (* 32-byte SHA-256 per fragment, index order *)
+}
+
 type write = {
   uid : Uid.t;
   stamp : Stamp.t;
@@ -21,14 +33,39 @@ type write = {
   value : string;
   writer : string;
   evidence : evidence;
+  frags : dispersal_meta option;
 }
 
 type ctx_record = { seq : int; ctx : Context.t; signature : string }
 
+let encode_dispersal_meta enc m =
+  Codec.Enc.varint enc m.k;
+  Codec.Enc.varint enc m.m;
+  Codec.Enc.varint enc m.total_length;
+  Codec.Enc.varint enc m.stripe;
+  Codec.Enc.list enc (fun enc d -> Codec.Enc.fixed enc ~len:digest_len d)
+    m.digests
+
+let decode_dispersal_meta dec =
+  let k = Codec.Dec.varint dec in
+  let m = Codec.Dec.varint dec in
+  let total_length = Codec.Dec.varint dec in
+  let stripe = Codec.Dec.varint dec in
+  let digests = Codec.Dec.list dec (fun dec -> Codec.Dec.fixed dec ~len:digest_len) in
+  { k; m; total_length; stripe; digests }
+
+(* Replicated writes keep the original "write" body byte-for-byte (their
+   signatures and MACs must survive this codec change); dispersed writes
+   get a domain-separated body that covers the coding descriptor, so no
+   server or third party can reinterpret one as the other. *)
 let write_body w =
   Codec.encode
     (fun enc () ->
-      Codec.Enc.string enc "write";
+      (match w.frags with
+      | None -> Codec.Enc.string enc "write"
+      | Some m ->
+        Codec.Enc.string enc "write-dispersed";
+        encode_dispersal_meta enc m);
       Uid.encode enc w.uid;
       Stamp.encode enc w.stamp;
       Codec.Enc.option enc Context.encode w.wctx;
@@ -92,12 +129,28 @@ type request =
     }
   | Epoch_get  (* what epoch is this server on? (discovery) *)
   | Epoch_announce of Config_epoch.t  (* admin: install this epoch *)
+  | Frag_put of {
+      uid : Uid.t;
+      stamp : Stamp.t;
+      writer : string;
+      index : int;  (* fragment index in [1, m] *)
+      seq : int;  (* chunk number, 0-based, strictly sequential *)
+      last : bool;  (* final chunk: the server seals and stores *)
+      data : string;
+    }
+      (* one chunk of a fragment stream — large fragments arrive as
+         several sequential Frag_puts so no single frame nears
+         Frame.max_frame *)
+  | Frag_get of { uid : Uid.t; stamp : Stamp.t; index : int; off : int; len : int }
+      (* one chunk of a stored fragment: bytes [off, off+len) *)
 
 type envelope = {
   token : string option;
   epoch : int;  (* sender's config-epoch version; 0 = static/legacy *)
   request : request;
 }
+
+type frag_chunk = { total : int; data : string }
 
 type response =
   | Ctx_reply of ctx_record option
@@ -111,6 +164,9 @@ type response =
   | Stale_epoch of Config_epoch.t
       (* "your epoch is superseded" — carries the server's newer config
          so one round-trip both rejects and repairs the client *)
+  | Frag_reply of frag_chunk option
+      (* [Some] carries the requested byte range plus the fragment's
+         full length; [None] means the server holds no such fragment *)
 
 let encode_proof enc (p : Crypto.Merkle.proof) =
   Codec.Enc.varint enc p.index;
@@ -171,7 +227,8 @@ let encode_write enc w =
   Codec.Enc.option enc Context.encode w.wctx;
   Codec.Enc.string enc w.value;
   Codec.Enc.string enc w.writer;
-  encode_evidence enc w.evidence
+  encode_evidence enc w.evidence;
+  Codec.Enc.option enc encode_dispersal_meta w.frags
 
 let decode_write dec =
   let uid = Uid.decode dec in
@@ -180,7 +237,18 @@ let decode_write dec =
   let value = Codec.Dec.string dec in
   let writer = Codec.Dec.string dec in
   let evidence = decode_evidence dec in
-  { uid; stamp; wctx; value; writer; evidence }
+  let frags = Codec.Dec.option dec decode_dispersal_meta in
+  { uid; stamp; wctx; value; writer; evidence; frags }
+
+(* Pre-dispersal wire image (snapshot versions <= 3): no [frags] field. *)
+let decode_write_v3 dec =
+  let uid = Uid.decode dec in
+  let stamp = Stamp.decode dec in
+  let wctx = Codec.Dec.option dec Context.decode in
+  let value = Codec.Dec.string dec in
+  let writer = Codec.Dec.string dec in
+  let evidence = decode_evidence dec in
+  { uid; stamp; wctx; value; writer; evidence; frags = None }
 
 let encode_ctx_record enc r =
   Codec.Enc.varint enc r.seq;
@@ -242,6 +310,22 @@ let encode_request enc = function
   | Epoch_announce e ->
     Codec.Enc.u8 enc 11;
     Config_epoch.encode enc e
+  | Frag_put { uid; stamp; writer; index; seq; last; data } ->
+    Codec.Enc.u8 enc 12;
+    Uid.encode enc uid;
+    Stamp.encode enc stamp;
+    Codec.Enc.string enc writer;
+    Codec.Enc.varint enc index;
+    Codec.Enc.varint enc seq;
+    Codec.Enc.bool enc last;
+    Codec.Enc.string enc data
+  | Frag_get { uid; stamp; index; off; len } ->
+    Codec.Enc.u8 enc 13;
+    Uid.encode enc uid;
+    Stamp.encode enc stamp;
+    Codec.Enc.varint enc index;
+    Codec.Enc.varint enc off;
+    Codec.Enc.varint enc len
 
 let decode_request dec =
   match Codec.Dec.u8 dec with
@@ -284,6 +368,22 @@ let decode_request dec =
     Evidence_upgrade { uid; stamp; writer; evidence }
   | 10 -> Epoch_get
   | 11 -> Epoch_announce (Config_epoch.decode dec)
+  | 12 ->
+    let uid = Uid.decode dec in
+    let stamp = Stamp.decode dec in
+    let writer = Codec.Dec.string dec in
+    let index = Codec.Dec.varint dec in
+    let seq = Codec.Dec.varint dec in
+    let last = Codec.Dec.bool dec in
+    let data = Codec.Dec.string dec in
+    Frag_put { uid; stamp; writer; index; seq; last; data }
+  | 13 ->
+    let uid = Uid.decode dec in
+    let stamp = Stamp.decode dec in
+    let index = Codec.Dec.varint dec in
+    let off = Codec.Dec.varint dec in
+    let len = Codec.Dec.varint dec in
+    Frag_get { uid; stamp; index; off; len }
   | _ -> raise (Codec.Error "bad request tag")
 
 let encode_envelope env =
@@ -333,7 +433,16 @@ let encode_response r =
         Codec.Enc.option enc Config_epoch.encode e
       | Stale_epoch e ->
         Codec.Enc.u8 enc 8;
-        Config_epoch.encode enc e)
+        Config_epoch.encode enc e
+      | Frag_reply chunk ->
+        Codec.Enc.u8 enc 9;
+        Codec.Enc.option enc
+          (fun enc (total, data) ->
+            Codec.Enc.varint enc total;
+            Codec.Enc.string enc data)
+          (match chunk with
+          | None -> None
+          | Some { total; data } -> Some (total, data)))
     ()
 
 let decode_response s =
@@ -355,6 +464,12 @@ let decode_response s =
       | 6 -> Denied (Codec.Dec.string dec)
       | 7 -> Epoch_reply (Codec.Dec.option dec Config_epoch.decode)
       | 8 -> Stale_epoch (Config_epoch.decode dec)
+      | 9 ->
+        Frag_reply
+          (Codec.Dec.option dec (fun dec ->
+               let total = Codec.Dec.varint dec in
+               let data = Codec.Dec.string dec in
+               { total; data }))
       | _ -> raise (Codec.Error "bad response tag"))
     s
 
@@ -374,3 +489,6 @@ let pp_response fmt = function
   | Epoch_reply None -> Format.pp_print_string fmt "Epoch_reply None"
   | Epoch_reply (Some e) -> Format.fprintf fmt "Epoch_reply %a" Config_epoch.pp e
   | Stale_epoch e -> Format.fprintf fmt "Stale_epoch %a" Config_epoch.pp e
+  | Frag_reply None -> Format.pp_print_string fmt "Frag_reply None"
+  | Frag_reply (Some { total; data }) ->
+    Format.fprintf fmt "Frag_reply (%d of %d bytes)" (String.length data) total

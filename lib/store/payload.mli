@@ -30,6 +30,19 @@ type evidence =
   | Mac of (int * string) list
       (** [(server id, HMAC-SHA256 over {!mac_body})] per addressed server *)
 
+type dispersal_meta = {
+  k : int;  (** fragments needed to reconstruct *)
+  m : int;  (** fragments minted (= n at write time) *)
+  total_length : int;  (** original value length in bytes *)
+  stripe : int;  (** value bytes coded per stripe; a multiple of [k] *)
+  digests : string list;  (** 32-byte SHA-256 per fragment, index order *)
+}
+(** A dispersed write's coding descriptor. The write's [value] field
+    holds the Merkle root over [digests] ({!Dispersal.meta_root}), so
+    the stamp and the evidence bind every fragment byte while the
+    metadata write itself stays small enough for the full n-replica
+    quorum protocol. *)
+
 type write = {
   uid : Uid.t;
   stamp : Stamp.t;
@@ -37,13 +50,20 @@ type write = {
   value : string;
   writer : string;  (** client uid *)
   evidence : evidence;
+  frags : dispersal_meta option;
+      (** [Some] marks a dispersed write: [value] is the fragment-digest
+          Merkle root and the bulk bytes live as coded fragments on the
+          servers ({!Frag_put}) *)
 }
 
 val write_body : write -> string
 (** The canonical bytes the writer authenticates (everything but the
     evidence): uid, stamp, context, value, writer. Identical across all
     three evidence forms, so escalating a write from MAC to batch
-    evidence re-certifies exactly the same bytes. *)
+    evidence re-certifies exactly the same bytes. Replicated writes
+    ([frags = None]) keep the historical byte format; dispersed writes
+    use a domain-separated prefix that also covers the coding
+    descriptor. *)
 
 val batch_body : root:string -> size:int -> string
 (** Canonical signed bytes for a Merkle batch root: domain-separated
@@ -105,6 +125,25 @@ type request =
       (** administrative: install this (signed) epoch. Servers accept a
           direct successor of their current epoch, or any strictly newer
           validly-signed epoch when they have fallen behind. *)
+  | Frag_put of {
+      uid : Uid.t;
+      stamp : Stamp.t;
+      writer : string;
+      index : int;  (** fragment index in [1, m] *)
+      seq : int;  (** chunk number, 0-based, strictly sequential *)
+      last : bool;  (** final chunk: the server seals and stores *)
+      data : string;
+    }
+      (** one chunk of a fragment stream. Large fragments arrive as
+          several sequential [Frag_put]s so no single frame approaches
+          [Frame.max_frame]; a gap in [seq] aborts the staging buffer.
+          The fragment becomes readable only once the matching metadata
+          write arrives and its digest checks out — until then it is an
+          invisible orphan. *)
+  | Frag_get of { uid : Uid.t; stamp : Stamp.t; index : int; off : int; len : int }
+      (** read bytes [off, off+len) of a stored fragment
+          ([Frag_reply]) — the chunked read path and gossip repair both
+          use this *)
 
 type envelope = {
   token : string option;
@@ -113,6 +152,10 @@ type envelope = {
           deployment (servers without an installed epoch ignore it) *)
   request : request;
 }
+
+type frag_chunk = { total : int; data : string }
+(** One chunk of a fragment: the requested byte range plus the
+    fragment's full length, so readers can size follow-up requests. *)
 
 type response =
   | Ctx_reply of ctx_record option
@@ -126,11 +169,18 @@ type response =
   | Stale_epoch of Config_epoch.t
       (** "your epoch is superseded" — carries the server's newer config,
           so one round both rejects the stale op and repairs the client *)
+  | Frag_reply of frag_chunk option
+      (** answer to [Frag_get]; [None] when the server holds no such
+          fragment *)
 
 val encode_write : Wire.Codec.Enc.t -> write -> unit
 val decode_write : Wire.Codec.Dec.t -> write
 (** Exposed for {!Server}'s snapshot codec; raises {!Wire.Codec.Error}
     on malformed input like every decoder here. *)
+
+val decode_write_v3 : Wire.Codec.Dec.t -> write
+(** Decoder for the pre-dispersal wire image (snapshot versions <= 3):
+    no [frags] field; restored writes get [frags = None]. *)
 
 val encode_evidence : Wire.Codec.Enc.t -> evidence -> unit
 val decode_evidence : Wire.Codec.Dec.t -> evidence

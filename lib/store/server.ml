@@ -39,11 +39,37 @@ type item_state = {
          superseded at 2b+1 servers and are never re-admitted *)
 }
 
+(* Bulk bytes of dispersed writes, keyed (item uid, stamp, fragment
+   index). A fragment arrives as a chunked [Frag_put] stream into a
+   staging buffer and is sealed on the last chunk; it becomes servable
+   only once [fverified]: its digest matches the coding descriptor of a
+   stored metadata write. Sealed-but-unverified fragments are orphans —
+   invisible, bounded FIFO, promoted when the metadata arrives. That is
+   the two-phase write's crash story: fragments scattered without a
+   metadata quorum simply never become visible, so the metadata quorum
+   remains the sole commit point. *)
+type frag_entry = {
+  fdata : string;
+  fdigest : string;  (* SHA-256 of fdata *)
+  mutable fverified : bool;
+}
+
+type frag_staging = {
+  sbuf : Buffer.t;
+  mutable snext : int;  (* next expected chunk seq *)
+  swriter : string;
+}
+
+type frag_key = string * Stamp.t * int
+
 type t = {
   id : int;
   config : config;
   keyring : Keyring.t;
   items : (string, item_state) Hashtbl.t; (* key: Uid.to_string *)
+  frags : (frag_key, frag_entry) Hashtbl.t;
+  staging : (frag_key, frag_staging) Hashtbl.t;
+  mutable orphans : frag_key list; (* newest first; eviction drops the tail *)
   contexts : (string * string, Payload.ctx_record) Hashtbl.t;
   faulty_writers : (string, unit) Hashtbl.t;
   mutable gossip_buffer : Payload.write list;
@@ -64,6 +90,9 @@ let create ?config ~id ~keyring ~n ~b () =
     config;
     keyring;
     items = Hashtbl.create 64;
+    frags = Hashtbl.create 16;
+    staging = Hashtbl.create 8;
+    orphans = [];
     contexts = Hashtbl.create 16;
     faulty_writers = Hashtbl.create 4;
     gossip_buffer = [];
@@ -170,6 +199,124 @@ let drop_maced st stamp =
 
 let trim depth l = List.filteri (fun i _ -> i < depth) l
 
+(* --- coded fragments ---------------------------------------------------- *)
+
+(* Staging slots bound concurrent in-flight fragment streams; the
+   orphan FIFO bounds sealed fragments waiting for their metadata; the
+   size cap bounds one fragment; the reply cap keeps a single Frag_get
+   answer well under the frame limit. *)
+let max_staging = 64
+let orphan_cap = 512
+let max_frag_bytes = 1 lsl 28 (* 256 MiB *)
+let frag_reply_cap = 4 * 1024 * 1024
+
+(* The coding descriptor this server stored for [stamp] of the item, if
+   any — what decides whether an arriving fragment is verifiable now or
+   an orphan. *)
+let dispersal_meta_for t key stamp =
+  match Hashtbl.find_opt t.items key with
+  | None -> None
+  | Some st ->
+    let pick (w : Payload.write) =
+      if Stamp.equal w.stamp stamp then w.frags else None
+    in
+    (match Option.bind st.current pick with
+    | Some _ as r -> r
+    | None -> List.find_map pick st.log)
+
+let evict_orphans t =
+  if List.length t.orphans > orphan_cap then begin
+    let keep = List.filteri (fun i _ -> i < orphan_cap) t.orphans in
+    let dead = List.filteri (fun i _ -> i >= orphan_cap) t.orphans in
+    List.iter
+      (fun fkey ->
+        match Hashtbl.find_opt t.frags fkey with
+        | Some e when not e.fverified -> Hashtbl.remove t.frags fkey
+        | _ -> ())
+      dead;
+    t.orphans <- keep
+  end
+
+(* Seal a completed fragment stream: store it verified if the metadata
+   already announced a matching digest, as an orphan if the metadata has
+   not arrived, and refuse it outright on a digest mismatch — a
+   Byzantine writer cannot park garbage under a committed stamp. *)
+let seal_fragment t ((key, stamp, index) : frag_key) data =
+  let fkey = (key, stamp, index) in
+  let digest = Crypto.Sha256.digest data in
+  Metrics.incr_digest ();
+  match dispersal_meta_for t key stamp with
+  | Some meta ->
+    if
+      index <= List.length meta.Payload.digests
+      && String.equal (List.nth meta.Payload.digests (index - 1)) digest
+    then begin
+      Hashtbl.replace t.frags fkey { fdata = data; fdigest = digest; fverified = true };
+      Metrics.incr_frag_put ();
+      Payload.Ack
+    end
+    else Payload.Denied "fragment digest mismatch"
+  | None ->
+    Hashtbl.replace t.frags fkey { fdata = data; fdigest = digest; fverified = false };
+    t.orphans <- fkey :: t.orphans;
+    evict_orphans t;
+    Metrics.incr_frag_put ();
+    Payload.Ack
+
+(* Metadata arrived: orphaned fragments whose digests it certifies
+   become servable; impostors under the same stamp are dropped. *)
+let promote_frags t (w : Payload.write) =
+  match w.frags with
+  | None -> ()
+  | Some meta ->
+    let key = Uid.to_string w.uid in
+    List.iteri
+      (fun i expected ->
+        let fkey = (key, w.stamp, i + 1) in
+        match Hashtbl.find_opt t.frags fkey with
+        | Some e when not e.fverified ->
+          if String.equal e.fdigest expected then e.fverified <- true
+          else Hashtbl.remove t.frags fkey
+        | _ -> ())
+      meta.Payload.digests;
+    t.orphans <-
+      List.filter
+        (fun fkey ->
+          match Hashtbl.find_opt t.frags fkey with
+          | Some e -> not e.fverified
+          | None -> false)
+        t.orphans
+
+(* Drop fragments whose stamp can no longer be read: below the erasure
+   watermark, or superseded without surviving in the log. Orphans ahead
+   of the current stamp stay — their metadata may still be coming. *)
+let gc_frags t key (st : item_state) =
+  let stale stamp =
+    Stamp.compare stamp st.erased_below < 0
+    || (match st.current with
+        | Some (c : Payload.write) ->
+          Stamp.compare stamp c.stamp < 0
+          && not
+               (List.exists
+                  (fun (w : Payload.write) -> Stamp.equal w.stamp stamp)
+                  st.log)
+        | None -> false)
+  in
+  let dead =
+    Hashtbl.fold
+      (fun ((k, stamp, _) as fkey) _ acc ->
+        if String.equal k key && stale stamp then fkey :: acc else acc)
+      t.frags []
+  in
+  if dead <> [] then begin
+    List.iter (Hashtbl.remove t.frags) dead;
+    t.orphans <- List.filter (Hashtbl.mem t.frags) t.orphans
+  end
+
+let note_install t (w : Payload.write) st =
+  promote_frags t w;
+  if Hashtbl.length t.frags > 0 then gc_frags t (Uid.to_string w.uid) st
+
 (* Install an accepted (announced) write. Returns true if state changed. *)
 let install t st (w : Payload.write) =
   (* If we held the same stamp as a MAC-fast write, the announced form
@@ -219,6 +366,15 @@ let try_accept t (w : Payload.write) =
     | Some c -> not (same_stamp_kind c.Payload.stamp w.stamp)
     | None -> false)
   then `Rejected
+  else if
+    (* A dispersed write's value must BE the digest Merkle root: the
+       evidence then binds every fragment byte, and a descriptor the
+       root does not certify can never be installed. *)
+    match w.frags with
+    | None -> false
+    | Some meta ->
+      not (Dispersal.meta_ok meta && String.equal w.value (Dispersal.meta_root meta))
+  then `Rejected
   else if not (Signing.server_verify_write t.keyring w) then `Rejected
   else if
     t.config.malicious_client_guard
@@ -232,6 +388,7 @@ let try_accept t (w : Payload.write) =
   end
   else if install t st w then begin
     t.gossip_buffer <- w :: t.gossip_buffer;
+    note_install t w st;
     `Accepted
   end
   else `Rejected
@@ -256,6 +413,7 @@ let drain_pending t =
             if ok then begin
               if install t st w then begin
                 t.gossip_buffer <- w :: t.gossip_buffer;
+                note_install t w st;
                 progressed := true
               end
             end
@@ -284,6 +442,12 @@ let accept_mac_write t (w : Payload.write) =
     if duplicate_of st w then `Duplicate else `Rejected
   else if is_writer_faulty t w.writer then `Rejected
   else if detect_fork t st w then `Rejected
+  else if
+    (match w.frags with
+    | None -> false
+    | Some meta ->
+      not (Dispersal.meta_ok meta && String.equal w.value (Dispersal.meta_root meta)))
+  then `Rejected
   else if not (Signing.server_verify_mac t.keyring ~server:t.id w) then
     `Rejected
   else begin
@@ -317,7 +481,9 @@ let record_holder t uid ~holder ~stamp =
       if Stamp.compare stamp st.erased_below > 0 then st.erased_below <- stamp;
       (* Holder entries below the watermark are no longer interesting. *)
       st.holders <-
-        List.filter (fun (s, _) -> Stamp.compare s st.erased_below >= 0) st.holders
+        List.filter (fun (s, _) -> Stamp.compare s st.erased_below >= 0) st.holders;
+      (* Fragments of erased stamps go with their metadata. *)
+      if Hashtbl.length t.frags > 0 then gc_frags t (Uid.to_string uid) st
     end
   end
 
@@ -436,10 +602,15 @@ let try_adopt_epoch t (e : Config_epoch.t) =
 let epoch_exempt = function
   | Payload.Gossip_push _ | Payload.Epoch_get | Payload.Epoch_announce _ ->
     true
+  | Payload.Frag_get _ ->
+    (* Fragment reads are the repair/anti-entropy channel: a peer
+       reconstructing its fragment must not be refused for lagging an
+       epoch, exactly like gossip. *)
+    true
   | Payload.Ctx_read _ | Payload.Ctx_write _ | Payload.Meta_query _
   | Payload.Value_read _ | Payload.Write_req _ | Payload.Log_query _
   | Payload.Group_query _ | Payload.Read_inline _ | Payload.Evidence_upgrade _
-    ->
+  | Payload.Frag_put _ ->
     false
 
 let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
@@ -598,6 +769,87 @@ let handle t ~now ~from (env : Payload.envelope) : Payload.response option =
         if from >= 0 then record_holder t uid ~holder:from ~stamp)
       have;
     Some Payload.Ack
+  | Payload.Frag_put { uid; stamp; writer; index; seq; last; data } ->
+    auth ~expect_client:writer ~group:(Uid.group uid) ~op:`Write (fun () ->
+        if t.draining then Some (Payload.Denied "draining")
+        else if is_writer_faulty t writer then
+          Some (Payload.Denied "writer faulty")
+        else if index < 1 || index > 255 then
+          Some (Payload.Denied "bad fragment index")
+        else begin
+          let key = Uid.to_string uid in
+          let fkey = (key, stamp, index) in
+          let st = item_state t uid in
+          if Stamp.compare stamp st.erased_below < 0 then
+            Some (Payload.Denied "stamp erased")
+          else if Hashtbl.mem t.frags fkey then
+            (* Already sealed under this stamp: a retry after a lost
+               ack. First-seal-wins; a diverging retry is caught by the
+               digest check against the (stamp-bound) metadata. *)
+            Some Payload.Ack
+          else begin
+            (* seq 0 always starts a fresh stream: a writer retrying
+               after a broken round must not trip over its own stale
+               staging entry. *)
+            if seq = 0 then Hashtbl.remove t.staging fkey;
+            match Hashtbl.find_opt t.staging fkey with
+            | Some s ->
+              if seq <> s.snext || not (String.equal s.swriter writer) then begin
+                Hashtbl.remove t.staging fkey;
+                Some (Payload.Denied "fragment chunk sequence broken")
+              end
+              else if Buffer.length s.sbuf + String.length data > max_frag_bytes
+              then begin
+                Hashtbl.remove t.staging fkey;
+                Some (Payload.Denied "fragment too large")
+              end
+              else begin
+                Buffer.add_string s.sbuf data;
+                s.snext <- seq + 1;
+                if last then begin
+                  let whole = Buffer.contents s.sbuf in
+                  Hashtbl.remove t.staging fkey;
+                  Some (seal_fragment t fkey whole)
+                end
+                else Some Payload.Ack
+              end
+            | None ->
+              if seq <> 0 then
+                Some (Payload.Denied "fragment chunk sequence broken")
+              else if last then
+                (* single-chunk fragment: no staging needed *)
+                Some (seal_fragment t fkey data)
+              else if String.length data > max_frag_bytes then
+                Some (Payload.Denied "fragment too large")
+              else if Hashtbl.length t.staging >= max_staging then
+                Some (Payload.Denied "fragment staging full")
+              else begin
+                let s =
+                  {
+                    sbuf = Buffer.create (String.length data * 4);
+                    snext = 1;
+                    swriter = writer;
+                  }
+                in
+                Buffer.add_string s.sbuf data;
+                Hashtbl.add t.staging fkey s;
+                Some Payload.Ack
+              end
+          end
+        end)
+  | Payload.Frag_get { uid; stamp; index; off; len } ->
+    auth ~group:(Uid.group uid) ~op:`Read (fun () ->
+        let fkey = (Uid.to_string uid, stamp, index) in
+        match Hashtbl.find_opt t.frags fkey with
+        | Some e when e.fverified ->
+          let total = String.length e.fdata in
+          let off = min (max 0 off) total in
+          let len = max 0 (min (min len frag_reply_cap) (total - off)) in
+          Metrics.incr_frag_get ();
+          Some
+            (Payload.Frag_reply
+               (Some { Payload.total; data = String.sub e.fdata off len }))
+        | Some _ | None -> Some (Payload.Frag_reply None))
   | Payload.Epoch_get -> Some (Payload.Epoch_reply t.epoch)
   | Payload.Epoch_announce e -> (
     match try_adopt_epoch t e with
@@ -626,7 +878,10 @@ let preverify t (env : Payload.envelope) =
     Signing.warm_batch t.keyring ~writer evidence
   | Payload.Ctx_read _ | Payload.Meta_query _ | Payload.Value_read _
   | Payload.Log_query _ | Payload.Read_inline _ | Payload.Group_query _
-  | Payload.Epoch_get | Payload.Epoch_announce _ -> ()
+  | Payload.Epoch_get | Payload.Epoch_announce _
+  (* fragment traffic carries no signatures: the metadata's digests are
+     the authority *)
+  | Payload.Frag_put _ | Payload.Frag_get _ -> ()
 
 let handler t ~now ~from payload =
   match Payload.decode_envelope payload with
@@ -668,6 +923,125 @@ let maced_writes t uid =
 let item_count t = Hashtbl.length t.items
 let audit_log t = List.rev t.audit
 
+(* --- fragment introspection and repair ---------------------------------- *)
+
+let fragment t uid ~stamp ~index =
+  match Hashtbl.find_opt t.frags (Uid.to_string uid, stamp, index) with
+  | Some e when e.fverified -> Some e.fdata
+  | _ -> None
+
+let fragment_count t =
+  Hashtbl.fold (fun _ e acc -> if e.fverified then acc + 1 else acc) t.frags 0
+
+let orphan_fragment_count t =
+  Hashtbl.fold (fun _ e acc -> if e.fverified then acc else acc + 1) t.frags 0
+
+let drop_fragment t uid ~stamp ~index =
+  Hashtbl.remove t.frags (Uid.to_string uid, stamp, index)
+
+let drop_all_fragments t =
+  let dropped = Hashtbl.length t.frags in
+  Hashtbl.reset t.frags;
+  Hashtbl.reset t.staging;
+  t.orphans <- [];
+  dropped
+
+let storage_bytes t =
+  let wlen (w : Payload.write) = String.length w.Payload.value in
+  let item_bytes =
+    Hashtbl.fold
+      (fun _ st acc ->
+        acc
+        + (match st.current with Some w -> wlen w | None -> 0)
+        + List.fold_left (fun a w -> a + wlen w) 0 st.log
+        + List.fold_left (fun a w -> a + wlen w) 0 st.pending
+        + List.fold_left (fun a w -> a + wlen w) 0 st.maced)
+      t.items 0
+  in
+  Hashtbl.fold (fun _ e acc -> acc + String.length e.fdata) t.frags item_bytes
+
+(* Current dispersed writes whose own-index fragment this server should
+   hold but does not — what the repair loop works through. *)
+let missing_fragments t =
+  Hashtbl.fold
+    (fun key st acc ->
+      match st.current with
+      | Some ({ Payload.frags = Some meta; _ } as w) when t.id + 1 <= meta.Payload.m
+        -> (
+        match Hashtbl.find_opt t.frags (key, w.stamp, t.id + 1) with
+        | Some e when e.fverified -> acc
+        | _ -> w :: acc)
+      | _ -> acc)
+    t.items []
+
+(* Rebuild our fragment of [w] from peers: pull whole fragments (1 MiB
+   ranges) from the other holders through [fetch], keep the ones whose
+   digests the metadata certifies, decode, re-code our own index, store
+   it verified. [fetch ~peer request] is the transport — sim tests pass
+   peers' [handle] directly; the live host wires it through the pool. *)
+let repair_fragment t ~fetch (w : Payload.write) =
+  match w.Payload.frags with
+  | None -> false
+  | Some meta ->
+    let my_index = t.id + 1 in
+    let fl = Dispersal.frag_length meta in
+    let digest_of index = List.nth meta.Payload.digests (index - 1) in
+    let fetch_fragment index =
+      let chunk = 1 lsl 20 in
+      let buf = Buffer.create (min fl chunk) in
+      let rec go off =
+        match
+          fetch ~peer:(index - 1)
+            (Payload.Frag_get
+               { uid = w.uid; stamp = w.stamp; index; off; len = chunk })
+        with
+        | Some (Payload.Frag_reply (Some { Payload.total; data })) ->
+          if total <> fl then None
+          else begin
+            Buffer.add_string buf data;
+            let off = off + String.length data in
+            if off >= fl then Some (Buffer.contents buf)
+            else if String.length data = 0 then None
+            else go off
+          end
+        | _ -> None
+      in
+      match go 0 with
+      | Some data
+        when String.equal (Crypto.Sha256.digest data) (digest_of index) ->
+        Some (index, data)
+      | _ -> None
+    in
+    let rec collect acc = function
+      | [] -> acc
+      | _ when List.length acc >= meta.Payload.k -> acc
+      | index :: rest -> (
+        match fetch_fragment index with
+        | Some piece -> collect (piece :: acc) rest
+        | None -> collect acc rest)
+    in
+    let candidates =
+      List.filter (fun i -> i <> my_index)
+        (List.init meta.Payload.m (fun i -> i + 1))
+    in
+    (match Dispersal.decode_fragments meta (collect [] candidates) with
+    | None -> false
+    | Some value ->
+      let mine = Dispersal.refragment meta ~index:my_index value in
+      if String.equal (Crypto.Sha256.digest mine) (digest_of my_index) then begin
+        Hashtbl.replace t.frags
+          (Uid.to_string w.uid, w.stamp, my_index)
+          { fdata = mine; fdigest = digest_of my_index; fverified = true };
+        Metrics.incr_frag_repair ();
+        true
+      end
+      else false)
+
+let repair_fragments t ~fetch =
+  List.fold_left
+    (fun acc w -> if repair_fragment t ~fetch w then acc + 1 else acc)
+    0 (missing_fragments t)
+
 (* --- persistence -------------------------------------------------------- *)
 
 (* Version 2: writes carry structured evidence (the v1 flat signature
@@ -676,14 +1050,16 @@ let audit_log t = List.rev t.audit
    escalation. Version 3 appends the config epoch (a restarted server
    must rejoin the membership generation it left in, not genesis) and
    wraps the whole body in a trailing SHA-256, so truncation or
-   corruption is detected before any field is decoded. The write codec
-   itself is {!Payload.encode_write}. *)
-let snapshot_version = 3
+   corruption is detected before any field is decoded. Version 4 writes
+   the dispersal-aware write image and appends the fragment store —
+   including orphans, so a crash between a client's fragment scatter and
+   its metadata quorum still commits once the metadata arrives after
+   restart. Versions 2/3 restore through {!Payload.decode_write_v3}. *)
+let snapshot_version = 4
 
 let integrity_len = 32
 
 let encode_write = Payload.encode_write
-let decode_write = Payload.decode_write
 
 let snapshot_body t =
   let open Wire.Codec in
@@ -720,7 +1096,17 @@ let snapshot_body t =
       Enc.list enc encode_write t.gossip_buffer;
       Enc.list enc encode_write t.audit;
       Enc.option enc Config_epoch.encode t.epoch;
-      Enc.bool enc t.draining)
+      Enc.bool enc t.draining;
+      (* v4: the fragment store (digests are recomputed on restore) *)
+      let frags = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.frags [] in
+      Enc.list enc
+        (fun enc (((key, stamp, index) : frag_key), e) ->
+          Enc.string enc key;
+          Stamp.encode enc stamp;
+          Enc.varint enc index;
+          Enc.string enc e.fdata;
+          Enc.bool enc e.fverified)
+        frags)
     ()
 
 let snapshot t =
@@ -747,11 +1133,15 @@ let restore_result ?config ~id ~keyring ~n ~b blob =
         if Dec.string dec <> "securestore-snapshot" then
           raise (Wire.Codec.Error "bad magic");
         let version = Dec.varint dec in
-        if version <> 2 && version <> snapshot_version then
+        if version < 2 || version > snapshot_version then
           raise (Wire.Codec.Error "unsupported snapshot version");
         if version >= 3 && not integrity_ok then
           raise
             (Wire.Codec.Error "integrity check failed (truncated or corrupt)");
+        (* pre-v4 blobs carry the pre-dispersal write image *)
+        let decode_write =
+          if version >= 4 then Payload.decode_write else Payload.decode_write_v3
+        in
         let saved_id = Dec.varint dec in
         if saved_id <> id then raise (Wire.Codec.Error "server id mismatch");
         let t = create ?config ~id ~keyring ~n ~b () in
@@ -798,6 +1188,23 @@ let restore_result ?config ~id ~keyring ~n ~b blob =
           | Some e -> Metrics.set_epoch_version e.Config_epoch.version
           | None -> ())
         end;
+        if version >= 4 then
+          List.iter
+            (fun (fkey, e) ->
+              Hashtbl.replace t.frags fkey e;
+              if not e.fverified then t.orphans <- fkey :: t.orphans)
+            (Dec.list dec (fun dec ->
+                 let key = Dec.string dec in
+                 let stamp = Stamp.decode dec in
+                 let index = Dec.varint dec in
+                 let fdata = Dec.string dec in
+                 let fverified = Dec.bool dec in
+                 ( (key, stamp, index),
+                   {
+                     fdata;
+                     fdigest = Crypto.Sha256.digest fdata;
+                     fverified;
+                   } )));
         t)
       body
   with

@@ -138,6 +138,61 @@ val holder_count : t -> Uid.t -> Stamp.t -> int
 (** How many distinct servers this one believes hold [stamp] of the item
     (introspection for tests). *)
 
+(** {1 Coded fragments}
+
+    Dispersed writes ({!Payload.write}[.frags = Some _]) keep their bulk
+    bytes here: fragments arrive as chunked {!Payload.Frag_put} streams,
+    become servable only once their digest matches a stored metadata
+    write's descriptor (until then they are bounded, invisible orphans),
+    and are read back in ranges via {!Payload.Frag_get}. The metadata
+    quorum is the sole commit point — fragments scattered without it
+    never become visible. *)
+
+val fragment : t -> Uid.t -> stamp:Stamp.t -> index:int -> string option
+(** The verified fragment bytes, if held (introspection for tests). *)
+
+val fragment_count : t -> int
+(** Verified fragments held. *)
+
+val orphan_fragment_count : t -> int
+(** Sealed fragments still awaiting their metadata write. *)
+
+val drop_fragment : t -> Uid.t -> stamp:Stamp.t -> index:int -> unit
+(** Forget a fragment — the fault injection for "holder lost its disk";
+    the repair loop should restore it. *)
+
+val drop_all_fragments : t -> int
+(** Forget every fragment, staged stream and orphan (whole-disk loss —
+    the explorer's fragment-loss fault); returns how many sealed
+    fragments were dropped. *)
+
+val storage_bytes : t -> int
+(** Value bytes stored: every retained write body plus every fragment.
+    The dispersal bench compares this across replication modes for the
+    storage-amplification claim. *)
+
+val missing_fragments : t -> Payload.write list
+(** Current dispersed writes whose own-index (id+1) fragment this server
+    should hold but does not — the repair worklist. *)
+
+val repair_fragment :
+  t ->
+  fetch:(peer:int -> Payload.request -> Payload.response option) ->
+  Payload.write ->
+  bool
+(** Rebuild our fragment of one dispersed write: pull whole fragments
+    from peer holders through [fetch], keep those the metadata digests
+    certify, decode, re-code our own index and store it verified. *)
+
+val repair_fragments :
+  t ->
+  fetch:(peer:int -> Payload.request -> Payload.response option) ->
+  int
+(** Run {!repair_fragment} over {!missing_fragments}; returns how many
+    fragments were restored (each counts toward
+    [securestore_frag_repairs_total]). Gossip hosts call this on their
+    anti-entropy cadence. *)
+
 val snapshot : t -> string
 (** Serialize the server's durable state — items (current, log, held
     writes, fork flags, erasure watermarks), stored contexts,

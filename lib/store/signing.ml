@@ -80,9 +80,9 @@ let cached_verify ?(count = true) pub ~msg ~signature =
     with_sigcache (fun () -> Sigcache.add !sigcache key verdict);
     verdict
 
-let sign_write ~key ~writer ~uid ~stamp ?wctx value =
+let sign_write ~key ~writer ~uid ~stamp ?wctx ?frags value =
   let unsigned =
-    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Sig "" }
+    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Sig ""; frags }
   in
   Metrics.incr_sign ();
   {
@@ -98,9 +98,9 @@ let sign_batch_root ~key ~root ~size =
    [servers]. [None] when any pairwise key is missing — the caller falls
    back to a signature rather than sending a write some addressed server
    could never verify. *)
-let mac_write keyring ~writer ~uid ~stamp ?wctx ~servers value =
+let mac_write keyring ~writer ~uid ~stamp ?wctx ?frags ~servers value =
   let unsigned =
-    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Mac [] }
+    { Payload.uid; stamp; wctx; value; writer; evidence = Payload.Mac []; frags }
   in
   let body = Payload.write_body unsigned in
   let tags =

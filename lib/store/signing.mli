@@ -32,9 +32,13 @@ val sign_write :
   uid:Uid.t ->
   stamp:Stamp.t ->
   ?wctx:Context.t ->
+  ?frags:Payload.dispersal_meta ->
   string ->
   Payload.write
-(** Per-write signature evidence — the paper's baseline write. *)
+(** Per-write signature evidence — the paper's baseline write. [frags]
+    marks a dispersed write: the signature then covers the coding
+    descriptor (fragment digests included) via the domain-separated
+    {!Payload.write_body}. *)
 
 val sign_batch_root : key:Crypto.Rsa.keypair -> root:string -> size:int -> string
 (** Sign {!Payload.batch_body} — one signature certifying a whole
@@ -46,6 +50,7 @@ val mac_write :
   uid:Uid.t ->
   stamp:Stamp.t ->
   ?wctx:Context.t ->
+  ?frags:Payload.dispersal_meta ->
   servers:int list ->
   string ->
   Payload.write option

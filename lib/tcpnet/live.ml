@@ -33,22 +33,19 @@ let send_once endpoint payload =
     (try Frame.write_frame fd (Frame.encode_oneway payload) with _ -> ());
     (try Unix.close fd with _ -> ())
 
-let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
+let do_scatter_legacy ~endpoints ~parts ~quorum ~timeout =
   let lock = Mutex.create () in
   let replies = ref [] in
   let arrived = ref 0 in
   List.iter
-    (fun dst ->
+    (fun (dst, request) ->
       match endpoints dst with
       | None -> ()
       | Some endpoint ->
         ignore
           (Thread.create
              (fun () ->
-               match
-                 call_once ~timeout:spec.Sim.Runtime.timeout endpoint
-                   spec.Sim.Runtime.request
-               with
+               match call_once ~timeout endpoint request with
                | Some payload ->
                  Mutex.lock lock;
                  replies := { Sim.Runtime.from = dst; payload } :: !replies;
@@ -56,11 +53,10 @@ let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
                  Mutex.unlock lock
                | None -> ())
              ()))
-    spec.Sim.Runtime.dsts;
+    parts;
   (* The legacy waiter polls at 1 ms granularity — part of what the
      pooled transport exists to avoid. *)
-  let deadline = Unix.gettimeofday () +. spec.Sim.Runtime.timeout in
-  let quorum = spec.Sim.Runtime.quorum in
+  let deadline = Unix.gettimeofday () +. timeout in
   let rec wait () =
     let done_ =
       Mutex.lock lock;
@@ -80,6 +76,11 @@ let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
   Mutex.unlock lock;
   result
 
+let do_call_many_legacy ~endpoints (spec : Sim.Runtime.call_spec) =
+  do_scatter_legacy ~endpoints
+    ~parts:(List.map (fun dst -> (dst, spec.Sim.Runtime.request)) spec.dsts)
+    ~quorum:spec.Sim.Runtime.quorum ~timeout:spec.Sim.Runtime.timeout
+
 (* --- pooled transport (default) ---------------------------------------- *)
 
 let do_call_many ~pool ~endpoints ~shard_of (spec : Sim.Runtime.call_spec) =
@@ -98,6 +99,23 @@ let do_call_many ~pool ~endpoints ~shard_of (spec : Sim.Runtime.call_spec) =
     ~quorum:spec.Sim.Runtime.quorum dsts spec.Sim.Runtime.request
   |> List.map (fun (from, payload) -> { Sim.Runtime.from; payload })
 
+let do_call_scatter ~pool ~endpoints ~shard_of (spec : Sim.Runtime.scatter_spec)
+    =
+  let parts =
+    List.filter_map
+      (fun (dst, request) ->
+        Option.map (fun ep -> (dst, ep, request)) (endpoints dst))
+      spec.Sim.Runtime.parts
+  in
+  let shard =
+    match spec.Sim.Runtime.parts with
+    | [] -> None
+    | (dst, _) :: _ -> shard_of dst
+  in
+  Pool.call_scatter pool ~timeout:spec.Sim.Runtime.timeout ?shard
+    ~quorum:spec.Sim.Runtime.quorum parts
+  |> List.map (fun (from, payload) -> { Sim.Runtime.from; payload })
+
 let run ?(transport = `Pooled) ?pool ?(shard_of = fun _ -> None) ~endpoints fn =
   (* Lazy so the legacy path never materializes the shared pool (its
      timekeeper thread and self-pipe fds) — in particular not in the
@@ -109,6 +127,14 @@ let run ?(transport = `Pooled) ?pool ?(shard_of = fun _ -> None) ~endpoints fn =
     match transport with
     | `Pooled -> do_call_many ~pool:(Lazy.force pool) ~endpoints ~shard_of spec
     | `Legacy -> do_call_many_legacy ~endpoints spec
+  in
+  let call_scatter (spec : Sim.Runtime.scatter_spec) =
+    match transport with
+    | `Pooled ->
+      do_call_scatter ~pool:(Lazy.force pool) ~endpoints ~shard_of spec
+    | `Legacy ->
+      do_scatter_legacy ~endpoints ~parts:spec.parts ~quorum:spec.quorum
+        ~timeout:spec.timeout
   in
   let send_oneway dst payload =
     match endpoints dst with
@@ -153,6 +179,10 @@ let run ?(transport = `Pooled) ?pool ?(shard_of = fun _ -> None) ~endpoints fn =
                 Some
                   (fun (k : (a, _) continuation) ->
                     continue k (call_many spec))
+              | Sim.Runtime.Call_scatter spec ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    continue k (call_scatter spec))
               | _ -> None);
         }
   in

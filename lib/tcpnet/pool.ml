@@ -618,11 +618,14 @@ let drop_outstanding pool ~timed_out outstanding =
       end)
     outstanding
 
-let run_group pool group dsts buf =
+(* [dsts] carries a prebuilt frame per destination. A broadcast passes
+   the same shared buffer in every triple (encoded once, id patched per
+   send); a scatter passes a distinct frame per destination. *)
+let run_group pool group dsts =
   let start = Unix.gettimeofday () in
   timer_register pool.timer group.deadline group;
   List.iter
-    (fun (from, ep) -> submit pool group (endpoint_state pool ep) ~from buf)
+    (fun (from, ep, buf) -> submit pool group (endpoint_state pool ep) ~from buf)
     dsts;
   (* One annotation per round, not per destination: an (ep, corr) pair
      for every request actually registered, so a slow span's attrs
@@ -653,14 +656,28 @@ let call_many pool ?(timeout = 5.0) ?shard ~quorum dsts payload =
       make_group ~quorum ~total:(List.length dsts)
         ~deadline:(Unix.gettimeofday () +. timeout)
     in
-    run_group pool group dsts (Frame.prebuilt_call ?shard payload)
+    let buf = Frame.prebuilt_call ?shard payload in
+    run_group pool group (List.map (fun (from, ep) -> (from, ep, buf)) dsts)
+
+let call_scatter pool ?(timeout = 5.0) ?shard ~quorum parts =
+  match parts with
+  | [] -> []
+  | _ ->
+    let group =
+      make_group ~quorum ~total:(List.length parts)
+        ~deadline:(Unix.gettimeofday () +. timeout)
+    in
+    run_group pool group
+      (List.map
+         (fun (from, ep, payload) -> (from, ep, Frame.prebuilt_call ?shard payload))
+         parts)
 
 let call pool ?(timeout = 5.0) ?shard endpoint payload =
   let group =
     make_group ~quorum:1 ~total:1 ~deadline:(Unix.gettimeofday () +. timeout)
   in
   match
-    run_group pool group [ (0, endpoint) ] (Frame.prebuilt_call ?shard payload)
+    run_group pool group [ (0, endpoint, Frame.prebuilt_call ?shard payload) ]
   with
   | (_, payload) :: _ -> Reply payload
   | [] -> ( match group.last_error with Some err -> err | None -> Dropped)

@@ -63,6 +63,20 @@ val call_many :
     [n]. With [shard], every destination is addressed as that shard
     (a quorum group lives wholly inside one shard by construction). *)
 
+val call_scatter :
+  t ->
+  ?timeout:float ->
+  ?shard:int ->
+  quorum:int ->
+  (int * (string * int) * string) list ->
+  (int * string) list
+(** Like {!call_many} but with a distinct request per destination — one
+    [(node_id, endpoint, request)] triple each — under a single quorum
+    wait. The dispersal data path uses this to ship each server its own
+    fragment piece in one round. Each request is encoded into its own
+    frame (there is no shared buffer to patch); completion semantics are
+    exactly {!call_many}'s. *)
+
 val send : t -> ?shard:int -> string * int -> string -> bool
 (** Fire-and-forget one-way message on a pooled connection (gossip
     pushes). Retries once on a connection found dead at write time.

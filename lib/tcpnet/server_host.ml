@@ -211,41 +211,86 @@ let gossip_loop t st ~period =
                 Store.Server.gossip_summary st.sserver,
                 Store.Server.epoch st.sserver )))
     in
-    Obs.Span.with_phase "push" @@ fun () ->
-    List.iter
-      (fun peer ->
-        let pending =
-          (match Hashtbl.find_opt backlog peer with Some w -> w | None -> [])
-          @ fresh
+    (Obs.Span.with_phase "push" @@ fun () ->
+     List.iter
+       (fun peer ->
+         let pending =
+           (match Hashtbl.find_opt backlog peer with Some w -> w | None -> [])
+           @ fresh
+         in
+         match (pending, epoch) with
+         | [], None -> ()
+         | writes, _ ->
+           (* Backlogged writes were accepted before this round's
+              summary was taken, so [have] still covers them. In an
+              epoch-enabled cluster, pushes fire even with nothing to
+              send: the epoch rides every push, so a peer that missed an
+              announcement catches up from here. *)
+           let payload =
+             Store.Payload.encode_envelope
+               {
+                 Store.Payload.token = None; epoch = 0;
+                 request = Store.Payload.Gossip_push { writes; have; epoch };
+               }
+           in
+           let host, port = peer in
+           if push_to_peer ?shard ~host ~port payload then begin
+             (* gossip rides the same wire as client RPCs: count its
+                bytes into the global tally so a co-located bench can
+                report total bytes-on-wire to full dissemination *)
+             Store.Metrics.add_messages 1;
+             Store.Metrics.add_bytes (String.length payload);
+             Hashtbl.remove backlog peer
+           end
+           else begin
+             let writes =
+               let n = List.length writes in
+               if n <= max_backlog then writes
+               else (* drop oldest; the tail is the newest *)
+                 List.filteri (fun i _ -> i >= n - max_backlog) writes
+             in
+             Hashtbl.replace backlog peer writes
+           end)
+       st.speers);
+    (* Fragment anti-entropy: rebuild any verified fragment this shard
+       should hold for a current dispersed write but lost (crash before
+       the metadata arrived by gossip, disk loss, ...). The worklist
+       check is a cheap scan and almost always empty; when it is not,
+       the repair runs under the shard lock (its final store must not
+       race request handling), so the peer pulls use a short timeout to
+       bound the hold. We do not know which peer endpoint carries which
+       server id, so the fetch probes the peer set for the wanted index
+       — misses answer with a tiny [Frag_reply None]. *)
+    Obs.Span.with_phase "repair" @@ fun () ->
+    let missing =
+      with_lock st (fun () -> Store.Server.missing_fragments st.sserver)
+    in
+    if missing <> [] then begin
+      let fetch ~peer:_ request =
+        let payload =
+          Store.Payload.encode_envelope
+            { Store.Payload.token = None; epoch = 0; request }
         in
-        match (pending, epoch) with
-        | [], None -> ()
-        | writes, _ ->
-          (* Backlogged writes were accepted before this round's
-             summary was taken, so [have] still covers them. In an
-             epoch-enabled cluster, pushes fire even with nothing to
-             send: the epoch rides every push, so a peer that missed an
-             announcement catches up from here. *)
-          let payload =
-            Store.Payload.encode_envelope
-              {
-                Store.Payload.token = None; epoch = 0;
-                request = Store.Payload.Gossip_push { writes; have; epoch };
-              }
-          in
-          let host, port = peer in
-          if push_to_peer ?shard ~host ~port payload then
-            Hashtbl.remove backlog peer
-          else begin
-            let writes =
-              let n = List.length writes in
-              if n <= max_backlog then writes
-              else (* drop oldest; the tail is the newest *)
-                List.filteri (fun i _ -> i >= n - max_backlog) writes
-            in
-            Hashtbl.replace backlog peer writes
-          end)
-      st.speers
+        List.find_map
+          (fun endpoint ->
+            match
+              Pool.call (Pool.shared ()) ~timeout:1.0 ?shard endpoint payload
+            with
+            | Pool.Reply r -> (
+              match Store.Payload.decode_response r with
+              | Some (Store.Payload.Frag_reply (Some _) as resp) -> Some resp
+              | _ -> None)
+            | Pool.Rejected _ | Pool.No_reply | Pool.Dropped -> None)
+          st.speers
+      in
+      List.iter
+        (fun w ->
+          ignore
+            (with_lock st (fun () ->
+                 Store.Server.repair_fragment st.sserver ~fetch w)
+              : bool))
+        missing
+    end
   done
 
 let launch ~specs ~tagged ~gossip_period ~port =

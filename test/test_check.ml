@@ -357,6 +357,45 @@ let test_reconfig_runs_clean () =
         (O.violation_to_string v)
   done
 
+(* The coded k-of-n data path under the explorer: force dispersal on
+   (every other write padded past a tiny threshold), inject whole-disk
+   fragment losses, and the oracle's properties must still hold over
+   the reconstructed reads — the freshness/linkage checks run against
+   the reconstructed bytes, so a wrong or stale reconstruction would be
+   flagged. Fragment losses beyond what repair catches only fail reads
+   (liveness), which the oracle does not score. Determinism must hold
+   too: the dispersal draws come from their own random stream. *)
+let test_dispersal_schedules_clean () =
+  let force seed =
+    let s = E.schedule_of_seed seed in
+    {
+      s with
+      E.dispersal = true;
+      frag_losses = [ (0, s.E.horizon *. 0.3); (1, s.E.horizon *. 0.6) ];
+    }
+  in
+  let a = E.run (force 5100) in
+  let b = E.run (force 5100) in
+  Alcotest.(check string) "dispersal history reproduces" a.E.history_digest
+    b.E.history_digest;
+  Alcotest.(check bool) "frag-loss category active" true
+    (List.mem E.Frag_loss (E.active_categories a.E.schedule));
+  Alcotest.(check bool) "disable drops the losses" true
+    ((E.disable E.Frag_loss a.E.schedule).E.frag_losses = []);
+  let count = if soak then 40 else 10 in
+  for i = 0 to count - 1 do
+    let out = E.run (force (5000 + i)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d produced work" (5000 + i))
+      true (out.E.events > 0);
+    match out.E.violations with
+    | [] -> ()
+    | v :: _ ->
+      Alcotest.failf "dispersal schedule %s violated the oracle:\n%s"
+        (E.describe out.E.schedule)
+        (O.violation_to_string v)
+  done
+
 let test_history_json_and_recording_guard () =
   let out = E.run (E.canary_schedule ~seed:3) in
   let json = Check.History.to_json out.E.history in
@@ -457,6 +496,8 @@ let () =
             test_reconfig_schedule_shape;
           Alcotest.test_case "reconfig runs violation-free" `Quick
             test_reconfig_runs_clean;
+          Alcotest.test_case "dispersal runs violation-free" `Quick
+            test_dispersal_schedules_clean;
           Alcotest.test_case "history json + recording guard" `Quick
             test_history_json_and_recording_guard;
         ] );

@@ -807,6 +807,69 @@ let prop_ida_roundtrip =
       let picked = List.filteri (fun i _ -> i >= n - k) frags in
       Ida.reconstruct ~k picked = Some value)
 
+let prop_ida_stripe_roundtrip =
+  QCheck.Test.make ~name:"ida stripe any-k-of-n roundtrip" ~count:120
+    QCheck.(triple (string_of_size Gen.(0 -- 200)) (int_range 1 6) (int_range 0 5))
+    (fun (value, k, extra) ->
+      let n = k + extra in
+      let len = String.length value in
+      let width = if len = 0 then 0 else (len + k - 1) / k in
+      let pieces = Ida.split_stripe ~k ~n value in
+      let indexed = Array.to_list (Array.mapi (fun i p -> (i + 1, p)) pieces) in
+      let picked = List.filteri (fun i _ -> i >= n - k) indexed in
+      Array.length pieces = n
+      && Array.for_all (fun p -> String.length p = width) pieces
+      && Ida.reconstruct_stripe ~k ~len picked = Some value
+      && Ida.reconstruct_stripe ~k ~len indexed = Some value)
+
+let prop_ida_stripe_insufficient =
+  QCheck.Test.make ~name:"ida stripe k-1 pieces fail" ~count:60
+    QCheck.(pair (string_of_size Gen.(1 -- 120)) (int_range 2 6))
+    (fun (value, k) ->
+      let pieces = Ida.split_stripe ~k ~n:(k + 2) value in
+      let indexed = Array.to_list (Array.mapi (fun i p -> (i + 1, p)) pieces) in
+      let few = List.filteri (fun i _ -> i < k - 1) indexed in
+      Ida.reconstruct_stripe ~k ~len:(String.length value) few = None)
+
+let prop_ida_stripe_streaming_equiv =
+  (* Encoding stripe by stripe and concatenating the pieces per index,
+     then decoding stripe by stripe from any k of the concatenated
+     streams, reproduces the value — the invariant the chunked live
+     transport relies on. *)
+  QCheck.Test.make ~name:"ida striping streams" ~count:60
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (int_range 1 4))
+    (fun (value, k) ->
+      let n = k + 2 in
+      let stripe = k * 8 in
+      let len = String.length value in
+      let bufs = Array.init n (fun _ -> Buffer.create 64) in
+      let off = ref 0 in
+      while !off < len do
+        let l = min stripe (len - !off) in
+        let pieces = Ida.split_stripe ~k ~n (String.sub value !off l) in
+        Array.iteri (fun i p -> Buffer.add_string bufs.(i) p) pieces;
+        off := !off + l
+      done;
+      let out = Buffer.create len in
+      let good = ref true in
+      let foff = ref 0 and voff = ref 0 in
+      while !voff < len && !good do
+        let l = min stripe (len - !voff) in
+        let width = (l + k - 1) / k in
+        let pieces =
+          (* decode from the LAST k streams: any k indices must do *)
+          List.init k (fun j ->
+              let i = n - k + j in
+              (i + 1, Buffer.sub bufs.(i) !foff width))
+        in
+        (match Ida.reconstruct_stripe ~k ~len:l pieces with
+        | Some s -> Buffer.add_string out s
+        | None -> good := false);
+        foff := !foff + width;
+        voff := !voff + l
+      done;
+      !good && Buffer.contents out = value)
+
 (* ------------------------------------------------------------------ *)
 (* Key tree (LKH group key management)                                *)
 (* ------------------------------------------------------------------ *)
@@ -1034,7 +1097,13 @@ let () =
           Alcotest.test_case "edge cases" `Quick test_ida_edge_cases;
           Alcotest.test_case "serde" `Quick test_ida_fragment_serde;
         ]
-        @ qsuite [ prop_ida_roundtrip ] );
+        @ qsuite
+            [
+              prop_ida_roundtrip;
+              prop_ida_stripe_roundtrip;
+              prop_ida_stripe_insufficient;
+              prop_ida_stripe_streaming_equiv;
+            ] );
       ( "keytree",
         [
           Alcotest.test_case "join & agree" `Quick test_keytree_join_and_agree;

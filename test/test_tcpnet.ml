@@ -837,6 +837,144 @@ let test_byzantine_hosts () =
             "the real value"
             (ok (Store.Client.read alice ~item:"x"))))
 
+(* --- coded bulk transport over real sockets ------------------------------ *)
+
+let coded_connect ~keyring ~n ~b ?(timeout = 2.0) name key =
+  let config =
+    {
+      (Store.Client.default_config ~n ~b) with
+      Store.Client.timeout;
+      dispersal_threshold = 4096;
+      dispersal_chunk = 16_384;
+    }
+  in
+  match Store.Client.connect ~config ~uid:name ~key ~keyring ~group:"net" () with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Store.Client.error_to_string e)
+
+let bulk_value n = String.init n (fun i -> Char.chr ((i * 31 + i / 997) land 0xff))
+
+let test_live_dispersal_roundtrip () =
+  with_cluster (fun ~keyring ~endpoints ~hosts:_ ~n ~b ->
+      Tcpnet.Live.run ~endpoints (fun () ->
+          let alice = coded_connect ~keyring ~n ~b "alice" alice_key in
+          (* fragments of ~50 KB stream as several 16 KB Frag_put chunks
+             and come back as ranged Frag_gets *)
+          let value = bulk_value 100_000 in
+          ok (Store.Client.write alice ~item:"bulk" value);
+          Alcotest.(check string) "writer reads back" value
+            (ok (Store.Client.read alice ~item:"bulk"));
+          let bob = coded_connect ~keyring ~n ~b "bob" bob_key in
+          Alcotest.(check string) "bob reconstructs" value
+            (ok (Store.Client.read bob ~item:"bulk"))))
+
+let test_live_dispersal_under_chaos () =
+  (* Server 1 sits behind a chaos proxy that drops and corrupts frames
+     in both directions. The coded write still commits — the scatter
+     needs k+b = 3 clean ack streams and the other three servers provide
+     them — and readers reconstruct around the damaged holder: a
+     corrupted fragment fails its descriptor digest and is replaced. *)
+  with_cluster (fun ~keyring ~endpoints ~hosts:_ ~n ~b ->
+      let target =
+        match endpoints 1 with Some e -> e | None -> Alcotest.fail "no endpoint"
+      in
+      let proxy =
+        Tcpnet.Chaos.start
+          ~plan:(Tcpnet.Chaos.plan ~seed:5 ~drop:0.2 ~corrupt:0.3 ())
+          ~target ()
+      in
+      Fun.protect ~finally:(fun () -> Tcpnet.Chaos.stop proxy) @@ fun () ->
+      let endpoints id =
+        if id = 1 then Some ("127.0.0.1", Tcpnet.Chaos.port proxy)
+        else endpoints id
+      in
+      Tcpnet.Live.run ~endpoints (fun () ->
+          let alice = coded_connect ~timeout:0.5 ~keyring ~n ~b "alice" alice_key in
+          let value = bulk_value 60_000 in
+          ok (Store.Client.write alice ~item:"bulk" value);
+          Alcotest.(check string) "reconstructs through chaos" value
+            (ok (Store.Client.read alice ~item:"bulk"));
+          let bob = coded_connect ~timeout:0.5 ~keyring ~n ~b "bob" bob_key in
+          Alcotest.(check string) "bob too" value
+            (ok (Store.Client.read bob ~item:"bulk"))))
+
+let test_live_fragment_repair () =
+  (* A full gossip mesh over real sockets: the metadata write reaches
+     every server by anti-entropy, each holder's staged fragment turns
+     verified, and when one holder loses its fragment the gossip loop's
+     repair phase pulls peer fragments and recodes its own. *)
+  let n = 4 and b = 1 in
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  let servers =
+    Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ())
+  in
+  (* reserve ephemeral ports first so every host can name all its peers *)
+  let ports =
+    Array.init n (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let p =
+          match Unix.getsockname s with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> assert false
+        in
+        Unix.close s;
+        p)
+  in
+  let hosts =
+    Array.mapi
+      (fun i server ->
+        let peers =
+          List.filteri (fun j _ -> j <> i)
+            (Array.to_list (Array.map (fun p -> ("127.0.0.1", p)) ports))
+        in
+        Tcpnet.Server_host.start
+          ~gossip:{ Tcpnet.Server_host.peers; period = 0.05 }
+          ~server ~port:ports.(i) ())
+      servers
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Tcpnet.Server_host.stop hosts)
+  @@ fun () ->
+  let endpoints id =
+    if id >= 0 && id < n then Some ("127.0.0.1", ports.(id)) else None
+  in
+  let value = bulk_value 30_000 in
+  Tcpnet.Live.run ~endpoints (fun () ->
+      let alice = coded_connect ~keyring ~n ~b "alice" alice_key in
+      ok (Store.Client.write alice ~item:"bulk" value));
+  let uid = Store.Uid.make ~group:"net" ~item:"bulk" in
+  let await ?(tries = 100) what probe =
+    let rec go tries =
+      if probe () then ()
+      else if tries = 0 then Alcotest.failf "timed out waiting for %s" what
+      else begin
+        Thread.delay 0.05;
+        go (tries - 1)
+      end
+    in
+    go tries
+  in
+  await "gossip to verify every fragment" (fun () ->
+      Array.for_all (fun s -> Store.Server.fragment_count s = 1) servers);
+  let stamp =
+    match Store.Server.current_write servers.(0) uid with
+    | Some w -> w.Store.Payload.stamp
+    | None -> Alcotest.fail "no metadata at server 0"
+  in
+  let repairs0 = Store.Metrics.frag_repairs () in
+  Store.Server.drop_fragment servers.(2) uid ~stamp ~index:3;
+  await "the gossip loop to repair the fragment" (fun () ->
+      Store.Server.fragment servers.(2) uid ~stamp ~index:3 <> None);
+  Alcotest.(check bool) "repair counted in metrics" true
+    (Store.Metrics.frag_repairs () > repairs0);
+  (* the restored holder serves reads again *)
+  Tcpnet.Live.run ~endpoints (fun () ->
+      let alice = coded_connect ~keyring ~n ~b "alice" alice_key in
+      Alcotest.(check string) "read after repair" value
+        (ok (Store.Client.read alice ~item:"bulk")))
+
 (* The heaviest cases here spend most of their time in real sleeps
    (reconnect backoff, gossip requeue timers).  They run in CI and under
    SOAK=1 locally, and are skipped otherwise to keep the default
@@ -887,5 +1025,11 @@ let () =
           Alcotest.test_case "chaos determinism" `Quick test_chaos_determinism;
           Alcotest.test_case "chaos proxy faults" `Quick test_chaos_proxy_faults;
           Alcotest.test_case "byzantine hosts" `Quick test_byzantine_hosts;
+        ] );
+      ( "dispersal",
+        [
+          Alcotest.test_case "live roundtrip" `Quick test_live_dispersal_roundtrip;
+          Alcotest.test_case "chaos holder" `Quick test_live_dispersal_under_chaos;
+          Alcotest.test_case "gossip repair" `Quick test_live_fragment_repair;
         ] );
     ]

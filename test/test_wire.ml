@@ -115,6 +115,7 @@ let prop_envelope_bitflip =
                     value = "some value";
                     writer = "alice";
                     evidence = Store.Payload.Sig (String.make 64 's');
+                    frags = None;
                   };
                 await_ack = true;
               };
@@ -169,6 +170,7 @@ let test_evidence_roundtrip () =
       value = "v";
       writer = "alice";
       evidence;
+      frags = None;
     }
   in
   let roundtrip w =
