@@ -3194,6 +3194,597 @@ let e21_dispersal ~seed:_ ~json () =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
+(* E22: end-to-end distributed tracing                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_trace_json ~path rows =
+  let obj rows =
+    "{ "
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) rows)
+    ^ " }"
+  in
+  let current = obj rows in
+  let baseline =
+    match existing_baseline path with Some b -> b | None -> current
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"schema\": \"bench-trace-v1\",\n  \"baseline\": %s,\n\
+        \  \"current\": %s\n}\n"
+        baseline current);
+  Format.fprintf fmt "wrote %s@." path
+
+(* Three questions, one experiment. (1) What does end-to-end tracing
+   cost when on — trace minting, the 26-byte wire extension on every
+   frame, server-side context parsing — measured with E17's paired-op
+   methodology against the same 3% transport budget. (2) Does a
+   sharded, chaos-proxied transaction stitch into ONE trace: client
+   phases, a write quorum's worth of server spans on each of two
+   shards, and a gossip hop, assembled by the flight recorder and
+   fetchable over /trace (saved as TRACE_sample.json). (3) Does an
+   injected freshness violation — a canary client reading from servers
+   swapped to Stale mid-run — yield an oracle report whose trace id
+   resolves in the flight recorder (dumped as
+   FLIGHT_violation_<id>.json)? *)
+let e22_trace ~seed ~json () =
+  let failures = ref [] in
+  let fail fmt_ =
+    Printf.ksprintf (fun s -> failures := s :: !failures) fmt_
+  in
+  let reserve_port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let key_of name =
+    Crypto.Rsa.generate ~bits:512 (Crypto.Prng.create ~seed:("e22-" ^ name))
+  in
+  (* --- (1) overhead: E17's interleaved off/on batches --------------- *)
+  let n = 4 and b = 1 in
+  Store.Metrics.reset ();
+  Obs.Span.set_enabled false;
+  Obs.Span.reset_stats ();
+  Obs.Span.reset_journal ();
+  Obs.Span.reset_flight ();
+  (* Client-side cost only, like E17: the in-process servers would bill
+     their span work to client latency through the shared machine. The
+     wire extension still rides every traced frame and the server still
+     parses it — that cost is in scope and measured. *)
+  Tcpnet.Server_host.set_request_tracing false;
+  let alice_key = key_of "alice" and bob_key = key_of "bob" in
+  let keyring = Store.Keyring.create () in
+  Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
+  Store.Keyring.register keyring "bob" bob_key.Crypto.Rsa.public;
+  let servers =
+    Array.init n (fun id -> Store.Server.create ~id ~keyring ~n ~b ())
+  in
+  let hosts =
+    Array.map (fun server -> Tcpnet.Server_host.start ~server ~port:0 ()) servers
+  in
+  let eps = Array.map (fun h -> ("127.0.0.1", Tcpnet.Server_host.port h)) hosts in
+  let endpoints id = if id >= 0 && id < n then Some eps.(id) else None in
+  let cfg =
+    { (Store.Client.default_config ~n ~b) with Store.Client.timeout = 2.0 }
+  in
+  let batches = 5 and iters = 150 in
+  let op_results = ref [] and tr_results = ref [] in
+  (* Every paired sample, pooled across batches, so the JSON can carry
+     off/on percentiles and not just the batch-median headline. *)
+  let pool_w_off = ref [] and pool_w_on = ref [] in
+  let pool_r_off = ref [] and pool_r_on = ref [] in
+  Tcpnet.Live.run ~endpoints (fun () ->
+      let connect name key =
+        match
+          Store.Client.connect ~config:cfg ~uid:name ~key ~keyring ~group:"e22"
+            ()
+        with
+        | Ok c -> c
+        | Error e -> failwith ("e22 connect: " ^ Store.Client.error_to_string e)
+      in
+      let alice = connect "alice" alice_key in
+      let bob = connect "bob" bob_key in
+      let counter = ref 0 in
+      let one_write () =
+        incr counter;
+        match Store.Client.write alice ~item:"k" (string_of_int !counter) with
+        | Ok () -> ()
+        | Error e -> failwith ("e22 write: " ^ Store.Client.error_to_string e)
+      in
+      let one_read () =
+        match Store.Client.read bob ~item:"k" with
+        | Ok _ -> ()
+        | Error e -> failwith ("e22 read: " ^ Store.Client.error_to_string e)
+      in
+      let batch_median samples =
+        Array.sort compare samples;
+        samples.(Array.length samples / 2)
+      in
+      let rpc_h = Store.Metrics.rpc_latency_histo () in
+      let batch () =
+        let wo = Array.make iters 0.0 and wn = Array.make iters 0.0 in
+        let ro = Array.make iters 0.0 and rn = Array.make iters 0.0 in
+        let wto = Array.make iters 0.0 and wtn = Array.make iters 0.0 in
+        let rto = Array.make iters 0.0 and rtn = Array.make iters 0.0 in
+        let timed op_arr tr_arr i f =
+          let s = Obs.Histo.sum rpc_h in
+          op_arr.(i) <- fst (time_ns f);
+          tr_arr.(i) <- Obs.Histo.sum rpc_h -. s
+        in
+        for i = 0 to iters - 1 do
+          Obs.Span.set_enabled false;
+          timed wo wto i one_write;
+          timed ro rto i one_read;
+          Obs.Span.set_enabled true;
+          timed wn wtn i one_write;
+          timed rn rtn i one_read
+        done;
+        Obs.Span.set_enabled false;
+        let pour pool arr = pool := Array.to_list arr @ !pool in
+        pour pool_w_off wo;
+        pour pool_w_on wn;
+        pour pool_r_off ro;
+        pour pool_r_on rn;
+        op_results :=
+          (batch_median wo, batch_median wn, batch_median ro, batch_median rn)
+          :: !op_results;
+        tr_results :=
+          (batch_median wto, batch_median wtn, batch_median rto,
+           batch_median rtn)
+          :: !tr_results
+      in
+      for _ = 1 to 10 do one_write (); one_read () done;
+      for _ = 1 to batches do batch () done;
+      ignore (Store.Client.disconnect alice);
+      ignore (Store.Client.disconnect bob));
+  Array.iter Tcpnet.Server_host.stop hosts;
+  Tcpnet.Server_host.set_request_tracing true;
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let pick results f = median (List.map f !results) in
+  let quad results =
+    ( pick results (fun (w, _, _, _) -> w),
+      pick results (fun (_, w, _, _) -> w),
+      pick results (fun (_, _, r, _) -> r),
+      pick results (fun (_, _, _, r) -> r) )
+  in
+  let w_off, w_on, r_off, r_on = quad op_results in
+  let tw_off, tw_on, tr_off, tr_on = quad tr_results in
+  let pct off on = if off = 0.0 then 0.0 else (on -. off) /. off *. 100.0 in
+  let w_overhead = pct w_off w_on and r_overhead = pct r_off r_on in
+  let tw_overhead = pct tw_off tw_on and tr_overhead = pct tr_off tr_on in
+  let budget = 3.0 in
+  let percentile p pool =
+    match Array.of_list !pool with
+    | [||] -> 0.0
+    | a ->
+      Array.sort compare a;
+      let i = int_of_float (p /. 100.0 *. float_of_int (Array.length a - 1)) in
+      a.(i)
+  in
+  let pct_fields tag pool =
+    List.map
+      (fun p ->
+        ( Printf.sprintf "%s_p%.0f_ns" tag p,
+          Printf.sprintf "%.0f" (percentile p pool) ))
+      [ 50.0; 90.0; 99.0 ]
+  in
+  (* --- (2) one stitched trace across shards, chaos in the path ------ *)
+  let shards = 2 in
+  Store.Metrics.reset ();
+  Obs.Span.reset_stats ();
+  Obs.Span.reset_journal ();
+  Obs.Span.reset_flight ();
+  Obs.Span.set_node "bench-e22";
+  (* Head-sample everything: this phase is about stitching, not the
+     sampling rate, and the one transaction must be retained. *)
+  Obs.Span.set_sample_interval 1;
+  Obs.Span.set_enabled true;
+  let tr_key = key_of "tr" in
+  let tr_keyring = Store.Keyring.create () in
+  Store.Keyring.register tr_keyring "tr" tr_key.Crypto.Rsa.public;
+  let sh_servers =
+    Array.init (shards * n) (fun gid ->
+        Store.Server.create ~id:gid ~keyring:tr_keyring ~n ~b ())
+  in
+  let sh_ports = Array.init n (fun _ -> reserve_port ()) in
+  (* Mild seeded chaos between everyone — clients and gossip alike go
+     through the proxies, so the stitched trace is of a transaction
+     that really crossed a lossy network. *)
+  let sh_plans =
+    Array.init n (fun i ->
+        Tcpnet.Chaos.plan ~seed:(seed + i) ~drop:0.01 ~delay:0.001
+          ~jitter:0.002 ())
+  in
+  let sh_proxies =
+    Array.init n (fun i ->
+        Tcpnet.Chaos.start ~plan:sh_plans.(i)
+          ~target:("127.0.0.1", sh_ports.(i))
+          ())
+  in
+  let sh_proxy_eps =
+    Array.map (fun p -> ("127.0.0.1", Tcpnet.Chaos.port p)) sh_proxies
+  in
+  let gossip_period = 0.1 in
+  let sh_hosts =
+    Array.init n (fun r ->
+        let peers =
+          List.filteri (fun j _ -> j <> r) (Array.to_list sh_proxy_eps)
+        in
+        let specs =
+          List.init shards (fun s ->
+              {
+                Tcpnet.Server_host.shard = s;
+                server = sh_servers.((s * n) + r);
+                behavior = Store.Faults.Honest;
+                peers;
+              })
+        in
+        Tcpnet.Server_host.start_sharded ~gossip_period ~shards:specs
+          ~port:sh_ports.(r) ())
+  in
+  let sh_table = Store.Shardmap.make ~seed:"e22-shard" ~shards () in
+  let groups = List.init 8 (fun g -> Printf.sprintf "tg%d" g) in
+  let group_on s =
+    List.find_opt
+      (fun g -> Store.Shardmap.shard_of_group sh_table g = s)
+      groups
+  in
+  let sh_eps gid =
+    if gid >= 0 && gid < shards * n then Some sh_proxy_eps.(gid mod n)
+    else None
+  in
+  let config_of shard =
+    {
+      (Store.Client.default_config ~n ~b) with
+      Store.Client.servers = Store.Router.shard_servers ~n shard;
+      timeout = 1.0;
+      op_deadline = 6.0;
+      write_retries = 2;
+      read_retries = 2;
+      retry_delay = 0.02;
+      retry_backoff_max = 0.1;
+    }
+  in
+  let trace_hex = ref "" in
+  (match (group_on 0, group_on 1) with
+  | Some ga, Some gb ->
+    Tcpnet.Live.run ~endpoints:sh_eps
+      ~shard_of:(fun node -> Some (node / n))
+      (fun () ->
+        let router =
+          Store.Router.create ~table:sh_table ~uid:"tr" ~key:tr_key
+            ~keyring:tr_keyring ~config_of ()
+        in
+        (* The transaction: one op spanning writes to both shards. The
+           first nested client op mints the trace on this root;
+           everything after — second shard's quorum, retries, the
+           servers' decode/verify/apply, the gossip pushes — joins it. *)
+        Obs.Span.with_op "sharded_txn" (fun () ->
+            List.iter
+              (fun g ->
+                let uid = Store.Uid.make ~group:g ~item:"k" in
+                match Store.Router.write router ~uid (g ^ "#payload") with
+                | Ok () -> ()
+                | Error e ->
+                  fail "E22 stitched write %s failed: %s" g
+                    (Store.Client.error_to_string e))
+              [ ga; gb ];
+            match Obs.Span.current_ctx () with
+            | Some c -> trace_hex := Obs.Jsonx.to_hex c.Obs.Span.trace
+            | None -> fail "E22: no trace context on the transaction root");
+        (* Two gossip periods: each shard's gossip round adopts the
+           trace it last served and pushes under it. *)
+        Thread.delay (2.5 *. gossip_period);
+        ignore (Store.Router.disconnect router))
+  | _ -> fail "E22: shard table put all sample groups on one shard");
+  Array.iter Tcpnet.Server_host.stop sh_hosts;
+  Array.iter Tcpnet.Chaos.stop sh_proxies;
+  Obs.Span.set_sample_interval 8;
+  (* Assemble, assert, and save the artifact through the same HTTP
+     route a deployment scrapes. *)
+  let spans =
+    match Obs.Jsonx.of_hex !trace_hex with
+    | Some raw when String.length raw = Obs.Span.trace_bytes ->
+      Obs.Span.trace_spans ~trace:raw
+    | _ -> []
+  in
+  let with_op op = List.filter (fun c -> c.Obs.Span.op = op) spans in
+  let server_spans = with_op "server_request" in
+  let shard_of_span c =
+    List.find_map
+      (fun a ->
+        let t = Obs.Span.attr_text a in
+        try Scanf.sscanf t "server=%d shard=%d" (fun s sh -> Some (s, sh))
+        with Scanf.Scan_failure _ | End_of_file -> None)
+      (List.rev c.Obs.Span.attrs)
+  in
+  let servers_on shard =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun c ->
+           match shard_of_span c with
+           | Some (s, sh) when sh = shard -> Some s
+           | _ -> None)
+         server_spans)
+  in
+  let wq = n - b in
+  let gossip_spans = with_op "gossip_round" in
+  (match with_op "sharded_txn" with
+  | [ root ] ->
+    if root.Obs.Span.parent <> 0 then fail "E22: transaction root has a parent";
+    if root.Obs.Span.phases = [] then
+      fail "E22: transaction root carries no client phases"
+  | l -> fail "E22: expected exactly one transaction root, found %d"
+           (List.length l));
+  List.iter
+    (fun s ->
+      let got = List.length (servers_on s) in
+      if got < wq then
+        fail "E22: shard %d shows %d traced server spans, want >= %d (quorum)"
+          s got wq)
+    [ 0; 1 ];
+  if gossip_spans = [] then
+    fail "E22: no gossip span joined the trace within %.1fs"
+      (2.5 *. gossip_period);
+  let fetched =
+    let http =
+      Tcpnet.Metrics_http.start ~port:0
+        ~routes:
+          [
+            ( "/trace",
+              fun query ->
+                let id =
+                  List.find_map
+                    (fun kv ->
+                      match String.index_opt kv '=' with
+                      | Some i when String.sub kv 0 i = "id" ->
+                        Some
+                          (String.sub kv (i + 1) (String.length kv - i - 1))
+                      | _ -> None)
+                    (String.split_on_char '&' query)
+                in
+                ( "application/json",
+                  Obs.Span.trace_json
+                    ~id:(Option.value ~default:"" id)
+                    () ) );
+          ]
+        ()
+    in
+    Fun.protect ~finally:(fun () -> Tcpnet.Metrics_http.stop http) @@ fun () ->
+    Tcpnet.Metrics_http.get
+      ~port:(Tcpnet.Metrics_http.port http)
+      ~path:("/trace?id=" ^ !trace_hex)
+      ()
+  in
+  (match fetched with
+  | Error e -> fail "E22: /trace fetch failed: %s" e
+  | Ok body -> (
+    match Obs.Jsonx.parse body with
+    | None -> fail "E22: /trace body is not valid JSON"
+    | Some v ->
+      (match Option.bind (Obs.Jsonx.member "trace" v) Obs.Jsonx.str_of with
+      | Some t when t = !trace_hex -> ()
+      | _ -> fail "E22: /trace body names the wrong trace");
+      let oc = open_out "TRACE_sample.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc body);
+      Format.fprintf fmt "wrote TRACE_sample.json@."));
+  (* --- (3) violation-triggered flight dump -------------------------- *)
+  Obs.Span.reset_journal ();
+  Obs.Span.reset_flight ();
+  let v_keyring = Store.Keyring.create () in
+  let canary_key = key_of "canary" in
+  Store.Keyring.register v_keyring "canary" canary_key.Crypto.Rsa.public;
+  let v_servers =
+    Array.init n (fun id -> Store.Server.create ~id ~keyring:v_keyring ~n ~b ())
+  in
+  let v_ports = Array.init n (fun _ -> reserve_port ()) in
+  let start_host ?behavior i =
+    Tcpnet.Server_host.start ?behavior ~server:v_servers.(i) ~port:v_ports.(i)
+      ()
+  in
+  let v_hosts = Array.init n (fun i -> start_host i) in
+  let v_eps gid =
+    if gid >= 0 && gid < n then Some ("127.0.0.1", v_ports.(gid)) else None
+  in
+  let v_cfg =
+    {
+      (Store.Client.default_config ~n ~b) with
+      Store.Client.timeout = 0.5;
+      read_retries = 1;
+      write_retries = 1;
+      (* The broken client the oracle must catch: skips the
+         context-freshness floor, so the stale pair below satisfies its
+         read. Never enable outside oracle tests. *)
+      canary_skip_freshness = true;
+    }
+  in
+  let history = Check.History.create () in
+  let got_stale_read = ref false in
+  Check.History.recording history (fun () ->
+      Tcpnet.Live.run ~endpoints:v_eps (fun () ->
+          match
+            Store.Client.connect ~config:v_cfg ~uid:"canary" ~key:canary_key
+              ~keyring:v_keyring ~group:"flight" ()
+          with
+          | Error e ->
+            fail "E22 canary connect: %s" (Store.Client.error_to_string e)
+          | Ok canary ->
+            (match Store.Client.write canary ~item:"x" "v1" with
+            | Ok () -> ()
+            | Error e ->
+              fail "E22 canary write v1: %s" (Store.Client.error_to_string e));
+            (* Freeze the two servers the canary's read set will hit:
+               they hold v1, will ack v2 without storing it, and serve
+               v1 back — the freshness violation the canary cannot see
+               without its floor. *)
+            Tcpnet.Server_host.stop v_hosts.(0);
+            Tcpnet.Server_host.stop v_hosts.(1);
+            v_hosts.(0) <- start_host ~behavior:Store.Faults.Stale 0;
+            v_hosts.(1) <- start_host ~behavior:Store.Faults.Stale 1;
+            (match Store.Client.write canary ~item:"x" "v2" with
+            | Ok () -> ()
+            | Error e ->
+              fail "E22 canary write v2: %s" (Store.Client.error_to_string e));
+            (match Store.Client.read canary ~item:"x" with
+            | Ok "v1" -> got_stale_read := true
+            | Ok v -> fail "E22 canary read returned %S, want the stale v1" v
+            | Error e ->
+              fail "E22 canary read: %s" (Store.Client.error_to_string e));
+            (* Stale servers sit on Ctx_write, so the disconnect times
+               out its context quorum; the violation is already on
+               record either way. *)
+            ignore (Store.Client.disconnect canary)));
+  Array.iter Tcpnet.Server_host.stop v_hosts;
+  Obs.Span.set_enabled false;
+  let violations = Check.Oracle.check (Check.History.events history) in
+  let flight_dump = ref "" in
+  (match violations with
+  | [] -> fail "E22: seeded stale schedule produced no oracle violation"
+  | v :: _ -> (
+    Format.fprintf fmt "oracle: %a@." Check.Oracle.pp_violation v;
+    let vid = v.Check.Oracle.first.Store.Trace.trace in
+    if vid = "" then fail "E22: violation event carries no trace id"
+    else
+      match Obs.Jsonx.of_hex vid with
+      | Some raw when String.length raw = Obs.Span.trace_bytes ->
+        if not (Obs.Span.pin ~trace:raw) then
+          fail "E22: violation trace %s not held by the flight recorder" vid
+        else begin
+          let dump = Obs.Span.trace_json ~id:vid () in
+          (match Obs.Jsonx.parse dump with
+          | Some d
+            when Option.bind (Obs.Jsonx.member "trace" d) Obs.Jsonx.str_of
+                 = Some vid
+                 && (match
+                       Option.bind (Obs.Jsonx.member "spans" d)
+                         Obs.Jsonx.arr_of
+                     with
+                    | Some (_ :: _) -> true
+                    | _ -> false) ->
+            ()
+          | _ -> fail "E22: flight dump for %s is empty or malformed" vid);
+          let path = Printf.sprintf "FLIGHT_violation_%s.json" vid in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc dump);
+          flight_dump := path;
+          Format.fprintf fmt "wrote %s@." path
+        end
+      | _ -> fail "E22: violation trace id %S is not a 128-bit hex id" vid));
+  (* --- report -------------------------------------------------------- *)
+  let sampled, forced, occupancy = Obs.Span.flight_stats () in
+  let table =
+    {
+      Workload.Table.id = "E22";
+      title =
+        Printf.sprintf
+          "End-to-end distributed tracing (n=%d b=%d; %d batches x %d \
+           op-paired off/on samples; S=%d stitched sharded txn under \
+           chaos; canary flight dump)"
+          n b batches iters shards;
+      header = [ "metric"; "value" ];
+      rows =
+        [
+          [ "whole op: write off -> on (us)";
+            Printf.sprintf "%.0f -> %.0f (%+.1f%%)" (w_off /. 1e3)
+              (w_on /. 1e3) w_overhead ];
+          [ "whole op: read off -> on (us)";
+            Printf.sprintf "%.0f -> %.0f (%+.1f%%)" (r_off /. 1e3)
+              (r_on /. 1e3) r_overhead ];
+          [ "transport: write off -> on (us)";
+            Printf.sprintf "%.0f -> %.0f (%+.1f%%)" (tw_off /. 1e3)
+              (tw_on /. 1e3) tw_overhead ];
+          [ "transport: read off -> on (us)";
+            Printf.sprintf "%.0f -> %.0f (%+.1f%%)" (tr_off /. 1e3)
+              (tr_on /. 1e3) tr_overhead ];
+          [ Printf.sprintf "transport budget %.0f%%" budget;
+            (if tw_overhead <= budget && tr_overhead <= budget then "met"
+             else "EXCEEDED") ];
+          [ "stitched trace id"; !trace_hex ];
+          [ "stitched spans (total / server / gossip)";
+            Printf.sprintf "%d / %d / %d" (List.length spans)
+              (List.length server_spans)
+              (List.length gossip_spans) ];
+          [ "traced server quorum (shard 0 / shard 1, want >= 3)";
+            Printf.sprintf "%d / %d" (List.length (servers_on 0))
+              (List.length (servers_on 1)) ];
+          [ "canary stale read observed"; string_of_bool !got_stale_read ];
+          [ "oracle violations"; string_of_int (List.length violations) ];
+          [ "flight dump"; (if !flight_dump = "" then "MISSING" else !flight_dump) ];
+          [ "flight recorder (sampled / forced / held)";
+            Printf.sprintf "%d / %d / %d" sampled forced occupancy ];
+        ];
+      notes =
+        [
+          "overheads compare per-batch medians of paired off/on ops (E17 \
+           methodology);";
+          "transport = the op's rpc rounds; whole op adds client span + \
+           trace minting;";
+          "the stitched trace crosses 2 shards and a chaos proxy, and is \
+           fetched over /trace?id=...;";
+          "the flight dump is the full causal trace of the op the \
+           consistency oracle flagged.";
+        ];
+    }
+  in
+  Workload.Table.print fmt table;
+  if json then
+    write_trace_json ~path:"BENCH_trace.json"
+      ([
+        ("write_off_ns", Printf.sprintf "%.0f" w_off);
+        ("write_on_ns", Printf.sprintf "%.0f" w_on);
+        ("read_off_ns", Printf.sprintf "%.0f" r_off);
+        ("read_on_ns", Printf.sprintf "%.0f" r_on);
+        ("overhead_write_pct", Printf.sprintf "%.2f" w_overhead);
+        ("overhead_read_pct", Printf.sprintf "%.2f" r_overhead);
+        ("transport_write_off_ns", Printf.sprintf "%.0f" tw_off);
+        ("transport_write_on_ns", Printf.sprintf "%.0f" tw_on);
+        ("transport_read_off_ns", Printf.sprintf "%.0f" tr_off);
+        ("transport_read_on_ns", Printf.sprintf "%.0f" tr_on);
+        ("overhead_transport_write_pct", Printf.sprintf "%.2f" tw_overhead);
+        ("overhead_transport_read_pct", Printf.sprintf "%.2f" tr_overhead);
+        ("overhead_budget_pct", Printf.sprintf "%.0f" budget);
+      ]
+      @ pct_fields "write_off" pool_w_off
+      @ pct_fields "write_on" pool_w_on
+      @ pct_fields "read_off" pool_r_off
+      @ pct_fields "read_on" pool_r_on
+      @ [
+        ("stitched_spans", string_of_int (List.length spans));
+        ("stitched_server_spans", string_of_int (List.length server_spans));
+        ("stitched_gossip_spans", string_of_int (List.length gossip_spans));
+        ("stitched_shard0_servers",
+         string_of_int (List.length (servers_on 0)));
+        ("stitched_shard1_servers",
+         string_of_int (List.length (servers_on 1)));
+        ("oracle_violations", string_of_int (List.length violations));
+        ("violation_trace_resolved",
+         string_of_bool (!flight_dump <> ""));
+      ]);
+  if !failures <> [] then begin
+    List.iter (fun s -> Format.fprintf fmt "E22 FAILURE: %s@." s)
+      (List.rev !failures);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments ~seed ~json : (string * (unit -> unit)) list =
   let t f () = Workload.Table.print fmt (f ()) in
@@ -3229,6 +3820,7 @@ let experiments ~seed ~json : (string * (unit -> unit)) list =
     ("e19", fun () -> e19_shard ~seed ~json ());
     ("e20", fun () -> e20_reconfig ~seed ~json ());
     ("e21", fun () -> e21_dispersal ~seed ~json ());
+    ("e22", fun () -> e22_trace ~seed ~json ());
   ]
 
 let main args =

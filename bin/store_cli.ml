@@ -343,9 +343,179 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Scrape a server's /metrics endpoint and pretty-print it")
     Term.(const run $ host $ port $ spans)
 
+(* --- trace: fetch a stitched trace and render it as a tree --------------- *)
+
+(* One span as parsed back out of a /trace dump (the same JSON
+   Obs.Span.trace_json emits, so --file artifacts and live fetches
+   render identically). *)
+type trace_span = {
+  sid : int;
+  sop : string;
+  sstart : float;
+  sdur_ns : float;
+  sparent : int;
+  snode : string;
+  sattrs : string list;
+  sphases : (string * float * float) list;  (* name, start_ns, dur_ns *)
+}
+
+let span_of_json v =
+  let open Obs.Jsonx in
+  let num k = Option.bind (member k v) num_of in
+  let str k = Option.bind (member k v) str_of in
+  match (num "id", str "op", num "start", num "dur_ns") with
+  | Some id, Some op, Some start, Some dur ->
+    let phases =
+      match Option.bind (member "phases" v) arr_of with
+      | None -> []
+      | Some ps ->
+        List.filter_map
+          (fun p ->
+            match
+              ( Option.bind (member "name" p) str_of,
+                Option.bind (member "start_ns" p) num_of,
+                Option.bind (member "dur_ns" p) num_of )
+            with
+            | Some n, Some s, Some d -> Some (n, s, d)
+            | _ -> None)
+          ps
+    in
+    let attrs =
+      match Option.bind (member "attrs" v) arr_of with
+      | None -> []
+      | Some vs -> List.filter_map str_of vs
+    in
+    Some
+      {
+        sid = int_of_float id;
+        sop = op;
+        sstart = start;
+        sdur_ns = dur;
+        sparent = (match num "parent" with Some p -> int_of_float p | None -> 0);
+        snode = Option.value ~default:"" (str "node");
+        sattrs = attrs;
+        sphases = phases;
+      }
+  | _ -> None
+
+(* Time-aligned tree: children under their parent span, every line
+   carrying an offset from the trace start and a proportional bar, so a
+   retry gap or a gossip hop trailing the client op is visible at a
+   glance. *)
+let render_trace ~id ~node spans =
+  match spans with
+  | [] -> Printf.printf "trace %s: no spans\n" id
+  | _ ->
+    let t0 = List.fold_left (fun a s -> min a s.sstart) infinity spans in
+    let t1 =
+      List.fold_left (fun a s -> max a (s.sstart +. (s.sdur_ns /. 1e9))) t0 spans
+    in
+    let window = max (t1 -. t0) 1e-9 in
+    let width = 32 in
+    let bar start_s dur_s =
+      let b = Bytes.make width '.' in
+      let lo = int_of_float (float_of_int width *. (start_s -. t0) /. window) in
+      let hi =
+        int_of_float
+          (ceil (float_of_int width *. (start_s +. dur_s -. t0) /. window))
+      in
+      let lo = max 0 (min (width - 1) lo) in
+      let hi = max (lo + 1) (min width hi) in
+      for i = lo to hi - 1 do
+        Bytes.set b i '='
+      done;
+      Bytes.to_string b
+    in
+    Printf.printf "trace %s%s: %d spans, %.2fms\n" id
+      (if node = "" then "" else " (assembled on " ^ node ^ ")")
+      (List.length spans) (window *. 1e3);
+    let ids = List.map (fun s -> s.sid) spans in
+    let roots, children =
+      List.partition (fun s -> s.sparent = 0 || not (List.mem s.sparent ids)) spans
+    in
+    let by_start l = List.sort (fun a b -> compare a.sstart b.sstart) l in
+    let rec render indent s =
+      let off_ms = (s.sstart -. t0) *. 1e3 in
+      let dur_ms = s.sdur_ns /. 1e6 in
+      Printf.printf "%s|%s| %+9.2fms %9.2fms  %s%s%s\n" indent
+        (bar s.sstart (s.sdur_ns /. 1e9))
+        off_ms dur_ms s.sop
+        (if s.snode = "" then "" else "@" ^ s.snode)
+        (match s.sattrs with
+        | [] -> ""
+        | l -> "  [" ^ String.concat "; " (List.rev l) ^ "]");
+      List.iter
+        (fun (n, pstart_ns, pdur_ns) ->
+          Printf.printf "%s %s  %+9.2fms %9.2fms    - %s\n" indent
+            (bar (s.sstart +. (pstart_ns /. 1e9)) (pdur_ns /. 1e9))
+            (((s.sstart +. (pstart_ns /. 1e9)) -. t0) *. 1e3)
+            (pdur_ns /. 1e6) n)
+        (List.rev s.sphases);
+      List.iter
+        (render (indent ^ "  "))
+        (by_start (List.filter (fun c -> c.sparent = s.sid) children))
+    in
+    List.iter (render "") (by_start roots)
+
+let trace_cmd =
+  let run host port id file =
+    let body =
+      match (file, id) with
+      | Some path, _ ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | None, Some id -> (
+        match
+          Tcpnet.Metrics_http.get ~host ~port ~path:("/trace?id=" ^ id) ()
+        with
+        | Ok body -> body
+        | Error e -> failwith ("fetch /trace failed: " ^ e))
+      | None, None -> failwith "need --id (with --metrics-port) or --file"
+    in
+    match Obs.Jsonx.parse body with
+    | None -> failwith "trace dump is not valid JSON"
+    | Some v -> (
+      match Option.bind (Obs.Jsonx.member "error" v) Obs.Jsonx.str_of with
+      | Some err -> failwith ("server: " ^ err)
+      | None ->
+        let id =
+          Option.value ~default:"?"
+            (Option.bind (Obs.Jsonx.member "trace" v) Obs.Jsonx.str_of)
+        in
+        let node =
+          Option.value ~default:""
+            (Option.bind (Obs.Jsonx.member "node" v) Obs.Jsonx.str_of)
+        in
+        let spans =
+          match Option.bind (Obs.Jsonx.member "spans" v) Obs.Jsonx.arr_of with
+          | None -> []
+          | Some vs -> List.filter_map span_of_json vs
+        in
+        render_trace ~id ~node spans)
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Metrics host.") in
+  let port =
+    Arg.(value & opt int 0
+         & info [ "metrics-port"; "p" ] ~doc:"The server's --metrics-port.")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~doc:"Trace id (lowercase hex) to fetch via /trace.")
+  in
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~doc:"Render a saved trace dump instead of fetching.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Fetch a stitched distributed trace and render it as a time-aligned tree")
+    Term.(const run $ host $ port $ id $ file)
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "store_cli" ~doc:"Secure distributed store client (DSN 2001 reproduction)")
-          [ write_cmd; read_cmd; demo_cmd; stats_cmd ]))
+          [ write_cmd; read_cmd; demo_cmd; stats_cmd; trace_cmd ]))

@@ -158,24 +158,41 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
       (String.concat "," (List.map string_of_int ids))
       n b guard
       (Tcpnet.Server_host.port host));
-  (* Exposition endpoint: /metrics (Prometheus text format) and /spans
-     (the recent-span journal as JSON). Serving it turns tracing on —
-     the span phases are the point of scraping. *)
+  (* Exposition endpoint: /metrics (Prometheus text format), /spans
+     (the recent-span journal as JSON) and /trace?id=<hex> (one stitched
+     trace from the flight recorder). Serving it turns tracing on — the
+     span phases are the point of scraping. *)
   (match metrics_port with
   | None -> ()
   | Some mport ->
     Obs.Span.set_enabled true;
+    Obs.Span.set_node (Printf.sprintf "server-%d:%d" id port);
+    let trace_id_of_query q =
+      (* accept "id=<hex>" anywhere in the query string *)
+      List.find_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | Some i when String.sub kv 0 i = "id" ->
+            Some (String.sub kv (i + 1) (String.length kv - i - 1))
+          | _ -> None)
+        (String.split_on_char '&' q)
+    in
     let routes =
       [
         ( "/metrics",
-          fun () ->
+          fun _ ->
             ( Obs.Expo.content_type,
               Obs.Expo.render
                 (Store.Metrics.families ()
                 @ Store.Signing.sigcache_families ()
+                @ Obs.Span.trace_families ()
                 @ [ Obs.Span.phase_family () ]) ) );
         ( "/spans",
-          fun () -> ("application/json", Obs.Span.spans_json ~limit:64 ()) );
+          fun _ -> ("application/json", Obs.Span.spans_json ~limit:64 ()) );
+        ( "/trace",
+          fun query ->
+            let id = Option.value ~default:"" (trace_id_of_query query) in
+            ("application/json", Obs.Span.trace_json ~id ()) );
       ]
     in
     let http = Tcpnet.Metrics_http.start ~port:mport ~routes () in
@@ -234,11 +251,13 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
               (* One Format call for the whole report: a multi-server
                  launch script interleaves stdout per line, and a report
                  torn across servers is worse than none. *)
+              let tr_sampled, tr_forced, tr_held = Obs.Span.flight_stats () in
               Format.printf
                 "@[<v>stats: %d items, %d gossip queued | %d msgs, %d \
                  server verifies (%d RSA) | transport: %d connects, %d \
                  reuses, %d reconnects, %d in-flight peak | rpc: %d \
-                 rounds, p50=%.2fms p95=%.2fms p99=%.2fms%a%a@]@."
+                 rounds, p50=%.2fms p95=%.2fms p99=%.2fms | traces: %d \
+                 sampled, %d forced, %d held%a%a@]@."
                 (total_items ())
                 (total_gossip ())
                 m.Store.Metrics.messages m.Store.Metrics.server_verifies
@@ -250,6 +269,7 @@ let run id port n b clients guard log_depth peers gossip_period snapshot
                 (ms rpc.Store.Metrics.p50_ns)
                 (ms rpc.Store.Metrics.p95_ns)
                 (ms rpc.Store.Metrics.p99_ns)
+                tr_sampled tr_forced tr_held
                 (pp_peers now)
                 (Store.Metrics.endpoint_health ())
                 pp_shards ()

@@ -47,23 +47,9 @@ let recording t fn =
 
 (* ---------------- JSON ------------------------------------------------- *)
 
-let escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
 let str buf s =
   Buffer.add_char buf '"';
-  escape buf s;
+  Obs.Jsonx.escape_into buf s;
   Buffer.add_char buf '"'
 
 let stamp_json buf (s : Store.Stamp.t) =
@@ -149,6 +135,10 @@ let event_json buf (e : Store.Trace.event) =
     outcome_json buf o);
   Buffer.add_string buf ", \"ctx\": ";
   ctx_json buf e.ctx;
+  if e.trace <> "" then begin
+    Buffer.add_string buf ", \"trace\": ";
+    str buf e.trace
+  end;
   Buffer.add_char buf '}'
 
 let to_json t =

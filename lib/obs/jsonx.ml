@@ -1,0 +1,205 @@
+(* The one JSON string escaper. Span dumps, trace assemblies and the
+   check history all embed free-form strings (op names, attribute text,
+   client ids) in hand-built JSON; they must escape identically or the
+   same attribute renders differently across artifacts. *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf s;
+  Buffer.contents buf
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Printf.bprintf buf "%02x" (Char.code c)) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let nib c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let buf = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (nib s.[2 * i], nib s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set buf i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.unsafe_to_string buf) else None
+
+(* --- a small strict JSON reader ---------------------------------------
+
+   The inverse of the emitters above, for consumers of our own artifacts
+   (store_cli rendering a stitched trace, tests round-tripping the
+   escaper). Strict where it matters — escapes, nesting, number syntax —
+   and with a recursion-depth cap so hostile input cannot blow the
+   stack. Unicode escapes outside the Latin-1 range decode to '?': our
+   emitters only ever produce \u00xx for control characters. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Bad
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then raise Bad
+    else begin
+      let c = s.[!pos] in
+      incr pos;
+      c
+    end
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if next () <> c then raise Bad in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let hex4 () =
+    let nib c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> raise Bad
+    in
+    let a = nib (next ()) in
+    let b = nib (next ()) in
+    let c = nib (next ()) in
+    let d = nib (next ()) in
+    (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (match next () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let code = hex4 () in
+          Buffer.add_char buf (if code < 256 then Char.chr code else '?')
+        | _ -> raise Bad);
+        go ()
+      | c when Char.code c < 0x20 -> raise Bad
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> raise Bad
+  in
+  let rec value depth =
+    if depth > 64 then raise Bad;
+    skip_ws ();
+    match next () with
+    | '"' -> Str (string_body ())
+    | 't' -> literal "rue" (Bool true)
+    | 'f' -> literal "alse" (Bool false)
+    | 'n' -> literal "ull" Null
+    | '{' ->
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else Obj (members depth [])
+    | '[' ->
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else Arr (elements depth [])
+    | c ->
+      decr pos;
+      if c = '-' || (c >= '0' && c <= '9') then number () else raise Bad
+  and members depth acc =
+    skip_ws ();
+    expect '"';
+    let k = string_body () in
+    skip_ws ();
+    expect ':';
+    let v = value (depth + 1) in
+    skip_ws ();
+    match next () with
+    | ',' -> members depth ((k, v) :: acc)
+    | '}' -> List.rev ((k, v) :: acc)
+    | _ -> raise Bad
+  and elements depth acc =
+    let v = value (depth + 1) in
+    skip_ws ();
+    match next () with
+    | ',' -> elements depth (v :: acc)
+    | ']' -> List.rev (v :: acc)
+    | _ -> raise Bad
+  in
+  match
+    let v = value 0 in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    v
+  with
+  | v -> Some v
+  | exception Bad -> None
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let str_of = function Str s -> Some s | _ -> None
+let num_of = function Num f -> Some f | _ -> None
+let arr_of = function Arr vs -> Some vs | _ -> None

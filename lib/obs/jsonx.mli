@@ -1,0 +1,47 @@
+(** Shared JSON string escaping (and the hex codec for trace ids).
+
+    Every hand-built JSON artifact in the tree — span dumps, stitched
+    traces, check histories, bench results that embed free text — must
+    escape strings through this module so the same value renders
+    byte-identically everywhere. The escaping follows RFC 8259: quote,
+    backslash and control characters are escaped ([\n], [\r], [\t] get
+    their short forms, other controls [\u00xx]); everything else passes
+    through untouched. *)
+
+val escape : string -> string
+(** The escaped body of a JSON string literal (no surrounding quotes). *)
+
+val escape_into : Buffer.t -> string -> unit
+(** Like {!escape}, appending into a buffer. *)
+
+val to_hex : string -> string
+(** Lowercase hex of raw bytes — how 128-bit trace ids print. *)
+
+val of_hex : string -> string option
+(** Inverse of {!to_hex}; [None] on odd length or a non-hex digit. *)
+
+(** {1 Reading our own artifacts back}
+
+    A small strict JSON reader — the oracle the escaper round-trips
+    against in tests, and what [store_cli trace] parses stitched trace
+    dumps with. Not a general-purpose parser: [\uXXXX] escapes above
+    [ÿ] decode to ['?'] (our emitters never produce them), and
+    nesting beyond 64 levels is rejected. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> value option
+(** [None] on any syntax error, trailing garbage included. *)
+
+val member : string -> value -> value option
+(** Field lookup; [None] when absent or not an object. *)
+
+val str_of : value -> string option
+val num_of : value -> float option
+val arr_of : value -> value list option

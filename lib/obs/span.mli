@@ -1,4 +1,4 @@
-(** Hierarchical tracing spans.
+(** Hierarchical tracing spans with distributed trace correlation.
 
     Every instrumented operation opens a {e span} ({!with_op}) and marks
     the interesting stretches inside it as {e phases} ({!with_phase}):
@@ -7,6 +7,16 @@
     ["outer/inner"] — and an op opened while another op is active on the
     same thread becomes a phase of the outer op, so layered code (a
     connect that performs a context read) composes without coordination.
+
+    Spans may additionally belong to a {e distributed trace}: a 128-bit
+    trace id minted at the client, carried across the wire as a compact
+    context ({!ctx}) and adopted by server-side spans, which record the
+    remote caller's span id as their parent. A bounded {e flight
+    recorder} retains completed traces — a sampled ring of recent ones
+    plus a pinned list of forced ones (ops that retried, escalated, or
+    were flagged by the consistency checker) — and {!trace_json}
+    assembles everything this process knows about one trace id for the
+    [/trace?id=...] endpoint.
 
     Two things happen when a span closes:
 
@@ -17,13 +27,14 @@
     - the completed span (with phases and attributes) is appended to a
       bounded ring-buffer journal that always keeps the newest spans,
       dumpable as JSON via [/spans] for post-mortem of a slow or failed
-      operation.
+      operation. Trace-tagged sampled/forced spans also feed the flight
+      recorder.
 
     Tracing is globally disabled by default. When disabled, {!with_op}
     and {!with_phase} run their argument with nothing but a flag check —
     no clock reads, no allocation, no locking — so instrumented hot
     paths pay nothing (the <3% tracing-on budget is measured by bench
-    e17). Span state is per-OS-thread; the simulation engine's
+    e17/e22). Span state is per-OS-thread; the simulation engine's
     single-thread cooperative scheduling would interleave clients, so
     enable tracing only around live-transport (or single-client
     in-process) work. *)
@@ -42,22 +53,57 @@ type attr = Text of string | Rpc of (string * int) list
 
 val attr_text : attr -> string
 
+(** {1 Distributed trace context} *)
+
+type ctx = {
+  trace : string;  (** exactly {!trace_bytes} raw bytes *)
+  span : int;  (** the sending span's id — the receiver's parent *)
+  flags : int;  (** {!flag_sampled} / {!flag_forced} bits *)
+}
+
+val flag_sampled : int
+val flag_forced : int
+
+val trace_bytes : int
+(** Raw length of a trace id: 16 bytes (128 bits). *)
+
+val set_sample_interval : int -> unit
+(** Head-sample one trace in [n] into the flight ring (default 8).
+    Clients consult this when minting; forced traces ignore it. *)
+
+val sample_interval_now : unit -> int
+
 type closed = {
-  id : int;  (** unique, increasing: newest span has the largest id *)
+  id : int;  (** unique, increasing: newest span has the largest id.
+                 Salted with the pid so ids from different processes
+                 stitched into one trace cannot collide. *)
   op : string;
   thread : int;  (** OS thread id the span ran on *)
   start : float;  (** epoch seconds *)
   dur_ns : float;
   phases : phase list;  (** in completion order *)
   attrs : attr list;  (** in emission order *)
+  trace : string;  (** raw trace id, [""] when untraced *)
+  parent : int;  (** remote parent span id, [0] at the trace root *)
+  flags : int;
+  links : (string * int) list;  (** related (trace, span) pairs *)
 }
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
-val with_op : string -> (unit -> 'a) -> 'a
+val set_node : string -> unit
+(** Per-process node label stamped on dumped spans (e.g. ["s2"] or
+    ["shard1/r0"]), so cross-process trace assembly keeps attribution.
+    Default [""] (omitted from JSON). *)
+
+val node : unit -> string
+
+val with_op : ?ctx:ctx -> string -> (unit -> 'a) -> 'a
 (** Run the function under a span named after the operation. Nested
-    calls record as phases of the outermost op. The span closes (and is
+    calls record as phases of the outermost op. When [ctx] is given and
+    a fresh root span opens, the span joins that distributed trace with
+    the context's span id as its parent. The span closes (and is
     journaled) even if the function raises. *)
 
 val with_phase : string -> (unit -> 'a) -> 'a
@@ -74,6 +120,27 @@ val annotate_rpc : (string * int) list -> unit
 
 val current_id : unit -> int option
 (** Id of this thread's active span, for correlating external records. *)
+
+val set_trace : ?parent:int -> ?flags:int -> string -> unit
+(** Adopt a trace id (raw {!trace_bytes} bytes) on the current live
+    span. First writer wins: a span that already belongs to a trace
+    keeps it, so an op nested under a traced root cannot re-root it.
+    No-op outside a span or with a malformed id. *)
+
+val force : unit -> unit
+(** Set {!flag_forced} on the current span's trace — called when an op
+    retries or escalates, so its whole trace is pinned by the flight
+    recorder instead of riding sampling luck. Subsequent wire contexts
+    carry the bit downstream. *)
+
+val add_link : trace:string -> span:int -> unit
+(** Record a link to a related span in another trace (an epoch-repair
+    detour, say). No-op outside a span. *)
+
+val current_ctx : unit -> ctx option
+(** The wire context for this thread's active span: its trace id, its
+    own span id (the receiver's parent) and its flags. [None] when
+    disabled, outside a span, or when the span is untraced. *)
 
 (** {1 Phase-duration registry} *)
 
@@ -100,6 +167,56 @@ val recent : ?limit:int -> unit -> closed list
 
 val spans_json : ?limit:int -> unit -> string
 (** [{"spans": [...]}] — newest first; each span carries its op, thread,
-    start, duration, attributes and phase timings (offsets in ns). *)
+    start, duration, attributes, phase timings (offsets in ns) and — for
+    trace members — trace id, parent, flags and links. All embedded
+    strings go through {!Jsonx.escape}. *)
 
 val reset_journal : unit -> unit
+
+val json_escape : string -> string
+(** Alias of {!Jsonx.escape} (the shared escaper). *)
+
+(** {1 Flight recorder} *)
+
+val set_flight_capacity :
+  ?pending:int -> ?ring:int -> ?pinned:int -> unit -> unit
+(** Bound the recorder: in-progress traces awaiting their root
+    (default 128, FIFO eviction promotes the evictee), the sampled ring
+    (default 32, newest win) and the forced/pinned list (default 16).
+    Resizing the ring clears it. *)
+
+val reset_flight : unit -> unit
+(** Clear all recorder state and its counters (tests). *)
+
+val flight_lookup : trace:string -> closed list
+(** Every span the recorder holds for a raw trace id (pending, ring and
+    pinned), in completion order. *)
+
+val pin : trace:string -> bool
+(** Force-retain a trace (raw id) wherever it currently lives — a
+    pending trace is promoted as forced, a ring entry moves to the
+    pinned list. Returns [false] when the recorder no longer holds it.
+    This is the {!Check}-flagged path: a violation report names a trace
+    and the driver pins it before dumping. *)
+
+val flight_stats : unit -> int * int * int
+(** [(sampled_promotions, forced_promotions, occupancy)] — the two
+    counters behind [securestore_traces_{sampled,forced}_total] and the
+    current number of traces held. *)
+
+val trace_families : unit -> Expo.family list
+(** The trace-sampling exposition: [securestore_traces_sampled_total],
+    [securestore_traces_forced_total] and
+    [securestore_flight_recorder_occupancy]. *)
+
+(** {1 Cross-node trace assembly} *)
+
+val trace_spans : trace:string -> closed list
+(** Everything this process knows about a raw trace id — flight
+    recorder plus journal, deduplicated by span id, oldest first. *)
+
+val trace_json : id:string -> unit -> string
+(** [{"trace": "<hex>", "node": "...", "spans": [...]}] for a
+    lowercase-hex 128-bit trace id, or [{"error": ...}] on a malformed
+    id. The [/trace?id=...] endpoint serves exactly this; a cross-node
+    fetcher merges several nodes' documents by span id. *)

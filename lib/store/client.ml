@@ -95,7 +95,12 @@ type t = {
   group : string;
   cfg : config;
   rng : Sim.Srng.t;
+  trace_rng : Sim.Srng.t;
+      (* dedicated stream for trace-id minting, so tracing never
+         perturbs the operation rng and replays keep their schedules *)
   session : int;
+  mutable cur_trace : string;  (* current op's raw 16-byte trace id *)
+  mutable cur_trace_hex : string;  (* same id, lowercase hex; "" = none *)
   mutable ctx : Context.t;
   mutable ctx_seq : int;
   mutable last_time : int;
@@ -147,7 +152,10 @@ let try_adopt_epoch t (e : Config_epoch.t) =
     then begin
       t.epoch <- Some e;
       Metrics.set_epoch_version e.Config_epoch.version;
-      Metrics.incr_epoch_transition ()
+      Metrics.incr_epoch_transition ();
+      (* an epoch detour mid-operation is exactly the kind of rare hop a
+         stitched trace should always retain *)
+      Obs.Span.force ()
     end
 
 let pp_error fmt = function
@@ -328,10 +336,43 @@ let trace t ~op ~phase ?outcome kind =
       ~session:t.session
       ~multi_writer:(t.cfg.mode = Multi_writer)
       ~causal:(t.cfg.consistency = CC)
-      ~epoch:(epoch_version t) ~phase ?outcome ~kind
+      ~epoch:(epoch_version t) ~trace:t.cur_trace_hex ~phase ?outcome ~kind
       ~ctx:(Context.bindings t.ctx) ()
 
 let trace_op () = if Trace.enabled () then Trace.new_op () else 0
+
+(* ---------------- Distributed trace context --------------------------- *)
+
+(* Mint one 128-bit trace id per top-level operation, but only when
+   someone is listening (spans on or the oracle recording) — otherwise
+   the disabled path stays allocation-free. [Obs.Span.set_trace] is
+   first-writer-wins, so when an enclosing span already carries a trace
+   (a benchmark transaction spanning several ops, say) the op joins it
+   instead of minting; [current_ctx] returns that trace and the history
+   tap records the same id the wire carries. Head sampling retains
+   1-in-N traces; an active oracle recording forces retention of every
+   trace so a violation report always resolves in the flight recorder. *)
+let begin_trace t =
+  if Obs.Span.enabled () || Trace.enabled () then begin
+    match Obs.Span.current_ctx () with
+    | Some (c : Obs.Span.ctx) ->
+      t.cur_trace <- c.trace;
+      t.cur_trace_hex <- Obs.Jsonx.to_hex c.trace
+    | None ->
+      let b = Bytes.create Obs.Span.trace_bytes in
+      Bytes.set_int64_be b 0 (Sim.Srng.int64 t.trace_rng);
+      Bytes.set_int64_be b 8 (Sim.Srng.int64 t.trace_rng);
+      let id = Bytes.to_string b in
+      let flags =
+        (if Sim.Srng.int_below t.trace_rng (Obs.Span.sample_interval_now ()) = 0
+         then Obs.Span.flag_sampled
+         else 0)
+        lor if Trace.enabled () then Obs.Span.flag_forced else 0
+      in
+      t.cur_trace <- id;
+      t.cur_trace_hex <- Obs.Jsonx.to_hex id;
+      Obs.Span.set_trace ~flags id
+  end
 
 let outcome_of_result ok = function
   | Ok v -> ok v
@@ -359,6 +400,7 @@ let backoff_sleep t ~start ~attempt =
   if Sim.Runtime.now () +. d > start +. t.cfg.op_deadline then false
   else begin
     Metrics.incr_retry ();
+    Obs.Span.force ();
     Obs.Span.with_phase "backoff" (fun () -> Sim.Runtime.sleep d);
     true
   end
@@ -404,6 +446,7 @@ let ctx_read t =
     if List.length replies >= q then replies
     else begin
       Metrics.incr_escalation ();
+        Obs.Span.force ();
       replies
       @ Obs.Span.with_phase "escalate" (fun () ->
             rpc t ~quorum:(q - List.length replies) (remaining_servers t initial)
@@ -438,6 +481,7 @@ let ctx_store t =
     if got >= q then got
     else begin
       Metrics.incr_escalation ();
+        Obs.Span.force ();
       got
       + acks
           (Obs.Span.with_phase "escalate" (fun () ->
@@ -479,6 +523,7 @@ let disseminate t (w : Payload.write) =
       if got >= fanout then got
       else begin
         Metrics.incr_escalation ();
+        Obs.Span.force ();
         got
         + acks
             (Obs.Span.with_phase "escalate" (fun () ->
@@ -834,6 +879,7 @@ let read_write_resolved t ~item =
      context floor can demand a stamp no server will serve. *)
   if t.unescalated <> [] then flush_escalations t;
   Obs.Span.with_op "read" @@ fun () ->
+  begin_trace t;
   t.opstats.reads <- t.opstats.reads + 1;
   let uid = Uid.make ~group:t.group ~item in
   let opid = trace_op () in
@@ -884,6 +930,7 @@ let read_write_resolved t ~item =
     | `Missing ->
       if set_size < active_n t then begin
         Metrics.incr_escalation ();
+        Obs.Span.force ();
         attempt ~retries ~tried ~set_size:(active_n t)
       end
       else if retries > 0 && backoff_sleep t ~start ~attempt:tried then
@@ -1022,6 +1069,7 @@ let scatter_fragments t ~uid ~stamp (meta : Payload.dispersal_meta) fragments =
    not thread through. *)
 let write_dispersed t ~item value =
   Obs.Span.with_op "write" @@ fun () ->
+  begin_trace t;
   t.opstats.writes <- t.opstats.writes + 1;
   let uid = Uid.make ~group:t.group ~item in
   let servers = active_servers t in
@@ -1070,6 +1118,7 @@ let write_dispersed t ~item value =
 
 let write_replicated t ~item value =
   Obs.Span.with_op "write" @@ fun () ->
+  begin_trace t;
   t.opstats.writes <- t.opstats.writes + 1;
   let uid = Uid.make ~group:t.group ~item in
   let stamp = make_stamp t ~value in
@@ -1193,6 +1242,7 @@ let write_chunk t chunk =
   List.map2
     (fun (uid, stamp, _, value, post_ctx) w ->
       Obs.Span.with_op "write" @@ fun () ->
+      begin_trace t;
       t.opstats.writes <- t.opstats.writes + 1;
       if t.cfg.consistency = CC then t.ctx <- post_ctx;
       let opid = trace_op () in
@@ -1279,6 +1329,8 @@ let reconstruct_context t =
 let reconstruct t =
   ensure_connected t @@ fun () ->
   if t.unescalated <> [] then flush_escalations t;
+  Obs.Span.with_op "reconstruct" @@ fun () ->
+  begin_trace t;
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Reconstruct;
   reconstruct_context t;
@@ -1301,7 +1353,10 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
       group;
       cfg;
       rng = Sim.Srng.create (cfg.seed + Hashtbl.hash (uid, group));
+      trace_rng = Sim.Srng.create (cfg.seed + Hashtbl.hash ("trace", uid, group));
       session = Trace.new_session ();
+      cur_trace = "";
+      cur_trace_hex = "";
       ctx = Context.empty;
       ctx_seq = 0;
       last_time = 0;
@@ -1313,6 +1368,7 @@ let connect ?(recover = `Fresh) ~config:cfg ~uid ~key ~keyring ~group () =
     }
   in
   Obs.Span.with_op "connect" @@ fun () ->
+  begin_trace t;
   (* Epoch discovery, for dynamic-membership deployments (an admin key
      is pinned): ask the configured bootstrap servers which config epoch
      is live and adopt the newest validly signed answer. One valid reply
@@ -1367,6 +1423,7 @@ let disconnect t =
      MAC-held stamps, and a future session must be able to read them. *)
   if t.unescalated <> [] then flush_escalations t;
   Obs.Span.with_op "disconnect" @@ fun () ->
+  begin_trace t;
   let opid = trace_op () in
   trace t ~op:opid ~phase:Trace.Invoke Trace.Disconnect;
   let result =

@@ -27,6 +27,7 @@ type event = {
   kind : opkind;
   outcome : outcome option;
   ctx : (Uid.t * Stamp.t) list;
+  trace : string;  (* lowercase-hex distributed trace id; "" = untraced *)
 }
 
 let sink : (event -> unit) option ref = ref None
@@ -59,8 +60,8 @@ let next counter =
 let new_session () = next sessions
 let new_op () = next ops
 
-let record ~op ~time ~client ~session ~multi_writer ~causal ?(epoch = 0) ~phase
-    ?outcome ~kind ~ctx () =
+let record ~op ~time ~client ~session ~multi_writer ~causal ?(epoch = 0)
+    ?(trace = "") ~phase ?outcome ~kind ~ctx () =
   (* The sink is read and the event delivered under the lock: seq order
      is emission order even when live-transport clients race. *)
   Mutex.lock lock;
@@ -82,6 +83,7 @@ let record ~op ~time ~client ~session ~multi_writer ~causal ?(epoch = 0) ~phase
         kind;
         outcome;
         ctx;
+        trace;
       });
   Mutex.unlock lock
 
@@ -105,7 +107,7 @@ let pp_outcome fmt = function
   | Failed e -> Format.fprintf fmt "failed: %s" e
 
 let pp_event fmt e =
-  Format.fprintf fmt "[%d] t=%.3f %s/s%d %s %a%a ctx{%a}" e.seq e.time
+  Format.fprintf fmt "[%d] t=%.3f %s/s%d %s %a%a%a ctx{%a}" e.seq e.time
     e.client e.session
     (match e.phase with Invoke -> "invoke" | Return -> "return")
     pp_kind e.kind
@@ -113,6 +115,9 @@ let pp_event fmt e =
       | None -> ()
       | Some o -> Format.fprintf fmt " -> %a" pp_outcome o)
     e.outcome
+    (fun fmt t ->
+      if t <> "" then Format.fprintf fmt " trace=%s" t)
+    e.trace
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
        (fun fmt (uid, stamp) ->

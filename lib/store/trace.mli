@@ -53,6 +53,11 @@ type event = {
   kind : opkind;
   outcome : outcome option;  (** [None] on [Invoke] *)
   ctx : (Uid.t * Stamp.t) list;  (** context snapshot at emission *)
+  trace : string;
+      (** lowercase-hex distributed trace id of the op, [""] when the
+          client minted none. Violation reports print it ([trace=<id>])
+          so an oracle finding resolves to the flight recorder's stitched
+          trace of the same operation. *)
 }
 
 val enabled : unit -> bool
@@ -79,6 +84,7 @@ val record :
   multi_writer:bool ->
   causal:bool ->
   ?epoch:int ->
+  ?trace:string ->
   phase:phase ->
   ?outcome:outcome ->
   kind:opkind ->

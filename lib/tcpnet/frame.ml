@@ -60,9 +60,60 @@ let tag_pipelined = '\x02'
 let tag_conn_error = '\x03'
 let tag_sharded_call = '\x04'
 let tag_sharded_oneway = '\x05'
+let tag_traced_call = '\x06'
+let tag_traced_sharded_call = '\x07'
+let tag_traced_oneway = '\x08'
+let tag_traced_sharded_oneway = '\x09'
 
 let max_id = 0x3fffffff
 let max_shard = 0xffff
+
+(* --- trace-context extension --------------------------------------------
+   Tags 0x06-0x09 mirror 0x02/0x04/0x00/0x05 but carry a trace context
+   right after the fixed header: a 1-byte extension length (exactly
+   [ctx_bytes] today — a versioning hook, not a variable field), a
+   16-byte trace id, an 8-byte big-endian span id (top bit must be
+   clear) and a flags byte. Peers that predate the extension never see
+   these tags: an untraced sender emits the legacy tags byte-for-byte. *)
+
+type trace_ctx = { trace : string; span : int; flags : int }
+
+let trace_id_bytes = 16
+let ctx_bytes = trace_id_bytes + 8 + 1
+
+let put_ctx buf pos { trace; span; flags } =
+  if String.length trace <> trace_id_bytes then
+    invalid_arg "Frame: trace id must be 16 bytes";
+  if span < 0 then invalid_arg "Frame: span id out of range";
+  Bytes.set buf pos (Char.chr ctx_bytes);
+  Bytes.blit_string trace 0 buf (pos + 1) trace_id_bytes;
+  for i = 0 to 7 do
+    Bytes.set buf
+      (pos + 1 + trace_id_bytes + i)
+      (Char.chr ((span lsr (8 * (7 - i))) land 0xff))
+  done;
+  Bytes.set buf (pos + 1 + trace_id_bytes + 8) (Char.chr (flags land 0xff))
+
+(* [None] on any malformation: truncated extension, a length byte other
+   than [ctx_bytes] (over-long or short trace ids), or a span id with
+   the top bit set (unrepresentable as a nonnegative int). *)
+let get_ctx s pos =
+  if pos >= String.length s then None
+  else
+    let len = Char.code s.[pos] in
+    if len <> ctx_bytes || pos + 1 + len > String.length s then None
+    else
+      let trace = String.sub s (pos + 1) trace_id_bytes in
+      let b i = Char.code s.[pos + 1 + trace_id_bytes + i] in
+      if b 0 land 0x80 <> 0 then None
+      else begin
+        let span = ref 0 in
+        for i = 0 to 7 do
+          span := (!span lsl 8) lor b i
+        done;
+        let flags = Char.code s.[pos + 1 + trace_id_bytes + 8] in
+        Some ({ trace; span = !span; flags }, pos + 1 + len)
+      end
 
 let put_shard buf pos shard =
   if shard < 0 || shard > max_shard then
@@ -93,18 +144,45 @@ let with_id ~tag ~id ?status payload =
   Bytes.blit_string payload 0 buf (5 + slen) (String.length payload);
   Bytes.unsafe_to_string buf
 
-let encode_oneway ?shard payload =
-  match shard with
-  | None -> String.make 1 tag_oneway ^ payload
-  | Some shard ->
+let encode_oneway ?shard ?trace payload =
+  match (shard, trace) with
+  | None, None -> String.make 1 tag_oneway ^ payload
+  | Some shard, None ->
     let len = String.length payload in
     let buf = Bytes.create (3 + len) in
     Bytes.set buf 0 tag_sharded_oneway;
     put_shard buf 1 shard;
     Bytes.blit_string payload 0 buf 3 len;
     Bytes.unsafe_to_string buf
+  | None, Some ctx ->
+    let len = String.length payload in
+    let buf = Bytes.create (1 + 1 + ctx_bytes + len) in
+    Bytes.set buf 0 tag_traced_oneway;
+    put_ctx buf 1 ctx;
+    Bytes.blit_string payload 0 buf (2 + ctx_bytes) len;
+    Bytes.unsafe_to_string buf
+  | Some shard, Some ctx ->
+    let len = String.length payload in
+    let buf = Bytes.create (3 + 1 + ctx_bytes + len) in
+    Bytes.set buf 0 tag_traced_sharded_oneway;
+    put_shard buf 1 shard;
+    put_ctx buf 3 ctx;
+    Bytes.blit_string payload 0 buf (4 + ctx_bytes) len;
+    Bytes.unsafe_to_string buf
 
-let encode_call ~id payload = with_id ~tag:tag_pipelined ~id payload
+let encode_call ~id ?trace payload =
+  match trace with
+  | None -> with_id ~tag:tag_pipelined ~id payload
+  | Some ctx ->
+    if id < 0 || id > max_id then
+      invalid_arg "Frame: correlation id out of range";
+    let len = String.length payload in
+    let buf = Bytes.create (5 + 1 + ctx_bytes + len) in
+    Bytes.set buf 0 tag_traced_call;
+    put_id buf 1 id;
+    put_ctx buf 5 ctx;
+    Bytes.blit_string payload 0 buf (6 + ctx_bytes) len;
+    Bytes.unsafe_to_string buf
 
 (* --- prebuilt call buffers ---------------------------------------------
    A quorum broadcast sends the same payload to every endpoint; only the
@@ -116,23 +194,34 @@ let encode_call ~id payload = with_id ~tag:tag_pipelined ~id payload
 
 type prebuilt = Bytes.t
 
-let prebuilt_call ?shard payload =
+let prebuilt_call ?shard ?trace payload =
   let plen = String.length payload in
   let slen = match shard with Some _ -> 2 | None -> 0 in
-  let body = 5 + slen + plen in
+  (* The context is identical for every destination of a broadcast (it
+     names the sending span), so it is baked into the shared buffer at
+     build time; only the correlation id is patched per send. *)
+  let clen = match trace with Some _ -> 1 + ctx_bytes | None -> 0 in
+  let body = 5 + slen + clen + plen in
   if body > max_frame then invalid_arg "Frame.prebuilt_call: frame too large";
   let buf = Bytes.create (4 + body) in
   Bytes.set buf 0 (Char.chr ((body lsr 24) land 0xff));
   Bytes.set buf 1 (Char.chr ((body lsr 16) land 0xff));
   Bytes.set buf 2 (Char.chr ((body lsr 8) land 0xff));
   Bytes.set buf 3 (Char.chr (body land 0xff));
-  (match shard with
-  | None -> Bytes.set buf 4 tag_pipelined
-  | Some s ->
+  (match (shard, trace) with
+  | None, None -> Bytes.set buf 4 tag_pipelined
+  | Some s, None ->
     Bytes.set buf 4 tag_sharded_call;
-    put_shard buf 9 s);
+    put_shard buf 9 s
+  | None, Some ctx ->
+    Bytes.set buf 4 tag_traced_call;
+    put_ctx buf 9 ctx
+  | Some s, Some ctx ->
+    Bytes.set buf 4 tag_traced_sharded_call;
+    put_shard buf 9 s;
+    put_ctx buf 11 ctx);
   put_id buf 5 0;
-  Bytes.blit_string payload 0 buf (9 + slen) plen;
+  Bytes.blit_string payload 0 buf (9 + slen + clen) plen;
   buf
 
 let set_prebuilt_id buf id =
@@ -161,13 +250,14 @@ type request =
   | Sharded_call of { id : int; shard : int; payload : string }
   | Sharded_oneway of { shard : int; payload : string }
 
-let parse_request frame =
+let parse_request_traced frame =
   if String.length frame = 0 then None
   else
     let rest () = String.sub frame 1 (String.length frame - 1) in
+    let tail pos = String.sub frame pos (String.length frame - pos) in
     match frame.[0] with
-    | c when c = tag_oneway -> Some (Oneway (rest ()))
-    | c when c = tag_call -> Some (Legacy_call (rest ()))
+    | c when c = tag_oneway -> Some (Oneway (rest ()), None)
+    | c when c = tag_call -> Some (Legacy_call (rest ()), None)
     | c when c = tag_pipelined ->
       if String.length frame < 5 then None
       else
@@ -177,32 +267,53 @@ let parse_request frame =
            connection thread. *)
         let id = get_id frame 1 in
         if id > max_id then None
-        else
-          Some
-            (Call { id; payload = String.sub frame 5 (String.length frame - 5) })
+        else Some (Call { id; payload = tail 5 }, None)
     | c when c = tag_sharded_call ->
       if String.length frame < 7 then None
       else
         let id = get_id frame 1 in
         if id > max_id then None
         else
-          Some
-            (Sharded_call
-               {
-                 id;
-                 shard = get_shard frame 5;
-                 payload = String.sub frame 7 (String.length frame - 7);
-               })
+          Some (Sharded_call { id; shard = get_shard frame 5; payload = tail 7 }, None)
     | c when c = tag_sharded_oneway ->
       if String.length frame < 3 then None
+      else Some (Sharded_oneway { shard = get_shard frame 1; payload = tail 3 }, None)
+    | c when c = tag_traced_call ->
+      if String.length frame < 5 then None
       else
-        Some
-          (Sharded_oneway
-             {
-               shard = get_shard frame 1;
-               payload = String.sub frame 3 (String.length frame - 3);
-             })
+        let id = get_id frame 1 in
+        if id > max_id then None
+        else
+          Option.map
+            (fun (ctx, pos) -> (Call { id; payload = tail pos }, Some ctx))
+            (get_ctx frame 5)
+    | c when c = tag_traced_sharded_call ->
+      if String.length frame < 7 then None
+      else
+        let id = get_id frame 1 in
+        if id > max_id then None
+        else
+          Option.map
+            (fun (ctx, pos) ->
+              (Sharded_call { id; shard = get_shard frame 5; payload = tail pos },
+               Some ctx))
+            (get_ctx frame 7)
+    | c when c = tag_traced_oneway ->
+      Option.map
+        (fun (ctx, pos) -> (Oneway (tail pos), Some ctx))
+        (get_ctx frame 1)
+    | c when c = tag_traced_sharded_oneway ->
+      if String.length frame < 3 then None
+      else
+        Option.map
+          (fun (ctx, pos) ->
+            (Sharded_oneway { shard = get_shard frame 1; payload = tail pos },
+             Some ctx))
+          (get_ctx frame 3)
     | _ -> None
+
+let parse_request frame =
+  Option.map fst (parse_request_traced frame)
 
 type response =
   | Reply of { id : int; payload : string option }

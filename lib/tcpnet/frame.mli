@@ -39,7 +39,15 @@ val read_frame_ext : Unix.file_descr -> read_result
     id is followed by a 2-byte big-endian shard id, and [0x05] is a
     one-way with a 2-byte shard id — the host dispatches either to that
     shard's server state. Responses are unchanged (the correlation id
-    already names the request, shard included). *)
+    already names the request, shard included).
+
+    Distributed tracing adds four more: [0x06]/[0x07] are the traced
+    twins of [0x02]/[0x04] and [0x08]/[0x09] of [0x00]/[0x05], each
+    carrying a trace-context extension right after the fixed header —
+    a 1-byte extension length (exactly {!ctx_bytes}), a 16-byte trace
+    id, an 8-byte big-endian span id (top bit clear) and a flags byte.
+    An untraced sender emits the legacy tags byte-for-byte, so peers
+    that predate the extension interoperate unchanged. *)
 
 val max_id : int
 (** Correlation ids live in [0 .. max_id] (30 bits, wraps). *)
@@ -47,11 +55,23 @@ val max_id : int
 val max_shard : int
 (** Shard ids live in [0 .. max_shard] (16 bits on the wire). *)
 
-val encode_oneway : ?shard:int -> string -> string
-(** With [shard], a [0x05] sharded one-way; otherwise the legacy [0x00].
-    @raise Invalid_argument when [shard] exceeds {!max_shard}. *)
+(** The wire trace context: 16 raw trace-id bytes, the sending span's
+    id, and sampling flags (bit 0 sampled, bit 1 forced). *)
+type trace_ctx = { trace : string; span : int; flags : int }
 
-val encode_call : id:int -> string -> string
+val trace_id_bytes : int
+(** 16 — raw length of a trace id. *)
+
+val ctx_bytes : int
+(** 25 — encoded context length (the value of the extension's length
+    byte; anything else is rejected as malformed). *)
+
+val encode_oneway : ?shard:int -> ?trace:trace_ctx -> string -> string
+(** With [shard], a sharded one-way; with [trace], the traced twin tag.
+    @raise Invalid_argument when [shard] exceeds {!max_shard} or the
+    trace id is not {!trace_id_bytes} bytes. *)
+
+val encode_call : id:int -> ?trace:trace_ctx -> string -> string
 
 (** {2 Prebuilt call buffers}
 
@@ -64,7 +84,7 @@ val encode_call : id:int -> string -> string
 
 type prebuilt = Bytes.t
 
-val prebuilt_call : ?shard:int -> string -> prebuilt
+val prebuilt_call : ?shard:int -> ?trace:trace_ctx -> string -> prebuilt
 val set_prebuilt_id : prebuilt -> int -> unit
 val write_prebuilt : Unix.file_descr -> prebuilt -> unit
 val encode_reply : id:int -> string option -> string
@@ -81,7 +101,14 @@ type request =
 val parse_request : string -> request option
 (** [None] on an empty frame, unknown tag, truncated pipelined header,
     or a correlation id above {!max_id} — the server answers those with
-    {!encode_conn_error}. *)
+    {!encode_conn_error}. Traced frames parse to the same constructors
+    (their context is dropped); use {!parse_request_traced} to keep it. *)
+
+val parse_request_traced : string -> (request * trace_ctx option) option
+(** Like {!parse_request} but returns the trace context of a traced
+    frame. [None] additionally on a malformed context: a truncated
+    extension, a length byte other than {!ctx_bytes} (over-long or
+    short trace ids), or a span id with the top bit set. *)
 
 type response =
   | Reply of { id : int; payload : string option }

@@ -78,13 +78,16 @@ let parse_request_line req =
   | Some i -> (
     match String.split_on_char ' ' (String.sub req 0 i) with
     | [ meth; target; _version ] ->
-      (* Strip any query string: routes key on the bare path. *)
-      let path =
+      (* Routes key on the bare path; the query string (sans '?') is
+         handed to the renderer, "" when absent. *)
+      let path, query =
         match String.index_opt target '?' with
-        | Some q -> String.sub target 0 q
-        | None -> target
+        | Some q ->
+          ( String.sub target 0 q,
+            String.sub target (q + 1) (String.length target - q - 1) )
+        | None -> (target, "")
       in
-      Some (meth, path)
+      Some (meth, path, query)
     | _ -> None)
 
 let handle routes fd =
@@ -97,10 +100,10 @@ let handle routes fd =
        | None ->
          respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
            "bad request\n"
-       | Some (meth, _) when meth <> "GET" ->
+       | Some (meth, _, _) when meth <> "GET" ->
          respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
            "only GET is served here\n"
-       | Some (_, path) -> (
+       | Some (_, path, query) -> (
          match List.assoc_opt path routes with
          | None ->
            respond fd ~status:"404 Not Found" ~content_type:"text/plain"
@@ -108,7 +111,7 @@ let handle routes fd =
          | Some render -> (
            (* A failing renderer must not 200: the scraper should mark
               the target down, not ingest an error message as metrics. *)
-           match render () with
+           match render query with
            | content_type, body -> respond fd ~status:"200 OK" ~content_type body
            | exception e ->
              respond fd ~status:"500 Internal Server Error"

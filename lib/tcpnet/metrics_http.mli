@@ -2,21 +2,23 @@
 
     Serves GET requests from a fixed route table — enough for a
     Prometheus scrape or a [store_cli stats] pretty-print, and nothing
-    more (no keep-alive, no chunking, no request bodies). Routes are
-    thunks so every scrape renders fresh state. *)
+    more (no keep-alive, no chunking, no request bodies). Routes render
+    at request time so every scrape sees fresh state. *)
 
 type t
 
 val start :
   ?host:string ->
   port:int ->
-  routes:(string * (unit -> string * string)) list ->
+  routes:(string * (string -> string * string)) list ->
   unit ->
   t
 (** [start ~port ~routes ()] binds [host] (default loopback) and serves
     each request on its own thread. A route maps a path (["/metrics"])
-    to a thunk returning [(content_type, body)]. [port] may be [0] to
-    let the kernel pick; see {!port}. Unknown paths get 404, anything
+    to a renderer taking the request's query string (sans ['?'], [""]
+    when absent — ["/trace?id=ab12"] calls the ["/trace"] route with
+    ["id=ab12"]) and returning [(content_type, body)]. [port] may be [0]
+    to let the kernel pick; see {!port}. Unknown paths get 404, anything
     but GET gets 405. *)
 
 val port : t -> int

@@ -648,6 +648,15 @@ let run_group pool group dsts =
   Store.Metrics.record_rpc_ns ((Unix.gettimeofday () -. start) *. 1e9);
   replies
 
+(* The wire trace context for this thread's active span, read once per
+   round. [Obs.Span.current_ctx] is gated on the enabled flag, so the
+   disabled path pays one load and branch, nothing more. *)
+let wire_trace () =
+  match Obs.Span.current_ctx () with
+  | Some (c : Obs.Span.ctx) ->
+    Some { Frame.trace = c.trace; span = c.span; flags = c.flags }
+  | None -> None
+
 let call_many pool ?(timeout = 5.0) ?shard ~quorum dsts payload =
   match dsts with
   | [] -> []
@@ -656,7 +665,7 @@ let call_many pool ?(timeout = 5.0) ?shard ~quorum dsts payload =
       make_group ~quorum ~total:(List.length dsts)
         ~deadline:(Unix.gettimeofday () +. timeout)
     in
-    let buf = Frame.prebuilt_call ?shard payload in
+    let buf = Frame.prebuilt_call ?shard ?trace:(wire_trace ()) payload in
     run_group pool group (List.map (fun (from, ep) -> (from, ep, buf)) dsts)
 
 let call_scatter pool ?(timeout = 5.0) ?shard ~quorum parts =
@@ -667,9 +676,11 @@ let call_scatter pool ?(timeout = 5.0) ?shard ~quorum parts =
       make_group ~quorum ~total:(List.length parts)
         ~deadline:(Unix.gettimeofday () +. timeout)
     in
+    let trace = wire_trace () in
     run_group pool group
       (List.map
-         (fun (from, ep, payload) -> (from, ep, Frame.prebuilt_call ?shard payload))
+         (fun (from, ep, payload) ->
+           (from, ep, Frame.prebuilt_call ?shard ?trace payload))
          parts)
 
 let call pool ?(timeout = 5.0) ?shard endpoint payload =
@@ -677,14 +688,15 @@ let call pool ?(timeout = 5.0) ?shard endpoint payload =
     make_group ~quorum:1 ~total:1 ~deadline:(Unix.gettimeofday () +. timeout)
   in
   match
-    run_group pool group [ (0, endpoint, Frame.prebuilt_call ?shard payload) ]
+    run_group pool group
+      [ (0, endpoint, Frame.prebuilt_call ?shard ?trace:(wire_trace ()) payload) ]
   with
   | (_, payload) :: _ -> Reply payload
   | [] -> ( match group.last_error with Some err -> err | None -> Dropped)
 
 let send pool ?shard endpoint payload =
   let st = endpoint_state pool endpoint in
-  let frame = Frame.encode_oneway ?shard payload in
+  let frame = Frame.encode_oneway ?shard ?trace:(wire_trace ()) payload in
   let rec go attempts =
     if attempts = 0 then false
     else if suspected st then false

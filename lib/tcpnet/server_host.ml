@@ -20,6 +20,12 @@ type shard_state = {
   slock : Mutex.t;
   speers : (string * int) list;
   tagged : bool;
+  (* Most recent wire trace context seen by this shard, consumed (once)
+     by the next gossip round so anti-entropy work triggered by a traced
+     client op records as part of that op's distributed trace. A plain
+     mutable cell: the race between a request thread writing and the
+     gossip thread consuming only ever mis-attributes one round. *)
+  mutable slast_trace : Frame.trace_ctx option;
 }
 
 type t = {
@@ -71,11 +77,20 @@ let untrack_conn t fd =
 let trace_requests = ref true
 let set_request_tracing v = trace_requests := v
 
-let process st raw : (Store.Payload.response option, string) Result.t =
+let span_ctx = function
+  | Some (c : Frame.trace_ctx) ->
+    Some { Obs.Span.trace = c.trace; span = c.span; flags = c.flags }
+  | None -> None
+
+let process st ?ctx raw : (Store.Payload.response option, string) Result.t =
   let t0 = Unix.gettimeofday () in
+  (match ctx with Some _ -> st.slast_trace <- ctx | None -> ());
   let result =
     if !trace_requests && Obs.Span.enabled () then
-      Obs.Span.with_op "server_request" @@ fun () ->
+      Obs.Span.with_op ?ctx:(span_ctx ctx) "server_request" @@ fun () ->
+      Obs.Span.annotate
+        (Printf.sprintf "server=%d shard=%d" (Store.Server.id st.sserver)
+           st.sid);
       match
         Obs.Span.with_phase "decode" (fun () ->
             Store.Payload.decode_envelope raw)
@@ -108,8 +123,8 @@ let handle_connection t fd =
   (* A pipelined reply (or Byzantine silence) for one shard's call; the
      correlation id already names the request, so responses need no
      shard field of their own. *)
-  let reply_call st ~id payload =
-    match process st payload with
+  let reply_call st ~id ?ctx payload =
+    match process st ?ctx payload with
     | Ok (Some r) ->
       Frame.write_frame fd
         (Frame.encode_reply ~id (Some (Store.Payload.encode_response r)))
@@ -130,16 +145,16 @@ let handle_connection t fd =
               (Printf.sprintf "frame too large (%d > %d)" len Frame.max_frame))
        with Unix.Unix_error _ | Sys_error _ -> ())
     | Frame.Frame frame ->
-      (match Frame.parse_request frame with
-      | Some (Frame.Oneway payload) ->
-        ignore (process t.default_shard payload : (_, _) Result.t)
-      | Some (Frame.Sharded_oneway { shard; payload }) -> (
+      (match Frame.parse_request_traced frame with
+      | Some (Frame.Oneway payload, ctx) ->
+        ignore (process t.default_shard ?ctx payload : (_, _) Result.t)
+      | Some (Frame.Sharded_oneway { shard; payload }, ctx) -> (
         (* A one-way for a shard we do not host is dropped, like any
            one-way failure: the gossip protocol self-heals via summaries. *)
         match Hashtbl.find_opt t.shards shard with
-        | Some st -> ignore (process st payload : (_, _) Result.t)
+        | Some st -> ignore (process st ?ctx payload : (_, _) Result.t)
         | None -> ())
-      | Some (Frame.Legacy_call payload) ->
+      | Some (Frame.Legacy_call payload, _) ->
         (* Legacy semantics preserved: malformed or reply-less requests
            answer with the bare "no reply" byte. A Byzantine behaviour
            that answers nothing is genuinely silent on the wire, exactly
@@ -151,10 +166,11 @@ let handle_connection t fd =
           Frame.write_frame fd ("\x01" ^ Store.Payload.encode_response r)
         | Ok None when st.sbehavior <> Store.Faults.Honest -> ()
         | Ok None | Error _ -> Frame.write_frame fd "\x00")
-      | Some (Frame.Call { id; payload }) -> reply_call t.default_shard ~id payload
-      | Some (Frame.Sharded_call { id; shard; payload }) -> (
+      | Some (Frame.Call { id; payload }, ctx) ->
+        reply_call t.default_shard ~id ?ctx payload
+      | Some (Frame.Sharded_call { id; shard; payload }, ctx) -> (
         match Hashtbl.find_opt t.shards shard with
-        | Some st -> reply_call st ~id payload
+        | Some st -> reply_call st ~id ?ctx payload
         | None ->
           (* A shard we do not host is a routing error on the client's
              side (stale table, wrong endpoint) — answered, not dropped,
@@ -201,6 +217,15 @@ let gossip_loop t st ~period =
   while t.running do
     Thread.delay period;
     Obs.Span.with_op "gossip_round" @@ fun () ->
+    (* Adopt (and consume) the trace of the most recent traced request
+       against this shard: the round's drain/push/repair become children
+       of the client op that produced the work, and the pool stamps the
+       same context onto outgoing pushes so peer-side spans join too. *)
+    (match st.slast_trace with
+    | Some c when Obs.Span.enabled () ->
+      st.slast_trace <- None;
+      Obs.Span.set_trace ~parent:c.span ~flags:c.flags c.trace
+    | _ -> ());
     (* One critical section for both: a write accepted between taking
        the buffer and summarizing would be advertised in [have] without
        appearing in [writes], so peers would skip pulling it. *)
@@ -314,6 +339,7 @@ let launch ~specs ~tagged ~gossip_period ~port =
           slock = Mutex.create ();
           speers = spec.peers;
           tagged;
+          slast_trace = None;
         })
       specs
   in

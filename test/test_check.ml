@@ -31,6 +31,7 @@ let ev ~seq ~op ~client ?(session = 1) ~phase ~kind ?outcome ?(ctx = []) () =
     kind;
     outcome;
     ctx;
+    trace = "";
   }
 
 let props vs = List.sort_uniq compare (List.map (fun v -> v.O.property) vs)
@@ -228,6 +229,28 @@ let test_canary_caught () =
   let control = E.run { (E.canary_schedule ~seed:7) with E.canary = false } in
   Alcotest.(check int) "honest control is clean" 0
     (List.length control.E.violations)
+
+let test_violation_names_a_trace () =
+  (* Every op minted under a recording history carries a forced trace
+     id; a violation report must surface one that resolves back into
+     the history, so the flight recorder can dump the causal trace. *)
+  let out = E.run (E.canary_schedule ~seed:7) in
+  let v = List.hd out.E.violations in
+  let id = v.O.first.T.trace in
+  Alcotest.(check bool) "violation carries a trace id" true (id <> "");
+  Alcotest.(check bool) "id is 128-bit lowercase hex" true
+    (match Obs.Jsonx.of_hex id with
+    | Some raw -> String.length raw = Obs.Span.trace_bytes
+    | None -> false);
+  let evs = Check.History.events out.E.history in
+  Alcotest.(check bool) "trace id resolves to the op's other events" true
+    (List.exists (fun e -> e.T.trace = id && e.T.seq <> v.O.first.T.seq) evs);
+  let printed = O.violation_to_string v in
+  Alcotest.(check bool) "report prints trace=<id>" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string ("trace=" ^ id)) printed 0);
+       true
+     with Not_found -> false)
 
 let test_canary_shrinks_to_crash () =
   let out = E.run (E.canary_schedule ~seed:11) in
@@ -483,6 +506,8 @@ let () =
       ( "explorer",
         [
           Alcotest.test_case "canary caught" `Quick test_canary_caught;
+          Alcotest.test_case "violation names a trace" `Quick
+            test_violation_names_a_trace;
           Alcotest.test_case "canary shrinks to crash" `Quick
             test_canary_shrinks_to_crash;
           Alcotest.test_case "seed reproduces history" `Quick

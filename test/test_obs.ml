@@ -279,10 +279,11 @@ let test_metrics_endpoint_roundtrip () =
       ~routes:
         [
           ( "/metrics",
-            fun () ->
+            fun _ ->
               incr hits;
               (Obs.Expo.content_type, "fresh " ^ string_of_int !hits) );
-          ("/boom", fun () -> failwith "render exploded");
+          ("/echo", fun q -> ("text/plain", "q=" ^ q));
+          ("/boom", fun _ -> failwith "render exploded");
         ]
       ()
   in
@@ -297,6 +298,12 @@ let test_metrics_endpoint_roundtrip () =
   (match Tcpnet.Metrics_http.get ~port ~path:"/nope" () with
   | Ok _ -> Alcotest.fail "404 expected"
   | Error _ -> ());
+  (match Tcpnet.Metrics_http.get ~port ~path:"/echo?id=ab12&x=1" () with
+  | Ok body -> Alcotest.(check string) "query passed to route" "q=id=ab12&x=1" body
+  | Error e -> Alcotest.fail ("query scrape failed: " ^ e));
+  (match Tcpnet.Metrics_http.get ~port ~path:"/echo" () with
+  | Ok body -> Alcotest.(check string) "absent query is empty" "q=" body
+  | Error e -> Alcotest.fail ("bare scrape failed: " ^ e));
   match Tcpnet.Metrics_http.get ~port ~path:"/boom" () with
   | Ok _ -> Alcotest.fail "route failure must not 200"
   | Error _ -> ()
@@ -401,6 +408,200 @@ let test_sigcache_exposition () =
       "securestore_sigcache_entries 1";
     ]
 
+(* --- the shared JSON escaper against its reader oracle ------------------- *)
+
+let qcheck_jsonx_escape_roundtrip =
+  QCheck.Test.make ~name:"Jsonx.escape round-trips through the reader"
+    ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      Obs.Jsonx.parse ("\"" ^ Obs.Jsonx.escape s ^ "\"")
+      = Some (Obs.Jsonx.Str s))
+
+let qcheck_jsonx_hex_roundtrip =
+  QCheck.Test.make ~name:"hex codec round-trips raw bytes" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Obs.Jsonx.of_hex (Obs.Jsonx.to_hex s) = Some s)
+
+let test_jsonx_reader_strictness () =
+  let p = Obs.Jsonx.parse in
+  Alcotest.(check bool) "trailing garbage" true (p "{} x" = None);
+  Alcotest.(check bool) "bad escape" true (p "\"\\q\"" = None);
+  Alcotest.(check bool) "raw control char" true (p "\"\x01\"" = None);
+  Alcotest.(check bool) "unterminated string" true (p "\"abc" = None);
+  Alcotest.(check bool) "nesting capped" true
+    (p (String.make 100 '[' ^ String.make 100 ']') = None);
+  match p "{\"a\": [1, true, null, \"s\"], \"b\": -2.5e1}" with
+  | None -> Alcotest.fail "well-formed document rejected"
+  | Some v ->
+    Alcotest.(check bool) "array decoded" true
+      (Option.bind (Obs.Jsonx.member "a" v) Obs.Jsonx.arr_of
+      = Some Obs.Jsonx.[ Num 1.0; Bool true; Null; Str "s" ]);
+    Alcotest.(check (option (float 1e-9))) "number decoded" (Some (-25.0))
+      (Option.bind (Obs.Jsonx.member "b" v) Obs.Jsonx.num_of)
+
+(* --- flight recorder ----------------------------------------------------- *)
+
+let tid i =
+  String.init Obs.Span.trace_bytes (fun j -> Char.chr (((17 * i) + j) land 0xff))
+
+let with_flight f =
+  Obs.Span.reset_stats ();
+  Obs.Span.reset_journal ();
+  Obs.Span.reset_flight ();
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Span.reset_flight ())
+    f
+
+(* A remote span closes on its own thread — per-thread span state means a
+   same-thread with_op would fold into the live root as a phase. *)
+let remote_span ~ctx op =
+  let th = Thread.create (fun () -> Obs.Span.with_op ~ctx op Fun.id) () in
+  Thread.join th
+
+let test_flight_promotion () =
+  with_flight @@ fun () ->
+  (* A child closing before its root parks in pending; the root's close
+     promotes the whole trace into the sampled ring. *)
+  let t = tid 1 in
+  let root_span = ref 0 in
+  Obs.Span.with_op "client_op" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled t;
+      match Obs.Span.current_ctx () with
+      | Some c ->
+        root_span := c.Obs.Span.span;
+        remote_span ~ctx:c "server_request"
+      | None -> Alcotest.fail "no ctx on a traced root");
+  let sampled, forced, occupancy = Obs.Span.flight_stats () in
+  Alcotest.(check int) "one sampled promotion" 1 sampled;
+  Alcotest.(check int) "no forced promotion" 0 forced;
+  Alcotest.(check int) "one trace held" 1 occupancy;
+  let spans = Obs.Span.flight_lookup ~trace:t in
+  Alcotest.(check (list string))
+    "both spans held"
+    [ "client_op"; "server_request" ]
+    (List.sort compare (List.map (fun c -> c.Obs.Span.op) spans));
+  (match
+     List.find_opt (fun c -> c.Obs.Span.op = "server_request") spans
+   with
+  | Some c ->
+    Alcotest.(check int) "server span's parent is the client span"
+      !root_span c.Obs.Span.parent
+  | None -> Alcotest.fail "missing server span");
+  (* An unsampled, unforced trace is dropped at root close. *)
+  let u = tid 2 in
+  Obs.Span.with_op "unsampled" (fun () -> Obs.Span.set_trace ~flags:0 u);
+  Alcotest.(check int) "unsampled not held" 0
+    (List.length (Obs.Span.flight_lookup ~trace:u))
+
+let test_flight_forced_and_pin () =
+  with_flight @@ fun () ->
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_flight_capacity ~ring:32 ())
+  @@ fun () ->
+  (* force() lands the promotion in the pinned list, not the ring. *)
+  let t = tid 3 in
+  Obs.Span.with_op "retrying_op" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled t;
+      Obs.Span.force ());
+  let _, forced, _ = Obs.Span.flight_stats () in
+  Alcotest.(check int) "forced promotion" 1 forced;
+  Alcotest.(check bool) "pin finds a pinned trace" true
+    (Obs.Span.pin ~trace:t);
+  (* pin moves a ring entry to the pinned list, surviving a ring wipe. *)
+  let s = tid 4 in
+  Obs.Span.with_op "sampled_op" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled s);
+  Alcotest.(check bool) "pin promotes from the ring" true
+    (Obs.Span.pin ~trace:s);
+  Obs.Span.set_flight_capacity ~ring:1 ();
+  Alcotest.(check bool) "pinned survives ring resize" true
+    (Obs.Span.flight_lookup ~trace:s <> []);
+  Alcotest.(check bool) "unknown trace is gone" true
+    (not (Obs.Span.pin ~trace:(tid 9)));
+  (* A pending trace — root still in flight — pins as forced too. *)
+  let p = tid 5 in
+  remote_span
+    ~ctx:{ Obs.Span.trace = p; span = 77; flags = Obs.Span.flag_sampled }
+    "late_child";
+  Alcotest.(check bool) "pin promotes from pending" true
+    (Obs.Span.pin ~trace:p);
+  let _, forced, _ = Obs.Span.flight_stats () in
+  Alcotest.(check int) "every pin counted forced" 3 forced
+
+let test_flight_eviction_promotes () =
+  with_flight @@ fun () ->
+  Obs.Span.set_flight_capacity ~pending:2 ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_flight_capacity ~pending:128 ())
+  @@ fun () ->
+  (* Three traces stuck waiting for their roots: inserting the third
+     evicts the first — promoted into the ring, not silently dropped. *)
+  List.iter
+    (fun i ->
+      remote_span
+        ~ctx:
+          { Obs.Span.trace = tid (10 + i); span = 9;
+            flags = Obs.Span.flag_sampled }
+        "orphan_child")
+    [ 0; 1; 2 ];
+  let sampled, _, occupancy = Obs.Span.flight_stats () in
+  Alcotest.(check int) "evictee promoted to the ring" 1 sampled;
+  Alcotest.(check int) "all three still held" 3 occupancy;
+  Alcotest.(check bool) "evicted trace still resolvable" true
+    (Obs.Span.flight_lookup ~trace:(tid 10) <> [])
+
+let test_trace_assembly_json () =
+  with_flight @@ fun () ->
+  Obs.Span.set_node "unit-node";
+  Fun.protect ~finally:(fun () -> Obs.Span.set_node "") @@ fun () ->
+  let t = tid 6 in
+  Obs.Span.with_op "op_a" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled t;
+      Obs.Span.with_phase "ph" (fun () -> ()));
+  let hex = Obs.Jsonx.to_hex t in
+  (match Obs.Jsonx.parse (Obs.Span.trace_json ~id:hex ()) with
+  | None -> Alcotest.fail "trace_json is not valid JSON"
+  | Some v -> (
+    Alcotest.(check (option string)) "trace member" (Some hex)
+      (Option.bind (Obs.Jsonx.member "trace" v) Obs.Jsonx.str_of);
+    Alcotest.(check (option string)) "node member" (Some "unit-node")
+      (Option.bind (Obs.Jsonx.member "node" v) Obs.Jsonx.str_of);
+    match Option.bind (Obs.Jsonx.member "spans" v) Obs.Jsonx.arr_of with
+    | Some [ sp ] ->
+      Alcotest.(check (option string)) "span op" (Some "op_a")
+        (Option.bind (Obs.Jsonx.member "op" sp) Obs.Jsonx.str_of)
+    | _ -> Alcotest.fail "expected exactly one assembled span"));
+  match Obs.Jsonx.parse (Obs.Span.trace_json ~id:"not-hex" ()) with
+  | Some v ->
+    Alcotest.(check bool) "malformed id yields an error doc" true
+      (Obs.Jsonx.member "error" v <> None)
+  | None -> Alcotest.fail "error doc must be valid JSON"
+
+let test_trace_gauges_exposition () =
+  with_flight @@ fun () ->
+  Obs.Span.with_op "sampled" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled (tid 7));
+  Obs.Span.with_op "forced" (fun () ->
+      Obs.Span.set_trace ~flags:Obs.Span.flag_sampled (tid 8);
+      Obs.Span.force ());
+  let text = Obs.Expo.render (Obs.Span.trace_families ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("has " ^ needle) true
+        (find_lines (starts_with needle) text <> []))
+    [
+      "# TYPE securestore_traces_sampled_total counter";
+      "# TYPE securestore_traces_forced_total counter";
+      "# TYPE securestore_flight_recorder_occupancy gauge";
+      "securestore_traces_sampled_total 1";
+      "securestore_traces_forced_total 1";
+      "securestore_flight_recorder_occupancy 2";
+    ]
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -420,6 +621,25 @@ let () =
           Alcotest.test_case "journal wraparound" `Quick
             test_journal_wraparound;
           Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+        ] );
+      ( "jsonx",
+        [
+          q qcheck_jsonx_escape_roundtrip;
+          q qcheck_jsonx_hex_roundtrip;
+          Alcotest.test_case "reader strictness" `Quick
+            test_jsonx_reader_strictness;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "promotion at root close" `Quick
+            test_flight_promotion;
+          Alcotest.test_case "force and pin" `Quick test_flight_forced_and_pin;
+          Alcotest.test_case "eviction promotes" `Quick
+            test_flight_eviction_promotes;
+          Alcotest.test_case "trace assembly json" `Quick
+            test_trace_assembly_json;
+          Alcotest.test_case "trace gauges exposition" `Quick
+            test_trace_gauges_exposition;
         ] );
       ( "expo",
         [

@@ -64,6 +64,79 @@ let test_pipelined_codec () =
   Alcotest.(check bool) "empty" true (parse_request "" = None);
   Alcotest.(check bool) "short pipelined" true (parse_request "\x02\x00" = None)
 
+let test_traced_codec () =
+  let open Tcpnet.Frame in
+  let ctx =
+    {
+      trace = String.init trace_id_bytes (fun i -> Char.chr (i * 7 land 0xff));
+      span = 0x1234_5678_9abc;
+      flags = 3;
+    }
+  in
+  (match parse_request_traced (encode_call ~id:42 ~trace:ctx "pay") with
+  | Some (Call { id = 42; payload = "pay" }, Some c) ->
+    Alcotest.(check bool) "call ctx roundtrips" true (c = ctx)
+  | _ -> Alcotest.fail "traced call roundtrip");
+  (match parse_request_traced (encode_oneway ~trace:ctx "g") with
+  | Some (Oneway "g", Some c) ->
+    Alcotest.(check bool) "oneway ctx roundtrips" true (c = ctx)
+  | _ -> Alcotest.fail "traced oneway roundtrip");
+  (match parse_request_traced (encode_oneway ~shard:9 ~trace:ctx "g") with
+  | Some (Sharded_oneway { shard = 9; payload = "g" }, Some c) ->
+    Alcotest.(check bool) "sharded oneway ctx roundtrips" true (c = ctx)
+  | _ -> Alcotest.fail "traced sharded oneway roundtrip");
+  (* The broadcast fast path must carry the context too. *)
+  let pb = prebuilt_call ~shard:3 ~trace:ctx "body" in
+  set_prebuilt_id pb 7;
+  let s = Bytes.to_string pb in
+  (match parse_request_traced (String.sub s 4 (String.length s - 4)) with
+  | Some (Sharded_call { id = 7; shard = 3; payload = "body" }, Some c) ->
+    Alcotest.(check bool) "prebuilt ctx roundtrips" true (c = ctx)
+  | _ -> Alcotest.fail "traced prebuilt roundtrip");
+  (* Backward compatibility both ways: an untraced sender emits the
+     legacy tags byte-for-byte, and the legacy parser accepts traced
+     frames by dropping the context. *)
+  Alcotest.(check char) "untraced call keeps legacy tag" '\x02'
+    (encode_call ~id:1 "p").[0];
+  Alcotest.(check char) "untraced oneway keeps legacy tag" '\x00'
+    (encode_oneway "p").[0];
+  (match parse_request (encode_call ~id:2 ~trace:ctx "p") with
+  | Some (Call { id = 2; payload = "p" }) -> ()
+  | _ -> Alcotest.fail "legacy parse of a traced frame");
+  (match parse_request_traced (encode_call ~id:3 "p") with
+  | Some (Call _, None) -> ()
+  | _ -> Alcotest.fail "untraced frame must carry no ctx");
+  (* A wrong-length trace id is the sender's bug — refuse to encode. *)
+  Alcotest.check_raises "short trace id refused at encode"
+    (Invalid_argument "Frame: trace id must be 16 bytes") (fun () ->
+      ignore (encode_call ~id:4 ~trace:{ ctx with trace = "short" } "p"))
+
+let traced_codec_qcheck =
+  QCheck.Test.make ~name:"traced frames round-trip any ctx and payload"
+    ~count:300
+    QCheck.(
+      pair
+        (pair (string_of_size Gen.(0 -- 64)) (string_of_size (Gen.return 16)))
+        (pair (pair (int_bound 0x3fffffff) (int_bound 0x3fffffff))
+           (int_bound 255)))
+    (fun ((payload, trace), ((hi, lo), flags)) ->
+      let open Tcpnet.Frame in
+      let ctx = { trace; span = (hi lsl 31) lor lo; flags } in
+      let call =
+        match parse_request_traced (encode_call ~id:11 ~trace:ctx payload) with
+        | Some (Call { id = 11; payload = p }, Some c) -> p = payload && c = ctx
+        | _ -> false
+      in
+      let oneway =
+        match
+          parse_request_traced (encode_oneway ~shard:2 ~trace:ctx payload)
+        with
+        | Some (Sharded_oneway { shard = 2; payload = p }, Some c) ->
+          p = payload && c = ctx
+        | _ -> false
+      in
+      call && oneway)
+
 let with_cluster ?(n = 4) ?(b = 1) ?(behavior = fun _ -> Store.Faults.Honest) fn =
   let keyring = Store.Keyring.create () in
   Store.Keyring.register keyring "alice" alice_key.Crypto.Rsa.public;
@@ -734,6 +807,41 @@ let test_frame_hostile_inputs () =
         | Some (Tcpnet.Frame.Conn_error _) -> ()
         | _ -> Alcotest.fail "expected framed error for truncated header")
       | None -> Alcotest.fail "server dropped truncated header silently");
+      (* Malformed trace contexts: truncated extension, a length byte
+         claiming over-long or short ids, a span id with the reserved
+         top bit — each must come back as a framed error on a live
+         connection, never a crash. *)
+      let ctx =
+        {
+          Tcpnet.Frame.trace = String.make Tcpnet.Frame.trace_id_bytes 'a';
+          span = 5;
+          flags = 1;
+        }
+      in
+      let traced =
+        Tcpnet.Frame.encode_call ~id:2 ~trace:ctx meta_query_payload
+      in
+      let expect_conn_error what frame =
+        Tcpnet.Frame.write_frame fd frame;
+        match Tcpnet.Frame.read_frame fd with
+        | Some r -> (
+          match Tcpnet.Frame.parse_response r with
+          | Some (Tcpnet.Frame.Conn_error _) -> ()
+          | _ -> Alcotest.failf "expected framed error for %s" what)
+        | None -> Alcotest.failf "server dropped %s silently" what
+      in
+      expect_conn_error "truncated trace context" (String.sub traced 0 12);
+      let relen c =
+        let b = Bytes.of_string traced in
+        Bytes.set b 5 c;
+        Bytes.to_string b
+      in
+      expect_conn_error "over-long trace id" (relen '\x30');
+      expect_conn_error "short trace id" (relen '\x05');
+      let evil_span = Bytes.of_string traced in
+      Bytes.set evil_span 22
+        (Char.chr (Char.code (Bytes.get evil_span 22) lor 0x80));
+      expect_conn_error "span id top bit" (Bytes.to_string evil_span);
       (* Correlation id above max_id: the server must reject it at parse
          time — echoing it in a reply would be an encode error killing
          the connection thread. The connection keeps serving. *)
@@ -992,6 +1100,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "oversize" `Quick test_frame_oversize_rejected;
           Alcotest.test_case "pipelined codec" `Quick test_pipelined_codec;
+          Alcotest.test_case "traced codec" `Quick test_traced_codec;
+          QCheck_alcotest.to_alcotest traced_codec_qcheck;
         ] );
       ( "live",
         [
